@@ -1,0 +1,118 @@
+// Ablation A1 — scaling the paper's §5 design-time argument.
+//
+// Sweeps the number of variants and the size of the shared part on
+// synthetic systems and reports cost and examined decisions for independent
+// / superposition / variant-aware synthesis. The paper's claims: (i)
+// superposition design time equals the sum of independent runs, (ii)
+// variant-aware design time stays below it because shared processes are
+// examined once, (iii) variant-aware cost never exceeds superposition.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "models/synthetic.hpp"
+#include "support/table.hpp"
+#include "synth/from_model.hpp"
+#include "synth/strategies.hpp"
+
+namespace {
+
+using namespace spivar;
+
+struct Row {
+  std::size_t variants;
+  double sup_cost, var_cost;
+  std::int64_t ind_sum, sup_dec, var_dec;
+};
+
+Row run_one(std::size_t variants, std::size_t shared, std::uint64_t seed) {
+  const variant::VariantModel model = models::make_synthetic(
+      {.shared_processes = shared, .interfaces = 1, .variants = variants, .cluster_size = 3,
+       .seed = seed});
+  const synth::ImplLibrary lib = models::make_synthetic_library(model, {.seed = seed + 1});
+  const synth::SynthesisProblem problem = synth::problem_from_model(
+      model, {.granularity = synth::ElementGranularity::kProcess});
+
+  synth::ExploreOptions greedy;
+  greedy.engine = synth::ExploreEngine::kGreedy;
+
+  Row row{variants, 0, 0, 0, 0, 0};
+  for (const auto& app : problem.apps) {
+    row.ind_sum += synth::synthesize_independent(lib, app, greedy).decisions;
+  }
+  const auto sup = synth::synthesize_superposition(lib, problem.apps, greedy);
+  const auto var = synth::synthesize_with_variants(lib, problem.apps, greedy);
+  row.sup_cost = sup.cost.total;
+  row.var_cost = var.cost.total;
+  row.sup_dec = sup.decisions;
+  row.var_dec = var.decisions;
+  return row;
+}
+
+void print_report() {
+  std::cout << "== A1: scaling of cost and design time with #variants ==\n"
+            << "(synthetic chain, 6 shared processes, clusters of 3, greedy DSE)\n\n";
+  support::TextTable table{{"#variants", "cost sup", "cost var", "dec ind-sum", "dec sup",
+                            "dec var", "var/sup dec"}};
+  for (std::size_t v : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const Row row = run_one(v, 6, 42);
+    table.add_row({std::to_string(row.variants), support::format_double(row.sup_cost, 1),
+                   support::format_double(row.var_cost, 1), std::to_string(row.ind_sum),
+                   std::to_string(row.sup_dec), std::to_string(row.var_dec),
+                   support::format_double(static_cast<double>(row.var_dec) /
+                                              static_cast<double>(row.sup_dec),
+                                          2)});
+  }
+  std::cout << table;
+
+  std::cout << "\nsweep of shared-part size (2 variants):\n";
+  support::TextTable table2{{"#shared", "cost sup", "cost var", "dec sup", "dec var"}};
+  for (std::size_t s : {2u, 4u, 8u, 12u}) {
+    const Row row = run_one(2, s, 7);
+    table2.add_row({std::to_string(s), support::format_double(row.sup_cost, 1),
+                    support::format_double(row.var_cost, 1), std::to_string(row.sup_dec),
+                    std::to_string(row.var_dec)});
+  }
+  std::cout << table2 << "\n";
+}
+
+void BM_Scaling_JointSynthesis(benchmark::State& state) {
+  const auto variants = static_cast<std::size_t>(state.range(0));
+  const variant::VariantModel model = models::make_synthetic(
+      {.shared_processes = 6, .interfaces = 1, .variants = variants, .cluster_size = 3});
+  const synth::ImplLibrary lib = models::make_synthetic_library(model);
+  const synth::SynthesisProblem problem = synth::problem_from_model(
+      model, {.granularity = synth::ElementGranularity::kProcess});
+  synth::ExploreOptions greedy;
+  greedy.engine = synth::ExploreEngine::kGreedy;
+  for (auto _ : state) {
+    auto r = synth::synthesize_with_variants(lib, problem.apps, greedy);
+    benchmark::DoNotOptimize(r.cost.total);
+  }
+}
+BENCHMARK(BM_Scaling_JointSynthesis)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Scaling_Superposition(benchmark::State& state) {
+  const auto variants = static_cast<std::size_t>(state.range(0));
+  const variant::VariantModel model = models::make_synthetic(
+      {.shared_processes = 6, .interfaces = 1, .variants = variants, .cluster_size = 3});
+  const synth::ImplLibrary lib = models::make_synthetic_library(model);
+  const synth::SynthesisProblem problem = synth::problem_from_model(
+      model, {.granularity = synth::ElementGranularity::kProcess});
+  synth::ExploreOptions greedy;
+  greedy.engine = synth::ExploreEngine::kGreedy;
+  for (auto _ : state) {
+    auto r = synth::synthesize_superposition(lib, problem.apps, greedy);
+    benchmark::DoNotOptimize(r.cost.total);
+  }
+}
+BENCHMARK(BM_Scaling_Superposition)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

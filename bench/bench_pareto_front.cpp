@@ -1,0 +1,102 @@
+// Ablation A5 — the cost/latency trade-off beyond the single optimum.
+//
+// §5 frames optimization as "minimize cost subject to timing"; this
+// ablation exposes the full Pareto front of (cost, worst chain latency) for
+// the Table 1 problem and the emission-control ECU, showing where the
+// paper's single reported design point sits on the curve.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "models/emission_control.hpp"
+#include "models/fig2.hpp"
+#include "support/table.hpp"
+#include "synth/from_model.hpp"
+#include "synth/pareto.hpp"
+
+namespace {
+
+using namespace spivar;
+
+void print_front(const std::string& label, const synth::ImplLibrary& lib,
+                 const std::vector<synth::Application>& apps) {
+  const auto front = synth::pareto_front(lib, apps);
+  std::cout << label << " (" << front.size() << " non-dominated points):\n";
+  support::TextTable table{{"cost", "worst latency", "hardware elements"}};
+  for (const auto& point : front) {
+    std::string hw;
+    for (const auto& [name, target] : point.mapping.assignments()) {
+      if (target == synth::Target::kHardware) {
+        if (!hw.empty()) hw += ", ";
+        hw += name;
+      }
+    }
+    table.add_row({support::format_double(point.cost, 1), point.worst_latency.to_string(),
+                   hw.empty() ? "-" : hw});
+  }
+  std::cout << table << "\n";
+}
+
+void print_report() {
+  std::cout << "== A5: cost / latency Pareto fronts ==\n\n";
+  print_front("Table 1 problem", models::table1_library(), models::table1_problem().apps);
+
+  const variant::VariantModel ecu = models::make_emission_control();
+  const synth::SynthesisProblem problem = synth::problem_from_model(
+      ecu, {.granularity = synth::ElementGranularity::kProcess});
+  print_front("emission-control ECU", models::emission_library(), problem.apps);
+}
+
+void BM_Pareto_Table1(benchmark::State& state) {
+  const auto lib = models::table1_library();
+  const auto apps = models::table1_problem().apps;
+  for (auto _ : state) {
+    auto front = synth::pareto_front(lib, apps);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_Pareto_Table1);
+
+void BM_Pareto_Ecu(benchmark::State& state) {
+  const variant::VariantModel ecu = models::make_emission_control();
+  const auto lib = models::emission_library();
+  const auto apps = synth::problem_from_model(
+                        ecu, {.granularity = synth::ElementGranularity::kProcess})
+                        .apps;
+  for (auto _ : state) {
+    auto front = synth::pareto_front(lib, apps);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_Pareto_Ecu);
+
+void BM_Pareto_SampledLargeProblem(benchmark::State& state) {
+  synth::ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 2.0;
+  synth::Application app{.name = "big"};
+  for (int i = 0; i < 24; ++i) {
+    const std::string name = "e" + std::to_string(i);
+    lib.add(name, {.sw_load = 0.08, .sw_wcet = support::Duration::millis(1 + i % 4),
+                   .hw_cost = 3.0 + i % 7,
+                   .hw_wcet = support::Duration::micros(200 + 40 * (i % 5))});
+    app.elements.push_back(name);
+    app.chain.push_back(name);
+  }
+  synth::ParetoOptions options;
+  options.samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto front = synth::pareto_front(lib, {app}, options);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_Pareto_SampledLargeProblem)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

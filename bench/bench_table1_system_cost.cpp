@@ -1,0 +1,111 @@
+// Experiment T1 — regenerates Table 1 "System Cost" of the paper.
+//
+// Paper rows (SW part / HW part / total / design time):
+//   Application 1   PA,PB=15  theta1=19       34   67
+//   Application 2   PA,PB=15  theta2=23       38   73
+//   Superposition   PA,PB=15  theta1+2=42     57  140
+//   With variants   th1,th2,PB=15  PA=26      41  118
+//
+// We reproduce the costs exactly (the implementation library is calibrated,
+// the *optimizer* discovers the mappings) and the design-time *shape*
+// (superposition = sum of independent runs; with variants below that),
+// reporting examined synthesis decisions as the design-time proxy.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "models/fig2.hpp"
+#include "support/table.hpp"
+#include "synth/strategies.hpp"
+
+namespace {
+
+using namespace spivar;
+
+void print_report() {
+  const synth::ImplLibrary lib = models::table1_library();
+  const synth::SynthesisProblem problem = models::table1_problem();
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+
+  const auto r1 = synth::synthesize_independent(lib, problem.apps[0], options);
+  const auto r2 = synth::synthesize_independent(lib, problem.apps[1], options);
+  const auto sup = synth::synthesize_superposition(lib, problem.apps, options);
+  const auto var = synth::synthesize_with_variants(lib, problem.apps, options);
+
+  synth::ExploreOptions greedy;
+  greedy.engine = synth::ExploreEngine::kGreedy;
+  const auto g1 = synth::synthesize_independent(lib, problem.apps[0], greedy);
+  const auto g2 = synth::synthesize_independent(lib, problem.apps[1], greedy);
+  const auto gsup = synth::synthesize_superposition(lib, problem.apps, greedy);
+  const auto gvar = synth::synthesize_with_variants(lib, problem.apps, greedy);
+
+  std::cout << "== T1: Table 1 'System Cost' ==\n\n";
+  support::TextTable table{
+      {"row", "total (paper)", "total (ours)", "time (paper)", "decisions (ours)"}};
+  table.add_row({"Application 1", "34", support::format_double(r1.cost.total, 0), "67",
+                 std::to_string(g1.decisions)});
+  table.add_row({"Application 2", "38", support::format_double(r2.cost.total, 0), "73",
+                 std::to_string(g2.decisions)});
+  table.add_row({"Superposition", "57", support::format_double(sup.cost.total, 0), "140",
+                 std::to_string(gsup.decisions)});
+  table.add_row({"With variants", "41", support::format_double(var.cost.total, 0), "118",
+                 std::to_string(gvar.decisions)});
+  std::cout << table;
+
+  std::cout << "\nshape checks:\n"
+            << "  paper: time(sup) = time(a1)+time(a2) (140 = 67+73); ours: "
+            << gsup.decisions << " vs " << g1.decisions + g2.decisions << " (+4 merge)\n"
+            << "  paper: time(var) < time(sup) (118 < 140); ours: " << gvar.decisions << " < "
+            << gsup.decisions << "\n"
+            << "  paper: cost(var) < cost(sup) (41 < 57); ours: " << var.cost.total << " < "
+            << sup.cost.total << "\n\n";
+}
+
+void BM_Table1_Exhaustive_Joint(benchmark::State& state) {
+  const synth::ImplLibrary lib = models::table1_library();
+  const synth::SynthesisProblem problem = models::table1_problem();
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+  for (auto _ : state) {
+    auto r = synth::synthesize_with_variants(lib, problem.apps, options);
+    benchmark::DoNotOptimize(r.cost.total);
+  }
+}
+BENCHMARK(BM_Table1_Exhaustive_Joint);
+
+void BM_Table1_Greedy_Joint(benchmark::State& state) {
+  const synth::ImplLibrary lib = models::table1_library();
+  const synth::SynthesisProblem problem = models::table1_problem();
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kGreedy;
+  for (auto _ : state) {
+    auto r = synth::synthesize_with_variants(lib, problem.apps, options);
+    benchmark::DoNotOptimize(r.cost.total);
+  }
+}
+BENCHMARK(BM_Table1_Greedy_Joint);
+
+void BM_Table1_AllFourRows(benchmark::State& state) {
+  const synth::ImplLibrary lib = models::table1_library();
+  const synth::SynthesisProblem problem = models::table1_problem();
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+  for (auto _ : state) {
+    auto a = synth::synthesize_independent(lib, problem.apps[0], options);
+    auto b = synth::synthesize_independent(lib, problem.apps[1], options);
+    auto c = synth::synthesize_superposition(lib, problem.apps, options);
+    auto d = synth::synthesize_with_variants(lib, problem.apps, options);
+    benchmark::DoNotOptimize(a.cost.total + b.cost.total + c.cost.total + d.cost.total);
+  }
+}
+BENCHMARK(BM_Table1_AllFourRows);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

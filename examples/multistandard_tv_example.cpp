@@ -1,0 +1,57 @@
+// Multi-standard TV: two *related* variant sets (video + audio standards)
+// selected together at boot — the motivating scenario of the paper's
+// introduction ("TV sets which can be adapted to different standards").
+#include <iostream>
+
+#include "models/multistandard_tv.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+#include "synth/from_model.hpp"
+#include "synth/strategies.hpp"
+#include "variant/flatten.hpp"
+
+int main() {
+  using namespace spivar;
+
+  const variant::VariantModel model = models::make_multistandard_tv();
+  std::cout << "=== multi-standard TV: " << model.interface_count()
+            << " linked variant sets, " << model.cluster_count() << " clusters ===\n\n";
+
+  const auto bindings = variant::enumerate_bindings(model);
+  std::cout << "consistent bindings (video/audio linked -> " << bindings.size()
+            << ", not 9):\n";
+  for (const auto& binding : bindings) {
+    std::cout << "  " << variant::binding_name(model, binding) << "\n";
+  }
+
+  std::cout << "\nboot-time selection per region:\n";
+  support::TextTable table{{"region", "video demod firings", "audio firings", "frames shown"}};
+  const char* regions[3] = {"PAL", "NTSC", "SECAM"};
+  const char* demods[3] = {"PPalDemod", "PNtscDemod", "PSecamDemod"};
+  const char* audios[3] = {"PAudioPal", "PAudioNtsc", "PAudioSecam"};
+  for (int region = 0; region < 3; ++region) {
+    const variant::VariantModel m =
+        models::make_multistandard_tv({.region = region, .frames = 25});
+    sim::SimResult r = sim::Simulator{m}.run();
+    table.add_row(
+        {regions[region],
+         std::to_string(r.process(*m.graph().find_process(demods[region])).firings),
+         std::to_string(r.process(*m.graph().find_process(audios[region])).firings),
+         std::to_string(r.process(*m.graph().find_process("PDisplay")).firings)});
+  }
+  std::cout << table;
+
+  // Synthesis across the three regions.
+  const synth::SynthesisProblem problem = synth::problem_from_model(model);
+  const synth::ImplLibrary lib = models::tv_library();
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+  const auto var = synth::synthesize_with_variants(lib, problem.apps, options);
+  const auto sup = synth::synthesize_superposition(lib, problem.apps, options);
+
+  std::cout << "\nsynthesis across regions:\n"
+            << "  superposition of per-region architectures: " << sup.cost.total << "\n"
+            << "  variant-aware joint synthesis:             " << var.cost.total << "\n"
+            << "  (mutually exclusive standards share resources -> cheaper or equal)\n";
+  return var.cost.total <= sup.cost.total ? 0 : 1;
+}

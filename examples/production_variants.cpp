@@ -1,0 +1,63 @@
+// Production variants: the automotive emission-control ECU (paper §1's
+// second motivating example).
+//
+// The variant is chosen by the designer at production time — no selection
+// machinery ships in the product. The example enumerates the variants,
+// flattens each into its production model, checks the sensor-to-injector
+// deadline per variant, renders an execution timeline, and synthesizes a
+// common architecture across all markets.
+#include <iostream>
+
+#include "analysis/timing.hpp"
+#include "models/emission_control.hpp"
+#include "sim/engine.hpp"
+#include "sim/timeline.hpp"
+#include "support/table.hpp"
+#include "synth/from_model.hpp"
+#include "synth/strategies.hpp"
+#include "variant/flatten.hpp"
+
+int main() {
+  using namespace spivar;
+
+  const variant::VariantModel model = models::make_emission_control({.samples = 20});
+  std::cout << "=== emission-control ECU: " << model.cluster_count()
+            << " production variants ===\n\n";
+
+  support::TextTable table{{"variant", "processes", "worst path latency", "deadline ok",
+                            "injector firings"}};
+  for (const auto& binding : variant::enumerate_bindings(model)) {
+    const variant::VariantModel flat = variant::flatten(model, binding);
+    const auto checks = analysis::check_latency_constraints(flat.graph());
+    sim::SimResult run = sim::Simulator{flat}.run();
+    table.add_row(
+        {variant::binding_name(model, binding),
+         std::to_string(flat.graph().process_count()),
+         checks[0].path_latency.to_string(), checks[0].guaranteed ? "yes" : "NO",
+         std::to_string(run.process(*flat.graph().find_process("PInjector")).firings)});
+  }
+  std::cout << table;
+
+  // Timeline of the EU variant.
+  std::cout << "\nEU variant execution timeline:\n";
+  const variant::VariantModel eu = variant::flatten(
+      model, {{*model.find_interface("emission-law"), *model.find_cluster("eu")}});
+  sim::SimOptions options;
+  options.record_trace = true;
+  sim::SimResult run = sim::Simulator{eu, options}.run();
+  std::cout << sim::render_timeline(eu.graph(), run, {.columns = 72});
+
+  // One architecture for all markets.
+  const synth::SynthesisProblem problem = synth::problem_from_model(
+      model, {.granularity = synth::ElementGranularity::kProcess});
+  const synth::ImplLibrary lib = models::emission_library();
+  synth::ExploreOptions explore;
+  explore.engine = synth::ExploreEngine::kExhaustive;
+  const auto var = synth::synthesize_with_variants(lib, problem.apps, explore);
+  const auto sup = synth::synthesize_superposition(lib, problem.apps, explore);
+
+  std::cout << "\ncommon architecture across the three markets:\n"
+            << "  superposition of per-market designs: " << sup.cost.total << "\n"
+            << "  variant-aware joint synthesis:       " << var.cost.total << "\n";
+  return var.feasible && var.cost.total <= sup.cost.total ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// The reconfigurable video system of the paper's Figure 4.
+//
+// Simulates the two-stage video chain with its controller and valve
+// processes through several dynamic variant switches, prints the
+// reconfiguration protocol trace, and compares the protocol with and without
+// the protective valves.
+#include <iostream>
+
+#include "models/video_system.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+spivar::models::VideoOutcome run(const spivar::models::VideoOptions& options,
+                                 bool print_trace = false) {
+  using namespace spivar;
+  const spi::Graph graph = models::make_video_system(options);
+  sim::SimOptions sim_options;
+  sim_options.record_trace = print_trace;
+  sim::SimResult result = sim::Simulator{graph, sim_options}.run();
+
+  if (print_trace) {
+    std::cout << "reconfiguration protocol (control-related trace events):\n";
+    int shown = 0;
+    for (const auto& event : result.trace.events()) {
+      if (event.subject != "PControl" && event.kind != sim::TraceKind::kReconfigure) continue;
+      if (shown++ > 24) break;
+      std::cout << "  " << event.time << " " << sim::to_string(event.kind) << " "
+                << event.subject << " [" << event.detail << "]\n";
+    }
+  }
+  return models::harvest_video_outcome(graph, result);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spivar;
+
+  // Frames dense enough that requests land while a frame is in flight
+  // between P1 and P2 — the situation the valves exist for.
+  models::VideoOptions options;
+  options.frames = 200;
+  options.requests = 4;
+  options.t_conf = support::Duration::millis(30);
+  options.frame_period = support::Duration::millis(7);
+  options.request_period = support::Duration::millis(333);
+
+  std::cout << "=== Figure 4 video system: 200 frames, 4 reconfiguration requests ===\n\n";
+  const models::VideoOutcome with_valves = run(options, /*print_trace=*/true);
+
+  models::VideoOptions no_output_valve = options;
+  no_output_valve.output_valve = false;
+  const models::VideoOutcome leaky = run(no_output_valve);
+
+  models::VideoOptions no_valves = options;
+  no_valves.output_valve = false;
+  no_valves.input_valve = false;
+  const models::VideoOutcome bare = run(no_valves);
+
+  std::cout << "\n";
+  support::TextTable table{
+      {"configuration", "ok frames", "repeated", "invalid leaked", "inputs dropped",
+       "reconfigs"}};
+  auto row = [&](const char* label, const models::VideoOutcome& o) {
+    table.add_row({label, std::to_string(o.ok_frames), std::to_string(o.repeat_frames),
+                   std::to_string(o.invalid_frames), std::to_string(o.dropped_inputs),
+                   std::to_string(o.reconfigurations)});
+  };
+  row("valves on (paper)", with_valves);
+  row("no output valve", leaky);
+  row("no valves", bare);
+  std::cout << table;
+
+  std::cout << "\nThe paper's claim made executable: with both valves, no invalid image\n"
+               "(one processed by inconsistent function variants) ever reaches the\n"
+               "output; without them, mismatched in-flight frames leak during\n"
+               "reconfiguration.\n";
+  return with_valves.invalid_frames == 0 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "analysis/buffer_bounds.hpp"
+
+#include <algorithm>
+
+namespace spivar::analysis {
+
+namespace {
+
+/// Max tokens/ms a single producer edge can push: hull over modes of
+/// production.hi / latency.lo. Infinite latency 0 treated as very fast.
+double edge_max_inflow(const spi::Process& p, support::EdgeId edge) {
+  double best = 0.0;
+  for (const spi::Mode& m : p.modes) {
+    const auto rate = m.production_on(edge);
+    if (rate.hi() <= 0) continue;
+    const double lat_ms = std::max(m.latency.lo().as_millis(), 1e-6);
+    best = std::max(best, static_cast<double>(rate.hi()) / lat_ms);
+  }
+  return best;
+}
+
+/// Min tokens/ms a consumer edge is guaranteed to drain when data is always
+/// available: hull over modes of consumption.lo / latency.hi. A mode that
+/// consumes nothing contributes zero (the process may starve the drain).
+double edge_min_drain(const spi::Process& p, support::EdgeId edge) {
+  double worst = -1.0;
+  for (const spi::Mode& m : p.modes) {
+    const auto rate = m.consumption_on(edge);
+    const double lat_ms = std::max(m.latency.hi().as_millis(), 1e-6);
+    const double drain = static_cast<double>(rate.lo()) / lat_ms;
+    worst = worst < 0 ? drain : std::min(worst, drain);
+  }
+  return std::max(worst, 0.0);
+}
+
+}  // namespace
+
+std::vector<ChannelFlow> analyze_buffers(const spi::Graph& graph) {
+  std::vector<ChannelFlow> out;
+  for (support::ChannelId cid : graph.channel_ids()) {
+    const spi::Channel& ch = graph.channel(cid);
+    ChannelFlow flow;
+    flow.channel = cid;
+    flow.name = ch.name;
+
+    if (ch.kind == spi::ChannelKind::kRegister) {
+      flow.flow = FlowClass::kRegister;
+      out.push_back(std::move(flow));
+      continue;
+    }
+
+    // Mutually exclusive writers never overlap: the worst single writer
+    // bounds the inflow.
+    for (support::EdgeId e : ch.producers) {
+      flow.max_inflow =
+          std::max(flow.max_inflow, edge_max_inflow(graph.process(graph.edge(e).process), e));
+    }
+    double drain = -1.0;
+    for (support::EdgeId e : ch.consumers) {
+      const double d = edge_min_drain(graph.process(graph.edge(e).process), e);
+      drain = drain < 0 ? d : std::min(drain, d);
+    }
+    flow.min_drain = std::max(drain, 0.0);
+
+    if (ch.producers.empty()) {
+      flow.flow = FlowClass::kSinkOnly;
+    } else if (ch.consumers.empty()) {
+      flow.flow = FlowClass::kSourceOnly;
+    } else if (flow.max_inflow <= flow.min_drain + 1e-12) {
+      flow.flow = FlowClass::kBalanced;
+    } else if (flow.min_drain <= 1e-12 && flow.max_inflow > 0.0) {
+      flow.flow = FlowClass::kPossiblyUnbounded;
+    } else {
+      flow.flow = FlowClass::kPossiblyUnbounded;
+    }
+
+    // A consumer that demands more than any producer can deliver starves.
+    if (flow.flow == FlowClass::kBalanced && flow.max_inflow <= 1e-12 && flow.min_drain > 0.0 &&
+        graph.channel(cid).initial_tokens == 0) {
+      flow.flow = FlowClass::kStarving;
+    }
+    out.push_back(std::move(flow));
+  }
+  return out;
+}
+
+}  // namespace spivar::analysis

@@ -1,0 +1,51 @@
+// Buffer (channel) flow analysis.
+//
+// Classifies every queue channel by comparing the producer's maximum token
+// inflow rate against the consumer's minimum drain rate, both derived from
+// the behavior intervals: inflow_max = max production per firing / shortest
+// firing latency; drain_min = min consumption per firing / longest latency.
+// Registers are always bounded (capacity 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spi/graph.hpp"
+
+namespace spivar::analysis {
+
+enum class FlowClass {
+  kBalanced,           ///< max inflow <= min drain: occupancy stays bounded
+  kPossiblyUnbounded,  ///< producer can outpace consumer: may grow without limit
+  kStarving,           ///< consumer demand exceeds any possible supply
+  kSourceOnly,         ///< no consumer (system output)
+  kSinkOnly,           ///< no producer (system input)
+  kRegister,           ///< register: bounded by construction
+};
+
+[[nodiscard]] constexpr const char* to_string(FlowClass c) noexcept {
+  switch (c) {
+    case FlowClass::kBalanced: return "balanced";
+    case FlowClass::kPossiblyUnbounded: return "possibly-unbounded";
+    case FlowClass::kStarving: return "starving";
+    case FlowClass::kSourceOnly: return "source-only";
+    case FlowClass::kSinkOnly: return "sink-only";
+    case FlowClass::kRegister: return "register";
+  }
+  return "?";
+}
+
+struct ChannelFlow {
+  support::ChannelId channel;
+  std::string name;
+  FlowClass flow = FlowClass::kBalanced;
+  /// Tokens per millisecond, hull over modes (0 when not applicable).
+  double max_inflow = 0.0;
+  double min_drain = 0.0;
+};
+
+/// Analyzes every channel of the graph. Mutually exclusive multi-writer
+/// channels use the worst single writer (they can never write concurrently).
+[[nodiscard]] std::vector<ChannelFlow> analyze_buffers(const spi::Graph& graph);
+
+}  // namespace spivar::analysis

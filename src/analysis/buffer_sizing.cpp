@@ -1,0 +1,37 @@
+#include "analysis/buffer_sizing.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "variant/flatten.hpp"
+
+namespace spivar::analysis {
+
+std::vector<CapacityRecommendation> recommend_capacities(const spi::Graph& graph,
+                                                         const SizingOptions& options) {
+  sim::SimResult run = sim::Simulator{graph, options.calibration}.run();
+
+  std::vector<CapacityRecommendation> out;
+  for (support::ChannelId cid : graph.channel_ids()) {
+    const spi::Channel& ch = graph.channel(cid);
+    if (ch.kind != spi::ChannelKind::kQueue) continue;
+    CapacityRecommendation rec;
+    rec.channel = cid;
+    rec.name = ch.name;
+    rec.observed_peak = run.channel(cid).max_occupancy;
+    rec.recommended = std::max<std::int64_t>(rec.observed_peak + options.margin, 1);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+spi::Graph apply_capacities(const spi::Graph& graph,
+                            const std::vector<CapacityRecommendation>& recs) {
+  variant::GraphClone clone = variant::clone_excluding(graph, {}, {});
+  for (const CapacityRecommendation& rec : recs) {
+    clone.graph.channel(clone.channel_map.at(rec.channel)).capacity = rec.recommended;
+  }
+  return std::move(clone.graph);
+}
+
+}  // namespace spivar::analysis

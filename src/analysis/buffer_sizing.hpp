@@ -1,0 +1,42 @@
+// Queue capacity recommendation from calibration runs.
+//
+// Channels are unbounded in the abstract model; an implementation needs
+// concrete FIFO depths. `recommend_capacities` runs the (deterministic)
+// simulator under the pessimistic resolution policy and recommends, per
+// queue channel, the observed high-water mark plus a safety margin — the
+// standard trace-driven sizing step of a synthesis flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/options.hpp"
+#include "spi/graph.hpp"
+
+namespace spivar::analysis {
+
+struct CapacityRecommendation {
+  support::ChannelId channel;
+  std::string name;
+  std::int64_t observed_peak = 0;   ///< max occupancy during calibration
+  std::int64_t recommended = 0;     ///< peak + margin (at least 1)
+};
+
+struct SizingOptions {
+  /// Extra slots on top of the observed peak (absolute).
+  std::int64_t margin = 1;
+  /// Simulation options for the calibration run; the default upper-bound
+  /// resolution maximizes burst sizes.
+  sim::SimOptions calibration{.resolution = sim::Resolution::kUpperBound};
+};
+
+/// Recommendations for every queue channel (registers are size-1 by
+/// construction and omitted).
+[[nodiscard]] std::vector<CapacityRecommendation> recommend_capacities(
+    const spi::Graph& graph, const SizingOptions& options = {});
+
+/// Applies recommendations to a copy of the graph (sets queue capacities).
+[[nodiscard]] spi::Graph apply_capacities(const spi::Graph& graph,
+                                          const std::vector<CapacityRecommendation>& recs);
+
+}  // namespace spivar::analysis

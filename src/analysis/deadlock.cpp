@@ -1,0 +1,126 @@
+#include "analysis/deadlock.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace spivar::analysis {
+
+namespace {
+
+using spi::ChannelKind;
+using support::ChannelId;
+using support::ProcessId;
+
+/// Queue channel from `from` to `to`, if any.
+std::vector<ChannelId> queue_channels_between(const spi::Graph& g, ProcessId from,
+                                              ProcessId to) {
+  std::vector<ChannelId> out;
+  for (support::EdgeId e : g.process(from).outputs) {
+    const ChannelId c = g.edge(e).channel;
+    if (g.channel(c).kind != ChannelKind::kQueue) continue;
+    for (ProcessId consumer : g.consumers_of(c)) {
+      if (consumer == to) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Cheapest consumption lower bound any mode of `p` needs from channel `c`.
+std::int64_t min_enabling_tokens(const spi::Graph& g, ProcessId p, ChannelId c) {
+  const auto edge = g.input_edge(p, c);
+  if (!edge) return 0;
+  std::int64_t best = -1;
+  for (const spi::Mode& m : g.process(p).modes) {
+    const auto rate = m.consumption_on(*edge);
+    best = best < 0 ? rate.lo() : std::min(best, rate.lo());
+  }
+  return std::max<std::int64_t>(best, 0);
+}
+
+}  // namespace
+
+std::string DeadlockedCycle::describe(const spi::Graph& graph) const {
+  std::string out = "cycle [";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += graph.process(cycle[i]).name;
+  }
+  out += "] holds " + std::to_string(initial_tokens) + " initial token(s), needs " +
+         std::to_string(required_tokens);
+  return out;
+}
+
+std::vector<DeadlockedCycle> find_structural_deadlocks(const spi::Graph& graph) {
+  const std::size_t n = graph.process_count();
+
+  // Successor adjacency restricted to queue channels.
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (ProcessId pid : graph.process_ids()) {
+    for (support::EdgeId e : graph.process(pid).outputs) {
+      const ChannelId c = graph.edge(e).channel;
+      if (graph.channel(c).kind != ChannelKind::kQueue) continue;
+      for (ProcessId next : graph.consumers_of(c)) {
+        succ[pid.index()].push_back(next.index());
+      }
+    }
+  }
+
+  // Enumerate simple cycles with a bounded DFS (models here are small; cap
+  // cycle length defensively).
+  constexpr std::size_t kMaxCycleLength = 16;
+  std::vector<DeadlockedCycle> result;
+  std::set<std::vector<std::size_t>> seen;  // canonical cycles
+
+  std::vector<std::size_t> stack;
+  std::vector<bool> on_stack(n, false);
+
+  std::function<void(std::size_t, std::size_t)> dfs = [&](std::size_t start, std::size_t u) {
+    if (stack.size() > kMaxCycleLength) return;
+    for (std::size_t v : succ[u]) {
+      if (v == start) {
+        // Canonicalize: rotate so the smallest index is first.
+        std::vector<std::size_t> cycle = stack;
+        const auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        if (!seen.insert(cycle).second) continue;
+
+        // Token accounting along the cycle.
+        DeadlockedCycle candidate;
+        std::int64_t initial = 0;
+        std::int64_t required = -1;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+          const ProcessId from{static_cast<std::uint32_t>(cycle[i])};
+          const ProcessId to{static_cast<std::uint32_t>(cycle[(i + 1) % cycle.size()])};
+          for (ChannelId c : queue_channels_between(graph, from, to)) {
+            initial += graph.channel(c).initial_tokens;
+            const std::int64_t need = min_enabling_tokens(graph, to, c);
+            if (need > 0) required = required < 0 ? need : std::min(required, need);
+          }
+          candidate.cycle.push_back(from);
+        }
+        if (required > 0 && initial < required) {
+          candidate.initial_tokens = initial;
+          candidate.required_tokens = required;
+          result.push_back(std::move(candidate));
+        }
+      } else if (!on_stack[v] && v > start) {  // enumerate each cycle from its min node
+        stack.push_back(v);
+        on_stack[v] = true;
+        dfs(start, v);
+        on_stack[v] = false;
+        stack.pop_back();
+      }
+    }
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    stack = {start};
+    on_stack.assign(n, false);
+    on_stack[start] = true;
+    dfs(start, start);
+  }
+  return result;
+}
+
+}  // namespace spivar::analysis

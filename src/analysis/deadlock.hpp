@@ -1,0 +1,32 @@
+// Structural deadlock analysis.
+//
+// A cycle of processes connected through queue channels deadlocks when the
+// total number of initial tokens on the cycle's channels cannot enable any
+// process on it (classic marked-graph condition, adapted to rate
+// intervals). Register channels never block a cycle (reads are
+// non-destructive and a register can always be overwritten). The check is
+// conservative in the safe direction: it reports cycles whose channels hold
+// fewer initial tokens than the cheapest enabling consumption along the
+// cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spi/graph.hpp"
+
+namespace spivar::analysis {
+
+struct DeadlockedCycle {
+  std::vector<support::ProcessId> cycle;   ///< processes on the cycle, in order
+  std::int64_t initial_tokens = 0;         ///< queue tokens initially on the cycle
+  std::int64_t required_tokens = 0;        ///< min tokens needed to enable some process
+  std::string describe(const spi::Graph& graph) const;
+};
+
+/// All simple queue-cycles that can never fire. Empty result = no structural
+/// deadlock found (cycles may still livelock on tags; the simulator's
+/// quiescence detection covers dynamic cases).
+[[nodiscard]] std::vector<DeadlockedCycle> find_structural_deadlocks(const spi::Graph& graph);
+
+}  // namespace spivar::analysis

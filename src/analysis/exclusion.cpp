@@ -1,0 +1,57 @@
+#include "analysis/exclusion.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "variant/flatten.hpp"
+
+namespace spivar::analysis {
+
+std::vector<ExclusiveGroup> exclusive_groups(const variant::VariantModel& model) {
+  std::vector<ExclusiveGroup> out;
+  std::set<support::InterfaceId> seen;
+  for (support::InterfaceId iid : model.interface_ids()) {
+    if (seen.contains(iid)) continue;
+    const auto linked = model.linked_group(iid);
+    for (support::InterfaceId g : linked) seen.insert(g);
+
+    ExclusiveGroup group;
+    for (support::InterfaceId g : linked) {
+      if (!group.interface_name.empty()) group.interface_name += "+";
+      group.interface_name += model.interface(g).name;
+    }
+    const std::size_t positions = model.interface(linked.front()).clusters.size();
+    group.alternatives.resize(positions);
+    for (support::InterfaceId g : linked) {
+      const variant::Interface& iface = model.interface(g);
+      for (std::size_t k = 0; k < iface.clusters.size(); ++k) {
+        const variant::Cluster& cl = model.cluster(iface.clusters[k]);
+        group.alternatives[k].insert(group.alternatives[k].end(), cl.processes.begin(),
+                                     cl.processes.end());
+      }
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+std::vector<ProcessId> active_processes(const variant::VariantModel& model,
+                                        const variant::FlattenChoice& choice) {
+  std::vector<ProcessId> out;
+  for (ProcessId pid : model.graph().process_ids()) {
+    const auto owner = model.cluster_of(pid);
+    if (!owner) {
+      out.push_back(pid);  // common part
+      continue;
+    }
+    const auto it = choice.find(model.cluster(*owner).interface);
+    if (it != choice.end() && it->second == *owner) out.push_back(pid);
+  }
+  return out;
+}
+
+bool can_coexist(const variant::VariantModel& model, ProcessId a, ProcessId b) {
+  return !model.mutually_exclusive(a, b);
+}
+
+}  // namespace spivar::analysis

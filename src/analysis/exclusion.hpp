@@ -1,0 +1,38 @@
+// Mutual-exclusion analysis over variant models.
+//
+// Derives which processes can never be simultaneously active — the property
+// the paper's §5 exploits: "Since the clusters Θ1 and Θ2 are mutually
+// exclusive at run-time, the available processor performance is not
+// exceeded." The synthesis cost model consumes these groups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "variant/flatten.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::analysis {
+
+using support::ProcessId;
+
+/// One set of pairwise mutually exclusive processes (e.g. all processes of
+/// cluster A vs. all of cluster B: the groups list the *alternatives*).
+struct ExclusiveGroup {
+  std::string interface_name;
+  /// alternatives[k] = processes active when cluster position k is selected.
+  std::vector<std::vector<ProcessId>> alternatives;
+};
+
+/// Exclusive groups, one per linked-interface group.
+[[nodiscard]] std::vector<ExclusiveGroup> exclusive_groups(const variant::VariantModel& model);
+
+/// Processes active under a given binding: the common part plus the chosen
+/// clusters' members.
+[[nodiscard]] std::vector<ProcessId> active_processes(const variant::VariantModel& model,
+                                                      const variant::FlattenChoice& choice);
+
+/// True when the two given sets of processes can coexist in some binding.
+[[nodiscard]] bool can_coexist(const variant::VariantModel& model, ProcessId a, ProcessId b);
+
+}  // namespace spivar::analysis

@@ -1,0 +1,141 @@
+#include "analysis/structure.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace spivar::analysis {
+
+std::optional<std::vector<ProcessId>> topological_order(const spi::Graph& graph) {
+  const std::size_t n = graph.process_count();
+  std::vector<int> indeg(n, 0);
+  std::vector<std::set<std::size_t>> succ(n);
+  for (ProcessId pid : graph.process_ids()) {
+    for (ProcessId next : graph.successors(pid)) {
+      if (next != pid && succ[pid.index()].insert(next.index()).second) {
+        ++indeg[next.index()];
+      }
+    }
+  }
+
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) queue.push_back(i);
+  }
+  std::vector<ProcessId> order;
+  order.reserve(n);
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    order.push_back(ProcessId{static_cast<std::uint32_t>(u)});
+    for (std::size_t v : succ[u]) {
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const spi::Graph& graph) { return topological_order(graph).has_value(); }
+
+std::vector<ProcessId> reachable_from(const spi::Graph& graph,
+                                      const std::vector<ProcessId>& seeds) {
+  std::set<ProcessId> seen(seeds.begin(), seeds.end());
+  std::deque<ProcessId> queue(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    const ProcessId u = queue.front();
+    queue.pop_front();
+    for (ProcessId v : graph.successors(u)) {
+      if (seen.insert(v).second) queue.push_back(v);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<ProcessId> source_processes(const spi::Graph& graph) {
+  std::vector<ProcessId> out;
+  for (ProcessId pid : graph.process_ids()) {
+    if (graph.process(pid).inputs.empty()) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<ProcessId> sink_processes(const spi::Graph& graph) {
+  std::vector<ProcessId> out;
+  for (ProcessId pid : graph.process_ids()) {
+    if (graph.process(pid).outputs.empty()) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<ProcessId> dead_processes(const spi::Graph& graph) {
+  // Channels that can never carry a token: no producer edge, no initial
+  // tokens. (Conservative: any producer is assumed to eventually write.)
+  std::set<ChannelId> barren;
+  for (ChannelId cid : graph.channel_ids()) {
+    const spi::Channel& ch = graph.channel(cid);
+    if (ch.producers.empty() && ch.initial_tokens == 0) barren.insert(cid);
+  }
+
+  std::vector<ProcessId> out;
+  for (ProcessId pid : graph.process_ids()) {
+    const spi::Process& p = graph.process(pid);
+    if (p.modes.empty()) continue;
+    bool every_mode_blocked = true;
+    for (const spi::Mode& m : p.modes) {
+      bool mode_blocked = false;
+      for (const auto& [edge, rate] : m.consumption) {
+        if (rate.lo() > 0 && barren.contains(graph.edge(edge).channel)) {
+          mode_blocked = true;
+          break;
+        }
+      }
+      if (!mode_blocked) {
+        every_mode_blocked = false;
+        break;
+      }
+    }
+    // A process with no consuming mode at all is a source, never dead.
+    bool consumes_anywhere = false;
+    for (const spi::Mode& m : p.modes) {
+      for (const auto& [edge, rate] : m.consumption) {
+        if (rate.lo() > 0) consumes_anywhere = true;
+      }
+    }
+    if (every_mode_blocked && consumes_anywhere) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<std::vector<ProcessId>> weak_components(const spi::Graph& graph) {
+  const std::size_t n = graph.process_count();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+  for (ChannelId cid : graph.channel_ids()) {
+    const auto producers = graph.producers_of(cid);
+    const auto consumers = graph.consumers_of(cid);
+    std::vector<ProcessId> all = producers;
+    all.insert(all.end(), consumers.begin(), consumers.end());
+    for (std::size_t i = 1; i < all.size(); ++i) unite(all[0].index(), all[i].index());
+  }
+
+  std::map<std::size_t, std::vector<ProcessId>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    groups[find(i)].push_back(ProcessId{static_cast<std::uint32_t>(i)});
+  }
+  std::vector<std::vector<ProcessId>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace spivar::analysis

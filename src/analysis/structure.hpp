@@ -1,0 +1,37 @@
+// Structural graph analyses: topology, reachability, dead elements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "spi/graph.hpp"
+
+namespace spivar::analysis {
+
+using support::ChannelId;
+using support::ProcessId;
+
+/// Topological order of the process graph (edges through channels), or
+/// nullopt when the graph is cyclic.
+[[nodiscard]] std::optional<std::vector<ProcessId>> topological_order(const spi::Graph& graph);
+
+[[nodiscard]] bool is_acyclic(const spi::Graph& graph);
+
+/// Processes reachable (forward, through channels) from the given seeds.
+[[nodiscard]] std::vector<ProcessId> reachable_from(const spi::Graph& graph,
+                                                    const std::vector<ProcessId>& seeds);
+
+/// Sources: processes with no input edges (typically environment models).
+[[nodiscard]] std::vector<ProcessId> source_processes(const spi::Graph& graph);
+/// Sinks: processes with no output edges.
+[[nodiscard]] std::vector<ProcessId> sink_processes(const spi::Graph& graph);
+
+/// Processes that can never activate: some mode-independent input channel can
+/// never carry a token (no producers, no initial tokens). Conservative: only
+/// flags processes where *every* mode requires such a channel.
+[[nodiscard]] std::vector<ProcessId> dead_processes(const spi::Graph& graph);
+
+/// Weakly connected components over processes (channels as connectors).
+[[nodiscard]] std::vector<std::vector<ProcessId>> weak_components(const spi::Graph& graph);
+
+}  // namespace spivar::analysis

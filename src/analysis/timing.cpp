@@ -1,0 +1,46 @@
+#include "analysis/timing.hpp"
+
+namespace spivar::analysis {
+
+DurationInterval process_latency_hull(const spi::Process& process,
+                                      bool include_reconfiguration) {
+  DurationInterval hull = process.modes.front().latency;
+  for (const spi::Mode& m : process.modes) hull = hull.hull(m.latency);
+
+  if (include_reconfiguration && process.has_configurations()) {
+    Duration worst = Duration::zero();
+    for (const spi::Configuration& conf : process.configurations) {
+      worst = std::max(worst, conf.t_conf);
+    }
+    hull = DurationInterval{hull.lo(), hull.hi() + worst};
+  }
+  return hull;
+}
+
+DurationInterval path_latency(const spi::Graph& graph,
+                              const std::vector<support::ProcessId>& path,
+                              bool include_reconfiguration) {
+  DurationInterval total{Duration::zero()};
+  for (support::ProcessId pid : path) {
+    total = total + process_latency_hull(graph.process(pid), include_reconfiguration);
+  }
+  return total;
+}
+
+std::vector<LatencyCheck> check_latency_constraints(const spi::Graph& graph,
+                                                    bool include_reconfiguration) {
+  std::vector<LatencyCheck> out;
+  for (const spi::LatencyPathConstraint& c : graph.constraints().latency) {
+    LatencyCheck check;
+    check.constraint = c.name;
+    check.bound = c.max_total;
+    check.path_latency = path_latency(graph, c.path, include_reconfiguration);
+    check.satisfiable = check.path_latency.lo() <= c.max_total;
+    check.guaranteed = check.path_latency.hi() <= c.max_total;
+    check.slack = c.max_total - check.path_latency.hi();
+    out.push_back(std::move(check));
+  }
+  return out;
+}
+
+}  // namespace spivar::analysis

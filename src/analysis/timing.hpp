@@ -1,0 +1,46 @@
+// Analytical timing: worst/best-case latency and constraint compliance.
+//
+// The paper (§2) refers to a constructive method for checking timing
+// constraints on SPI models. This module provides the analytical side: per
+// process the latency hull over all modes, per constraint the accumulated
+// best/worst-case path latency compared against the bound. The simulator
+// additionally *measures* the same constraints; tests cross-check both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spi/graph.hpp"
+#include "support/duration.hpp"
+
+namespace spivar::analysis {
+
+using support::Duration;
+using support::DurationInterval;
+
+/// Hull of a process's mode latencies (plus the largest possible
+/// reconfiguration latency when the process has Def. 4 configurations and
+/// `include_reconfiguration` is set).
+[[nodiscard]] DurationInterval process_latency_hull(const spi::Process& process,
+                                                    bool include_reconfiguration = false);
+
+struct LatencyCheck {
+  std::string constraint;
+  DurationInterval path_latency;  ///< accumulated best..worst case along the path
+  Duration bound{};
+  bool satisfiable = true;   ///< best case meets the bound
+  bool guaranteed = true;    ///< worst case meets the bound
+  Duration slack{};          ///< bound - worst case (negative when violated)
+};
+
+/// Checks every latency constraint of the graph analytically.
+/// `include_reconfiguration` charges each process's worst t_conf once.
+[[nodiscard]] std::vector<LatencyCheck> check_latency_constraints(
+    const spi::Graph& graph, bool include_reconfiguration = false);
+
+/// Worst-case end-to-end latency along an explicit process path.
+[[nodiscard]] DurationInterval path_latency(const spi::Graph& graph,
+                                            const std::vector<support::ProcessId>& path,
+                                            bool include_reconfiguration = false);
+
+}  // namespace spivar::analysis

@@ -1,0 +1,131 @@
+#include "models/emission_control.hpp"
+
+#include "spi/builder.hpp"
+
+namespace spivar::models {
+
+using support::Duration;
+using support::DurationInterval;
+using variant::PortDir;
+
+variant::VariantModel make_emission_control(const EmissionOptions& options) {
+  variant::VariantBuilder vb{"emission-control"};
+
+  auto crank = vb.queue("CCrank");
+  auto sensors = vb.queue("CSensors");
+  auto mixture = vb.queue("CMixture");
+  auto corrected = vb.queue("CCorrected");
+  auto inject = vb.queue("CInject");
+
+  vb.process("PCrank")
+      .mark_virtual()
+      .latency(DurationInterval{Duration::zero()})
+      .produces(crank, 1)
+      .min_period(options.sample_period)
+      .max_firings(options.samples);
+
+  // Common part: sensor fusion and mixture computation before the variant,
+  // injector driver after it.
+  vb.process("PSample")
+      .latency(DurationInterval{Duration::micros(300), Duration::micros(500)})
+      .consumes(crank, 1)
+      .produces(sensors, 1);
+  vb.process("PMixture")
+      .latency(DurationInterval{Duration::micros(400), Duration::micros(700)})
+      .consumes(sensors, 1)
+      .produces(mixture, 1);
+
+  auto law = vb.interface("emission-law");
+  vb.port(law, "in", PortDir::kInput, mixture);
+  vb.port(law, "out", PortDir::kOutput, corrected);
+
+  {
+    auto scope = vb.begin_cluster(law, "eu");
+    auto lambda = vb.queue("CLambdaEu");
+    auto cat = vb.queue("CCatEu");
+    vb.process("PLambdaEu")
+        .latency(DurationInterval{Duration::micros(500), Duration::micros(800)})
+        .consumes(mixture, 1)
+        .produces(lambda, 1);
+    vb.process("PCatModelEu")
+        .latency(DurationInterval{Duration::micros(600), Duration::micros(900)})
+        .consumes(lambda, 1)
+        .produces(cat, 1);
+    vb.process("PLimitEu")
+        .latency(DurationInterval{Duration::micros(200), Duration::micros(300)})
+        .consumes(cat, 1)
+        .produces(corrected, 1);
+    (void)scope;
+  }
+  {
+    auto scope = vb.begin_cluster(law, "us");
+    auto table = vb.queue("CTableUs");
+    vb.process("PLookupUs")
+        .latency(DurationInterval{Duration::micros(900), Duration::millis(2)})
+        .consumes(mixture, 1)
+        .produces(table, 1);
+    vb.process("PLimitUs")
+        .latency(DurationInterval{Duration::micros(300), Duration::micros(400)})
+        .consumes(table, 1)
+        .produces(corrected, 1);
+    (void)scope;
+  }
+  {
+    auto scope = vb.begin_cluster(law, "none");
+    vb.process("PPassthrough")
+        .latency(DurationInterval{Duration::micros(100)})
+        .consumes(mixture, 1)
+        .produces(corrected, 1);
+    (void)scope;
+  }
+
+  vb.process("PInjector")
+      .latency(DurationInterval{Duration::micros(200), Duration::micros(400)})
+      .consumes(corrected, 1)
+      .produces(inject, 1);
+  vb.process("PActuator")
+      .mark_virtual()
+      .latency(DurationInterval{Duration::zero()})
+      .consumes(inject, 1);
+
+  // Sensor-to-injector deadline: crosses the interface, so it constrains
+  // every variant after flattening.
+  vb.graph_builder().latency_constraint("sensor-to-injector",
+                                        {"PSample", "PMixture"}, Duration::millis(4));
+  return vb.take();
+}
+
+synth::ImplLibrary emission_library() {
+  synth::ImplLibrary lib;
+  lib.processor_cost = 12.0;
+  lib.processor_budget = 1.0;
+
+  lib.add("PSample", {.sw_load = 0.15, .sw_wcet = Duration::micros(500), .hw_cost = 8.0,
+                      .hw_wcet = Duration::micros(100)});
+  lib.add("PMixture", {.sw_load = 0.20, .sw_wcet = Duration::micros(700), .hw_cost = 11.0,
+                       .hw_wcet = Duration::micros(150)});
+  lib.add("PInjector", {.sw_load = 0.10, .sw_wcet = Duration::micros(400), .hw_cost = 7.0,
+                        .hw_wcet = Duration::micros(80)});
+
+  lib.add("PLambdaEu", {.sw_load = 0.25, .sw_wcet = Duration::micros(800), .hw_cost = 9.0,
+                        .hw_wcet = Duration::micros(200)});
+  lib.add("PCatModelEu", {.sw_load = 0.30, .sw_wcet = Duration::micros(900), .hw_cost = 13.0,
+                          .hw_wcet = Duration::micros(250)});
+  lib.add("PLimitEu", {.sw_load = 0.08, .sw_wcet = Duration::micros(300), .hw_cost = 5.0,
+                       .hw_wcet = Duration::micros(60)});
+
+  // 0.50 makes the US variant overload the processor in software too
+  // (0.15+0.20+0.10+0.50+0.10 = 1.05), so both law variants need one repair
+  // move — independently they pick their variant-specific limiter ASICs,
+  // jointly one shared PInjector ASIC fixes both markets at once.
+  lib.add("PLookupUs", {.sw_load = 0.50, .sw_wcet = Duration::millis(2), .hw_cost = 16.0,
+                        .hw_wcet = Duration::micros(400)});
+  lib.add("PLimitUs", {.sw_load = 0.10, .sw_wcet = Duration::micros(400), .hw_cost = 5.0,
+                       .hw_wcet = Duration::micros(80)});
+
+  lib.add("PPassthrough", {.sw_load = 0.02, .sw_wcet = Duration::micros(100), .hw_cost = 2.0,
+                           .hw_wcet = Duration::micros(20)});
+  return lib;
+}
+
+}  // namespace spivar::models

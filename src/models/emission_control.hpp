@@ -1,0 +1,38 @@
+// Automotive engine controller with emission-law variants — the paper's
+// second motivating example ("automotive control systems to be used in
+// countries with different emission laws", §1).
+//
+// Production variants: the variant is burned into the ECU at production
+// time (no selection machinery in the final product — flattening). The
+// common part samples sensors and drives the injectors; the variant part is
+// the emission strategy:
+//
+//   * "eu"  — two-stage strategy: lambda correction + catalyst model
+//             (3 processes, tighter timing)
+//   * "us"  — single-stage strategy with a bigger lookup process
+//   * "none" — passthrough calibration for markets without a law
+//
+// A latency constraint from sensor to injector crosses the interface; the
+// per-variant flattened systems must all satisfy it, which couples the
+// variant choice to the timing analysis — exactly the situation where a
+// single variant-annotated model pays off.
+#pragma once
+
+#include "support/duration.hpp"
+#include "synth/target.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::models {
+
+struct EmissionOptions {
+  std::int64_t samples = 60;  ///< sensor samples produced by the crank source
+  support::Duration sample_period = support::Duration::millis(4);
+};
+
+[[nodiscard]] variant::VariantModel make_emission_control(const EmissionOptions& options = {});
+
+/// Implementation library (process granularity) for the ECU synthesis
+/// example.
+[[nodiscard]] synth::ImplLibrary emission_library();
+
+}  // namespace spivar::models

@@ -1,0 +1,59 @@
+#include "models/fig1.hpp"
+
+#include "spi/builder.hpp"
+
+namespace spivar::models {
+
+using support::Duration;
+using support::Interval;
+
+spi::Graph make_fig1(const Fig1Options& options) {
+  spi::GraphBuilder b{"fig1"};
+
+  auto cin = b.queue("cin");
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+
+  b.process("PSrc")
+      .mark_virtual()
+      .latency(Duration::zero())
+      .produces(cin, 1)
+      .min_period(options.source_period)
+      .max_firings(options.source_firings);
+
+  // p1: determinate, 1 in / 2 out, 1ms; attaches the configured tag.
+  {
+    auto p1 = b.process("p1");
+    if (options.tagged) {
+      const char tag_name[2] = {options.tag, '\0'};
+      p1.latency(Duration::millis(1)).consumes(cin, 1).produces(c1, 2, {tag_name});
+    } else {
+      p1.latency(Duration::millis(1)).consumes(cin, 1).produces(c1, 2);
+    }
+  }
+
+  // p2: two modes with correlated parameters and tag-driven activation.
+  {
+    auto p2 = b.process("p2");
+    const auto in = p2.input(c1);
+    const auto out = p2.output(c2);
+    (void)in;
+    (void)out;
+    p2.mode("m1").latency(Duration::millis(3)).consume(c1, 1).produce(c2, 2);
+    p2.mode("m2").latency(Duration::millis(5)).consume(c1, 3).produce(c2, 5);
+    p2.rule("a1",
+            spi::Predicate::num_at_least(c1, 1) && spi::Predicate::has_tag(c1, b.tag("a")),
+            "m1");
+    p2.rule("a2",
+            spi::Predicate::num_at_least(c1, 3) && spi::Predicate::has_tag(c1, b.tag("b")),
+            "m2");
+  }
+
+  // p3: sink, 3ms.
+  b.process("p3").latency(Duration::millis(3)).consumes(c2, 1);
+
+  b.latency_constraint("end-to-end", {"p1", "p2", "p3"}, Duration::millis(12));
+  return b.take();
+}
+
+}  // namespace spivar::models

@@ -1,0 +1,36 @@
+// Figure 1 of the paper: the introductory SPI example.
+//
+//   PSrc --cin--> p1 --c1--> p2 --c2--> p3
+//
+// p1 is fully determinate: consumes 1 token, produces 2, latency 1 ms. p2 is
+// specified with intervals — consumption [1,3], production [2,5], latency
+// [3,5] ms — refined into two modes:
+//
+//   m1: latency 3 ms, consumes 1, produces 2   (enabled by tag 'a')
+//   m2: latency 5 ms, consumes 3, produces 5   (enabled by tag 'b')
+//
+// p1 adds tag 'a' or 'b' to every produced token (chosen by Fig1Options), so
+// p2's behavior is completely determinate, exactly as §2 argues.
+#pragma once
+
+#include <cstdint>
+
+#include "spi/graph.hpp"
+#include "support/duration.hpp"
+
+namespace spivar::models {
+
+struct Fig1Options {
+  /// Tag p1 attaches to produced tokens: 'a' enables m1, 'b' enables m2.
+  char tag = 'a';
+  /// When false, p1 attaches no tag: p2 has no enabled rule and never runs —
+  /// the "no tag on the first visible token" situation discussed in §2.
+  bool tagged = true;
+  /// Environment pacing of the virtual source.
+  support::Duration source_period = support::Duration::millis(10);
+  std::int64_t source_firings = 100;
+};
+
+[[nodiscard]] spi::Graph make_fig1(const Fig1Options& options = {});
+
+}  // namespace spivar::models

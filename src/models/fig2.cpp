@@ -1,0 +1,125 @@
+#include "models/fig2.hpp"
+
+#include "support/diagnostics.hpp"
+#include "synth/from_model.hpp"
+#include "variant/flatten.hpp"
+
+namespace spivar::models {
+
+using support::Duration;
+using variant::PortDir;
+
+namespace {
+
+/// Common scaffold of Figures 2 and 3. When `with_user` is set, the PUser /
+/// CV selection machinery of Figure 3 is added.
+variant::VariantModel build(const Fig2Options& options, bool with_user,
+                            const Fig3Options* fig3) {
+  variant::VariantBuilder vb{with_user ? "fig3" : "fig2"};
+
+  auto cin = vb.queue("CIn");
+  auto ci = vb.queue("Ci");
+  auto co = vb.queue("Co");
+  auto cout = vb.queue("COut");
+
+  vb.process("PSrc")
+      .mark_virtual()
+      .latency(Duration::zero())
+      .produces(cin, 1)
+      .min_period(options.source_period)
+      .max_firings(options.source_firings);
+
+  vb.process("PA").latency(Duration::millis(2)).consumes(cin, 1).produces(ci, 1);
+
+  auto theta = vb.interface("theta");
+  vb.port(theta, "i", PortDir::kInput, ci);
+  vb.port(theta, "o", PortDir::kOutput, co);
+
+  {
+    auto cluster1 = vb.begin_cluster(theta, "cluster1");
+    auto cx = vb.queue("CX");
+    vb.process("P1a").latency(Duration::millis(1)).consumes(ci, 1).produces(cx, 1);
+    vb.process("P1b").latency(Duration::millis(2)).consumes(cx, 1).produces(co, 1);
+    (void)cluster1;
+  }
+  {
+    auto cluster2 = vb.begin_cluster(theta, "cluster2");
+    auto cy1 = vb.queue("CY1");
+    auto cy2 = vb.queue("CY2");
+    vb.process("P2a").latency(Duration::millis(1)).consumes(ci, 1).produces(cy1, 2);
+    vb.process("P2b").latency(Duration::millis(1)).consumes(cy1, 1).produces(cy2, 1);
+    vb.process("P2c").latency(Duration::millis(2)).consumes(cy2, 2).produces(co, 1);
+    (void)cluster2;
+  }
+
+  vb.process("PB").latency(Duration::millis(1)).consumes(co, 1).produces(cout, 1);
+  vb.process("PSink").mark_virtual().latency(Duration::zero()).consumes(cout, 1);
+
+  if (with_user) {
+    auto cv = vb.queue("CV");
+    const char* tag = fig3->user_choice == 1 ? "V1" : "V2";
+    vb.process("PUser")
+        .mark_virtual()
+        .latency(Duration::zero())
+        .produces(cv, 1, {tag})
+        .max_firings(1);
+
+    // CV is an input port of the interface: the selection function observes
+    // it (Def. 3 predicates range over the interface's input channels).
+    vb.port(theta, "v", PortDir::kInput, cv);
+    vb.selection_rule(theta, "r1", spi::Predicate::has_tag(cv, vb.tag("V1")), "cluster1");
+    vb.selection_rule(theta, "r2", spi::Predicate::has_tag(cv, vb.tag("V2")), "cluster2");
+    vb.t_conf(theta, "cluster1", fig3->t_conf1);
+    vb.t_conf(theta, "cluster2", fig3->t_conf2);
+  }
+
+  return vb.take();
+}
+
+}  // namespace
+
+variant::VariantModel make_fig2(const Fig2Options& options) {
+  return build(options, /*with_user=*/false, nullptr);
+}
+
+variant::VariantModel make_fig3(const Fig3Options& options) {
+  if (options.user_choice != 1 && options.user_choice != 2) {
+    throw support::ModelError("fig3 user_choice must be 1 or 2");
+  }
+  return build(options, /*with_user=*/true, &options);
+}
+
+synth::ImplLibrary table1_library() {
+  synth::ImplLibrary lib;
+  lib.processor_cost = 15.0;
+  lib.processor_budget = 1.0;
+  // Loads calibrated so every single application overloads the processor
+  // fully in software (PA+PB+theta_i > 1) and the cheapest repairs are the
+  // paper's: move theta_i to hardware independently, move PA jointly.
+  lib.add("PA", {.sw_load = 0.50, .sw_wcet = Duration::millis(2), .hw_cost = 26.0,
+                 .hw_wcet = Duration::micros(400)});
+  lib.add("PB", {.sw_load = 0.30, .sw_wcet = Duration::millis(1), .hw_cost = 30.0,
+                 .hw_wcet = Duration::micros(300)});
+  lib.add("cluster1", {.sw_load = 0.60, .sw_wcet = Duration::millis(3), .hw_cost = 19.0,
+                       .hw_wcet = Duration::micros(600)});
+  lib.add("cluster2", {.sw_load = 0.65, .sw_wcet = Duration::millis(4), .hw_cost = 23.0,
+                       .hw_wcet = Duration::micros(800)});
+  return lib;
+}
+
+synth::SynthesisProblem table1_problem() {
+  const variant::VariantModel model = make_fig2();
+  synth::SynthesisProblem problem = synth::problem_from_model(
+      model, {.granularity = synth::ElementGranularity::kClusterAtomic});
+  // Paper-facing application names.
+  for (synth::Application& app : problem.apps) {
+    if (app.name.find("cluster1") != std::string::npos) {
+      app.name = "Application 1";
+    } else if (app.name.find("cluster2") != std::string::npos) {
+      app.name = "Application 2";
+    }
+  }
+  return problem;
+}
+
+}  // namespace spivar::models

@@ -1,0 +1,59 @@
+// Figures 2/3 of the paper and the Table 1 synthesis inputs.
+//
+// Figure 2 — a system with two function variants:
+//
+//   PSrc -> CIn -> PA -> Ci -> [Interface theta] -> Co -> PB -> COut
+//
+// where interface `theta` carries cluster1 (processes P1a -> P1b) and
+// cluster2 (P2a -> P2b -> P2c), both port-compatible {i: Ci, o: Co}.
+//
+// Figure 3 adds run-time variant selection: a virtual user process writes
+// one token tagged 'V1' or 'V2' on channel CV; the interface's cluster
+// selection function maps the tag to a cluster, paying the configuration
+// latency t_conf.
+//
+// Table 1 — the implementation library calibrated so that *optimal* synthesis
+// reproduces the paper's numbers: processor cost 15; ASIC costs theta1=19,
+// theta2=23, PA=26; software loads make each application infeasible fully in
+// software. Independent synthesis then picks {PA,PB}->SW + theta_i->HW
+// (totals 34/38), superposition accumulates both ASICs (57), and joint
+// variant-aware synthesis discovers PA->HW + {theta1,theta2,PB}->SW (41),
+// because the mutually exclusive clusters share the processor.
+#pragma once
+
+#include <cstdint>
+
+#include "support/duration.hpp"
+#include "synth/target.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::models {
+
+struct Fig2Options {
+  support::Duration source_period = support::Duration::millis(10);
+  std::int64_t source_firings = 50;
+};
+
+/// Figure 2: production-variant system (no selection function).
+[[nodiscard]] variant::VariantModel make_fig2(const Fig2Options& options = {});
+
+struct Fig3Options : Fig2Options {
+  /// Which variant the user selects at start-up: 1 or 2.
+  int user_choice = 1;
+  /// Configuration latencies (Def. 3).
+  support::Duration t_conf1 = support::Duration::millis(2);
+  support::Duration t_conf2 = support::Duration::millis(3);
+};
+
+/// Figure 3: the same system with run-time variant selection via PUser/CV.
+[[nodiscard]] variant::VariantModel make_fig3(const Fig3Options& options = {});
+
+/// The calibrated Table 1 implementation library (cluster-atomic elements
+/// "PA", "PB", "cluster1", "cluster2").
+[[nodiscard]] synth::ImplLibrary table1_library();
+
+/// The two applications of Table 1 (Application 1 uses cluster1, Application
+/// 2 uses cluster2), derived from the Figure 2 model.
+[[nodiscard]] synth::SynthesisProblem table1_problem();
+
+}  // namespace spivar::models

@@ -1,0 +1,148 @@
+#include "models/multistandard_tv.hpp"
+
+#include "spi/builder.hpp"
+#include "support/diagnostics.hpp"
+
+namespace spivar::models {
+
+using spi::Predicate;
+using support::Duration;
+using variant::PortDir;
+
+variant::VariantModel make_multistandard_tv(const TvOptions& options) {
+  if (options.region < 0 || options.region > 2) {
+    throw support::ModelError("TV region must be 0 (PAL), 1 (NTSC) or 2 (SECAM)");
+  }
+  variant::VariantBuilder vb{"multistandard-tv"};
+
+  // --- common front end ---------------------------------------------------
+  auto antenna = vb.queue("CAntenna");
+  auto cvideo_in = vb.queue("CVideoIn");
+  auto caudio_in = vb.queue("CAudioIn");
+  auto cvideo_out = vb.queue("CVideoOut");
+  auto caudio_out = vb.queue("CAudioOut");
+  auto cregion = vb.queue("CRegion");
+
+  vb.process("PAerial")
+      .mark_virtual()
+      .latency(Duration::zero())
+      .produces(antenna, 1)
+      .min_period(options.frame_period)
+      .max_firings(options.frames);
+
+  // Tuner splits the broadcast signal into a video and an audio stream.
+  vb.process("PTuner")
+      .latency(Duration::millis(1))
+      .consumes(antenna, 1)
+      .produces(cvideo_in, 1)
+      .produces(caudio_in, 1);
+
+  const char* region_tag = options.region == 0 ? "PAL" : options.region == 1 ? "NTSC" : "SECAM";
+  vb.process("PBoot")
+      .mark_virtual()
+      .latency(Duration::zero())
+      .produces(cregion, 1, {region_tag})
+      .max_firings(1);
+
+  // --- video variant set ---------------------------------------------------
+  auto video = vb.interface("video");
+  vb.port(video, "in", PortDir::kInput, cvideo_in);
+  vb.port(video, "out", PortDir::kOutput, cvideo_out);
+  vb.port(video, "sel", PortDir::kInput, cregion);
+
+  struct Standard {
+    const char* cluster;
+    const char* demod;
+    const char* decode;
+    int lat_demod_ms;
+    int lat_decode_ms;
+  };
+  const Standard standards[3] = {
+      {"pal", "PPalDemod", "PPalDecode", 2, 3},
+      {"ntsc", "PNtscDemod", "PNtscDecode", 2, 2},
+      {"secam", "PSecamDemod", "PSecamDecode", 3, 3},
+  };
+  for (const Standard& s : standards) {
+    auto scope = vb.begin_cluster(video, s.cluster);
+    auto mid = vb.queue(std::string("CV_") + s.cluster);
+    vb.process(s.demod)
+        .latency(Duration::millis(s.lat_demod_ms))
+        .consumes(cvideo_in, 1)
+        .produces(mid, 1);
+    vb.process(s.decode)
+        .latency(Duration::millis(s.lat_decode_ms))
+        .consumes(mid, 1)
+        .produces(cvideo_out, 1);
+    (void)scope;
+  }
+  vb.selection_rule(video, "selPAL", Predicate::has_tag(cregion, vb.tag("PAL")), "pal");
+  vb.selection_rule(video, "selNTSC", Predicate::has_tag(cregion, vb.tag("NTSC")), "ntsc");
+  vb.selection_rule(video, "selSECAM", Predicate::has_tag(cregion, vb.tag("SECAM")), "secam");
+  vb.t_conf(video, "pal", Duration::millis(4));
+  vb.t_conf(video, "ntsc", Duration::millis(4));
+  vb.t_conf(video, "secam", Duration::millis(5));
+
+  // --- audio variant set -----------------------------------------------------
+  auto audio = vb.interface("audio");
+  vb.port(audio, "in", PortDir::kInput, caudio_in);
+  vb.port(audio, "out", PortDir::kOutput, caudio_out);
+  vb.port(audio, "sel", PortDir::kInput, cregion);
+
+  const char* audio_names[3] = {"audio_pal", "audio_ntsc", "audio_secam"};
+  const char* audio_procs[3] = {"PAudioPal", "PAudioNtsc", "PAudioSecam"};
+  for (int k = 0; k < 3; ++k) {
+    auto scope = vb.begin_cluster(audio, audio_names[k]);
+    vb.process(audio_procs[k])
+        .latency(Duration::millis(1))
+        .consumes(caudio_in, 1)
+        .produces(caudio_out, 1);
+    (void)scope;
+  }
+  vb.selection_rule(audio, "selPAL", Predicate::has_tag(cregion, vb.tag("PAL")), "audio_pal");
+  vb.selection_rule(audio, "selNTSC", Predicate::has_tag(cregion, vb.tag("NTSC")),
+                    "audio_ntsc");
+  vb.selection_rule(audio, "selSECAM", Predicate::has_tag(cregion, vb.tag("SECAM")),
+                    "audio_secam");
+  vb.t_conf(audio, "audio_pal", Duration::millis(1));
+  vb.t_conf(audio, "audio_ntsc", Duration::millis(1));
+  vb.t_conf(audio, "audio_secam", Duration::millis(1));
+
+  // Region selects video and audio together.
+  vb.link(video, audio);
+
+  // --- common back end ---------------------------------------------------------
+  vb.process("PDisplay").latency(Duration::millis(2)).consumes(cvideo_out, 1);
+  vb.process("PSpeaker").latency(Duration::millis(1)).consumes(caudio_out, 1);
+
+  return vb.take();
+}
+
+synth::ImplLibrary tv_library() {
+  synth::ImplLibrary lib;
+  lib.processor_cost = 20.0;
+  lib.processor_budget = 1.0;
+
+  lib.add("PTuner", {.sw_load = 0.15, .sw_wcet = Duration::millis(1), .hw_cost = 12.0,
+                     .hw_wcet = Duration::micros(200)});
+  lib.add("PDisplay", {.sw_load = 0.40, .sw_wcet = Duration::millis(2), .hw_cost = 18.0,
+                       .hw_wcet = Duration::micros(500)});
+  lib.add("PSpeaker", {.sw_load = 0.10, .sw_wcet = Duration::millis(1), .hw_cost = 14.0,
+                       .hw_wcet = Duration::micros(300)});
+
+  lib.add("pal", {.sw_load = 0.45, .sw_wcet = Duration::millis(5), .hw_cost = 22.0,
+                  .hw_wcet = Duration::millis(1)});
+  lib.add("ntsc", {.sw_load = 0.40, .sw_wcet = Duration::millis(4), .hw_cost = 21.0,
+                   .hw_wcet = Duration::millis(1)});
+  lib.add("secam", {.sw_load = 0.50, .sw_wcet = Duration::millis(6), .hw_cost = 24.0,
+                    .hw_wcet = Duration::millis(1)});
+
+  lib.add("audio_pal", {.sw_load = 0.10, .sw_wcet = Duration::millis(1), .hw_cost = 9.0,
+                        .hw_wcet = Duration::micros(200)});
+  lib.add("audio_ntsc", {.sw_load = 0.10, .sw_wcet = Duration::millis(1), .hw_cost = 9.0,
+                         .hw_wcet = Duration::micros(200)});
+  lib.add("audio_secam", {.sw_load = 0.12, .sw_wcet = Duration::millis(1), .hw_cost = 10.0,
+                          .hw_wcet = Duration::micros(200)});
+  return lib;
+}
+
+}  // namespace spivar::models

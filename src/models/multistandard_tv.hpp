@@ -1,0 +1,42 @@
+// Multi-standard TV set — the motivating example of the paper's §1.
+//
+// Two *related* variant sets (paper: "There may be several of those variant
+// sets in one embedded system ... The variant selection for these sets may
+// be related or independent"):
+//
+//   * video decoding: PAL / NTSC / SECAM   (interface "video")
+//   * audio decoding: one variant per region (interface "audio")
+//
+// The interfaces are linked: selecting region k binds both to position k, so
+// the system has 3 consistent bindings, not 9. Selection is a run-time
+// variant: a boot process writes one region token observed by both
+// interfaces.
+//
+// The companion implementation library is calibrated so that variant-aware
+// synthesis shares a hardware color decoder across regions while the
+// mutually exclusive standard-specific demodulators stay in software.
+#pragma once
+
+#include <cstdint>
+
+#include "support/duration.hpp"
+#include "synth/target.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::models {
+
+struct TvOptions {
+  /// Region selected at boot: 0 = PAL, 1 = NTSC, 2 = SECAM.
+  int region = 0;
+  support::Duration frame_period = support::Duration::millis(20);
+  std::int64_t frames = 50;
+};
+
+[[nodiscard]] variant::VariantModel make_multistandard_tv(const TvOptions& options = {});
+
+/// Implementation library for the TV synthesis example (element names match
+/// the model's processes; cluster-atomic names are "pal", "ntsc", "secam",
+/// "audio_pal", "audio_ntsc", "audio_secam").
+[[nodiscard]] synth::ImplLibrary tv_library();
+
+}  // namespace spivar::models

@@ -1,0 +1,139 @@
+#include "models/synthetic.hpp"
+
+#include <string>
+#include <vector>
+
+#include "spi/builder.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "variant/flatten.hpp"
+
+namespace spivar::models {
+
+using support::Duration;
+using variant::PortDir;
+
+variant::VariantModel make_synthetic(const SyntheticSpec& spec) {
+  if (spec.variants < 1 || spec.cluster_size < 1) {
+    throw support::ModelError("synthetic spec needs at least one variant and one process");
+  }
+  variant::VariantBuilder vb{"synthetic"};
+  support::SplitMix64 rng{spec.seed};
+
+  auto latency = [&rng]() {
+    return Duration::millis(1 + static_cast<std::int64_t>(rng.next_below(5)));
+  };
+
+  // Shared chain segments alternate with interfaces:
+  //   src -> S0 .. -> [iface0] -> Sk .. -> [iface1] -> ... -> sink
+  auto source_channel = vb.queue("c_src");
+  vb.process("src")
+      .mark_virtual()
+      .latency(Duration::zero())
+      .produces(source_channel, 1)
+      .min_period(Duration::millis(10))
+      .max_firings(100);
+
+  spi::ChannelId upstream = source_channel;
+  std::size_t shared_built = 0;
+  std::size_t channel_counter = 0;
+
+  auto add_shared = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto next = vb.queue("c" + std::to_string(channel_counter++));
+      vb.process("S" + std::to_string(shared_built++))
+          .latency(latency())
+          .consumes(upstream, 1)
+          .produces(next, 1);
+      upstream = next;
+    }
+  };
+
+  const std::size_t segments = spec.interfaces + 1;
+  const std::size_t per_segment = spec.shared_processes / segments;
+  std::size_t remainder = spec.shared_processes % segments;
+
+  for (std::size_t k = 0; k < spec.interfaces; ++k) {
+    add_shared(per_segment + (remainder > 0 ? 1 : 0));
+    if (remainder > 0) --remainder;
+
+    auto out = vb.queue("c" + std::to_string(channel_counter++));
+    auto iface = vb.interface("iface" + std::to_string(k));
+    vb.port(iface, "i", PortDir::kInput, upstream);
+    vb.port(iface, "o", PortDir::kOutput, out);
+
+    for (std::size_t v = 0; v < spec.variants; ++v) {
+      const std::string cluster_name =
+          "i" + std::to_string(k) + "v" + std::to_string(v);
+      auto scope = vb.begin_cluster(iface, cluster_name);
+      spi::ChannelId inner = upstream;
+      for (std::size_t p = 0; p < spec.cluster_size; ++p) {
+        const bool last = p + 1 == spec.cluster_size;
+        spi::ChannelId next = out;
+        if (!last) {
+          next = vb.queue(cluster_name + "_c" + std::to_string(p));
+        }
+        vb.process(cluster_name + "_p" + std::to_string(p))
+            .latency(latency())
+            .consumes(inner, 1)
+            .produces(next, 1);
+        inner = next;
+      }
+      (void)scope;
+    }
+    upstream = out;
+  }
+  add_shared(per_segment);
+
+  vb.process("sink").mark_virtual().latency(Duration::zero()).consumes(upstream, 1);
+  return vb.take();
+}
+
+synth::ImplLibrary make_synthetic_library(const variant::VariantModel& model,
+                                          const SyntheticLibraryOptions& options) {
+  support::SplitMix64 rng{options.seed};
+
+  // Collect non-virtual processes and the size of one variant (common part
+  // plus one cluster per interface) so loads can be normalized.
+  std::vector<std::string> names;
+  for (support::ProcessId pid : model.graph().process_ids()) {
+    const spi::Process& p = model.graph().process(pid);
+    if (!p.is_virtual) names.push_back(p.name);
+  }
+
+  std::size_t single_variant_count = 0;
+  for (support::ProcessId pid : model.graph().process_ids()) {
+    const spi::Process& p = model.graph().process(pid);
+    if (p.is_virtual) continue;
+    const auto owner = model.cluster_of(pid);
+    if (!owner) {
+      ++single_variant_count;
+      continue;
+    }
+    // Count only position-0 clusters: one variant's worth of processes.
+    const variant::Interface& iface = model.interface(model.cluster(*owner).interface);
+    if (!iface.clusters.empty() && iface.clusters.front() == *owner) ++single_variant_count;
+  }
+  if (single_variant_count == 0) single_variant_count = 1;
+
+  const double mean_load = options.target_single_variant_load /
+                           static_cast<double>(single_variant_count);
+
+  synth::ImplLibrary lib;
+  lib.processor_cost = options.processor_cost;
+  lib.processor_budget = options.processor_budget;
+  for (const std::string& name : names) {
+    synth::ElementImpl impl;
+    // Load in [0.5, 1.5] x mean; hardware cost roughly proportional to load
+    // with noise, so cheap relief moves exist but are not free.
+    const double jitter = 0.5 + rng.next_double();
+    impl.sw_load = mean_load * jitter;
+    impl.sw_wcet = Duration::micros(static_cast<std::int64_t>(1000.0 * impl.sw_load * 10.0));
+    impl.hw_cost = 10.0 + 40.0 * impl.sw_load + 5.0 * rng.next_double();
+    impl.hw_wcet = Duration::micros(static_cast<std::int64_t>(1000.0 * impl.sw_load * 2.0));
+    lib.add(name, impl);
+  }
+  return lib;
+}
+
+}  // namespace spivar::models

@@ -1,0 +1,311 @@
+#include "models/video_system.hpp"
+
+#include "spi/builder.hpp"
+
+namespace spivar::models {
+
+using spi::Predicate;
+using support::Duration;
+
+namespace {
+
+/// Builds one abstracted chain process (P1-like or P2-like) with variant
+/// configurations A/B. `stage` is 1 or 2; stage 2 additionally classifies
+/// frames as consistent ('ok') or mismatched ('invalid') using the variant
+/// stamp attached by stage 1.
+void build_stage(spi::GraphBuilder& b, int stage, spi::ChannelId video_in,
+                 spi::ChannelId video_out, spi::ChannelId req, spi::ChannelId con,
+                 Duration t_conf) {
+  const std::string name = "P" + std::to_string(stage);
+  auto p = b.process(name);
+
+  // Own state register: which variant the process is configured for. The
+  // acknowledge modes write it; the run modes read it. This realizes the
+  // paper's observation that the mode of the next execution depends on the
+  // incoming data only — conf_cur itself is not visible to predicates.
+  auto state = b.reg("R" + std::to_string(stage)).initial(1, {"A"}).mark_virtual();
+
+  const auto tag_va = b.tag("VA");
+  const auto tag_vb = b.tag("VB");
+  const auto tag_a = b.tag("A");
+  const auto tag_b = b.tag("B");
+  const auto tag_fa = b.tag("fA");
+  const auto tag_fb = b.tag("fB");
+
+  if (stage == 1) {
+    // Run modes stamp frames with the active variant.
+    p.mode("runA").latency(Duration::millis(4)).consume(video_in, 1).produce(video_out, 1,
+                                                                             {"fA"});
+    p.mode("runB").latency(Duration::millis(4)).consume(video_in, 1).produce(video_out, 1,
+                                                                             {"fB"});
+  } else {
+    // Stage 2 classifies: frame stamp matches own variant -> 'ok', else
+    // 'invalid'. Four run modes (2 variants x match/mismatch).
+    p.mode("runA").latency(Duration::millis(3)).consume(video_in, 1).produce(video_out, 1,
+                                                                             {"ok"});
+    p.mode("runB").latency(Duration::millis(3)).consume(video_in, 1).produce(video_out, 1,
+                                                                             {"ok"});
+    p.mode("misA").latency(Duration::millis(3)).consume(video_in, 1).produce(video_out, 1,
+                                                                             {"invalid"});
+    p.mode("misB").latency(Duration::millis(3)).consume(video_in, 1).produce(video_out, 1,
+                                                                             {"invalid"});
+  }
+
+  // Acknowledge modes: consume the request, confirm completion, move the
+  // state register. The confirm token is "part of the selected mode", not of
+  // the reconfiguration step (§5).
+  p.mode("ackA")
+      .latency(Duration::micros(500))
+      .consume(req, 1)
+      .produce(con, 1, {"done"})
+      .produce(state, 1, {"A"});
+  p.mode("ackB")
+      .latency(Duration::micros(500))
+      .consume(req, 1)
+      .produce(con, 1, {"done"})
+      .produce(state, 1, {"B"});
+
+  // The rules observe the state register: declare the (non-destructive)
+  // read edge explicitly.
+  p.input(state);
+
+  // Requests take priority over frame processing.
+  p.rule("reqA", Predicate::num_at_least(req, 1) && Predicate::has_tag(req, tag_va), "ackA");
+  p.rule("reqB", Predicate::num_at_least(req, 1) && Predicate::has_tag(req, tag_vb), "ackB");
+  if (stage == 1) {
+    p.rule("runA", Predicate::num_at_least(video_in, 1) && Predicate::has_tag(state, tag_a),
+           "runA");
+    p.rule("runB", Predicate::num_at_least(video_in, 1) && Predicate::has_tag(state, tag_b),
+           "runB");
+  } else {
+    p.rule("okA",
+           Predicate::num_at_least(video_in, 1) && Predicate::has_tag(video_in, tag_fa) &&
+               Predicate::has_tag(state, tag_a),
+           "runA");
+    p.rule("okB",
+           Predicate::num_at_least(video_in, 1) && Predicate::has_tag(video_in, tag_fb) &&
+               Predicate::has_tag(state, tag_b),
+           "runB");
+    p.rule("misA", Predicate::num_at_least(video_in, 1) && Predicate::has_tag(state, tag_a),
+           "misA");
+    p.rule("misB", Predicate::num_at_least(video_in, 1) && Predicate::has_tag(state, tag_b),
+           "misB");
+  }
+
+  // Def. 4 configurations: modes extracted from variant A form confA, etc.
+  if (stage == 1) {
+    p.configuration("confA", {"runA", "ackA"}, t_conf);
+    p.configuration("confB", {"runB", "ackB"}, t_conf);
+  } else {
+    p.configuration("confA", {"runA", "misA", "ackA"}, t_conf);
+    p.configuration("confB", {"runB", "misB", "ackB"}, t_conf);
+  }
+  // The system boots configured for variant A.
+  b.graph().process(p.id()).initial_configuration = support::ConfigurationId{0};
+}
+
+}  // namespace
+
+spi::Graph make_video_system(const VideoOptions& options) {
+  spi::GraphBuilder b{"video-system"};
+
+  // --- channels ---------------------------------------------------------------
+  auto cvin = b.queue("CVin");
+  auto cv1 = b.queue("CV1");
+  auto cv2 = b.queue("CV2");
+  auto cv3 = b.queue("CV3");
+  auto cvout = b.queue("CVout");
+
+  auto cuser = b.queue("CUser");
+  auto cctrl = b.reg("CCTRL").initial(1, {"idle"});
+  auto cin = b.reg("CIn").initial(1, {"run"});
+  auto ccout = b.reg("COut").initial(1, {"run"});
+  auto creq1 = b.queue("CReq1");
+  auto ccon1 = b.queue("CCon1");
+  auto creq2 = b.queue("CReq2");
+  auto ccon2 = b.queue("CCon2");
+
+  const auto tag_suspend = b.tag("suspend");
+  const auto tag_run = b.tag("run");
+  const auto tag_idle = b.tag("idle");
+  const auto tag_wait = b.tag("wait");
+  const auto tag_to_a = b.tag("toA");
+  const auto tag_to_b = b.tag("toB");
+  const auto tag_ok = b.tag("ok");
+  const auto tag_invalid = b.tag("invalid");
+  const auto tag_out_ok = b.tag("out_ok");
+  const auto tag_out_repeat = b.tag("out_repeat");
+  const auto tag_out_invalid = b.tag("out_invalid");
+
+  // --- video source -------------------------------------------------------------
+  b.process("VIn")
+      .mark_virtual()
+      .latency(Duration::zero())
+      .produces(cvin, 1)
+      .min_period(options.frame_period)
+      .max_firings(options.frames);
+
+  // --- input valve PIn -------------------------------------------------------------
+  {
+    auto pin = b.process("PIn");
+    pin.mode("pass").latency(Duration::millis(1)).consume(cvin, 1).produce(cv1, 1);
+    pin.mode("drop").latency(Duration::millis(1)).consume(cvin, 1);
+    pin.input(cin);  // observes the control register
+    if (options.input_valve) {
+      pin.rule("suspended",
+               Predicate::num_at_least(cvin, 1) && Predicate::has_tag(cin, tag_suspend),
+               "drop");
+    }
+    pin.rule("normal", Predicate::num_at_least(cvin, 1), "pass");
+  }
+
+  // --- chain stages ------------------------------------------------------------------
+  build_stage(b, 1, cv1, cv2, creq1, ccon1, options.t_conf);
+  build_stage(b, 2, cv2, cv3, creq2, ccon2, options.t_conf);
+
+  // --- output valve POut -----------------------------------------------------------------
+  {
+    auto pout = b.process("POut");
+    pout.mode("pass").latency(Duration::millis(1)).consume(cv3, 1).produce(cvout, 1,
+                                                                           {"out_ok"});
+    pout.mode("repeat").latency(Duration::millis(1)).consume(cv3, 1).produce(cvout, 1,
+                                                                             {"out_repeat"});
+    pout.mode("leak").latency(Duration::millis(1)).consume(cv3, 1).produce(cvout, 1,
+                                                                           {"out_invalid"});
+    pout.input(ccout);  // observes the control register
+    if (options.output_valve) {
+      // While suspended, or whenever a mismatched frame arrives, output the
+      // last complete image instead.
+      pout.rule("suspended",
+                Predicate::num_at_least(cv3, 1) && Predicate::has_tag(ccout, tag_suspend),
+                "repeat");
+      pout.rule("mask",
+                Predicate::num_at_least(cv3, 1) && Predicate::has_tag(cv3, tag_invalid),
+                "repeat");
+      pout.rule("normal", Predicate::num_at_least(cv3, 1) && Predicate::has_tag(cv3, tag_ok),
+                "pass");
+    } else {
+      pout.rule("normal", Predicate::num_at_least(cv3, 1) && Predicate::has_tag(cv3, tag_ok),
+                "pass");
+      pout.rule("leak",
+                Predicate::num_at_least(cv3, 1) && Predicate::has_tag(cv3, tag_invalid),
+                "leak");
+    }
+  }
+
+  // --- controller -------------------------------------------------------------------------
+  {
+    auto ctrl = b.process("PControl");
+    ctrl.mode("sendA")
+        .latency(Duration::micros(200))
+        .consume(cuser, 1)
+        .produce(creq1, 1, {"VA"})
+        .produce(creq2, 1, {"VA"})
+        .produce(cin, 1, {"suspend"})
+        .produce(ccout, 1, {"suspend"})
+        .produce(cctrl, 1, {"wait"});
+    ctrl.mode("sendB")
+        .latency(Duration::micros(200))
+        .consume(cuser, 1)
+        .produce(creq1, 1, {"VB"})
+        .produce(creq2, 1, {"VB"})
+        .produce(cin, 1, {"suspend"})
+        .produce(ccout, 1, {"suspend"})
+        .produce(cctrl, 1, {"wait"});
+    ctrl.mode("finish")
+        .latency(Duration::micros(200))
+        .consume(ccon1, 1)
+        .consume(ccon2, 1)
+        .produce(cin, 1, {"run"})
+        .produce(ccout, 1, {"run"})
+        .produce(cctrl, 1, {"idle"});
+
+    ctrl.input(cctrl);  // observes its own state register
+    ctrl.rule("userA",
+              Predicate::num_at_least(cuser, 1) && Predicate::has_tag(cuser, tag_to_a) &&
+                  Predicate::has_tag(cctrl, tag_idle),
+              "sendA");
+    ctrl.rule("userB",
+              Predicate::num_at_least(cuser, 1) && Predicate::has_tag(cuser, tag_to_b) &&
+                  Predicate::has_tag(cctrl, tag_idle),
+              "sendB");
+    ctrl.rule("confirm",
+              Predicate::num_at_least(ccon1, 1) && Predicate::num_at_least(ccon2, 1) &&
+                  Predicate::has_tag(cctrl, tag_wait),
+              "finish");
+  }
+
+  // --- user: alternating reconfiguration requests (B, A, B, ...) ---------------
+  {
+    auto ru = b.reg("RU").initial(1, {"a"}).mark_virtual();
+    const auto tag_sa = b.tag("a");
+    const auto tag_sb = b.tag("b");
+    auto user = b.process("PUser").mark_virtual();
+    user.mode("askB")
+        .latency(Duration::zero())
+        .produce(cuser, 1, {"toB"})
+        .produce(ru, 1, {"b"});
+    user.mode("askA")
+        .latency(Duration::zero())
+        .produce(cuser, 1, {"toA"})
+        .produce(ru, 1, {"a"});
+    user.rule("alternate-to-b", Predicate::has_tag(ru, tag_sa), "askB");
+    user.rule("alternate-to-a", Predicate::has_tag(ru, tag_sb), "askA");
+    user.min_period(options.request_period).max_firings(options.requests);
+    // The register read is non-destructive; without an input edge the rules
+    // must still reference RU, so declare the read edge explicitly.
+    user.input(ru);
+  }
+
+  // --- sink classifying output frames ------------------------------------------
+  {
+    auto vout = b.process("VOut").mark_virtual();
+    vout.mode("ok").latency(Duration::zero()).consume(cvout, 1);
+    vout.mode("repeat").latency(Duration::zero()).consume(cvout, 1);
+    vout.mode("invalid").latency(Duration::zero()).consume(cvout, 1);
+    vout.rule("ok", Predicate::num_at_least(cvout, 1) && Predicate::has_tag(cvout, tag_out_ok),
+              "ok");
+    vout.rule("repeat",
+              Predicate::num_at_least(cvout, 1) && Predicate::has_tag(cvout, tag_out_repeat),
+              "repeat");
+    vout.rule("invalid",
+              Predicate::num_at_least(cvout, 1) && Predicate::has_tag(cvout, tag_out_invalid),
+              "invalid");
+  }
+
+  (void)tag_run;  // documented state value; only ever written, never tested
+  return b.take();
+}
+
+VideoOutcome harvest_video_outcome(const spi::Graph& graph, const sim::SimResult& result) {
+  VideoOutcome out;
+  const auto vout = graph.find_process("VOut");
+  const auto pin = graph.find_process("PIn");
+  const auto p1 = graph.find_process("P1");
+  const auto p2 = graph.find_process("P2");
+
+  if (vout) {
+    const spi::Process& p = graph.process(*vout);
+    const auto& stats = result.process(*vout);
+    for (std::size_t mi = 0; mi < p.modes.size(); ++mi) {
+      if (p.modes[mi].name == "ok") out.ok_frames = stats.firings_in_mode(mi);
+      if (p.modes[mi].name == "repeat") out.repeat_frames = stats.firings_in_mode(mi);
+      if (p.modes[mi].name == "invalid") out.invalid_frames = stats.firings_in_mode(mi);
+    }
+  }
+  if (pin) {
+    const spi::Process& p = graph.process(*pin);
+    const auto& stats = result.process(*pin);
+    for (std::size_t mi = 0; mi < p.modes.size(); ++mi) {
+      if (p.modes[mi].name == "drop") out.dropped_inputs = stats.firings_in_mode(mi);
+    }
+  }
+  for (const auto& pid : {p1, p2}) {
+    if (!pid) continue;
+    out.reconfigurations += result.process(*pid).reconfigurations;
+    out.reconfig_time += result.process(*pid).reconfig_time;
+  }
+  return out;
+}
+
+}  // namespace spivar::models

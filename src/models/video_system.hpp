@@ -1,0 +1,71 @@
+// Figure 4 of the paper: the industrial reconfigurable video system.
+//
+//   VIn -> CVin -> PIn -> CV1 -> P1 -> CV2 -> P2 -> CV3 -> POut -> CVout -> VOut
+//                   ^                                        ^
+//            CIn (register)                           COut (register)
+//                   \----------- PControl (CCTRL self-loop) -----------/
+//                        CReq1/CCon1 to P1, CReq2/CCon2 to P2, CUser from PUser
+//
+// P1 and P2 are the abstracted chain processes: each carries two Def. 4
+// configurations (variant A and variant B) whose modes were extracted from
+// the corresponding function variants. A request token tagged 'VA'/'VB' on
+// CReq_i activates the acknowledge mode of the requested variant; if that
+// mode lies outside conf_cur the reconfiguration latency is added to the
+// execution, after which the confirm token on CCon_i is produced "as part of
+// the selected mode" (§5).
+//
+// PControl is the higher-level controller: on a user request it sends
+// 'suspend' to the valves and reconfiguration requests to P1/P2, waits for
+// both confirmations (state kept via the CCTRL self-loop register), then
+// resumes the valves.
+//
+// Valves: PIn destroys input frames while suspended. POut replaces frames
+// with the last complete image. Frames are stamped by P1 with its current
+// variant ('fA'/'fB'); P2 stamps 'ok' when the frame's P1-variant matches
+// its own and 'invalid' otherwise. POut never passes an 'invalid' frame.
+// (The paper marks the first clean frame with a tag added by PIn; we detect
+// cleanliness with the variant stamps instead — same protective behavior,
+// fewer modes.)
+//
+// The options toggle both valves so the protocol's effect is measurable: with
+// valves, zero invalid frames reach VOut; without, mismatched in-flight
+// frames leak out during reconfiguration.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+#include "support/duration.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::models {
+
+struct VideoOptions {
+  std::int64_t frames = 200;                 ///< frames produced by VIn
+  support::Duration frame_period = support::Duration::millis(40);   // 25 fps
+  std::int64_t requests = 4;                 ///< user reconfiguration requests
+  support::Duration request_period = support::Duration::millis(900);
+  support::Duration t_conf = support::Duration::millis(5);  ///< P1/P2 reconfiguration latency
+  bool input_valve = true;   ///< PIn drops frames while suspended
+  bool output_valve = true;  ///< POut masks invalid frames with repeats
+};
+
+/// The video system is a flat SPI graph (P1/P2 are already-abstracted
+/// processes with configurations, as in §5 of the paper).
+[[nodiscard]] spi::Graph make_video_system(const VideoOptions& options = {});
+
+/// Output frame classes and reconfiguration effort of one simulated run.
+struct VideoOutcome {
+  std::int64_t ok_frames = 0;        ///< consistent frames passed through
+  std::int64_t repeat_frames = 0;    ///< frames masked by the output valve
+  std::int64_t invalid_frames = 0;   ///< mismatched frames that leaked out
+  std::int64_t dropped_inputs = 0;   ///< frames destroyed by the input valve
+  std::int64_t reconfigurations = 0; ///< P1+P2 configuration switches
+  support::Duration reconfig_time = support::Duration::zero();
+};
+
+/// Harvests the outcome counters from a finished simulation of the model.
+[[nodiscard]] VideoOutcome harvest_video_outcome(const spi::Graph& graph,
+                                                 const sim::SimResult& result);
+
+}  // namespace spivar::models

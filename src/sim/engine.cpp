@@ -1,0 +1,534 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::sim {
+
+namespace {
+
+constexpr std::int64_t kUnbounded = std::numeric_limits<std::int64_t>::max() / 4;
+constexpr std::size_t kConstraintSampleCap = 100'000;
+
+/// Predicate view over the live token store.
+class LiveView final : public spi::ChannelStateView {
+ public:
+  explicit LiveView(const std::vector<std::deque<spi::Token>>& tokens) : tokens_(tokens) {}
+
+  [[nodiscard]] std::int64_t available(ChannelId channel) const override {
+    return static_cast<std::int64_t>(tokens_[channel.index()].size());
+  }
+
+  [[nodiscard]] const spi::TagSet* first_token_tags(ChannelId channel) const override {
+    const auto& q = tokens_[channel.index()];
+    if (q.empty()) return nullptr;
+    return &q.front().tags;
+  }
+
+ private:
+  const std::vector<std::deque<spi::Token>>& tokens_;
+};
+
+}  // namespace
+
+Simulator::Simulator(const spi::Graph& graph, SimOptions options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  init_state();
+}
+
+Simulator::Simulator(const variant::VariantModel& model, SimOptions options)
+    : graph_(model.graph()), model_(&model), options_(options), rng_(options.seed) {
+  init_state();
+}
+
+void Simulator::init_state() {
+  channels_.resize(graph_.channel_count());
+  processes_.resize(graph_.process_count());
+  result_.processes.resize(graph_.process_count());
+  result_.channels.resize(graph_.channel_count());
+  result_.trace = Trace{options_.record_trace ? options_.trace_limit : 0};
+
+  for (ChannelId cid : graph_.channel_ids()) {
+    const spi::Channel& ch = graph_.channel(cid);
+    for (std::int64_t i = 0; i < ch.initial_tokens; ++i) {
+      channels_[cid.index()].push_back(spi::Token{ch.initial_tags});
+    }
+    result_.channels[cid.index()].occupancy = ch.initial_tokens;
+    result_.channels[cid.index()].max_occupancy = ch.initial_tokens;
+  }
+
+  for (ProcessId pid : graph_.process_ids()) {
+    processes_[pid.index()].conf_cur = graph_.process(pid).initial_configuration;
+    result_.processes[pid.index()].mode_firings.resize(graph_.process(pid).modes.size(), 0);
+  }
+
+  if (model_ != nullptr) {
+    interfaces_.resize(model_->interface_count());
+    for (support::InterfaceId iid : model_->interface_ids()) {
+      interfaces_[iid.index()].cur = model_->interface(iid).initial;
+      result_.interfaces[iid];  // stats entry exists even if never touched
+    }
+    owner_.assign(graph_.process_count(), support::ClusterId{});
+    for (support::ClusterId cid : model_->cluster_ids()) {
+      for (ProcessId pid : model_->cluster(cid).processes) {
+        owner_[pid.index()] = cid;
+      }
+    }
+  }
+
+  materialize_rules();
+
+  latency_starts_.resize(graph_.constraints().latency.size());
+  latency_ends_.resize(graph_.constraints().latency.size());
+  throughput_stamps_.resize(graph_.constraints().throughput.size());
+}
+
+void Simulator::materialize_rules() {
+  for (ProcessId pid : graph_.process_ids()) {
+    const spi::Process& p = graph_.process(pid);
+    ProcessRuntime& rt = processes_[pid.index()];
+    if (!p.activation.empty()) {
+      rt.rules = p.activation.rules();
+      continue;
+    }
+    // Implicit data-driven activation: a mode is enabled as soon as every
+    // input edge holds at least the lower consumption bound.
+    for (std::size_t mi = 0; mi < p.modes.size(); ++mi) {
+      const spi::Mode& m = p.modes[mi];
+      spi::Predicate pred = spi::Predicate::always();
+      bool have_term = false;
+      for (const auto& [edge, rate] : m.consumption) {
+        if (rate.lo() <= 0) continue;
+        auto term = spi::Predicate::num_at_least(graph_.edge(edge).channel, rate.lo());
+        pred = have_term ? (pred && term) : term;
+        have_term = true;
+      }
+      rt.rules.push_back({"implicit/" + m.name, std::move(pred),
+                          support::ModeId{static_cast<std::uint32_t>(mi)}});
+    }
+  }
+}
+
+void Simulator::push_event(TimePoint time, Event::Kind kind, std::int64_t payload) {
+  events_.push(Event{time, next_sequence_++, kind, payload});
+}
+
+std::int64_t Simulator::resolve(support::Interval iv) {
+  if (iv.is_point()) return iv.lo();
+  switch (options_.resolution) {
+    case Resolution::kLowerBound: return iv.lo();
+    case Resolution::kUpperBound: return iv.hi();
+    case Resolution::kRandom: return rng_.pick(iv);
+  }
+  return iv.lo();
+}
+
+support::Duration Simulator::resolve(support::DurationInterval iv) {
+  return support::Duration{resolve(iv.raw())};
+}
+
+std::int64_t Simulator::available(ChannelId cid) const {
+  return static_cast<std::int64_t>(channels_[cid.index()].size());
+}
+
+std::int64_t Simulator::space(ChannelId cid) const {
+  const spi::Channel& ch = graph_.channel(cid);
+  if (ch.kind == spi::ChannelKind::kRegister) return 1;  // overwrite always possible
+  if (!ch.capacity) return kUnbounded;
+  return *ch.capacity - available(cid);
+}
+
+void Simulator::produce_tokens(support::EdgeId edge, std::int64_t count, const spi::Mode& mode,
+                               TimePoint now) {
+  if (count <= 0) return;
+  const ChannelId cid = graph_.edge(edge).channel;
+  const spi::Channel& ch = graph_.channel(cid);
+  ChannelStats& stats = result_.channels[cid.index()];
+  const spi::TagSet tags = mode.tags_on(edge);
+
+  if (ch.kind == spi::ChannelKind::kRegister) {
+    // Destructive write: the last written value survives.
+    channels_[cid.index()].clear();
+    channels_[cid.index()].push_back(spi::Token{tags});
+    stats.produced += count;
+    stats.occupancy = 1;
+    stats.max_occupancy = std::max<std::int64_t>(stats.max_occupancy, 1);
+  } else {
+    const std::int64_t delivered = std::min(count, space(cid));
+    for (std::int64_t i = 0; i < delivered; ++i) {
+      channels_[cid.index()].push_back(spi::Token{tags});
+    }
+    stats.produced += delivered;
+    stats.occupancy = available(cid);
+    stats.max_occupancy = std::max(stats.max_occupancy, stats.occupancy);
+  }
+
+  for (std::size_t i = 0; i < graph_.constraints().throughput.size(); ++i) {
+    if (graph_.constraints().throughput[i].channel == cid &&
+        throughput_stamps_[i].size() < kConstraintSampleCap) {
+      for (std::int64_t k = 0; k < count; ++k) throughput_stamps_[i].push_back(now);
+    }
+  }
+}
+
+void Simulator::consume_tokens(support::EdgeId edge, std::int64_t count) {
+  const ChannelId cid = graph_.edge(edge).channel;
+  const spi::Channel& ch = graph_.channel(cid);
+  if (ch.kind == spi::ChannelKind::kRegister) return;  // non-destructive read
+  auto& q = channels_[cid.index()];
+  ChannelStats& stats = result_.channels[cid.index()];
+  const std::int64_t n = std::min<std::int64_t>(count, static_cast<std::int64_t>(q.size()));
+  for (std::int64_t i = 0; i < n; ++i) q.pop_front();
+  stats.consumed += n;
+  stats.occupancy = available(cid);
+}
+
+bool Simulator::process_live(ProcessId pid) const {
+  if (model_ == nullptr) return true;
+  const support::ClusterId cid = owner_[pid.index()];
+  if (!cid.valid()) return true;  // common part
+  const support::InterfaceId iid = model_->cluster(cid).interface;
+  const InterfaceRuntime& irt = interfaces_[iid.index()];
+  return !irt.reconfiguring && irt.cur == cid;
+}
+
+bool Simulator::try_fire(ProcessId pid, TimePoint now) {
+  const spi::Process& p = graph_.process(pid);
+  ProcessRuntime& rt = processes_[pid.index()];
+  if (rt.executing) return false;
+  if (p.max_firings && rt.firings >= *p.max_firings) return false;
+  if (!process_live(pid)) return false;
+  if (now < rt.next_release) {
+    if (rt.next_release <= options_.max_time) push_event(rt.next_release, Event::Kind::kWake, 0);
+    return false;
+  }
+
+  const LiveView view{channels_};
+
+  // First enabled rule whose mode can actually execute (inputs hold the
+  // lower consumption bound; bounded outputs have room for the lower
+  // production bound).
+  const spi::Mode* chosen = nullptr;
+  support::ModeId chosen_id;
+  for (const spi::ActivationRule& rule : rt.rules) {
+    if (!rule.predicate.evaluate(view)) continue;
+    const spi::Mode& m = p.mode(rule.mode);
+    bool ok = true;
+    for (const auto& [edge, rate] : m.consumption) {
+      if (available(graph_.edge(edge).channel) < rate.lo()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const auto& [edge, rate] : m.production) {
+        if (space(graph_.edge(edge).channel) < rate.lo()) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    chosen = &m;
+    chosen_id = rule.mode;
+    break;
+  }
+  if (chosen == nullptr) return false;
+
+  // --- consume at start ------------------------------------------------------
+  for (const auto& [edge, rate] : chosen->consumption) {
+    const std::int64_t avail = available(graph_.edge(edge).channel);
+    const std::int64_t n = std::clamp(resolve(rate), rate.lo(), std::min(rate.hi(), avail));
+    consume_tokens(edge, n);
+  }
+
+  // --- Def. 4 reconfiguration ---------------------------------------------------
+  support::Duration extra = support::Duration::zero();
+  if (p.has_configurations()) {
+    const support::ConfigurationId conf = p.configuration_of(chosen_id);
+    if (conf.valid() && (!rt.conf_cur || *rt.conf_cur != conf)) {
+      extra = p.configurations[conf.index()].t_conf;
+      rt.conf_cur = conf;
+      ProcessStats& ps = result_.processes[pid.index()];
+      ps.reconfigurations += 1;
+      ps.reconfig_time += extra;
+      if (options_.record_trace) {
+        result_.trace.record(now, TraceKind::kReconfigure, p.name,
+                             p.configurations[conf.index()].name);
+      }
+    }
+  }
+
+  const support::Duration latency = resolve(chosen->latency) + extra;
+
+  // --- schedule completion -----------------------------------------------------
+  PendingCompletion completion;
+  completion.firing_id = next_firing_id_++;
+  completion.process = pid;
+  completion.mode = chosen_id;
+  for (const auto& [edge, rate] : chosen->production) {
+    completion.production.emplace_back(edge, std::clamp(resolve(rate), rate.lo(), rate.hi()));
+  }
+  const auto index = static_cast<std::int64_t>(completions_.size());
+  completions_.push_back(std::move(completion));
+  completion_cancelled_.push_back(false);
+
+  rt.executing = true;
+  rt.current_firing = index;
+  rt.firings += 1;
+  if (p.min_period) {
+    rt.next_release = now + *p.min_period;
+    if (rt.next_release <= options_.max_time) push_event(rt.next_release, Event::Kind::kWake, 0);
+  }
+
+  ProcessStats& ps = result_.processes[pid.index()];
+  ps.firings += 1;
+  ps.busy += latency;
+  ps.mode_firings[chosen_id.index()] += 1;
+  result_.total_firings += 1;
+
+  if (options_.record_trace) {
+    result_.trace.record(now, TraceKind::kFire, p.name, chosen->name);
+  }
+
+  // Latency-constraint start stamps.
+  for (std::size_t i = 0; i < graph_.constraints().latency.size(); ++i) {
+    const auto& c = graph_.constraints().latency[i];
+    if (!c.path.empty() && c.path.front() == pid &&
+        latency_starts_[i].size() < kConstraintSampleCap) {
+      latency_starts_[i].push_back(now);
+    }
+  }
+
+  push_event(now + latency, Event::Kind::kCompletion, index);
+  return true;
+}
+
+void Simulator::apply_completion(const PendingCompletion& completion, TimePoint now) {
+  const spi::Process& p = graph_.process(completion.process);
+  const spi::Mode& mode = p.mode(completion.mode);
+  ProcessRuntime& rt = processes_[completion.process.index()];
+  rt.executing = false;
+  rt.current_firing = -1;
+
+  for (const auto& [edge, count] : completion.production) {
+    produce_tokens(edge, count, mode, now);
+  }
+
+  if (options_.record_trace) {
+    result_.trace.record(now, TraceKind::kComplete, p.name, mode.name);
+  }
+
+  for (std::size_t i = 0; i < graph_.constraints().latency.size(); ++i) {
+    const auto& c = graph_.constraints().latency[i];
+    if (!c.path.empty() && c.path.back() == completion.process &&
+        latency_ends_[i].size() < kConstraintSampleCap) {
+      latency_ends_[i].push_back(now);
+    }
+  }
+}
+
+void Simulator::start_reconfiguration(support::InterfaceId iid, support::ClusterId target,
+                                      TimePoint now) {
+  const variant::Interface& iface = model_->interface(iid);
+  InterfaceRuntime& irt = interfaces_[iid.index()];
+
+  // Terminate the running cluster: cancel executions in flight and lose the
+  // data on its internal channels (paper §4).
+  if (irt.cur) {
+    const variant::Cluster& old_cluster = model_->cluster(*irt.cur);
+    for (ProcessId pid : old_cluster.processes) {
+      ProcessRuntime& rt = processes_[pid.index()];
+      if (rt.executing && rt.current_firing >= 0) {
+        completion_cancelled_[static_cast<std::size_t>(rt.current_firing)] = true;
+        rt.executing = false;
+        rt.current_firing = -1;
+        result_.processes[pid.index()].cancelled += 1;
+        if (options_.record_trace) {
+          result_.trace.record(now, TraceKind::kCancel, graph_.process(pid).name,
+                               "cluster replaced");
+        }
+      }
+    }
+    for (ChannelId cid : old_cluster.channels) {
+      auto& q = channels_[cid.index()];
+      if (!q.empty()) {
+        result_.channels[cid.index()].dropped += static_cast<std::int64_t>(q.size());
+        result_.channels[cid.index()].occupancy = 0;
+        if (options_.record_trace) {
+          result_.trace.record(now, TraceKind::kDrop, graph_.channel(cid).name,
+                               std::to_string(q.size()) + " token(s) lost");
+        }
+        q.clear();
+      }
+    }
+  }
+
+  const support::Duration t_conf = iface.conf_latency(target);
+  irt.reconfiguring = true;
+  irt.pending = target;
+
+  InterfaceStats& stats = result_.interfaces[iid];
+  stats.reconfigurations += 1;
+  stats.reconfig_time += t_conf;
+  if (options_.record_trace) {
+    result_.trace.record(now, TraceKind::kSelect, iface.name, model_->cluster(target).name);
+  }
+
+  push_event(now + t_conf, Event::Kind::kReconfigDone, static_cast<std::int64_t>(iid.value()));
+}
+
+void Simulator::finish_reconfiguration(support::InterfaceId iid, TimePoint now) {
+  InterfaceRuntime& irt = interfaces_[iid.index()];
+  irt.cur = irt.pending;
+  irt.pending.reset();
+  irt.reconfiguring = false;
+  if (options_.record_trace) {
+    result_.trace.record(now, TraceKind::kReconfigure, model_->interface(iid).name,
+                         irt.cur ? model_->cluster(*irt.cur).name : "<none>");
+  }
+}
+
+int Simulator::sweep(TimePoint now) {
+  int fired = 0;
+
+  // Interface selection (Def. 3) before process activation.
+  if (model_ != nullptr) {
+    const LiveView view{channels_};
+    for (support::InterfaceId iid : model_->interface_ids()) {
+      InterfaceRuntime& irt = interfaces_[iid.index()];
+      if (irt.reconfiguring) continue;
+      const variant::Interface& iface = model_->interface(iid);
+      for (const variant::SelectionRule& rule : iface.selection) {
+        if (!rule.predicate.evaluate(view)) continue;
+        // The rule fired: dynamic request queues consume the request token.
+        if (iface.consume_selection_token) {
+          for (ChannelId rc : rule.predicate.referenced_channels()) {
+            if (graph_.channel(rc).kind == spi::ChannelKind::kQueue && available(rc) > 0) {
+              auto& q = channels_[rc.index()];
+              q.pop_front();
+              result_.channels[rc.index()].consumed += 1;
+              result_.channels[rc.index()].occupancy = available(rc);
+            }
+          }
+          result_.interfaces[iid].selections += 1;
+        } else if (irt.cur != std::optional<support::ClusterId>{rule.cluster}) {
+          result_.interfaces[iid].selections += 1;
+        }
+        if (irt.cur != std::optional<support::ClusterId>{rule.cluster}) {
+          start_reconfiguration(iid, rule.cluster, now);
+          ++fired;
+        }
+        break;  // first enabled rule decides
+      }
+    }
+  }
+
+  for (ProcessId pid : graph_.process_ids()) {
+    if (try_fire(pid, now)) ++fired;
+  }
+  return fired;
+}
+
+SimResult Simulator::run() {
+  if (ran_) throw support::ModelError("Simulator::run() may only be called once");
+  ran_ = true;
+
+  TimePoint now = TimePoint::zero();
+  push_event(now, Event::Kind::kWake, 0);
+
+  while (!events_.empty()) {
+    if (result_.total_firings >= options_.max_total_firings) {
+      result_.hit_limit = true;
+      break;
+    }
+
+    const Event event = events_.top();
+    events_.pop();
+    now = event.time;
+
+    switch (event.kind) {
+      case Event::Kind::kCompletion: {
+        const auto index = static_cast<std::size_t>(event.payload);
+        if (completion_cancelled_[index]) break;  // execution was terminated
+        apply_completion(completions_[index], now);
+        result_.end_time = now;
+        break;
+      }
+      case Event::Kind::kReconfigDone:
+        finish_reconfiguration(support::InterfaceId{static_cast<std::uint32_t>(event.payload)},
+                               now);
+        result_.end_time = now;
+        break;
+      case Event::Kind::kWake:
+        break;
+    }
+
+    // New firings only start while within the time budget.
+    if (now <= options_.max_time) {
+      while (sweep(now) > 0) {
+        if (result_.total_firings >= options_.max_total_firings) break;
+      }
+    } else {
+      result_.hit_limit = true;
+    }
+  }
+
+  result_.quiescent = events_.empty() && !result_.hit_limit;
+  measure_constraints();
+  return std::move(result_);
+}
+
+void Simulator::measure_constraints() {
+  for (std::size_t i = 0; i < graph_.constraints().latency.size(); ++i) {
+    const auto& c = graph_.constraints().latency[i];
+    ConstraintMeasurement m;
+    m.name = c.name;
+    m.bound = static_cast<double>(c.max_total.count());
+    const std::size_t n = std::min(latency_starts_[i].size(), latency_ends_[i].size());
+    m.samples = static_cast<std::int64_t>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double lat = static_cast<double>((latency_ends_[i][k] - latency_starts_[i][k]).count());
+      m.observed = std::max(m.observed, lat);
+    }
+    m.satisfied = m.observed <= m.bound;
+    result_.constraints.push_back(std::move(m));
+  }
+
+  for (std::size_t i = 0; i < graph_.constraints().throughput.size(); ++i) {
+    const auto& c = graph_.constraints().throughput[i];
+    ConstraintMeasurement m;
+    m.name = c.name;
+    m.bound = static_cast<double>(c.min_tokens);
+    const auto& stamps = throughput_stamps_[i];
+    m.samples = static_cast<std::int64_t>(stamps.size());
+    if (!stamps.empty()) {
+      // Worst window fully inside the observed span. The infimum over all
+      // window placements is attained either at a token arrival (window
+      // [t, t+W)) or just after one (window (t, t+W]), so both anchors are
+      // checked per stamp.
+      std::int64_t worst = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t a = 0; a < stamps.size(); ++a) {
+        const TimePoint window_end = stamps[a] + c.window;
+        if (window_end > result_.end_time) break;  // partial window: not evidence
+        std::int64_t at_count = 0;
+        std::int64_t after_count = 0;
+        for (std::size_t b = a; b < stamps.size() && stamps[b] <= window_end; ++b) {
+          if (stamps[b] < window_end) ++at_count;
+          if (stamps[b] > stamps[a]) ++after_count;
+        }
+        worst = std::min({worst, at_count, after_count});
+      }
+      if (worst != std::numeric_limits<std::int64_t>::max()) {
+        m.observed = static_cast<double>(worst);
+        m.satisfied = worst >= c.min_tokens;
+      }
+    }
+    result_.constraints.push_back(std::move(m));
+  }
+}
+
+}  // namespace spivar::sim

@@ -1,0 +1,145 @@
+// Discrete-event simulator for SPI models.
+//
+// Executes the update-rule semantics of the paper's §2 plus the variant
+// extensions of §3/§4:
+//
+//  * data-driven activation — ordered rules, first enabled rule fires; a
+//    process without explicit rules activates a mode as soon as every input
+//    holds the mode's lower consumption bound;
+//  * interval resolution by policy (lower/upper/seeded-random), making every
+//    run deterministic;
+//  * queue channels (destructive read, optional capacity back-pressure) and
+//    register channels (destructive write, non-destructive read);
+//  * Def. 4 configurations — a firing whose mode lies outside `conf_cur`
+//    first pays the configuration latency;
+//  * interface-aware mode — the cluster selection function (Def. 3) picks
+//    the active cluster; replacement pays t_conf, cancels running executions
+//    of the outgoing cluster, and drops tokens on its internal channels.
+//
+// Construct from a plain Graph for flat simulation, or from a VariantModel
+// for interface-aware simulation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/options.hpp"
+#include "sim/stats.hpp"
+#include "spi/graph.hpp"
+#include "support/rng.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::sim {
+
+class Simulator {
+ public:
+  /// Flat simulation: every process in the graph is always eligible. The
+  /// graph must outlive the simulator (a full-expression temporary is fine
+  /// for the common `Simulator{graph}.run()` pattern).
+  explicit Simulator(const spi::Graph& graph, SimOptions options = {});
+
+  /// Interface-aware simulation: only the currently selected cluster of each
+  /// interface is live. The model must outlive the simulator.
+  explicit Simulator(const variant::VariantModel& model, SimOptions options = {});
+
+  /// Runs to quiescence or to the configured limits and returns the result.
+  /// May be called once per simulator instance.
+  [[nodiscard]] SimResult run();
+
+ private:
+  /// Buffered tokens per channel; registers hold at most one.
+  using TokenStore = std::vector<std::deque<spi::Token>>;
+
+  struct PendingCompletion {
+    std::int64_t firing_id = 0;  ///< unique per firing; used for cancellation
+    ProcessId process;
+    support::ModeId mode;
+    /// Resolved production per output edge (token count + tags).
+    std::vector<std::pair<support::EdgeId, std::int64_t>> production;
+  };
+
+  struct Event {
+    TimePoint time;
+    std::int64_t sequence = 0;  ///< FIFO tie-break for equal times
+    enum class Kind : std::uint8_t { kCompletion, kWake, kReconfigDone } kind = Kind::kWake;
+    std::int64_t payload = 0;  ///< completion index / interface id
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  struct ProcessRuntime {
+    bool executing = false;
+    std::int64_t current_firing = -1;
+    std::int64_t firings = 0;
+    TimePoint next_release{};  ///< earliest next start (min_period pacing)
+    std::optional<support::ConfigurationId> conf_cur;
+    /// Materialized activation rules (explicit or generated implicit ones).
+    std::vector<spi::ActivationRule> rules;
+  };
+
+  struct InterfaceRuntime {
+    std::optional<support::ClusterId> cur;  ///< Def. 3 `cur` parameter
+    bool reconfiguring = false;
+    std::optional<support::ClusterId> pending;  ///< target of a running reconfiguration
+  };
+
+  // --- setup ---------------------------------------------------------------
+  void init_state();
+  void materialize_rules();
+
+  // --- core loop -------------------------------------------------------------
+  void push_event(TimePoint time, Event::Kind kind, std::int64_t payload);
+  void apply_completion(const PendingCompletion& completion, TimePoint now);
+  /// One activation sweep over interfaces + processes; returns #fires.
+  int sweep(TimePoint now);
+  bool try_fire(ProcessId pid, TimePoint now);
+  void start_reconfiguration(support::InterfaceId iid, support::ClusterId target,
+                             TimePoint now);
+  void finish_reconfiguration(support::InterfaceId iid, TimePoint now);
+  [[nodiscard]] bool process_live(ProcessId pid) const;
+
+  // --- helpers ----------------------------------------------------------------
+  [[nodiscard]] std::int64_t resolve(support::Interval iv);
+  [[nodiscard]] support::Duration resolve(support::DurationInterval iv);
+  [[nodiscard]] std::int64_t available(ChannelId cid) const;
+  [[nodiscard]] std::int64_t space(ChannelId cid) const;
+  void produce_tokens(support::EdgeId edge, std::int64_t count, const spi::Mode& mode,
+                      TimePoint now);
+  void consume_tokens(support::EdgeId edge, std::int64_t count);
+  void measure_constraints();
+
+  const spi::Graph& graph_;
+  const variant::VariantModel* model_ = nullptr;  ///< null in flat simulation
+  SimOptions options_;
+  support::SplitMix64 rng_;
+
+  TokenStore channels_;
+  std::vector<ProcessRuntime> processes_;
+  std::vector<InterfaceRuntime> interfaces_;
+  /// Owner cluster per process (invalid = common part); empty in flat mode.
+  std::vector<support::ClusterId> owner_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<PendingCompletion> completions_;  ///< indexed by Event::payload
+  std::vector<bool> completion_cancelled_;
+  std::int64_t next_sequence_ = 0;
+  std::int64_t next_firing_id_ = 0;
+
+  SimResult result_;
+  bool ran_ = false;
+
+  // Constraint measurement buffers: start times of the first process and
+  // completion times of the last process of each latency constraint; token
+  // production timestamps for throughput constraints.
+  std::vector<std::vector<TimePoint>> latency_starts_;
+  std::vector<std::vector<TimePoint>> latency_ends_;
+  std::vector<std::vector<TimePoint>> throughput_stamps_;
+};
+
+}  // namespace spivar::sim

@@ -1,0 +1,43 @@
+// Simulation options.
+#pragma once
+
+#include <cstdint>
+
+#include "support/duration.hpp"
+
+namespace spivar::sim {
+
+/// How interval-valued parameters (rates, latencies) are resolved to a
+/// concrete value at each firing. Every choice is deterministic given the
+/// seed, so simulations are reproducible.
+enum class Resolution : std::uint8_t {
+  kLowerBound,  ///< optimistic: smallest consumption/production/latency
+  kUpperBound,  ///< pessimistic: largest values
+  kRandom,      ///< seeded uniform draw from the interval
+};
+
+[[nodiscard]] constexpr const char* to_string(Resolution r) noexcept {
+  switch (r) {
+    case Resolution::kLowerBound: return "lower";
+    case Resolution::kUpperBound: return "upper";
+    case Resolution::kRandom: return "random";
+  }
+  return "?";
+}
+
+struct SimOptions {
+  Resolution resolution = Resolution::kLowerBound;
+  std::uint64_t seed = 1;
+
+  /// Hard stop: no firing starts after this time.
+  support::TimePoint max_time{support::TimePoint{1'000'000'000}};  // 1000 s
+
+  /// Hard stop on the total number of firings (guards runaway sources).
+  std::int64_t max_total_firings = 1'000'000;
+
+  /// Record a bounded execution trace (off by default: hot-path cost).
+  bool record_trace = false;
+  std::size_t trace_limit = 100'000;
+};
+
+}  // namespace spivar::sim

@@ -1,0 +1,86 @@
+// Simulation statistics and results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "support/duration.hpp"
+#include "support/ids.hpp"
+
+namespace spivar::sim {
+
+using support::ChannelId;
+using support::Duration;
+using support::InterfaceId;
+using support::ProcessId;
+using support::TimePoint;
+
+struct ProcessStats {
+  std::int64_t firings = 0;
+  Duration busy = Duration::zero();
+  std::int64_t reconfigurations = 0;       ///< Def. 4 configuration switches
+  Duration reconfig_time = Duration::zero();
+  std::int64_t cancelled = 0;              ///< executions killed by cluster replacement
+  std::vector<std::int64_t> mode_firings;  ///< per-mode firing counts
+
+  [[nodiscard]] std::int64_t firings_in_mode(std::size_t mode_index) const {
+    return mode_index < mode_firings.size() ? mode_firings[mode_index] : 0;
+  }
+};
+
+struct ChannelStats {
+  std::int64_t produced = 0;   ///< tokens written over the whole run
+  std::int64_t consumed = 0;   ///< tokens destructively read
+  std::int64_t dropped = 0;    ///< tokens lost to cluster replacement
+  std::int64_t occupancy = 0;  ///< tokens present at end of run
+  std::int64_t max_occupancy = 0;
+};
+
+struct InterfaceStats {
+  std::int64_t selections = 0;        ///< selection function activations
+  std::int64_t reconfigurations = 0;  ///< actual cluster replacements
+  Duration reconfig_time = Duration::zero();
+};
+
+/// Measured compliance of one timing constraint.
+struct ConstraintMeasurement {
+  std::string name;
+  bool satisfied = true;
+  /// Latency constraints: worst observed path latency. Throughput
+  /// constraints: worst observed token count in a window.
+  double observed = 0.0;
+  double bound = 0.0;
+  std::int64_t samples = 0;
+};
+
+struct SimResult {
+  TimePoint end_time{};
+  std::int64_t total_firings = 0;
+  bool quiescent = false;   ///< stopped because nothing could ever fire again
+  bool hit_limit = false;   ///< stopped on max_time / max_total_firings
+
+  std::vector<ProcessStats> processes;   // indexed by ProcessId
+  std::vector<ChannelStats> channels;    // indexed by ChannelId
+  std::map<InterfaceId, InterfaceStats> interfaces;
+  std::vector<ConstraintMeasurement> constraints;
+
+  Trace trace{0};
+
+  [[nodiscard]] const ProcessStats& process(ProcessId id) const {
+    return processes.at(id.index());
+  }
+  [[nodiscard]] const ChannelStats& channel(ChannelId id) const {
+    return channels.at(id.index());
+  }
+  [[nodiscard]] bool all_constraints_satisfied() const {
+    for (const auto& c : constraints) {
+      if (!c.satisfied) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace spivar::sim

@@ -1,0 +1,88 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace spivar::sim {
+
+std::string render_timeline(const spi::Graph& graph, const SimResult& result,
+                            const TimelineOptions& options) {
+  const auto& events = result.trace.events();
+  if (events.empty()) return "(empty trace — enable SimOptions::record_trace)\n";
+
+  const auto span = std::max<std::int64_t>(result.end_time.count(), 1);
+  const auto columns = std::max<std::size_t>(options.columns, 8);
+  auto bucket_of = [&](TimePoint t) {
+    return std::min(columns - 1,
+                    static_cast<std::size_t>(t.count() * static_cast<std::int64_t>(columns) /
+                                             (span + 1)));
+  };
+
+  // Row per process, in id order.
+  std::map<std::string, std::string> rows;
+  std::vector<std::string> order;
+  for (auto pid : graph.process_ids()) {
+    const spi::Process& p = graph.process(pid);
+    if (p.is_virtual && !options.include_virtual) continue;
+    rows.emplace(p.name, std::string(columns, '.'));
+    order.push_back(p.name);
+  }
+
+  // Fire..complete intervals fill with the first letter of the mode name;
+  // reconfigurations overwrite with uppercase.
+  std::map<std::string, std::pair<TimePoint, char>> open;  // subject -> (start, letter)
+  for (const TraceEvent& e : events) {
+    auto row = rows.find(e.subject);
+    if (row == rows.end()) continue;
+    switch (e.kind) {
+      case TraceKind::kFire: {
+        const char letter = e.detail.empty() ? 'x' : e.detail[0];
+        open[e.subject] = {e.time, letter};
+        break;
+      }
+      case TraceKind::kComplete: {
+        auto it = open.find(e.subject);
+        if (it == open.end()) break;
+        const auto [start, letter] = it->second;
+        open.erase(it);
+        for (std::size_t b = bucket_of(start); b <= bucket_of(e.time); ++b) {
+          row->second[b] = letter;
+        }
+        break;
+      }
+      case TraceKind::kReconfigure:
+      case TraceKind::kSelect:
+        row->second[bucket_of(e.time)] =
+            static_cast<char>(std::toupper(e.detail.empty() ? 'R' : e.detail[0]));
+        break;
+      case TraceKind::kCancel:
+        row->second[bucket_of(e.time)] = '!';
+        break;
+      case TraceKind::kDrop:
+        break;
+    }
+  }
+  // Still-running executions extend to the end of the chart.
+  for (const auto& [subject, start_letter] : open) {
+    auto row = rows.find(subject);
+    if (row == rows.end()) continue;
+    for (std::size_t b = bucket_of(start_letter.first); b < columns; ++b) {
+      row->second[b] = start_letter.second;
+    }
+  }
+
+  std::size_t label_width = 0;
+  for (const std::string& name : order) label_width = std::max(label_width, name.size());
+
+  std::ostringstream os;
+  os << "timeline over " << result.end_time << " (" << columns << " buckets of "
+     << support::Duration{span / static_cast<std::int64_t>(columns)} << ")\n";
+  for (const std::string& name : order) {
+    os << name << std::string(label_width - name.size(), ' ') << " |" << rows.at(name) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spivar::sim

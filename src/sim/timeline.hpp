@@ -1,0 +1,32 @@
+// ASCII timeline (Gantt) rendering of execution traces.
+//
+// Turns a recorded trace into a per-process activity chart — handy for
+// inspecting reconfiguration sequences in examples and docs:
+//
+//   PIn      |ppp...ddd...ppppp
+//   P1       |rrrr..RRRRRRrrrr.
+//   PControl |.s.........f.....
+//
+// One column per time bucket; '.' idle, lowercase = executing, uppercase
+// first letter marks the bucket where a reconfiguration started.
+#pragma once
+
+#include <string>
+
+#include "sim/stats.hpp"
+#include "spi/graph.hpp"
+#include "support/duration.hpp"
+
+namespace spivar::sim {
+
+struct TimelineOptions {
+  std::size_t columns = 80;           ///< chart width in buckets
+  bool include_virtual = false;       ///< show environment processes too
+};
+
+/// Renders the trace of `result` (which must have been recorded with
+/// `SimOptions::record_trace`) against the graph it came from.
+[[nodiscard]] std::string render_timeline(const spi::Graph& graph, const SimResult& result,
+                                          const TimelineOptions& options = {});
+
+}  // namespace spivar::sim

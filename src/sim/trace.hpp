@@ -1,0 +1,84 @@
+// Execution traces.
+//
+// A bounded sequence of simulator events for tests, debugging, and the
+// examples' narrative output. Subjects and details are plain strings so
+// traces remain readable without graph context.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/duration.hpp"
+
+namespace spivar::sim {
+
+enum class TraceKind : std::uint8_t {
+  kFire,          ///< process started executing (tokens consumed)
+  kComplete,      ///< process finished (tokens produced)
+  kReconfigure,   ///< process/interface switched configuration (Def. 3/4)
+  kSelect,        ///< interface selection function chose a cluster
+  kCancel,        ///< running execution terminated by cluster replacement
+  kDrop,          ///< internal channel data lost on cluster replacement
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kFire: return "fire";
+    case TraceKind::kComplete: return "complete";
+    case TraceKind::kReconfigure: return "reconfigure";
+    case TraceKind::kSelect: return "select";
+    case TraceKind::kCancel: return "cancel";
+    case TraceKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  support::TimePoint time;
+  TraceKind kind = TraceKind::kFire;
+  std::string subject;  ///< process/interface name
+  std::string detail;   ///< mode/cluster/extra information
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t limit = 100'000) : limit_(limit) {}
+
+  void record(support::TimePoint time, TraceKind kind, std::string subject,
+              std::string detail) {
+    if (events_.size() >= limit_) {
+      truncated_ = true;
+      return;
+    }
+    events_.push_back({time, kind, std::move(subject), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceKind kind) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Events concerning one subject, in order.
+  [[nodiscard]] std::vector<TraceEvent> of_subject(const std::string& subject) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.subject == subject) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t limit_;
+  bool truncated_ = false;
+};
+
+}  // namespace spivar::sim

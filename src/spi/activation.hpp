@@ -1,0 +1,48 @@
+// Activation functions.
+//
+// An activation function (paper §2) is an ordered set of rules mapping input
+// token predicates to modes. On each evaluation the first enabled rule
+// selects the mode of the next execution; when no rule is enabled the
+// process is not activated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spi/predicate.hpp"
+#include "support/ids.hpp"
+
+namespace spivar::spi {
+
+using support::ModeId;
+
+struct ActivationRule {
+  std::string name;     ///< e.g. "a1"
+  Predicate predicate;  ///< input-token predicate
+  ModeId mode;          ///< mode activated when the predicate holds
+};
+
+class ActivationFunction {
+ public:
+  ActivationFunction& add_rule(std::string name, Predicate predicate, ModeId mode) {
+    rules_.push_back({std::move(name), std::move(predicate), mode});
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<ActivationRule>& rules() const noexcept { return rules_; }
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+
+  /// Index of the first enabled rule under `view`, or -1 when none is.
+  [[nodiscard]] int first_enabled(const ChannelStateView& view) const {
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].predicate.evaluate(view)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<ActivationRule> rules_;
+};
+
+}  // namespace spivar::spi

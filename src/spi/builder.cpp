@@ -1,0 +1,238 @@
+#include "spi/builder.hpp"
+
+#include <algorithm>
+
+namespace spivar::spi {
+
+// --- ChannelBuilder ---------------------------------------------------------
+
+ChannelBuilder& ChannelBuilder::capacity(std::int64_t bound) {
+  if (bound <= 0) throw support::ModelError("channel capacity must be positive");
+  owner_->graph().channel(id_).capacity = bound;
+  return *this;
+}
+
+ChannelBuilder& ChannelBuilder::initial(std::int64_t tokens,
+                                        std::initializer_list<std::string_view> tags) {
+  if (tokens < 0) throw support::ModelError("negative initial token count");
+  Channel& ch = owner_->graph().channel(id_);
+  ch.initial_tokens = tokens;
+  TagSet set;
+  for (std::string_view t : tags) set.insert(owner_->tag(t));
+  ch.initial_tags = std::move(set);
+  return *this;
+}
+
+ChannelBuilder& ChannelBuilder::mark_virtual() {
+  owner_->graph().channel(id_).is_virtual = true;
+  return *this;
+}
+
+// --- ModeBuilder --------------------------------------------------------------
+
+ModeBuilder& ModeBuilder::latency(support::DurationInterval latency) {
+  owner_->graph().process(process_).modes.at(mode_.index()).latency = latency;
+  return *this;
+}
+
+ModeBuilder& ModeBuilder::consume(ChannelId channel, support::Interval rate) {
+  Graph& g = owner_->graph();
+  EdgeId e = g.input_edge(process_, channel)
+                 .value_or(EdgeId{});
+  if (!e.valid()) e = g.connect(process_, channel, EdgeDir::kChannelToProcess);
+  g.process(process_).modes.at(mode_.index()).consumption[e] = rate;
+  return *this;
+}
+
+ModeBuilder& ModeBuilder::produce(ChannelId channel, support::Interval rate,
+                                  std::initializer_list<std::string_view> tags) {
+  Graph& g = owner_->graph();
+  EdgeId e = g.output_edge(process_, channel).value_or(EdgeId{});
+  if (!e.valid()) e = g.connect(process_, channel, EdgeDir::kProcessToChannel);
+  Mode& m = g.process(process_).modes.at(mode_.index());
+  m.production[e] = rate;
+  if (tags.size() > 0) {
+    TagSet set;
+    for (std::string_view t : tags) set.insert(owner_->tag(t));
+    m.produced_tags[e] = std::move(set);
+  }
+  return *this;
+}
+
+// --- ProcessBuilder ------------------------------------------------------------
+
+ModeId ProcessBuilder::default_mode() {
+  Process& p = owner_->graph().process(id_);
+  if (p.modes.empty()) {
+    p.modes.push_back(Mode{.name = "default"});
+    owner_->note_shorthand(id_);
+    return ModeId{0};
+  }
+  if (!owner_->used_shorthand(id_)) {
+    throw support::ModelError("process '" + p.name +
+                              "': cannot mix single-mode shorthand with explicit modes");
+  }
+  return ModeId{0};
+}
+
+ProcessBuilder& ProcessBuilder::latency(support::DurationInterval latency) {
+  const ModeId m = default_mode();
+  owner_->graph().process(id_).modes.at(m.index()).latency = latency;
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::consumes(ChannelId channel, support::Interval rate) {
+  const ModeId m = default_mode();
+  ModeBuilder mb{*owner_, id_, m};
+  mb.consume(channel, rate);
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::produces(ChannelId channel, support::Interval rate,
+                                         std::initializer_list<std::string_view> tags) {
+  const ModeId m = default_mode();
+  ModeBuilder mb{*owner_, id_, m};
+  mb.produce(channel, rate, tags);
+  return *this;
+}
+
+EdgeId ProcessBuilder::input(ChannelId channel) {
+  Graph& g = owner_->graph();
+  if (auto existing = g.input_edge(id_, channel)) return *existing;
+  return g.connect(id_, channel, EdgeDir::kChannelToProcess);
+}
+
+EdgeId ProcessBuilder::output(ChannelId channel) {
+  Graph& g = owner_->graph();
+  if (auto existing = g.output_edge(id_, channel)) return *existing;
+  return g.connect(id_, channel, EdgeDir::kProcessToChannel);
+}
+
+ModeBuilder ProcessBuilder::mode(std::string name) {
+  Process& p = owner_->graph().process(id_);
+  if (owner_->used_shorthand(id_)) {
+    throw support::ModelError("process '" + p.name +
+                              "': cannot mix single-mode shorthand with explicit modes");
+  }
+  p.modes.push_back(Mode{.name = std::move(name)});
+  return ModeBuilder{*owner_, id_, ModeId{static_cast<std::uint32_t>(p.modes.size() - 1)}};
+}
+
+ProcessBuilder& ProcessBuilder::rule(std::string name, Predicate predicate,
+                                     std::string_view mode_name) {
+  Process& p = owner_->graph().process(id_);
+  const auto mode_id = p.find_mode(std::string(mode_name));
+  if (!mode_id) {
+    throw support::ModelError("process '" + p.name + "': rule '" + name +
+                              "' targets unknown mode '" + std::string(mode_name) + "'");
+  }
+  p.activation.add_rule(std::move(name), std::move(predicate), *mode_id);
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::configuration(std::string name,
+                                              std::initializer_list<std::string_view> mode_names,
+                                              support::Duration t_conf) {
+  Process& p = owner_->graph().process(id_);
+  Configuration conf;
+  conf.name = std::move(name);
+  conf.t_conf = t_conf;
+  for (std::string_view mn : mode_names) {
+    const auto mode_id = p.find_mode(std::string(mn));
+    if (!mode_id) {
+      throw support::ModelError("process '" + p.name + "': configuration '" + conf.name +
+                                "' references unknown mode '" + std::string(mn) + "'");
+    }
+    conf.modes.push_back(*mode_id);
+  }
+  p.configurations.push_back(std::move(conf));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::mark_virtual() {
+  owner_->graph().process(id_).is_virtual = true;
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::min_period(support::Duration period) {
+  if (period < support::Duration::zero()) {
+    throw support::ModelError("negative min_period");
+  }
+  owner_->graph().process(id_).min_period = period;
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::max_firings(std::int64_t count) {
+  if (count < 0) throw support::ModelError("negative max_firings");
+  owner_->graph().process(id_).max_firings = count;
+  return *this;
+}
+
+// --- GraphBuilder ----------------------------------------------------------------
+
+ChannelBuilder GraphBuilder::queue(std::string name) {
+  Channel ch;
+  ch.name = std::move(name);
+  ch.kind = ChannelKind::kQueue;
+  return ChannelBuilder{*this, graph_.add_channel(std::move(ch))};
+}
+
+ChannelBuilder GraphBuilder::reg(std::string name) {
+  Channel ch;
+  ch.name = std::move(name);
+  ch.kind = ChannelKind::kRegister;
+  return ChannelBuilder{*this, graph_.add_channel(std::move(ch))};
+}
+
+ProcessBuilder GraphBuilder::process(std::string name) {
+  Process p;
+  p.name = std::move(name);
+  return ProcessBuilder{*this, graph_.add_process(std::move(p))};
+}
+
+GraphBuilder& GraphBuilder::latency_constraint(
+    std::string constraint_name, std::initializer_list<std::string_view> process_names,
+    support::Duration bound) {
+  LatencyPathConstraint c;
+  c.name = std::move(constraint_name);
+  c.max_total = bound;
+  for (std::string_view pn : process_names) {
+    const auto pid = graph_.find_process(pn);
+    if (!pid) {
+      throw support::ModelError("latency constraint '" + c.name + "': unknown process '" +
+                                std::string(pn) + "'");
+    }
+    c.path.push_back(*pid);
+  }
+  graph_.constraints().latency.push_back(std::move(c));
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::throughput_constraint(std::string constraint_name,
+                                                  std::string_view channel_name,
+                                                  std::int64_t min_tokens,
+                                                  support::Duration window) {
+  const auto cid = graph_.find_channel(channel_name);
+  if (!cid) {
+    throw support::ModelError("throughput constraint '" + constraint_name +
+                              "': unknown channel '" + std::string(channel_name) + "'");
+  }
+  ThroughputConstraint c;
+  c.name = std::move(constraint_name);
+  c.channel = *cid;
+  c.min_tokens = min_tokens;
+  c.window = window;
+  graph_.constraints().throughput.push_back(std::move(c));
+  return *this;
+}
+
+bool GraphBuilder::used_shorthand(ProcessId id) const {
+  return std::find(shorthand_processes_.begin(), shorthand_processes_.end(), id) !=
+         shorthand_processes_.end();
+}
+
+void GraphBuilder::note_shorthand(ProcessId id) {
+  if (!used_shorthand(id)) shorthand_processes_.push_back(id);
+}
+
+}  // namespace spivar::spi

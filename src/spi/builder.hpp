@@ -1,0 +1,159 @@
+// Fluent construction API for SPI model graphs.
+//
+// Example (Figure 1 of the paper):
+//
+//   GraphBuilder b{"fig1"};
+//   auto c1 = b.queue("c1").id();
+//   auto c2 = b.queue("c2").id();
+//   b.process("p1").latency(1_ms).produces(c1, 2);          // determinate
+//   auto p2 = b.process("p2");
+//   auto in = p2.input(c1);
+//   auto out = p2.output(c2);
+//   p2.mode("m1").latency(3_ms).consume(in, 1).produce(out, 2);
+//   p2.mode("m2").latency(5_ms).consume(in, 3).produce(out, 5);
+//   p2.rule("a1", Predicate::num_at_least(c1, 1) &&
+//                 Predicate::has_tag(c1, b.tag("a")), "m1");
+//   Graph g = b.take();
+//
+// Single-mode processes use the `consumes/produces/latency` shorthand, which
+// populates one implicit mode named "default". Mixing the shorthand with
+// explicit `mode()` declarations is rejected.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spi/graph.hpp"
+#include "support/duration.hpp"
+
+namespace spivar::spi {
+
+class GraphBuilder;
+
+class ChannelBuilder {
+ public:
+  ChannelBuilder& capacity(std::int64_t bound);
+  ChannelBuilder& initial(std::int64_t tokens,
+                          std::initializer_list<std::string_view> tags = {});
+  ChannelBuilder& mark_virtual();
+
+  [[nodiscard]] ChannelId id() const noexcept { return id_; }
+  operator ChannelId() const noexcept { return id_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  friend class GraphBuilder;
+  ChannelBuilder(GraphBuilder& owner, ChannelId id) : owner_(&owner), id_(id) {}
+
+  GraphBuilder* owner_;
+  ChannelId id_;
+};
+
+class ModeBuilder {
+ public:
+  ModeBuilder& latency(support::DurationInterval latency);
+  /// Sets the consumption rate on the input edge from `channel` (the edge is
+  /// created on first use).
+  ModeBuilder& consume(ChannelId channel, support::Interval rate);
+  /// Sets the production rate on the output edge to `channel`, optionally
+  /// attaching virtual mode tags to every produced token.
+  ModeBuilder& produce(ChannelId channel, support::Interval rate,
+                       std::initializer_list<std::string_view> tags = {});
+
+  [[nodiscard]] ModeId id() const noexcept { return mode_; }
+  operator ModeId() const noexcept { return mode_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  friend class ProcessBuilder;
+  ModeBuilder(GraphBuilder& owner, ProcessId process, ModeId mode)
+      : owner_(&owner), process_(process), mode_(mode) {}
+
+  GraphBuilder* owner_;
+  ProcessId process_;
+  ModeId mode_;
+};
+
+class ProcessBuilder {
+ public:
+  // -- single-mode shorthand (implicit mode "default") ----------------------
+  ProcessBuilder& latency(support::DurationInterval latency);
+  ProcessBuilder& consumes(ChannelId channel, support::Interval rate);
+  ProcessBuilder& produces(ChannelId channel, support::Interval rate,
+                           std::initializer_list<std::string_view> tags = {});
+
+  // -- explicit edges & modes ------------------------------------------------
+  /// Declares (or returns the existing) input edge from `channel`.
+  EdgeId input(ChannelId channel);
+  /// Declares (or returns the existing) output edge to `channel`.
+  EdgeId output(ChannelId channel);
+  /// Appends a new mode.
+  ModeBuilder mode(std::string name);
+
+  /// Appends an activation rule mapping `predicate` to the mode named
+  /// `mode_name` (which must already be declared).
+  ProcessBuilder& rule(std::string name, Predicate predicate, std::string_view mode_name);
+
+  /// Declares a Def. 4 configuration grouping already-declared modes.
+  ProcessBuilder& configuration(std::string name,
+                                std::initializer_list<std::string_view> mode_names,
+                                support::Duration t_conf);
+
+  ProcessBuilder& mark_virtual();
+  ProcessBuilder& min_period(support::Duration period);
+  ProcessBuilder& max_firings(std::int64_t count);
+
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  operator ProcessId() const noexcept { return id_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  friend class GraphBuilder;
+  ProcessBuilder(GraphBuilder& owner, ProcessId id) : owner_(&owner), id_(id) {}
+
+  /// Mode 0 used by the single-mode shorthand; throws if explicit modes exist.
+  ModeId default_mode();
+
+  GraphBuilder* owner_;
+  ProcessId id_;
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string name = "model") : graph_(std::move(name)) {}
+
+  ChannelBuilder queue(std::string name);
+  ChannelBuilder reg(std::string name);
+  ProcessBuilder process(std::string name);
+
+  TagId tag(std::string_view name) { return graph_.tag(name); }
+
+  /// Adds a latency constraint along the named process path.
+  GraphBuilder& latency_constraint(std::string constraint_name,
+                                   std::initializer_list<std::string_view> process_names,
+                                   support::Duration bound);
+  /// Adds a throughput constraint on the named channel.
+  GraphBuilder& throughput_constraint(std::string constraint_name, std::string_view channel_name,
+                                      std::int64_t min_tokens, support::Duration window);
+
+  /// Access to the graph under construction (used by the fluent helpers).
+  [[nodiscard]] Graph& graph() noexcept { return graph_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Finalizes and moves the graph out. The builder is left empty.
+  [[nodiscard]] Graph take() { return std::move(graph_); }
+
+ private:
+  friend class ProcessBuilder;
+  friend class ModeBuilder;
+  friend class ChannelBuilder;
+
+  /// Set of processes that used the single-mode shorthand (to reject mixing).
+  std::vector<ProcessId> shorthand_processes_;
+  [[nodiscard]] bool used_shorthand(ProcessId id) const;
+  void note_shorthand(ProcessId id);
+
+  Graph graph_;
+};
+
+}  // namespace spivar::spi

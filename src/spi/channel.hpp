@@ -1,0 +1,53 @@
+// Channels.
+//
+// SPI channels are unidirectional, point-to-point, and either FIFO-ordered
+// queues (destructive read) or registers (destructive write, non-destructive
+// read). A channel node transfers data without transformation; its state is
+// the multiset of buffered tokens (queue) or the current value (register).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "spi/token.hpp"
+#include "support/ids.hpp"
+
+namespace spivar::spi {
+
+using support::EdgeId;
+
+enum class ChannelKind : std::uint8_t {
+  kQueue,     ///< FIFO buffer, destructive read
+  kRegister,  ///< single-place buffer, destructive write, non-destructive read
+};
+
+[[nodiscard]] constexpr const char* to_string(ChannelKind k) noexcept {
+  return k == ChannelKind::kQueue ? "queue" : "register";
+}
+
+struct Channel {
+  std::string name;
+  ChannelKind kind = ChannelKind::kQueue;
+
+  /// Optional queue capacity bound; nullopt = unbounded. Registers always
+  /// hold at most one token.
+  std::optional<std::int64_t> capacity;
+
+  /// Tokens present before the first execution; all carry `initial_tags`.
+  std::int64_t initial_tokens = 0;
+  TagSet initial_tags;
+
+  /// Virtual channels model the environment (paper §2 "concept of
+  /// virtuality"); they take part in activation but not in synthesis cost.
+  bool is_virtual = false;
+
+  /// Incident edges. The Def. 1 degree rule (one producer, one consumer) is
+  /// enforced by validation *up to mutual exclusion*: a port channel of an
+  /// interface is legally connected to one process per alternative cluster,
+  /// because at most one of them can ever be active.
+  std::vector<EdgeId> producers;
+  std::vector<EdgeId> consumers;
+};
+
+}  // namespace spivar::spi

@@ -1,0 +1,48 @@
+// Timing constraints.
+//
+// The SPI model attaches timing constraints to the graph and provides a
+// constructive method to check compliance (paper §2). We support the two
+// constraint forms the examples need: end-to-end latency along a process
+// path and token throughput on a channel. Analytical checks live in
+// `analysis/timing.hpp`; the simulator additionally measures both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/duration.hpp"
+#include "support/ids.hpp"
+
+namespace spivar::spi {
+
+using support::ChannelId;
+using support::Duration;
+using support::ProcessId;
+
+/// Bound on the accumulated worst-case latency along a chain of processes
+/// (each element must be a successor of the previous one through a channel).
+struct LatencyPathConstraint {
+  std::string name;
+  std::vector<ProcessId> path;
+  Duration max_total = Duration::zero();
+};
+
+/// Requires at least `min_tokens` tokens to be produced onto `channel` within
+/// every window of length `window` (steady-state throughput).
+struct ThroughputConstraint {
+  std::string name;
+  ChannelId channel;
+  std::int64_t min_tokens = 0;
+  Duration window = Duration::zero();
+};
+
+struct ConstraintSet {
+  std::vector<LatencyPathConstraint> latency;
+  std::vector<ThroughputConstraint> throughput;
+
+  [[nodiscard]] bool empty() const noexcept { return latency.empty() && throughput.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return latency.size() + throughput.size(); }
+};
+
+}  // namespace spivar::spi

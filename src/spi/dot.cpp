@@ -1,0 +1,81 @@
+#include "spi/dot.hpp"
+
+#include <sstream>
+
+namespace spivar::spi {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(graph.name()) << "\" {\n";
+  os << "  rankdir=LR;\n";
+
+  for (ProcessId pid : graph.process_ids()) {
+    const Process& p = graph.process(pid);
+    if (p.is_virtual && !options.show_virtual) continue;
+    os << "  p" << pid.value() << " [shape=box,label=\"" << escape(p.name);
+    if (options.show_modes && !(p.modes.size() == 1 && p.modes[0].name == "default")) {
+      for (const Mode& m : p.modes) {
+        os << "\\n" << escape(m.name) << ": " << m.latency.to_string();
+      }
+    } else if (options.show_modes && !p.modes.empty()) {
+      os << "\\n" << p.modes[0].latency.to_string();
+    }
+    os << "\"";
+    if (p.is_virtual) os << ",style=dashed";
+    os << "];\n";
+  }
+
+  for (ChannelId cid : graph.channel_ids()) {
+    const Channel& ch = graph.channel(cid);
+    if (ch.is_virtual && !options.show_virtual) continue;
+    os << "  c" << cid.value() << " [shape=ellipse";
+    if (ch.kind == ChannelKind::kRegister) os << ",peripheries=2";
+    os << ",label=\"" << escape(ch.name);
+    if (ch.initial_tokens > 0) os << "\\n(" << ch.initial_tokens << " init)";
+    os << "\"";
+    if (ch.is_virtual) os << ",style=dashed";
+    os << "];\n";
+  }
+
+  for (ProcessId pid : graph.process_ids()) {
+    const Process& p = graph.process(pid);
+    if (p.is_virtual && !options.show_virtual) continue;
+    for (EdgeId e : p.inputs) {
+      const Edge& edge = graph.edge(e);
+      if (graph.channel(edge.channel).is_virtual && !options.show_virtual) continue;
+      os << "  c" << edge.channel.value() << " -> p" << pid.value();
+      if (options.show_rates && !p.modes.empty()) {
+        os << " [label=\"" << p.modes[0].consumption_on(e).to_string() << "\"]";
+      }
+      os << ";\n";
+    }
+    for (EdgeId e : p.outputs) {
+      const Edge& edge = graph.edge(e);
+      if (graph.channel(edge.channel).is_virtual && !options.show_virtual) continue;
+      os << "  p" << pid.value() << " -> c" << edge.channel.value();
+      if (options.show_rates && !p.modes.empty()) {
+        os << " [label=\"" << p.modes[0].production_on(e).to_string() << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace spivar::spi

@@ -1,0 +1,22 @@
+// GraphViz (DOT) export of SPI model graphs.
+//
+// Processes render as boxes annotated with their modes, channels as ellipses
+// (double border for registers), edges with the default-mode rates. Useful
+// for documentation and debugging; covered by golden tests.
+#pragma once
+
+#include <string>
+
+#include "spi/graph.hpp"
+
+namespace spivar::spi {
+
+struct DotOptions {
+  bool show_rates = true;      ///< annotate edges with the first mode's rates
+  bool show_modes = true;      ///< list mode names + latencies inside process boxes
+  bool show_virtual = true;    ///< include virtual processes/channels (dashed)
+};
+
+[[nodiscard]] std::string to_dot(const Graph& graph, const DotOptions& options = {});
+
+}  // namespace spivar::spi

@@ -1,0 +1,136 @@
+#include "spi/graph.hpp"
+
+#include <algorithm>
+
+namespace spivar::spi {
+
+namespace {
+
+template <typename IdT>
+IdT make_id(std::size_t index) {
+  return IdT{static_cast<typename IdT::value_type>(index)};
+}
+
+}  // namespace
+
+ProcessId Graph::add_process(Process process) {
+  const auto id = make_id<ProcessId>(processes_.size());
+  processes_.push_back(std::move(process));
+  return id;
+}
+
+ChannelId Graph::add_channel(Channel channel) {
+  const auto id = make_id<ChannelId>(channels_.size());
+  channels_.push_back(std::move(channel));
+  return id;
+}
+
+EdgeId Graph::connect(ProcessId process, ChannelId channel, EdgeDir dir) {
+  if (process.index() >= processes_.size()) {
+    throw support::ModelError("connect: unknown process id");
+  }
+  if (channel.index() >= channels_.size()) {
+    throw support::ModelError("connect: unknown channel id");
+  }
+  Channel& ch = channels_[channel.index()];
+  const auto id = make_id<EdgeId>(edges_.size());
+  edges_.push_back({process, channel, dir});
+
+  Process& p = processes_[process.index()];
+  if (dir == EdgeDir::kChannelToProcess) {
+    p.inputs.push_back(id);
+    ch.consumers.push_back(id);
+  } else {
+    p.outputs.push_back(id);
+    ch.producers.push_back(id);
+  }
+  return id;
+}
+
+std::vector<ProcessId> Graph::process_ids() const {
+  std::vector<ProcessId> out;
+  out.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) out.push_back(make_id<ProcessId>(i));
+  return out;
+}
+
+std::vector<ChannelId> Graph::channel_ids() const {
+  std::vector<ChannelId> out;
+  out.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) out.push_back(make_id<ChannelId>(i));
+  return out;
+}
+
+std::optional<ProcessId> Graph::find_process(std::string_view name) const {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i].name == name) return make_id<ProcessId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ChannelId> Graph::find_channel(std::string_view name) const {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i].name == name) return make_id<ChannelId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcessId> Graph::producer_of(ChannelId id) const {
+  const Channel& ch = channel(id);
+  if (ch.producers.empty()) return std::nullopt;
+  return edge(ch.producers.front()).process;
+}
+
+std::optional<ProcessId> Graph::consumer_of(ChannelId id) const {
+  const Channel& ch = channel(id);
+  if (ch.consumers.empty()) return std::nullopt;
+  return edge(ch.consumers.front()).process;
+}
+
+std::vector<ProcessId> Graph::producers_of(ChannelId id) const {
+  std::vector<ProcessId> out;
+  for (EdgeId e : channel(id).producers) out.push_back(edge(e).process);
+  return out;
+}
+
+std::vector<ProcessId> Graph::consumers_of(ChannelId id) const {
+  std::vector<ProcessId> out;
+  for (EdgeId e : channel(id).consumers) out.push_back(edge(e).process);
+  return out;
+}
+
+std::optional<EdgeId> Graph::input_edge(ProcessId process_id, ChannelId channel_id) const {
+  for (EdgeId e : process(process_id).inputs) {
+    if (edge(e).channel == channel_id) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeId> Graph::output_edge(ProcessId process_id, ChannelId channel_id) const {
+  for (EdgeId e : process(process_id).outputs) {
+    if (edge(e).channel == channel_id) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<ProcessId> Graph::successors(ProcessId process_id) const {
+  std::vector<ProcessId> out;
+  for (EdgeId e : process(process_id).outputs) {
+    for (ProcessId next : consumers_of(edge(e).channel)) out.push_back(next);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ProcessId> Graph::predecessors(ProcessId process_id) const {
+  std::vector<ProcessId> out;
+  for (EdgeId e : process(process_id).inputs) {
+    for (ProcessId prev : producers_of(edge(e).channel)) out.push_back(prev);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace spivar::spi

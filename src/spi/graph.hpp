@@ -1,0 +1,120 @@
+// The SPI model graph.
+//
+// A directed bipartite graph of process nodes and channel nodes connected by
+// communication edges (paper §2). The graph owns all entities, the tag
+// interner, and the attached timing constraints. Construction goes through
+// GraphBuilder (builder.hpp); this class enforces the structural invariants
+// that must never be violated (channel degree, edge endpoints).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spi/channel.hpp"
+#include "spi/constraints.hpp"
+#include "spi/process.hpp"
+#include "support/diagnostics.hpp"
+#include "support/ids.hpp"
+#include "support/interner.hpp"
+
+namespace spivar::spi {
+
+using support::ChannelId;
+using support::EdgeId;
+using support::ProcessId;
+
+enum class EdgeDir : std::uint8_t {
+  kChannelToProcess,  ///< input edge: the process consumes from the channel
+  kProcessToChannel,  ///< output edge: the process produces onto the channel
+};
+
+struct Edge {
+  ProcessId process;
+  ChannelId channel;
+  EdgeDir dir = EdgeDir::kChannelToProcess;
+
+  [[nodiscard]] bool is_input() const noexcept { return dir == EdgeDir::kChannelToProcess; }
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name = "model") : name_(std::move(name)) {}
+
+  // --- construction (used by GraphBuilder and the variant transforms) -----
+
+  ProcessId add_process(Process process);
+  ChannelId add_channel(Channel channel);
+
+  /// Connects `process` and `channel` with a new edge. Multiple producers or
+  /// consumers are structurally allowed (alternative clusters share their
+  /// port channels); validation enforces the Def. 1 degree rule up to mutual
+  /// exclusion.
+  EdgeId connect(ProcessId process, ChannelId channel, EdgeDir dir);
+
+  // --- entity access -------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t process_count() const noexcept { return processes_.size(); }
+  [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Process& process(ProcessId id) const { return processes_.at(id.index()); }
+  [[nodiscard]] Process& process(ProcessId id) { return processes_.at(id.index()); }
+  [[nodiscard]] const Channel& channel(ChannelId id) const { return channels_.at(id.index()); }
+  [[nodiscard]] Channel& channel(ChannelId id) { return channels_.at(id.index()); }
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_.at(id.index()); }
+
+  [[nodiscard]] std::vector<ProcessId> process_ids() const;
+  [[nodiscard]] std::vector<ChannelId> channel_ids() const;
+
+  [[nodiscard]] std::optional<ProcessId> find_process(std::string_view name) const;
+  [[nodiscard]] std::optional<ChannelId> find_channel(std::string_view name) const;
+
+  /// First process writing the channel, or nullopt for system inputs.
+  [[nodiscard]] std::optional<ProcessId> producer_of(ChannelId id) const;
+  /// First process reading the channel, or nullopt for system outputs.
+  [[nodiscard]] std::optional<ProcessId> consumer_of(ChannelId id) const;
+  /// All processes writing / reading the channel (several only across
+  /// mutually exclusive clusters).
+  [[nodiscard]] std::vector<ProcessId> producers_of(ChannelId id) const;
+  [[nodiscard]] std::vector<ProcessId> consumers_of(ChannelId id) const;
+
+  /// The channel a process edge touches.
+  [[nodiscard]] ChannelId channel_of(EdgeId id) const { return edge(id).channel; }
+
+  /// Input edge of `process` coming from `channel` (nullopt when absent).
+  [[nodiscard]] std::optional<EdgeId> input_edge(ProcessId process, ChannelId channel) const;
+  /// Output edge of `process` going to `channel` (nullopt when absent).
+  [[nodiscard]] std::optional<EdgeId> output_edge(ProcessId process, ChannelId channel) const;
+
+  /// Downstream process successors of `process` (through its output channels).
+  [[nodiscard]] std::vector<ProcessId> successors(ProcessId process) const;
+  /// Upstream process predecessors of `process`.
+  [[nodiscard]] std::vector<ProcessId> predecessors(ProcessId process) const;
+
+  // --- tags ----------------------------------------------------------------
+
+  [[nodiscard]] support::TagInterner& tags() noexcept { return tags_; }
+  [[nodiscard]] const support::TagInterner& tags() const noexcept { return tags_; }
+  TagId tag(std::string_view name) { return tags_.intern(name); }
+
+  // --- constraints ----------------------------------------------------------
+
+  [[nodiscard]] ConstraintSet& constraints() noexcept { return constraints_; }
+  [[nodiscard]] const ConstraintSet& constraints() const noexcept { return constraints_; }
+
+ private:
+  std::string name_;
+  std::vector<Process> processes_;
+  std::vector<Channel> channels_;
+  std::vector<Edge> edges_;
+  support::TagInterner tags_;
+  ConstraintSet constraints_;
+};
+
+}  // namespace spivar::spi

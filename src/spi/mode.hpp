@@ -1,0 +1,58 @@
+// Process modes.
+//
+// A mode (paper §2) is a subset of a process's possible behaviors with
+// correlated parameters: one latency interval and, per incident edge, a data
+// rate interval plus the tag set attached to produced tokens. A process with
+// a single mode and point intervals is fully determinate (p1 in Figure 1); a
+// process with interval parameters and several modes models data-dependent
+// behavior (p2 in Figure 1).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "spi/token.hpp"
+#include "support/duration.hpp"
+#include "support/ids.hpp"
+#include "support/interval.hpp"
+
+namespace spivar::spi {
+
+using support::DurationInterval;
+using support::EdgeId;
+using support::Interval;
+using support::ModeId;
+
+struct Mode {
+  std::string name;
+
+  /// Execution latency (difference between start and completion time).
+  DurationInterval latency;
+
+  /// Per input edge: number of tokens consumed in this mode. Edges without an
+  /// entry are not read in this mode (rate 0).
+  std::map<EdgeId, Interval> consumption;
+
+  /// Per output edge: number of tokens produced in this mode. Edges without
+  /// an entry are not written in this mode (rate 0).
+  std::map<EdgeId, Interval> production;
+
+  /// Virtual mode tags attached to every token produced on an edge in this
+  /// mode (paper: "processes may add virtual mode tags to produced data").
+  std::map<EdgeId, TagSet> produced_tags;
+
+  [[nodiscard]] Interval consumption_on(EdgeId edge) const {
+    auto it = consumption.find(edge);
+    return it == consumption.end() ? Interval{0} : it->second;
+  }
+  [[nodiscard]] Interval production_on(EdgeId edge) const {
+    auto it = production.find(edge);
+    return it == production.end() ? Interval{0} : it->second;
+  }
+  [[nodiscard]] TagSet tags_on(EdgeId edge) const {
+    auto it = produced_tags.find(edge);
+    return it == produced_tags.end() ? TagSet{} : it->second;
+  }
+};
+
+}  // namespace spivar::spi

@@ -1,0 +1,174 @@
+#include "spi/predicate.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::spi {
+
+Predicate Predicate::always() {
+  Predicate p;
+  p.nodes_.push_back({.kind = Kind::kTrue});
+  p.root_ = 0;
+  return p;
+}
+
+Predicate Predicate::never() {
+  Predicate p;
+  p.nodes_.push_back({.kind = Kind::kFalse});
+  p.root_ = 0;
+  return p;
+}
+
+Predicate Predicate::num_at_least(ChannelId channel, std::int64_t n) {
+  if (n < 0) throw support::ModelError("num_at_least with negative count");
+  Predicate p;
+  p.nodes_.push_back({.kind = Kind::kNumAtLeast, .channel = channel, .count = n});
+  p.root_ = 0;
+  return p;
+}
+
+Predicate Predicate::has_tag(ChannelId channel, TagId tag) {
+  Predicate p;
+  p.nodes_.push_back({.kind = Kind::kHasTag, .channel = channel, .tag = tag});
+  p.root_ = 0;
+  return p;
+}
+
+std::int32_t Predicate::absorb(const Predicate& other) {
+  const auto offset = static_cast<std::int32_t>(nodes_.size());
+  for (Node n : other.nodes_) {
+    if (n.lhs >= 0) n.lhs += offset;
+    if (n.rhs >= 0) n.rhs += offset;
+    nodes_.push_back(n);
+  }
+  return other.root_ + offset;
+}
+
+Predicate Predicate::operator&&(const Predicate& other) const {
+  Predicate out = *this;
+  const std::int32_t rhs = out.absorb(other);
+  out.nodes_.push_back({.kind = Kind::kAnd, .lhs = out.root_, .rhs = rhs});
+  out.root_ = static_cast<std::int32_t>(out.nodes_.size()) - 1;
+  return out;
+}
+
+Predicate Predicate::operator||(const Predicate& other) const {
+  Predicate out = *this;
+  const std::int32_t rhs = out.absorb(other);
+  out.nodes_.push_back({.kind = Kind::kOr, .lhs = out.root_, .rhs = rhs});
+  out.root_ = static_cast<std::int32_t>(out.nodes_.size()) - 1;
+  return out;
+}
+
+Predicate Predicate::operator!() const {
+  Predicate out = *this;
+  out.nodes_.push_back({.kind = Kind::kNot, .lhs = out.root_});
+  out.root_ = static_cast<std::int32_t>(out.nodes_.size()) - 1;
+  return out;
+}
+
+bool Predicate::evaluate(const ChannelStateView& view) const {
+  if (root_ < 0) throw support::ModelError("evaluating empty predicate");
+  return eval_node(root_, view);
+}
+
+bool Predicate::eval_node(std::int32_t index, const ChannelStateView& view) const {
+  const Node& n = nodes_[static_cast<std::size_t>(index)];
+  switch (n.kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kNumAtLeast:
+      return view.available(n.channel) >= n.count;
+    case Kind::kHasTag: {
+      const TagSet* tags = view.first_token_tags(n.channel);
+      return tags != nullptr && tags->contains(n.tag);
+    }
+    case Kind::kAnd:
+      return eval_node(n.lhs, view) && eval_node(n.rhs, view);
+    case Kind::kOr:
+      return eval_node(n.lhs, view) || eval_node(n.rhs, view);
+    case Kind::kNot:
+      return !eval_node(n.lhs, view);
+  }
+  throw support::ModelError("corrupt predicate node");
+}
+
+std::vector<ChannelId> Predicate::referenced_channels() const {
+  std::vector<ChannelId> out;
+  for (const Node& n : nodes_) {
+    if (n.kind == Kind::kNumAtLeast || n.kind == Kind::kHasTag) out.push_back(n.channel);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Predicate Predicate::remap_channels(const std::function<ChannelId(ChannelId)>& map) const {
+  Predicate out = *this;
+  for (Node& n : out.nodes_) {
+    if (n.kind == Kind::kNumAtLeast || n.kind == Kind::kHasTag) n.channel = map(n.channel);
+  }
+  return out;
+}
+
+bool Predicate::is_always() const {
+  return root_ >= 0 && nodes_[static_cast<std::size_t>(root_)].kind == Kind::kTrue;
+}
+
+std::string Predicate::to_string(const TagInterner& interner) const {
+  if (root_ < 0) return "<empty>";
+  return node_to_string(root_, interner);
+}
+
+std::string Predicate::to_text(const std::function<std::string(ChannelId)>& channel_name,
+                               const TagInterner& interner) const {
+  if (root_ < 0) return "true";
+  // Recursive lambda over node indices, emitting the textio grammar.
+  std::function<std::string(std::int32_t)> emit = [&](std::int32_t index) -> std::string {
+    const Node& n = nodes_[static_cast<std::size_t>(index)];
+    switch (n.kind) {
+      case Kind::kTrue:
+        return "true";
+      case Kind::kFalse:
+        return "false";
+      case Kind::kNumAtLeast:
+        return "num(" + channel_name(n.channel) + ") >= " + std::to_string(n.count);
+      case Kind::kHasTag:
+        return "tag(" + channel_name(n.channel) + ", " + interner.name(n.tag) + ")";
+      case Kind::kAnd:
+        return "(" + emit(n.lhs) + " && " + emit(n.rhs) + ")";
+      case Kind::kOr:
+        return "(" + emit(n.lhs) + " || " + emit(n.rhs) + ")";
+      case Kind::kNot:
+        return "!(" + emit(n.lhs) + ")";
+    }
+    return "true";
+  };
+  return emit(root_);
+}
+
+std::string Predicate::node_to_string(std::int32_t index, const TagInterner& interner) const {
+  const Node& n = nodes_[static_cast<std::size_t>(index)];
+  switch (n.kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kNumAtLeast:
+      return "(c#" + std::to_string(n.channel.value()) + ".num >= " + std::to_string(n.count) + ")";
+    case Kind::kHasTag:
+      return "('" + interner.name(n.tag) + "' in c#" + std::to_string(n.channel.value()) + ".tag)";
+    case Kind::kAnd:
+      return "(" + node_to_string(n.lhs, interner) + " && " + node_to_string(n.rhs, interner) + ")";
+    case Kind::kOr:
+      return "(" + node_to_string(n.lhs, interner) + " || " + node_to_string(n.rhs, interner) + ")";
+    case Kind::kNot:
+      return "!" + node_to_string(n.lhs, interner);
+  }
+  return "?";
+}
+
+}  // namespace spivar::spi

@@ -1,0 +1,97 @@
+// Input-token predicates.
+//
+// Activation rules and cluster-selection rules map *predicates* on the input
+// channels of a process/interface to modes/clusters (paper §2, Def. 3). A
+// predicate observes, per channel, the number of available tokens and the
+// tag set of the first visible token. Predicates are value types (flat
+// expression trees) so they can be copied and remapped when clusters are
+// spliced or abstracted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spi/token.hpp"
+#include "support/ids.hpp"
+
+namespace spivar::spi {
+
+using support::ChannelId;
+
+/// Read-only view of channel state used for predicate evaluation. Implemented
+/// by the simulator (live state) and by tests (fixtures).
+class ChannelStateView {
+ public:
+  virtual ~ChannelStateView() = default;
+
+  /// Number of tokens currently visible on the channel.
+  [[nodiscard]] virtual std::int64_t available(ChannelId channel) const = 0;
+
+  /// Tag set of the first visible token, or nullptr when the channel is empty.
+  [[nodiscard]] virtual const TagSet* first_token_tags(ChannelId channel) const = 0;
+};
+
+class Predicate {
+ public:
+  /// Constant-true predicate (used for unconditional rules).
+  [[nodiscard]] static Predicate always();
+  /// Constant-false predicate.
+  [[nodiscard]] static Predicate never();
+  /// "channel#num >= n" — at least n tokens available.
+  [[nodiscard]] static Predicate num_at_least(ChannelId channel, std::int64_t n);
+  /// "tag in channel#tag" — first visible token carries `tag`.
+  [[nodiscard]] static Predicate has_tag(ChannelId channel, TagId tag);
+
+  [[nodiscard]] Predicate operator&&(const Predicate& other) const;
+  [[nodiscard]] Predicate operator||(const Predicate& other) const;
+  [[nodiscard]] Predicate operator!() const;
+
+  [[nodiscard]] bool evaluate(const ChannelStateView& view) const;
+
+  /// All channels the predicate observes (deduplicated).
+  [[nodiscard]] std::vector<ChannelId> referenced_channels() const;
+
+  /// Structurally rewrite channel references (used by flatten/abstraction).
+  [[nodiscard]] Predicate remap_channels(
+      const std::function<ChannelId(ChannelId)>& map) const;
+
+  /// True iff the predicate is the constant `always()`.
+  [[nodiscard]] bool is_always() const;
+
+  /// Human-readable rendering, e.g. "(c#3 >= 1) && ('a' in c#3.tag)".
+  [[nodiscard]] std::string to_string(const TagInterner& interner) const;
+
+  /// Parseable rendering in the textio grammar, e.g.
+  /// "num(c1) >= 1 && tag(c1, a)". `channel_name` maps ids to names.
+  [[nodiscard]] std::string to_text(
+      const std::function<std::string(ChannelId)>& channel_name,
+      const TagInterner& interner) const;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+
+ private:
+  enum class Kind : std::uint8_t { kTrue, kFalse, kNumAtLeast, kHasTag, kAnd, kOr, kNot };
+
+  struct Node {
+    Kind kind = Kind::kTrue;
+    ChannelId channel;
+    std::int64_t count = 0;
+    TagId tag;
+    std::int32_t lhs = -1;  // child indices into nodes_
+    std::int32_t rhs = -1;
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  [[nodiscard]] bool eval_node(std::int32_t index, const ChannelStateView& view) const;
+  [[nodiscard]] std::string node_to_string(std::int32_t index, const TagInterner& interner) const;
+  /// Append `other`'s nodes to *this and return the re-based root of `other`.
+  std::int32_t absorb(const Predicate& other);
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace spivar::spi

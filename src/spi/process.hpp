@@ -1,0 +1,90 @@
+// Processes and configurations.
+//
+// A process maps input data to output data at each execution; SPI abstracts
+// it to modes (rates + latency) and an activation function. This header also
+// carries Def. 4 of the paper: a *configuration* groups the modes extracted
+// from one function variant (cluster); switching configurations costs the
+// reconfiguration latency and clears internal state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spi/activation.hpp"
+#include "spi/mode.hpp"
+#include "support/duration.hpp"
+#include "support/ids.hpp"
+
+namespace spivar::spi {
+
+using support::ConfigurationId;
+using support::Duration;
+using support::ProcessId;
+
+/// Def. 4: a set of process modes extracted from the same function variant,
+/// plus the latency of (re)configuring the process into this variant.
+struct Configuration {
+  std::string name;
+  std::vector<ModeId> modes;
+  Duration t_conf = Duration::zero();
+};
+
+struct Process {
+  std::string name;
+
+  /// Incident edges in declaration order (edge ids into Graph::edges()).
+  std::vector<EdgeId> inputs;
+  std::vector<EdgeId> outputs;
+
+  /// Behavior alternatives. Every process has at least one mode; a process
+  /// built with plain `consumes/produces/latency` calls gets a single
+  /// implicit mode.
+  std::vector<Mode> modes;
+
+  /// Ordered activation rules. When empty, activation is implicit: a mode is
+  /// enabled as soon as every input edge holds at least the mode's lower
+  /// consumption bound (data-driven firing).
+  ActivationFunction activation;
+
+  /// Def. 4 configurations; empty for processes without function variants.
+  std::vector<Configuration> configurations;
+
+  /// Configuration loaded before the system starts (`conf_cur` at t=0);
+  /// nullopt means the first execution pays its configuration latency.
+  std::optional<ConfigurationId> initial_configuration;
+
+  /// Virtual processes model the environment (sources/sinks, users).
+  bool is_virtual = false;
+
+  /// Environment pacing: minimum time between consecutive releases. The
+  /// paper constrains e.g. PUser "to execute only once in the beginning"
+  /// with constraint elements it omits for brevity; we provide these two
+  /// knobs for the same purpose.
+  std::optional<Duration> min_period;
+  std::optional<std::int64_t> max_firings;
+
+  [[nodiscard]] const Mode& mode(ModeId id) const { return modes.at(id.index()); }
+
+  [[nodiscard]] std::optional<ModeId> find_mode(const std::string& mode_name) const {
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      if (modes[i].name == mode_name) return ModeId{static_cast<std::uint32_t>(i)};
+    }
+    return std::nullopt;
+  }
+
+  /// Configuration owning `mode`, or invalid id when the mode is in none.
+  [[nodiscard]] ConfigurationId configuration_of(ModeId mode_id) const {
+    for (std::size_t c = 0; c < configurations.size(); ++c) {
+      for (ModeId m : configurations[c].modes) {
+        if (m == mode_id) return ConfigurationId{static_cast<std::uint32_t>(c)};
+      }
+    }
+    return ConfigurationId{};
+  }
+
+  [[nodiscard]] bool has_configurations() const noexcept { return !configurations.empty(); }
+};
+
+}  // namespace spivar::spi

@@ -1,0 +1,51 @@
+#include "spi/statistics.hpp"
+
+#include <sstream>
+
+namespace spivar::spi {
+
+ModelStatistics collect_statistics(const Graph& graph) {
+  ModelStatistics s;
+  s.processes = graph.process_count();
+  s.channels = graph.channel_count();
+  s.edges = graph.edge_count();
+  s.tags = graph.tags().size();
+
+  for (ChannelId cid : graph.channel_ids()) {
+    if (graph.channel(cid).kind == ChannelKind::kRegister) ++s.registers;
+  }
+
+  for (ProcessId pid : graph.process_ids()) {
+    const Process& p = graph.process(pid);
+    if (p.is_virtual) ++s.virtual_processes;
+    s.modes += p.modes.size();
+    s.configurations += p.configurations.size();
+    s.activation_rules += p.activation.size();
+    if (!p.activation.empty()) ++s.explicit_rule_processes;
+
+    for (const Mode& m : p.modes) {
+      ++s.total_parameters;  // latency
+      if (m.latency.is_point()) ++s.point_parameters;
+      for (const auto& [edge, rate] : m.consumption) {
+        ++s.total_parameters;
+        if (rate.is_point()) ++s.point_parameters;
+      }
+      for (const auto& [edge, rate] : m.production) {
+        ++s.total_parameters;
+        if (rate.is_point()) ++s.point_parameters;
+      }
+    }
+  }
+  return s;
+}
+
+std::string ModelStatistics::to_string() const {
+  std::ostringstream os;
+  os << processes << " processes (" << virtual_processes << " virtual), " << channels
+     << " channels (" << registers << " registers), " << edges << " edges, " << modes
+     << " modes, " << configurations << " configurations, " << activation_rules << " rules, "
+     << tags << " tags, determinacy " << static_cast<int>(determinacy() * 100.0) << "%";
+  return os.str();
+}
+
+}  // namespace spivar::spi

@@ -1,0 +1,44 @@
+// Model statistics.
+//
+// A compact structural summary of an SPI graph: entity counts, behavioral
+// determinacy (how many parameters are points vs. proper intervals), tag
+// usage, and activation coverage. Used by tools, examples and tests to
+// sanity-check models at a glance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "spi/graph.hpp"
+
+namespace spivar::spi {
+
+struct ModelStatistics {
+  std::size_t processes = 0;
+  std::size_t virtual_processes = 0;
+  std::size_t channels = 0;
+  std::size_t registers = 0;
+  std::size_t edges = 0;
+  std::size_t modes = 0;
+  std::size_t configurations = 0;
+  std::size_t activation_rules = 0;
+  std::size_t explicit_rule_processes = 0;  ///< processes with explicit activation
+  std::size_t tags = 0;
+
+  /// Behavioral determinacy: parameters that are point intervals / total
+  /// parameters (rates + latencies). 1.0 = fully determinate model.
+  std::size_t point_parameters = 0;
+  std::size_t total_parameters = 0;
+
+  [[nodiscard]] double determinacy() const {
+    return total_parameters == 0
+               ? 1.0
+               : static_cast<double>(point_parameters) / static_cast<double>(total_parameters);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] ModelStatistics collect_statistics(const Graph& graph);
+
+}  // namespace spivar::spi

@@ -1,0 +1,584 @@
+#include "spi/textio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/duration.hpp"
+
+namespace spivar::spi {
+
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+
+// --- writer helpers ---------------------------------------------------------
+
+bool serializable_name(const std::string& name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+    return std::isalnum(c) != 0 || c == '_' || c == '-' || c == '.' || c == '#' || c == '/' ||
+           c == '+';
+  });
+}
+
+void require_serializable(const std::string& kind, const std::string& name) {
+  if (!serializable_name(name)) {
+    throw support::ModelError("textio: " + kind + " name '" + name +
+                              "' contains characters outside [A-Za-z0-9_.#/+-]");
+  }
+}
+
+std::string duration_text(Duration d) {
+  if (d.count() % 1000 == 0) return std::to_string(d.count() / 1000) + "ms";
+  return std::to_string(d.count()) + "us";
+}
+
+std::string latency_text(DurationInterval iv) {
+  if (iv.is_point()) return duration_text(iv.lo());
+  return duration_text(iv.lo()) + ".." + duration_text(iv.hi());
+}
+
+std::string interval_text(Interval iv) {
+  if (iv.is_point()) return std::to_string(iv.lo());
+  return std::to_string(iv.lo()) + ".." + std::to_string(iv.hi());
+}
+
+std::string tags_text(const TagSet& tags, const support::TagInterner& interner) {
+  std::string out;
+  for (TagId id : tags.ids()) {
+    if (!out.empty()) out += ",";
+    out += interner.name(id);
+  }
+  return out;
+}
+
+// --- parser helpers ------------------------------------------------------------
+
+/// Whitespace-splitting with position-preserving raw line access.
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is{line};
+  std::string word;
+  while (is >> word) out.push_back(word);
+  return out;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
+  return s.substr(a, b - a);
+}
+
+Duration parse_duration(const std::string& word, std::size_t line) {
+  std::size_t i = 0;
+  while (i < word.size() && (std::isdigit(static_cast<unsigned char>(word[i])) != 0 ||
+                             (i == 0 && word[i] == '-'))) {
+    ++i;
+  }
+  if (i == 0 || i >= word.size()) throw ParseError(line, "bad duration '" + word + "'");
+  const std::int64_t value = std::stoll(word.substr(0, i));
+  const std::string unit = word.substr(i);
+  if (unit == "ms") return Duration::millis(value);
+  if (unit == "us") return Duration::micros(value);
+  throw ParseError(line, "bad duration unit '" + unit + "' (use ms or us)");
+}
+
+DurationInterval parse_latency(const std::string& word, std::size_t line) {
+  const auto dots = word.find("..");
+  if (dots == std::string::npos) return DurationInterval{parse_duration(word, line)};
+  return DurationInterval{parse_duration(word.substr(0, dots), line),
+                          parse_duration(word.substr(dots + 2), line)};
+}
+
+Interval parse_interval(const std::string& word, std::size_t line) {
+  try {
+    const auto dots = word.find("..");
+    if (dots == std::string::npos) return Interval{std::stoll(word)};
+    return Interval{std::stoll(word.substr(0, dots)), std::stoll(word.substr(dots + 2))};
+  } catch (const std::invalid_argument&) {
+    throw ParseError(line, "bad rate interval '" + word + "'");
+  }
+}
+
+/// Recursive-descent predicate parser over a token stream.
+class PredicateParser {
+ public:
+  PredicateParser(std::string_view text, std::size_t line, Graph& graph)
+      : line_(line), graph_(graph) {
+    tokenize(text);
+  }
+
+  Predicate parse() {
+    Predicate p = parse_or();
+    if (pos_ != tokens_.size()) {
+      throw ParseError(line_, "trailing tokens after predicate: '" + tokens_[pos_] + "'");
+    }
+    return p;
+  }
+
+ private:
+  void tokenize(std::string_view text) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',') {
+        tokens_.emplace_back(1, c);
+        ++i;
+        continue;
+      }
+      if (c == '!' ) {
+        tokens_.emplace_back("!");
+        ++i;
+        continue;
+      }
+      if (text.compare(i, 2, "&&") == 0 || text.compare(i, 2, "||") == 0 ||
+          text.compare(i, 2, ">=") == 0) {
+        tokens_.emplace_back(text.substr(i, 2));
+        i += 2;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) != 0 || text[j] == '_' ||
+              text[j] == '-' || text[j] == '.' || text[j] == '#' || text[j] == '/' ||
+              text[j] == '+')) {
+        ++j;
+      }
+      if (j == i) throw ParseError(line_, std::string("bad character '") + c + "' in predicate");
+      tokens_.emplace_back(text.substr(i, j - i));
+      i = j;
+    }
+  }
+
+  [[nodiscard]] bool peek(const std::string& token) const {
+    return pos_ < tokens_.size() && tokens_[pos_] == token;
+  }
+  bool accept(const std::string& token) {
+    if (!peek(token)) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(const std::string& token) {
+    if (!accept(token)) {
+      throw ParseError(line_, "expected '" + token + "'" +
+                                  (pos_ < tokens_.size() ? " before '" + tokens_[pos_] + "'"
+                                                         : " at end of predicate"));
+    }
+  }
+  std::string next_word() {
+    if (pos_ >= tokens_.size()) throw ParseError(line_, "unexpected end of predicate");
+    return tokens_[pos_++];
+  }
+
+  ChannelId channel(const std::string& name) {
+    const auto id = graph_.find_channel(name);
+    if (!id) throw ParseError(line_, "predicate references unknown channel '" + name + "'");
+    return *id;
+  }
+
+  Predicate parse_or() {
+    Predicate p = parse_and();
+    while (accept("||")) p = p || parse_and();
+    return p;
+  }
+  Predicate parse_and() {
+    Predicate p = parse_unary();
+    while (accept("&&")) p = p && parse_unary();
+    return p;
+  }
+  Predicate parse_unary() {
+    if (accept("!")) return !parse_unary();
+    if (accept("(")) {
+      Predicate p = parse_or();
+      expect(")");
+      return p;
+    }
+    const std::string head = next_word();
+    if (head == "true") return Predicate::always();
+    if (head == "false") return Predicate::never();
+    if (head == "num") {
+      expect("(");
+      const ChannelId c = channel(next_word());
+      expect(")");
+      expect(">=");
+      const std::string count = next_word();
+      try {
+        return Predicate::num_at_least(c, std::stoll(count));
+      } catch (const std::invalid_argument&) {
+        throw ParseError(line_, "bad token count '" + count + "'");
+      }
+    }
+    if (head == "tag") {
+      expect("(");
+      const ChannelId c = channel(next_word());
+      expect(",");
+      const std::string tag = next_word();
+      expect(")");
+      return Predicate::has_tag(c, graph_.tag(tag));
+    }
+    throw ParseError(line_, "expected predicate atom, got '" + head + "'");
+  }
+
+  std::size_t line_;
+  Graph& graph_;
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// --- writer ------------------------------------------------------------------
+
+std::string write_text(const Graph& graph) {
+  std::ostringstream os;
+  require_serializable("model", graph.name());
+  os << "model " << graph.name() << "\n\n";
+
+  for (ChannelId cid : graph.channel_ids()) {
+    const Channel& ch = graph.channel(cid);
+    require_serializable("channel", ch.name);
+    if (ch.is_virtual) os << "virtual ";
+    os << (ch.kind == ChannelKind::kQueue ? "queue " : "register ") << ch.name;
+    if (ch.capacity) os << " capacity " << *ch.capacity;
+    if (ch.initial_tokens > 0) {
+      os << " initial " << ch.initial_tokens;
+      if (!ch.initial_tags.empty()) os << " tags " << tags_text(ch.initial_tags, graph.tags());
+    }
+    os << "\n";
+  }
+  os << "\n";
+
+  auto channel_name = [&](ChannelId c) { return graph.channel(c).name; };
+
+  for (ProcessId pid : graph.process_ids()) {
+    const Process& p = graph.process(pid);
+    require_serializable("process", p.name);
+    os << "process " << p.name;
+    if (p.is_virtual) os << " virtual";
+    if (p.min_period) os << " period " << duration_text(*p.min_period);
+    if (p.max_firings) os << " max_firings " << *p.max_firings;
+    os << "\n";
+
+    for (support::EdgeId e : p.inputs) os << "  input " << channel_name(graph.edge(e).channel) << "\n";
+    for (support::EdgeId e : p.outputs) {
+      os << "  output " << channel_name(graph.edge(e).channel) << "\n";
+    }
+
+    for (const Mode& m : p.modes) {
+      require_serializable("mode", m.name);
+      os << "  mode " << m.name << " latency " << latency_text(m.latency) << "\n";
+      for (const auto& [edge, rate] : m.consumption) {
+        os << "    consume " << channel_name(graph.edge(edge).channel) << " "
+           << interval_text(rate) << "\n";
+      }
+      for (const auto& [edge, rate] : m.production) {
+        os << "    produce " << channel_name(graph.edge(edge).channel) << " "
+           << interval_text(rate);
+        const TagSet tags = m.tags_on(edge);
+        if (!tags.empty()) os << " tags " << tags_text(tags, graph.tags());
+        os << "\n";
+      }
+    }
+
+    for (const ActivationRule& rule : p.activation.rules()) {
+      require_serializable("rule", rule.name);
+      os << "  rule " << rule.name << ": "
+         << rule.predicate.to_text(channel_name, graph.tags()) << " -> "
+         << p.modes.at(rule.mode.index()).name << "\n";
+    }
+
+    for (const Configuration& conf : p.configurations) {
+      require_serializable("configuration", conf.name);
+      os << "  configuration " << conf.name << " t_conf " << duration_text(conf.t_conf)
+         << " modes ";
+      for (std::size_t i = 0; i < conf.modes.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << p.modes.at(conf.modes[i].index()).name;
+      }
+      os << "\n";
+    }
+    if (p.initial_configuration) {
+      os << "  initial_configuration "
+         << p.configurations.at(p.initial_configuration->index()).name << "\n";
+    }
+    os << "\n";
+  }
+
+  for (const LatencyPathConstraint& c : graph.constraints().latency) {
+    require_serializable("constraint", c.name);
+    os << "latency_constraint " << c.name << " path ";
+    for (std::size_t i = 0; i < c.path.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << graph.process(c.path[i]).name;
+    }
+    os << " bound " << duration_text(c.max_total) << "\n";
+  }
+  for (const ThroughputConstraint& c : graph.constraints().throughput) {
+    require_serializable("constraint", c.name);
+    os << "throughput_constraint " << c.name << " channel " << channel_name(c.channel)
+       << " tokens " << c.min_tokens << " window " << duration_text(c.window) << "\n";
+  }
+  return os.str();
+}
+
+// --- parser -------------------------------------------------------------------
+
+Graph parse_text(std::string_view text) {
+  Graph graph;
+  bool saw_model = false;
+
+  std::optional<ProcessId> current_process;
+  int current_mode = -1;
+
+  TagSet pending_tags;  // scratch for "tags a,b" suffixes
+  auto parse_tag_list = [&](const std::string& list, std::size_t line) {
+    TagSet tags;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const auto comma = list.find(',', start);
+      const std::string name =
+          strip(comma == std::string::npos ? list.substr(start) : list.substr(start, comma - start));
+      if (name.empty()) throw ParseError(line, "empty tag name in '" + list + "'");
+      tags.insert(graph.tag(name));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return tags;
+  };
+
+  auto require_channel = [&](const std::string& name, std::size_t line) {
+    const auto id = graph.find_channel(name);
+    if (!id) throw ParseError(line, "unknown channel '" + name + "'");
+    return *id;
+  };
+
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    // '#' only starts a comment at start-of-word (names may contain '#').
+    std::string line = raw;
+    if (hash != std::string::npos && (hash == 0 || std::isspace(static_cast<unsigned char>(raw[hash - 1])) != 0)) {
+      line = raw.substr(0, hash);
+    }
+    line = strip(line);
+    if (line.empty()) continue;
+    const auto words = split_words(line);
+    const std::string& head = words[0];
+
+    auto expect_words = [&](std::size_t at_least) {
+      if (words.size() < at_least) throw ParseError(line_no, "truncated '" + head + "' line");
+    };
+
+    if (head == "model") {
+      expect_words(2);
+      graph.set_name(words[1]);
+      saw_model = true;
+    } else if (head == "queue" || head == "register" || head == "virtual") {
+      std::size_t w = 0;
+      bool is_virtual = false;
+      std::string kind = head;
+      if (head == "virtual") {
+        is_virtual = true;
+        expect_words(3);
+        kind = words[1];
+        w = 1;
+        if (kind != "queue" && kind != "register") {
+          // "process X virtual" is suffix-form; prefix virtual is channels only.
+          throw ParseError(line_no, "expected 'queue' or 'register' after 'virtual'");
+        }
+      }
+      expect_words(w + 2);
+      Channel ch;
+      ch.name = words[w + 1];
+      ch.kind = kind == "queue" ? ChannelKind::kQueue : ChannelKind::kRegister;
+      ch.is_virtual = is_virtual;
+      for (std::size_t i = w + 2; i < words.size(); ++i) {
+        if (words[i] == "capacity") {
+          expect_words(i + 2);
+          ch.capacity = std::stoll(words[++i]);
+        } else if (words[i] == "initial") {
+          expect_words(i + 2);
+          ch.initial_tokens = std::stoll(words[++i]);
+        } else if (words[i] == "tags") {
+          expect_words(i + 2);
+          ch.initial_tags = parse_tag_list(words[++i], line_no);
+        } else {
+          throw ParseError(line_no, "unknown channel attribute '" + words[i] + "'");
+        }
+      }
+      graph.add_channel(std::move(ch));
+      current_process.reset();
+      current_mode = -1;
+    } else if (head == "process") {
+      expect_words(2);
+      Process p;
+      p.name = words[1];
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        if (words[i] == "virtual") {
+          p.is_virtual = true;
+        } else if (words[i] == "period") {
+          expect_words(i + 2);
+          p.min_period = parse_duration(words[++i], line_no);
+        } else if (words[i] == "max_firings") {
+          expect_words(i + 2);
+          p.max_firings = std::stoll(words[++i]);
+        } else {
+          throw ParseError(line_no, "unknown process attribute '" + words[i] + "'");
+        }
+      }
+      current_process = graph.add_process(std::move(p));
+      current_mode = -1;
+    } else if (head == "input" || head == "output") {
+      if (!current_process) throw ParseError(line_no, "'" + head + "' outside a process");
+      expect_words(2);
+      graph.connect(*current_process, require_channel(words[1], line_no),
+                    head == "input" ? EdgeDir::kChannelToProcess : EdgeDir::kProcessToChannel);
+    } else if (head == "mode") {
+      if (!current_process) throw ParseError(line_no, "'mode' outside a process");
+      expect_words(4);
+      if (words[2] != "latency") throw ParseError(line_no, "expected 'latency' in mode line");
+      Mode m;
+      m.name = words[1];
+      m.latency = parse_latency(words[3], line_no);
+      Process& p = graph.process(*current_process);
+      p.modes.push_back(std::move(m));
+      current_mode = static_cast<int>(p.modes.size()) - 1;
+    } else if (head == "consume" || head == "produce") {
+      if (!current_process || current_mode < 0) {
+        throw ParseError(line_no, "'" + head + "' outside a mode");
+      }
+      expect_words(3);
+      const ChannelId cid = require_channel(words[1], line_no);
+      const Interval rate = parse_interval(words[2], line_no);
+      pending_tags = TagSet{};
+      if (words.size() >= 5 && words[3] == "tags") {
+        pending_tags = parse_tag_list(words[4], line_no);
+      } else if (words.size() > 3) {
+        throw ParseError(line_no, "unexpected '" + words[3] + "' after rate");
+      }
+      Process& p = graph.process(*current_process);
+      Mode& m = p.modes[static_cast<std::size_t>(current_mode)];
+      if (head == "consume") {
+        auto edge = graph.input_edge(*current_process, cid);
+        if (!edge) edge = graph.connect(*current_process, cid, EdgeDir::kChannelToProcess);
+        m.consumption[*edge] = rate;
+      } else {
+        auto edge = graph.output_edge(*current_process, cid);
+        if (!edge) edge = graph.connect(*current_process, cid, EdgeDir::kProcessToChannel);
+        m.production[*edge] = rate;
+        if (!pending_tags.empty()) m.produced_tags[*edge] = pending_tags;
+      }
+    } else if (head == "rule") {
+      if (!current_process) throw ParseError(line_no, "'rule' outside a process");
+      const auto colon = line.find(':');
+      const auto arrow = line.rfind("->");
+      if (colon == std::string::npos || arrow == std::string::npos || arrow < colon) {
+        throw ParseError(line_no, "rule syntax: rule <name>: <predicate> -> <mode>");
+      }
+      const std::string rule_name = strip(line.substr(4, colon - 4));
+      const std::string predicate_text = line.substr(colon + 1, arrow - colon - 1);
+      const std::string mode_name = strip(line.substr(arrow + 2));
+      Process& p = graph.process(*current_process);
+      const auto mode_id = p.find_mode(mode_name);
+      if (!mode_id) throw ParseError(line_no, "rule targets unknown mode '" + mode_name + "'");
+      PredicateParser parser{predicate_text, line_no, graph};
+      p.activation.add_rule(rule_name, parser.parse(), *mode_id);
+    } else if (head == "configuration") {
+      if (!current_process) throw ParseError(line_no, "'configuration' outside a process");
+      expect_words(6);
+      if (words[2] != "t_conf" || words[4] != "modes") {
+        throw ParseError(line_no,
+                         "configuration syntax: configuration <name> t_conf <dur> modes a, b");
+      }
+      Configuration conf;
+      conf.name = words[1];
+      conf.t_conf = parse_duration(words[3], line_no);
+      Process& p = graph.process(*current_process);
+      const auto modes_pos = line.find("modes");
+      std::istringstream mode_list{line.substr(modes_pos + 5)};
+      std::string mode_name;
+      while (std::getline(mode_list, mode_name, ',')) {
+        mode_name = strip(mode_name);
+        if (mode_name.empty()) continue;
+        const auto mode_id = p.find_mode(mode_name);
+        if (!mode_id) {
+          throw ParseError(line_no, "configuration references unknown mode '" + mode_name + "'");
+        }
+        conf.modes.push_back(*mode_id);
+      }
+      if (conf.modes.empty()) throw ParseError(line_no, "configuration with no modes");
+      p.configurations.push_back(std::move(conf));
+    } else if (head == "initial_configuration") {
+      if (!current_process) {
+        throw ParseError(line_no, "'initial_configuration' outside a process");
+      }
+      expect_words(2);
+      Process& p = graph.process(*current_process);
+      bool found = false;
+      for (std::size_t i = 0; i < p.configurations.size(); ++i) {
+        if (p.configurations[i].name == words[1]) {
+          p.initial_configuration = support::ConfigurationId{static_cast<std::uint32_t>(i)};
+          found = true;
+        }
+      }
+      if (!found) throw ParseError(line_no, "unknown configuration '" + words[1] + "'");
+    } else if (head == "latency_constraint") {
+      const auto path_pos = line.find(" path ");
+      const auto bound_pos = line.rfind(" bound ");
+      if (path_pos == std::string::npos || bound_pos == std::string::npos ||
+          bound_pos < path_pos) {
+        throw ParseError(line_no,
+                         "syntax: latency_constraint <name> path a, b bound <dur>");
+      }
+      LatencyPathConstraint c;
+      c.name = strip(line.substr(19, path_pos - 19));
+      c.max_total = parse_duration(strip(line.substr(bound_pos + 7)), line_no);
+      std::istringstream path_list{line.substr(path_pos + 6, bound_pos - path_pos - 6)};
+      std::string pname;
+      while (std::getline(path_list, pname, ',')) {
+        pname = strip(pname);
+        if (pname.empty()) continue;
+        const auto pid = graph.find_process(pname);
+        if (!pid) throw ParseError(line_no, "constraint references unknown process '" + pname + "'");
+        c.path.push_back(*pid);
+      }
+      graph.constraints().latency.push_back(std::move(c));
+      current_process.reset();
+    } else if (head == "throughput_constraint") {
+      expect_words(8);
+      if (words[2] != "channel" || words[4] != "tokens" || words[6] != "window") {
+        throw ParseError(
+            line_no, "syntax: throughput_constraint <name> channel <c> tokens <n> window <dur>");
+      }
+      ThroughputConstraint c;
+      c.name = words[1];
+      c.channel = require_channel(words[3], line_no);
+      c.min_tokens = std::stoll(words[5]);
+      c.window = parse_duration(words[7], line_no);
+      graph.constraints().throughput.push_back(std::move(c));
+      current_process.reset();
+    } else {
+      throw ParseError(line_no, "unknown directive '" + head + "'");
+    }
+  }
+
+  if (!saw_model) throw ParseError(1, "missing 'model <name>' header");
+  return graph;
+}
+
+}  // namespace spivar::spi

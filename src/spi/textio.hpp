@@ -1,0 +1,56 @@
+// Text serialization of SPI models ("spit" format).
+//
+// A line-oriented, human-editable exchange format covering the full model:
+// channels with attributes, processes with modes/rates/tags, activation
+// rules with a small predicate expression grammar, configurations, pacing,
+// and timing constraints. `write_text` emits a canonical form; `parse_text`
+// reads it back — round-tripping is covered by property tests.
+//
+//   model fig1
+//   queue c1 initial 2 tags a
+//   register state initial 1 tags run
+//   process p2
+//     mode m1 latency 3ms
+//       consume c1 1
+//       produce c2 2 tags x
+//     mode m2 latency 3ms..5ms
+//       consume c1 1..3
+//     rule a1: num(c1) >= 1 && tag(c1, a) -> m1
+//     configuration confA t_conf 2ms modes m1
+//   latency_constraint e2e path p1, p2 bound 12ms
+//   throughput_constraint rate channel c2 tokens 2 window 20ms
+//
+// Predicate grammar (precedence: ! over && over ||):
+//   pred := or ; or := and ('||' and)* ; and := unary ('&&' unary)*
+//   unary := '!' unary | '(' or ')' | atom
+//   atom := 'num(' chan ')' '>=' int | 'tag(' chan ',' name ')'
+//         | 'true' | 'false'
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "spi/graph.hpp"
+#include "support/diagnostics.hpp"
+
+namespace spivar::spi {
+
+/// Thrown on malformed input; carries the 1-based line number.
+class ParseError : public support::ModelError {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : support::ModelError("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Emits the canonical text form of a graph.
+[[nodiscard]] std::string write_text(const Graph& graph);
+
+/// Parses the text form back into a graph.
+[[nodiscard]] Graph parse_text(std::string_view text);
+
+}  // namespace spivar::spi

@@ -1,0 +1,93 @@
+// Tokens and tag sets.
+//
+// In SPI, communicated data is abstracted to its *amount*; content that
+// influences control is surfaced as *virtual mode tags* attached to tokens
+// (§2 of the paper). A TagSet is a small sorted vector of interned tag ids.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/interner.hpp"
+
+namespace spivar::spi {
+
+using support::TagId;
+using support::TagInterner;
+
+/// An immutable-ish ordered set of token tags.
+class TagSet {
+ public:
+  TagSet() = default;
+  TagSet(std::initializer_list<TagId> ids) {
+    for (TagId id : ids) insert(id);
+  }
+
+  void insert(TagId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  }
+
+  void erase(TagId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) ids_.erase(it);
+  }
+
+  [[nodiscard]] bool contains(TagId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+  [[nodiscard]] TagSet union_with(const TagSet& other) const {
+    TagSet out;
+    out.ids_.reserve(ids_.size() + other.ids_.size());
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                   std::back_inserter(out.ids_));
+    return out;
+  }
+
+  [[nodiscard]] TagSet intersect_with(const TagSet& other) const {
+    TagSet out;
+    std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                          std::back_inserter(out.ids_));
+    return out;
+  }
+
+  [[nodiscard]] bool is_subset_of(const TagSet& other) const {
+    return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(), ids_.end());
+  }
+
+  [[nodiscard]] const std::vector<TagId>& ids() const noexcept { return ids_; }
+
+  friend bool operator==(const TagSet&, const TagSet&) = default;
+
+  /// Render as {a,b,...} using an interner for names.
+  [[nodiscard]] std::string to_string(const TagInterner& interner) const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += interner.name(ids_[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<TagId> ids_;  // sorted, unique
+};
+
+/// One unit of communicated data. Content is abstracted away; only the tag
+/// set (virtual mode tags) is visible to the model.
+struct Token {
+  TagSet tags;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+}  // namespace spivar::spi

@@ -1,0 +1,186 @@
+#include "spi/validate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spivar::spi {
+
+namespace {
+
+using support::DiagnosticList;
+
+void check_process(const Graph& g, ProcessId pid, DiagnosticList& out) {
+  const Process& p = g.process(pid);
+  const std::string where = "process '" + p.name + "'";
+
+  if (p.modes.empty()) {
+    out.error(diag::kProcessNoModes, where + " has no modes");
+    return;
+  }
+
+  for (std::size_t mi = 0; mi < p.modes.size(); ++mi) {
+    const Mode& m = p.modes[mi];
+    const std::string mode_where = where + " mode '" + m.name + "'";
+    if (m.latency.lo() < support::Duration::zero()) {
+      out.error(diag::kModeNegativeLatency, mode_where + " has negative latency");
+    }
+    for (const auto& [edge, rate] : m.consumption) {
+      if (rate.lo() < 0) {
+        out.error(diag::kRateNegative, mode_where + " has negative consumption rate");
+      }
+    }
+    for (const auto& [edge, rate] : m.production) {
+      if (rate.lo() < 0) {
+        out.error(diag::kRateNegative, mode_where + " has negative production rate");
+      }
+    }
+    if (m.consumption.empty() && m.production.empty() && !p.is_virtual) {
+      out.warning(diag::kModeEmpty, mode_where + " neither consumes nor produces");
+    }
+  }
+
+  // Rules must observe only the process's own input channels.
+  std::set<ChannelId> input_channels;
+  for (EdgeId e : p.inputs) input_channels.insert(g.edge(e).channel);
+  for (const ActivationRule& r : p.activation.rules()) {
+    for (ChannelId c : r.predicate.referenced_channels()) {
+      if (!input_channels.contains(c)) {
+        out.error(diag::kRuleForeignChannel,
+                  where + " rule '" + r.name + "' observes channel '" + g.channel(c).name +
+                      "' which is not an input of the process");
+      }
+    }
+  }
+
+  // With explicit rules, every mode should be reachable through some rule.
+  if (!p.activation.empty()) {
+    std::vector<bool> targeted(p.modes.size(), false);
+    for (const ActivationRule& r : p.activation.rules()) {
+      if (r.mode.index() < p.modes.size()) targeted[r.mode.index()] = true;
+    }
+    for (std::size_t mi = 0; mi < p.modes.size(); ++mi) {
+      if (!targeted[mi]) {
+        out.warning(diag::kModeUnreachable, where + " mode '" + p.modes[mi].name +
+                                                "' is not targeted by any activation rule");
+      }
+    }
+  }
+
+  // Configurations (Def. 4): valid mode ids, no mode in two configurations.
+  std::unordered_map<std::uint32_t, int> owner_count;
+  for (const Configuration& conf : p.configurations) {
+    for (ModeId m : conf.modes) {
+      if (m.index() >= p.modes.size()) {
+        out.error(diag::kConfigurationBadMode,
+                  where + " configuration '" + conf.name + "' references unknown mode");
+        continue;
+      }
+      if (++owner_count[m.value()] == 2) {
+        out.error(diag::kModeMultipleConfigurations,
+                  where + " mode '" + p.modes[m.index()].name +
+                      "' belongs to more than one configuration");
+      }
+    }
+  }
+  if (!p.configurations.empty()) {
+    for (std::size_t mi = 0; mi < p.modes.size(); ++mi) {
+      if (!owner_count.contains(static_cast<std::uint32_t>(mi))) {
+        out.warning(diag::kModeUnconfigured, where + " mode '" + p.modes[mi].name +
+                                                 "' belongs to no configuration");
+      }
+    }
+  }
+}
+
+/// True when every pair in `pids` is mutually exclusive under the oracle.
+bool all_pairwise_exclusive(const std::vector<ProcessId>& pids,
+                            const ExclusivityOracle& exclusive) {
+  if (!exclusive) return false;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    for (std::size_t j = i + 1; j < pids.size(); ++j) {
+      if (!exclusive(pids[i], pids[j])) return false;
+    }
+  }
+  return true;
+}
+
+void check_channel(const Graph& g, ChannelId cid, const ExclusivityOracle& exclusive,
+                   DiagnosticList& out) {
+  const Channel& ch = g.channel(cid);
+  const std::string where = "channel '" + ch.name + "'";
+
+  if (ch.producers.empty() && ch.initial_tokens == 0 && !ch.is_virtual) {
+    out.warning(diag::kChannelNoProducer,
+                where + " has no producer, no initial tokens, and is not virtual");
+  }
+  if (ch.consumers.empty() && !ch.is_virtual) {
+    out.warning(diag::kChannelNoConsumer, where + " has no consumer and is not virtual");
+  }
+  if (ch.producers.size() > 1 && !all_pairwise_exclusive(g.producers_of(cid), exclusive)) {
+    out.error(diag::kChannelMultiProducer,
+              where + " has " + std::to_string(ch.producers.size()) +
+                  " producers that are not mutually exclusive");
+  }
+  if (ch.consumers.size() > 1 && !all_pairwise_exclusive(g.consumers_of(cid), exclusive)) {
+    out.error(diag::kChannelMultiConsumer,
+              where + " has " + std::to_string(ch.consumers.size()) +
+                  " consumers that are not mutually exclusive");
+  }
+  if (ch.kind == ChannelKind::kRegister && ch.initial_tokens > 1) {
+    out.error(diag::kRegisterInitialOverflow,
+              where + " is a register but has " + std::to_string(ch.initial_tokens) +
+                  " initial tokens");
+  }
+  if (ch.kind == ChannelKind::kQueue && ch.capacity && ch.initial_tokens > *ch.capacity) {
+    out.error(diag::kQueueInitialOverflow,
+              where + " initial tokens exceed capacity " + std::to_string(*ch.capacity));
+  }
+}
+
+void check_names(const Graph& g, DiagnosticList& out) {
+  std::unordered_map<std::string, int> seen;
+  for (ProcessId pid : g.process_ids()) ++seen[g.process(pid).name];
+  for (const auto& [name, n] : seen) {
+    if (n > 1) {
+      out.warning(diag::kDuplicateName,
+                  "process name '" + name + "' used " + std::to_string(n) + " times");
+    }
+  }
+  seen.clear();
+  for (ChannelId cid : g.channel_ids()) ++seen[g.channel(cid).name];
+  for (const auto& [name, n] : seen) {
+    if (n > 1) {
+      out.warning(diag::kDuplicateName,
+                  "channel name '" + name + "' used " + std::to_string(n) + " times");
+    }
+  }
+}
+
+void check_constraints(const Graph& g, DiagnosticList& out) {
+  for (const LatencyPathConstraint& c : g.constraints().latency) {
+    for (std::size_t i = 0; i + 1 < c.path.size(); ++i) {
+      const auto succ = g.successors(c.path[i]);
+      if (std::find(succ.begin(), succ.end(), c.path[i + 1]) == succ.end()) {
+        out.error(diag::kConstraintBrokenPath,
+                  "latency constraint '" + c.name + "': '" + g.process(c.path[i + 1]).name +
+                      "' is not a successor of '" + g.process(c.path[i]).name + "'");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+support::DiagnosticList validate(const Graph& graph, const ExclusivityOracle& exclusive) {
+  DiagnosticList out;
+  for (ProcessId pid : graph.process_ids()) check_process(graph, pid, out);
+  for (ChannelId cid : graph.channel_ids()) check_channel(graph, cid, exclusive, out);
+  check_names(graph, out);
+  check_constraints(graph, out);
+  return out;
+}
+
+}  // namespace spivar::spi

@@ -1,0 +1,46 @@
+// Whole-model structural validation.
+//
+// `validate` collects every problem it can find (it never throws); callers
+// that want fail-fast behavior use `DiagnosticList::throw_if_errors()`.
+// Diagnostic codes are stable strings so tests and tools can match on them.
+#pragma once
+
+#include <functional>
+
+#include "spi/graph.hpp"
+#include "support/diagnostics.hpp"
+
+namespace spivar::spi {
+
+/// Diagnostic codes emitted by validate() — kept in one place for reference.
+namespace diag {
+inline constexpr const char* kProcessNoModes = "process-no-modes";
+inline constexpr const char* kModeNegativeLatency = "mode-negative-latency";
+inline constexpr const char* kRateNegative = "rate-negative";
+inline constexpr const char* kRuleForeignChannel = "rule-foreign-channel";
+inline constexpr const char* kModeUnreachable = "mode-unreachable";
+inline constexpr const char* kChannelNoProducer = "channel-no-producer";
+inline constexpr const char* kChannelNoConsumer = "channel-no-consumer";
+inline constexpr const char* kRegisterInitialOverflow = "register-initial-overflow";
+inline constexpr const char* kQueueInitialOverflow = "queue-initial-overflow";
+inline constexpr const char* kConfigurationBadMode = "configuration-bad-mode";
+inline constexpr const char* kModeMultipleConfigurations = "mode-multiple-configurations";
+inline constexpr const char* kModeUnconfigured = "mode-unconfigured";
+inline constexpr const char* kDuplicateName = "duplicate-name";
+inline constexpr const char* kConstraintBrokenPath = "constraint-broken-path";
+inline constexpr const char* kModeEmpty = "mode-empty";
+inline constexpr const char* kChannelMultiProducer = "channel-multi-producer";
+inline constexpr const char* kChannelMultiConsumer = "channel-multi-consumer";
+}  // namespace diag
+
+/// Tells whether two processes can never be active in the same system
+/// variant (e.g. they belong to different clusters of one interface). Used
+/// to relax the channel degree rule across variant alternatives.
+using ExclusivityOracle = std::function<bool(ProcessId, ProcessId)>;
+
+/// Validates structural invariants. Without an oracle, the strict Def. 1
+/// degree rule applies (one producer / one consumer per channel).
+[[nodiscard]] support::DiagnosticList validate(const Graph& graph,
+                                               const ExclusivityOracle& exclusive = {});
+
+}  // namespace spivar::spi

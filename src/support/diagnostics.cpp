@@ -1,0 +1,25 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace spivar::support {
+
+void DiagnosticList::throw_if_errors() const {
+  if (!has_errors()) return;
+  std::ostringstream os;
+  os << "model validation failed with " << count(Severity::kError) << " error(s):";
+  for (const auto& d : items_) {
+    if (d.severity != Severity::kError) continue;
+    os << "\n  [" << d.code << "] " << d.message;
+  }
+  throw ModelError(os.str());
+}
+
+std::ostream& operator<<(std::ostream& os, const DiagnosticList& list) {
+  for (const auto& d : list.items_) {
+    os << to_string(d.severity) << " [" << d.code << "]: " << d.message << '\n';
+  }
+  return os;
+}
+
+}  // namespace spivar::support

@@ -1,0 +1,99 @@
+// Error handling and validation diagnostics.
+//
+// Structural misuse of the model API (e.g. constructing an interval with
+// lo > hi, connecting a channel twice) throws ModelError. Whole-model
+// validation instead *collects* diagnostics so that a front end can report
+// all problems at once.
+#pragma once
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spivar::support {
+
+/// Thrown on structural misuse of the modeling API.
+class ModelError : public std::logic_error {
+ public:
+  explicit ModelError(const std::string& what) : std::logic_error(what) {}
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] constexpr const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// One finding produced by a validation pass.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     ///< stable machine-readable code, e.g. "channel-unconnected"
+  std::string message;  ///< human-readable explanation
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Ordered collection of diagnostics with convenience queries.
+class DiagnosticList {
+ public:
+  void add(Severity severity, std::string code, std::string message) {
+    items_.push_back({severity, std::move(code), std::move(message)});
+  }
+  void error(std::string code, std::string message) {
+    add(Severity::kError, std::move(code), std::move(message));
+  }
+  void warning(std::string code, std::string message) {
+    add(Severity::kWarning, std::move(code), std::move(message));
+  }
+  void note(std::string code, std::string message) {
+    add(Severity::kNote, std::move(code), std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& items() const noexcept { return items_; }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  [[nodiscard]] bool has_errors() const noexcept {
+    for (const auto& d : items_) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count(Severity severity) const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : items_) {
+      if (d.severity == severity) ++n;
+    }
+    return n;
+  }
+
+  /// True iff some diagnostic carries the given code.
+  [[nodiscard]] bool has_code(const std::string& code) const noexcept {
+    for (const auto& d : items_) {
+      if (d.code == code) return true;
+    }
+    return false;
+  }
+
+  void merge(const DiagnosticList& other) {
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+
+  /// Throws ModelError summarizing all errors if any error is present.
+  void throw_if_errors() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const DiagnosticList& list);
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace spivar::support

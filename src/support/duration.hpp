@@ -1,0 +1,145 @@
+// Model time.
+//
+// All latencies and timestamps are integral microseconds wrapped in strong
+// types. The paper quotes latencies in milliseconds; `1_ms` == 1000 µs.
+// Integer time keeps interval arithmetic exact and simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "support/interval.hpp"
+
+namespace spivar::support {
+
+/// A span of model time in microseconds.
+class Duration {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Duration() noexcept = default;
+  constexpr explicit Duration(rep micros) noexcept : micros_(micros) {}
+
+  [[nodiscard]] static constexpr Duration micros(rep v) noexcept { return Duration{v}; }
+  [[nodiscard]] static constexpr Duration millis(rep v) noexcept { return Duration{v * 1000}; }
+  [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() noexcept {
+    return Duration{std::numeric_limits<rep>::max()};
+  }
+
+  [[nodiscard]] constexpr rep count() const noexcept { return micros_; }
+  [[nodiscard]] constexpr double as_millis() const noexcept {
+    return static_cast<double>(micros_) / 1000.0;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+    return Duration{a.micros_ + b.micros_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+    return Duration{a.micros_ - b.micros_};
+  }
+  friend constexpr Duration operator*(Duration a, rep k) noexcept {
+    return Duration{a.micros_ * k};
+  }
+  constexpr Duration& operator+=(Duration other) noexcept {
+    micros_ += other.micros_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Duration, Duration) noexcept = default;
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    if (micros_ % 1000 == 0) return std::to_string(micros_ / 1000) + "ms";
+    return std::to_string(micros_) + "us";
+  }
+  friend std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.to_string(); }
+
+ private:
+  rep micros_ = 0;
+};
+
+/// An absolute point in model time (µs since simulation start).
+class TimePoint {
+ public:
+  using rep = std::int64_t;
+
+  constexpr TimePoint() noexcept = default;
+  constexpr explicit TimePoint(rep micros) noexcept : micros_(micros) {}
+
+  [[nodiscard]] static constexpr TimePoint zero() noexcept { return TimePoint{0}; }
+  [[nodiscard]] constexpr rep count() const noexcept { return micros_; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) noexcept {
+    return TimePoint{t.micros_ + d.count()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) noexcept {
+    return Duration{a.micros_ - b.micros_};
+  }
+
+  friend constexpr bool operator==(TimePoint, TimePoint) noexcept = default;
+  friend constexpr auto operator<=>(TimePoint, TimePoint) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << '@' << t.micros_ << "us";
+  }
+
+ private:
+  rep micros_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<Duration::rep>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<Duration::rep>(v));
+}
+}  // namespace literals
+
+/// A latency interval in microseconds: [lo, hi] bounds on execution time.
+/// Stored as a plain integer Interval whose values are µs.
+class DurationInterval {
+ public:
+  DurationInterval() = default;
+  DurationInterval(Duration point)  // NOLINT(google-explicit-constructor)
+      : iv_(point.count()) {}
+  DurationInterval(Duration lo, Duration hi) : iv_(lo.count(), hi.count()) {}
+  explicit DurationInterval(Interval iv) : iv_(iv) {}
+
+  [[nodiscard]] Duration lo() const noexcept { return Duration{iv_.lo()}; }
+  [[nodiscard]] Duration hi() const noexcept { return Duration{iv_.hi()}; }
+  [[nodiscard]] Interval raw() const noexcept { return iv_; }
+  [[nodiscard]] bool is_point() const noexcept { return iv_.is_point(); }
+  [[nodiscard]] bool contains(Duration d) const noexcept { return iv_.contains(d.count()); }
+  [[nodiscard]] bool contains(DurationInterval other) const noexcept {
+    return iv_.contains(other.iv_);
+  }
+
+  [[nodiscard]] DurationInterval hull(DurationInterval other) const {
+    return DurationInterval{iv_.hull(other.iv_)};
+  }
+  friend DurationInterval operator+(DurationInterval a, DurationInterval b) {
+    return DurationInterval{a.iv_ + b.iv_};
+  }
+  [[nodiscard]] DurationInterval max_with(DurationInterval other) const {
+    return DurationInterval{iv_.max_with(other.iv_)};
+  }
+
+  friend bool operator==(DurationInterval, DurationInterval) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_point()) return lo().to_string();
+    return "[" + lo().to_string() + "," + hi().to_string() + "]";
+  }
+  friend std::ostream& operator<<(std::ostream& os, DurationInterval d) {
+    return os << d.to_string();
+  }
+
+ private:
+  Interval iv_{0};
+};
+
+}  // namespace spivar::support

@@ -1,0 +1,81 @@
+// Strong identifier types for model entities.
+//
+// Every entity class in the model graph (process, channel, port, cluster,
+// interface, mode, ...) is referred to by a small integer index wrapped in a
+// distinct type so that indices of different entity kinds cannot be mixed up
+// at compile time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace spivar::support {
+
+/// A strongly typed index. `Tag` is an empty struct that makes each
+/// instantiation a distinct type; the underlying value is a 32-bit index.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel for "no entity". Default-constructed ids are invalid.
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept = default;
+  friend constexpr auto operator<=>(Id a, Id b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "#<invalid>";
+    return os << '#' << id.value();
+  }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct ProcessTag {};
+struct ChannelTag {};
+struct EdgeTag {};
+struct ModeTag {};
+struct PortTag {};
+struct ClusterTag {};
+struct InterfaceTag {};
+struct ConfigurationTag {};
+struct TagTag {};       // token tags (interned labels on tokens)
+struct ResourceTag {};  // synthesis resources (processors / ASIC modules)
+struct ConstraintTag {};
+
+using ProcessId = Id<ProcessTag>;
+using ChannelId = Id<ChannelTag>;
+using EdgeId = Id<EdgeTag>;
+using ModeId = Id<ModeTag>;
+using PortId = Id<PortTag>;
+using ClusterId = Id<ClusterTag>;
+using InterfaceId = Id<InterfaceTag>;
+using ConfigurationId = Id<ConfigurationTag>;
+using TagId = Id<TagTag>;
+using ResourceId = Id<ResourceTag>;
+using ConstraintId = Id<ConstraintTag>;
+
+}  // namespace spivar::support
+
+namespace std {
+template <typename Tag>
+struct hash<spivar::support::Id<Tag>> {
+  size_t operator()(spivar::support::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

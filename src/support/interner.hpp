@@ -1,0 +1,43 @@
+// String interner for token tags.
+//
+// Token tags ('a', 'b', 'V1', 'suspend', ...) are short labels compared very
+// often during activation-rule evaluation; interning makes comparison an
+// integer compare and tag sets small sorted id vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace spivar::support {
+
+class TagInterner {
+ public:
+  /// Returns the id for `name`, creating it on first use.
+  TagId intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    const TagId id{static_cast<TagId::value_type>(names_.size())};
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Looks up an existing tag without creating it; invalid id when unknown.
+  [[nodiscard]] TagId find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? TagId{} : it->second;
+  }
+
+  [[nodiscard]] const std::string& name(TagId id) const { return names_.at(id.index()); }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> index_;
+};
+
+}  // namespace spivar::support

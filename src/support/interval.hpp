@@ -1,0 +1,114 @@
+// Closed integer intervals — the "property intervals" of the SPI model.
+//
+// All abstract process parameters (data rates, latencies) are represented by
+// closed intervals [lo, hi] over 64-bit integers. A determinate parameter is
+// a singleton interval. Arithmetic is exact; invariants (lo <= hi) are
+// enforced at construction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::support {
+
+class Interval {
+ public:
+  using value_type = std::int64_t;
+
+  /// The default interval is the singleton [0, 0].
+  constexpr Interval() noexcept = default;
+
+  /// Singleton interval [v, v].
+  constexpr Interval(value_type v) noexcept : lo_(v), hi_(v) {}  // NOLINT(google-explicit-constructor)
+
+  /// Closed interval [lo, hi]; throws ModelError if lo > hi.
+  Interval(value_type lo, value_type hi) : lo_(lo), hi_(hi) {
+    if (lo > hi) {
+      throw ModelError("interval lower bound " + std::to_string(lo) +
+                       " exceeds upper bound " + std::to_string(hi));
+    }
+  }
+
+  [[nodiscard]] static Interval point(value_type v) { return Interval{v}; }
+
+  [[nodiscard]] constexpr value_type lo() const noexcept { return lo_; }
+  [[nodiscard]] constexpr value_type hi() const noexcept { return hi_; }
+
+  /// True iff the interval is a single point (the parameter is determinate).
+  [[nodiscard]] constexpr bool is_point() const noexcept { return lo_ == hi_; }
+
+  /// Number of integers contained; width 1 means a point.
+  [[nodiscard]] constexpr value_type width() const noexcept { return hi_ - lo_ + 1; }
+
+  [[nodiscard]] constexpr bool contains(value_type v) const noexcept {
+    return lo_ <= v && v <= hi_;
+  }
+  [[nodiscard]] constexpr bool contains(Interval other) const noexcept {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  [[nodiscard]] constexpr bool overlaps(Interval other) const noexcept {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// Smallest interval containing both (interval union / convex hull).
+  [[nodiscard]] Interval hull(Interval other) const {
+    return Interval{std::min(lo_, other.lo_), std::max(hi_, other.hi_)};
+  }
+
+  /// Intersection, or nullopt when disjoint.
+  [[nodiscard]] std::optional<Interval> intersect(Interval other) const {
+    const value_type lo = std::max(lo_, other.lo_);
+    const value_type hi = std::min(hi_, other.hi_);
+    if (lo > hi) return std::nullopt;
+    return Interval{lo, hi};
+  }
+
+  /// Clamp a value into the interval.
+  [[nodiscard]] constexpr value_type clamp(value_type v) const noexcept {
+    return std::clamp(v, lo_, hi_);
+  }
+
+  /// Exact interval arithmetic.
+  friend Interval operator+(Interval a, Interval b) {
+    return Interval{a.lo_ + b.lo_, a.hi_ + b.hi_};
+  }
+  friend Interval operator-(Interval a, Interval b) {
+    return Interval{a.lo_ - b.hi_, a.hi_ - b.lo_};
+  }
+  friend Interval operator*(Interval a, value_type k) {
+    if (k >= 0) return Interval{a.lo_ * k, a.hi_ * k};
+    return Interval{a.hi_ * k, a.lo_ * k};
+  }
+  friend Interval operator*(value_type k, Interval a) { return a * k; }
+  Interval& operator+=(Interval other) { return *this = *this + other; }
+
+  /// Pointwise max/min extension (used when composing alternative paths).
+  [[nodiscard]] Interval max_with(Interval other) const {
+    return Interval{std::max(lo_, other.lo_), std::max(hi_, other.hi_)};
+  }
+  [[nodiscard]] Interval min_with(Interval other) const {
+    return Interval{std::min(lo_, other.lo_), std::min(hi_, other.hi_)};
+  }
+
+  friend constexpr bool operator==(Interval a, Interval b) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_point()) return std::to_string(lo_);
+    return "[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Interval iv) {
+    return os << iv.to_string();
+  }
+
+ private:
+  value_type lo_ = 0;
+  value_type hi_ = 0;
+};
+
+}  // namespace spivar::support

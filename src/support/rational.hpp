@@ -1,0 +1,85 @@
+// Exact rational arithmetic.
+//
+// Used by the cluster-abstraction pass to solve SDF-style balance equations
+// (repetition vectors) without floating-point error.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::support {
+
+class Rational {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Rational() noexcept = default;
+  constexpr Rational(rep value) noexcept : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  Rational(rep num, rep den) : num_(num), den_(den) {
+    if (den_ == 0) throw ModelError("rational with zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] constexpr rep num() const noexcept { return num_; }
+  [[nodiscard]] constexpr rep den() const noexcept { return den_; }
+  [[nodiscard]] constexpr bool is_integer() const noexcept { return den_ == 1; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return num_ == 0; }
+
+  friend Rational operator+(Rational a, Rational b) {
+    return Rational{a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_};
+  }
+  friend Rational operator-(Rational a, Rational b) {
+    return Rational{a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_};
+  }
+  friend Rational operator*(Rational a, Rational b) {
+    return Rational{a.num_ * b.num_, a.den_ * b.den_};
+  }
+  friend Rational operator/(Rational a, Rational b) {
+    if (b.num_ == 0) throw ModelError("rational division by zero");
+    return Rational{a.num_ * b.den_, a.den_ * b.num_};
+  }
+
+  friend bool operator==(Rational a, Rational b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator<(Rational a, Rational b) noexcept {
+    return a.num_ * b.den_ < b.num_ * a.den_;
+  }
+  friend bool operator<=(Rational a, Rational b) noexcept { return a == b || a < b; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_integer()) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+  friend std::ostream& operator<<(std::ostream& os, Rational r) { return os << r.to_string(); }
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const rep g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  rep num_ = 0;
+  rep den_ = 1;
+};
+
+/// Least common multiple of two positive rationals' denominators —
+/// helper for scaling a rational repetition vector to integers.
+[[nodiscard]] inline std::int64_t lcm_denominator(std::int64_t acc, const Rational& r) {
+  return std::lcm(acc, r.den());
+}
+
+}  // namespace spivar::support

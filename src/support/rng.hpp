@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for simulation policies.
+//
+// splitmix64: tiny, fast, and fully reproducible across platforms — used by
+// the SeededRandom interval-resolution policy and by workload generators.
+#pragma once
+
+#include <cstdint>
+
+#include "support/interval.hpp"
+
+namespace spivar::support {
+
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform integer drawn from a closed interval.
+  constexpr Interval::value_type pick(Interval iv) noexcept {
+    const auto span = static_cast<std::uint64_t>(iv.hi() - iv.lo()) + 1;
+    return iv.lo() + static_cast<Interval::value_type>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace spivar::support

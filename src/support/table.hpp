@@ -1,0 +1,40 @@
+// Plain-text table rendering.
+//
+// Benches and examples print paper-style tables (e.g. Table 1 "System
+// Cost"); this tiny formatter right-pads columns and draws a header rule so
+// output is stable and diffable.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spivar::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience overload for mixed string/number rows built by the caller.
+  TextTable& add_row(std::initializer_list<std::string> cells) {
+    return add_row(std::vector<std::string>(cells));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for bench output rows).
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+}  // namespace spivar::support

@@ -1,0 +1,123 @@
+#include "synth/cost.hpp"
+
+#include <algorithm>
+
+#include "support/table.hpp"
+#include "synth/schedule.hpp"
+
+namespace spivar::synth {
+
+namespace {
+
+void finalize(const ImplLibrary& library, CostBreakdown& out) {
+  out.processor_cost = out.software.empty() ? 0.0 : library.processor_cost;
+  out.asic_cost = 0.0;
+  for (const std::string& e : out.hardware) out.asic_cost += library.at(e).hw_cost;
+  out.total = out.processor_cost + out.asic_cost;
+}
+
+}  // namespace
+
+CostBreakdown evaluate(const ImplLibrary& library, const std::vector<Application>& apps,
+                       const Mapping& mapping) {
+  CostBreakdown out;
+  std::set<std::string> sw;
+  std::set<std::string> hw;
+
+  for (const Application& app : apps) {
+    double load = 0.0;
+    for (const std::string& e : app.elements) {
+      const ElementImpl& impl = library.at(e);
+      const Target t = mapping.at(e);
+      if (t == Target::kSoftware) {
+        if (!impl.can_sw) {
+          out.feasible = false;
+          if (out.infeasibility.empty()) {
+            out.infeasibility = "element '" + e + "' cannot be implemented in software";
+          }
+        }
+        sw.insert(e);
+        load += impl.sw_load;
+      } else {
+        if (!impl.can_hw) {
+          out.feasible = false;
+          if (out.infeasibility.empty()) {
+            out.infeasibility = "element '" + e + "' cannot be implemented in hardware";
+          }
+        }
+        hw.insert(e);
+      }
+    }
+    out.worst_utilization = std::max(out.worst_utilization, load);
+    if (load > library.processor_budget + 1e-12) {
+      out.feasible = false;
+      if (out.infeasibility.empty()) {
+        out.infeasibility = "application '" + app.name + "' overloads the processor (" +
+                            support::format_double(load) + " > " +
+                            support::format_double(library.processor_budget) + ")";
+      }
+    }
+
+    if (app.deadline) {
+      const Schedule schedule = list_schedule(library, app, mapping);
+      if (!schedule.meets_deadline) {
+        out.feasible = false;
+        if (out.infeasibility.empty()) {
+          out.infeasibility = "application '" + app.name + "' misses its deadline (makespan " +
+                              schedule.makespan.to_string() + " > " +
+                              app.deadline->to_string() + ")";
+        }
+      }
+    }
+  }
+
+  out.software.assign(sw.begin(), sw.end());
+  out.hardware.assign(hw.begin(), hw.end());
+  finalize(library, out);
+  return out;
+}
+
+CostBreakdown evaluate_superposition(const ImplLibrary& library,
+                                     const std::vector<Application>& apps,
+                                     const std::vector<Mapping>& mappings) {
+  CostBreakdown out;
+  std::set<std::string> sw;
+  std::set<std::string> hw;
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const Application& app = apps[i];
+    const Mapping& mapping = mappings.at(i);
+    double load = 0.0;
+    for (const std::string& e : app.elements) {
+      if (mapping.at(e) == Target::kSoftware) {
+        sw.insert(e);
+        load += library.at(e).sw_load;
+      } else {
+        hw.insert(e);
+      }
+    }
+    out.worst_utilization = std::max(out.worst_utilization, load);
+    if (load > library.processor_budget + 1e-12) {
+      out.feasible = false;
+      if (out.infeasibility.empty()) {
+        out.infeasibility = "application '" + app.name + "' overloads the processor";
+      }
+    }
+    if (app.deadline) {
+      const Schedule schedule = list_schedule(library, app, mapping);
+      if (!schedule.meets_deadline) {
+        out.feasible = false;
+        if (out.infeasibility.empty()) {
+          out.infeasibility = "application '" + app.name + "' misses its deadline";
+        }
+      }
+    }
+  }
+
+  out.software.assign(sw.begin(), sw.end());
+  out.hardware.assign(hw.begin(), hw.end());
+  finalize(library, out);
+  return out;
+}
+
+}  // namespace spivar::synth

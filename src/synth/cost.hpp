@@ -1,0 +1,45 @@
+// Cost model with exclusivity-aware sharing (paper §5, Table 1).
+//
+// Total cost = processor cost (once, if any element runs in software)
+//            + Σ ASIC cost over *distinct* hardware elements.
+// Feasibility: per application, the summed software load of its live
+// elements must fit the processor budget — mutually exclusive variants are
+// never summed together because each application only contains its own
+// cluster. An ASIC hosting an element common to several applications is
+// counted once: this is precisely the sharing of Table 1 row 4.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "synth/mapping.hpp"
+#include "synth/target.hpp"
+
+namespace spivar::synth {
+
+struct CostBreakdown {
+  double processor_cost = 0.0;
+  double asic_cost = 0.0;
+  double total = 0.0;
+  bool feasible = true;
+  std::string infeasibility;  ///< first reason, empty when feasible
+  double worst_utilization = 0.0;
+
+  std::vector<std::string> software;  ///< distinct SW element names
+  std::vector<std::string> hardware;  ///< distinct HW element names
+};
+
+/// Evaluates a single mapping shared by all applications.
+[[nodiscard]] CostBreakdown evaluate(const ImplLibrary& library,
+                                     const std::vector<Application>& apps,
+                                     const Mapping& mapping);
+
+/// Evaluates per-application mappings superposed onto one architecture
+/// (paper §5 "Superposition"): software is reused when the same element is
+/// software everywhere; hardware blocks accumulate over all applications.
+[[nodiscard]] CostBreakdown evaluate_superposition(const ImplLibrary& library,
+                                                   const std::vector<Application>& apps,
+                                                   const std::vector<Mapping>& mappings);
+
+}  // namespace spivar::synth

@@ -1,0 +1,262 @@
+#include "synth/explore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/rng.hpp"
+
+namespace spivar::synth {
+
+namespace {
+
+/// Initial mapping: everything software when possible (the cheap default the
+/// greedy repair starts from), hardware where software is impossible.
+Mapping initial_mapping(const ImplLibrary& library, const std::vector<std::string>& elements,
+                        const Mapping& fixed) {
+  Mapping m;
+  for (const std::string& e : elements) {
+    if (fixed.contains(e)) {
+      m.set(e, fixed.at(e));
+    } else {
+      m.set(e, library.at(e).can_sw ? Target::kSoftware : Target::kHardware);
+    }
+  }
+  return m;
+}
+
+double penalized_cost(const ImplLibrary& library, const CostBreakdown& cost,
+                      double penalty_weight) {
+  if (cost.feasible) return cost.total;
+  const double overload =
+      std::max(0.0, cost.worst_utilization - library.processor_budget);
+  return cost.total + penalty_weight * (1.0 + overload);
+}
+
+ExploreResult run_exhaustive(const ImplLibrary& library, const std::vector<Application>& apps,
+                             const std::vector<std::string>& free_elements,
+                             const Mapping& fixed) {
+  ExploreResult result;
+  result.engine = "exhaustive";
+  const std::size_t n = free_elements.size();
+
+  std::optional<double> best_total;
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    Mapping candidate = fixed;
+    for (std::size_t i = 0; i < n; ++i) {
+      candidate.set(free_elements[i],
+                    (bits >> i) & 1 ? Target::kHardware : Target::kSoftware);
+    }
+    const CostBreakdown cost = evaluate(library, apps, candidate);
+    result.decisions += static_cast<std::int64_t>(n);
+    result.evaluations += 1;
+    if (!cost.feasible) continue;
+    if (!best_total || cost.total < *best_total - 1e-12) {
+      best_total = cost.total;
+      result.mapping = candidate;
+      result.cost = cost;
+      result.found_feasible = true;
+    }
+  }
+  if (!result.found_feasible && !free_elements.empty()) {
+    // Keep a defined (infeasible) outcome for reporting.
+    result.mapping = initial_mapping(library, free_elements, fixed);
+    result.cost = evaluate(library, apps, result.mapping);
+  }
+  return result;
+}
+
+ExploreResult run_greedy(const ImplLibrary& library, const std::vector<Application>& apps,
+                         const std::vector<std::string>& free_elements, const Mapping& fixed,
+                         const ExploreOptions& options) {
+  ExploreResult result;
+  result.engine = "greedy";
+
+  std::vector<std::string> all_elements = free_elements;
+  for (const auto& [name, target] : fixed.assignments()) {
+    if (std::find(all_elements.begin(), all_elements.end(), name) == all_elements.end()) {
+      all_elements.push_back(name);
+    }
+  }
+  Mapping current = initial_mapping(library, all_elements, fixed);
+  CostBreakdown cost = evaluate(library, apps, current);
+  result.evaluations += 1;
+
+  // --- repair phase: move software elements to hardware until feasible -----
+  // Score = hw_cost per unit of overload relief; smaller is better.
+  const std::size_t max_moves = all_elements.size() + 1;
+  for (std::size_t moves = 0; !cost.feasible && moves < max_moves; ++moves) {
+    std::optional<double> best_score;
+    std::string best_element;
+
+    // Per-app overload under the current mapping.
+    std::map<std::string, double> overload;
+    for (const Application& app : apps) {
+      double load = 0.0;
+      for (const std::string& e : app.elements) {
+        if (current.at(e) == Target::kSoftware) load += library.at(e).sw_load;
+      }
+      overload[app.name] = std::max(0.0, load - library.processor_budget);
+    }
+
+    for (const std::string& e : free_elements) {
+      if (current.at(e) != Target::kSoftware) continue;
+      const ElementImpl& impl = library.at(e);
+      if (!impl.can_hw) continue;
+      result.decisions += 1;
+
+      double relief = 0.0;
+      for (const Application& app : apps) {
+        if (overload[app.name] <= 1e-12) continue;
+        if (std::find(app.elements.begin(), app.elements.end(), e) == app.elements.end()) {
+          continue;
+        }
+        relief += std::min(impl.sw_load, overload[app.name]);
+      }
+      if (relief <= 1e-12) {
+        // No utilization relief; moving may still fix deadline misses.
+        relief = 1e-6;
+      }
+      const double score = impl.hw_cost / relief;
+      if (!best_score || score < *best_score - 1e-12) {
+        best_score = score;
+        best_element = e;
+      }
+    }
+
+    if (!best_score) break;  // nothing movable
+    current.set(best_element, Target::kHardware);
+    cost = evaluate(library, apps, current);
+    result.evaluations += 1;
+  }
+
+  // --- improvement phase: single moves that keep feasibility, to fixpoint --
+  bool improved = cost.feasible;
+  while (improved) {
+    improved = false;
+    for (const std::string& e : free_elements) {
+      const Target t = current.at(e);
+      const ElementImpl& impl = library.at(e);
+      const Target flipped = t == Target::kSoftware ? Target::kHardware : Target::kSoftware;
+      if (flipped == Target::kSoftware && !impl.can_sw) continue;
+      if (flipped == Target::kHardware && !impl.can_hw) continue;
+
+      Mapping candidate = current;
+      candidate.set(e, flipped);
+      const CostBreakdown candidate_cost = evaluate(library, apps, candidate);
+      result.decisions += 1;
+      result.evaluations += 1;
+      if (candidate_cost.feasible && candidate_cost.total < cost.total - 1e-12) {
+        current = std::move(candidate);
+        cost = candidate_cost;
+        improved = true;
+      }
+    }
+  }
+
+  (void)options;
+  result.mapping = std::move(current);
+  result.cost = cost;
+  result.found_feasible = cost.feasible;
+  return result;
+}
+
+ExploreResult run_annealing(const ImplLibrary& library, const std::vector<Application>& apps,
+                            const std::vector<std::string>& free_elements, const Mapping& fixed,
+                            const ExploreOptions& options) {
+  // Start from the greedy solution and try to escape its local optimum.
+  ExploreResult result = run_greedy(library, apps, free_elements, fixed, options);
+  result.engine = "annealing";
+  if (free_elements.empty()) return result;
+
+  support::SplitMix64 rng{options.seed};
+  Mapping current = result.mapping;
+  CostBreakdown current_cost = result.cost;
+  double current_penalized = penalized_cost(library, current_cost, options.infeasibility_penalty);
+
+  Mapping best = current;
+  CostBreakdown best_cost = current_cost;
+  bool best_feasible = current_cost.feasible;
+
+  const std::size_t trials = options.annealing_trials_per_element * free_elements.size();
+  double temperature = options.annealing_initial_temperature;
+  const double cooling = std::pow(0.01 / temperature, 1.0 / static_cast<double>(trials));
+
+  for (std::size_t trial = 0; trial < trials; ++trial, temperature *= cooling) {
+    const std::string& e = free_elements[rng.next_below(free_elements.size())];
+    const ElementImpl& impl = library.at(e);
+    const Target flipped =
+        current.at(e) == Target::kSoftware ? Target::kHardware : Target::kSoftware;
+    if (flipped == Target::kSoftware && !impl.can_sw) continue;
+    if (flipped == Target::kHardware && !impl.can_hw) continue;
+
+    Mapping candidate = current;
+    candidate.set(e, flipped);
+    const CostBreakdown candidate_cost = evaluate(library, apps, candidate);
+    result.decisions += 1;
+    result.evaluations += 1;
+    const double candidate_penalized =
+        penalized_cost(library, candidate_cost, options.infeasibility_penalty);
+
+    const double delta = candidate_penalized - current_penalized;
+    if (delta <= 0.0 || rng.next_double() < std::exp(-delta / std::max(temperature, 1e-9))) {
+      current = std::move(candidate);
+      current_cost = candidate_cost;
+      current_penalized = candidate_penalized;
+      if (current_cost.feasible &&
+          (!best_feasible || current_cost.total < best_cost.total - 1e-12)) {
+        best = current;
+        best_cost = current_cost;
+        best_feasible = true;
+      }
+    }
+  }
+
+  if (best_feasible) {
+    result.mapping = std::move(best);
+    result.cost = best_cost;
+    result.found_feasible = true;
+  }
+  return result;
+}
+
+ExploreResult dispatch(const ImplLibrary& library, const std::vector<Application>& apps,
+                       const Mapping& fixed, const ExploreOptions& options) {
+  // Free elements: union minus fixed.
+  std::vector<std::string> free_elements;
+  {
+    SynthesisProblem tmp;
+    tmp.apps = apps;
+    for (const std::string& e : tmp.element_union()) {
+      if (!fixed.contains(e)) free_elements.push_back(e);
+    }
+  }
+
+  switch (options.engine) {
+    case ExploreEngine::kExhaustive:
+      if (free_elements.size() <= options.exhaustive_limit) {
+        return run_exhaustive(library, apps, free_elements, fixed);
+      }
+      return run_greedy(library, apps, free_elements, fixed, options);
+    case ExploreEngine::kGreedy:
+      return run_greedy(library, apps, free_elements, fixed, options);
+    case ExploreEngine::kAnnealing:
+      return run_annealing(library, apps, free_elements, fixed, options);
+  }
+  return run_greedy(library, apps, free_elements, fixed, options);
+}
+
+}  // namespace
+
+ExploreResult explore(const ImplLibrary& library, const std::vector<Application>& apps,
+                      const ExploreOptions& options) {
+  return dispatch(library, apps, Mapping{}, options);
+}
+
+ExploreResult explore_with_fixed(const ImplLibrary& library,
+                                 const std::vector<Application>& apps, const Mapping& fixed,
+                                 const ExploreOptions& options) {
+  return dispatch(library, apps, fixed, options);
+}
+
+}  // namespace spivar::synth

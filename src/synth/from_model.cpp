@@ -1,0 +1,51 @@
+#include "synth/from_model.hpp"
+
+#include <algorithm>
+
+#include "analysis/exclusion.hpp"
+#include "analysis/structure.hpp"
+
+namespace spivar::synth {
+
+SynthesisProblem problem_from_model(const variant::VariantModel& model,
+                                    const ProblemOptions& options) {
+  SynthesisProblem problem;
+  problem.name = model.graph().name();
+
+  // Stable element order: topological when possible, id order otherwise.
+  std::vector<support::ProcessId> process_order;
+  if (auto topo = analysis::topological_order(model.graph())) {
+    process_order = std::move(*topo);
+  } else {
+    process_order = model.graph().process_ids();
+  }
+
+  for (const variant::FlattenChoice& choice : variant::enumerate_bindings(model)) {
+    Application app;
+    app.name = variant::binding_name(model, choice);
+
+    const auto active = analysis::active_processes(model, choice);
+    const std::set<support::ProcessId> active_set(active.begin(), active.end());
+
+    std::vector<std::string> elements;
+    for (support::ProcessId pid : process_order) {
+      if (!active_set.contains(pid)) continue;
+      const spi::Process& p = model.graph().process(pid);
+      if (options.skip_virtual && p.is_virtual) continue;
+
+      std::string element = p.name;
+      if (options.granularity == ElementGranularity::kClusterAtomic) {
+        if (auto owner = model.cluster_of(pid)) element = model.cluster(*owner).name;
+      }
+      if (std::find(elements.begin(), elements.end(), element) == elements.end()) {
+        elements.push_back(element);
+      }
+    }
+    app.elements = elements;
+    app.chain = elements;  // topological order doubles as the processing chain
+    problem.apps.push_back(std::move(app));
+  }
+  return problem;
+}
+
+}  // namespace spivar::synth

@@ -1,0 +1,29 @@
+// Bridge from the variant-annotated model to a synthesis problem.
+//
+// Each complete variant binding becomes one application; its elements are
+// the active processes (common part + chosen clusters). With cluster-atomic
+// granularity a whole cluster is one synthesis element (Table 1 treats Θ1/Θ2
+// as units); with process granularity every process maps individually.
+#pragma once
+
+#include "synth/target.hpp"
+#include "variant/flatten.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::synth {
+
+enum class ElementGranularity : std::uint8_t {
+  kClusterAtomic,  ///< one element per cluster + one per common process
+  kProcess,        ///< one element per process
+};
+
+struct ProblemOptions {
+  ElementGranularity granularity = ElementGranularity::kClusterAtomic;
+  /// Virtual processes model the environment and carry no implementation.
+  bool skip_virtual = true;
+};
+
+[[nodiscard]] SynthesisProblem problem_from_model(const variant::VariantModel& model,
+                                                  const ProblemOptions& options = {});
+
+}  // namespace spivar::synth

@@ -1,0 +1,59 @@
+// HW/SW mapping (allocation result).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::synth {
+
+enum class Target : std::uint8_t { kSoftware, kHardware };
+
+[[nodiscard]] constexpr const char* to_string(Target t) noexcept {
+  return t == Target::kSoftware ? "SW" : "HW";
+}
+
+/// Assignment of elements (by name) to implementation targets.
+class Mapping {
+ public:
+  Mapping() = default;
+
+  Mapping& set(const std::string& element, Target target) {
+    assign_[element] = target;
+    return *this;
+  }
+
+  [[nodiscard]] Target at(const std::string& element) const {
+    auto it = assign_.find(element);
+    if (it == assign_.end()) {
+      throw support::ModelError("mapping has no target for element '" + element + "'");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const std::string& element) const {
+    return assign_.contains(element);
+  }
+
+  [[nodiscard]] std::vector<std::string> elements_on(Target target) const {
+    std::vector<std::string> out;
+    for (const auto& [name, t] : assign_) {
+      if (t == target) out.push_back(name);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::map<std::string, Target>& assignments() const noexcept {
+    return assign_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return assign_.size(); }
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
+
+ private:
+  std::map<std::string, Target> assign_;
+};
+
+}  // namespace spivar::synth

@@ -1,0 +1,81 @@
+#include "synth/rta.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::synth {
+
+RtaResult response_time_analysis(const ImplLibrary& library, const Application& app,
+                                 const Mapping& mapping, const RtaOptions& options) {
+  RtaResult result;
+  result.application = app.name;
+
+  for (const std::string& element : app.elements) {
+    if (mapping.at(element) != Target::kSoftware) continue;  // ASICs don't interfere
+    const ElementImpl& impl = library.at(element);
+    TaskResponse task;
+    task.element = element;
+    task.wcet = impl.sw_wcet;
+    if (impl.period) {
+      task.period = *impl.period;
+    } else if (app.period) {
+      task.period = *app.period;
+    } else {
+      throw support::ModelError("RTA: element '" + element + "' of application '" + app.name +
+                                "' has no period (set Application::period or "
+                                "ElementImpl::period)");
+    }
+    if (task.period <= support::Duration::zero()) {
+      throw support::ModelError("RTA: non-positive period for element '" + element + "'");
+    }
+    result.tasks.push_back(std::move(task));
+  }
+
+  // Rate-monotonic priority order; name breaks ties deterministically.
+  std::sort(result.tasks.begin(), result.tasks.end(),
+            [](const TaskResponse& a, const TaskResponse& b) {
+              if (a.period != b.period) return a.period < b.period;
+              return a.element < b.element;
+            });
+
+  // Fixed-point iteration, highest priority first.
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    TaskResponse& task = result.tasks[i];
+    support::Duration response = task.wcet;
+    bool converged = false;
+    for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+      support::Duration next = task.wcet;
+      for (std::size_t j = 0; j < i; ++j) {
+        const TaskResponse& hp = result.tasks[j];
+        const auto preemptions =
+            (response.count() + hp.period.count() - 1) / hp.period.count();  // ceil
+        next += hp.wcet * preemptions;
+      }
+      if (next == response) {
+        converged = true;
+        break;
+      }
+      response = next;
+      if (response > task.period) break;  // already past the deadline
+    }
+    task.response = response;
+    task.schedulable = converged && response <= task.period;
+    result.schedulable = result.schedulable && task.schedulable;
+  }
+  return result;
+}
+
+std::vector<RtaResult> response_time_analysis_all(const ImplLibrary& library,
+                                                  const std::vector<Application>& apps,
+                                                  const Mapping& mapping,
+                                                  const RtaOptions& options) {
+  std::vector<RtaResult> out;
+  out.reserve(apps.size());
+  for (const Application& app : apps) {
+    out.push_back(response_time_analysis(library, app, mapping, options));
+  }
+  return out;
+}
+
+}  // namespace spivar::synth

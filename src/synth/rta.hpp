@@ -1,0 +1,65 @@
+// Response-time analysis for software elements on the shared processor.
+//
+// The utilization test bounds feasibility; classic fixed-point RTA
+// (Joseph/Pandya) refines it per element: under preemptive fixed-priority
+// scheduling (rate-monotonic: shorter period = higher priority),
+//
+//   R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j
+//
+// Each element runs at its application's period (or the explicit per-element
+// period when provided). Hardware-mapped elements run on their own ASIC and
+// are excluded. Elements shared by mutually exclusive applications are
+// analyzed per application — only co-active elements interfere, which is the
+// variant-aware sharing argument carried into schedulability analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synth/mapping.hpp"
+#include "synth/target.hpp"
+
+namespace spivar::synth {
+
+struct TaskResponse {
+  std::string element;
+  support::Duration period{};
+  support::Duration wcet{};
+  support::Duration response{};  ///< fixed point, valid when `schedulable`
+  bool schedulable = true;       ///< response <= period (implicit deadline)
+};
+
+struct RtaResult {
+  std::string application;
+  std::vector<TaskResponse> tasks;  ///< sorted by priority (shortest period first)
+  bool schedulable = true;
+
+  [[nodiscard]] const TaskResponse* find(const std::string& element) const {
+    for (const auto& t : tasks) {
+      if (t.element == element) return &t;
+    }
+    return nullptr;
+  }
+};
+
+struct RtaOptions {
+  /// Iteration cap per task; exceeding it marks the task unschedulable.
+  int max_iterations = 1000;
+};
+
+/// Analyzes the software tasks of one application under `mapping`. The
+/// application must carry a period (used for every element without an
+/// explicit one in the library — see `ElementImpl::sw_wcet`; the element's
+/// period defaults to `app.period`).
+[[nodiscard]] RtaResult response_time_analysis(const ImplLibrary& library,
+                                               const Application& app, const Mapping& mapping,
+                                               const RtaOptions& options = {});
+
+/// Convenience: analyze every application; overall schedulability is the
+/// conjunction (mutually exclusive variants are analyzed independently).
+[[nodiscard]] std::vector<RtaResult> response_time_analysis_all(
+    const ImplLibrary& library, const std::vector<Application>& apps, const Mapping& mapping,
+    const RtaOptions& options = {});
+
+}  // namespace spivar::synth

@@ -1,0 +1,82 @@
+#include "synth/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace spivar::synth {
+
+Schedule list_schedule(const ImplLibrary& library, const Application& app,
+                       const Mapping& mapping) {
+  // Chain position per element (elements outside the chain get none).
+  std::map<std::string, std::size_t> chain_pos;
+  for (std::size_t i = 0; i < app.chain.size(); ++i) chain_pos[app.chain[i]] = i;
+
+  struct Item {
+    std::string element;
+    Target target;
+    Duration wcet;
+    std::optional<std::size_t> pos;  // chain position
+    bool done = false;
+    TimePoint end{};
+  };
+  std::vector<Item> items;
+  for (const std::string& e : app.elements) {
+    const ElementImpl& impl = library.at(e);
+    const Target t = mapping.at(e);
+    Item item{e, t, t == Target::kSoftware ? impl.sw_wcet : impl.hw_wcet, std::nullopt, false,
+              TimePoint{}};
+    if (auto it = chain_pos.find(e); it != chain_pos.end()) item.pos = it->second;
+    items.push_back(std::move(item));
+  }
+
+  // Deterministic priority: chain tasks in chain order first, then the rest
+  // by name.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.pos && b.pos) return *a.pos < *b.pos;
+    if (a.pos != b.pos) return a.pos.has_value();
+    return a.element < b.element;
+  });
+
+  Schedule out;
+  TimePoint processor_free = TimePoint::zero();
+  std::map<std::size_t, TimePoint> chain_done;  // completion per chain position
+
+  std::size_t remaining = items.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (Item& item : items) {
+      if (item.done) continue;
+      // Ready when the chain predecessor has finished.
+      TimePoint ready = TimePoint::zero();
+      if (item.pos && *item.pos > 0) {
+        auto it = chain_done.find(*item.pos - 1);
+        if (it == chain_done.end()) continue;  // predecessor not scheduled yet
+        ready = it->second;
+      }
+
+      TimePoint start = ready;
+      if (item.target == Target::kSoftware) {
+        start = std::max(start, processor_free);
+      }
+      const TimePoint end = start + item.wcet;
+      if (item.target == Target::kSoftware) processor_free = end;
+      if (item.pos) chain_done[*item.pos] = end;
+
+      out.tasks.push_back({item.element, item.target, start, item.wcet});
+      item.done = true;
+      item.end = end;
+      --remaining;
+      progressed = true;
+    }
+    if (!progressed) break;  // broken chain (element missing): schedule what we can
+  }
+
+  for (const ScheduledTask& t : out.tasks) {
+    out.makespan = std::max(out.makespan, t.end() - TimePoint::zero());
+  }
+  if (app.deadline) out.meets_deadline = out.makespan <= *app.deadline;
+  return out;
+}
+
+}  // namespace spivar::synth

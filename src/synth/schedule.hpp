@@ -1,0 +1,39 @@
+// Static list scheduling of one application iteration.
+//
+// Resources: one shared processor (software tasks serialize on it) and one
+// dedicated ASIC per hardware element (hardware tasks only wait for their
+// predecessors). Dependencies: the application's `chain` is a precedence
+// chain; elements outside the chain are independent. Priorities: chain
+// position first, then name — deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/duration.hpp"
+#include "synth/mapping.hpp"
+#include "synth/target.hpp"
+
+namespace spivar::synth {
+
+using support::TimePoint;
+
+struct ScheduledTask {
+  std::string element;
+  Target target = Target::kSoftware;
+  TimePoint start{};
+  Duration length = Duration::zero();
+
+  [[nodiscard]] TimePoint end() const { return start + length; }
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> tasks;
+  Duration makespan = Duration::zero();
+  bool meets_deadline = true;  ///< true when the app has no deadline
+};
+
+[[nodiscard]] Schedule list_schedule(const ImplLibrary& library, const Application& app,
+                                     const Mapping& mapping);
+
+}  // namespace spivar::synth

@@ -1,0 +1,181 @@
+#include "synth/strategies.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::synth {
+
+namespace {
+
+std::vector<std::size_t> effective_order(const std::vector<Application>& apps,
+                                         const std::vector<std::size_t>& order) {
+  if (order.empty()) {
+    std::vector<std::size_t> identity(apps.size());
+    std::iota(identity.begin(), identity.end(), 0);
+    return identity;
+  }
+  if (order.size() != apps.size()) {
+    throw support::ModelError("strategy order must permute all applications");
+  }
+  return order;
+}
+
+std::string order_string(const std::vector<Application>& apps,
+                         const std::vector<std::size_t>& order) {
+  std::string out;
+  for (std::size_t i : order) {
+    if (!out.empty()) out += ",";
+    out += apps[i].name;
+  }
+  return out;
+}
+
+}  // namespace
+
+StrategyOutcome synthesize_independent(const ImplLibrary& library, const Application& app,
+                                       const ExploreOptions& options) {
+  const ExploreResult r = explore(library, {app}, options);
+  StrategyOutcome out;
+  out.strategy = "independent";
+  out.cost = r.cost;
+  out.mapping = r.mapping;
+  out.decisions = r.decisions;
+  out.feasible = r.found_feasible;
+  out.detail = r.engine + " on '" + app.name + "'";
+  return out;
+}
+
+StrategyOutcome synthesize_superposition(const ImplLibrary& library,
+                                         const std::vector<Application>& apps,
+                                         const ExploreOptions& options) {
+  StrategyOutcome out;
+  out.strategy = "superposition";
+  out.feasible = true;
+
+  for (const Application& app : apps) {
+    const StrategyOutcome ind = synthesize_independent(library, app, options);
+    out.per_app.push_back(ind.mapping);
+    out.decisions += ind.decisions;
+    out.feasible = out.feasible && ind.feasible;
+  }
+
+  // Merge pass over the union of elements: one decision per element looked
+  // at while assembling the superposed architecture.
+  SynthesisProblem tmp;
+  tmp.apps = apps;
+  out.decisions += static_cast<std::int64_t>(tmp.element_union().size());
+
+  out.cost = evaluate_superposition(library, apps, out.per_app);
+  out.feasible = out.feasible && out.cost.feasible;
+  out.detail = "union of independent implementations";
+  return out;
+}
+
+StrategyOutcome synthesize_with_variants(const ImplLibrary& library,
+                                         const std::vector<Application>& apps,
+                                         const ExploreOptions& options) {
+  const ExploreResult r = explore(library, apps, options);
+  StrategyOutcome out;
+  out.strategy = "with-variants";
+  out.cost = r.cost;
+  out.mapping = r.mapping;
+  out.decisions = r.decisions;
+  out.feasible = r.found_feasible;
+  out.detail = r.engine + " joint over " + std::to_string(apps.size()) + " variants";
+  return out;
+}
+
+StrategyOutcome synthesize_serialized(const ImplLibrary& library,
+                                      const std::vector<Application>& apps,
+                                      const std::vector<std::size_t>& order,
+                                      const ExploreOptions& options) {
+  const auto seq = effective_order(apps, order);
+
+  // All variants are enumerated and serialized into a single large task:
+  // mutual exclusion is lost (one application holding the union of all
+  // elements) and each variant's deadline becomes a prefix deadline of the
+  // serialized chain.
+  Application united;
+  united.name = "serialized";
+  std::set<std::string> seen;
+  for (std::size_t i : seq) {
+    for (const std::string& e : apps[i].elements) {
+      if (seen.insert(e).second) united.elements.push_back(e);
+    }
+    for (const std::string& e : apps[i].chain) {
+      if (std::find(united.chain.begin(), united.chain.end(), e) == united.chain.end()) {
+        united.chain.push_back(e);
+      }
+    }
+  }
+
+  std::vector<Application> transformed{united};
+  std::set<std::string> prefix_seen;
+  Application prefix;
+  prefix.name = "serialized-prefix";
+  for (std::size_t i : seq) {
+    for (const std::string& e : apps[i].elements) {
+      if (prefix_seen.insert(e).second) prefix.elements.push_back(e);
+    }
+    for (const std::string& e : apps[i].chain) {
+      if (std::find(prefix.chain.begin(), prefix.chain.end(), e) == prefix.chain.end()) {
+        prefix.chain.push_back(e);
+      }
+    }
+    if (apps[i].deadline) {
+      Application checkpoint = prefix;
+      checkpoint.name = "prefix-" + apps[i].name;
+      checkpoint.deadline = apps[i].deadline;
+      transformed.push_back(std::move(checkpoint));
+    }
+  }
+
+  const ExploreResult r = explore(library, transformed, options);
+  StrategyOutcome out;
+  out.strategy = "serialized";
+  out.cost = r.cost;
+  out.mapping = r.mapping;
+  out.decisions = r.decisions;
+  out.feasible = r.found_feasible;
+  out.detail = "order " + order_string(apps, seq);
+  return out;
+}
+
+StrategyOutcome synthesize_incremental(const ImplLibrary& library,
+                                       const std::vector<Application>& apps,
+                                       const std::vector<std::size_t>& order,
+                                       const ExploreOptions& options) {
+  const auto seq = effective_order(apps, order);
+
+  StrategyOutcome out;
+  out.strategy = "incremental";
+  out.feasible = true;
+
+  Mapping decided;
+  std::vector<Application> considered;
+  for (std::size_t i : seq) {
+    considered.push_back(apps[i]);
+    ExploreResult r = explore_with_fixed(library, considered, decided, options);
+    out.decisions += r.decisions;
+    if (!r.found_feasible) {
+      // Inherited decisions block the new variant: re-open everything for
+      // this and all previous variants (counted as extra design effort).
+      r = explore(library, considered, options);
+      out.decisions += r.decisions;
+      out.detail += "[re-design at '" + apps[i].name + "'] ";
+    }
+    out.feasible = out.feasible && r.found_feasible;
+    decided = r.mapping;
+  }
+
+  out.mapping = decided;
+  out.cost = evaluate(library, apps, decided);
+  out.feasible = out.feasible && out.cost.feasible;
+  out.detail += "order " + order_string(apps, seq);
+  return out;
+}
+
+}  // namespace spivar::synth

@@ -1,0 +1,60 @@
+// Synthesis strategies (paper §5, Table 1) and literature baselines.
+//
+//  * independent   — one synthesis cycle per application (Table 1 rows 1-2)
+//  * superposition — union of the independent implementations (row 3)
+//  * with variants — joint optimization over the variant-annotated model,
+//                    exploiting mutual exclusion (row 4)
+//  * serialized    — Kim/Karri/Potkonjak, DAC'97 [6]: all variants are
+//                    enumerated and serialized into one large task; mutual
+//                    exclusion is lost and per-variant deadlines become
+//                    prefix deadlines of the serialized chain (order-
+//                    sensitive)
+//  * incremental   — Kavalade/Subrahmanyam, ICCAD'97 [5]: variants are
+//                    synthesized one at a time, reusing the architecture
+//                    decided so far (order-sensitive)
+//
+// Each outcome carries `decisions`, the number of elementary synthesis
+// decisions examined — the design-time proxy behind Table 1's "Time" column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/explore.hpp"
+
+namespace spivar::synth {
+
+struct StrategyOutcome {
+  std::string strategy;
+  CostBreakdown cost;          ///< final architecture cost
+  Mapping mapping;             ///< unified mapping (empty for superposition)
+  std::vector<Mapping> per_app;  ///< per-application mappings (superposition)
+  std::int64_t decisions = 0;  ///< design-time proxy
+  bool feasible = false;
+  std::string detail;          ///< engine used, order, notes
+};
+
+[[nodiscard]] StrategyOutcome synthesize_independent(const ImplLibrary& library,
+                                                     const Application& app,
+                                                     const ExploreOptions& options = {});
+
+[[nodiscard]] StrategyOutcome synthesize_superposition(const ImplLibrary& library,
+                                                       const std::vector<Application>& apps,
+                                                       const ExploreOptions& options = {});
+
+[[nodiscard]] StrategyOutcome synthesize_with_variants(const ImplLibrary& library,
+                                                       const std::vector<Application>& apps,
+                                                       const ExploreOptions& options = {});
+
+/// `order` permutes `apps`; identity when empty.
+[[nodiscard]] StrategyOutcome synthesize_serialized(const ImplLibrary& library,
+                                                    const std::vector<Application>& apps,
+                                                    const std::vector<std::size_t>& order = {},
+                                                    const ExploreOptions& options = {});
+
+[[nodiscard]] StrategyOutcome synthesize_incremental(const ImplLibrary& library,
+                                                     const std::vector<Application>& apps,
+                                                     const std::vector<std::size_t>& order = {},
+                                                     const ExploreOptions& options = {});
+
+}  // namespace spivar::synth

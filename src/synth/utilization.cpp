@@ -1,0 +1,32 @@
+#include "synth/utilization.hpp"
+
+namespace spivar::synth {
+
+UtilizationReport analyze_utilization(const variant::VariantModel& model,
+                                      const ImplLibrary& library, const Mapping& mapping,
+                                      ElementGranularity granularity) {
+  const SynthesisProblem problem = problem_from_model(model, {.granularity = granularity});
+
+  UtilizationReport report;
+  for (const Application& app : problem.apps) {
+    BindingUtilization entry;
+    entry.binding = app.name;
+    for (const std::string& element : app.elements) {
+      if (mapping.at(element) == Target::kSoftware) {
+        entry.software_load += library.at(element).sw_load;
+      }
+    }
+    entry.headroom = library.processor_budget - entry.software_load;
+    entry.feasible = entry.headroom >= -1e-12;
+    report.bindings.push_back(std::move(entry));
+  }
+
+  for (std::size_t i = 1; i < report.bindings.size(); ++i) {
+    if (report.bindings[i].headroom < report.bindings[report.bottleneck].headroom) {
+      report.bottleneck = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace spivar::synth

@@ -1,0 +1,46 @@
+// Per-binding processor utilization analysis.
+//
+// For every complete variant binding, sums the software loads of the active
+// elements under a mapping and reports headroom — the quantity §5's
+// feasibility argument revolves around ("the available processor
+// performance is not exceeded"). Identifies the bottleneck binding, which
+// is what a designer tunes first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/from_model.hpp"
+#include "synth/mapping.hpp"
+#include "synth/target.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::synth {
+
+struct BindingUtilization {
+  std::string binding;       ///< e.g. "theta=cluster1"
+  double software_load = 0;  ///< summed loads of SW-mapped active elements
+  double headroom = 0;       ///< budget - load (negative = overload)
+  bool feasible = true;
+};
+
+struct UtilizationReport {
+  std::vector<BindingUtilization> bindings;
+  std::size_t bottleneck = 0;  ///< index of the binding with least headroom
+
+  [[nodiscard]] const BindingUtilization& worst() const { return bindings.at(bottleneck); }
+  [[nodiscard]] bool all_feasible() const {
+    for (const auto& b : bindings) {
+      if (!b.feasible) return false;
+    }
+    return true;
+  }
+};
+
+/// Analyzes every complete binding of `model` under `mapping` (element names
+/// per `granularity`, as produced by problem_from_model).
+[[nodiscard]] UtilizationReport analyze_utilization(
+    const variant::VariantModel& model, const ImplLibrary& library, const Mapping& mapping,
+    ElementGranularity granularity = ElementGranularity::kClusterAtomic);
+
+}  // namespace spivar::synth

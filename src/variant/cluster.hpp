@@ -1,0 +1,60 @@
+// Clusters and ports (paper Def. 1).
+//
+// A cluster is a connected subgraph holding one function variant. It
+// communicates with the rest of the system only through the ports of the
+// interface it belongs to; each port is bound to one external channel, and
+// inside each cluster exactly one embedded process connects to that channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace spivar::variant {
+
+using support::ChannelId;
+using support::ClusterId;
+using support::InterfaceId;
+using support::ProcessId;
+
+enum class PortDir : std::uint8_t {
+  kInput,   ///< data flows from the external channel into the cluster
+  kOutput,  ///< data flows from the cluster onto the external channel
+};
+
+[[nodiscard]] constexpr const char* to_string(PortDir d) noexcept {
+  return d == PortDir::kInput ? "in" : "out";
+}
+
+/// Border crossing of an interface: one external channel per port.
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kInput;
+  ChannelId external;  ///< the channel outside the interface border
+};
+
+/// Def. 1 — embedded processes and channels of one function variant. Edges
+/// are held by the underlying Graph; embedding is recorded by membership.
+struct Cluster {
+  std::string name;
+  InterfaceId interface;  ///< owning interface (every cluster has exactly one)
+  std::vector<ProcessId> processes;
+  std::vector<ChannelId> channels;  ///< internal channels
+
+  [[nodiscard]] bool owns(ProcessId p) const {
+    for (ProcessId q : processes) {
+      if (q == p) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool owns(ChannelId c) const {
+    for (ChannelId d : channels) {
+      if (d == c) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace spivar::variant

@@ -1,0 +1,98 @@
+#include "variant/dot.hpp"
+
+#include <sstream>
+
+namespace spivar::variant {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const VariantModel& model, const VariantDotOptions& options) {
+  const spi::Graph& g = model.graph();
+  std::ostringstream os;
+  os << "digraph \"" << escape(g.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  compound=true;\n";
+
+  auto emit_process = [&](support::ProcessId pid, const std::string& indent) {
+    const spi::Process& p = g.process(pid);
+    os << indent << "p" << pid.value() << " [shape=box,label=\"" << escape(p.name) << "\"";
+    if (p.is_virtual) os << ",style=dashed";
+    os << "];\n";
+  };
+  auto emit_channel = [&](support::ChannelId cid, const std::string& indent) {
+    const spi::Channel& ch = g.channel(cid);
+    os << indent << "c" << cid.value() << " [shape=ellipse";
+    if (ch.kind == spi::ChannelKind::kRegister) os << ",peripheries=2";
+    os << ",label=\"" << escape(ch.name) << "\"";
+    if (ch.is_virtual) os << ",style=dashed";
+    os << "];\n";
+  };
+
+  // Interface/cluster boxes.
+  for (support::InterfaceId iid : model.interface_ids()) {
+    const Interface& iface = model.interface(iid);
+    os << "  subgraph cluster_iface" << iid.value() << " {\n";
+    os << "    label=\"interface " << escape(iface.name);
+    if (options.show_selection_rules) {
+      for (const SelectionRule& rule : iface.selection) {
+        os << "\\n" << escape(rule.name) << " -> " << escape(model.cluster(rule.cluster).name);
+      }
+    }
+    os << "\";\n    style=dashed;\n";
+    for (support::ClusterId cid : iface.clusters) {
+      const Cluster& cl = model.cluster(cid);
+      os << "    subgraph cluster_c" << cid.value() << " {\n";
+      os << "      label=\"" << escape(cl.name);
+      const auto t_conf = iface.conf_latency(cid);
+      if (t_conf > support::Duration::zero()) os << " (t_conf " << t_conf.to_string() << ")";
+      os << "\";\n      style=solid;\n";
+      for (support::ProcessId pid : cl.processes) emit_process(pid, "      ");
+      for (support::ChannelId chid : cl.channels) emit_channel(chid, "      ");
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+
+  // Common part.
+  for (support::ProcessId pid : g.process_ids()) {
+    if (!model.cluster_of(pid)) emit_process(pid, "  ");
+  }
+  for (support::ChannelId cid : g.channel_ids()) {
+    if (!model.cluster_of(cid)) emit_channel(cid, "  ");
+  }
+
+  // Edges.
+  for (support::ProcessId pid : g.process_ids()) {
+    const spi::Process& p = g.process(pid);
+    for (support::EdgeId e : p.inputs) {
+      os << "  c" << g.edge(e).channel.value() << " -> p" << pid.value();
+      if (options.show_rates && !p.modes.empty()) {
+        os << " [label=\"" << p.modes[0].consumption_on(e).to_string() << "\"]";
+      }
+      os << ";\n";
+    }
+    for (support::EdgeId e : p.outputs) {
+      os << "  p" << pid.value() << " -> c" << g.edge(e).channel.value();
+      if (options.show_rates && !p.modes.empty()) {
+        os << " [label=\"" << p.modes[0].production_on(e).to_string() << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace spivar::variant

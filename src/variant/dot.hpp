@@ -1,0 +1,23 @@
+// GraphViz export of variant-annotated models.
+//
+// Extends spi::to_dot with the variant structure: each cluster renders as a
+// GraphViz subgraph cluster box inside its interface's labeled region, and
+// selection rules are annotated on the interface. This is the picture the
+// paper's Figure 2 draws.
+#pragma once
+
+#include <string>
+
+#include "variant/model.hpp"
+
+namespace spivar::variant {
+
+struct VariantDotOptions {
+  bool show_selection_rules = true;  ///< annotate interfaces with their rules
+  bool show_rates = true;
+};
+
+[[nodiscard]] std::string to_dot(const VariantModel& model,
+                                 const VariantDotOptions& options = {});
+
+}  // namespace spivar::variant

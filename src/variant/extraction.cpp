@@ -1,0 +1,553 @@
+#include "variant/extraction.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+
+#include "support/rational.hpp"
+
+namespace spivar::variant {
+
+namespace {
+
+using spi::EdgeDir;
+using spi::Graph;
+using spi::Mode;
+using support::Duration;
+using support::EdgeId;
+using support::Rational;
+
+/// One internal channel of the cluster with its producing/consuming process.
+struct InternalLink {
+  ChannelId channel;
+  ProcessId producer;
+  EdgeId producer_edge;
+  ProcessId consumer;
+  EdgeId consumer_edge;
+};
+
+/// Cluster wiring resolved once per extraction.
+struct ClusterWiring {
+  std::vector<ProcessId> procs;                ///< cluster processes, model order
+  std::map<ProcessId, std::size_t> index_of;   ///< process -> position in procs
+  std::vector<InternalLink> links;
+
+  /// Per port of the owning interface: process and edge touching the port.
+  struct PortBinding {
+    const Port* port;
+    ProcessId process;
+    EdgeId edge;
+  };
+  std::vector<PortBinding> port_bindings;
+};
+
+ClusterWiring resolve_wiring(const VariantModel& model, const Cluster& cluster,
+                             const Interface& iface) {
+  const Graph& g = model.graph();
+  ClusterWiring w;
+  w.procs = cluster.processes;
+  for (std::size_t i = 0; i < w.procs.size(); ++i) w.index_of[w.procs[i]] = i;
+
+  const std::set<ProcessId> member(w.procs.begin(), w.procs.end());
+  for (ChannelId cid : cluster.channels) {
+    const spi::Channel& ch = g.channel(cid);
+    InternalLink link{cid, ProcessId{}, EdgeId{}, ProcessId{}, EdgeId{}};
+    for (EdgeId e : ch.producers) {
+      if (member.contains(g.edge(e).process)) {
+        link.producer = g.edge(e).process;
+        link.producer_edge = e;
+      }
+    }
+    for (EdgeId e : ch.consumers) {
+      if (member.contains(g.edge(e).process)) {
+        link.consumer = g.edge(e).process;
+        link.consumer_edge = e;
+      }
+    }
+    if (link.producer.valid() && link.consumer.valid()) w.links.push_back(link);
+  }
+
+  for (const Port& port : iface.ports) {
+    for (ProcessId pid : w.procs) {
+      const spi::Process& p = g.process(pid);
+      const auto& edges = (port.dir == PortDir::kInput) ? p.inputs : p.outputs;
+      for (EdgeId e : edges) {
+        if (g.edge(e).channel == port.external) {
+          w.port_bindings.push_back({&port, pid, e});
+        }
+      }
+    }
+  }
+  return w;
+}
+
+/// Selects one mode per cluster process.
+using Combo = std::vector<const Mode*>;
+
+/// Repetition vector for one combo and one bound selector (lo or hi).
+/// Returns per-process integer firing counts, or nullopt when the balance
+/// equations are inconsistent for this combination.
+std::optional<std::vector<std::int64_t>> solve_repetitions(
+    const ClusterWiring& w, const Combo& combo,
+    const std::function<std::int64_t(Interval)>& bound) {
+  const std::size_t n = w.procs.size();
+  std::vector<std::optional<Rational>> rep(n);
+
+  // Adjacency: per process, the links it participates in.
+  std::vector<std::vector<const InternalLink*>> adj(n);
+  for (const InternalLink& link : w.links) {
+    adj[w.index_of.at(link.producer)].push_back(&link);
+    adj[w.index_of.at(link.consumer)].push_back(&link);
+  }
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (rep[start]) continue;
+    rep[start] = Rational{1};
+    std::deque<std::size_t> queue{start};
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (const InternalLink* link : adj[u]) {
+        const std::size_t pi = w.index_of.at(link->producer);
+        const std::size_t ci = w.index_of.at(link->consumer);
+        const std::int64_t prod = bound(combo[pi]->production_on(link->producer_edge));
+        const std::int64_t cons = bound(combo[ci]->consumption_on(link->consumer_edge));
+        if (prod == 0 && cons == 0) continue;
+        if (prod == 0 || cons == 0) return std::nullopt;  // one side silent -> no steady state
+
+        if (rep[pi] && rep[ci]) {
+          if (!(*rep[pi] * Rational{prod} == *rep[ci] * Rational{cons})) return std::nullopt;
+        } else if (rep[pi]) {
+          rep[ci] = *rep[pi] * Rational{prod, cons};
+          queue.push_back(ci);
+        } else if (rep[ci]) {
+          rep[pi] = *rep[ci] * Rational{cons, prod};
+          queue.push_back(pi);
+        }
+      }
+    }
+  }
+
+  // Scale to the smallest integer vector.
+  std::int64_t lcm = 1;
+  for (const auto& r : rep) lcm = std::lcm(lcm, r->den());
+  std::vector<std::int64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = rep[i]->num() * (lcm / rep[i]->den());
+  std::int64_t gcd = 0;
+  for (std::int64_t v : out) gcd = std::gcd(gcd, v);
+  if (gcd > 1) {
+    for (std::int64_t& v : out) v /= gcd;
+  }
+  return out;
+}
+
+/// Longest-path latency through the cluster for one combo and one bound.
+/// `cyclic` is set when the cluster graph contains a cycle; then a
+/// conservative estimate is returned (max single chain for lo, full serial
+/// sum for hi).
+std::int64_t path_latency(const ClusterWiring& w, const Combo& combo,
+                          const std::vector<std::int64_t>& reps, bool lower_bound,
+                          bool& cyclic) {
+  const std::size_t n = w.procs.size();
+  auto node_latency = [&](std::size_t i) {
+    const auto iv = combo[i]->latency;
+    return reps[i] * (lower_bound ? iv.lo().count() : iv.hi().count());
+  };
+
+  // Successor lists + in-degrees over distinct process pairs.
+  std::vector<std::set<std::size_t>> succ(n);
+  for (const InternalLink& link : w.links) {
+    const std::size_t pi = w.index_of.at(link.producer);
+    const std::size_t ci = w.index_of.at(link.consumer);
+    if (pi != ci) succ[pi].insert(ci);
+  }
+  std::vector<int> indeg(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : succ[u]) ++indeg[v];
+  }
+
+  std::deque<std::size_t> queue;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (indeg[u] == 0) queue.push_back(u);
+  }
+  std::vector<std::int64_t> lp(n, 0);
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    ++visited;
+    lp[u] += node_latency(u);
+    for (std::size_t v : succ[u]) {
+      lp[v] = std::max(lp[v], lp[u]);
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+
+  if (visited != n) {
+    cyclic = true;
+    if (lower_bound) {
+      std::int64_t best = 0;
+      for (std::size_t u = 0; u < n; ++u) best = std::max(best, node_latency(u));
+      return best;
+    }
+    std::int64_t sum = 0;
+    for (std::size_t u = 0; u < n; ++u) sum += node_latency(u);
+    return sum;
+  }
+  return *std::max_element(lp.begin(), lp.end());
+}
+
+/// Extracted mode for one combo (or for the hulled fallback combo).
+ExtractedMode extract_combo(const ClusterWiring& w, const Cluster& cluster, const Combo& combo,
+                            std::string mode_name, ClusterSummary& summary) {
+  auto lo = [](Interval iv) { return iv.lo(); };
+  auto hi = [](Interval iv) { return iv.hi(); };
+
+  auto reps_lo = solve_repetitions(w, combo, lo);
+  auto reps_hi = solve_repetitions(w, combo, hi);
+  std::vector<std::int64_t> rlo, rhi;
+  if (!reps_lo || !reps_hi) {
+    summary.used_fallback = true;
+    rlo.assign(w.procs.size(), 1);
+    rhi.assign(w.procs.size(), 1);
+  } else {
+    rlo = *reps_lo;
+    rhi = *reps_hi;
+  }
+
+  // Record repetition hulls.
+  for (std::size_t i = 0; i < w.procs.size(); ++i) {
+    const Interval r{std::min(rlo[i], rhi[i]), std::max(rlo[i], rhi[i])};
+    auto [it, inserted] = summary.repetitions.emplace(w.procs[i], r);
+    if (!inserted) it->second = it->second.hull(r);
+  }
+
+  ExtractedMode em;
+  em.name = std::move(mode_name);
+
+  bool cyclic = false;
+  const std::int64_t lat_lo = path_latency(w, combo, rlo, /*lower_bound=*/true, cyclic);
+  const std::int64_t lat_hi = path_latency(w, combo, rhi, /*lower_bound=*/false, cyclic);
+  summary.cyclic = summary.cyclic || cyclic;
+  em.latency = DurationInterval{Duration{std::min(lat_lo, lat_hi)}, Duration{std::max(lat_lo, lat_hi)}};
+
+  for (const auto& binding : w.port_bindings) {
+    const std::size_t i = w.index_of.at(binding.process);
+    const Mode& m = *combo[i];
+    if (binding.port->dir == PortDir::kInput) {
+      const Interval iv = m.consumption_on(binding.edge);
+      const std::int64_t a = rlo[i] * iv.lo();
+      const std::int64_t b = rhi[i] * iv.hi();
+      em.consumption[binding.port->external] = Interval{std::min(a, b), std::max(a, b)};
+    } else {
+      const Interval iv = m.production_on(binding.edge);
+      const std::int64_t a = rlo[i] * iv.lo();
+      const std::int64_t b = rhi[i] * iv.hi();
+      em.production[binding.port->external] = Interval{std::min(a, b), std::max(a, b)};
+      const spi::TagSet tags = m.tags_on(binding.edge);
+      if (!tags.empty()) em.produced_tags[binding.port->external] = tags;
+    }
+  }
+  (void)cluster;
+  return em;
+}
+
+ExtractedMode hull_of(const std::vector<ExtractedMode>& modes, std::string name) {
+  ExtractedMode out;
+  out.name = std::move(name);
+  out.latency = modes.front().latency;
+  for (const ExtractedMode& m : modes) out.latency = out.latency.hull(m.latency);
+
+  auto hull_rates = [&](auto member) {
+    std::map<ChannelId, Interval> result;
+    std::set<ChannelId> keys;
+    for (const ExtractedMode& m : modes) {
+      for (const auto& [c, iv] : m.*member) keys.insert(c);
+    }
+    for (ChannelId c : keys) {
+      std::optional<Interval> acc;
+      for (const ExtractedMode& m : modes) {
+        auto it = (m.*member).find(c);
+        const Interval iv = it == (m.*member).end() ? Interval{0} : it->second;
+        acc = acc ? acc->hull(iv) : iv;
+      }
+      result[c] = *acc;
+    }
+    return result;
+  };
+  out.consumption = hull_rates(&ExtractedMode::consumption);
+  out.production = hull_rates(&ExtractedMode::production);
+
+  for (const ExtractedMode& m : modes) {
+    for (const auto& [c, tags] : m.produced_tags) {
+      out.produced_tags[c] = out.produced_tags[c].union_with(tags);
+    }
+  }
+  return out;
+}
+
+/// Synthetic per-process hull mode used when the combination count explodes.
+Mode hull_process_mode(const spi::Process& p) {
+  Mode out;
+  out.name = p.name + "#hull";
+  out.latency = p.modes.front().latency;
+  for (const Mode& m : p.modes) out.latency = out.latency.hull(m.latency);
+
+  std::set<EdgeId> keys;
+  for (const Mode& m : p.modes) {
+    for (const auto& [e, iv] : m.consumption) keys.insert(e);
+  }
+  for (EdgeId e : keys) {
+    std::optional<Interval> acc;
+    for (const Mode& m : p.modes) {
+      const Interval iv = m.consumption_on(e);
+      acc = acc ? acc->hull(iv) : iv;
+    }
+    out.consumption[e] = *acc;
+  }
+  keys.clear();
+  for (const Mode& m : p.modes) {
+    for (const auto& [e, iv] : m.production) keys.insert(e);
+  }
+  for (EdgeId e : keys) {
+    std::optional<Interval> acc;
+    for (const Mode& m : p.modes) {
+      const Interval iv = m.production_on(e);
+      acc = acc ? acc->hull(iv) : iv;
+    }
+    out.production[e] = *acc;
+  }
+  for (const Mode& m : p.modes) {
+    for (const auto& [e, tags] : m.produced_tags) {
+      out.produced_tags[e] = out.produced_tags[e].union_with(tags);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ClusterSummary extract_cluster(const VariantModel& model, support::ClusterId id,
+                               const ExtractionOptions& options) {
+  const Cluster& cluster = model.cluster(id);
+  const Interface& iface = model.interface(cluster.interface);
+  const Graph& g = model.graph();
+
+  ClusterSummary summary;
+  summary.cluster = id;
+  summary.cluster_name = cluster.name;
+
+  if (cluster.processes.empty()) {
+    summary.notes.error("extraction-empty-cluster",
+                        "cluster '" + cluster.name + "' has no processes");
+    return summary;
+  }
+
+  const ClusterWiring wiring = resolve_wiring(model, cluster, iface);
+
+  // Total embedded-mode combinations.
+  std::size_t combinations = 1;
+  bool overflow = false;
+  for (ProcessId pid : wiring.procs) {
+    const std::size_t k = g.process(pid).modes.size();
+    if (k == 0) {
+      summary.notes.error("extraction-process-no-modes",
+                          "process '" + g.process(pid).name + "' has no modes");
+      return summary;
+    }
+    if (combinations > options.max_combinations / k + 1) overflow = true;
+    combinations *= k;
+  }
+
+  std::vector<ExtractedMode> raw_modes;
+  if (overflow || combinations > options.max_combinations) {
+    // Fall back to the hull of per-process hull modes — coarse but safe.
+    summary.notes.note("extraction-combination-cap",
+                       "cluster '" + cluster.name + "': " + std::to_string(combinations) +
+                           " mode combinations exceed the cap; using per-process hulls");
+    std::vector<Mode> hulls;
+    hulls.reserve(wiring.procs.size());
+    Combo combo(wiring.procs.size());
+    for (std::size_t i = 0; i < wiring.procs.size(); ++i) {
+      hulls.push_back(hull_process_mode(g.process(wiring.procs[i])));
+    }
+    for (std::size_t i = 0; i < wiring.procs.size(); ++i) combo[i] = &hulls[i];
+    raw_modes.push_back(extract_combo(wiring, cluster, combo, cluster.name + "/hull", summary));
+  } else {
+    // Mixed-radix enumeration of mode combinations.
+    std::vector<std::size_t> digits(wiring.procs.size(), 0);
+    for (std::size_t n = 0; n < combinations; ++n) {
+      Combo combo(wiring.procs.size());
+      std::string name = cluster.name + "/";
+      bool all_single = true;
+      for (std::size_t i = 0; i < wiring.procs.size(); ++i) {
+        const spi::Process& p = g.process(wiring.procs[i]);
+        combo[i] = &p.modes[digits[i]];
+        if (p.modes.size() > 1) {
+          if (!name.ends_with("/")) name += "+";
+          name += combo[i]->name;
+          all_single = false;
+        }
+      }
+      if (all_single) name = cluster.name + "/m" + std::to_string(n);
+      raw_modes.push_back(extract_combo(wiring, cluster, combo, std::move(name), summary));
+
+      // Increment the counter.
+      for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (++digits[i] < g.process(wiring.procs[i]).modes.size()) break;
+        digits[i] = 0;
+      }
+    }
+  }
+
+  if (options.granularity == ExtractionOptions::Granularity::kHull && raw_modes.size() > 1) {
+    summary.modes.push_back(hull_of(raw_modes, cluster.name + "/hull"));
+  } else {
+    summary.modes = std::move(raw_modes);
+  }
+
+  if (summary.used_fallback) {
+    summary.notes.warning("extraction-unbalanced",
+                          "cluster '" + cluster.name +
+                              "': balance equations inconsistent for at least one mode "
+                              "combination; used single-execution abstraction");
+  }
+  if (summary.cyclic) {
+    summary.notes.note("extraction-cyclic",
+                       "cluster '" + cluster.name +
+                           "' contains a cycle; latency bounds are conservative");
+  }
+  return summary;
+}
+
+AbstractionResult abstract_interface(const VariantModel& model, support::InterfaceId id,
+                                     const ExtractionOptions& options) {
+  const Interface& iface = model.interface(id);
+
+  std::vector<ClusterSummary> summaries;
+  summaries.reserve(iface.clusters.size());
+  for (ClusterId cid : iface.clusters) {
+    summaries.push_back(extract_cluster(model, cid, options));
+  }
+
+  // Drop every cluster of the interface, then the interface itself.
+  std::set<ProcessId> drop_processes;
+  std::set<ChannelId> drop_channels;
+  for (ClusterId cid : iface.clusters) {
+    const Cluster& cl = model.cluster(cid);
+    drop_processes.insert(cl.processes.begin(), cl.processes.end());
+    drop_channels.insert(cl.channels.begin(), cl.channels.end());
+  }
+  ModelClone clone = clone_model_excluding(model, drop_processes, drop_channels, {id});
+
+  AbstractionResult result{std::move(clone.model), ProcessId{}, std::move(summaries), {}};
+  for (const ClusterSummary& s : result.summaries) result.notes.merge(s.notes);
+
+  Graph& g = result.model.graph();
+  spi::Process shell;
+  shell.name = iface.name;
+  const ProcessId pvid = g.add_process(std::move(shell));
+  result.abstract_process = pvid;
+
+  // One edge per interface port.
+  std::map<ChannelId, EdgeId> port_edge;  // keyed by NEW channel id
+  for (const Port& port : iface.ports) {
+    const ChannelId nc = clone.maps.channel_map.at(port.external);
+    const EdgeId e = g.connect(pvid, nc,
+                               port.dir == PortDir::kInput ? EdgeDir::kChannelToProcess
+                                                           : EdgeDir::kProcessToChannel);
+    port_edge.emplace(nc, e);
+  }
+
+  // Modes (per cluster, in interface order) + configurations.
+  spi::Process& pv = g.process(pvid);
+  for (std::size_t k = 0; k < iface.clusters.size(); ++k) {
+    const ClusterId cid = iface.clusters[k];
+    const ClusterSummary& summary = result.summaries[k];
+
+    spi::Configuration conf;
+    conf.name = summary.cluster_name;
+    conf.t_conf = iface.conf_latency(cid);
+
+    for (const ExtractedMode& em : summary.modes) {
+      spi::Mode m;
+      m.name = em.name;
+      m.latency = em.latency;
+      for (const auto& [chan, rate] : em.consumption) {
+        m.consumption[port_edge.at(clone.maps.channel_map.at(chan))] = rate;
+      }
+      for (const auto& [chan, rate] : em.production) {
+        m.production[port_edge.at(clone.maps.channel_map.at(chan))] = rate;
+      }
+      for (const auto& [chan, tags] : em.produced_tags) {
+        m.produced_tags[port_edge.at(clone.maps.channel_map.at(chan))] = tags;
+      }
+
+      // Dynamic selection through a request queue consumes the request token
+      // as part of the selected mode (Figure 4 semantics).
+      if (iface.consume_selection_token) {
+        for (const SelectionRule& rule : iface.selection) {
+          if (rule.cluster != cid) continue;
+          for (ChannelId rc : rule.predicate.referenced_channels()) {
+            const EdgeId e = port_edge.at(clone.maps.channel_map.at(rc));
+            if (!m.consumption.contains(e)) m.consumption[e] = Interval{1};
+          }
+        }
+      }
+
+      conf.modes.push_back(support::ModeId{static_cast<std::uint32_t>(pv.modes.size())});
+      pv.modes.push_back(std::move(m));
+    }
+    pv.configurations.push_back(std::move(conf));
+
+    if (iface.initial == cid) {
+      pv.initial_configuration =
+          support::ConfigurationId{static_cast<std::uint32_t>(pv.configurations.size() - 1)};
+    }
+  }
+
+  // Activation rules: data availability plus the cluster selection predicate
+  // (paper §4: "rules a1/a2 ... the actual decision about the configuration
+  // solely depends on the tag of the token on channel CV").
+  for (std::size_t k = 0; k < iface.clusters.size(); ++k) {
+    const ClusterId cid = iface.clusters[k];
+    const spi::Configuration& conf = pv.configurations[k];
+
+    std::vector<const SelectionRule*> selecting;
+    for (const SelectionRule& rule : iface.selection) {
+      if (rule.cluster == cid) selecting.push_back(&rule);
+    }
+
+    for (support::ModeId mid : conf.modes) {
+      const spi::Mode& m = pv.modes[mid.index()];
+      spi::Predicate availability = spi::Predicate::always();
+      bool have_availability = false;
+      for (const auto& [e, rate] : m.consumption) {
+        if (rate.lo() <= 0) continue;
+        auto term = spi::Predicate::num_at_least(g.edge(e).channel, rate.lo());
+        availability = have_availability ? (availability && term) : term;
+        have_availability = true;
+      }
+
+      if (selecting.empty()) {
+        result.notes.note("abstraction-unselected-cluster",
+                          "cluster '" + conf.name +
+                              "' has no selection rule; its modes activate on data only");
+        pv.activation.add_rule("a/" + m.name, availability, mid);
+        continue;
+      }
+      for (const SelectionRule* rule : selecting) {
+        auto sel = rule->predicate.remap_channels(
+            [&](ChannelId c) { return clone.maps.channel_map.at(c); });
+        pv.activation.add_rule(rule->name + "/" + m.name, sel && availability, mid);
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace spivar::variant

@@ -1,0 +1,88 @@
+// Parameter extraction and interface abstraction (paper §4).
+//
+// "The approach we propose in this paper is to abstract clusters to
+// processes and to use the concept of process modes to represent dynamic
+// function variant selection."
+//
+// `extract_cluster` derives, for one cluster, the abstract process modes: per
+// cluster execution it computes how many times each embedded process fires
+// (an SDF-style repetition vector solved with exact rationals on the lower
+// and upper rate bounds), the aggregate port rates, the end-to-end latency
+// interval along the critical path, and the produced tag sets. A cluster
+// whose embedded processes have several modes yields several extracted modes
+// (one per consistent mode combination) or a single hull mode, depending on
+// the requested granularity — the "abstraction at different levels of
+// detail" the paper attributes to designer knowledge.
+//
+// `abstract_interface` replaces a whole interface by one process PVar whose
+// modes are the extracted modes of all clusters, grouped into one Def. 4
+// configuration per cluster, with activation rules combining data
+// availability and the interface's cluster selection predicates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "support/duration.hpp"
+#include "support/interval.hpp"
+#include "variant/flatten.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::variant {
+
+using support::DurationInterval;
+using support::Interval;
+
+struct ExtractionOptions {
+  enum class Granularity {
+    kPerCombination,  ///< one extracted mode per embedded-mode combination
+    kHull,            ///< one extracted mode per cluster (parameter hull)
+  };
+  Granularity granularity = Granularity::kPerCombination;
+
+  /// Above this many embedded-mode combinations the extractor falls back to
+  /// the hull of per-process mode hulls and records a note.
+  std::size_t max_combinations = 64;
+};
+
+/// One abstract process mode derived from a cluster. Rates are keyed by the
+/// *external* (port) channels of the owning interface, in source-model ids.
+struct ExtractedMode {
+  std::string name;
+  DurationInterval latency;
+  std::map<support::ChannelId, Interval> consumption;
+  std::map<support::ChannelId, Interval> production;
+  std::map<support::ChannelId, spi::TagSet> produced_tags;
+};
+
+struct ClusterSummary {
+  support::ClusterId cluster;
+  std::string cluster_name;
+  std::vector<ExtractedMode> modes;
+
+  /// Firing-count bounds per embedded process for one cluster execution
+  /// (hull over mode combinations).
+  std::map<support::ProcessId, Interval> repetitions;
+
+  bool used_fallback = false;  ///< balance equations inconsistent → single-execution abstraction
+  bool cyclic = false;         ///< cluster graph has a cycle → conservative latency
+  support::DiagnosticList notes;
+};
+
+[[nodiscard]] ClusterSummary extract_cluster(const VariantModel& model, support::ClusterId id,
+                                             const ExtractionOptions& options = {});
+
+struct AbstractionResult {
+  VariantModel model;                  ///< interface replaced by the abstract process
+  support::ProcessId abstract_process; ///< PVar, in model.graph()
+  std::vector<ClusterSummary> summaries;
+  support::DiagnosticList notes;
+};
+
+[[nodiscard]] AbstractionResult abstract_interface(const VariantModel& model,
+                                                   support::InterfaceId id,
+                                                   const ExtractionOptions& options = {});
+
+}  // namespace spivar::variant

@@ -1,0 +1,237 @@
+#include "variant/flatten.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::variant {
+
+using spi::Graph;
+using spi::Process;
+using support::ChannelId;
+using support::EdgeId;
+using support::ModelError;
+using support::ProcessId;
+
+GraphClone clone_excluding(const Graph& source, const std::set<ProcessId>& drop_processes,
+                           const std::set<ChannelId>& drop_channels) {
+  GraphClone out{Graph{source.name()}, {}, {}, {}};
+  out.graph.tags() = source.tags();
+
+  for (ChannelId cid : source.channel_ids()) {
+    if (drop_channels.contains(cid)) continue;
+    spi::Channel copy = source.channel(cid);
+    copy.producers.clear();
+    copy.consumers.clear();
+    out.channel_map.emplace(cid, out.graph.add_channel(std::move(copy)));
+  }
+
+  for (ProcessId pid : source.process_ids()) {
+    if (drop_processes.contains(pid)) continue;
+    const Process& src = source.process(pid);
+    Process shell;
+    shell.name = src.name;
+    shell.is_virtual = src.is_virtual;
+    shell.min_period = src.min_period;
+    shell.max_firings = src.max_firings;
+    shell.configurations = src.configurations;  // mode ids stay valid (modes copied below)
+    shell.initial_configuration = src.initial_configuration;
+    out.process_map.emplace(pid, out.graph.add_process(std::move(shell)));
+  }
+
+  // Recreate edges in ascending original edge-id order so each process keeps
+  // its input/output ordering.
+  for (std::size_t ei = 0; ei < source.edge_count(); ++ei) {
+    const EdgeId eid{static_cast<std::uint32_t>(ei)};
+    const spi::Edge& e = source.edge(eid);
+    const auto pit = out.process_map.find(e.process);
+    const auto cit = out.channel_map.find(e.channel);
+    if (pit == out.process_map.end() || cit == out.channel_map.end()) continue;
+    out.edge_map.emplace(eid, out.graph.connect(pit->second, cit->second, e.dir));
+  }
+
+  // Copy modes (remapping rate keys) and activation rules (remapping
+  // predicate channels).
+  for (const auto& [old_pid, new_pid] : out.process_map) {
+    const Process& src = source.process(old_pid);
+    Process& dst = out.graph.process(new_pid);
+    for (const spi::Mode& m : src.modes) {
+      spi::Mode copy;
+      copy.name = m.name;
+      copy.latency = m.latency;
+      for (const auto& [edge, rate] : m.consumption) {
+        if (auto it = out.edge_map.find(edge); it != out.edge_map.end()) {
+          copy.consumption[it->second] = rate;
+        }
+      }
+      for (const auto& [edge, rate] : m.production) {
+        if (auto it = out.edge_map.find(edge); it != out.edge_map.end()) {
+          copy.production[it->second] = rate;
+        }
+      }
+      for (const auto& [edge, tags] : m.produced_tags) {
+        if (auto it = out.edge_map.find(edge); it != out.edge_map.end()) {
+          copy.produced_tags[it->second] = tags;
+        }
+      }
+      dst.modes.push_back(std::move(copy));
+    }
+
+    for (const spi::ActivationRule& rule : src.activation.rules()) {
+      bool references_dropped = false;
+      for (ChannelId c : rule.predicate.referenced_channels()) {
+        if (!out.channel_map.contains(c)) references_dropped = true;
+      }
+      if (references_dropped) continue;
+      dst.activation.add_rule(rule.name,
+                              rule.predicate.remap_channels([&](ChannelId c) {
+                                return out.channel_map.at(c);
+                              }),
+                              rule.mode);
+    }
+  }
+
+  // Constraints survive only if every referenced entity survives.
+  for (const spi::LatencyPathConstraint& c : source.constraints().latency) {
+    const bool kept = std::all_of(c.path.begin(), c.path.end(), [&](ProcessId p) {
+      return out.process_map.contains(p);
+    });
+    if (!kept) continue;
+    spi::LatencyPathConstraint copy = c;
+    for (ProcessId& p : copy.path) p = out.process_map.at(p);
+    out.graph.constraints().latency.push_back(std::move(copy));
+  }
+  for (const spi::ThroughputConstraint& c : source.constraints().throughput) {
+    if (auto it = out.channel_map.find(c.channel); it != out.channel_map.end()) {
+      spi::ThroughputConstraint copy = c;
+      copy.channel = it->second;
+      out.graph.constraints().throughput.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+ModelClone clone_model_excluding(const VariantModel& model,
+                                 const std::set<ProcessId>& drop_processes,
+                                 const std::set<ChannelId>& drop_channels,
+                                 const std::set<support::InterfaceId>& drop_interfaces) {
+  GraphClone graph_clone = clone_excluding(model.graph(), drop_processes, drop_channels);
+  ModelClone out{VariantModel{std::move(graph_clone.graph)}, std::move(graph_clone), {}, {}};
+  const GraphClone& maps = out.maps;
+
+  // Re-create surviving interfaces (and their clusters) with remapped ids.
+  for (InterfaceId iid : model.interface_ids()) {
+    if (drop_interfaces.contains(iid)) continue;
+    const Interface& src = model.interface(iid);
+    Interface copy;
+    copy.name = src.name;
+    copy.consume_selection_token = src.consume_selection_token;
+    for (const Port& port : src.ports) {
+      copy.ports.push_back({port.name, port.dir, maps.channel_map.at(port.external)});
+    }
+    // clusters / selection / t_conf / initial re-attached after cluster copy
+    out.interface_map.emplace(iid, out.model.add_interface(std::move(copy)));
+  }
+  for (ClusterId cid : model.cluster_ids()) {
+    const Cluster& src = model.cluster(cid);
+    if (drop_interfaces.contains(src.interface)) continue;  // clusters dissolve
+    Cluster copy;
+    copy.name = src.name;
+    copy.interface = out.interface_map.at(src.interface);
+    for (ProcessId p : src.processes) copy.processes.push_back(out.maps.process_map.at(p));
+    for (ChannelId c : src.channels) copy.channels.push_back(out.maps.channel_map.at(c));
+    out.cluster_map.emplace(cid, out.model.add_cluster(std::move(copy)));
+  }
+  for (InterfaceId iid : model.interface_ids()) {
+    if (drop_interfaces.contains(iid)) continue;
+    const Interface& src = model.interface(iid);
+    Interface& dst = out.model.interface(out.interface_map.at(iid));
+    for (const SelectionRule& rule : src.selection) {
+      dst.selection.push_back({rule.name,
+                               rule.predicate.remap_channels([&](ChannelId c) {
+                                 return maps.channel_map.at(c);
+                               }),
+                               out.cluster_map.at(rule.cluster)});
+    }
+    for (const auto& [cid, latency] : src.t_conf) {
+      dst.t_conf[out.cluster_map.at(cid)] = latency;
+    }
+    if (src.initial) dst.initial = out.cluster_map.at(*src.initial);
+  }
+
+  // Preserve links among surviving interfaces.
+  for (InterfaceId a : model.interface_ids()) {
+    if (!out.interface_map.contains(a)) continue;
+    for (InterfaceId b : model.linked_group(a)) {
+      if (b <= a || !out.interface_map.contains(b)) continue;
+      out.model.link_interfaces(out.interface_map.at(a), out.interface_map.at(b));
+    }
+  }
+  return out;
+}
+
+VariantModel flatten(const VariantModel& model, const FlattenChoice& choice) {
+  // Check the choice and collect entities to drop.
+  std::set<ProcessId> drop_processes;
+  std::set<ChannelId> drop_channels;
+  std::set<support::InterfaceId> bound;
+  for (const auto& [iid, chosen] : choice) {
+    const Interface& iface = model.interface(iid);
+    if (!iface.cluster_position(chosen)) {
+      throw ModelError("flatten: cluster '" + model.cluster(chosen).name +
+                       "' does not belong to interface '" + iface.name + "'");
+    }
+    bound.insert(iid);
+    for (ClusterId cid : iface.clusters) {
+      if (cid == chosen) continue;
+      const Cluster& cl = model.cluster(cid);
+      drop_processes.insert(cl.processes.begin(), cl.processes.end());
+      drop_channels.insert(cl.channels.begin(), cl.channels.end());
+    }
+  }
+  return std::move(clone_model_excluding(model, drop_processes, drop_channels, bound).model);
+}
+
+std::vector<FlattenChoice> enumerate_bindings(const VariantModel& model) {
+  const auto interfaces = model.interface_ids();
+  if (interfaces.empty()) return {FlattenChoice{}};
+
+  // Partition interfaces into linked groups; each group picks one position.
+  std::vector<std::vector<InterfaceId>> groups;
+  std::set<InterfaceId> seen;
+  for (InterfaceId iid : interfaces) {
+    if (seen.contains(iid)) continue;
+    auto group = model.linked_group(iid);
+    for (InterfaceId g : group) seen.insert(g);
+    groups.push_back(std::move(group));
+  }
+
+  std::vector<FlattenChoice> result{FlattenChoice{}};
+  for (const auto& group : groups) {
+    const std::size_t positions = model.interface(group.front()).clusters.size();
+    std::vector<FlattenChoice> next;
+    next.reserve(result.size() * positions);
+    for (const FlattenChoice& base : result) {
+      for (std::size_t pos = 0; pos < positions; ++pos) {
+        FlattenChoice extended = base;
+        for (InterfaceId iid : group) {
+          extended[iid] = model.interface(iid).clusters.at(pos);
+        }
+        next.push_back(std::move(extended));
+      }
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+std::string binding_name(const VariantModel& model, const FlattenChoice& choice) {
+  std::string out;
+  for (const auto& [iid, cid] : choice) {
+    if (!out.empty()) out += ",";
+    out += model.interface(iid).name + "=" + model.cluster(cid).name;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+}  // namespace spivar::variant

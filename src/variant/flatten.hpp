@@ -1,0 +1,64 @@
+// Production-variant binding (flattening) and binding enumeration.
+//
+// Production variants are selected by the designer before run time; the
+// final product implements a single variant without selection capability
+// (paper §4). `flatten` splices the chosen cluster of each bound interface
+// into the graph and removes the competing clusters together with the
+// interface. `enumerate_bindings` lists all variant combinations, honoring
+// linked (related) variant sets.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "variant/model.hpp"
+
+namespace spivar::variant {
+
+/// Chosen cluster per interface. Interfaces absent from the map stay
+/// variant-annotated in the result.
+using FlattenChoice = std::map<InterfaceId, ClusterId>;
+
+/// Deep copy of a graph minus the given entities, with id remapping tables.
+/// Activation rules whose predicates reference dropped channels are dropped;
+/// constraints referencing dropped entities are dropped.
+struct GraphClone {
+  spi::Graph graph;
+  std::unordered_map<support::ProcessId, support::ProcessId> process_map;
+  std::unordered_map<support::ChannelId, support::ChannelId> channel_map;
+  std::unordered_map<support::EdgeId, support::EdgeId> edge_map;
+};
+
+[[nodiscard]] GraphClone clone_excluding(const spi::Graph& source,
+                                         const std::set<support::ProcessId>& drop_processes,
+                                         const std::set<support::ChannelId>& drop_channels);
+
+/// Deep copy of a whole variant model minus the given graph entities and
+/// interfaces (their clusters dissolve). Shared by flatten and abstraction.
+struct ModelClone {
+  VariantModel model;
+  GraphClone maps;
+  std::unordered_map<support::InterfaceId, support::InterfaceId> interface_map;
+  std::unordered_map<support::ClusterId, support::ClusterId> cluster_map;
+};
+
+[[nodiscard]] ModelClone clone_model_excluding(const VariantModel& source,
+                                               const std::set<support::ProcessId>& drop_processes,
+                                               const std::set<support::ChannelId>& drop_channels,
+                                               const std::set<support::InterfaceId>& drop_interfaces);
+
+/// Binds interfaces to clusters. The chosen cluster's contents become common
+/// part; unchosen clusters and the bound interfaces vanish.
+[[nodiscard]] VariantModel flatten(const VariantModel& model, const FlattenChoice& choice);
+
+/// All consistent complete bindings (linked interfaces select the same
+/// cluster position). Order: lexicographic in interface id / position.
+[[nodiscard]] std::vector<FlattenChoice> enumerate_bindings(const VariantModel& model);
+
+/// Human-readable binding description, e.g. "theta=cluster1".
+[[nodiscard]] std::string binding_name(const VariantModel& model, const FlattenChoice& choice);
+
+}  // namespace spivar::variant

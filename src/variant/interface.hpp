@@ -1,0 +1,68 @@
+// Interfaces and cluster selection (paper Defs. 2 and 3).
+//
+// An interface is a port signature plus the set of port-compatible clusters
+// representing the function variants of one system part. The cluster
+// selection function maps input-token predicates to clusters; each
+// (interface, cluster) pair carries a configuration latency t_conf, and the
+// `cur` parameter (the currently selected cluster) is simulation state, kept
+// by the simulator, not by the static model.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spi/predicate.hpp"
+#include "support/duration.hpp"
+#include "support/ids.hpp"
+#include "variant/cluster.hpp"
+
+namespace spivar::variant {
+
+using spi::Predicate;
+using support::Duration;
+
+/// Def. 3 — one rule of the cluster selection function.
+struct SelectionRule {
+  std::string name;
+  Predicate predicate;  ///< on tag sets / counts of the interface's input-port channels
+  ClusterId cluster;
+};
+
+/// Def. 2 (+ Def. 3 attachments).
+struct Interface {
+  std::string name;
+  std::vector<Port> ports;
+  std::vector<ClusterId> clusters;
+
+  /// Cluster selection function; empty for pure production variants.
+  std::vector<SelectionRule> selection;
+
+  /// Configuration latency per cluster (Def. 3); clusters without an entry
+  /// configure in zero time.
+  std::map<ClusterId, Duration> t_conf;
+
+  /// Cluster configured before the system starts; nullopt means the first
+  /// selection pays its configuration latency.
+  std::optional<ClusterId> initial;
+
+  /// Selection-token semantics. Run-time variants (Figure 3) *observe* the
+  /// selection token, which stays on its channel; dynamically reconfigured
+  /// subsystems (Figure 4) *consume* request tokens from a queue.
+  bool consume_selection_token = false;
+
+  [[nodiscard]] Duration conf_latency(ClusterId cluster) const {
+    auto it = t_conf.find(cluster);
+    return it == t_conf.end() ? Duration::zero() : it->second;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> cluster_position(ClusterId cluster) const {
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i] == cluster) return i;
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace spivar::variant

@@ -1,0 +1,244 @@
+#include "variant/model.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace spivar::variant {
+
+namespace {
+
+template <typename IdT>
+IdT make_id(std::size_t index) {
+  return IdT{static_cast<typename IdT::value_type>(index)};
+}
+
+}  // namespace
+
+// --- VariantModel -------------------------------------------------------------
+
+InterfaceId VariantModel::add_interface(Interface iface) {
+  const auto id = make_id<InterfaceId>(interfaces_.size());
+  interfaces_.push_back(std::move(iface));
+  return id;
+}
+
+ClusterId VariantModel::add_cluster(Cluster cluster) {
+  const auto id = make_id<ClusterId>(clusters_.size());
+  if (!cluster.interface.valid() || cluster.interface.index() >= interfaces_.size()) {
+    throw support::ModelError("cluster '" + cluster.name + "' has no owning interface");
+  }
+  interfaces_[cluster.interface.index()].clusters.push_back(id);
+  clusters_.push_back(std::move(cluster));
+  return id;
+}
+
+std::vector<InterfaceId> VariantModel::interface_ids() const {
+  std::vector<InterfaceId> out;
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) out.push_back(make_id<InterfaceId>(i));
+  return out;
+}
+
+std::vector<ClusterId> VariantModel::cluster_ids() const {
+  std::vector<ClusterId> out;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) out.push_back(make_id<ClusterId>(i));
+  return out;
+}
+
+std::optional<InterfaceId> VariantModel::find_interface(std::string_view name) const {
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    if (interfaces_[i].name == name) return make_id<InterfaceId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ClusterId> VariantModel::find_cluster(std::string_view name) const {
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (clusters_[i].name == name) return make_id<ClusterId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ClusterId> VariantModel::cluster_of(ProcessId process) const {
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (clusters_[i].owns(process)) return make_id<ClusterId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ClusterId> VariantModel::cluster_of(ChannelId channel) const {
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (clusters_[i].owns(channel)) return make_id<ClusterId>(i);
+  }
+  return std::nullopt;
+}
+
+void VariantModel::link_interfaces(InterfaceId a, InterfaceId b) {
+  if (a == b) throw support::ModelError("cannot link an interface with itself");
+  const std::size_t na = interface(a).clusters.size();
+  const std::size_t nb = interface(b).clusters.size();
+  if (na != nb) {
+    throw support::ModelError("linked interfaces '" + interface(a).name + "' and '" +
+                              interface(b).name + "' have different variant counts");
+  }
+  links_.emplace_back(a, b);
+}
+
+std::vector<InterfaceId> VariantModel::linked_group(InterfaceId id) const {
+  std::vector<InterfaceId> group{id};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [a, b] : links_) {
+      const bool has_a = std::find(group.begin(), group.end(), a) != group.end();
+      const bool has_b = std::find(group.begin(), group.end(), b) != group.end();
+      if (has_a && !has_b) {
+        group.push_back(b);
+        grew = true;
+      } else if (has_b && !has_a) {
+        group.push_back(a);
+        grew = true;
+      }
+    }
+  }
+  std::sort(group.begin(), group.end());
+  return group;
+}
+
+bool VariantModel::mutually_exclusive(ProcessId a, ProcessId b) const {
+  const auto ca = cluster_of(a);
+  const auto cb = cluster_of(b);
+  if (!ca || !cb || *ca == *cb) return false;
+
+  const Cluster& cluster_a = cluster(*ca);
+  const Cluster& cluster_b = cluster(*cb);
+  if (cluster_a.interface == cluster_b.interface) return true;
+
+  // Linked interfaces: different positions can never be co-selected.
+  const auto group = linked_group(cluster_a.interface);
+  if (std::find(group.begin(), group.end(), cluster_b.interface) == group.end()) return false;
+  const auto pos_a = interface(cluster_a.interface).cluster_position(*ca);
+  const auto pos_b = interface(cluster_b.interface).cluster_position(*cb);
+  return pos_a && pos_b && *pos_a != *pos_b;
+}
+
+std::function<bool(ProcessId, ProcessId)> VariantModel::exclusivity_oracle() const {
+  return [this](ProcessId a, ProcessId b) { return mutually_exclusive(a, b); };
+}
+
+// --- VariantBuilder ----------------------------------------------------------
+
+spi::ProcessBuilder VariantBuilder::process(std::string name) {
+  return builder_.process(std::move(name));
+}
+
+InterfaceId VariantBuilder::interface(std::string name) {
+  Interface iface;
+  iface.name = std::move(name);
+  return model_.add_interface(std::move(iface));
+}
+
+VariantBuilder& VariantBuilder::port(InterfaceId iface, std::string name, PortDir dir,
+                                     ChannelId external) {
+  model_.interface(iface).ports.push_back({std::move(name), dir, external});
+  return *this;
+}
+
+VariantBuilder::ClusterScope VariantBuilder::begin_cluster(InterfaceId iface, std::string name) {
+  if (open_cluster_) {
+    throw support::ModelError("cluster scopes cannot nest (still inside '" +
+                              model_.cluster(*open_cluster_).name + "')");
+  }
+  Cluster cluster;
+  cluster.name = std::move(name);
+  cluster.interface = iface;
+  const ClusterId id = model_.add_cluster(std::move(cluster));
+  open_cluster_ = id;
+  scope_process_start_ = builder_.graph().process_count();
+  scope_channel_start_ = builder_.graph().channel_count();
+  return ClusterScope{*this, id};
+}
+
+void VariantBuilder::end_cluster(ClusterId cluster_id) {
+  if (!open_cluster_ || *open_cluster_ != cluster_id) return;  // moved-from scope
+  Cluster& cluster = model_.cluster(cluster_id);
+  const auto& g = builder_.graph();
+  for (std::size_t i = scope_process_start_; i < g.process_count(); ++i) {
+    cluster.processes.push_back(ProcessId{static_cast<std::uint32_t>(i)});
+  }
+  for (std::size_t i = scope_channel_start_; i < g.channel_count(); ++i) {
+    cluster.channels.push_back(ChannelId{static_cast<std::uint32_t>(i)});
+  }
+  open_cluster_.reset();
+}
+
+VariantBuilder::ClusterScope::~ClusterScope() {
+  if (owner_ != nullptr) owner_->end_cluster(cluster_);
+}
+
+VariantBuilder::ClusterScope::ClusterScope(ClusterScope&& other) noexcept
+    : owner_(other.owner_), cluster_(other.cluster_) {
+  other.owner_ = nullptr;
+}
+
+VariantBuilder& VariantBuilder::assign(ClusterId cluster, ProcessId process) {
+  model_.cluster(cluster).processes.push_back(process);
+  return *this;
+}
+
+VariantBuilder& VariantBuilder::assign(ClusterId cluster, ChannelId channel) {
+  model_.cluster(cluster).channels.push_back(channel);
+  return *this;
+}
+
+ClusterId VariantBuilder::require_cluster(InterfaceId iface, std::string_view name) const {
+  const auto id = model_.find_cluster(name);
+  if (!id || model_.cluster(*id).interface != iface) {
+    throw support::ModelError("interface '" + model_.interface(iface).name +
+                              "' has no cluster named '" + std::string(name) + "'");
+  }
+  return *id;
+}
+
+VariantBuilder& VariantBuilder::selection_rule(InterfaceId iface, std::string rule_name,
+                                               Predicate predicate,
+                                               std::string_view cluster_name) {
+  const ClusterId cluster = require_cluster(iface, cluster_name);
+  model_.interface(iface).selection.push_back(
+      {std::move(rule_name), std::move(predicate), cluster});
+  return *this;
+}
+
+VariantBuilder& VariantBuilder::t_conf(InterfaceId iface, std::string_view cluster_name,
+                                       Duration latency) {
+  const ClusterId cluster = require_cluster(iface, cluster_name);
+  model_.interface(iface).t_conf[cluster] = latency;
+  return *this;
+}
+
+VariantBuilder& VariantBuilder::initial_cluster(InterfaceId iface,
+                                                std::string_view cluster_name) {
+  model_.interface(iface).initial = require_cluster(iface, cluster_name);
+  return *this;
+}
+
+VariantBuilder& VariantBuilder::consume_selection_token(InterfaceId iface, bool consume) {
+  model_.interface(iface).consume_selection_token = consume;
+  return *this;
+}
+
+VariantBuilder& VariantBuilder::link(InterfaceId a, InterfaceId b) {
+  model_.link_interfaces(a, b);
+  return *this;
+}
+
+VariantModel VariantBuilder::take() {
+  if (open_cluster_) {
+    throw support::ModelError("take() while cluster scope '" +
+                              model_.cluster(*open_cluster_).name + "' is still open");
+  }
+  model_.graph() = builder_.take();
+  return std::move(model_);
+}
+
+}  // namespace spivar::variant

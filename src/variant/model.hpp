@@ -1,0 +1,163 @@
+// The variant-annotated system model.
+//
+// A VariantModel owns an SPI graph plus the cluster/interface structure laid
+// over it (paper §3). The graph holds *all* entities — common part and every
+// cluster's internals; membership records which elements belong to which
+// variant. VariantBuilder extends GraphBuilder with cluster scoping.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spi/builder.hpp"
+#include "spi/graph.hpp"
+#include "variant/interface.hpp"
+
+namespace spivar::variant {
+
+class VariantModel {
+ public:
+  VariantModel() = default;
+  explicit VariantModel(spi::Graph graph) : graph_(std::move(graph)) {}
+
+  [[nodiscard]] spi::Graph& graph() noexcept { return graph_; }
+  [[nodiscard]] const spi::Graph& graph() const noexcept { return graph_; }
+
+  // --- structure ------------------------------------------------------------
+
+  InterfaceId add_interface(Interface iface);
+  ClusterId add_cluster(Cluster cluster);
+
+  [[nodiscard]] std::size_t interface_count() const noexcept { return interfaces_.size(); }
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return clusters_.size(); }
+
+  [[nodiscard]] const Interface& interface(InterfaceId id) const {
+    return interfaces_.at(id.index());
+  }
+  [[nodiscard]] Interface& interface(InterfaceId id) { return interfaces_.at(id.index()); }
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const { return clusters_.at(id.index()); }
+  [[nodiscard]] Cluster& cluster(ClusterId id) { return clusters_.at(id.index()); }
+
+  [[nodiscard]] std::vector<InterfaceId> interface_ids() const;
+  [[nodiscard]] std::vector<ClusterId> cluster_ids() const;
+
+  [[nodiscard]] std::optional<InterfaceId> find_interface(std::string_view name) const;
+  [[nodiscard]] std::optional<ClusterId> find_cluster(std::string_view name) const;
+
+  /// Cluster owning the process, or nullopt for common-part processes.
+  [[nodiscard]] std::optional<ClusterId> cluster_of(ProcessId process) const;
+  /// Cluster owning the (internal) channel, or nullopt.
+  [[nodiscard]] std::optional<ClusterId> cluster_of(ChannelId channel) const;
+
+  // --- related variant sets --------------------------------------------------
+
+  /// Declares that two interfaces select *together*: binding cluster position
+  /// k of one implies position k of the other (paper §1: "The variant
+  /// selection for these sets may be related or independent").
+  void link_interfaces(InterfaceId a, InterfaceId b);
+
+  /// Interfaces linked (directly or transitively) with `id`, including `id`.
+  [[nodiscard]] std::vector<InterfaceId> linked_group(InterfaceId id) const;
+
+  // --- mutual exclusion -------------------------------------------------------
+
+  /// True when the two processes can never be active in the same system
+  /// variant: they sit in different clusters of one interface, or in
+  /// position-incompatible clusters of linked interfaces.
+  [[nodiscard]] bool mutually_exclusive(ProcessId a, ProcessId b) const;
+
+  /// Oracle adapter for spi::validate.
+  [[nodiscard]] std::function<bool(ProcessId, ProcessId)> exclusivity_oracle() const;
+
+ private:
+  spi::Graph graph_;
+  std::vector<Cluster> clusters_;
+  std::vector<Interface> interfaces_;
+  std::vector<std::pair<InterfaceId, InterfaceId>> links_;
+};
+
+/// Builder layering cluster scoping on top of spi::GraphBuilder:
+///
+///   VariantBuilder vb{"fig2"};
+///   auto cio = vb.graph_builder().queue("Ci").id();
+///   ...common part...
+///   auto iface = vb.interface("theta");
+///   vb.port(iface, "i", PortDir::kInput, ci);
+///   vb.port(iface, "o", PortDir::kOutput, co);
+///   {
+///     auto scope = vb.begin_cluster(iface, "cluster1");
+///     ...everything built here belongs to cluster1...
+///   }
+///   vb.selection_rule(iface, "r1", Predicate::has_tag(cv, v1), "cluster1");
+///   vb.t_conf(iface, "cluster1", 2_ms);
+///   VariantModel model = vb.take();
+class VariantBuilder {
+ public:
+  explicit VariantBuilder(std::string name = "model") : builder_(std::move(name)) {}
+
+  [[nodiscard]] spi::GraphBuilder& graph_builder() noexcept { return builder_; }
+
+  // Shorthand pass-throughs so call sites read naturally.
+  spi::ChannelBuilder queue(std::string name) { return builder_.queue(std::move(name)); }
+  spi::ChannelBuilder reg(std::string name) { return builder_.reg(std::move(name)); }
+  spi::ProcessBuilder process(std::string name);
+  support::TagId tag(std::string_view name) { return builder_.tag(name); }
+
+  InterfaceId interface(std::string name);
+  VariantBuilder& port(InterfaceId iface, std::string name, PortDir dir, ChannelId external);
+
+  /// RAII cluster scope: graph entities created while the scope is alive are
+  /// recorded as members of the cluster.
+  class ClusterScope {
+   public:
+    ~ClusterScope();
+    ClusterScope(const ClusterScope&) = delete;
+    ClusterScope& operator=(const ClusterScope&) = delete;
+    ClusterScope(ClusterScope&& other) noexcept;
+    ClusterScope& operator=(ClusterScope&&) = delete;
+
+    [[nodiscard]] ClusterId id() const noexcept { return cluster_; }
+    operator ClusterId() const noexcept { return cluster_; }  // NOLINT(google-explicit-constructor)
+
+   private:
+    friend class VariantBuilder;
+    ClusterScope(VariantBuilder& owner, ClusterId cluster)
+        : owner_(&owner), cluster_(cluster) {}
+    VariantBuilder* owner_;
+    ClusterId cluster_;
+  };
+
+  [[nodiscard]] ClusterScope begin_cluster(InterfaceId iface, std::string name);
+
+  /// Explicit membership (alternative to scoping).
+  VariantBuilder& assign(ClusterId cluster, ProcessId process);
+  VariantBuilder& assign(ClusterId cluster, ChannelId channel);
+
+  VariantBuilder& selection_rule(InterfaceId iface, std::string rule_name, Predicate predicate,
+                                 std::string_view cluster_name);
+  VariantBuilder& t_conf(InterfaceId iface, std::string_view cluster_name, Duration latency);
+  VariantBuilder& initial_cluster(InterfaceId iface, std::string_view cluster_name);
+  VariantBuilder& consume_selection_token(InterfaceId iface, bool consume = true);
+  VariantBuilder& link(InterfaceId a, InterfaceId b);
+
+  [[nodiscard]] VariantModel take();
+
+ private:
+  friend class ClusterScope;
+  void end_cluster(ClusterId cluster);
+  [[nodiscard]] ClusterId require_cluster(InterfaceId iface, std::string_view name) const;
+
+  spi::GraphBuilder builder_;
+  VariantModel model_;  // clusters/interfaces accumulate here; graph moved in take()
+
+  // Open cluster scope bookkeeping (non-nested).
+  std::optional<ClusterId> open_cluster_;
+  std::size_t scope_process_start_ = 0;
+  std::size_t scope_channel_start_ = 0;
+};
+
+}  // namespace spivar::variant

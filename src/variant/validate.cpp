@@ -1,0 +1,175 @@
+#include "variant/validate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "spi/validate.hpp"
+
+namespace spivar::variant {
+
+namespace {
+
+using spi::EdgeDir;
+using support::DiagnosticList;
+
+void check_membership_uniqueness(const VariantModel& m, DiagnosticList& out) {
+  std::unordered_map<std::uint32_t, int> process_owners;
+  std::unordered_map<std::uint32_t, int> channel_owners;
+  for (ClusterId cid : m.cluster_ids()) {
+    const Cluster& cl = m.cluster(cid);
+    for (ProcessId p : cl.processes) {
+      if (++process_owners[p.value()] == 2) {
+        out.error(diag::kProcessMultipleClusters,
+                  "process '" + m.graph().process(p).name + "' belongs to several clusters");
+      }
+    }
+    for (ChannelId c : cl.channels) {
+      if (++channel_owners[c.value()] == 2) {
+        out.error(diag::kChannelMultipleClusters,
+                  "channel '" + m.graph().channel(c).name + "' belongs to several clusters");
+      }
+    }
+  }
+}
+
+void check_interface(const VariantModel& m, InterfaceId iid, DiagnosticList& out) {
+  const Interface& iface = m.interface(iid);
+  const spi::Graph& g = m.graph();
+  const std::string where = "interface '" + iface.name + "'";
+
+  if (iface.clusters.empty()) {
+    out.error(diag::kInterfaceNoClusters, where + " has no clusters");
+    return;
+  }
+
+  // Port channels must be outside every cluster of this interface.
+  std::set<ChannelId> port_channels;
+  for (const Port& port : iface.ports) {
+    port_channels.insert(port.external);
+    const auto owner = m.cluster_of(port.external);
+    if (owner && m.cluster(*owner).interface == iid) {
+      out.error(diag::kPortChannelInternal,
+                where + " port '" + port.name + "' is bound to channel '" +
+                    g.channel(port.external).name + "' which is internal to cluster '" +
+                    m.cluster(*owner).name + "'");
+    }
+  }
+
+  // Def. 2: each cluster matches the interface in terms of ports — exactly
+  // one embedded process per port, connected in the right direction. Input
+  // ports that *no* cluster connects to are selection/observation ports
+  // (the selection function reads them, e.g. CV in Figure 3): legal when the
+  // selection rules actually reference them.
+  std::set<ChannelId> selection_channels;
+  for (const SelectionRule& rule : iface.selection) {
+    for (ChannelId c : rule.predicate.referenced_channels()) selection_channels.insert(c);
+  }
+  auto port_connections = [&](const Cluster& cl, const Port& port) {
+    int connections = 0;
+    for (ProcessId pid : cl.processes) {
+      const spi::Process& p = g.process(pid);
+      const auto& edges = (port.dir == PortDir::kInput) ? p.inputs : p.outputs;
+      for (spi::EdgeId e : edges) {
+        if (g.edge(e).channel == port.external) ++connections;
+      }
+    }
+    return connections;
+  };
+  for (const Port& port : iface.ports) {
+    bool any_connection = false;
+    for (ClusterId cid : iface.clusters) {
+      if (port_connections(m.cluster(cid), port) > 0) any_connection = true;
+    }
+    if (!any_connection && port.dir == PortDir::kInput) {
+      if (!selection_channels.contains(port.external)) {
+        out.warning("port-unused", where + " input port '" + port.name +
+                                       "' is connected to no cluster and no selection rule");
+      }
+      continue;  // pure selection port: clusters need not connect
+    }
+    for (ClusterId cid : iface.clusters) {
+      const Cluster& cl = m.cluster(cid);
+      const int connections = port_connections(cl, port);
+      if (connections != 1) {
+        out.error(diag::kClusterPortMismatch,
+                  where + " cluster '" + cl.name + "' has " + std::to_string(connections) +
+                      " connections to port '" + port.name + "' (expected exactly 1)");
+      }
+    }
+  }
+
+  for (ClusterId cid : iface.clusters) {
+    const Cluster& cl = m.cluster(cid);
+
+    // Confinement: embedded processes may touch only internal channels of
+    // their own cluster or the interface's port channels.
+    std::set<ChannelId> internal(cl.channels.begin(), cl.channels.end());
+    for (ProcessId pid : cl.processes) {
+      const spi::Process& p = g.process(pid);
+      auto check_edge = [&](spi::EdgeId e) {
+        const ChannelId c = g.edge(e).channel;
+        if (!internal.contains(c) && !port_channels.contains(c)) {
+          out.error(diag::kClusterEscape,
+                    where + " cluster '" + cl.name + "': process '" + p.name +
+                        "' communicates over channel '" + g.channel(c).name +
+                        "' which is neither internal nor a port");
+        }
+      };
+      for (spi::EdgeId e : p.inputs) check_edge(e);
+      for (spi::EdgeId e : p.outputs) check_edge(e);
+    }
+  }
+
+  // Selection rules observe only input-port channels.
+  std::set<ChannelId> input_ports;
+  for (const Port& port : iface.ports) {
+    if (port.dir == PortDir::kInput) input_ports.insert(port.external);
+  }
+  for (const SelectionRule& rule : iface.selection) {
+    for (ChannelId c : rule.predicate.referenced_channels()) {
+      if (!input_ports.contains(c)) {
+        out.error(diag::kSelectionChannelNotPort,
+                  where + " selection rule '" + rule.name + "' observes channel '" +
+                      g.channel(c).name + "' which is not an input port of the interface");
+      }
+    }
+  }
+
+  // Every cluster should be reachable via selection (or be the initial one),
+  // unless the interface is a pure production variant (no selection at all).
+  if (!iface.selection.empty()) {
+    for (ClusterId cid : iface.clusters) {
+      const bool selectable =
+          std::any_of(iface.selection.begin(), iface.selection.end(),
+                      [&](const SelectionRule& r) { return r.cluster == cid; });
+      if (!selectable && iface.initial != cid) {
+        out.warning(diag::kClusterUnselectable,
+                    where + " cluster '" + m.cluster(cid).name +
+                        "' is not selectable by any rule and is not the initial cluster");
+      }
+    }
+  }
+
+  for (const auto& [cid, latency] : iface.t_conf) {
+    if (latency < Duration::zero()) {
+      out.error(diag::kNegativeConfLatency, where + " has a negative configuration latency");
+    }
+  }
+  if (iface.initial && m.cluster(*iface.initial).interface != iid) {
+    out.error(diag::kInitialClusterForeign,
+              where + " initial cluster belongs to a different interface");
+  }
+}
+
+}  // namespace
+
+support::DiagnosticList validate_variants(const VariantModel& model) {
+  DiagnosticList out = spi::validate(model.graph(), model.exclusivity_oracle());
+  check_membership_uniqueness(model, out);
+  for (InterfaceId iid : model.interface_ids()) check_interface(model, iid, out);
+  return out;
+}
+
+}  // namespace spivar::variant

@@ -1,0 +1,29 @@
+// Validation of the variant structure (Defs. 1-3 well-formedness).
+//
+// Runs the core graph validation with the model's mutual-exclusivity oracle,
+// then checks cluster/interface specific invariants: port compatibility of
+// all clusters of an interface, confinement of cluster communication to
+// ports, and sanity of selection functions.
+#pragma once
+
+#include "support/diagnostics.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::variant {
+
+namespace diag {
+inline constexpr const char* kInterfaceNoClusters = "interface-no-clusters";
+inline constexpr const char* kClusterPortMismatch = "cluster-port-mismatch";
+inline constexpr const char* kClusterEscape = "cluster-escape";
+inline constexpr const char* kSelectionChannelNotPort = "selection-channel-not-port";
+inline constexpr const char* kClusterUnselectable = "cluster-unselectable";
+inline constexpr const char* kProcessMultipleClusters = "process-multiple-clusters";
+inline constexpr const char* kChannelMultipleClusters = "channel-multiple-clusters";
+inline constexpr const char* kNegativeConfLatency = "negative-conf-latency";
+inline constexpr const char* kInitialClusterForeign = "initial-cluster-foreign";
+inline constexpr const char* kPortChannelInternal = "port-channel-internal";
+}  // namespace diag
+
+[[nodiscard]] support::DiagnosticList validate_variants(const VariantModel& model);
+
+}  // namespace spivar::variant

@@ -1,0 +1,267 @@
+// Tests for the analysis module: timing, buffers, structure, exclusion.
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_bounds.hpp"
+#include "analysis/exclusion.hpp"
+#include "analysis/structure.hpp"
+#include "analysis/timing.hpp"
+#include "models/fig1.hpp"
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "sim/engine.hpp"
+#include "spi/builder.hpp"
+
+namespace spivar::analysis {
+namespace {
+
+using spi::GraphBuilder;
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+
+DurationInterval ms(std::int64_t v) { return DurationInterval{Duration::millis(v)}; }
+
+// --- timing -----------------------------------------------------------------
+
+TEST(Timing, ProcessLatencyHullOverModes) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("fast").latency(ms(1)).consume(c, 1);
+  p.mode("slow").latency(DurationInterval{Duration::millis(3), Duration::millis(7)}).consume(c,
+                                                                                             1);
+  const spi::Graph g = b.take();
+  const auto hull = process_latency_hull(g.process(*g.find_process("p")));
+  EXPECT_EQ(hull.lo(), Duration::millis(1));
+  EXPECT_EQ(hull.hi(), Duration::millis(7));
+}
+
+TEST(Timing, ReconfigurationChargedOnDemand) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("mA").latency(ms(2)).consume(c, 1);
+  p.mode("mB").latency(ms(2)).consume(c, 1);
+  p.configuration("confA", {"mA"}, Duration::millis(5));
+  p.configuration("confB", {"mB"}, Duration::millis(9));
+  const spi::Graph g = b.take();
+  const spi::Process& proc = g.process(*g.find_process("p"));
+  EXPECT_EQ(process_latency_hull(proc, false).hi(), Duration::millis(2));
+  EXPECT_EQ(process_latency_hull(proc, true).hi(), Duration::millis(11));  // worst t_conf
+}
+
+TEST(Timing, Fig1ConstraintAnalysis) {
+  const spi::Graph g = models::make_fig1();
+  const auto checks = check_latency_constraints(g);
+  ASSERT_EQ(checks.size(), 1u);
+  // Worst case: 1 + 5 + 3 = 9ms <= 12ms bound.
+  EXPECT_EQ(checks[0].path_latency.hi(), Duration::millis(9));
+  EXPECT_TRUE(checks[0].guaranteed);
+  EXPECT_EQ(checks[0].slack, Duration::millis(3));
+}
+
+TEST(Timing, ViolatedConstraintReportsNegativeSlack) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(1);
+  b.process("a").latency(ms(10)).consumes(c, 1).produces(b.queue("c2"), 1);
+  b.latency_constraint("tight", {"a"}, Duration::millis(5));
+  const auto checks = check_latency_constraints(b.take());
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks[0].guaranteed);
+  EXPECT_FALSE(checks[0].satisfiable);
+  EXPECT_LT(checks[0].slack, Duration::zero());
+}
+
+TEST(Timing, AnalyticalBoundContainsSimulatedLatency) {
+  // Cross-check on a rate-matched (1:1) chain: the measured worst path
+  // latency never exceeds the analytical worst case. (The per-firing
+  // measurement pairs the k-th start of the first process with the k-th
+  // completion of the last, which is only meaningful for 1:1 chains.)
+  GraphBuilder b;
+  auto c0 = b.queue("c0");
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  b.process("src")
+      .mark_virtual()
+      .latency(ms(0))
+      .produces(c0, 1)
+      .min_period(Duration::millis(20))
+      .max_firings(8);
+  b.process("x").latency(DurationInterval{Duration::millis(2), Duration::millis(4)}).consumes(
+      c0, 1).produces(c1, 1);
+  b.process("y").latency(DurationInterval{Duration::millis(1), Duration::millis(3)}).consumes(
+      c1, 1).produces(c2, 1);
+  b.latency_constraint("chain", {"x", "y"}, Duration::millis(100));
+  const spi::Graph g = b.take();
+
+  const auto checks = check_latency_constraints(g);
+  sim::SimOptions options;
+  options.resolution = sim::Resolution::kUpperBound;
+  sim::SimResult r = sim::Simulator{g, options}.run();
+  ASSERT_EQ(r.constraints.size(), 1u);
+  EXPECT_GT(r.constraints[0].samples, 0);
+  EXPECT_LE(r.constraints[0].observed,
+            static_cast<double>(checks[0].path_latency.hi().count()));
+}
+
+// --- buffers -------------------------------------------------------------------
+
+TEST(Buffers, BalancedChain) {
+  GraphBuilder b;
+  auto c0 = b.queue("c0").mark_virtual().initial(1);
+  auto c1 = b.queue("c1");
+  b.process("fast").latency(ms(1)).consumes(c0, 1).produces(c1, 1);
+  b.process("faster").latency(ms(1)).consumes(c1, 1);
+  const auto flows = analyze_buffers(b.take());
+  const auto& mid = flows[1];
+  EXPECT_EQ(mid.name, "c1");
+  EXPECT_EQ(mid.flow, FlowClass::kBalanced);
+}
+
+TEST(Buffers, FastProducerFlaggedPossiblyUnbounded) {
+  GraphBuilder b;
+  auto c0 = b.queue("c0").mark_virtual().initial(1);
+  auto c1 = b.queue("c1");
+  b.process("burst").latency(ms(1)).consumes(c0, 1).produces(c1, 10);
+  b.process("slow").latency(ms(5)).consumes(c1, 1);
+  const auto flows = analyze_buffers(b.take());
+  EXPECT_EQ(flows[1].flow, FlowClass::kPossiblyUnbounded);
+  EXPECT_GT(flows[1].max_inflow, flows[1].min_drain);
+}
+
+TEST(Buffers, RegisterAlwaysBounded) {
+  GraphBuilder b;
+  b.reg("r");
+  const auto flows = analyze_buffers(b.take());
+  EXPECT_EQ(flows[0].flow, FlowClass::kRegister);
+}
+
+TEST(Buffers, SourceAndSinkChannels) {
+  GraphBuilder b;
+  auto cin = b.queue("cin");
+  auto cout = b.queue("cout");
+  b.process("p").latency(ms(1)).consumes(cin, 1).produces(cout, 1);
+  const auto flows = analyze_buffers(b.take());
+  EXPECT_EQ(flows[0].flow, FlowClass::kSinkOnly);    // no producer
+  EXPECT_EQ(flows[1].flow, FlowClass::kSourceOnly);  // no consumer
+}
+
+TEST(Buffers, SimulationRespectsBalancedClassification) {
+  // Property: a channel classified balanced must not grow beyond its burst
+  // size in a long simulation.
+  const spi::Graph g = models::make_fig1({.tag = 'a', .source_firings = 50});
+  const auto flows = analyze_buffers(g);
+  sim::SimResult r = sim::Simulator{g}.run();
+  for (const auto& flow : flows) {
+    if (flow.flow != FlowClass::kBalanced) continue;
+    EXPECT_LE(r.channel(flow.channel).max_occupancy, 16)
+        << "balanced channel " << flow.name << " grew unexpectedly";
+  }
+}
+
+// --- structure ---------------------------------------------------------------------
+
+TEST(Structure, TopologicalOrderOfChain) {
+  const spi::Graph g = models::make_fig1();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  // p1 before p2 before p3.
+  auto pos = [&](const char* name) {
+    const auto pid = *g.find_process(name);
+    return std::find(order->begin(), order->end(), pid) - order->begin();
+  };
+  EXPECT_LT(pos("p1"), pos("p2"));
+  EXPECT_LT(pos("p2"), pos("p3"));
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(Structure, CycleDetected) {
+  GraphBuilder b;
+  auto c1 = b.queue("c1").initial(1);
+  auto c2 = b.queue("c2");
+  b.process("x").latency(ms(1)).consumes(c1, 1).produces(c2, 1);
+  b.process("y").latency(ms(1)).consumes(c2, 1).produces(c1, 1);
+  const spi::Graph g = b.take();
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Structure, SourcesSinksAndReachability) {
+  const spi::Graph g = models::make_fig1();
+  const auto sources = source_processes(g);
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(g.process(sources[0]).name, "PSrc");
+  const auto sinks = sink_processes(g);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.process(sinks[0]).name, "p3");
+  EXPECT_EQ(reachable_from(g, sources).size(), g.process_count());
+}
+
+TEST(Structure, DeadProcessDetected) {
+  GraphBuilder b;
+  auto barren = b.queue("barren");  // no producer, no initial tokens
+  auto ok = b.queue("ok").initial(1);
+  b.process("dead").latency(ms(1)).consumes(barren, 1);
+  b.process("alive").latency(ms(1)).consumes(ok, 1);
+  const spi::Graph g = b.take();
+  const auto dead = dead_processes(g);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(g.process(dead[0]).name, "dead");
+}
+
+TEST(Structure, WeakComponents) {
+  GraphBuilder b;
+  auto c1 = b.queue("c1");
+  b.process("a").latency(ms(1)).produces(c1, 1);
+  b.process("bb").latency(ms(1)).consumes(c1, 1);
+  b.process("island").mark_virtual().latency(ms(0));
+  const auto components = weak_components(b.take());
+  EXPECT_EQ(components.size(), 2u);
+}
+
+// --- exclusion -------------------------------------------------------------------------
+
+TEST(Exclusion, GroupsForFig2) {
+  const variant::VariantModel model = models::make_fig2();
+  const auto groups = exclusive_groups(model);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].alternatives.size(), 2u);
+  EXPECT_EQ(groups[0].alternatives[0].size(), 2u);  // cluster1: P1a, P1b
+  EXPECT_EQ(groups[0].alternatives[1].size(), 3u);  // cluster2: P2a..P2c
+}
+
+TEST(Exclusion, LinkedInterfacesMergeIntoOneGroup) {
+  const variant::VariantModel model = models::make_multistandard_tv();
+  const auto groups = exclusive_groups(model);
+  ASSERT_EQ(groups.size(), 1u);  // video+audio linked
+  EXPECT_EQ(groups[0].alternatives.size(), 3u);
+  // Each alternative holds video chain (2 procs) + audio decoder (1 proc).
+  for (const auto& alt : groups[0].alternatives) EXPECT_EQ(alt.size(), 3u);
+}
+
+TEST(Exclusion, ActiveProcessesPerBinding) {
+  const variant::VariantModel model = models::make_fig2();
+  const auto bindings = variant::enumerate_bindings(model);
+  const auto active = active_processes(model, bindings[0]);
+  // Common (PSrc, PA, PB, PSink) + cluster1 (P1a, P1b).
+  EXPECT_EQ(active.size(), 6u);
+  const auto names = [&] {
+    std::vector<std::string> out;
+    for (auto pid : active) out.push_back(model.graph().process(pid).name);
+    return out;
+  }();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "P1a") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "P2a") == names.end());
+}
+
+TEST(Exclusion, CanCoexistMirrorsModel) {
+  const variant::VariantModel model = models::make_fig2();
+  const auto p1a = *model.graph().find_process("P1a");
+  const auto p2a = *model.graph().find_process("P2a");
+  const auto pa = *model.graph().find_process("PA");
+  EXPECT_FALSE(can_coexist(model, p1a, p2a));
+  EXPECT_TRUE(can_coexist(model, p1a, pa));
+}
+
+}  // namespace
+}  // namespace spivar::analysis

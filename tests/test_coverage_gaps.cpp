@@ -1,0 +1,258 @@
+// Focused tests for code paths not exercised elsewhere: multi-port cluster
+// extraction, parser error corners, strategy and structure edge cases.
+#include <gtest/gtest.h>
+
+#include "analysis/structure.hpp"
+#include "models/fig1.hpp"
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "sim/engine.hpp"
+#include "spi/builder.hpp"
+#include "spi/textio.hpp"
+#include "synth/from_model.hpp"
+#include "synth/strategies.hpp"
+#include "variant/extraction.hpp"
+#include "variant/flatten.hpp"
+#include "variant/model.hpp"
+#include "variant/validate.hpp"
+
+namespace spivar {
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+using variant::PortDir;
+using variant::VariantBuilder;
+using variant::VariantModel;
+
+DurationInterval ms(std::int64_t v) { return DurationInterval{Duration::millis(v)}; }
+
+// --- multi-port clusters ------------------------------------------------------
+
+/// Interface with two input ports and two output ports; the cluster joins
+/// both inputs and fans out to both outputs.
+VariantModel make_multiport() {
+  VariantBuilder vb{"multiport"};
+  auto in1 = vb.queue("in1").initial(4);
+  auto in2 = vb.queue("in2").initial(4);
+  auto out1 = vb.queue("out1");
+  auto out2 = vb.queue("out2");
+  auto iface = vb.interface("mix");
+  vb.port(iface, "a", PortDir::kInput, in1);
+  vb.port(iface, "b", PortDir::kInput, in2);
+  vb.port(iface, "x", PortDir::kOutput, out1);
+  vb.port(iface, "y", PortDir::kOutput, out2);
+  {
+    auto scope = vb.begin_cluster(iface, "joiner");
+    auto mid = vb.queue("mid");
+    vb.process("PJoin")
+        .latency(ms(2))
+        .consumes(in1, 1)
+        .consumes(in2, 2)
+        .produces(mid, 1);
+    vb.process("PFan").latency(ms(1)).consumes(mid, 1).produces(out1, 3).produces(out2, 1);
+    (void)scope;
+  }
+  vb.process("s1").mark_virtual().latency(ms(0)).consumes(out1, 1);
+  vb.process("s2").mark_virtual().latency(ms(0)).consumes(out2, 1);
+  return vb.take();
+}
+
+TEST(MultiPort, ValidatesAndExtractsAllPortRates) {
+  const VariantModel m = make_multiport();
+  EXPECT_FALSE(variant::validate_variants(m).has_errors())
+      << variant::validate_variants(m);
+
+  const auto summary = variant::extract_cluster(m, *m.find_cluster("joiner"));
+  ASSERT_EQ(summary.modes.size(), 1u);
+  const auto& em = summary.modes[0];
+  EXPECT_EQ(em.consumption.at(*m.graph().find_channel("in1")), Interval(1));
+  EXPECT_EQ(em.consumption.at(*m.graph().find_channel("in2")), Interval(2));
+  EXPECT_EQ(em.production.at(*m.graph().find_channel("out1")), Interval(3));
+  EXPECT_EQ(em.production.at(*m.graph().find_channel("out2")), Interval(1));
+  // Chain latency: PJoin 2ms + PFan 1ms.
+  EXPECT_EQ(em.latency, DurationInterval(Duration::millis(3)));
+}
+
+TEST(MultiPort, AbstractionPreservesJoinSemantics) {
+  const VariantModel m = make_multiport();
+  const auto abs = variant::abstract_interface(m, *m.find_interface("mix"));
+  sim::SimResult concrete = sim::Simulator{m.graph()}.run();  // flat: cluster processes live
+  sim::SimResult abstracted = sim::Simulator{abs.model}.run();
+  // in2 has 4 tokens, join needs 2 per firing -> 2 cluster executions; both
+  // levels deliver 6 tokens to out1's sink.
+  EXPECT_EQ(concrete.process(*m.graph().find_process("s1")).firings, 6);
+  EXPECT_EQ(abstracted.process(*abs.model.graph().find_process("s1")).firings, 6);
+  EXPECT_EQ(abstracted.process(*abs.model.graph().find_process("s2")).firings, 2);
+}
+
+// --- parser corners -------------------------------------------------------------
+
+TEST(ParserCorners, BadRateInterval) {
+  EXPECT_THROW((void)spi::parse_text(R"(
+model m
+queue c
+process p
+  mode m1 latency 1ms
+    consume c abc
+)"),
+               spi::ParseError);
+}
+
+TEST(ParserCorners, ConfigurationBeforeModes) {
+  EXPECT_THROW((void)spi::parse_text(R"(
+model m
+process p
+  configuration conf t_conf 1ms modes ghost
+)"),
+               spi::ParseError);
+}
+
+TEST(ParserCorners, UnknownProcessAttribute) {
+  EXPECT_THROW((void)spi::parse_text("model m\nprocess p wobble\n"), spi::ParseError);
+}
+
+TEST(ParserCorners, ConsumeOutsideMode) {
+  EXPECT_THROW((void)spi::parse_text(R"(
+model m
+queue c
+process p
+  consume c 1
+)"),
+               spi::ParseError);
+}
+
+TEST(ParserCorners, TruncatedModeLine) {
+  EXPECT_THROW((void)spi::parse_text("model m\nprocess p\n  mode m1\n"), spi::ParseError);
+}
+
+TEST(ParserCorners, PredicateTrailingGarbage) {
+  EXPECT_THROW((void)spi::parse_text(R"(
+model m
+queue c initial 1
+process p
+  mode m1 latency 1ms
+    consume c 1
+  rule r: num(c) >= 1 stray -> m1
+)"),
+               spi::ParseError);
+}
+
+TEST(ParserCorners, InitialConfigurationUnknown) {
+  EXPECT_THROW((void)spi::parse_text(R"(
+model m
+queue c
+process p
+  mode m1 latency 1ms
+    consume c 1
+  configuration conf t_conf 1ms modes m1
+  initial_configuration ghost
+)"),
+               spi::ParseError);
+}
+
+// --- strategies / structure edges -----------------------------------------------
+
+TEST(StrategyEdges, DisjointAppsMakeVariantAwareEqualSuperposition) {
+  // With no shared elements there is nothing to share: the two strategies
+  // coincide in cost (the paper's benefit needs commonality).
+  synth::ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 1.0;
+  lib.add("a1", {.sw_load = 1.2, .hw_cost = 8.0});
+  lib.add("a2", {.sw_load = 1.2, .hw_cost = 9.0});
+  const synth::Application app1{.name = "x", .elements = {"a1"}};
+  const synth::Application app2{.name = "y", .elements = {"a2"}};
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+  const auto var = synth::synthesize_with_variants(lib, {app1, app2}, options);
+  const auto sup = synth::synthesize_superposition(lib, {app1, app2}, options);
+  EXPECT_DOUBLE_EQ(var.cost.total, sup.cost.total);
+}
+
+TEST(StrategyEdges, ThreeAppSuperpositionAccumulates) {
+  const auto lib = models::tv_library();
+  const auto problem = synth::problem_from_model(models::make_multistandard_tv());
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+  const auto sup = synth::synthesize_superposition(lib, problem.apps, options);
+  ASSERT_EQ(sup.per_app.size(), 3u);
+  EXPECT_TRUE(sup.feasible);
+}
+
+TEST(StrategyEdges, SingleAppAllStrategiesAgree) {
+  const auto lib = models::table1_library();
+  const auto apps = std::vector<synth::Application>{models::table1_problem().apps[0]};
+  synth::ExploreOptions options;
+  options.engine = synth::ExploreEngine::kExhaustive;
+  const double ind = synth::synthesize_independent(lib, apps[0], options).cost.total;
+  EXPECT_DOUBLE_EQ(synth::synthesize_with_variants(lib, apps, options).cost.total, ind);
+  EXPECT_DOUBLE_EQ(synth::synthesize_superposition(lib, apps, options).cost.total, ind);
+  EXPECT_DOUBLE_EQ(synth::synthesize_serialized(lib, apps, {}, options).cost.total, ind);
+  EXPECT_DOUBLE_EQ(synth::synthesize_incremental(lib, apps, {}, options).cost.total, ind);
+}
+
+TEST(StructureEdges, ReachableFromEmptySeedsIsEmpty) {
+  const spi::Graph g = models::make_fig1();
+  EXPECT_TRUE(analysis::reachable_from(g, {}).empty());
+}
+
+TEST(StructureEdges, DeadProcessEscapeHatchMode) {
+  // One mode blocked by a barren channel, another live: not dead.
+  spi::GraphBuilder b;
+  auto barren = b.queue("barren");
+  auto live = b.queue("live").initial(1);
+  auto p = b.process("p");
+  p.mode("blocked").latency(ms(1)).consume(barren, 1);
+  p.mode("ok").latency(ms(1)).consume(live, 1);
+  EXPECT_TRUE(analysis::dead_processes(b.take()).empty());
+}
+
+TEST(FlattenEdges, DoubleFlattenIsIdempotent) {
+  const VariantModel m = models::make_fig2();
+  const auto binding = variant::enumerate_bindings(m)[0];
+  const VariantModel once = variant::flatten(m, binding);
+  const VariantModel twice = variant::flatten(once, {});
+  EXPECT_EQ(once.graph().process_count(), twice.graph().process_count());
+  EXPECT_EQ(once.graph().edge_count(), twice.graph().edge_count());
+}
+
+TEST(FlattenEdges, LinksSurviveUnrelatedFlatten) {
+  // Flattening a third, unlinked interface keeps the video/audio link.
+  VariantBuilder vb{"threeway"};
+  auto c1 = vb.queue("c1").initial(1);
+  auto c2 = vb.queue("c2").initial(1);
+  auto c3 = vb.queue("c3").initial(1);
+  auto o1 = vb.queue("o1");
+  auto o2 = vb.queue("o2");
+  auto o3 = vb.queue("o3");
+  variant::InterfaceId ifaces[3];
+  spi::ChannelId ins[3] = {c1, c2, c3};
+  spi::ChannelId outs[3] = {o1, o2, o3};
+  for (int i = 0; i < 3; ++i) {
+    ifaces[i] = vb.interface("i" + std::to_string(i));
+    vb.port(ifaces[i], "in", PortDir::kInput, ins[i]);
+    vb.port(ifaces[i], "out", PortDir::kOutput, outs[i]);
+    for (int v = 0; v < 2; ++v) {
+      auto scope = vb.begin_cluster(ifaces[i],
+                                    "c" + std::to_string(i) + "v" + std::to_string(v));
+      vb.process("P" + std::to_string(i) + std::to_string(v))
+          .latency(ms(1))
+          .consumes(ins[i], 1)
+          .produces(outs[i], 1);
+      (void)scope;
+    }
+  }
+  vb.link(ifaces[0], ifaces[1]);
+  const VariantModel m = vb.take();
+  ASSERT_EQ(variant::enumerate_bindings(m).size(), 4u);  // linked pair (2) x i2 (2)
+
+  const auto i2 = *m.find_interface("i2");
+  const VariantModel flat = variant::flatten(m, {{i2, m.interface(i2).clusters[0]}});
+  // Linked pair survives: 2 consistent bindings remain (not 4).
+  EXPECT_EQ(variant::enumerate_bindings(flat).size(), 2u);
+}
+
+}  // namespace
+}  // namespace spivar

@@ -1,0 +1,351 @@
+// Tests for cluster parameter extraction and interface abstraction (§4).
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "spi/validate.hpp"
+#include "variant/extraction.hpp"
+#include "variant/validate.hpp"
+
+namespace spivar::variant {
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+
+TEST(ExtractCluster, SingleModeChainAggregatesRatesAndLatency) {
+  // cluster1 of Figure 2: P1a (1ms, 1->1) -> CX -> P1b (2ms, 1->1).
+  const VariantModel model = models::make_fig2();
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("cluster1"));
+
+  EXPECT_FALSE(s.used_fallback);
+  EXPECT_FALSE(s.cyclic);
+  ASSERT_EQ(s.modes.size(), 1u);
+  const ExtractedMode& m = s.modes[0];
+
+  const auto ci = *model.graph().find_channel("Ci");
+  const auto co = *model.graph().find_channel("Co");
+  EXPECT_EQ(m.consumption.at(ci), Interval(1));
+  EXPECT_EQ(m.production.at(co), Interval(1));
+  // Critical path: 1ms + 2ms.
+  EXPECT_EQ(m.latency, DurationInterval(Duration::millis(3)));
+
+  // Each process fires once per cluster execution.
+  for (const auto& [pid, reps] : s.repetitions) EXPECT_EQ(reps, Interval(1));
+}
+
+TEST(ExtractCluster, MultiRateChainSolvesBalanceEquations) {
+  // cluster2: P2a (1->2) -> P2b (1->1) -> P2c (2->1).
+  // Balance: P2a once, P2b twice, P2c once. Port rates: consume 1, produce 1.
+  const VariantModel model = models::make_fig2();
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("cluster2"));
+
+  EXPECT_FALSE(s.used_fallback);
+  ASSERT_EQ(s.modes.size(), 1u);
+  const ExtractedMode& m = s.modes[0];
+
+  const auto ci = *model.graph().find_channel("Ci");
+  const auto co = *model.graph().find_channel("Co");
+  EXPECT_EQ(m.consumption.at(ci), Interval(1));
+  EXPECT_EQ(m.production.at(co), Interval(1));
+
+  const auto p2b = *model.graph().find_process("P2b");
+  EXPECT_EQ(s.repetitions.at(p2b), Interval(2));
+  // Critical path: P2a (1ms) + 2 x P2b (1ms) + P2c (2ms) = 5ms.
+  EXPECT_EQ(m.latency, DurationInterval(Duration::millis(5)));
+}
+
+/// Cluster whose single process has interval rates: extraction must carry
+/// the bounds through to the port rates.
+VariantModel make_interval_cluster() {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(3);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "c1");
+    vb.process("P")
+        .latency(DurationInterval{Duration::millis(3), Duration::millis(5)})
+        .consumes(ci, Interval{1, 3})
+        .produces(co, Interval{2, 5});
+    (void)scope;
+  }
+  vb.process("sink").mark_virtual().latency(DurationInterval{Duration::zero()}).consumes(co, 1);
+  return vb.take();
+}
+
+TEST(ExtractCluster, IntervalRatesPreserved) {
+  const VariantModel model = make_interval_cluster();
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("c1"));
+  ASSERT_EQ(s.modes.size(), 1u);
+  const ExtractedMode& m = s.modes[0];
+  EXPECT_EQ(m.consumption.at(*model.graph().find_channel("ci")), Interval(1, 3));
+  EXPECT_EQ(m.production.at(*model.graph().find_channel("co")), Interval(2, 5));
+  EXPECT_EQ(m.latency, DurationInterval(Duration::millis(3), Duration::millis(5)));
+}
+
+/// Cluster with a two-mode process: per-combination extraction yields two
+/// modes; hull granularity folds them.
+VariantModel make_two_mode_cluster() {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(3);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "c1");
+    auto p = vb.process("P");
+    p.mode("fast").latency(DurationInterval{Duration::millis(3)}).consume(ci, 1).produce(co, 2);
+    p.mode("slow").latency(DurationInterval{Duration::millis(5)}).consume(ci, 3).produce(co, 5);
+    (void)scope;
+  }
+  vb.process("sink").mark_virtual().latency(DurationInterval{Duration::zero()}).consumes(co, 1);
+  return vb.take();
+}
+
+TEST(ExtractCluster, PerCombinationGranularity) {
+  const VariantModel model = make_two_mode_cluster();
+  ExtractionOptions options;
+  options.granularity = ExtractionOptions::Granularity::kPerCombination;
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("c1"), options);
+  ASSERT_EQ(s.modes.size(), 2u);
+  const auto ci = *model.graph().find_channel("ci");
+  EXPECT_EQ(s.modes[0].consumption.at(ci), Interval(1));
+  EXPECT_EQ(s.modes[1].consumption.at(ci), Interval(3));
+}
+
+TEST(ExtractCluster, HullGranularityFoldsModes) {
+  const VariantModel model = make_two_mode_cluster();
+  ExtractionOptions options;
+  options.granularity = ExtractionOptions::Granularity::kHull;
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("c1"), options);
+  ASSERT_EQ(s.modes.size(), 1u);
+  const ExtractedMode& m = s.modes[0];
+  EXPECT_EQ(m.consumption.at(*model.graph().find_channel("ci")), Interval(1, 3));
+  EXPECT_EQ(m.production.at(*model.graph().find_channel("co")), Interval(2, 5));
+  EXPECT_EQ(m.latency,
+            DurationInterval(Duration::millis(3), Duration::millis(5)));
+}
+
+TEST(ExtractCluster, HullContainsEveryCombination) {
+  // Property: the hull mode's parameters contain every per-combination mode.
+  const VariantModel model = make_two_mode_cluster();
+  ExtractionOptions per;
+  per.granularity = ExtractionOptions::Granularity::kPerCombination;
+  ExtractionOptions hull;
+  hull.granularity = ExtractionOptions::Granularity::kHull;
+  const auto cid = *model.find_cluster("c1");
+  const ClusterSummary fine = extract_cluster(model, cid, per);
+  const ClusterSummary coarse = extract_cluster(model, cid, hull);
+  ASSERT_EQ(coarse.modes.size(), 1u);
+  for (const ExtractedMode& m : fine.modes) {
+    EXPECT_TRUE(coarse.modes[0].latency.contains(m.latency));
+    for (const auto& [chan, rate] : m.consumption) {
+      EXPECT_TRUE(coarse.modes[0].consumption.at(chan).contains(rate));
+    }
+    for (const auto& [chan, rate] : m.production) {
+      EXPECT_TRUE(coarse.modes[0].production.at(chan).contains(rate));
+    }
+  }
+}
+
+TEST(ExtractCluster, TagsSurfaceOnOutputPorts) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "c1");
+    vb.process("P")
+        .latency(DurationInterval{Duration::millis(1)})
+        .consumes(ci, 1)
+        .produces(co, 1, {"stamp"});
+    (void)scope;
+  }
+  const VariantModel model = vb.take();
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("c1"));
+  ASSERT_EQ(s.modes.size(), 1u);
+  const auto tags = s.modes[0].produced_tags.at(*model.graph().find_channel("co"));
+  EXPECT_TRUE(tags.contains(model.graph().tags().find("stamp")));
+}
+
+// --- abstract_interface --------------------------------------------------------
+
+TEST(AbstractInterface, Figure3BecomesProcessWithConfigurations) {
+  const VariantModel model = models::make_fig3();
+  const AbstractionResult r = abstract_interface(model, *model.find_interface("theta"));
+
+  // The interface is gone; PVar took its place.
+  EXPECT_EQ(r.model.interface_count(), 0u);
+  const spi::Process& pv = r.model.graph().process(r.abstract_process);
+  EXPECT_EQ(pv.name, "theta");
+
+  // One configuration per cluster, carrying t_conf (Def. 4).
+  ASSERT_EQ(pv.configurations.size(), 2u);
+  EXPECT_EQ(pv.configurations[0].name, "cluster1");
+  EXPECT_EQ(pv.configurations[0].t_conf, Duration::millis(2));
+  EXPECT_EQ(pv.configurations[1].t_conf, Duration::millis(3));
+
+  // Modes extracted per cluster (both single-combination here).
+  ASSERT_EQ(pv.modes.size(), 2u);
+  EXPECT_EQ(pv.configuration_of(support::ModeId{0}), support::ConfigurationId{0});
+  EXPECT_EQ(pv.configuration_of(support::ModeId{1}), support::ConfigurationId{1});
+
+  // Activation rules combine the selection predicate with availability
+  // (paper: a1/a2 with the decision depending solely on the CV tag).
+  ASSERT_EQ(pv.activation.size(), 2u);
+  const auto cv = r.model.graph().find_channel("CV");
+  ASSERT_TRUE(cv.has_value());
+  for (const auto& rule : pv.activation.rules()) {
+    const auto channels = rule.predicate.referenced_channels();
+    EXPECT_TRUE(std::find(channels.begin(), channels.end(), *cv) != channels.end());
+  }
+
+  // Cluster processes are gone from the abstracted model.
+  EXPECT_FALSE(r.model.graph().find_process("P1a").has_value());
+  EXPECT_FALSE(r.model.graph().find_process("P2c").has_value());
+  // The abstracted graph is structurally clean.
+  const auto diags = spi::validate(r.model.graph());
+  EXPECT_FALSE(diags.has_errors()) << diags;
+}
+
+TEST(AbstractInterface, PortRatesMatchClusterExtraction) {
+  const VariantModel model = models::make_fig3();
+  const auto iface = *model.find_interface("theta");
+  const ClusterSummary s1 = extract_cluster(model, *model.find_cluster("cluster1"));
+  const AbstractionResult r = abstract_interface(model, iface);
+
+  const spi::Process& pv = r.model.graph().process(r.abstract_process);
+  const auto ci_new = *r.model.graph().find_channel("Ci");
+  const auto in_edge = r.model.graph().input_edge(r.abstract_process, ci_new);
+  ASSERT_TRUE(in_edge.has_value());
+  EXPECT_EQ(pv.modes[0].consumption_on(*in_edge),
+            s1.modes[0].consumption.at(*model.graph().find_channel("Ci")));
+}
+
+TEST(AbstractInterface, InitialClusterBecomesInitialConfiguration) {
+  VariantModel model = models::make_fig3();
+  model.interface(*model.find_interface("theta")).initial = *model.find_cluster("cluster2");
+  const AbstractionResult r = abstract_interface(model, *model.find_interface("theta"));
+  const spi::Process& pv = r.model.graph().process(r.abstract_process);
+  ASSERT_TRUE(pv.initial_configuration.has_value());
+  EXPECT_EQ(*pv.initial_configuration, support::ConfigurationId{1});
+}
+
+TEST(AbstractInterface, ConsumeSelectionTokenAddsRequestRate) {
+  VariantModel model = models::make_fig3();
+  model.interface(*model.find_interface("theta")).consume_selection_token = true;
+  const AbstractionResult r = abstract_interface(model, *model.find_interface("theta"));
+  const spi::Process& pv = r.model.graph().process(r.abstract_process);
+  const auto cv = *r.model.graph().find_channel("CV");
+  const auto cv_edge = r.model.graph().input_edge(r.abstract_process, cv);
+  ASSERT_TRUE(cv_edge.has_value());
+  for (const spi::Mode& m : pv.modes) {
+    EXPECT_EQ(m.consumption_on(*cv_edge), Interval(1));
+  }
+}
+
+TEST(AbstractInterface, CombinationCapFallsBackToHull) {
+  // 8 processes with 3 modes each = 6561 combinations > cap.
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "big");
+    spi::ChannelId up = ci;
+    for (int i = 0; i < 8; ++i) {
+      const bool last = i == 7;
+      spi::ChannelId down = last ? co : vb.queue("mid" + std::to_string(i)).id();
+      auto p = vb.process("P" + std::to_string(i));
+      for (int mi = 0; mi < 3; ++mi) {
+        p.mode("m" + std::to_string(mi))
+            .latency(DurationInterval{Duration::millis(1 + mi)})
+            .consume(up, 1)
+            .produce(down, 1);
+      }
+      up = down;
+    }
+    (void)scope;
+  }
+  const VariantModel model = vb.take();
+  ExtractionOptions options;
+  options.max_combinations = 64;
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("big"), options);
+  ASSERT_EQ(s.modes.size(), 1u);
+  EXPECT_TRUE(s.notes.has_code("extraction-combination-cap"));
+  // Hull latency: 8 x [1,3]ms.
+  EXPECT_EQ(s.modes[0].latency,
+            DurationInterval(Duration::millis(8), Duration::millis(24)));
+}
+
+TEST(AbstractInterface, UnbalancedClusterUsesFallback) {
+  // The producer's mode writes 0 tokens onto the internal channel while the
+  // consumer needs 1 per firing: the balance equations have no solution and
+  // extraction falls back to the single-execution abstraction.
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "odd");
+    auto mid = vb.queue("mid");
+    auto p = vb.process("Pp");
+    p.mode("silent")
+        .latency(DurationInterval{Duration::millis(1)})
+        .consume(ci, 1)
+        .produce(mid, 0)  // edge exists, but this mode never writes
+        .produce(co, 1);
+    auto q = vb.process("Pq");
+    q.mode("m").latency(DurationInterval{Duration::millis(1)}).consume(mid, 1);
+    (void)scope;
+  }
+  const VariantModel model = vb.take();
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("odd"));
+  EXPECT_TRUE(s.used_fallback);
+  EXPECT_TRUE(s.notes.has_code("extraction-unbalanced"));
+}
+
+TEST(AbstractInterface, CyclicClusterFlagged) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "loop");
+    auto fwd = vb.queue("fwd");
+    auto back = vb.queue("back").initial(1);
+    vb.process("Pp")
+        .latency(DurationInterval{Duration::millis(1)})
+        .consumes(ci, 1)
+        .consumes(back, 1)
+        .produces(fwd, 1);
+    vb.process("Pq")
+        .latency(DurationInterval{Duration::millis(2)})
+        .consumes(fwd, 1)
+        .produces(back, 1)
+        .produces(co, 1);
+    (void)scope;
+  }
+  const VariantModel model = vb.take();
+  const ClusterSummary s = extract_cluster(model, *model.find_cluster("loop"));
+  EXPECT_TRUE(s.cyclic);
+  ASSERT_EQ(s.modes.size(), 1u);
+  // Conservative: lo = max single node, hi = serial sum.
+  EXPECT_EQ(s.modes[0].latency.lo(), Duration::millis(2));
+  EXPECT_EQ(s.modes[0].latency.hi(), Duration::millis(3));
+}
+
+}  // namespace
+}  // namespace spivar::variant

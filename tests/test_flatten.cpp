@@ -1,0 +1,199 @@
+// Tests for production-variant binding (flatten) and binding enumeration.
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "spi/validate.hpp"
+#include "variant/flatten.hpp"
+#include "variant/validate.hpp"
+
+namespace spivar::variant {
+namespace {
+
+using support::Duration;
+using support::ModelError;
+
+TEST(Flatten, BindingRemovesCompetingCluster) {
+  const VariantModel model = models::make_fig2();
+  const auto iface = *model.find_interface("theta");
+  const auto cluster1 = *model.find_cluster("cluster1");
+
+  const VariantModel flat = flatten(model, {{iface, cluster1}});
+
+  // Chosen cluster's processes survive, competitor's vanish.
+  EXPECT_TRUE(flat.graph().find_process("P1a").has_value());
+  EXPECT_TRUE(flat.graph().find_process("P1b").has_value());
+  EXPECT_FALSE(flat.graph().find_process("P2a").has_value());
+  EXPECT_FALSE(flat.graph().find_process("P2b").has_value());
+  EXPECT_FALSE(flat.graph().find_process("P2c").has_value());
+
+  // Internal channels of the dropped cluster vanish too.
+  EXPECT_FALSE(flat.graph().find_channel("CY1").has_value());
+  EXPECT_TRUE(flat.graph().find_channel("CX").has_value());
+
+  // The interface is gone; the chosen cluster's processes are common now.
+  EXPECT_EQ(flat.interface_count(), 0u);
+  EXPECT_FALSE(flat.cluster_of(*flat.graph().find_process("P1a")).has_value());
+
+  // Common part intact.
+  EXPECT_TRUE(flat.graph().find_process("PA").has_value());
+  EXPECT_TRUE(flat.graph().find_process("PB").has_value());
+}
+
+TEST(Flatten, ResultSatisfiesStrictDegreeRule) {
+  const VariantModel model = models::make_fig2();
+  const auto iface = *model.find_interface("theta");
+  for (const char* cluster_name : {"cluster1", "cluster2"}) {
+    const VariantModel flat = flatten(model, {{iface, *model.find_cluster(cluster_name)}});
+    // After binding there is exactly one consumer per channel: strict
+    // validation (no oracle) must pass without degree errors.
+    const auto diags = spi::validate(flat.graph());
+    EXPECT_FALSE(diags.has_code(spi::diag::kChannelMultiConsumer)) << diags;
+    EXPECT_FALSE(diags.has_code(spi::diag::kChannelMultiProducer)) << diags;
+    EXPECT_FALSE(diags.has_errors()) << diags;
+  }
+}
+
+TEST(Flatten, ForeignClusterRejected) {
+  const VariantModel model = models::make_multistandard_tv();
+  const auto video = *model.find_interface("video");
+  const auto audio_pal = *model.find_cluster("audio_pal");
+  EXPECT_THROW(flatten(model, {{video, audio_pal}}), ModelError);
+}
+
+TEST(Flatten, PartialBindingKeepsOtherInterfaces) {
+  const VariantModel model = models::make_multistandard_tv();
+  const auto video = *model.find_interface("video");
+  const auto pal = *model.find_cluster("pal");
+
+  const VariantModel partial = flatten(model, {{video, pal}});
+  EXPECT_EQ(partial.interface_count(), 1u);
+  EXPECT_TRUE(partial.find_interface("audio").has_value());
+  EXPECT_FALSE(partial.find_interface("video").has_value());
+  // Audio clusters survive with remapped membership.
+  EXPECT_EQ(partial.cluster_count(), 3u);
+  const auto audio_proc = partial.graph().find_process("PAudioPal");
+  ASSERT_TRUE(audio_proc.has_value());
+  EXPECT_TRUE(partial.cluster_of(*audio_proc).has_value());
+}
+
+TEST(Flatten, PreservesConstraintsWhenPathSurvives) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  vb.process("head")
+      .latency(support::DurationInterval{Duration::millis(1)})
+      .consumes(ci, 1)
+      .produces(co, 1);
+  vb.graph_builder().latency_constraint("keep", {"head"}, Duration::millis(9));
+  const VariantModel flat = flatten(vb.take(), {});
+  ASSERT_EQ(flat.graph().constraints().latency.size(), 1u);
+  EXPECT_EQ(flat.graph().constraints().latency[0].name, "keep");
+}
+
+TEST(Flatten, DropsConstraintsReferencingDroppedProcesses) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  for (const char* name : {"c1", "c2"}) {
+    auto scope = vb.begin_cluster(iface, name);
+    vb.process(std::string("P") + name)
+        .latency(support::DurationInterval{Duration::millis(1)})
+        .consumes(ci, 1)
+        .produces(co, 1);
+    (void)scope;
+  }
+  vb.graph_builder().latency_constraint("on-c2", {"Pc2"}, Duration::millis(5));
+  const VariantModel model = vb.take();
+  const VariantModel flat =
+      flatten(model, {{*model.find_interface("iface"), *model.find_cluster("c1")}});
+  EXPECT_TRUE(flat.graph().constraints().latency.empty());
+}
+
+// --- enumerate_bindings ------------------------------------------------------
+
+TEST(EnumerateBindings, SingleInterfaceYieldsOnePerCluster) {
+  const VariantModel model = models::make_fig2();
+  const auto bindings = enumerate_bindings(model);
+  ASSERT_EQ(bindings.size(), 2u);
+  const auto iface = *model.find_interface("theta");
+  EXPECT_EQ(bindings[0].at(iface), *model.find_cluster("cluster1"));
+  EXPECT_EQ(bindings[1].at(iface), *model.find_cluster("cluster2"));
+}
+
+TEST(EnumerateBindings, LinkedInterfacesSelectTogether) {
+  const VariantModel model = models::make_multistandard_tv();
+  const auto bindings = enumerate_bindings(model);
+  // 3 regions, not 3x3: video and audio are linked.
+  ASSERT_EQ(bindings.size(), 3u);
+  const auto video = *model.find_interface("video");
+  const auto audio = *model.find_interface("audio");
+  for (const auto& binding : bindings) {
+    const auto vpos = model.interface(video).cluster_position(binding.at(video));
+    const auto apos = model.interface(audio).cluster_position(binding.at(audio));
+    EXPECT_EQ(vpos, apos);
+  }
+}
+
+TEST(EnumerateBindings, NoInterfacesYieldsEmptyBinding) {
+  VariantBuilder vb;
+  auto c = vb.queue("c").mark_virtual();
+  (void)c;
+  const auto bindings = enumerate_bindings(vb.take());
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_TRUE(bindings[0].empty());
+}
+
+TEST(EnumerateBindings, EveryBindingFlattensClean) {
+  const VariantModel model = models::make_multistandard_tv();
+  for (const auto& binding : enumerate_bindings(model)) {
+    const VariantModel flat = flatten(model, binding);
+    EXPECT_EQ(flat.interface_count(), 0u);
+    const auto diags = spi::validate(flat.graph());
+    EXPECT_FALSE(diags.has_errors())
+        << "binding " << binding_name(model, binding) << ":\n" << diags;
+  }
+}
+
+TEST(BindingName, Readable) {
+  const VariantModel model = models::make_fig2();
+  const auto bindings = enumerate_bindings(model);
+  EXPECT_EQ(binding_name(model, bindings[0]), "theta=cluster1");
+  EXPECT_EQ(binding_name(model, {}), "<none>");
+}
+
+// --- clone_excluding low-level checks -----------------------------------------
+
+TEST(CloneExcluding, EdgeOrderAndRatesPreserved) {
+  const VariantModel model = models::make_fig2();
+  const GraphClone clone = clone_excluding(model.graph(), {}, {});
+  EXPECT_EQ(clone.graph.process_count(), model.graph().process_count());
+  EXPECT_EQ(clone.graph.channel_count(), model.graph().channel_count());
+  EXPECT_EQ(clone.graph.edge_count(), model.graph().edge_count());
+
+  const auto old_pa = *model.graph().find_process("PA");
+  const auto new_pa = clone.process_map.at(old_pa);
+  const spi::Process& before = model.graph().process(old_pa);
+  const spi::Process& after = clone.graph.process(new_pa);
+  ASSERT_EQ(before.inputs.size(), after.inputs.size());
+  ASSERT_EQ(before.modes.size(), after.modes.size());
+  EXPECT_EQ(before.modes[0].latency, after.modes[0].latency);
+  // Rates preserved under edge remapping.
+  for (std::size_t i = 0; i < before.inputs.size(); ++i) {
+    EXPECT_EQ(before.modes[0].consumption_on(before.inputs[i]),
+              after.modes[0].consumption_on(after.inputs[i]));
+  }
+}
+
+TEST(CloneExcluding, TagIdsStable) {
+  const VariantModel model = models::make_fig3();
+  const GraphClone clone = clone_excluding(model.graph(), {}, {});
+  EXPECT_EQ(clone.graph.tags().find("V1"), model.graph().tags().find("V1"));
+  EXPECT_EQ(clone.graph.tags().find("V2"), model.graph().tags().find("V2"));
+}
+
+}  // namespace
+}  // namespace spivar::variant

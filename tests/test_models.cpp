@@ -1,0 +1,176 @@
+// Sanity tests over the model zoo: every paper model validates and behaves.
+#include <gtest/gtest.h>
+
+#include "analysis/structure.hpp"
+#include "models/fig1.hpp"
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "models/synthetic.hpp"
+#include "sim/engine.hpp"
+#include "spi/validate.hpp"
+#include "synth/from_model.hpp"
+#include "variant/flatten.hpp"
+#include "variant/validate.hpp"
+
+namespace spivar::models {
+namespace {
+
+using support::Duration;
+
+TEST(ModelsFig1, Validates) {
+  const auto diags = spi::validate(make_fig1());
+  EXPECT_FALSE(diags.has_errors()) << diags;
+}
+
+TEST(ModelsFig1, OptionsRespected) {
+  const spi::Graph g = make_fig1({.tag = 'b', .source_period = Duration::millis(5),
+                                  .source_firings = 7});
+  const spi::Process& src = g.process(*g.find_process("PSrc"));
+  EXPECT_EQ(src.min_period, Duration::millis(5));
+  EXPECT_EQ(src.max_firings, 7);
+}
+
+TEST(ModelsFig2, StructureMatchesPaper) {
+  const variant::VariantModel m = make_fig2();
+  EXPECT_EQ(m.interface_count(), 1u);
+  EXPECT_EQ(m.cluster_count(), 2u);
+  const auto& iface = m.interface(*m.find_interface("theta"));
+  EXPECT_EQ(iface.ports.size(), 2u);
+  EXPECT_TRUE(iface.selection.empty());  // production variants
+  EXPECT_EQ(m.cluster(*m.find_cluster("cluster1")).processes.size(), 2u);
+  EXPECT_EQ(m.cluster(*m.find_cluster("cluster2")).processes.size(), 3u);
+}
+
+TEST(ModelsFig3, SelectionMachineryPresent) {
+  const variant::VariantModel m = make_fig3();
+  const auto& iface = m.interface(*m.find_interface("theta"));
+  EXPECT_EQ(iface.ports.size(), 3u);  // i, o, v
+  EXPECT_EQ(iface.selection.size(), 2u);
+  EXPECT_EQ(iface.conf_latency(*m.find_cluster("cluster1")), Duration::millis(2));
+  EXPECT_EQ(iface.conf_latency(*m.find_cluster("cluster2")), Duration::millis(3));
+}
+
+TEST(ModelsFig3, BadUserChoiceRejected) {
+  Fig3Options options;
+  options.user_choice = 3;
+  EXPECT_THROW(make_fig3(options), support::ModelError);
+}
+
+TEST(ModelsTv, ValidatesAndLinks) {
+  const variant::VariantModel m = make_multistandard_tv();
+  const auto diags = variant::validate_variants(m);
+  EXPECT_FALSE(diags.has_errors()) << diags;
+  EXPECT_EQ(m.interface_count(), 2u);
+  EXPECT_EQ(m.cluster_count(), 6u);
+  EXPECT_EQ(m.linked_group(*m.find_interface("video")).size(), 2u);
+}
+
+TEST(ModelsTv, EachRegionSimulatesItsStandard) {
+  struct Case {
+    int region;
+    const char* demod;
+  };
+  for (const Case c : {Case{0, "PPalDemod"}, Case{1, "PNtscDemod"}, Case{2, "PSecamDemod"}}) {
+    const variant::VariantModel m = make_multistandard_tv({.region = c.region, .frames = 10});
+    sim::SimResult r = sim::Simulator{m}.run();
+    EXPECT_GT(r.process(*m.graph().find_process(c.demod)).firings, 0)
+        << "region " << c.region;
+    // Display and speaker ran regardless of region.
+    EXPECT_GT(r.process(*m.graph().find_process("PDisplay")).firings, 0);
+    EXPECT_GT(r.process(*m.graph().find_process("PSpeaker")).firings, 0);
+  }
+}
+
+TEST(ModelsTv, LibraryCoversClusterAtomicProblem) {
+  const variant::VariantModel m = make_multistandard_tv();
+  const synth::SynthesisProblem problem = synth::problem_from_model(m);
+  const synth::ImplLibrary lib = tv_library();
+  for (const std::string& e : problem.element_union()) {
+    EXPECT_TRUE(lib.contains(e)) << "library misses " << e;
+  }
+  EXPECT_EQ(problem.apps.size(), 3u);  // linked: one app per region
+}
+
+TEST(ModelsSynthetic, GeneratorScalesStructurally) {
+  const SyntheticSpec spec{.shared_processes = 6, .interfaces = 2, .variants = 3,
+                           .cluster_size = 2, .seed = 5};
+  const variant::VariantModel m = make_synthetic(spec);
+  EXPECT_EQ(m.interface_count(), 2u);
+  EXPECT_EQ(m.cluster_count(), 6u);
+  const auto diags = variant::validate_variants(m);
+  EXPECT_FALSE(diags.has_errors()) << diags;
+  // 3 x 3 bindings (unlinked interfaces).
+  EXPECT_EQ(variant::enumerate_bindings(m).size(), 9u);
+}
+
+TEST(ModelsSynthetic, DeterministicForSeed) {
+  const SyntheticSpec spec{.seed = 33};
+  const variant::VariantModel a = make_synthetic(spec);
+  const variant::VariantModel b = make_synthetic(spec);
+  EXPECT_EQ(a.graph().process_count(), b.graph().process_count());
+  for (auto pid : a.graph().process_ids()) {
+    EXPECT_EQ(a.graph().process(pid).name, b.graph().process(pid).name);
+    EXPECT_EQ(a.graph().process(pid).modes[0].latency,
+              b.graph().process(pid).modes[0].latency);
+  }
+}
+
+TEST(ModelsSynthetic, EveryBindingSimulates) {
+  const variant::VariantModel m = make_synthetic({.shared_processes = 3, .interfaces = 1,
+                                                  .variants = 2, .cluster_size = 2});
+  for (const auto& binding : variant::enumerate_bindings(m)) {
+    const variant::VariantModel flat = variant::flatten(m, binding);
+    sim::SimResult r = sim::Simulator{flat}.run();
+    EXPECT_GT(r.total_firings, 0);
+    const auto sink = *flat.graph().find_process("sink");
+    EXPECT_GT(r.process(sink).firings, 0) << variant::binding_name(m, binding);
+  }
+}
+
+TEST(ModelsSynthetic, LibraryCoversAllProcesses) {
+  const variant::VariantModel m = make_synthetic({});
+  const synth::ImplLibrary lib = make_synthetic_library(m);
+  for (auto pid : m.graph().process_ids()) {
+    const spi::Process& p = m.graph().process(pid);
+    if (p.is_virtual) continue;
+    EXPECT_TRUE(lib.contains(p.name)) << p.name;
+    EXPECT_GT(lib.at(p.name).sw_load, 0.0);
+    EXPECT_GT(lib.at(p.name).hw_cost, 0.0);
+  }
+}
+
+TEST(ModelsProblemFromModel, ClusterAtomicVersusProcessGranularity) {
+  const variant::VariantModel m = make_fig2();
+  const auto atomic = synth::problem_from_model(
+      m, {.granularity = synth::ElementGranularity::kClusterAtomic});
+  const auto fine = synth::problem_from_model(
+      m, {.granularity = synth::ElementGranularity::kProcess});
+  ASSERT_EQ(atomic.apps.size(), 2u);
+  ASSERT_EQ(fine.apps.size(), 2u);
+  // Atomic: PA, PB, cluster_i -> 3 elements per app; union 4.
+  EXPECT_EQ(atomic.apps[0].elements.size(), 3u);
+  EXPECT_EQ(atomic.element_union().size(), 4u);
+  // Process granularity: PA, PB + 2 or 3 cluster processes.
+  EXPECT_EQ(fine.apps[0].elements.size(), 4u);
+  EXPECT_EQ(fine.apps[1].elements.size(), 5u);
+  // Virtual env processes excluded everywhere.
+  for (const auto& app : fine.apps) {
+    for (const auto& e : app.elements) {
+      EXPECT_NE(e, "PSrc");
+      EXPECT_NE(e, "PSink");
+    }
+  }
+}
+
+TEST(ModelsProblemFromModel, ElementsFollowTopologicalChainOrder) {
+  const variant::VariantModel m = make_fig2();
+  const auto problem = synth::problem_from_model(
+      m, {.granularity = synth::ElementGranularity::kClusterAtomic});
+  const auto& chain = problem.apps[0].chain;
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], "PA");
+  EXPECT_EQ(chain[2], "PB");
+}
+
+}  // namespace
+}  // namespace spivar::models

@@ -1,0 +1,216 @@
+// Cross-cutting property tests (TEST_P sweeps) tying the modules together:
+//
+//  * §4 soundness — extracted cluster parameters contain the behavior the
+//    simulator actually exhibits, across synthetic clusters and resolution
+//    policies;
+//  * simulator conservation laws across the model zoo;
+//  * textio round-trips across the model zoo;
+//  * flatten/simulate commutation over synthetic variant systems.
+#include <gtest/gtest.h>
+
+#include "models/emission_control.hpp"
+#include "models/fig1.hpp"
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "models/synthetic.hpp"
+#include "models/video_system.hpp"
+#include "sim/engine.hpp"
+#include "spi/textio.hpp"
+#include "spi/validate.hpp"
+#include "support/rng.hpp"
+#include "variant/extraction.hpp"
+#include "variant/flatten.hpp"
+
+namespace spivar {
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+
+// --- §4 soundness: extraction contains simulated behavior --------------------
+
+/// Builds a single-interface model whose cluster is a randomized chain of
+/// `procs` processes with interval rates and latencies, plus a driver that
+/// feeds the input port.
+variant::VariantModel make_random_cluster_model(std::size_t procs, std::uint64_t seed) {
+  support::SplitMix64 rng{seed};
+  variant::VariantBuilder vb{"prop"};
+  auto ci = vb.queue("ci");
+  auto co = vb.queue("co");
+
+  vb.process("src")
+      .mark_virtual()
+      .latency(DurationInterval{Duration::zero()})
+      .produces(ci, 1)
+      .min_period(Duration::millis(50))
+      .max_firings(12);
+
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", variant::PortDir::kInput, ci);
+  vb.port(iface, "o", variant::PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "c");
+    spi::ChannelId up = ci;
+    for (std::size_t i = 0; i < procs; ++i) {
+      const bool last = i + 1 == procs;
+      spi::ChannelId down = last ? co : vb.queue("m" + std::to_string(i)).id();
+      const auto lat_lo = 1 + static_cast<std::int64_t>(rng.next_below(3));
+      const auto lat_hi = lat_lo + static_cast<std::int64_t>(rng.next_below(3));
+      // Rates stay 1:1 so the chain is rate-consistent; latency varies.
+      vb.process("P" + std::to_string(i))
+          .latency(DurationInterval{Duration::millis(lat_lo), Duration::millis(lat_hi)})
+          .consumes(up, 1)
+          .produces(down, 1);
+      up = down;
+    }
+    (void)scope;
+  }
+  vb.process("sink").mark_virtual().latency(DurationInterval{Duration::zero()}).consumes(co, 1);
+  return vb.take();
+}
+
+class ExtractionSoundness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t, sim::Resolution>> {
+};
+
+TEST_P(ExtractionSoundness, ExtractedLatencyIntervalContainsSimulatedChain) {
+  const auto [procs, seed, resolution] = GetParam();
+  const variant::VariantModel model = make_random_cluster_model(procs, seed);
+  const auto summary = variant::extract_cluster(model, *model.find_cluster("c"));
+  ASSERT_EQ(summary.modes.size(), 1u);
+  const auto extracted = summary.modes[0].latency;
+
+  // Simulate the flattened variant; the source is slow enough that each
+  // token traverses the idle chain — its end-to-end time must lie inside
+  // the extracted interval.
+  const variant::VariantModel flat = variant::flatten(
+      model, {{*model.find_interface("iface"), *model.find_cluster("c")}});
+  spi::Graph g = variant::clone_excluding(flat.graph(), {}, {}).graph;
+  // Measure via a latency constraint over the chain processes.
+  spi::LatencyPathConstraint c;
+  c.name = "chain";
+  for (std::size_t i = 0; i < procs; ++i) {
+    c.path.push_back(*g.find_process("P" + std::to_string(i)));
+  }
+  c.max_total = Duration::millis(1000);
+  g.constraints().latency.push_back(c);
+
+  sim::SimOptions options;
+  options.resolution = resolution;
+  options.seed = seed;
+  sim::SimResult r = sim::Simulator{g, options}.run();
+  ASSERT_EQ(r.constraints.size(), 1u);
+  ASSERT_GT(r.constraints[0].samples, 0);
+
+  const auto observed = static_cast<Duration::rep>(r.constraints[0].observed);
+  EXPECT_LE(observed, extracted.hi().count())
+      << "simulated chain latency exceeds the extracted upper bound";
+  EXPECT_GE(observed, extracted.lo().count())
+      << "simulated chain latency undercuts the extracted lower bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomChains, ExtractionSoundness,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 6u),
+                       ::testing::Values(3u, 17u, 99u),
+                       ::testing::Values(sim::Resolution::kLowerBound,
+                                         sim::Resolution::kUpperBound,
+                                         sim::Resolution::kRandom)));
+
+// --- conservation across the model zoo -----------------------------------------
+
+enum class Zoo { kFig1A, kFig1B, kVideo, kTvPal, kEmissionEu, kSynthetic };
+
+class ConservationSweep : public ::testing::TestWithParam<Zoo> {
+ protected:
+  static spi::Graph build(Zoo which) {
+    switch (which) {
+      case Zoo::kFig1A:
+        return models::make_fig1({.tag = 'a', .source_firings = 25});
+      case Zoo::kFig1B:
+        return models::make_fig1({.tag = 'b', .source_firings = 25});
+      case Zoo::kVideo:
+        return models::make_video_system({.frames = 60, .requests = 2});
+      case Zoo::kTvPal: {
+        const variant::VariantModel m = models::make_multistandard_tv({.region = 0});
+        const auto bindings = variant::enumerate_bindings(m);
+        return variant::clone_excluding(variant::flatten(m, bindings[0]).graph(), {}, {}).graph;
+      }
+      case Zoo::kEmissionEu: {
+        const variant::VariantModel m = models::make_emission_control();
+        const auto iface = *m.find_interface("emission-law");
+        return variant::clone_excluding(
+                   variant::flatten(m, {{iface, *m.find_cluster("eu")}}).graph(), {}, {})
+            .graph;
+      }
+      case Zoo::kSynthetic: {
+        const variant::VariantModel m = models::make_synthetic({.seed = 77});
+        const auto bindings = variant::enumerate_bindings(m);
+        return variant::clone_excluding(variant::flatten(m, bindings[0]).graph(), {}, {}).graph;
+      }
+    }
+    return spi::Graph{};
+  }
+};
+
+TEST_P(ConservationSweep, QueueTokensAreConserved) {
+  const spi::Graph g = build(GetParam());
+  sim::SimResult r = sim::Simulator{g}.run();
+  EXPECT_GT(r.total_firings, 0);
+  for (auto cid : g.channel_ids()) {
+    if (g.channel(cid).kind != spi::ChannelKind::kQueue) continue;
+    const auto& stats = r.channel(cid);
+    EXPECT_EQ(stats.produced + g.channel(cid).initial_tokens,
+              stats.consumed + stats.occupancy + stats.dropped)
+        << g.channel(cid).name;
+    EXPECT_GE(stats.max_occupancy, stats.occupancy) << g.channel(cid).name;
+  }
+}
+
+TEST_P(ConservationSweep, BusyTimeNeverExceedsSpan) {
+  const spi::Graph g = build(GetParam());
+  sim::SimResult r = sim::Simulator{g}.run();
+  for (auto pid : g.process_ids()) {
+    // A process executes sequentially: total busy time fits in the run span.
+    EXPECT_LE(r.process(pid).busy.count(), r.end_time.count())
+        << g.process(pid).name;
+  }
+}
+
+TEST_P(ConservationSweep, TextioRoundTripPreservesTotals) {
+  const spi::Graph g = build(GetParam());
+  const spi::Graph reparsed = spi::parse_text(spi::write_text(g));
+  sim::SimResult ra = sim::Simulator{g}.run();
+  sim::SimResult rb = sim::Simulator{reparsed}.run();
+  EXPECT_EQ(ra.total_firings, rb.total_firings);
+  EXPECT_EQ(ra.end_time, rb.end_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, ConservationSweep,
+                         ::testing::Values(Zoo::kFig1A, Zoo::kFig1B, Zoo::kVideo, Zoo::kTvPal,
+                                           Zoo::kEmissionEu, Zoo::kSynthetic));
+
+// --- flatten/simulate agreement over synthetic variant systems -----------------
+
+class FlattenAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlattenAgreement, EveryBindingValidatesAndSinksTokens) {
+  const variant::VariantModel model = models::make_synthetic(
+      {.shared_processes = 4, .interfaces = 2, .variants = 2, .cluster_size = 2,
+       .seed = GetParam()});
+  for (const auto& binding : variant::enumerate_bindings(model)) {
+    const variant::VariantModel flat = variant::flatten(model, binding);
+    const auto diags = spi::validate(flat.graph());
+    EXPECT_FALSE(diags.has_errors())
+        << variant::binding_name(model, binding) << "\n" << diags;
+    sim::SimResult r = sim::Simulator{flat}.run();
+    EXPECT_GT(r.process(*flat.graph().find_process("sink")).firings, 0)
+        << variant::binding_name(model, binding);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlattenAgreement, ::testing::Values(1u, 5u, 23u, 40u, 41u));
+
+}  // namespace
+}  // namespace spivar

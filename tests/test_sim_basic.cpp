@@ -1,0 +1,289 @@
+// Simulator tests: token flow, channel semantics, pacing, limits.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "spi/builder.hpp"
+
+namespace spivar::sim {
+namespace {
+
+using spi::GraphBuilder;
+using spi::Predicate;
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+using support::TimePoint;
+
+DurationInterval ms(std::int64_t v) { return DurationInterval{Duration::millis(v)}; }
+
+TEST(SimBasic, SingleFiringMovesTokens) {
+  GraphBuilder b;
+  auto cin = b.queue("cin").initial(1);
+  auto cout = b.queue("cout");
+  b.process("p").latency(ms(2)).consumes(cin, 1).produces(cout, 3);
+
+  const spi::Graph g = b.take();
+  SimResult r = Simulator{g}.run();
+
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_EQ(r.total_firings, 1);
+  EXPECT_EQ(r.end_time, TimePoint{2000});
+  EXPECT_EQ(r.channel(cin).consumed, 1);
+  EXPECT_EQ(r.channel(cin).occupancy, 0);
+  EXPECT_EQ(r.channel(cout).produced, 3);
+  EXPECT_EQ(r.channel(cout).occupancy, 3);
+}
+
+TEST(SimBasic, ChainPipelinesSequentially) {
+  GraphBuilder b;
+  auto c0 = b.queue("c0").initial(1);
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  b.process("a").latency(ms(1)).consumes(c0, 1).produces(c1, 1);
+  b.process("bb").latency(ms(2)).consumes(c1, 1).produces(c2, 1);
+
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 2);
+  EXPECT_EQ(r.end_time, TimePoint{3000});  // 1ms + 2ms
+}
+
+TEST(SimBasic, TokenConservationOnEveryChannel) {
+  // produced + initial == consumed + occupancy for queues.
+  GraphBuilder b;
+  auto c0 = b.queue("c0").initial(5);
+  auto c1 = b.queue("c1");
+  b.process("p").latency(ms(1)).consumes(c0, 2).produces(c1, 3);
+  b.process("q").latency(ms(1)).consumes(c1, 1);
+  const spi::Graph g = b.take();
+  SimResult r = Simulator{g}.run();
+
+  for (auto cid : g.channel_ids()) {
+    const auto& stats = r.channel(cid);
+    EXPECT_EQ(stats.produced + g.channel(cid).initial_tokens,
+              stats.consumed + stats.occupancy + stats.dropped)
+        << "channel " << g.channel(cid).name;
+  }
+}
+
+TEST(SimBasic, SourcePacingRespectsMinPeriod) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  b.process("src")
+      .latency(ms(0))
+      .produces(c, 1)
+      .min_period(Duration::millis(10))
+      .max_firings(5);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 5);
+  // Releases at 0,10,20,30,40 ms.
+  EXPECT_EQ(r.end_time, TimePoint{40'000});
+  EXPECT_EQ(r.channel(c).produced, 5);
+}
+
+TEST(SimBasic, MaxFiringsStopsProcess) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(10);
+  b.process("p").latency(ms(1)).consumes(c, 1).max_firings(3);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 3);
+  EXPECT_EQ(r.channel(c).occupancy, 7);
+  EXPECT_TRUE(r.quiescent);
+}
+
+TEST(SimBasic, CapacityBackPressureBlocksProducer) {
+  GraphBuilder b;
+  auto c = b.queue("c").capacity(2);
+  // Unpaced source would fill the queue; with nobody consuming, it stops
+  // after the queue is full.
+  b.process("src").latency(ms(1)).produces(c, 1).max_firings(100);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.channel(c).occupancy, 2);
+  EXPECT_EQ(r.total_firings, 2);
+  EXPECT_TRUE(r.quiescent);
+}
+
+TEST(SimBasic, RegisterOverwriteKeepsLastValue) {
+  GraphBuilder b;
+  auto reg = b.reg("state");
+  auto c = b.queue("c").initial(3);
+  auto p = b.process("writer");
+  p.mode("w").latency(ms(1)).consume(c, 1).produce(reg, 1, {"v"});
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 3);
+  EXPECT_EQ(r.channel(reg).occupancy, 1);       // destructive write
+  EXPECT_EQ(r.channel(reg).max_occupancy, 1);
+  EXPECT_EQ(r.channel(reg).produced, 3);
+}
+
+TEST(SimBasic, RegisterReadIsNonDestructive) {
+  GraphBuilder b;
+  auto reg = b.reg("state").initial(1, {"go"});
+  auto out = b.queue("out");
+  auto p = b.process("reader");
+  p.mode("m").latency(ms(1)).consume(reg, 1).produce(out, 1);
+  p.rule("r", Predicate::has_tag(reg, b.tag("go")), "m");
+  p.max_firings(4);
+  SimResult r = Simulator{b.take()}.run();
+  // The register token persists: the process fires until max_firings.
+  EXPECT_EQ(r.total_firings, 4);
+  EXPECT_EQ(r.channel(reg).occupancy, 1);
+  EXPECT_EQ(r.channel(out).produced, 4);
+}
+
+TEST(SimBasic, QuiescenceWithoutTokens) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  b.process("starved").latency(ms(1)).consumes(c, 1);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_EQ(r.total_firings, 0);
+  EXPECT_EQ(r.end_time, TimePoint::zero());
+}
+
+TEST(SimBasic, TotalFiringLimitReported) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(1);
+  // Zero-latency self-sustaining loop: consumes one, produces one.
+  b.process("loop").latency(ms(0)).consumes(c, 1).produces(c, 1);
+  SimOptions options;
+  options.max_total_firings = 50;
+  SimResult r = Simulator{b.take(), options}.run();
+  EXPECT_TRUE(r.hit_limit);
+  EXPECT_FALSE(r.quiescent);
+  EXPECT_EQ(r.total_firings, 50);
+}
+
+TEST(SimBasic, MaxTimeStopsNewFirings) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  b.process("src").latency(ms(0)).produces(c, 1).min_period(Duration::millis(10)).max_firings(
+      1000);
+  SimOptions options;
+  options.max_time = TimePoint{35'000};  // 35 ms
+  SimResult r = Simulator{b.take(), options}.run();
+  EXPECT_EQ(r.channel(c).produced, 4);  // t = 0, 10, 20, 30 ms
+}
+
+TEST(SimBasic, RunTwiceThrows) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(1);
+  b.process("p").latency(ms(1)).consumes(c, 1);
+  const spi::Graph g = b.take();  // must outlive the simulator
+  Simulator sim{g};
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), support::ModelError);
+}
+
+TEST(SimBasic, MultiTokenRatesMoveInBlocks) {
+  GraphBuilder b;
+  auto cin = b.queue("cin").initial(6);
+  auto cout = b.queue("cout");
+  b.process("p").latency(ms(1)).consumes(cin, 2).produces(cout, 5);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 3);
+  EXPECT_EQ(r.channel(cout).produced, 15);
+}
+
+TEST(SimBasic, MaxOccupancyTracksHighWaterMark) {
+  GraphBuilder b;
+  auto cin = b.queue("cin").initial(1);
+  auto mid = b.queue("mid");
+  b.process("burst").latency(ms(1)).consumes(cin, 1).produces(mid, 10);
+  b.process("drain").latency(ms(1)).consumes(mid, 2);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.channel(mid).max_occupancy, 10);
+  EXPECT_EQ(r.channel(mid).occupancy, 0);
+}
+
+TEST(SimBasic, TraceRecordsFireAndComplete) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(1);
+  b.process("p").latency(ms(2)).consumes(c, 1);
+  SimOptions options;
+  options.record_trace = true;
+  SimResult r = Simulator{b.take(), options}.run();
+
+  const auto fires = r.trace.of_kind(TraceKind::kFire);
+  const auto completes = r.trace.of_kind(TraceKind::kComplete);
+  ASSERT_EQ(fires.size(), 1u);
+  ASSERT_EQ(completes.size(), 1u);
+  EXPECT_EQ(fires[0].subject, "p");
+  EXPECT_EQ(fires[0].time, TimePoint::zero());
+  EXPECT_EQ(completes[0].time, TimePoint{2000});
+}
+
+TEST(SimBasic, TraceOffByDefault) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(1);
+  b.process("p").latency(ms(1)).consumes(c, 1);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_TRUE(r.trace.events().empty());
+}
+
+// Determinism sweep over resolution policies and seeds.
+class SimDeterminism : public ::testing::TestWithParam<std::tuple<Resolution, std::uint64_t>> {};
+
+TEST_P(SimDeterminism, IdenticalRunsProduceIdenticalResults) {
+  const auto [resolution, seed] = GetParam();
+  auto build = [] {
+    GraphBuilder b;
+    auto cin = b.queue("cin").initial(20);
+    auto cout = b.queue("cout");
+    b.process("p")
+        .latency(DurationInterval{Duration::millis(1), Duration::millis(4)})
+        .consumes(cin, Interval{1, 2})
+        .produces(cout, Interval{1, 3});
+    b.process("q").latency(DurationInterval{Duration::millis(1)}).consumes(cout, 1);
+    return b.take();
+  };
+  SimOptions options;
+  options.resolution = resolution;
+  options.seed = seed;
+
+  const spi::Graph g1 = build();
+  const spi::Graph g2 = build();
+  SimResult r1 = Simulator{g1, options}.run();
+  SimResult r2 = Simulator{g2, options}.run();
+
+  EXPECT_EQ(r1.total_firings, r2.total_firings);
+  EXPECT_EQ(r1.end_time, r2.end_time);
+  for (auto cid : g1.channel_ids()) {
+    EXPECT_EQ(r1.channel(cid).produced, r2.channel(cid).produced);
+    EXPECT_EQ(r1.channel(cid).occupancy, r2.channel(cid).occupancy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, SimDeterminism,
+    ::testing::Combine(::testing::Values(Resolution::kLowerBound, Resolution::kUpperBound,
+                                         Resolution::kRandom),
+                       ::testing::Values(1u, 7u, 12345u)));
+
+TEST(SimResolution, LowerAndUpperBoundsBracketTokenCounts) {
+  auto run = [](Resolution res) {
+    GraphBuilder b;
+    auto cin = b.queue("cin").initial(12);
+    auto cout = b.queue("cout");
+    b.process("p")
+        .latency(DurationInterval{Duration::millis(1)})
+        .consumes(cin, Interval{1, 3})
+        .produces(cout, Interval{2, 5});
+    SimOptions options;
+    options.resolution = res;
+    options.seed = 3;
+    return Simulator{b.take(), options}.run();
+  };
+  const SimResult lo = run(Resolution::kLowerBound);
+  const SimResult hi = run(Resolution::kUpperBound);
+  const SimResult rnd = run(Resolution::kRandom);
+
+  // Lower bound: 12 firings consuming 1 each, producing 2 each.
+  EXPECT_EQ(lo.total_firings, 12);
+  // Upper bound: 4 firings consuming 3 each, producing 5 each.
+  EXPECT_EQ(hi.total_firings, 4);
+  EXPECT_GE(rnd.total_firings, hi.total_firings);
+  EXPECT_LE(rnd.total_firings, lo.total_firings);
+}
+
+}  // namespace
+}  // namespace spivar::sim

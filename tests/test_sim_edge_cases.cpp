@@ -1,0 +1,209 @@
+// Simulator edge cases: same-timestamp cascades, trace truncation, pacing
+// interactions, selection-token semantics, interface boot states.
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "sim/engine.hpp"
+#include "spi/builder.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::sim {
+namespace {
+
+using spi::GraphBuilder;
+using spi::Predicate;
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+using support::TimePoint;
+
+DurationInterval ms(std::int64_t v) { return DurationInterval{Duration::millis(v)}; }
+
+TEST(SimEdge, ZeroLatencyCascadeCompletesInOneInstant) {
+  // Three zero-latency stages: the whole chain fires at t=0.
+  GraphBuilder b;
+  auto c0 = b.queue("c0").initial(1);
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  b.process("a").latency(ms(0)).consumes(c0, 1).produces(c1, 1);
+  b.process("bb").latency(ms(0)).consumes(c1, 1).produces(c2, 1);
+  b.process("cc").latency(ms(0)).consumes(c2, 1);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 3);
+  EXPECT_EQ(r.end_time, TimePoint::zero());
+  EXPECT_TRUE(r.quiescent);
+}
+
+TEST(SimEdge, TraceTruncatesAtLimit) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(50);
+  b.process("p").latency(ms(1)).consumes(c, 1);
+  SimOptions options;
+  options.record_trace = true;
+  options.trace_limit = 10;
+  SimResult r = Simulator{b.take(), options}.run();
+  EXPECT_EQ(r.trace.events().size(), 10u);
+  EXPECT_TRUE(r.trace.truncated());
+  EXPECT_EQ(r.total_firings, 50);  // simulation itself unaffected
+}
+
+TEST(SimEdge, PacedConsumerThrottlesThroughput) {
+  // The consumer has data available continuously but may only release every
+  // 10 ms.
+  GraphBuilder b;
+  auto c = b.queue("c").initial(5);
+  b.process("p").latency(ms(1)).consumes(c, 1).min_period(Duration::millis(10));
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 5);
+  // Releases at 0,10,20,30,40; last completion at 41ms.
+  EXPECT_EQ(r.end_time, TimePoint{41'000});
+}
+
+TEST(SimEdge, RandomResolutionClampsToAvailability) {
+  // Random draws from [1,5] but only 3 tokens exist: consumption clamps, no
+  // underflow, conservation holds.
+  GraphBuilder b;
+  auto c = b.queue("c").initial(3);
+  b.process("p").latency(ms(1)).consumes(c, Interval{1, 5});
+  SimOptions options;
+  options.resolution = Resolution::kRandom;
+  options.seed = 1234;
+  const spi::Graph g = b.take();
+  SimResult r = Simulator{g, options}.run();
+  EXPECT_EQ(r.channel(*g.find_channel("c")).consumed +
+                r.channel(*g.find_channel("c")).occupancy,
+            3);
+}
+
+TEST(SimEdge, ProductionClampsToCapacity) {
+  GraphBuilder b;
+  auto cin = b.queue("cin").initial(1);
+  auto bounded = b.queue("bounded").capacity(3);
+  b.process("burst").latency(ms(1)).consumes(cin, 1).produces(bounded, Interval{2, 10});
+  SimOptions options;
+  options.resolution = Resolution::kUpperBound;
+  const spi::Graph g = b.take();
+  SimResult r = Simulator{g, options}.run();
+  // 10 requested, 3 delivered (capacity), none lost silently from stats.
+  EXPECT_EQ(r.channel(*g.find_channel("bounded")).produced, 3);
+  EXPECT_EQ(r.channel(*g.find_channel("bounded")).occupancy, 3);
+}
+
+TEST(SimEdge, RuleOnEmptyRegisterIsDisabled) {
+  GraphBuilder b;
+  auto reg = b.reg("state");  // starts empty
+  auto c = b.queue("c").initial(1);
+  auto p = b.process("p");
+  p.mode("m").latency(ms(1)).consume(c, 1);
+  p.input(reg);
+  p.rule("r", Predicate::has_tag(reg, b.tag("go")), "m");
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 0);
+}
+
+TEST(SimEdge, SelfLoopRegisterStateMachine) {
+  // Classic PControl pattern: a process alternating between two modes via
+  // its own state register.
+  GraphBuilder b;
+  auto state = b.reg("state").initial(1, {"ping"});
+  auto c = b.queue("c").initial(6);
+  auto p = b.process("p");
+  p.mode("ping").latency(ms(1)).consume(c, 1).produce(state, 1, {"pong"});
+  p.mode("pong").latency(ms(1)).consume(c, 1).produce(state, 1, {"ping"});
+  p.input(state);
+  p.rule("r1", Predicate::has_tag(state, b.tag("ping")), "ping");
+  p.rule("r2", Predicate::has_tag(state, b.tag("pong")), "pong");
+  const spi::Graph g = b.take();
+  SimResult r = Simulator{g}.run();
+  const auto pid = *g.find_process("p");
+  EXPECT_EQ(r.process(pid).firings_in_mode(0), 3);
+  EXPECT_EQ(r.process(pid).firings_in_mode(1), 3);
+}
+
+TEST(SimEdge, InterfaceWithInitialClusterSkipsBootLatency) {
+  variant::VariantModel model = models::make_fig3({{}, 1});
+  const auto iface = *model.find_interface("theta");
+  model.interface(iface).initial = *model.find_cluster("cluster1");
+  SimResult r = Simulator{model}.run();
+  // Pre-configured: the V1 selection matches `cur`, no reconfiguration.
+  EXPECT_EQ(r.interfaces.at(iface).reconfigurations, 0);
+  EXPECT_GT(r.process(*model.graph().find_process("P1a")).firings, 0);
+}
+
+TEST(SimEdge, InitialClusterOverriddenBySelection) {
+  variant::VariantModel model = models::make_fig3({{}, 2});  // user wants V2
+  const auto iface = *model.find_interface("theta");
+  model.interface(iface).initial = *model.find_cluster("cluster1");
+  SimResult r = Simulator{model}.run();
+  // Booted as cluster1, user selects cluster2: one replacement, t_conf2.
+  EXPECT_EQ(r.interfaces.at(iface).reconfigurations, 1);
+  EXPECT_EQ(r.interfaces.at(iface).reconfig_time, Duration::millis(3));
+  EXPECT_EQ(r.process(*model.graph().find_process("P1a")).firings, 0);
+  EXPECT_GT(r.process(*model.graph().find_process("P2a")).firings, 0);
+}
+
+TEST(SimEdge, RegisterSelectionTokenPersists) {
+  // Run-time variants: with consume_selection_token=false (default), the
+  // selection token stays and keeps the choice stable even when data keeps
+  // arriving.
+  const variant::VariantModel model = models::make_fig3({{}, 1});
+  SimResult r = Simulator{model}.run();
+  EXPECT_EQ(r.channel(*model.graph().find_channel("CV")).occupancy, 1);
+  const auto iface = *model.find_interface("theta");
+  EXPECT_EQ(r.interfaces.at(iface).selections, 1);
+}
+
+TEST(SimEdge, MaxTimeZeroStillFiresInstantly) {
+  GraphBuilder b;
+  auto c = b.queue("c").initial(1);
+  b.process("p").latency(ms(0)).consumes(c, 1);
+  SimOptions options;
+  options.max_time = TimePoint::zero();
+  SimResult r = Simulator{b.take(), options}.run();
+  EXPECT_EQ(r.total_firings, 1);  // t=0 firings are within the budget
+}
+
+TEST(SimEdge, TwoInputJoinWaitsForBoth) {
+  GraphBuilder b;
+  auto left = b.queue("left").initial(1);
+  auto right = b.queue("right");
+  auto out = b.queue("out");
+  b.process("join").latency(ms(1)).consumes(left, 1).consumes(right, 1).produces(out, 1);
+  b.process("feeder")
+      .latency(ms(5))
+      .consumes(b.queue("seed").initial(1), 1)
+      .produces(right, 1);
+  const spi::Graph g = b.take();
+  SimResult r = Simulator{g}.run();
+  // Join can only fire after the feeder delivers at 5ms.
+  EXPECT_EQ(r.process(*g.find_process("join")).firings, 1);
+  EXPECT_EQ(r.end_time, TimePoint{6'000});
+}
+
+TEST(SimEdge, ModeWithoutConsumptionFiresOnRegisterCondition) {
+  // A pure producer gated by a register condition (PUser pattern).
+  GraphBuilder b;
+  auto gate = b.reg("gate").initial(1, {"open"});
+  auto out = b.queue("out");
+  auto p = b.process("p");
+  p.mode("emit").latency(ms(1)).produce(out, 1);
+  p.input(gate);
+  p.rule("r", Predicate::has_tag(gate, b.tag("open")), "emit");
+  p.max_firings(4);
+  SimResult r = Simulator{b.take()}.run();
+  EXPECT_EQ(r.total_firings, 4);
+}
+
+TEST(SimEdge, InterfaceStatsAbsentWithoutInterfaces) {
+  const spi::Graph g = [] {
+    GraphBuilder b;
+    auto c = b.queue("c").initial(1);
+    b.process("p").latency(ms(1)).consumes(c, 1);
+    return b.take();
+  }();
+  SimResult r = Simulator{g}.run();
+  EXPECT_TRUE(r.interfaces.empty());
+}
+
+}  // namespace
+}  // namespace spivar::sim

@@ -1,0 +1,236 @@
+// Interface-aware simulation: cluster selection (Def. 3), configuration
+// latency, termination of running clusters, and internal-buffer data loss.
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "sim/engine.hpp"
+#include "variant/extraction.hpp"
+#include "variant/flatten.hpp"
+
+namespace spivar::sim {
+namespace {
+
+using support::Duration;
+using support::TimePoint;
+using variant::PortDir;
+using variant::VariantBuilder;
+using variant::VariantModel;
+
+TEST(SimVariant, Fig3SelectsCluster1OnV1) {
+  const VariantModel model = models::make_fig3({{}, 1});
+  SimOptions options;
+  options.record_trace = true;
+  SimResult r = Simulator{model, options}.run();
+
+  const auto iface = *model.find_interface("theta");
+  const auto& istats = r.interfaces.at(iface);
+  EXPECT_EQ(istats.selections, 1);
+  EXPECT_EQ(istats.reconfigurations, 1);  // boot configuration
+  EXPECT_EQ(istats.reconfig_time, Duration::millis(2));
+
+  // Cluster 1 ran, cluster 2 never did.
+  EXPECT_GT(r.process(*model.graph().find_process("P1a")).firings, 0);
+  EXPECT_GT(r.process(*model.graph().find_process("P1b")).firings, 0);
+  EXPECT_EQ(r.process(*model.graph().find_process("P2a")).firings, 0);
+
+  const auto selects = r.trace.of_kind(TraceKind::kSelect);
+  ASSERT_EQ(selects.size(), 1u);
+  EXPECT_EQ(selects[0].detail, "cluster1");
+}
+
+TEST(SimVariant, Fig3SelectsCluster2OnV2) {
+  const VariantModel model = models::make_fig3({{}, 2});
+  SimResult r = Simulator{model}.run();
+  EXPECT_EQ(r.process(*model.graph().find_process("P1a")).firings, 0);
+  EXPECT_GT(r.process(*model.graph().find_process("P2a")).firings, 0);
+  const auto iface = *model.find_interface("theta");
+  EXPECT_EQ(r.interfaces.at(iface).reconfig_time, Duration::millis(3));
+}
+
+TEST(SimVariant, RunTimeVariantMatchesFlattenedSimulation) {
+  // Key property: simulating the run-time-selected model must process the
+  // same number of stream tokens as the production-flattened model (modulo
+  // the configuration latency at boot).
+  for (int choice : {1, 2}) {
+    const VariantModel dynamic_model = models::make_fig3({{}, choice});
+    SimResult dynamic_run = Simulator{dynamic_model}.run();
+
+    const VariantModel fig2 = models::make_fig2();
+    const auto iface = *fig2.find_interface("theta");
+    const auto cluster =
+        *fig2.find_cluster(choice == 1 ? "cluster1" : "cluster2");
+    const VariantModel flat = variant::flatten(fig2, {{iface, cluster}});
+    SimResult flat_run = Simulator{flat}.run();
+
+    const auto d_pb = *dynamic_model.graph().find_process("PB");
+    const auto f_pb = *flat.graph().find_process("PB");
+    EXPECT_EQ(dynamic_run.process(d_pb).firings, flat_run.process(f_pb).firings)
+        << "choice " << choice;
+  }
+}
+
+TEST(SimVariant, UnselectedInterfaceBlocksBothClusters) {
+  // No PUser token: the interface never configures; stream tokens pile up at
+  // the ports.
+  VariantModel model = models::make_fig3({{}, 1});
+  // Remove the user's token by silencing PUser.
+  model.graph().process(*model.graph().find_process("PUser")).max_firings = 0;
+  SimResult r = Simulator{model}.run();
+  EXPECT_EQ(r.process(*model.graph().find_process("P1a")).firings, 0);
+  EXPECT_EQ(r.process(*model.graph().find_process("P2a")).firings, 0);
+  EXPECT_GT(r.channel(*model.graph().find_channel("Ci")).occupancy, 0);
+}
+
+/// A dynamic-selection model: a controller writes alternating requests into
+/// a queue the interface consumes from.
+VariantModel make_dynamic_switcher(int requests, Duration t_conf,
+                                   Duration work_latency = Duration::millis(8)) {
+  VariantBuilder vb{"switcher"};
+  auto ci = vb.queue("ci");
+  auto co = vb.queue("co");
+  auto cv = vb.queue("cv");
+
+  vb.process("src")
+      .latency(support::DurationInterval{Duration::zero()})
+      .produces(ci, 1)
+      .min_period(Duration::millis(5))
+      .max_firings(40)
+      .mark_virtual();
+
+  // Driver alternates V1/V2 requests.
+  auto seed = vb.reg("seed").initial(1, {"odd"});
+  auto drv = vb.process("drv").mark_virtual();
+  drv.mode("sendV1")
+      .latency(support::DurationInterval{Duration::zero()})
+      .produce(cv, 1, {"V1"})
+      .produce(seed, 1, {"even"});
+  drv.mode("sendV2")
+      .latency(support::DurationInterval{Duration::zero()})
+      .produce(cv, 1, {"V2"})
+      .produce(seed, 1, {"odd"});
+  drv.input(seed);
+  drv.rule("odd", spi::Predicate::has_tag(seed, vb.tag("odd")), "sendV1");
+  drv.rule("even", spi::Predicate::has_tag(seed, vb.tag("even")), "sendV2");
+  drv.min_period(Duration::millis(50)).max_firings(requests);
+
+  auto iface = vb.interface("dyn");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  vb.port(iface, "v", PortDir::kInput, cv);
+  {
+    auto scope = vb.begin_cluster(iface, "cl1");
+    auto mid = vb.queue("cl1mid");
+    // W1a is much faster than W1b, so tokens accumulate on the internal
+    // channel — the data that is lost when the cluster is replaced.
+    const Duration fast{std::max<Duration::rep>(work_latency.count() / 4, 1000)};
+    vb.process("W1a")
+        .latency(support::DurationInterval{fast})
+        .consumes(ci, 1)
+        .produces(mid, 1);
+    vb.process("W1b")
+        .latency(support::DurationInterval{work_latency})
+        .consumes(mid, 1)
+        .produces(co, 1);
+    (void)scope;
+  }
+  {
+    auto scope = vb.begin_cluster(iface, "cl2");
+    vb.process("W2")
+        .latency(support::DurationInterval{work_latency})
+        .consumes(ci, 1)
+        .produces(co, 1);
+    (void)scope;
+  }
+  vb.selection_rule(iface, "s1", spi::Predicate::has_tag(cv, vb.tag("V1")), "cl1");
+  vb.selection_rule(iface, "s2", spi::Predicate::has_tag(cv, vb.tag("V2")), "cl2");
+  vb.t_conf(iface, "cl1", t_conf);
+  vb.t_conf(iface, "cl2", t_conf);
+  vb.consume_selection_token(iface);
+
+  vb.process("sink")
+      .mark_virtual()
+      .latency(support::DurationInterval{Duration::zero()})
+      .consumes(co, 1);
+  return vb.take();
+}
+
+TEST(SimVariant, DynamicSwitchingReplacesClusters) {
+  const VariantModel model = make_dynamic_switcher(4, Duration::millis(2));
+  SimOptions options;
+  options.record_trace = true;
+  SimResult r = Simulator{model, options}.run();
+
+  const auto iface = *model.find_interface("dyn");
+  const auto& istats = r.interfaces.at(iface);
+  // V1 (boot), V2, V1, V2: four reconfigurations.
+  EXPECT_EQ(istats.reconfigurations, 4);
+  EXPECT_EQ(istats.reconfig_time, Duration::millis(8));
+  EXPECT_GT(r.process(*model.graph().find_process("W1a")).firings, 0);
+  EXPECT_GT(r.process(*model.graph().find_process("W2")).firings, 0);
+}
+
+TEST(SimVariant, ReplacementDropsInternalChannelData) {
+  // Long work latency ensures a token sits on the internal channel 'cl1mid'
+  // when the V2 request arrives: the replacement must drop it.
+  const VariantModel model = make_dynamic_switcher(2, Duration::millis(1),
+                                                   /*work_latency=*/Duration::millis(30));
+  SimOptions options;
+  options.record_trace = true;
+  SimResult r = Simulator{model, options}.run();
+
+  const auto mid = *model.graph().find_channel("cl1mid");
+  EXPECT_GT(r.channel(mid).dropped, 0);
+  EXPECT_FALSE(r.trace.of_kind(TraceKind::kDrop).empty());
+}
+
+TEST(SimVariant, ReplacementCancelsRunningExecutions) {
+  const VariantModel model = make_dynamic_switcher(2, Duration::millis(1),
+                                                   /*work_latency=*/Duration::millis(40));
+  SimOptions options;
+  options.record_trace = true;
+  SimResult r = Simulator{model, options}.run();
+
+  const std::int64_t cancelled = r.process(*model.graph().find_process("W1a")).cancelled +
+                                 r.process(*model.graph().find_process("W1b")).cancelled;
+  EXPECT_GT(cancelled, 0);
+  EXPECT_FALSE(r.trace.of_kind(TraceKind::kCancel).empty());
+}
+
+TEST(SimVariant, FrozenDuringReconfiguration) {
+  // During the (long) reconfiguration, neither cluster processes stream
+  // tokens; afterwards the new cluster catches up.
+  const VariantModel model = make_dynamic_switcher(2, Duration::millis(100));
+  SimResult r = Simulator{model}.run();
+  const auto iface = *model.find_interface("dyn");
+  EXPECT_EQ(r.interfaces.at(iface).reconfigurations, 2);
+  // Work still completed after the switch.
+  EXPECT_GT(r.process(*model.graph().find_process("W2")).firings, 0);
+}
+
+TEST(SimVariant, AbstractedModelAgreesWithClusterLevelOnStreamCounts) {
+  // §4's central claim: the abstraction (interface -> process with
+  // configurations) preserves the external behavior. Compare PB's firing
+  // count between cluster-level and abstracted simulation of Figure 3.
+  for (int choice : {1, 2}) {
+    const VariantModel model = models::make_fig3({{}, choice});
+    SimResult cluster_level = Simulator{model}.run();
+
+    const variant::AbstractionResult abs =
+        variant::abstract_interface(model, *model.find_interface("theta"));
+    SimResult abstracted = Simulator{abs.model}.run();
+
+    const auto pb_cluster = *model.graph().find_process("PB");
+    const auto pb_abs = *abs.model.graph().find_process("PB");
+    EXPECT_EQ(cluster_level.process(pb_cluster).firings,
+              abstracted.process(pb_abs).firings)
+        << "choice " << choice;
+
+    // The abstract process pays the same configuration latency.
+    const auto pv = abs.abstract_process;
+    EXPECT_EQ(abstracted.process(pv).reconfig_time,
+              choice == 1 ? Duration::millis(2) : Duration::millis(3));
+  }
+}
+
+}  // namespace
+}  // namespace spivar::sim

@@ -1,0 +1,290 @@
+// Unit tests for the SPI core: tag sets, graph structure, builder semantics.
+#include <gtest/gtest.h>
+
+#include "spi/builder.hpp"
+#include "spi/graph.hpp"
+
+namespace spivar::spi {
+namespace {
+
+using support::Duration;
+using support::Interval;
+using support::ModelError;
+
+// --- TagSet ---------------------------------------------------------------
+
+TEST(TagSet, InsertKeepsSortedUnique) {
+  TagSet set;
+  set.insert(TagId{3});
+  set.insert(TagId{1});
+  set.insert(TagId{3});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(TagId{1}));
+  EXPECT_TRUE(set.contains(TagId{3}));
+  EXPECT_FALSE(set.contains(TagId{2}));
+}
+
+TEST(TagSet, EraseRemoves) {
+  TagSet set{TagId{1}, TagId{2}};
+  set.erase(TagId{1});
+  EXPECT_FALSE(set.contains(TagId{1}));
+  EXPECT_EQ(set.size(), 1u);
+  set.erase(TagId{9});  // absent: no-op
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TagSet, SetOperations) {
+  const TagSet a{TagId{1}, TagId{2}};
+  const TagSet b{TagId{2}, TagId{3}};
+  const TagSet u = a.union_with(b);
+  EXPECT_EQ(u.size(), 3u);
+  const TagSet i = a.intersect_with(b);
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i.contains(TagId{2}));
+  EXPECT_TRUE(i.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(u));
+  EXPECT_FALSE(u.is_subset_of(a));
+}
+
+TEST(TagSet, RenderWithInterner) {
+  support::TagInterner interner;
+  const TagId a = interner.intern("a");
+  const TagId b = interner.intern("b");
+  const TagSet set{b, a};
+  EXPECT_EQ(set.to_string(interner), "{a,b}");
+}
+
+// --- Graph structure -------------------------------------------------------
+
+TEST(Graph, AddAndQueryEntities) {
+  Graph g{"test"};
+  const auto p = g.add_process(Process{.name = "p"});
+  const auto c = g.add_channel(Channel{.name = "c"});
+  EXPECT_EQ(g.process_count(), 1u);
+  EXPECT_EQ(g.channel_count(), 1u);
+  EXPECT_EQ(g.process(p).name, "p");
+  EXPECT_EQ(g.channel(c).name, "c");
+  EXPECT_EQ(g.find_process("p"), p);
+  EXPECT_EQ(g.find_channel("c"), c);
+  EXPECT_FALSE(g.find_process("missing").has_value());
+}
+
+TEST(Graph, ConnectBuildsEdgeLists) {
+  Graph g;
+  const auto p = g.add_process(Process{.name = "p"});
+  const auto q = g.add_process(Process{.name = "q"});
+  const auto c = g.add_channel(Channel{.name = "c"});
+  const auto e1 = g.connect(p, c, EdgeDir::kProcessToChannel);
+  const auto e2 = g.connect(q, c, EdgeDir::kChannelToProcess);
+
+  EXPECT_EQ(g.process(p).outputs, std::vector<support::EdgeId>{e1});
+  EXPECT_EQ(g.process(q).inputs, std::vector<support::EdgeId>{e2});
+  EXPECT_EQ(g.producer_of(c), p);
+  EXPECT_EQ(g.consumer_of(c), q);
+  EXPECT_EQ(g.successors(p), std::vector<support::ProcessId>{q});
+  EXPECT_EQ(g.predecessors(q), std::vector<support::ProcessId>{p});
+}
+
+TEST(Graph, ConnectRejectsUnknownIds) {
+  Graph g;
+  const auto c = g.add_channel(Channel{.name = "c"});
+  EXPECT_THROW(g.connect(support::ProcessId{5}, c, EdgeDir::kChannelToProcess), ModelError);
+  const auto p = g.add_process(Process{.name = "p"});
+  EXPECT_THROW(g.connect(p, support::ChannelId{9}, EdgeDir::kChannelToProcess), ModelError);
+}
+
+TEST(Graph, MultipleProducersAreStructurallyAllowed) {
+  // Needed for port channels shared by alternative clusters; the *validator*
+  // polices whether the writers are mutually exclusive.
+  Graph g;
+  const auto p = g.add_process(Process{.name = "p"});
+  const auto q = g.add_process(Process{.name = "q"});
+  const auto c = g.add_channel(Channel{.name = "c"});
+  g.connect(p, c, EdgeDir::kProcessToChannel);
+  g.connect(q, c, EdgeDir::kProcessToChannel);
+  EXPECT_EQ(g.producers_of(c).size(), 2u);
+}
+
+TEST(Graph, InputOutputEdgeLookup) {
+  Graph g;
+  const auto p = g.add_process(Process{.name = "p"});
+  const auto a = g.add_channel(Channel{.name = "a"});
+  const auto b = g.add_channel(Channel{.name = "b"});
+  const auto e_in = g.connect(p, a, EdgeDir::kChannelToProcess);
+  const auto e_out = g.connect(p, b, EdgeDir::kProcessToChannel);
+  EXPECT_EQ(g.input_edge(p, a), e_in);
+  EXPECT_EQ(g.output_edge(p, b), e_out);
+  EXPECT_FALSE(g.input_edge(p, b).has_value());
+  EXPECT_FALSE(g.output_edge(p, a).has_value());
+}
+
+// --- Builder ------------------------------------------------------------------
+
+TEST(Builder, SingleModeShorthand) {
+  GraphBuilder b{"m"};
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  b.process("p")
+      .latency(support::DurationInterval{Duration::millis(1)})
+      .consumes(c1, Interval{1, 3})
+      .produces(c2, 2);
+
+  const Graph g = b.take();
+  const auto pid = g.find_process("p");
+  ASSERT_TRUE(pid.has_value());
+  const Process& p = g.process(*pid);
+  ASSERT_EQ(p.modes.size(), 1u);
+  EXPECT_EQ(p.modes[0].name, "default");
+  EXPECT_EQ(p.modes[0].latency.lo(), Duration::millis(1));
+  ASSERT_EQ(p.inputs.size(), 1u);
+  EXPECT_EQ(p.modes[0].consumption_on(p.inputs[0]), Interval(1, 3));
+  EXPECT_EQ(p.modes[0].production_on(p.outputs[0]), Interval(2));
+}
+
+TEST(Builder, ExplicitModesAndRules) {
+  GraphBuilder b;
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  auto p = b.process("p");
+  p.mode("m1").latency(support::DurationInterval{Duration::millis(3)}).consume(c1, 1).produce(
+      c2, 2);
+  p.mode("m2").latency(support::DurationInterval{Duration::millis(5)}).consume(c1, 3).produce(
+      c2, 5);
+  p.rule("a1", Predicate::has_tag(c1, b.tag("a")), "m1");
+
+  const Graph g = b.take();
+  const Process& proc = g.process(*g.find_process("p"));
+  ASSERT_EQ(proc.modes.size(), 2u);
+  EXPECT_EQ(proc.modes[1].name, "m2");
+  ASSERT_EQ(proc.activation.size(), 1u);
+  EXPECT_EQ(proc.activation.rules()[0].mode, support::ModeId{0});
+  // Both modes reuse the same two edges.
+  EXPECT_EQ(proc.inputs.size(), 1u);
+  EXPECT_EQ(proc.outputs.size(), 1u);
+}
+
+TEST(Builder, MixingShorthandWithModesThrows) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.consumes(c, 1);
+  EXPECT_THROW(p.mode("m1"), ModelError);
+
+  auto q = b.process("q");
+  q.mode("m1").consume(c, 1);
+  EXPECT_THROW(q.latency(support::DurationInterval{Duration::millis(1)}), ModelError);
+}
+
+TEST(Builder, RuleForUnknownModeThrows) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("m1").consume(c, 1);
+  EXPECT_THROW(p.rule("r", Predicate::always(), "nope"), ModelError);
+}
+
+TEST(Builder, ConfigurationGroupsModes) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("a1").consume(c, 1);
+  p.mode("a2").consume(c, 2);
+  p.mode("b1").consume(c, 3);
+  p.configuration("confA", {"a1", "a2"}, Duration::millis(2));
+  p.configuration("confB", {"b1"}, Duration::millis(4));
+
+  const Graph g = b.take();
+  const Process& proc = g.process(*g.find_process("p"));
+  ASSERT_EQ(proc.configurations.size(), 2u);
+  EXPECT_EQ(proc.configurations[0].modes.size(), 2u);
+  EXPECT_EQ(proc.configurations[1].t_conf, Duration::millis(4));
+  EXPECT_EQ(proc.configuration_of(support::ModeId{2}), support::ConfigurationId{1});
+  EXPECT_EQ(proc.configuration_of(support::ModeId{0}), support::ConfigurationId{0});
+}
+
+TEST(Builder, ConfigurationWithUnknownModeThrows) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("m").consume(c, 1);
+  EXPECT_THROW(p.configuration("conf", {"missing"}, Duration::zero()), ModelError);
+}
+
+TEST(Builder, ChannelAttributes) {
+  GraphBuilder b;
+  auto q = b.queue("q").capacity(4).initial(2, {"x"});
+  auto r = b.reg("r").initial(1, {"v"});
+  const Graph g = b.take();
+  const Channel& qc = g.channel(q);
+  EXPECT_EQ(qc.kind, ChannelKind::kQueue);
+  EXPECT_EQ(qc.capacity, 4);
+  EXPECT_EQ(qc.initial_tokens, 2);
+  EXPECT_FALSE(qc.initial_tags.empty());
+  const Channel& rc = g.channel(r);
+  EXPECT_EQ(rc.kind, ChannelKind::kRegister);
+  EXPECT_EQ(rc.initial_tokens, 1);
+}
+
+TEST(Builder, InvalidChannelAttributesThrow) {
+  GraphBuilder b;
+  EXPECT_THROW(b.queue("q").capacity(0), ModelError);
+  EXPECT_THROW(b.queue("q2").initial(-1), ModelError);
+}
+
+TEST(Builder, VirtualAndPacingAttributes) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  b.process("src")
+      .mark_virtual()
+      .latency(support::DurationInterval{Duration::zero()})
+      .produces(c, 1)
+      .min_period(Duration::millis(10))
+      .max_firings(3);
+  const Graph g = b.take();
+  const Process& p = g.process(*g.find_process("src"));
+  EXPECT_TRUE(p.is_virtual);
+  EXPECT_EQ(p.min_period, Duration::millis(10));
+  EXPECT_EQ(p.max_firings, 3);
+}
+
+TEST(Builder, NegativePacingThrows) {
+  GraphBuilder b;
+  auto p = b.process("p");
+  EXPECT_THROW(p.min_period(Duration::micros(-5)), ModelError);
+  EXPECT_THROW(p.max_firings(-1), ModelError);
+}
+
+TEST(Builder, ConstraintsByName) {
+  GraphBuilder b;
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  b.process("a").latency(support::DurationInterval{Duration::millis(1)}).produces(c1, 1);
+  b.process("bb").latency(support::DurationInterval{Duration::millis(1)}).consumes(c1, 1).produces(
+      c2, 1);
+  b.latency_constraint("lc", {"a", "bb"}, Duration::millis(10));
+  b.throughput_constraint("tc", "c2", 1, Duration::millis(20));
+  const Graph g = b.take();
+  ASSERT_EQ(g.constraints().latency.size(), 1u);
+  ASSERT_EQ(g.constraints().throughput.size(), 1u);
+  EXPECT_EQ(g.constraints().latency[0].path.size(), 2u);
+}
+
+TEST(Builder, ConstraintUnknownNameThrows) {
+  GraphBuilder b;
+  EXPECT_THROW(b.latency_constraint("x", {"nope"}, Duration::millis(1)), ModelError);
+  EXPECT_THROW(b.throughput_constraint("y", "nochan", 1, Duration::millis(1)), ModelError);
+}
+
+TEST(Builder, ModeTagsAreInterned) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("m").produce(c, 1, {"hello"});
+  const Graph g = b.take();
+  const Process& proc = g.process(*g.find_process("p"));
+  const TagSet tags = proc.modes[0].tags_on(proc.outputs[0]);
+  EXPECT_TRUE(tags.contains(g.tags().find("hello")));
+}
+
+}  // namespace
+}  // namespace spivar::spi

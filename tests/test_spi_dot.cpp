@@ -1,0 +1,90 @@
+// Tests for the DOT exporter.
+#include <gtest/gtest.h>
+
+#include "models/fig1.hpp"
+#include "spi/builder.hpp"
+#include "spi/dot.hpp"
+
+namespace spivar::spi {
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  GraphBuilder b{"demo"};
+  auto c = b.queue("chan");
+  b.process("writer").latency(DurationInterval{Duration::millis(1)}).produces(c, 2);
+  b.process("reader").latency(DurationInterval{Duration::millis(1)}).consumes(c, 1);
+  const std::string dot = to_dot(b.take());
+
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("writer"), std::string::npos);
+  EXPECT_NE(dot.find("reader"), std::string::npos);
+  EXPECT_NE(dot.find("chan"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Rates annotated on edges.
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1\""), std::string::npos);
+}
+
+TEST(Dot, RegisterRenderedWithDoubleBorder) {
+  GraphBuilder b;
+  b.reg("state");
+  const std::string dot = to_dot(b.take());
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+}
+
+TEST(Dot, VirtualElementsDashesAndFilter) {
+  GraphBuilder b;
+  auto c = b.queue("env").mark_virtual();
+  b.process("ghost").mark_virtual().latency(DurationInterval{Duration::zero()}).produces(c, 1);
+  const Graph g = b.take();
+
+  const std::string with = to_dot(g);
+  EXPECT_NE(with.find("style=dashed"), std::string::npos);
+
+  DotOptions options;
+  options.show_virtual = false;
+  const std::string without = to_dot(g, options);
+  EXPECT_EQ(without.find("ghost"), std::string::npos);
+  EXPECT_EQ(without.find("env"), std::string::npos);
+}
+
+TEST(Dot, ModesListedInProcessLabel) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("fast").latency(DurationInterval{Duration::millis(1)}).consume(c, 1);
+  p.mode("slow").latency(DurationInterval{Duration::millis(9)}).consume(c, 1);
+  const std::string dot = to_dot(b.take());
+  EXPECT_NE(dot.find("fast"), std::string::npos);
+  EXPECT_NE(dot.find("slow"), std::string::npos);
+  EXPECT_NE(dot.find("9ms"), std::string::npos);
+}
+
+TEST(Dot, QuotesEscaped) {
+  GraphBuilder b{"a\"b"};
+  const std::string dot = to_dot(b.take());
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+TEST(Dot, InitialTokensAnnotated) {
+  GraphBuilder b;
+  b.queue("boot").initial(2);
+  const std::string dot = to_dot(b.take());
+  EXPECT_NE(dot.find("(2 init)"), std::string::npos);
+}
+
+TEST(Dot, Figure1Renders) {
+  const Graph g = models::make_fig1();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("p1"), std::string::npos);
+  EXPECT_NE(dot.find("p2"), std::string::npos);
+  EXPECT_NE(dot.find("p3"), std::string::npos);
+  EXPECT_NE(dot.find("m1"), std::string::npos);
+  EXPECT_NE(dot.find("m2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spivar::spi

@@ -1,0 +1,200 @@
+// Tests for input-token predicates and activation functions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "spi/activation.hpp"
+#include "spi/predicate.hpp"
+#include "support/diagnostics.hpp"
+#include "support/interner.hpp"
+
+namespace spivar::spi {
+namespace {
+
+using support::ChannelId;
+
+/// Test fixture implementing the channel view over a plain map.
+class FakeView final : public ChannelStateView {
+ public:
+  void set(ChannelId c, std::int64_t count, TagSet first = {}) {
+    counts_[c] = count;
+    tags_[c] = std::move(first);
+  }
+
+  [[nodiscard]] std::int64_t available(ChannelId c) const override {
+    auto it = counts_.find(c);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const TagSet* first_token_tags(ChannelId c) const override {
+    auto it = counts_.find(c);
+    if (it == counts_.end() || it->second == 0) return nullptr;
+    return &tags_.at(c);
+  }
+
+ private:
+  std::map<ChannelId, std::int64_t> counts_;
+  std::map<ChannelId, TagSet> tags_;
+};
+
+const ChannelId kC1{0};
+const ChannelId kC2{1};
+
+TEST(Predicate, AlwaysAndNever) {
+  FakeView view;
+  EXPECT_TRUE(Predicate::always().evaluate(view));
+  EXPECT_FALSE(Predicate::never().evaluate(view));
+  EXPECT_TRUE(Predicate::always().is_always());
+  EXPECT_FALSE(Predicate::never().is_always());
+}
+
+TEST(Predicate, NumAtLeast) {
+  FakeView view;
+  view.set(kC1, 2);
+  EXPECT_TRUE(Predicate::num_at_least(kC1, 1).evaluate(view));
+  EXPECT_TRUE(Predicate::num_at_least(kC1, 2).evaluate(view));
+  EXPECT_FALSE(Predicate::num_at_least(kC1, 3).evaluate(view));
+  EXPECT_TRUE(Predicate::num_at_least(kC2, 0).evaluate(view));  // empty channel, 0 needed
+}
+
+TEST(Predicate, NegativeCountRejected) {
+  EXPECT_THROW(Predicate::num_at_least(kC1, -1), support::ModelError);
+}
+
+TEST(Predicate, HasTagChecksFirstVisibleToken) {
+  FakeView view;
+  const TagId tag_a{0};
+  const TagId tag_b{1};
+  view.set(kC1, 1, TagSet{tag_a});
+  EXPECT_TRUE(Predicate::has_tag(kC1, tag_a).evaluate(view));
+  EXPECT_FALSE(Predicate::has_tag(kC1, tag_b).evaluate(view));
+  // Empty channel: no first token, predicate is false.
+  EXPECT_FALSE(Predicate::has_tag(kC2, tag_a).evaluate(view));
+}
+
+TEST(Predicate, BooleanComposition) {
+  FakeView view;
+  const TagId tag_a{0};
+  view.set(kC1, 3, TagSet{tag_a});
+
+  const auto p = Predicate::num_at_least(kC1, 1) && Predicate::has_tag(kC1, tag_a);
+  EXPECT_TRUE(p.evaluate(view));
+  const auto q = Predicate::num_at_least(kC1, 5) || Predicate::has_tag(kC1, tag_a);
+  EXPECT_TRUE(q.evaluate(view));
+  EXPECT_FALSE((!q).evaluate(view));
+  const auto r = !Predicate::num_at_least(kC1, 5) && !Predicate::has_tag(kC2, tag_a);
+  EXPECT_TRUE(r.evaluate(view));
+}
+
+TEST(Predicate, DeMorganProperty) {
+  // !(a && b) == !a || !b over all 4 truth assignments.
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      FakeView view;
+      view.set(kC1, av);
+      view.set(kC2, bv);
+      const auto a = Predicate::num_at_least(kC1, 1);
+      const auto b = Predicate::num_at_least(kC2, 1);
+      EXPECT_EQ((!(a && b)).evaluate(view), ((!a) || (!b)).evaluate(view));
+      EXPECT_EQ((!(a || b)).evaluate(view), ((!a) && (!b)).evaluate(view));
+    }
+  }
+}
+
+TEST(Predicate, ReferencedChannelsDeduplicated) {
+  const auto p = Predicate::num_at_least(kC1, 1) &&
+                 (Predicate::has_tag(kC1, TagId{0}) || Predicate::num_at_least(kC2, 2));
+  const auto channels = p.referenced_channels();
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0], kC1);
+  EXPECT_EQ(channels[1], kC2);
+}
+
+TEST(Predicate, RemapChannels) {
+  const auto p = Predicate::num_at_least(kC1, 2) && Predicate::has_tag(kC2, TagId{4});
+  const auto remapped = p.remap_channels([](ChannelId c) { return ChannelId{c.value() + 10}; });
+  const auto channels = remapped.referenced_channels();
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0], ChannelId{10});
+  EXPECT_EQ(channels[1], ChannelId{11});
+
+  FakeView view;
+  view.set(ChannelId{10}, 2, TagSet{TagId{4}});
+  view.set(ChannelId{11}, 1, TagSet{TagId{4}});
+  EXPECT_TRUE(remapped.evaluate(view));
+}
+
+TEST(Predicate, ToStringReadable) {
+  support::TagInterner interner;
+  const TagId a = interner.intern("a");
+  const auto p = Predicate::num_at_least(kC1, 1) && Predicate::has_tag(kC1, a);
+  const std::string s = p.to_string(interner);
+  EXPECT_NE(s.find(">= 1"), std::string::npos);
+  EXPECT_NE(s.find("'a'"), std::string::npos);
+  EXPECT_NE(s.find("&&"), std::string::npos);
+}
+
+TEST(Predicate, CopySemantics) {
+  const auto p = Predicate::num_at_least(kC1, 1);
+  const auto q = p && Predicate::num_at_least(kC2, 1);
+  // p is unchanged by composing q from it.
+  FakeView view;
+  view.set(kC1, 1);
+  EXPECT_TRUE(p.evaluate(view));
+  EXPECT_FALSE(q.evaluate(view));
+}
+
+// --- ActivationFunction -----------------------------------------------------
+
+TEST(ActivationFunction, FirstEnabledWins) {
+  FakeView view;
+  const TagId tag_a{0};
+  view.set(kC1, 3, TagSet{tag_a});
+
+  ActivationFunction fn;
+  fn.add_rule("a1", Predicate::num_at_least(kC1, 5), support::ModeId{0});
+  fn.add_rule("a2", Predicate::num_at_least(kC1, 1), support::ModeId{1});
+  fn.add_rule("a3", Predicate::always(), support::ModeId{2});
+  EXPECT_EQ(fn.first_enabled(view), 1);
+}
+
+TEST(ActivationFunction, NoEnabledRuleIsMinusOne) {
+  FakeView view;
+  ActivationFunction fn;
+  fn.add_rule("a1", Predicate::num_at_least(kC1, 1), support::ModeId{0});
+  EXPECT_EQ(fn.first_enabled(view), -1);
+  EXPECT_FALSE(fn.empty());
+  EXPECT_EQ(fn.size(), 1u);
+}
+
+TEST(ActivationFunction, PaperExampleRules) {
+  // a1: c1#num >= 1 && 'a' in c1#tag -> m1
+  // a2: c1#num >= 3 && 'b' in c1#tag -> m2
+  support::TagInterner interner;
+  const TagId a = interner.intern("a");
+  const TagId b = interner.intern("b");
+
+  ActivationFunction fn;
+  fn.add_rule("a1", Predicate::num_at_least(kC1, 1) && Predicate::has_tag(kC1, a),
+              support::ModeId{0});
+  fn.add_rule("a2", Predicate::num_at_least(kC1, 3) && Predicate::has_tag(kC1, b),
+              support::ModeId{1});
+
+  FakeView view;
+  view.set(kC1, 1, TagSet{a});
+  EXPECT_EQ(fn.first_enabled(view), 0);
+
+  view.set(kC1, 3, TagSet{b});
+  EXPECT_EQ(fn.first_enabled(view), 1);
+
+  // 'b'-tagged but only 2 tokens: a2 needs 3 -> not activated.
+  view.set(kC1, 2, TagSet{b});
+  EXPECT_EQ(fn.first_enabled(view), -1);
+
+  // Untagged token: "no activation rule is enabled and the process is not
+  // activated" (paper §2).
+  view.set(kC1, 5, TagSet{});
+  EXPECT_EQ(fn.first_enabled(view), -1);
+}
+
+}  // namespace
+}  // namespace spivar::spi

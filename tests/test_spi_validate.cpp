@@ -1,0 +1,199 @@
+// Tests for the structural validation pass and its diagnostic codes.
+#include <gtest/gtest.h>
+
+#include "spi/builder.hpp"
+#include "spi/validate.hpp"
+
+namespace spivar::spi {
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+
+TEST(Validate, CleanModelHasNoDiagnostics) {
+  GraphBuilder b;
+  auto c1 = b.queue("c1");
+  auto c2 = b.queue("c2");
+  b.process("src").mark_virtual().latency(DurationInterval{Duration::zero()}).produces(c1, 1);
+  b.process("mid").latency(DurationInterval{Duration::millis(1)}).consumes(c1, 1).produces(c2, 1);
+  b.process("sink").mark_virtual().latency(DurationInterval{Duration::zero()}).consumes(c2, 1);
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.empty()) << diags;
+}
+
+TEST(Validate, ProcessWithoutModes) {
+  Graph g;
+  g.add_process(Process{.name = "empty"});
+  const auto diags = validate(g);
+  EXPECT_TRUE(diags.has_code(diag::kProcessNoModes));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Validate, NegativeLatency) {
+  Graph g;
+  Process p{.name = "p"};
+  p.modes.push_back(Mode{.name = "m", .latency = DurationInterval{Duration::micros(-5)}});
+  g.add_process(std::move(p));
+  EXPECT_TRUE(validate(g).has_code(diag::kModeNegativeLatency));
+}
+
+TEST(Validate, NegativeRate) {
+  Graph g;
+  const auto pid = g.add_process(Process{.name = "p"});
+  const auto cid = g.add_channel(Channel{.name = "c"});
+  const auto e = g.connect(pid, cid, EdgeDir::kChannelToProcess);
+  Mode m{.name = "m"};
+  m.consumption[e] = support::Interval{-2, 1};
+  g.process(pid).modes.push_back(std::move(m));
+  EXPECT_TRUE(validate(g).has_code(diag::kRateNegative));
+}
+
+TEST(Validate, RuleObservingForeignChannel) {
+  GraphBuilder b;
+  auto c1 = b.queue("c1");
+  auto foreign = b.queue("foreign");
+  auto p = b.process("p");
+  p.mode("m").consume(c1, 1);
+  p.rule("bad", Predicate::num_at_least(foreign, 1), "m");
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kRuleForeignChannel));
+}
+
+TEST(Validate, UnreachableModeWarned) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("m1").consume(c, 1);
+  p.mode("m2").consume(c, 2);
+  p.rule("only", Predicate::num_at_least(c, 1), "m1");
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kModeUnreachable));
+  EXPECT_FALSE(diags.has_errors());  // warning only
+}
+
+TEST(Validate, DanglingChannelsWarned) {
+  GraphBuilder b;
+  b.queue("lonely");
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kChannelNoProducer));
+  EXPECT_TRUE(diags.has_code(diag::kChannelNoConsumer));
+}
+
+TEST(Validate, VirtualChannelsNotWarned) {
+  GraphBuilder b;
+  b.queue("env").mark_virtual();
+  const auto diags = validate(b.take());
+  EXPECT_FALSE(diags.has_code(diag::kChannelNoProducer));
+}
+
+TEST(Validate, InitialTokensSatisfyProducerRule) {
+  GraphBuilder b;
+  auto c = b.queue("boot").initial(1);
+  b.process("p").latency(DurationInterval{Duration::millis(1)}).consumes(c, 1);
+  const auto diags = validate(b.take());
+  EXPECT_FALSE(diags.has_code(diag::kChannelNoProducer));
+}
+
+TEST(Validate, RegisterWithTooManyInitialTokens) {
+  Graph g;
+  Channel r{.name = "r", .kind = ChannelKind::kRegister};
+  r.initial_tokens = 2;
+  g.add_channel(std::move(r));
+  EXPECT_TRUE(validate(g).has_code(diag::kRegisterInitialOverflow));
+}
+
+TEST(Validate, QueueInitialExceedsCapacity) {
+  Graph g;
+  Channel q{.name = "q"};
+  q.capacity = 1;
+  q.initial_tokens = 3;
+  g.add_channel(std::move(q));
+  EXPECT_TRUE(validate(g).has_code(diag::kQueueInitialOverflow));
+}
+
+TEST(Validate, ModeInTwoConfigurations) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("m").consume(c, 1);
+  p.configuration("confA", {"m"}, Duration::zero());
+  p.configuration("confB", {"m"}, Duration::zero());
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kModeMultipleConfigurations));
+}
+
+TEST(Validate, UnconfiguredModeWarned) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  auto p = b.process("p");
+  p.mode("m1").consume(c, 1);
+  p.mode("m2").consume(c, 1);
+  p.configuration("confA", {"m1"}, Duration::zero());
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kModeUnconfigured));
+}
+
+TEST(Validate, DuplicateNamesWarned) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  b.process("same").latency(DurationInterval{Duration::millis(1)}).produces(c, 1);
+  b.process("same").latency(DurationInterval{Duration::millis(1)}).consumes(c, 1);
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kDuplicateName));
+}
+
+TEST(Validate, BrokenConstraintPath) {
+  GraphBuilder b;
+  auto c = b.queue("c");
+  b.process("a").latency(DurationInterval{Duration::millis(1)}).produces(c, 1);
+  b.process("bb").latency(DurationInterval{Duration::millis(1)}).consumes(c, 1);
+  b.process("loose").mark_virtual().latency(DurationInterval{Duration::zero()});
+  b.latency_constraint("bad", {"a", "loose"}, Duration::millis(5));
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kConstraintBrokenPath));
+}
+
+TEST(Validate, MultiConsumerWithoutOracleIsError) {
+  Graph g;
+  const auto p = g.add_process(Process{.name = "p"});
+  const auto q = g.add_process(Process{.name = "q"});
+  const auto c = g.add_channel(Channel{.name = "c"});
+  g.connect(p, c, EdgeDir::kChannelToProcess);
+  g.connect(q, c, EdgeDir::kChannelToProcess);
+  Mode m{.name = "m"};
+  g.process(p).modes.push_back(m);
+  g.process(q).modes.push_back(m);
+  const auto diags = validate(g);
+  EXPECT_TRUE(diags.has_code(diag::kChannelMultiConsumer));
+}
+
+TEST(Validate, MultiConsumerWithExclusivityOracleAccepted) {
+  Graph g;
+  const auto p = g.add_process(Process{.name = "p"});
+  const auto q = g.add_process(Process{.name = "q"});
+  const auto c = g.add_channel(Channel{.name = "c"});
+  g.connect(p, c, EdgeDir::kChannelToProcess);
+  g.connect(q, c, EdgeDir::kChannelToProcess);
+  Mode m{.name = "m"};
+  g.process(p).modes.push_back(m);
+  g.process(q).modes.push_back(m);
+  const auto diags = validate(g, [](support::ProcessId, support::ProcessId) { return true; });
+  EXPECT_FALSE(diags.has_code(diag::kChannelMultiConsumer));
+}
+
+TEST(Validate, EmptyModeWarnedForNonVirtual) {
+  GraphBuilder b;
+  auto p = b.process("p");
+  p.mode("noop");
+  const auto diags = validate(b.take());
+  EXPECT_TRUE(diags.has_code(diag::kModeEmpty));
+}
+
+TEST(Validate, ThrowIfErrorsIntegration) {
+  Graph g;
+  g.add_process(Process{.name = "empty"});
+  EXPECT_THROW(validate(g).throw_if_errors(), support::ModelError);
+}
+
+}  // namespace
+}  // namespace spivar::spi

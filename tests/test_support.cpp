@@ -1,0 +1,357 @@
+// Unit and property tests for the support vocabulary types.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/duration.hpp"
+#include "support/ids.hpp"
+#include "support/interner.hpp"
+#include "support/interval.hpp"
+#include "support/rational.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace spivar::support {
+namespace {
+
+using namespace spivar::support::literals;
+
+// --- Interval ---------------------------------------------------------------
+
+TEST(Interval, DefaultIsZeroPoint) {
+  const Interval iv;
+  EXPECT_EQ(iv.lo(), 0);
+  EXPECT_EQ(iv.hi(), 0);
+  EXPECT_TRUE(iv.is_point());
+}
+
+TEST(Interval, ImplicitPointConstruction) {
+  const Interval iv = 7;
+  EXPECT_TRUE(iv.is_point());
+  EXPECT_EQ(iv.lo(), 7);
+}
+
+TEST(Interval, RejectsInvertedBounds) {
+  EXPECT_THROW(Interval(3, 1), ModelError);
+}
+
+TEST(Interval, ContainsValueAndInterval) {
+  const Interval iv{2, 5};
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_FALSE(iv.contains(6));
+  EXPECT_TRUE(iv.contains(Interval{3, 4}));
+  EXPECT_TRUE(iv.contains(Interval{2, 5}));
+  EXPECT_FALSE(iv.contains(Interval{2, 6}));
+}
+
+TEST(Interval, HullIsSmallestCover) {
+  const Interval a{1, 3};
+  const Interval b{5, 8};
+  const Interval h = a.hull(b);
+  EXPECT_EQ(h, Interval(1, 8));
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_TRUE(h.contains(b));
+}
+
+TEST(Interval, IntersectOverlapping) {
+  const auto r = Interval{1, 5}.intersect(Interval{3, 9});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Interval(3, 5));
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  EXPECT_FALSE(Interval(1, 2).intersect(Interval(4, 6)).has_value());
+}
+
+TEST(Interval, ArithmeticAddSub) {
+  const Interval a{1, 3};
+  const Interval b{10, 20};
+  EXPECT_EQ(a + b, Interval(11, 23));
+  EXPECT_EQ(b - a, Interval(7, 19));
+}
+
+TEST(Interval, ScalarMultiplicationFlipsOnNegative) {
+  EXPECT_EQ(Interval(1, 3) * 4, Interval(4, 12));
+  EXPECT_EQ(Interval(1, 3) * -2, Interval(-6, -2));
+}
+
+TEST(Interval, MaxMinWith) {
+  EXPECT_EQ(Interval(1, 5).max_with(Interval(3, 4)), Interval(3, 5));
+  EXPECT_EQ(Interval(1, 5).min_with(Interval(3, 4)), Interval(1, 4));
+}
+
+TEST(Interval, ToStringPointAndRange) {
+  EXPECT_EQ(Interval(4).to_string(), "4");
+  EXPECT_EQ(Interval(1, 2).to_string(), "[1,2]");
+}
+
+TEST(Interval, ClampPullsIntoRange) {
+  const Interval iv{10, 20};
+  EXPECT_EQ(iv.clamp(5), 10);
+  EXPECT_EQ(iv.clamp(15), 15);
+  EXPECT_EQ(iv.clamp(25), 20);
+}
+
+// Property sweep: hull/intersection laws over a grid of intervals.
+class IntervalPairProperty : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(IntervalPairProperty, HullContainsBothAndIntersectionIsInsideBoth) {
+  const auto [alo, awidth, blo, bwidth] = GetParam();
+  const Interval a{alo, alo + awidth};
+  const Interval b{blo, blo + bwidth};
+
+  const Interval h = a.hull(b);
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_TRUE(h.contains(b));
+  EXPECT_EQ(h, b.hull(a));  // commutativity
+
+  const auto i = a.intersect(b);
+  EXPECT_EQ(i.has_value(), a.overlaps(b));
+  if (i) {
+    EXPECT_TRUE(a.contains(*i));
+    EXPECT_TRUE(b.contains(*i));
+  }
+
+  // Addition is monotone in both bounds.
+  const Interval sum = a + b;
+  EXPECT_EQ(sum.lo(), a.lo() + b.lo());
+  EXPECT_EQ(sum.hi(), a.hi() + b.hi());
+  EXPECT_TRUE(sum.contains(a.lo() + b.hi()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IntervalPairProperty,
+                         ::testing::Combine(::testing::Values(-3, 0, 2, 7),
+                                            ::testing::Values(0, 1, 5),
+                                            ::testing::Values(-2, 0, 4),
+                                            ::testing::Values(0, 2, 6)));
+
+// --- Duration / TimePoint ---------------------------------------------------
+
+TEST(Duration, LiteralAndConversions) {
+  EXPECT_EQ((3_ms).count(), 3000);
+  EXPECT_EQ((250_us).count(), 250);
+  EXPECT_DOUBLE_EQ((1_ms).as_millis(), 1.0);
+}
+
+TEST(Duration, ArithmeticAndOrdering) {
+  EXPECT_EQ(2_ms + 500_us, Duration::micros(2500));
+  EXPECT_EQ(2_ms - 500_us, Duration::micros(1500));
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ((2_ms) * 3, 6_ms);
+}
+
+TEST(Duration, ToStringPicksUnit) {
+  EXPECT_EQ((3_ms).to_string(), "3ms");
+  EXPECT_EQ((1500_us).to_string(), "1500us");
+}
+
+TEST(TimePoint, DifferenceYieldsDuration) {
+  const TimePoint a{1000};
+  const TimePoint b = a + 2_ms;
+  EXPECT_EQ(b - a, 2_ms);
+  EXPECT_GT(b, a);
+}
+
+TEST(DurationInterval, PointAndHull) {
+  const DurationInterval p{3_ms};
+  EXPECT_TRUE(p.is_point());
+  const DurationInterval r{3_ms, 5_ms};
+  EXPECT_FALSE(r.is_point());
+  EXPECT_EQ(p.hull(r), r);
+  EXPECT_TRUE(r.contains(4_ms));
+  EXPECT_EQ((p + r).lo(), 6_ms);
+  EXPECT_EQ((p + r).hi(), 8_ms);
+}
+
+TEST(DurationInterval, RejectsInverted) {
+  EXPECT_THROW((DurationInterval{5_ms, 3_ms}), ModelError);
+}
+
+// --- Ids ----------------------------------------------------------------------
+
+TEST(Ids, DefaultIsInvalid) {
+  const ProcessId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ProcessId, ChannelId>);
+  const ProcessId p{3};
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.index(), 3u);
+}
+
+TEST(Ids, ComparisonAndHash) {
+  EXPECT_EQ(ProcessId{1}, ProcessId{1});
+  EXPECT_NE(ProcessId{1}, ProcessId{2});
+  EXPECT_LT(ProcessId{1}, ProcessId{2});
+  EXPECT_EQ(std::hash<ProcessId>{}(ProcessId{5}), std::hash<ProcessId>{}(ProcessId{5}));
+}
+
+TEST(Ids, StreamOutput) {
+  std::ostringstream os;
+  os << ProcessId{4} << " " << ProcessId{};
+  EXPECT_EQ(os.str(), "#4 #<invalid>");
+}
+
+// --- Interner --------------------------------------------------------------------
+
+TEST(TagInterner, InternIsIdempotent) {
+  TagInterner interner;
+  const TagId a1 = interner.intern("a");
+  const TagId a2 = interner.intern("a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(TagInterner, FindWithoutCreate) {
+  TagInterner interner;
+  EXPECT_FALSE(interner.find("missing").valid());
+  interner.intern("x");
+  EXPECT_TRUE(interner.find("x").valid());
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(TagInterner, NameRoundTrip) {
+  TagInterner interner;
+  const TagId id = interner.intern("V1");
+  EXPECT_EQ(interner.name(id), "V1");
+}
+
+TEST(TagInterner, CopyPreservesIds) {
+  TagInterner a;
+  const TagId x = a.intern("x");
+  const TagInterner b = a;  // graphs are cloned with their interner
+  EXPECT_EQ(b.find("x"), x);
+  EXPECT_EQ(b.name(x), "x");
+}
+
+// --- Rational ----------------------------------------------------------------------
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r{4, -6};
+  EXPECT_EQ(r.num(), -2);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), ModelError);
+  EXPECT_THROW(Rational(1, 2) / Rational(0), ModelError);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) * Rational(2, 5), Rational(1, 5));
+  EXPECT_EQ(Rational(3) / Rational(2), Rational(3, 2));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 2), Rational(0));
+}
+
+TEST(Rational, OrderingAndIntegerCheck) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_TRUE(Rational(4, 2).is_integer());
+  EXPECT_EQ(Rational(4, 2).num(), 2);
+}
+
+// --- RNG ------------------------------------------------------------------------------
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a{123};
+  SplitMix64 b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, PickStaysInInterval) {
+  SplitMix64 rng{9};
+  const Interval iv{3, 9};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.pick(iv);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(SplitMix64, PickOnPointIntervalIsThatValue) {
+  SplitMix64 rng{1};
+  EXPECT_EQ(rng.pick(Interval{5}), 5);
+}
+
+TEST(SplitMix64, DoubleInUnitRange) {
+  SplitMix64 rng{77};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- Diagnostics --------------------------------------------------------------------------
+
+TEST(Diagnostics, CountsAndQueries) {
+  DiagnosticList list;
+  list.error("code-a", "first");
+  list.warning("code-b", "second");
+  list.note("code-c", "third");
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.has_errors());
+  EXPECT_EQ(list.count(Severity::kWarning), 1u);
+  EXPECT_TRUE(list.has_code("code-b"));
+  EXPECT_FALSE(list.has_code("code-x"));
+}
+
+TEST(Diagnostics, ThrowIfErrorsListsAllErrors) {
+  DiagnosticList list;
+  list.error("e1", "one");
+  list.error("e2", "two");
+  try {
+    list.throw_if_errors();
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("e1"), std::string::npos);
+    EXPECT_NE(what.find("e2"), std::string::npos);
+  }
+}
+
+TEST(Diagnostics, NoThrowWithoutErrors) {
+  DiagnosticList list;
+  list.warning("w", "just a warning");
+  EXPECT_NO_THROW(list.throw_if_errors());
+}
+
+TEST(Diagnostics, MergeAppends) {
+  DiagnosticList a;
+  a.note("n", "x");
+  DiagnosticList b;
+  b.error("e", "y");
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.has_errors());
+}
+
+// --- TextTable ------------------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t{{"name", "cost"}};
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), ModelError);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0), "1.00");
+  EXPECT_EQ(format_double(2.345, 1), "2.3");
+}
+
+}  // namespace
+}  // namespace spivar::support

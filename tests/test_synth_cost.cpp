@@ -1,0 +1,178 @@
+// Tests for the synthesis cost model (exclusivity-aware sharing, §5).
+#include <gtest/gtest.h>
+
+#include "synth/cost.hpp"
+
+namespace spivar::synth {
+namespace {
+
+using support::Duration;
+
+ImplLibrary small_library() {
+  ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 1.0;
+  lib.add("x", {.sw_load = 0.4, .sw_wcet = Duration::millis(2), .hw_cost = 8.0,
+                .hw_wcet = Duration::millis(1)});
+  lib.add("y", {.sw_load = 0.5, .sw_wcet = Duration::millis(3), .hw_cost = 12.0,
+                .hw_wcet = Duration::millis(1)});
+  lib.add("z", {.sw_load = 0.7, .sw_wcet = Duration::millis(4), .hw_cost = 20.0,
+                .hw_wcet = Duration::millis(2)});
+  return lib;
+}
+
+TEST(Cost, AllSoftwareFeasibleWithinBudget) {
+  const ImplLibrary lib = small_library();
+  const Application app{.name = "a", .elements = {"x", "y"}};
+  Mapping m;
+  m.set("x", Target::kSoftware).set("y", Target::kSoftware);
+  const CostBreakdown cost = evaluate(lib, {app}, m);
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_DOUBLE_EQ(cost.total, 10.0);  // processor only
+  EXPECT_DOUBLE_EQ(cost.worst_utilization, 0.9);
+}
+
+TEST(Cost, OverloadDetected) {
+  const ImplLibrary lib = small_library();
+  const Application app{.name = "a", .elements = {"x", "y", "z"}};
+  Mapping m;
+  m.set("x", Target::kSoftware).set("y", Target::kSoftware).set("z", Target::kSoftware);
+  const CostBreakdown cost = evaluate(lib, {app}, m);
+  EXPECT_FALSE(cost.feasible);
+  EXPECT_NE(cost.infeasibility.find("overloads"), std::string::npos);
+}
+
+TEST(Cost, HardwareRelievesProcessor) {
+  const ImplLibrary lib = small_library();
+  const Application app{.name = "a", .elements = {"x", "y", "z"}};
+  Mapping m;
+  m.set("x", Target::kSoftware).set("y", Target::kSoftware).set("z", Target::kHardware);
+  const CostBreakdown cost = evaluate(lib, {app}, m);
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_DOUBLE_EQ(cost.total, 10.0 + 20.0);
+}
+
+TEST(Cost, AllHardwareHasNoProcessorCost) {
+  const ImplLibrary lib = small_library();
+  const Application app{.name = "a", .elements = {"x", "y"}};
+  Mapping m;
+  m.set("x", Target::kHardware).set("y", Target::kHardware);
+  const CostBreakdown cost = evaluate(lib, {app}, m);
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_DOUBLE_EQ(cost.processor_cost, 0.0);
+  EXPECT_DOUBLE_EQ(cost.total, 20.0);
+}
+
+TEST(Cost, MutuallyExclusiveAppsDoNotSumLoads) {
+  // Two apps sharing 'x' but with exclusive 'y'/'z': per-app utilization is
+  // checked separately — this is exactly how exclusivity enters the model.
+  const ImplLibrary lib = small_library();
+  const Application a1{.name = "a1", .elements = {"x", "y"}};  // 0.9
+  const Application a2{.name = "a2", .elements = {"x", "z"}};  // 1.1 -> infeasible
+  Mapping m;
+  m.set("x", Target::kSoftware).set("y", Target::kSoftware).set("z", Target::kSoftware);
+  const CostBreakdown cost = evaluate(lib, {a1, a2}, m);
+  EXPECT_FALSE(cost.feasible);
+  EXPECT_NE(cost.infeasibility.find("a2"), std::string::npos);
+  EXPECT_DOUBLE_EQ(cost.worst_utilization, 1.1);
+}
+
+TEST(Cost, SharedHardwareCountedOnce) {
+  const ImplLibrary lib = small_library();
+  const Application a1{.name = "a1", .elements = {"x", "y"}};
+  const Application a2{.name = "a2", .elements = {"x", "z"}};
+  Mapping m;
+  m.set("x", Target::kHardware).set("y", Target::kSoftware).set("z", Target::kSoftware);
+  const CostBreakdown cost = evaluate(lib, {a1, a2}, m);
+  EXPECT_TRUE(cost.feasible);
+  // x's ASIC appears once although both applications use it.
+  EXPECT_DOUBLE_EQ(cost.asic_cost, 8.0);
+  EXPECT_EQ(cost.hardware.size(), 1u);
+}
+
+TEST(Cost, CannotSwRespected) {
+  ImplLibrary lib = small_library();
+  lib.add("hwonly", {.sw_load = 0.1, .hw_cost = 5.0, .can_sw = false});
+  const Application app{.name = "a", .elements = {"hwonly"}};
+  Mapping m;
+  m.set("hwonly", Target::kSoftware);
+  const CostBreakdown cost = evaluate(lib, {app}, m);
+  EXPECT_FALSE(cost.feasible);
+}
+
+TEST(Cost, MissingLibraryEntryThrows) {
+  const ImplLibrary lib = small_library();
+  const Application app{.name = "a", .elements = {"ghost"}};
+  Mapping m;
+  m.set("ghost", Target::kSoftware);
+  EXPECT_THROW(evaluate(lib, {app}, m), support::ModelError);
+}
+
+TEST(Cost, MissingMappingEntryThrows) {
+  const ImplLibrary lib = small_library();
+  const Application app{.name = "a", .elements = {"x"}};
+  EXPECT_THROW(evaluate(lib, {app}, Mapping{}), support::ModelError);
+}
+
+TEST(Cost, DeadlineCheckedThroughSchedule) {
+  const ImplLibrary lib = small_library();
+  Application app{.name = "a", .elements = {"x", "y"}};
+  app.chain = {"x", "y"};
+  app.deadline = Duration::millis(4);  // sw chain: 2+3 = 5ms -> miss
+  Mapping m;
+  m.set("x", Target::kSoftware).set("y", Target::kSoftware);
+  const CostBreakdown miss = evaluate(lib, {app}, m);
+  EXPECT_FALSE(miss.feasible);
+  EXPECT_NE(miss.infeasibility.find("deadline"), std::string::npos);
+
+  Mapping m2;
+  m2.set("x", Target::kHardware).set("y", Target::kSoftware);  // 1+3 = 4ms -> meets
+  const CostBreakdown meet = evaluate(lib, {app}, m2);
+  EXPECT_TRUE(meet.feasible);
+}
+
+// --- superposition accounting --------------------------------------------------
+
+TEST(Superposition, HardwareAccumulatesSoftwareShared) {
+  const ImplLibrary lib = small_library();
+  const Application a1{.name = "a1", .elements = {"x", "y"}};
+  const Application a2{.name = "a2", .elements = {"x", "z"}};
+  Mapping m1;
+  m1.set("x", Target::kSoftware).set("y", Target::kHardware);
+  Mapping m2;
+  m2.set("x", Target::kSoftware).set("z", Target::kHardware);
+  const CostBreakdown cost = evaluate_superposition(lib, {a1, a2}, {m1, m2});
+  EXPECT_TRUE(cost.feasible);
+  // Both ASICs included, processor once, x's software reused.
+  EXPECT_DOUBLE_EQ(cost.asic_cost, 12.0 + 20.0);
+  EXPECT_DOUBLE_EQ(cost.total, 10.0 + 32.0);
+}
+
+TEST(Superposition, PerAppMappingsCheckedIndividually) {
+  const ImplLibrary lib = small_library();
+  const Application a1{.name = "a1", .elements = {"x", "z"}};
+  Mapping overload;
+  overload.set("x", Target::kSoftware).set("z", Target::kSoftware);  // 1.1
+  const CostBreakdown cost = evaluate_superposition(lib, {a1}, {overload});
+  EXPECT_FALSE(cost.feasible);
+}
+
+TEST(Superposition, ConflictingTargetsIncludeBothImplementations) {
+  // 'x' runs in software for app1 but was put in hardware for app2: the
+  // superposed architecture carries both (the paper's point about wasteful
+  // superposition).
+  const ImplLibrary lib = small_library();
+  const Application a1{.name = "a1", .elements = {"x"}};
+  const Application a2{.name = "a2", .elements = {"x"}};
+  Mapping m1;
+  m1.set("x", Target::kSoftware);
+  Mapping m2;
+  m2.set("x", Target::kHardware);
+  const CostBreakdown cost = evaluate_superposition(lib, {a1, a2}, {m1, m2});
+  EXPECT_DOUBLE_EQ(cost.total, 10.0 + 8.0);
+  EXPECT_EQ(cost.software.size(), 1u);
+  EXPECT_EQ(cost.hardware.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spivar::synth

@@ -1,0 +1,188 @@
+// Tests for the design-space exploration engines.
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "synth/explore.hpp"
+
+namespace spivar::synth {
+namespace {
+
+using support::Duration;
+
+/// Table 1 library + apps: the canonical small problem with a known optimum.
+struct Table1Fixture {
+  ImplLibrary lib = models::table1_library();
+  std::vector<Application> apps = models::table1_problem().apps;
+};
+
+TEST(ExploreExhaustive, FindsTable1JointOptimum) {
+  Table1Fixture f;
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const ExploreResult r = explore(f.lib, f.apps, options);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 41.0);
+  EXPECT_EQ(r.mapping.at("PA"), Target::kHardware);
+  EXPECT_EQ(r.mapping.at("PB"), Target::kSoftware);
+  EXPECT_EQ(r.mapping.at("cluster1"), Target::kSoftware);
+  EXPECT_EQ(r.mapping.at("cluster2"), Target::kSoftware);
+  EXPECT_GT(r.decisions, 0);
+  EXPECT_EQ(r.engine, "exhaustive");
+}
+
+TEST(ExploreGreedy, MatchesExhaustiveOnTable1) {
+  Table1Fixture f;
+  ExploreOptions greedy;
+  greedy.engine = ExploreEngine::kGreedy;
+  const ExploreResult r = explore(f.lib, f.apps, greedy);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 41.0);
+}
+
+TEST(ExploreAnnealing, FeasibleAndNoWorseThanGreedyStart) {
+  Table1Fixture f;
+  ExploreOptions sa;
+  sa.engine = ExploreEngine::kAnnealing;
+  sa.seed = 11;
+  const ExploreResult r = explore(f.lib, f.apps, sa);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_LE(r.cost.total, 41.0 + 1e-9);  // annealing starts from greedy
+}
+
+TEST(ExploreExhaustive, SingleAppOptima) {
+  Table1Fixture f;
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const ExploreResult r1 = explore(f.lib, {f.apps[0]}, options);
+  EXPECT_DOUBLE_EQ(r1.cost.total, 34.0);  // 15 + hw(cluster1)
+  EXPECT_EQ(r1.mapping.at("cluster1"), Target::kHardware);
+  const ExploreResult r2 = explore(f.lib, {f.apps[1]}, options);
+  EXPECT_DOUBLE_EQ(r2.cost.total, 38.0);  // 15 + hw(cluster2)
+}
+
+TEST(Explore, InfeasibleProblemReported) {
+  ImplLibrary lib;
+  lib.processor_cost = 5.0;
+  lib.processor_budget = 1.0;
+  lib.add("huge", {.sw_load = 2.0, .hw_cost = 10.0, .can_hw = false});
+  const Application app{.name = "a", .elements = {"huge"}};
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const ExploreResult r = explore(lib, {app}, options);
+  EXPECT_FALSE(r.found_feasible);
+  EXPECT_FALSE(r.cost.feasible);
+}
+
+TEST(Explore, CanSwFalseForcesHardware) {
+  ImplLibrary lib;
+  lib.processor_cost = 5.0;
+  lib.add("asic", {.sw_load = 0.1, .hw_cost = 7.0, .can_sw = false});
+  const Application app{.name = "a", .elements = {"asic"}};
+  ExploreOptions options;
+  options.engine = ExploreEngine::kGreedy;
+  const ExploreResult r = explore(lib, {app}, options);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_EQ(r.mapping.at("asic"), Target::kHardware);
+  EXPECT_DOUBLE_EQ(r.cost.total, 7.0);  // no software -> no processor
+}
+
+TEST(ExploreWithFixed, FixedElementsNeverMove) {
+  Table1Fixture f;
+  Mapping fixed;
+  fixed.set("PA", Target::kSoftware);  // forbid the joint optimum's move
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const ExploreResult r = explore_with_fixed(f.lib, f.apps, fixed, options);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_EQ(r.mapping.at("PA"), Target::kSoftware);
+  // Next best: both clusters to hardware = superposition cost.
+  EXPECT_DOUBLE_EQ(r.cost.total, 57.0);
+}
+
+TEST(ExploreGreedy, ImprovementPhasePullsBackToSoftware) {
+  // Greedy repair moves 'small' to hardware first (best relief score), then
+  // 'big'. Since 'keep' pins the processor cost anyway, the improvement
+  // phase pulls 'small' back to software: 10 + 20 beats 10 + 22.
+  ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 1.0;
+  lib.add("big", {.sw_load = 1.2, .hw_cost = 20.0});
+  lib.add("small", {.sw_load = 0.2, .hw_cost = 2.0});
+  lib.add("keep", {.sw_load = 0.1, .hw_cost = 50.0, .can_hw = false});
+  const Application app{.name = "a", .elements = {"big", "small", "keep"}};
+  ExploreOptions options;
+  options.engine = ExploreEngine::kGreedy;
+  const ExploreResult r = explore(lib, {app}, options);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_EQ(r.mapping.at("big"), Target::kHardware);
+  EXPECT_EQ(r.mapping.at("small"), Target::kSoftware);
+  EXPECT_DOUBLE_EQ(r.cost.total, 30.0);
+}
+
+TEST(ExploreGreedy, AllHardwareAvoidsProcessorCostWhenCheaper) {
+  // With nothing pinned to software, moving the last element to hardware
+  // also removes the fixed processor cost: 22 beats 30.
+  ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 1.0;
+  lib.add("big", {.sw_load = 1.2, .hw_cost = 20.0});
+  lib.add("small", {.sw_load = 0.2, .hw_cost = 2.0});
+  const Application app{.name = "a", .elements = {"big", "small"}};
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const ExploreResult r = explore(lib, {app}, options);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 22.0);
+  EXPECT_TRUE(r.cost.software.empty());
+}
+
+TEST(Explore, DecisionCountersMonotoneInProblemSize) {
+  // More elements => more examined decisions, for the same engine.
+  ImplLibrary lib;
+  lib.processor_cost = 1.0;
+  lib.processor_budget = 10.0;
+  std::vector<Application> small_apps{{.name = "s", .elements = {"e0", "e1"}}};
+  std::vector<Application> large_apps{
+      {.name = "l", .elements = {"e0", "e1", "e2", "e3", "e4", "e5"}}};
+  for (int i = 0; i < 6; ++i) {
+    lib.add("e" + std::to_string(i), {.sw_load = 0.1, .hw_cost = 5.0});
+  }
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const auto small_result = explore(lib, small_apps, options);
+  const auto large_result = explore(lib, large_apps, options);
+  EXPECT_LT(small_result.decisions, large_result.decisions);
+}
+
+TEST(Explore, ExhaustiveFallsBackToGreedyAboveLimit) {
+  ImplLibrary lib;
+  lib.processor_cost = 1.0;
+  lib.processor_budget = 100.0;
+  Application app{.name = "a"};
+  for (int i = 0; i < 25; ++i) {
+    const std::string name = "e" + std::to_string(i);
+    lib.add(name, {.sw_load = 0.5, .hw_cost = 3.0});
+    app.elements.push_back(name);
+  }
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  options.exhaustive_limit = 20;
+  const ExploreResult r = explore(lib, {app}, options);
+  EXPECT_EQ(r.engine, "greedy");
+  EXPECT_TRUE(r.found_feasible);
+}
+
+TEST(ExploreAnnealing, DeterministicForSeed) {
+  Table1Fixture f;
+  ExploreOptions sa;
+  sa.engine = ExploreEngine::kAnnealing;
+  sa.seed = 99;
+  const ExploreResult a = explore(f.lib, f.apps, sa);
+  const ExploreResult b = explore(f.lib, f.apps, sa);
+  EXPECT_EQ(a.cost.total, b.cost.total);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+}  // namespace
+}  // namespace spivar::synth

@@ -1,0 +1,118 @@
+// Tests for the static list scheduler.
+#include <gtest/gtest.h>
+
+#include "synth/schedule.hpp"
+
+namespace spivar::synth {
+namespace {
+
+using support::Duration;
+
+ImplLibrary lib3() {
+  ImplLibrary lib;
+  lib.processor_cost = 1.0;
+  lib.add("a", {.sw_load = 0.2, .sw_wcet = Duration::millis(2), .hw_cost = 1.0,
+                .hw_wcet = Duration::millis(1)});
+  lib.add("b", {.sw_load = 0.2, .sw_wcet = Duration::millis(3), .hw_cost = 1.0,
+                .hw_wcet = Duration::millis(1)});
+  lib.add("c", {.sw_load = 0.2, .sw_wcet = Duration::millis(4), .hw_cost = 1.0,
+                .hw_wcet = Duration::millis(2)});
+  return lib;
+}
+
+Mapping all_sw() {
+  Mapping m;
+  m.set("a", Target::kSoftware).set("b", Target::kSoftware).set("c", Target::kSoftware);
+  return m;
+}
+
+TEST(Schedule, ChainSerializesOnDependencies) {
+  Application app{.name = "app", .elements = {"a", "b", "c"}};
+  app.chain = {"a", "b", "c"};
+  const Schedule s = list_schedule(lib3(), app, all_sw());
+  EXPECT_EQ(s.makespan, Duration::millis(9));
+  ASSERT_EQ(s.tasks.size(), 3u);
+  // Starts respect chain order.
+  EXPECT_EQ(s.tasks[0].start.count(), 0);
+  EXPECT_EQ(s.tasks[1].start.count(), 2000);
+  EXPECT_EQ(s.tasks[2].start.count(), 5000);
+}
+
+TEST(Schedule, HardwareTaskRunsOnOwnResource) {
+  Application app{.name = "app", .elements = {"a", "b"}};
+  // Independent tasks, no chain: SW serializes on the processor, HW does not.
+  Mapping m;
+  m.set("a", Target::kSoftware).set("b", Target::kHardware);
+  const Schedule s = list_schedule(lib3(), app, m);
+  // Both start at t=0; makespan = max(2ms SW, 1ms HW).
+  EXPECT_EQ(s.makespan, Duration::millis(2));
+}
+
+TEST(Schedule, IndependentSoftwareTasksSerializeOnProcessor) {
+  Application app{.name = "app", .elements = {"a", "b"}};
+  const Schedule s = list_schedule(lib3(), app, all_sw());
+  EXPECT_EQ(s.makespan, Duration::millis(5));  // 2 + 3 on one processor
+}
+
+TEST(Schedule, HardwareChainUsesHwWcet) {
+  Application app{.name = "app", .elements = {"a", "b", "c"}};
+  app.chain = {"a", "b", "c"};
+  Mapping m;
+  m.set("a", Target::kHardware).set("b", Target::kHardware).set("c", Target::kHardware);
+  const Schedule s = list_schedule(lib3(), app, m);
+  EXPECT_EQ(s.makespan, Duration::millis(4));  // 1+1+2
+}
+
+TEST(Schedule, MixedChainInterleavesResources) {
+  Application app{.name = "app", .elements = {"a", "b", "c"}};
+  app.chain = {"a", "b", "c"};
+  Mapping m;
+  m.set("a", Target::kSoftware).set("b", Target::kHardware).set("c", Target::kSoftware);
+  const Schedule s = list_schedule(lib3(), app, m);
+  EXPECT_EQ(s.makespan, Duration::millis(2 + 1 + 4));
+}
+
+TEST(Schedule, DeadlineEvaluation) {
+  Application app{.name = "app", .elements = {"a", "b"}};
+  app.chain = {"a", "b"};
+  app.deadline = Duration::millis(5);
+  const Schedule meet = list_schedule(lib3(), app, all_sw());
+  EXPECT_TRUE(meet.meets_deadline);  // 5ms == 5ms
+
+  app.deadline = Duration::millis(4);
+  const Schedule miss = list_schedule(lib3(), app, all_sw());
+  EXPECT_FALSE(miss.meets_deadline);
+}
+
+TEST(Schedule, NoDeadlineAlwaysMeets) {
+  Application app{.name = "app", .elements = {"a"}};
+  const Schedule s = list_schedule(lib3(), app, all_sw());
+  EXPECT_TRUE(s.meets_deadline);
+}
+
+TEST(Schedule, ChainPlusIndependentTask) {
+  // Chain a->b on SW plus independent c on SW: c fills the processor after
+  // the chain tasks in deterministic priority order (chain first).
+  Application app{.name = "app", .elements = {"a", "b", "c"}};
+  app.chain = {"a", "b"};
+  const Schedule s = list_schedule(lib3(), app, all_sw());
+  EXPECT_EQ(s.makespan, Duration::millis(9));
+  // c scheduled last.
+  EXPECT_EQ(s.tasks.back().element, "c");
+}
+
+TEST(Schedule, DeterministicTaskOrdering) {
+  Application app{.name = "app", .elements = {"c", "a", "b"}};
+  const Schedule s1 = list_schedule(lib3(), app, all_sw());
+  const Schedule s2 = list_schedule(lib3(), app, all_sw());
+  ASSERT_EQ(s1.tasks.size(), s2.tasks.size());
+  for (std::size_t i = 0; i < s1.tasks.size(); ++i) {
+    EXPECT_EQ(s1.tasks[i].element, s2.tasks[i].element);
+    EXPECT_EQ(s1.tasks[i].start, s2.tasks[i].start);
+  }
+  // Non-chain tasks sorted by name.
+  EXPECT_EQ(s1.tasks[0].element, "a");
+}
+
+}  // namespace
+}  // namespace spivar::synth

@@ -1,0 +1,164 @@
+// Tests for the synthesis strategies and the literature baselines.
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "synth/strategies.hpp"
+
+namespace spivar::synth {
+namespace {
+
+using support::Duration;
+
+struct Table1Fixture {
+  ImplLibrary lib = models::table1_library();
+  std::vector<Application> apps = models::table1_problem().apps;
+  ExploreOptions exhaustive = [] {
+    ExploreOptions o;
+    o.engine = ExploreEngine::kExhaustive;
+    return o;
+  }();
+};
+
+TEST(Strategies, IndependentReproducesTable1Rows1And2) {
+  Table1Fixture f;
+  const auto r1 = synthesize_independent(f.lib, f.apps[0], f.exhaustive);
+  EXPECT_TRUE(r1.feasible);
+  EXPECT_DOUBLE_EQ(r1.cost.total, 34.0);
+  const auto r2 = synthesize_independent(f.lib, f.apps[1], f.exhaustive);
+  EXPECT_DOUBLE_EQ(r2.cost.total, 38.0);
+}
+
+TEST(Strategies, SuperpositionReproducesTable1Row3) {
+  Table1Fixture f;
+  const auto r = synthesize_superposition(f.lib, f.apps, f.exhaustive);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 57.0);  // 15 + 19 + 23
+  EXPECT_DOUBLE_EQ(r.cost.asic_cost, 42.0);
+  ASSERT_EQ(r.per_app.size(), 2u);
+}
+
+TEST(Strategies, WithVariantsReproducesTable1Row4) {
+  Table1Fixture f;
+  const auto r = synthesize_with_variants(f.lib, f.apps, f.exhaustive);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 41.0);  // 15 + hw(PA)
+  EXPECT_EQ(r.mapping.at("PA"), Target::kHardware);
+}
+
+TEST(Strategies, VariantAwareBeatsSuperposition) {
+  Table1Fixture f;
+  const auto sup = synthesize_superposition(f.lib, f.apps, f.exhaustive);
+  const auto var = synthesize_with_variants(f.lib, f.apps, f.exhaustive);
+  EXPECT_LT(var.cost.total, sup.cost.total);
+}
+
+TEST(Strategies, DesignTimeShape) {
+  // The paper's design-time argument: superposition time = sum of the
+  // independent runs (plus a small merge pass), variant-aware examines the
+  // shared processes only once and stays below that sum.
+  Table1Fixture f;
+  ExploreOptions greedy;
+  greedy.engine = ExploreEngine::kGreedy;
+
+  const auto ind1 = synthesize_independent(f.lib, f.apps[0], greedy);
+  const auto ind2 = synthesize_independent(f.lib, f.apps[1], greedy);
+  const auto sup = synthesize_superposition(f.lib, f.apps, greedy);
+  const auto var = synthesize_with_variants(f.lib, f.apps, greedy);
+
+  EXPECT_EQ(sup.decisions, ind1.decisions + ind2.decisions + 4 /* merge pass */);
+  EXPECT_LT(var.decisions, sup.decisions);
+}
+
+TEST(Strategies, SerializedLosesExclusivityAndCostsMore) {
+  // Kim/Karri/Potkonjak [6]: all variants serialized into one task — both
+  // clusters' loads count together, forcing more hardware.
+  Table1Fixture f;
+  const auto serialized = synthesize_serialized(f.lib, f.apps, {}, f.exhaustive);
+  const auto var = synthesize_with_variants(f.lib, f.apps, f.exhaustive);
+  EXPECT_TRUE(serialized.feasible);
+  EXPECT_GT(serialized.cost.total, var.cost.total);
+}
+
+TEST(Strategies, SerializedOrderAffectsDeadlineFeasibility) {
+  // With per-app deadlines, the serialized chain imposes prefix deadlines:
+  // putting the tight app last makes its deadline harder to meet.
+  ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 10.0;  // utilization not the issue here
+  lib.add("a", {.sw_load = 0.2, .sw_wcet = Duration::millis(4), .hw_cost = 50.0,
+                .hw_wcet = Duration::millis(1)});
+  lib.add("b", {.sw_load = 0.2, .sw_wcet = Duration::millis(4), .hw_cost = 5.0,
+                .hw_wcet = Duration::millis(1)});
+  Application app_a{.name = "A", .elements = {"a"}, .chain = {"a"}};
+  app_a.deadline = Duration::millis(4);
+  Application app_b{.name = "B", .elements = {"b"}, .chain = {"b"}};
+  app_b.deadline = Duration::millis(20);
+
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  // Order A,B: A's prefix is just 'a' (4ms) -> all-software feasible.
+  const auto ab = synthesize_serialized(lib, {app_a, app_b}, {0, 1}, options);
+  // Order B,A: A's prefix is 'b','a' (8ms > 4ms) -> 'a' or 'b' must move to
+  // hardware; the cheap fix costs extra.
+  const auto ba = synthesize_serialized(lib, {app_a, app_b}, {1, 0}, options);
+  EXPECT_TRUE(ab.feasible);
+  EXPECT_TRUE(ba.feasible);
+  EXPECT_LT(ab.cost.total, ba.cost.total);
+}
+
+TEST(Strategies, IncrementalInheritsEarlierDecisions) {
+  // Kavalade/Subrahmanyam [5]: variant order matters because earlier
+  // decisions are frozen.
+  Table1Fixture f;
+  const auto order12 = synthesize_incremental(f.lib, f.apps, {0, 1}, f.exhaustive);
+  const auto order21 = synthesize_incremental(f.lib, f.apps, {1, 0}, f.exhaustive);
+  EXPECT_TRUE(order12.feasible);
+  EXPECT_TRUE(order21.feasible);
+  // Synthesizing app1 first picks cluster1->HW (34); app2 then adds
+  // cluster2->HW: total 57 — worse than the joint 41.
+  EXPECT_DOUBLE_EQ(order12.cost.total, 57.0);
+  const auto var = synthesize_with_variants(f.lib, f.apps, f.exhaustive);
+  EXPECT_GT(order12.cost.total, var.cost.total);
+  EXPECT_GT(order21.cost.total, var.cost.total);
+}
+
+TEST(Strategies, IncrementalRedesignsWhenInheritedChoicesBlock) {
+  // The inherited software mapping of a shared element can make the next
+  // variant infeasible; incremental then re-opens the search (counting the
+  // extra effort).
+  ImplLibrary lib;
+  lib.processor_cost = 10.0;
+  lib.processor_budget = 1.0;
+  lib.add("shared", {.sw_load = 0.5, .hw_cost = 40.0});
+  lib.add("v1", {.sw_load = 0.3, .hw_cost = 30.0});
+  lib.add("v2", {.sw_load = 0.6, .hw_cost = 100.0, .can_hw = true});
+  const Application a1{.name = "a1", .elements = {"shared", "v1"}};  // 0.8 all-SW ok
+  const Application a2{.name = "a2", .elements = {"shared", "v2"}};  // 1.1 all-SW
+  ExploreOptions options;
+  options.engine = ExploreEngine::kExhaustive;
+  const auto inc = synthesize_incremental(lib, {a1, a2}, {0, 1}, options);
+  EXPECT_TRUE(inc.feasible);
+  // Joint optimum: shared->HW (40) leaves 0.3/0.6 loads feasible: 50 total.
+  const auto var = synthesize_with_variants(lib, {a1, a2}, options);
+  EXPECT_DOUBLE_EQ(var.cost.total, 50.0);
+  EXPECT_GE(inc.cost.total, var.cost.total);
+}
+
+TEST(Strategies, OrderMustBeAPermutation) {
+  Table1Fixture f;
+  EXPECT_THROW(synthesize_incremental(f.lib, f.apps, {0}, f.exhaustive),
+               support::ModelError);
+  EXPECT_THROW(synthesize_serialized(f.lib, f.apps, {0, 1, 1}, f.exhaustive),
+               support::ModelError);
+}
+
+TEST(Strategies, OutcomeMetadataFilled) {
+  Table1Fixture f;
+  const auto r = synthesize_with_variants(f.lib, f.apps, f.exhaustive);
+  EXPECT_EQ(r.strategy, "with-variants");
+  EXPECT_FALSE(r.detail.empty());
+  EXPECT_GT(r.decisions, 0);
+}
+
+}  // namespace
+}  // namespace spivar::synth

@@ -1,0 +1,139 @@
+// Paper regression: Table 1 "System Cost" of Richter et al., DAC 1999.
+//
+// The reproduction target: independent synthesis of the two applications
+// yields 34 and 38 (software {PA,PB} on the 15-cost processor plus one ASIC
+// per cluster at 19/23); superposing those implementations accumulates both
+// ASICs (57); joint synthesis over the variant-annotated model moves PA to
+// hardware (26) and shares the processor between the mutually exclusive
+// clusters (41). Design time: superposition = sum of the independent runs;
+// with variants < superposition (shared processes examined once).
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "synth/strategies.hpp"
+
+namespace spivar::synth {
+namespace {
+
+struct Table1Row {
+  const char* label;
+  double paper_total;
+};
+
+class Table1 : public ::testing::Test {
+ protected:
+  ImplLibrary lib = models::table1_library();
+  std::vector<Application> apps = models::table1_problem().apps;
+  ExploreOptions exhaustive = [] {
+    ExploreOptions o;
+    o.engine = ExploreEngine::kExhaustive;
+    return o;
+  }();
+};
+
+TEST_F(Table1, ProblemShape) {
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].name, "Application 1");
+  EXPECT_EQ(apps[1].name, "Application 2");
+  // Application 1: PA, cluster1, PB; Application 2: PA, cluster2, PB.
+  EXPECT_EQ(apps[0].elements.size(), 3u);
+  EXPECT_EQ(apps[1].elements.size(), 3u);
+}
+
+TEST_F(Table1, Row1_Application1) {
+  const auto r = synthesize_independent(lib, apps[0], exhaustive);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 34.0);          // paper: 34
+  EXPECT_DOUBLE_EQ(r.cost.processor_cost, 15.0); // paper: SW {PA,PB} = 15
+  EXPECT_DOUBLE_EQ(r.cost.asic_cost, 19.0);      // paper: HW {theta1} = 19
+  EXPECT_EQ(r.mapping.at("PA"), Target::kSoftware);
+  EXPECT_EQ(r.mapping.at("PB"), Target::kSoftware);
+  EXPECT_EQ(r.mapping.at("cluster1"), Target::kHardware);
+}
+
+TEST_F(Table1, Row2_Application2) {
+  const auto r = synthesize_independent(lib, apps[1], exhaustive);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 38.0);      // paper: 38
+  EXPECT_DOUBLE_EQ(r.cost.asic_cost, 23.0);  // paper: HW {theta2} = 23
+  EXPECT_EQ(r.mapping.at("cluster2"), Target::kHardware);
+}
+
+TEST_F(Table1, Row3_Superposition) {
+  const auto r = synthesize_superposition(lib, apps, exhaustive);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 57.0);          // paper: 57
+  EXPECT_DOUBLE_EQ(r.cost.processor_cost, 15.0); // software reused
+  EXPECT_DOUBLE_EQ(r.cost.asic_cost, 42.0);      // paper: 19 + 23 = 42
+}
+
+TEST_F(Table1, Row4_WithVariants) {
+  const auto r = synthesize_with_variants(lib, apps, exhaustive);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost.total, 41.0);          // paper: 41
+  EXPECT_DOUBLE_EQ(r.cost.processor_cost, 15.0); // SW {theta1, theta2, PB}
+  EXPECT_DOUBLE_EQ(r.cost.asic_cost, 26.0);      // HW {PA}
+  EXPECT_EQ(r.mapping.at("PA"), Target::kHardware);
+  EXPECT_EQ(r.mapping.at("PB"), Target::kSoftware);
+  EXPECT_EQ(r.mapping.at("cluster1"), Target::kSoftware);
+  EXPECT_EQ(r.mapping.at("cluster2"), Target::kSoftware);
+}
+
+TEST_F(Table1, CostOrderingMatchesPaper) {
+  const auto r1 = synthesize_independent(lib, apps[0], exhaustive);
+  const auto r2 = synthesize_independent(lib, apps[1], exhaustive);
+  const auto sup = synthesize_superposition(lib, apps, exhaustive);
+  const auto var = synthesize_with_variants(lib, apps, exhaustive);
+  // 34 < 38 < 41 < 57
+  EXPECT_LT(r1.cost.total, r2.cost.total);
+  EXPECT_LT(r2.cost.total, var.cost.total);
+  EXPECT_LT(var.cost.total, sup.cost.total);
+}
+
+TEST_F(Table1, MutualExclusionIsWhatMakesRow4Feasible) {
+  // If the two clusters had to run concurrently (loads summed), the joint
+  // mapping of row 4 would overload the processor: 0.6+0.65+0.3 > 1.
+  Application merged{.name = "no-exclusion",
+                     .elements = {"PA", "PB", "cluster1", "cluster2"}};
+  Mapping row4;
+  row4.set("PA", Target::kHardware)
+      .set("PB", Target::kSoftware)
+      .set("cluster1", Target::kSoftware)
+      .set("cluster2", Target::kSoftware);
+  const CostBreakdown without_exclusion = evaluate(lib, {merged}, row4);
+  EXPECT_FALSE(without_exclusion.feasible);
+  const CostBreakdown with_exclusion = evaluate(lib, apps, row4);
+  EXPECT_TRUE(with_exclusion.feasible);
+}
+
+TEST_F(Table1, DesignTimeSuperpositionIsSumOfIndependent) {
+  ExploreOptions greedy;
+  greedy.engine = ExploreEngine::kGreedy;
+  const auto r1 = synthesize_independent(lib, apps[0], greedy);
+  const auto r2 = synthesize_independent(lib, apps[1], greedy);
+  const auto sup = synthesize_superposition(lib, apps, greedy);
+  // Paper: 67 + 73 = 140. Ours: decisions(sup) = decisions(1) +
+  // decisions(2) + merge pass over the 4-element union.
+  EXPECT_EQ(sup.decisions, r1.decisions + r2.decisions + 4);
+}
+
+TEST_F(Table1, DesignTimeWithVariantsBelowSuperposition) {
+  ExploreOptions greedy;
+  greedy.engine = ExploreEngine::kGreedy;
+  const auto sup = synthesize_superposition(lib, apps, greedy);
+  const auto var = synthesize_with_variants(lib, apps, greedy);
+  // Paper: 118 < 140 because shared processes are considered once.
+  EXPECT_LT(var.decisions, sup.decisions);
+}
+
+TEST_F(Table1, GreedyAgreesWithExhaustiveOnAllRows) {
+  ExploreOptions greedy;
+  greedy.engine = ExploreEngine::kGreedy;
+  EXPECT_DOUBLE_EQ(synthesize_independent(lib, apps[0], greedy).cost.total, 34.0);
+  EXPECT_DOUBLE_EQ(synthesize_independent(lib, apps[1], greedy).cost.total, 38.0);
+  EXPECT_DOUBLE_EQ(synthesize_superposition(lib, apps, greedy).cost.total, 57.0);
+  EXPECT_DOUBLE_EQ(synthesize_with_variants(lib, apps, greedy).cost.total, 41.0);
+}
+
+}  // namespace
+}  // namespace spivar::synth

@@ -1,0 +1,290 @@
+// Tests for the text serialization format: canonical output, parsing,
+// round-trip fidelity, and error reporting.
+#include <gtest/gtest.h>
+
+#include "models/fig1.hpp"
+#include "models/fig2.hpp"
+#include "models/video_system.hpp"
+#include "sim/engine.hpp"
+#include "spi/builder.hpp"
+#include "spi/textio.hpp"
+
+namespace spivar::spi {
+namespace {
+
+using support::Duration;
+using support::DurationInterval;
+using support::Interval;
+
+/// Structural equality check used by the round-trip tests.
+void expect_equivalent(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.process_count(), b.process_count());
+  ASSERT_EQ(a.channel_count(), b.channel_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+
+  for (ChannelId cid : a.channel_ids()) {
+    const Channel& ca = a.channel(cid);
+    const auto cb_id = b.find_channel(ca.name);
+    ASSERT_TRUE(cb_id.has_value()) << ca.name;
+    const Channel& cb = b.channel(*cb_id);
+    EXPECT_EQ(ca.kind, cb.kind) << ca.name;
+    EXPECT_EQ(ca.capacity, cb.capacity) << ca.name;
+    EXPECT_EQ(ca.initial_tokens, cb.initial_tokens) << ca.name;
+    EXPECT_EQ(ca.is_virtual, cb.is_virtual) << ca.name;
+  }
+
+  for (ProcessId pid : a.process_ids()) {
+    const Process& pa = a.process(pid);
+    const auto pb_id = b.find_process(pa.name);
+    ASSERT_TRUE(pb_id.has_value()) << pa.name;
+    const Process& pb = b.process(*pb_id);
+    EXPECT_EQ(pa.is_virtual, pb.is_virtual) << pa.name;
+    EXPECT_EQ(pa.min_period, pb.min_period) << pa.name;
+    EXPECT_EQ(pa.max_firings, pb.max_firings) << pa.name;
+    ASSERT_EQ(pa.modes.size(), pb.modes.size()) << pa.name;
+    ASSERT_EQ(pa.inputs.size(), pb.inputs.size()) << pa.name;
+    ASSERT_EQ(pa.outputs.size(), pb.outputs.size()) << pa.name;
+    for (std::size_t mi = 0; mi < pa.modes.size(); ++mi) {
+      const Mode& ma = pa.modes[mi];
+      const Mode& mb = pb.modes[mi];
+      EXPECT_EQ(ma.name, mb.name);
+      EXPECT_EQ(ma.latency, mb.latency) << pa.name << "/" << ma.name;
+      for (std::size_t e = 0; e < pa.inputs.size(); ++e) {
+        EXPECT_EQ(ma.consumption_on(pa.inputs[e]), mb.consumption_on(pb.inputs[e]))
+            << pa.name << "/" << ma.name;
+      }
+      for (std::size_t e = 0; e < pa.outputs.size(); ++e) {
+        EXPECT_EQ(ma.production_on(pa.outputs[e]), mb.production_on(pb.outputs[e]))
+            << pa.name << "/" << ma.name;
+        // Tag sets compare by *names* (interner ids may differ).
+        EXPECT_EQ(ma.tags_on(pa.outputs[e]).to_string(a.tags()),
+                  mb.tags_on(pb.outputs[e]).to_string(b.tags()))
+            << pa.name << "/" << ma.name;
+      }
+    }
+    ASSERT_EQ(pa.activation.size(), pb.activation.size()) << pa.name;
+    ASSERT_EQ(pa.configurations.size(), pb.configurations.size()) << pa.name;
+    for (std::size_t ci = 0; ci < pa.configurations.size(); ++ci) {
+      EXPECT_EQ(pa.configurations[ci].name, pb.configurations[ci].name);
+      EXPECT_EQ(pa.configurations[ci].t_conf, pb.configurations[ci].t_conf);
+      EXPECT_EQ(pa.configurations[ci].modes, pb.configurations[ci].modes);
+    }
+    EXPECT_EQ(pa.initial_configuration, pb.initial_configuration) << pa.name;
+  }
+
+  EXPECT_EQ(a.constraints().latency.size(), b.constraints().latency.size());
+  EXPECT_EQ(a.constraints().throughput.size(), b.constraints().throughput.size());
+}
+
+TEST(TextIo, WriteContainsAllSections) {
+  const Graph g = models::make_fig1();
+  const std::string text = write_text(g);
+  EXPECT_NE(text.find("model fig1"), std::string::npos);
+  EXPECT_NE(text.find("queue c1"), std::string::npos);
+  EXPECT_NE(text.find("process p2"), std::string::npos);
+  EXPECT_NE(text.find("mode m1 latency 3ms"), std::string::npos);
+  EXPECT_NE(text.find("rule a1:"), std::string::npos);
+  EXPECT_NE(text.find("tag(c1, a)"), std::string::npos);
+  EXPECT_NE(text.find("latency_constraint end-to-end"), std::string::npos);
+}
+
+TEST(TextIo, RoundTripFig1) {
+  const Graph original = models::make_fig1();
+  const Graph reparsed = parse_text(write_text(original));
+  expect_equivalent(original, reparsed);
+}
+
+TEST(TextIo, RoundTripFig2GraphLevel) {
+  // The variant overlay is not serialized; the underlying graph round-trips.
+  const variant::VariantModel model = models::make_fig2();
+  const Graph& original = model.graph();
+  const Graph reparsed = parse_text(write_text(original));
+  expect_equivalent(original, reparsed);
+}
+
+TEST(TextIo, RoundTripVideoSystem) {
+  // The hardest model: registers, configurations, initial configurations,
+  // multi-term predicates, self-loops.
+  const Graph original = models::make_video_system({});
+  const Graph reparsed = parse_text(write_text(original));
+  expect_equivalent(original, reparsed);
+}
+
+TEST(TextIo, RoundTripPreservesSimulationBehavior) {
+  const Graph original = models::make_fig1({.tag = 'b', .source_firings = 12});
+  const Graph reparsed = parse_text(write_text(original));
+
+  sim::SimResult ra = sim::Simulator{original}.run();
+  sim::SimResult rb = sim::Simulator{reparsed}.run();
+  EXPECT_EQ(ra.total_firings, rb.total_firings);
+  EXPECT_EQ(ra.end_time, rb.end_time);
+}
+
+TEST(TextIo, RoundTripVideoSystemBehavior) {
+  const Graph original = models::make_video_system({});
+  const Graph reparsed = parse_text(write_text(original));
+  sim::SimResult ra = sim::Simulator{original}.run();
+  sim::SimResult rb = sim::Simulator{reparsed}.run();
+  EXPECT_EQ(ra.total_firings, rb.total_firings);
+  const auto oa = models::harvest_video_outcome(original, ra);
+  const auto ob = models::harvest_video_outcome(reparsed, rb);
+  EXPECT_EQ(oa.ok_frames, ob.ok_frames);
+  EXPECT_EQ(oa.invalid_frames, ob.invalid_frames);
+}
+
+TEST(TextIo, SecondRoundTripIsIdentical) {
+  // write(parse(write(g))) == write(g): the format is canonical.
+  const Graph g = models::make_video_system({});
+  const std::string once = write_text(g);
+  const std::string twice = write_text(parse_text(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(TextIo, ParseMinimalModel) {
+  const Graph g = parse_text(R"(
+model tiny
+queue c initial 1
+process p
+  mode m latency 2ms
+    consume c 1
+)");
+  EXPECT_EQ(g.name(), "tiny");
+  EXPECT_EQ(g.process_count(), 1u);
+  const Process& p = g.process(*g.find_process("p"));
+  EXPECT_EQ(p.modes[0].latency, DurationInterval{Duration::millis(2)});
+}
+
+TEST(TextIo, ParseCommentsAndBlankLines) {
+  const Graph g = parse_text(R"(
+# header comment
+model tiny
+
+queue c initial 1   # trailing comment
+
+process p
+  mode m latency 250us
+    consume c 1..3
+)");
+  const Process& p = g.process(*g.find_process("p"));
+  EXPECT_EQ(p.modes[0].latency.lo(), Duration::micros(250));
+  EXPECT_EQ(p.modes[0].consumption_on(p.inputs[0]), Interval(1, 3));
+}
+
+TEST(TextIo, ParsePredicatePrecedence) {
+  const Graph g = parse_text(R"(
+model m
+queue a initial 1 tags x
+queue bq initial 1 tags y
+process p
+  input a
+  input bq
+  mode m1 latency 1ms
+    consume a 1
+  rule r: tag(a, x) || tag(a, y) && num(bq) >= 2 -> m1
+)");
+  // && binds tighter: x || (y && bq>=2). With a tagged 'x' it holds even
+  // though bq has only 1 token.
+  const Process& p = g.process(*g.find_process("p"));
+  ASSERT_EQ(p.activation.size(), 1u);
+  sim::SimResult r = sim::Simulator{g}.run();
+  EXPECT_EQ(r.total_firings, 1);
+}
+
+TEST(TextIo, ParseErrorsCarryLineNumbers) {
+  try {
+    (void)parse_text("model m\nqueue c\nbogus directive\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(TextIo, ParseErrorUnknownChannel) {
+  EXPECT_THROW((void)parse_text(R"(
+model m
+process p
+  mode m1 latency 1ms
+    consume ghost 1
+)"),
+               ParseError);
+}
+
+TEST(TextIo, ParseErrorRuleOutsideProcess) {
+  EXPECT_THROW((void)parse_text("model m\nrule r: true -> m1\n"), ParseError);
+}
+
+TEST(TextIo, ParseErrorBadDuration) {
+  EXPECT_THROW((void)parse_text(R"(
+model m
+process p
+  mode m1 latency 3sec
+)"),
+               ParseError);
+}
+
+TEST(TextIo, ParseErrorMissingModelHeader) {
+  EXPECT_THROW((void)parse_text("queue c\n"), ParseError);
+}
+
+TEST(TextIo, ParseErrorUnbalancedPredicate) {
+  EXPECT_THROW((void)parse_text(R"(
+model m
+queue c initial 1
+process p
+  mode m1 latency 1ms
+    consume c 1
+  rule r: (num(c) >= 1 -> m1
+)"),
+               ParseError);
+}
+
+TEST(TextIo, NegatedPredicateRoundTrips) {
+  GraphBuilder b{"neg"};
+  auto c = b.queue("c").initial(2, {"x"});
+  auto p = b.process("p");
+  p.mode("m").latency(DurationInterval{Duration::millis(1)}).consume(c, 1);
+  p.rule("r", !Predicate::has_tag(c, b.tag("y")) && Predicate::num_at_least(c, 1), "m");
+  const Graph original = b.take();
+
+  const Graph reparsed = parse_text(write_text(original));
+  const Process& proc = reparsed.process(*reparsed.find_process("p"));
+  ASSERT_EQ(proc.activation.size(), 1u);
+
+  // Behavior equivalence: fires on 'x'-tagged tokens ('y' absent).
+  sim::SimResult r = sim::Simulator{reparsed}.run();
+  EXPECT_EQ(r.total_firings, 2);
+}
+
+TEST(TextIo, UnserializableNameRejectedOnWrite) {
+  GraphBuilder b{"bad name with spaces"};
+  EXPECT_THROW((void)write_text(b.take()), support::ModelError);
+}
+
+TEST(TextIo, ConfigurationsRoundTrip) {
+  const Graph g = parse_text(R"(
+model confs
+queue c initial 4 tags A
+process p
+  mode mA latency 1ms
+    consume c 1
+  mode mB latency 2ms
+    consume c 1
+  rule ra: tag(c, A) -> mA
+  configuration confA t_conf 5ms modes mA
+  configuration confB t_conf 7ms modes mB
+  initial_configuration confB
+)");
+  const Process& p = g.process(*g.find_process("p"));
+  ASSERT_EQ(p.configurations.size(), 2u);
+  EXPECT_EQ(p.configurations[1].t_conf, Duration::millis(7));
+  EXPECT_EQ(p.initial_configuration, support::ConfigurationId{1});
+
+  // Simulate: mode mA is outside the initial configuration -> one switch.
+  sim::SimResult r = sim::Simulator{g}.run();
+  EXPECT_EQ(r.process(*g.find_process("p")).reconfigurations, 1);
+  EXPECT_EQ(r.process(*g.find_process("p")).reconfig_time, Duration::millis(5));
+}
+
+}  // namespace
+}  // namespace spivar::spi

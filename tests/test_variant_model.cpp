@@ -1,0 +1,283 @@
+// Tests for clusters, interfaces, the variant builder, and variant
+// validation (paper Defs. 1-3 well-formedness).
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "spi/validate.hpp"
+#include "variant/model.hpp"
+#include "variant/validate.hpp"
+
+namespace spivar::variant {
+namespace {
+
+using spi::Predicate;
+using support::Duration;
+using support::DurationInterval;
+using support::ModelError;
+
+/// Minimal well-formed two-variant system for builder tests.
+VariantModel make_two_variant() {
+  VariantBuilder vb{"two"};
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "v1");
+    vb.process("A1").latency(DurationInterval{Duration::millis(1)}).consumes(ci, 1).produces(co,
+                                                                                             1);
+    (void)scope;
+  }
+  {
+    auto scope = vb.begin_cluster(iface, "v2");
+    vb.process("B1").latency(DurationInterval{Duration::millis(2)}).consumes(ci, 1).produces(co,
+                                                                                             2);
+    (void)scope;
+  }
+  vb.process("sink").mark_virtual().latency(DurationInterval{Duration::zero()}).consumes(co, 1);
+  return vb.take();
+}
+
+TEST(VariantBuilder, ScopeCapturesMembership) {
+  const VariantModel m = make_two_variant();
+  ASSERT_EQ(m.interface_count(), 1u);
+  ASSERT_EQ(m.cluster_count(), 2u);
+
+  const auto v1 = m.find_cluster("v1");
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(m.cluster(*v1).processes.size(), 1u);
+  const auto a1 = m.graph().find_process("A1");
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_EQ(m.cluster_of(*a1), v1);
+
+  const auto sink = m.graph().find_process("sink");
+  EXPECT_FALSE(m.cluster_of(*sink).has_value());  // common part
+}
+
+TEST(VariantBuilder, NestedScopesRejected) {
+  VariantBuilder vb;
+  auto iface = vb.interface("i");
+  auto s1 = vb.begin_cluster(iface, "c1");
+  EXPECT_THROW((void)vb.begin_cluster(iface, "c2"), ModelError);
+  (void)s1;
+}
+
+TEST(VariantBuilder, TakeWithOpenScopeRejected) {
+  VariantBuilder vb;
+  auto iface = vb.interface("i");
+  auto scope = vb.begin_cluster(iface, "c1");
+  EXPECT_THROW((void)vb.take(), ModelError);
+  (void)scope;
+}
+
+TEST(VariantBuilder, SelectionRuleForForeignClusterRejected) {
+  VariantBuilder vb;
+  auto iface1 = vb.interface("i1");
+  auto iface2 = vb.interface("i2");
+  {
+    auto s = vb.begin_cluster(iface1, "c1");
+    (void)s;
+  }
+  EXPECT_THROW(vb.selection_rule(iface2, "r", Predicate::always(), "c1"), ModelError);
+  EXPECT_THROW(vb.t_conf(iface2, "c1", Duration::millis(1)), ModelError);
+}
+
+TEST(VariantModel, ClusterWithoutInterfaceRejected) {
+  VariantModel m;
+  EXPECT_THROW(m.add_cluster(Cluster{.name = "orphan"}), ModelError);
+}
+
+TEST(VariantModel, MutualExclusionWithinInterface) {
+  const VariantModel m = make_two_variant();
+  const auto a1 = *m.graph().find_process("A1");
+  const auto b1 = *m.graph().find_process("B1");
+  const auto sink = *m.graph().find_process("sink");
+  EXPECT_TRUE(m.mutually_exclusive(a1, b1));
+  EXPECT_TRUE(m.mutually_exclusive(b1, a1));
+  EXPECT_FALSE(m.mutually_exclusive(a1, sink));
+  EXPECT_FALSE(m.mutually_exclusive(a1, a1));
+}
+
+TEST(VariantModel, LinkedInterfacesExcludeAcrossPositions) {
+  const VariantModel m = models::make_multistandard_tv();
+  const auto pal_video = *m.graph().find_process("PPalDemod");
+  const auto ntsc_audio = *m.graph().find_process("PAudioNtsc");
+  const auto pal_audio = *m.graph().find_process("PAudioPal");
+  // PAL video never runs with NTSC audio (linked, different position)...
+  EXPECT_TRUE(m.mutually_exclusive(pal_video, ntsc_audio));
+  // ...but does run with PAL audio (same position).
+  EXPECT_FALSE(m.mutually_exclusive(pal_video, pal_audio));
+}
+
+TEST(VariantModel, LinkRequiresEqualVariantCounts) {
+  VariantBuilder vb;
+  auto i1 = vb.interface("i1");
+  auto i2 = vb.interface("i2");
+  {
+    auto s = vb.begin_cluster(i1, "a");
+    (void)s;
+  }
+  {
+    auto s = vb.begin_cluster(i1, "b");
+    (void)s;
+  }
+  {
+    auto s = vb.begin_cluster(i2, "c");
+    (void)s;
+  }
+  EXPECT_THROW(vb.link(i1, i2), ModelError);
+}
+
+TEST(VariantModel, SelfLinkRejected) {
+  VariantBuilder vb;
+  auto i1 = vb.interface("i1");
+  EXPECT_THROW(vb.link(i1, i1), ModelError);
+}
+
+TEST(VariantModel, LinkedGroupIsTransitive) {
+  VariantBuilder vb;
+  auto i1 = vb.interface("i1");
+  auto i2 = vb.interface("i2");
+  auto i3 = vb.interface("i3");
+  for (auto iface : {i1, i2, i3}) {
+    auto s1 = vb.begin_cluster(iface, "c" + std::to_string(iface.value()) + "_0");
+    // empty clusters are fine for this structural test
+    (void)s1;
+  }
+  vb.link(i1, i2);
+  vb.link(i2, i3);
+  const VariantModel m = vb.take();
+  const auto group = m.linked_group(i1);
+  EXPECT_EQ(group.size(), 3u);
+}
+
+// --- Variant validation -------------------------------------------------------
+
+TEST(ValidateVariants, CleanTwoVariantModel) {
+  const auto diags = validate_variants(make_two_variant());
+  EXPECT_FALSE(diags.has_errors()) << diags;
+}
+
+TEST(ValidateVariants, Figure2ModelIsClean) {
+  const auto diags = validate_variants(models::make_fig2());
+  EXPECT_FALSE(diags.has_errors()) << diags;
+}
+
+TEST(ValidateVariants, Figure3ModelIsClean) {
+  const auto diags = validate_variants(models::make_fig3());
+  EXPECT_FALSE(diags.has_errors()) << diags;
+}
+
+TEST(ValidateVariants, PortMismatchDetected) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "bad");
+    // Consumes from the input port but never produces to the output port.
+    vb.process("only_in").latency(DurationInterval{Duration::millis(1)}).consumes(ci, 1);
+    (void)scope;
+  }
+  const auto diags = validate_variants(vb.take());
+  EXPECT_TRUE(diags.has_code(diag::kClusterPortMismatch));
+}
+
+TEST(ValidateVariants, ClusterEscapeDetected) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto secret = vb.queue("secret");  // not a port
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "leaky");
+    vb.process("P")
+        .latency(DurationInterval{Duration::millis(1)})
+        .consumes(ci, 1)
+        .produces(co, 1)
+        .produces(secret, 1);
+    (void)scope;
+  }
+  const auto diags = validate_variants(vb.take());
+  EXPECT_TRUE(diags.has_code(diag::kClusterEscape));
+}
+
+TEST(ValidateVariants, SelectionChannelMustBeInputPort) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto cv = vb.queue("cv");  // NOT declared as a port
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  {
+    auto scope = vb.begin_cluster(iface, "c1");
+    vb.process("P").latency(DurationInterval{Duration::millis(1)}).consumes(ci, 1).produces(co,
+                                                                                            1);
+    (void)scope;
+  }
+  vb.selection_rule(iface, "r", Predicate::has_tag(cv, vb.tag("V1")), "c1");
+  const auto diags = validate_variants(vb.take());
+  EXPECT_TRUE(diags.has_code(diag::kSelectionChannelNotPort));
+}
+
+TEST(ValidateVariants, UnselectableClusterWarned) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto co = vb.queue("co");
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  vb.port(iface, "o", PortDir::kOutput, co);
+  for (const char* name : {"c1", "c2"}) {
+    auto scope = vb.begin_cluster(iface, name);
+    vb.process(std::string("P") + name)
+        .latency(DurationInterval{Duration::millis(1)})
+        .consumes(ci, 1)
+        .produces(co, 1);
+    (void)scope;
+  }
+  vb.selection_rule(iface, "r1", Predicate::num_at_least(ci, 1), "c1");
+  // c2 has no rule and is not initial.
+  const auto diags = validate_variants(vb.take());
+  EXPECT_TRUE(diags.has_code(diag::kClusterUnselectable));
+}
+
+TEST(ValidateVariants, ProcessInTwoClustersDetected) {
+  VariantBuilder vb;
+  auto ci = vb.queue("ci").initial(1);
+  auto iface = vb.interface("iface");
+  vb.port(iface, "i", PortDir::kInput, ci);
+  ClusterId c1, c2;
+  {
+    auto scope = vb.begin_cluster(iface, "c1");
+    vb.process("shared").latency(DurationInterval{Duration::millis(1)}).consumes(ci, 1);
+    c1 = scope.id();
+  }
+  {
+    auto scope = vb.begin_cluster(iface, "c2");
+    c2 = scope.id();
+  }
+  auto model_builder_hack = vb.assign(c2, *vb.graph_builder().graph().find_process("shared"));
+  (void)model_builder_hack;
+  const auto diags = validate_variants(vb.take());
+  EXPECT_TRUE(diags.has_code(diag::kProcessMultipleClusters));
+}
+
+TEST(ValidateVariants, MultiConsumerPortChannelAcceptedViaExclusivity) {
+  // The two clusters of make_two_variant both read 'ci': the core degree
+  // rule must be relaxed by the exclusivity oracle.
+  const VariantModel m = make_two_variant();
+  const auto core = spi::validate(m.graph());  // no oracle: violation
+  EXPECT_TRUE(core.has_code(spi::diag::kChannelMultiConsumer));
+  const auto with_oracle = spi::validate(m.graph(), m.exclusivity_oracle());
+  EXPECT_FALSE(with_oracle.has_code(spi::diag::kChannelMultiConsumer));
+}
+
+}  // namespace
+}  // namespace spivar::variant

@@ -1,0 +1,180 @@
+// spivar_cli — command-line front end over the "spit" text format.
+//
+//   spivar_cli validate <model.spit>          structural diagnostics
+//   spivar_cli stats <model.spit>             model statistics
+//   spivar_cli simulate <model.spit> [--trace] [--timeline] [--upper|--random N]
+//   spivar_cli dot <model.spit>               GraphViz to stdout
+//   spivar_cli deadlock <model.spit>          structural deadlock report
+//   spivar_cli buffers <model.spit>           channel flow classification
+//   spivar_cli demo                           emit the built-in Figure 1 model
+//   spivar_cli selfcheck                      demo -> parse -> validate -> simulate
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/buffer_bounds.hpp"
+#include "analysis/deadlock.hpp"
+#include "models/fig1.hpp"
+#include "sim/engine.hpp"
+#include "sim/timeline.hpp"
+#include "spi/dot.hpp"
+#include "spi/statistics.hpp"
+#include "spi/textio.hpp"
+#include "spi/validate.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace spivar;
+
+int usage() {
+  std::cerr << "usage: spivar_cli "
+               "<validate|stats|simulate|dot|deadlock|buffers|demo|selfcheck> "
+               "[model.spit] [--trace] [--timeline] [--upper] [--random SEED]\n";
+  return 2;
+}
+
+spi::Graph load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw support::ModelError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return spi::parse_text(buffer.str());
+}
+
+int cmd_validate(const spi::Graph& g) {
+  const auto diags = spi::validate(g);
+  if (diags.empty()) {
+    std::cout << "clean: no findings\n";
+    return 0;
+  }
+  std::cout << diags;
+  return diags.has_errors() ? 1 : 0;
+}
+
+int cmd_simulate(const spi::Graph& g, const std::vector<std::string>& flags) {
+  sim::SimOptions options;
+  bool timeline = false;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] == "--trace") options.record_trace = true;
+    if (flags[i] == "--timeline") {
+      options.record_trace = true;
+      timeline = true;
+    }
+    if (flags[i] == "--upper") options.resolution = sim::Resolution::kUpperBound;
+    if (flags[i] == "--random" && i + 1 < flags.size()) {
+      options.resolution = sim::Resolution::kRandom;
+      options.seed = std::stoull(flags[++i]);
+    }
+  }
+
+  sim::SimResult r = sim::Simulator{g, options}.run();
+  std::cout << "end time " << r.end_time << ", " << r.total_firings << " firings, "
+            << (r.quiescent ? "quiescent" : "stopped on limit") << "\n\n";
+
+  support::TextTable processes{{"process", "firings", "busy", "reconfigs"}};
+  for (auto pid : g.process_ids()) {
+    processes.add_row({g.process(pid).name, std::to_string(r.process(pid).firings),
+                       r.process(pid).busy.to_string(),
+                       std::to_string(r.process(pid).reconfigurations)});
+  }
+  std::cout << processes << "\n";
+
+  support::TextTable channels{{"channel", "produced", "consumed", "left", "max"}};
+  for (auto cid : g.channel_ids()) {
+    channels.add_row({g.channel(cid).name, std::to_string(r.channel(cid).produced),
+                      std::to_string(r.channel(cid).consumed),
+                      std::to_string(r.channel(cid).occupancy),
+                      std::to_string(r.channel(cid).max_occupancy)});
+  }
+  std::cout << channels;
+
+  for (const auto& c : r.constraints) {
+    std::cout << "constraint " << c.name << ": observed " << c.observed << " bound " << c.bound
+              << (c.satisfied ? " OK" : " VIOLATED") << "\n";
+  }
+  if (timeline) std::cout << "\n" << sim::render_timeline(g, r);
+  return r.quiescent || r.hit_limit ? 0 : 1;
+}
+
+int cmd_deadlock(const spi::Graph& g) {
+  const auto deadlocks = analysis::find_structural_deadlocks(g);
+  if (deadlocks.empty()) {
+    std::cout << "no structural deadlock\n";
+    return 0;
+  }
+  for (const auto& d : deadlocks) std::cout << d.describe(g) << "\n";
+  return 1;
+}
+
+int cmd_buffers(const spi::Graph& g) {
+  support::TextTable table{{"channel", "class", "max inflow/ms", "min drain/ms"}};
+  for (const auto& flow : analysis::analyze_buffers(g)) {
+    table.add_row({flow.name, analysis::to_string(flow.flow),
+                   support::format_double(flow.max_inflow), support::format_double(flow.min_drain)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_selfcheck() {
+  // Full pipeline on the built-in model: write -> parse -> validate ->
+  // simulate; compare behavior against the in-memory original.
+  const spi::Graph original = models::make_fig1({.tag = 'b', .source_firings = 10});
+  const std::string text = spi::write_text(original);
+  const spi::Graph reparsed = spi::parse_text(text);
+  if (spi::validate(reparsed).has_errors()) {
+    std::cerr << "selfcheck: reparsed model has validation errors\n";
+    return 1;
+  }
+  sim::SimResult ra = sim::Simulator{original}.run();
+  sim::SimResult rb = sim::Simulator{reparsed}.run();
+  if (ra.total_firings != rb.total_firings || ra.end_time != rb.end_time) {
+    std::cerr << "selfcheck: behavior differs after round-trip\n";
+    return 1;
+  }
+  std::cout << "selfcheck OK: " << rb.total_firings << " firings, end " << rb.end_time << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+
+  try {
+    if (command == "demo") {
+      std::cout << spi::write_text(models::make_fig1());
+      return 0;
+    }
+    if (command == "selfcheck") return cmd_selfcheck();
+
+    if (rest.empty()) return usage();
+    const spi::Graph g = load(rest[0]);
+    const std::vector<std::string> flags(rest.begin() + 1, rest.end());
+
+    if (command == "validate") return cmd_validate(g);
+    if (command == "stats") {
+      std::cout << spi::collect_statistics(g).to_string() << "\n";
+      return 0;
+    }
+    if (command == "simulate") return cmd_simulate(g, flags);
+    if (command == "dot") {
+      std::cout << spi::to_dot(g);
+      return 0;
+    }
+    if (command == "deadlock") return cmd_deadlock(g);
+    if (command == "buffers") return cmd_buffers(g);
+    return usage();
+  } catch (const spi::ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  } catch (const support::ModelError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
