@@ -1,0 +1,93 @@
+// Experiment API — overhead of the api::Session facade and throughput of
+// the batch surface.
+//
+// The facade adds response materialization (name-resolved rows) on top of
+// the raw engine; the batch entry points are the seam where parallel
+// dispatch lands later. This benchmark pins down today's sequential
+// baseline so that future sharding work has a number to beat.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "api/api.hpp"
+#include "models/fig1.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace spivar;
+
+/// Loads a builtin or aborts with rendered diagnostics — benchmarks have no
+/// error path of their own.
+api::ModelId must_load(api::Session& session, const char* name) {
+  const auto loaded = session.load_builtin(name);
+  if (api::report_failure(loaded)) std::exit(1);
+  return loaded.value().id;
+}
+
+void print_report() {
+  std::cout << "== API: session facade overhead and batch baseline ==\n\n";
+  api::Session session;
+  const auto run = session.simulate({.model = must_load(session, "fig1")});
+  if (api::report_failure(run)) std::exit(1);
+  std::cout << "fig1 via facade: " << run.value().result.total_firings << " firings, end "
+            << run.value().result.end_time << "\n\n";
+}
+
+void BM_DirectSimulate(benchmark::State& state) {
+  const spi::Graph g = models::make_fig1({.tag = 'a', .source_firings = 100});
+  for (auto _ : state) {
+    sim::SimResult r = sim::Simulator{g}.run();
+    benchmark::DoNotOptimize(r.total_firings);
+  }
+}
+BENCHMARK(BM_DirectSimulate);
+
+void BM_SessionSimulate(benchmark::State& state) {
+  api::Session session;
+  const api::SimulateRequest request{.model = must_load(session, "fig1")};
+  for (auto _ : state) {
+    const auto r = session.simulate(request);
+    benchmark::DoNotOptimize(r.value().result.total_firings);
+  }
+}
+BENCHMARK(BM_SessionSimulate);
+
+void BM_SessionSimulateBatch(benchmark::State& state) {
+  api::Session session;
+  const api::ModelId model = must_load(session, "fig1");
+  std::vector<api::SimulateRequest> batch;
+  for (std::int64_t seed = 0; seed < state.range(0); ++seed) {
+    api::SimulateRequest request{.model = model};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = static_cast<std::uint64_t>(seed + 1);
+    batch.push_back(request);
+  }
+  for (auto _ : state) {
+    const auto results = session.simulate_batch(batch);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SessionSimulateBatch)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SessionExplore(benchmark::State& state) {
+  api::Session session;
+  api::ExploreRequest request{.model = must_load(session, "fig2")};
+  request.options.engine = synth::ExploreEngine::kExhaustive;
+  for (auto _ : state) {
+    const auto r = session.explore(request);
+    benchmark::DoNotOptimize(r.value().result.cost.total);
+  }
+}
+BENCHMARK(BM_SessionExplore);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

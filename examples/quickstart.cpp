@@ -1,70 +1,55 @@
-// Quickstart: build the paper's Figure 1 SPI model, validate it, analyze its
-// timing, simulate it, and export GraphViz.
+// Quickstart: the whole pipeline — validate, analyze, simulate, explore,
+// GraphViz — through the api::Session facade.
 //
 //   $ ./quickstart
+#include <cstdlib>
 #include <iostream>
 
-#include "analysis/buffer_bounds.hpp"
-#include "analysis/timing.hpp"
-#include "models/fig1.hpp"
-#include "sim/engine.hpp"
-#include "spi/dot.hpp"
-#include "spi/validate.hpp"
-#include "support/table.hpp"
+#include "api/api.hpp"
+
+namespace {
+
+// The facade's error-handling pattern: check the Result, render the
+// diagnostics on failure — value() is only for results known to be ok.
+template <typename T>
+const T& unwrap(const spivar::api::Result<T>& result) {
+  if (spivar::api::report_failure(result)) std::exit(1);
+  return result.value();
+}
+
+}  // namespace
 
 int main() {
   using namespace spivar;
 
-  // 1. Build the model (see src/models/fig1.cpp for the builder API in
-  //    action: processes, channels, modes, tag-driven activation rules).
-  const spi::Graph graph = models::make_fig1({.tag = 'a', .source_firings = 20});
+  api::Session session;
+
+  // 1. Load a model. Built-ins come from the registry by name; .spit text
+  //    or files work the same way (session.load_text / session.load_file).
+  //    Every operation returns Result<T>: value or diagnostics, no throw.
+  const auto loaded = session.load_builtin("fig1");
+  const api::ModelId model = unwrap(loaded).id;
+  std::cout << "== model ==\n" << api::render(loaded.value());
 
   // 2. Validate: structural problems come back as a diagnostic list.
-  const auto diagnostics = spi::validate(graph);
-  std::cout << "== validation ==\n";
-  if (diagnostics.empty()) {
-    std::cout << "clean\n";
-  } else {
-    std::cout << diagnostics;
-  }
+  const auto findings = session.validate(model);
+  std::cout << "\n== validation ==\n" << api::render(unwrap(findings));
 
-  // 3. Analytical timing: check the end-to-end latency constraint.
-  std::cout << "\n== analytical timing ==\n";
-  for (const auto& check : analysis::check_latency_constraints(graph)) {
-    std::cout << check.constraint << ": path latency " << check.path_latency.to_string()
-              << ", bound " << check.bound.to_string()
-              << (check.guaranteed ? " -> guaranteed" : " -> NOT guaranteed") << "\n";
-  }
+  // 3. Analyze: deadlock, buffer flows, analytical timing, structure.
+  const auto report = session.analyze({.model = model});
+  std::cout << "\n" << api::render(unwrap(report));
 
-  // 4. Buffer analysis.
-  std::cout << "\n== channel flows ==\n";
-  for (const auto& flow : analysis::analyze_buffers(graph)) {
-    std::cout << flow.name << ": " << analysis::to_string(flow.flow) << "\n";
-  }
+  // 4. Simulate and report (name-resolved tables, nothing to look up).
+  const auto sim = session.simulate({.model = model});
+  std::cout << "\n== simulation ==\n" << api::render(unwrap(sim));
 
-  // 5. Simulate and report.
-  sim::SimOptions options;
-  options.record_trace = true;
-  options.trace_limit = 10;
-  sim::SimResult result = sim::Simulator{graph, options}.run();
-
-  std::cout << "\n== simulation ==\n";
-  support::TextTable table{{"process", "firings", "busy"}};
-  for (auto pid : graph.process_ids()) {
-    table.add_row({graph.process(pid).name, std::to_string(result.process(pid).firings),
-                   result.process(pid).busy.to_string()});
-  }
-  std::cout << table;
-  std::cout << "end time: " << result.end_time << ", total firings: " << result.total_firings
-            << "\n";
-
-  std::cout << "\nfirst trace events:\n";
-  for (const auto& event : result.trace.events()) {
-    std::cout << "  " << event.time << " " << sim::to_string(event.kind) << " "
-              << event.subject << " [" << event.detail << "]\n";
-  }
+  // 5. Explore the HW/SW mapping space (library derived automatically for
+  //    models without a curated one).
+  const auto arch = session.explore({.model = model});
+  std::cout << "\n== synthesis ==\n" << api::render(unwrap(arch));
 
   // 6. GraphViz export (pipe into `dot -Tsvg`).
-  std::cout << "\n== dot ==\n" << spi::to_dot(graph);
+  const auto dot = session.dot(model);
+  std::cout << "\n== dot ==\n" << unwrap(dot);
   return 0;
 }

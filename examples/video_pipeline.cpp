@@ -2,38 +2,14 @@
 //
 // Simulates the two-stage video chain with its controller and valve
 // processes through several dynamic variant switches, prints the
-// reconfiguration protocol trace, and compares the protocol with and without
-// the protective valves.
+// reconfiguration protocol trace, and compares the protocol with and
+// without the protective valves — the three valve configurations are
+// evaluated as one batch through the api::Session facade.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "models/video_system.hpp"
-#include "sim/engine.hpp"
 #include "support/table.hpp"
-
-namespace {
-
-spivar::models::VideoOutcome run(const spivar::models::VideoOptions& options,
-                                 bool print_trace = false) {
-  using namespace spivar;
-  const spi::Graph graph = models::make_video_system(options);
-  sim::SimOptions sim_options;
-  sim_options.record_trace = print_trace;
-  sim::SimResult result = sim::Simulator{graph, sim_options}.run();
-
-  if (print_trace) {
-    std::cout << "reconfiguration protocol (control-related trace events):\n";
-    int shown = 0;
-    for (const auto& event : result.trace.events()) {
-      if (event.subject != "PControl" && event.kind != sim::TraceKind::kReconfigure) continue;
-      if (shown++ > 24) break;
-      std::cout << "  " << event.time << " " << sim::to_string(event.kind) << " "
-                << event.subject << " [" << event.detail << "]\n";
-    }
-  }
-  return models::harvest_video_outcome(graph, result);
-}
-
-}  // namespace
 
 int main() {
   using namespace spivar;
@@ -47,35 +23,62 @@ int main() {
   options.frame_period = support::Duration::millis(7);
   options.request_period = support::Duration::millis(333);
 
-  std::cout << "=== Figure 4 video system: 200 frames, 4 reconfiguration requests ===\n\n";
-  const models::VideoOutcome with_valves = run(options, /*print_trace=*/true);
-
   models::VideoOptions no_output_valve = options;
   no_output_valve.output_valve = false;
-  const models::VideoOutcome leaky = run(no_output_valve);
 
-  models::VideoOptions no_valves = options;
-  no_valves.output_valve = false;
+  models::VideoOptions no_valves = no_output_valve;
   no_valves.input_valve = false;
-  const models::VideoOutcome bare = run(no_valves);
+
+  // Load the three scenario models into one session; each keeps its own
+  // graph, so the harvested outcomes stay scenario-accurate.
+  api::Session session;
+  const spi::Graph graphs[3] = {models::make_video_system(options),
+                                models::make_video_system(no_output_valve),
+                                models::make_video_system(no_valves)};
+  std::vector<api::SimulateRequest> batch;
+  for (const spi::Graph& graph : graphs) {
+    const auto loaded = session.load(variant::VariantModel{spi::Graph{graph}}, "video-scenario");
+    if (api::report_failure(loaded)) return 1;
+    batch.push_back({.model = loaded.value().id});
+  }
+  batch[0].options.record_trace = true;  // only the first scenario's protocol is printed
+
+  std::cout << "=== Figure 4 video system: 200 frames, 4 reconfiguration requests ===\n\n";
+  const auto results = session.simulate_batch(batch);
+  for (const auto& run : results) {
+    if (api::report_failure(run)) return 1;
+  }
+
+  std::cout << "reconfiguration protocol (control-related trace events):\n";
+  int shown = 0;
+  for (const auto& event : results[0].value().result.trace.events()) {
+    if (event.subject != "PControl" && event.kind != sim::TraceKind::kReconfigure) continue;
+    if (shown++ > 24) break;
+    std::cout << "  " << event.time << " " << sim::to_string(event.kind) << " "
+              << event.subject << " [" << event.detail << "]\n";
+  }
+
+  models::VideoOutcome outcomes[3];
+  for (int i = 0; i < 3; ++i) {
+    outcomes[i] = models::harvest_video_outcome(graphs[i], results[i].value().result);
+  }
 
   std::cout << "\n";
   support::TextTable table{
       {"configuration", "ok frames", "repeated", "invalid leaked", "inputs dropped",
        "reconfigs"}};
-  auto row = [&](const char* label, const models::VideoOutcome& o) {
-    table.add_row({label, std::to_string(o.ok_frames), std::to_string(o.repeat_frames),
+  const char* labels[3] = {"valves on (paper)", "no output valve", "no valves"};
+  for (int i = 0; i < 3; ++i) {
+    const models::VideoOutcome& o = outcomes[i];
+    table.add_row({labels[i], std::to_string(o.ok_frames), std::to_string(o.repeat_frames),
                    std::to_string(o.invalid_frames), std::to_string(o.dropped_inputs),
                    std::to_string(o.reconfigurations)});
-  };
-  row("valves on (paper)", with_valves);
-  row("no output valve", leaky);
-  row("no valves", bare);
+  }
   std::cout << table;
 
   std::cout << "\nThe paper's claim made executable: with both valves, no invalid image\n"
                "(one processed by inconsistent function variants) ever reaches the\n"
                "output; without them, mismatched in-flight frames leak during\n"
                "reconfiguration.\n";
-  return with_valves.invalid_frames == 0 ? 0 : 1;
+  return outcomes[0].invalid_frames == 0 ? 0 : 1;
 }

@@ -1,0 +1,10 @@
+// Umbrella header for the spivar::api layer — the only include front ends
+// need. See session.hpp for the facade, format.hpp for text rendering.
+#pragma once
+
+#include "api/format.hpp"    // IWYU pragma: export
+#include "api/registry.hpp"  // IWYU pragma: export
+#include "api/requests.hpp"  // IWYU pragma: export
+#include "api/responses.hpp" // IWYU pragma: export
+#include "api/result.hpp"    // IWYU pragma: export
+#include "api/session.hpp"   // IWYU pragma: export

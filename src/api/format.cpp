@@ -1,0 +1,156 @@
+#include "api/format.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace spivar::api {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names, const char* sep = ", ") {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += sep;
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render(const ModelInfo& info) {
+  std::ostringstream os;
+  os << info.name << " (" << info.origin << "): " << info.processes << " processes, "
+     << info.channels << " channels";
+  if (info.has_variants()) {
+    os << ", " << info.interfaces << " interfaces, " << info.clusters << " clusters";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string render(const ValidateResponse& response) {
+  if (response.clean()) return "clean: no findings\n";
+  return render_diagnostics(response.findings);
+}
+
+std::string render(const SimulateResponse& response) {
+  std::ostringstream os;
+  os << "end time " << response.result.end_time << ", " << response.result.total_firings
+     << " firings, " << (response.result.quiescent ? "quiescent" : "stopped on limit") << "\n\n";
+
+  support::TextTable processes{{"process", "firings", "busy", "reconfigs"}};
+  for (const auto& row : response.processes) {
+    processes.add_row({row.name, std::to_string(row.firings), row.busy.to_string(),
+                       std::to_string(row.reconfigurations)});
+  }
+  os << processes << "\n";
+
+  support::TextTable channels{{"channel", "produced", "consumed", "left", "max"}};
+  for (const auto& row : response.channels) {
+    channels.add_row({row.name, std::to_string(row.produced), std::to_string(row.consumed),
+                      std::to_string(row.occupancy), std::to_string(row.max_occupancy)});
+  }
+  os << channels;
+
+  for (const auto& c : response.result.constraints) {
+    os << "constraint " << c.name << ": observed " << c.observed << " bound " << c.bound
+       << (c.satisfied ? " OK" : " VIOLATED") << "\n";
+  }
+  if (!response.timeline.empty()) os << "\n" << response.timeline;
+  return os.str();
+}
+
+std::string render(const AnalyzeResponse& response) {
+  std::ostringstream os;
+  bool first = true;
+  const auto section = [&](const char* title) {
+    if (!first) os << "\n";
+    first = false;
+    os << "== " << title << " ==\n";
+  };
+
+  if (response.request.deadlock) {
+    section("deadlock");
+    if (response.deadlock_free()) {
+      os << "no structural deadlock\n";
+    } else {
+      for (const auto& d : response.deadlocks) os << d.description << "\n";
+    }
+  }
+
+  if (response.request.buffers) {
+    section("channel flows");
+    support::TextTable table{{"channel", "class", "max inflow/ms", "min drain/ms"}};
+    for (const auto& flow : response.buffer_flows) {
+      table.add_row({flow.name, analysis::to_string(flow.flow),
+                     support::format_double(flow.max_inflow),
+                     support::format_double(flow.min_drain)});
+    }
+    os << table;
+  }
+
+  if (response.request.timing) {
+    section("timing");
+    if (response.latency_checks.empty()) os << "no latency constraints\n";
+    for (const auto& check : response.latency_checks) {
+      os << check.constraint << ": path latency " << check.path_latency.to_string() << ", bound "
+         << check.bound.to_string() << (check.guaranteed ? " -> guaranteed" : " -> NOT guaranteed")
+         << "\n";
+    }
+  }
+
+  if (response.request.structure) {
+    section("structure");
+    os << (response.structure.acyclic ? "acyclic" : "cyclic") << ", "
+       << response.structure.components << " component(s)\n";
+    os << "sources: " << join(response.structure.sources) << "\n";
+    os << "sinks:   " << join(response.structure.sinks) << "\n";
+    if (!response.structure.dead.empty()) {
+      os << "dead:    " << join(response.structure.dead) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render(const ExploreResponse& response) {
+  std::ostringstream os;
+  const auto& r = response.result;
+  os << "problem " << response.problem << ": " << response.applications << " application(s), "
+     << response.elements << " element(s), library " << response.library_origin << "\n";
+  os << "engine " << r.engine << ": " << (r.found_feasible ? "feasible" : "NO feasible mapping")
+     << ", cost " << support::format_double(r.cost.total) << " (processor "
+     << support::format_double(r.cost.processor_cost) << " + asic "
+     << support::format_double(r.cost.asic_cost) << "), utilization "
+     << support::format_double(r.cost.worst_utilization) << "\n";
+  os << r.decisions << " decisions, " << r.evaluations << " evaluations\n";
+
+  support::TextTable table{{"element", "target"}};
+  for (const auto& [element, target] : r.mapping.assignments()) {
+    table.add_row({element, synth::to_string(target)});
+  }
+  os << table;
+  return os.str();
+}
+
+std::string render(const ParetoResponse& response) {
+  std::ostringstream os;
+  os << response.points.size() << " non-dominated point(s) over " << response.applications
+     << " application(s), library " << response.library_origin << "\n";
+  support::TextTable table{{"cost", "worst latency", "hw elements"}};
+  for (const auto& point : response.points) {
+    table.add_row({support::format_double(point.cost), point.worst_latency.to_string(),
+                   join(point.mapping.elements_on(synth::Target::kHardware), ",")});
+  }
+  os << table;
+  return os.str();
+}
+
+std::string render_diagnostics(const support::DiagnosticList& diagnostics) {
+  std::ostringstream os;
+  os << diagnostics;
+  return os.str();
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,37 @@
+// Plain-text rendering of api responses.
+//
+// One render() overload per response type, so front ends (CLI, examples)
+// present results without reaching into the underlying subsystems. All
+// output is stable, table-formatted text.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "api/responses.hpp"
+#include "api/result.hpp"
+#include "support/diagnostics.hpp"
+
+namespace spivar::api {
+
+[[nodiscard]] std::string render(const ModelInfo& info);
+[[nodiscard]] std::string render(const ValidateResponse& response);
+[[nodiscard]] std::string render(const SimulateResponse& response);
+[[nodiscard]] std::string render(const AnalyzeResponse& response);
+[[nodiscard]] std::string render(const ExploreResponse& response);
+[[nodiscard]] std::string render(const ParetoResponse& response);
+
+/// "severity [code] message" lines, one per finding.
+[[nodiscard]] std::string render_diagnostics(const support::DiagnosticList& diagnostics);
+
+/// Front-end convenience: renders the failure diagnostics of `result` to
+/// stderr and returns true when it failed — the shared "check or bail"
+/// pattern of the CLI and examples.
+template <typename T>
+bool report_failure(const Result<T>& result) {
+  if (result.ok()) return false;
+  std::cerr << render_diagnostics(result.diagnostics());
+  return true;
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,91 @@
+#include "api/registry.hpp"
+
+#include "models/emission_control.hpp"
+#include "models/fig1.hpp"
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "models/synthetic.hpp"
+#include "models/video_system.hpp"
+
+namespace spivar::api {
+
+namespace {
+
+using synth::ElementGranularity;
+using synth::ProblemOptions;
+
+const std::vector<BuiltinModel>& table() {
+  static const std::vector<BuiltinModel> entries = {
+      {
+          .name = "fig1",
+          .description = "Figure 1: introductory SPI chain with mode-refined p2",
+          .make = [] { return variant::VariantModel{models::make_fig1()}; },
+          .library = nullptr,
+      },
+      {
+          .name = "fig2",
+          .description = "Figure 2: two production variants behind interface theta (Table 1)",
+          .make = [] { return models::make_fig2(); },
+          .library = [](const variant::VariantModel&) { return models::table1_library(); },
+          .problem = ProblemOptions{.granularity = ElementGranularity::kClusterAtomic},
+      },
+      {
+          .name = "fig3",
+          .description = "Figure 3: run-time variant selection via PUser/CV",
+          .make = [] { return models::make_fig3(); },
+          .library = [](const variant::VariantModel&) { return models::table1_library(); },
+          .problem = ProblemOptions{.granularity = ElementGranularity::kClusterAtomic},
+      },
+      {
+          .name = "video_system",
+          .description = "Figure 4: reconfigurable video system with valve protocol",
+          .make = [] { return variant::VariantModel{models::make_video_system()}; },
+          .library = nullptr,
+      },
+      {
+          .name = "multistandard_tv",
+          .description = "Multi-standard TV: linked video/audio variant sets (PAL/NTSC/SECAM)",
+          .make = [] { return models::make_multistandard_tv(); },
+          .library = [](const variant::VariantModel&) { return models::tv_library(); },
+          .problem = ProblemOptions{.granularity = ElementGranularity::kClusterAtomic},
+      },
+      {
+          .name = "emission_control",
+          .description = "Automotive ECU with emission-law production variants",
+          .make = [] { return models::make_emission_control(); },
+          .library = [](const variant::VariantModel&) { return models::emission_library(); },
+          .problem = ProblemOptions{.granularity = ElementGranularity::kProcess},
+      },
+      {
+          .name = "synthetic",
+          .description = "Scalable synthetic variant system (ablation default spec)",
+          .make = [] { return models::make_synthetic(models::SyntheticSpec{}); },
+          .library =
+              [](const variant::VariantModel& model) {
+                return models::make_synthetic_library(model);
+              },
+          .problem = ProblemOptions{.granularity = ElementGranularity::kProcess},
+      },
+  };
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<BuiltinModel>& builtin_models() { return table(); }
+
+const BuiltinModel* find_builtin(std::string_view name) {
+  for (const BuiltinModel& entry : table()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> builtin_names() {
+  std::vector<std::string> names;
+  names.reserve(table().size());
+  for (const BuiltinModel& entry : table()) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,47 @@
+// Built-in model registry.
+//
+// One factory for every example system shipped with the repository, so call
+// sites (CLI, examples, tests, services) stop including per-model headers.
+// Each entry knows how to construct the model, which implementation library
+// calibrates its synthesis problem (curated where the paper provides one,
+// derived deterministically otherwise), and the element granularity that
+// library was built for.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synth/from_model.hpp"
+#include "synth/target.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::api {
+
+struct BuiltinModel {
+  std::string name;
+  std::string description;
+
+  /// Constructs the model with its default options. Flat graphs (fig1,
+  /// video_system) are wrapped into a VariantModel with zero interfaces so
+  /// every builtin travels through one type.
+  variant::VariantModel (*make)();
+
+  /// Curated implementation library, or nullptr when none exists — the
+  /// session then derives a deterministic synthetic library covering every
+  /// non-virtual process.
+  synth::ImplLibrary (*library)(const variant::VariantModel& model);
+
+  /// Element granularity the library was calibrated for.
+  synth::ProblemOptions problem{};
+};
+
+/// All built-in models, in presentation order.
+[[nodiscard]] const std::vector<BuiltinModel>& builtin_models();
+
+/// Entry by name, or nullptr.
+[[nodiscard]] const BuiltinModel* find_builtin(std::string_view name);
+
+[[nodiscard]] std::vector<std::string> builtin_names();
+
+}  // namespace spivar::api

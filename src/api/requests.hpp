@@ -1,0 +1,64 @@
+// Request structs for api::Session operations.
+//
+// Each request wraps the underlying subsystem's option type plus the handle
+// of the session model it applies to, so one struct travels through single
+// and batch entry points alike.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/options.hpp"
+#include "support/ids.hpp"
+#include "synth/explore.hpp"
+#include "synth/from_model.hpp"
+#include "synth/pareto.hpp"
+
+namespace spivar::api {
+
+/// Handle to a model loaded into a Session. Handles are session-scoped and
+/// stay valid until the model is unloaded.
+struct SessionModelTag {};
+using ModelId = support::Id<SessionModelTag>;
+
+struct SimulateRequest {
+  ModelId model;
+  sim::SimOptions options{};
+  /// Render the ASCII activity timeline into SimulateResponse::timeline
+  /// (forces trace recording).
+  bool render_timeline = false;
+};
+
+/// Which analysis passes to run; all on by default.
+struct AnalyzeRequest {
+  ModelId model;
+  bool deadlock = true;
+  bool buffers = true;
+  bool structure = true;
+  bool timing = true;
+  /// Timing: charge each process's worst reconfiguration latency once.
+  bool include_reconfiguration = false;
+};
+
+struct ExploreRequest {
+  ModelId model;
+  synth::ExploreOptions options{};
+  /// How model entities become synthesis elements. When absent, the model's
+  /// registry default applies (curated builtins pick the granularity their
+  /// library was calibrated for).
+  std::optional<synth::ProblemOptions> problem;
+  /// Implementation library override. When absent, the builtin's curated
+  /// library is used, or a deterministic synthetic library derived from the
+  /// model (process granularity) for models without one.
+  std::optional<synth::ImplLibrary> library;
+};
+
+struct ParetoRequest {
+  ModelId model;
+  synth::ParetoOptions options{};
+  std::optional<synth::ProblemOptions> problem;
+  std::optional<synth::ImplLibrary> library;
+};
+
+}  // namespace spivar::api

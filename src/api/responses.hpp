@@ -1,0 +1,111 @@
+// Typed responses returned by api::Session operations.
+//
+// Responses are self-contained: summary rows are name-resolved against the
+// model so front ends (CLI, examples, services) never need to reach back
+// into the Graph to present results. The raw subsystem results ride along
+// for callers that want the full detail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/buffer_bounds.hpp"
+#include "analysis/timing.hpp"
+#include "api/requests.hpp"
+#include "sim/stats.hpp"
+#include "support/diagnostics.hpp"
+#include "synth/explore.hpp"
+#include "synth/pareto.hpp"
+
+namespace spivar::api {
+
+/// Summary of one loaded model.
+struct ModelInfo {
+  ModelId id;
+  std::string name;
+  std::string origin;  ///< "builtin:<name>", "text", or the file path
+  std::size_t processes = 0;
+  std::size_t channels = 0;
+  std::size_t interfaces = 0;
+  std::size_t clusters = 0;
+  [[nodiscard]] bool has_variants() const noexcept { return interfaces > 0; }
+};
+
+/// Validation findings (core graph pass + variant pass when applicable).
+/// A response with errors is still a *successful* operation — the findings
+/// are the payload; Result failure is reserved for not being able to run
+/// validation at all.
+struct ValidateResponse {
+  std::string model;
+  support::DiagnosticList findings;
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  [[nodiscard]] bool has_errors() const noexcept { return findings.has_errors(); }
+};
+
+struct SimulateResponse {
+  std::string model;
+  sim::SimResult result;  ///< full id-indexed result for power users
+
+  struct ProcessRow {
+    std::string name;
+    std::int64_t firings = 0;
+    support::Duration busy{};
+    std::int64_t reconfigurations = 0;
+  };
+  struct ChannelRow {
+    std::string name;
+    std::int64_t produced = 0;
+    std::int64_t consumed = 0;
+    std::int64_t occupancy = 0;
+    std::int64_t max_occupancy = 0;
+  };
+  std::vector<ProcessRow> processes;
+  std::vector<ChannelRow> channels;
+  std::string timeline;  ///< rendered when SimulateRequest::render_timeline
+};
+
+struct AnalyzeResponse {
+  std::string model;
+  AnalyzeRequest request;  ///< which passes ran (renderers skip the others)
+
+  struct Deadlock {
+    std::vector<std::string> cycle;  ///< process names, in cycle order
+    std::int64_t initial_tokens = 0;
+    std::int64_t required_tokens = 0;
+    std::string description;
+  };
+  std::vector<Deadlock> deadlocks;
+
+  std::vector<analysis::ChannelFlow> buffer_flows;
+  std::vector<analysis::LatencyCheck> latency_checks;
+
+  struct Structure {
+    bool acyclic = false;
+    std::vector<std::string> sources;
+    std::vector<std::string> sinks;
+    std::vector<std::string> dead;  ///< processes that can never activate
+    std::size_t components = 0;
+  };
+  Structure structure;
+
+  [[nodiscard]] bool deadlock_free() const noexcept { return deadlocks.empty(); }
+};
+
+struct ExploreResponse {
+  std::string model;
+  synth::ExploreResult result;
+  std::string problem;               ///< synthesis problem name
+  std::size_t applications = 0;      ///< variant bindings explored jointly
+  std::size_t elements = 0;          ///< size of the shared element universe
+  std::string library_origin;        ///< "curated", "derived", or "request"
+};
+
+struct ParetoResponse {
+  std::string model;
+  std::vector<synth::ParetoPoint> points;  ///< ascending cost, non-dominated
+  std::size_t applications = 0;
+  std::string library_origin;
+};
+
+}  // namespace spivar::api

@@ -1,0 +1,420 @@
+#include "api/session.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/buffer_bounds.hpp"
+#include "analysis/deadlock.hpp"
+#include "analysis/structure.hpp"
+#include "analysis/timing.hpp"
+#include "models/synthetic.hpp"
+#include "sim/engine.hpp"
+#include "sim/timeline.hpp"
+#include "spi/dot.hpp"
+#include "spi/textio.hpp"
+#include "spi/validate.hpp"
+#include "variant/dot.hpp"
+#include "variant/validate.hpp"
+
+namespace spivar::api {
+
+namespace {
+
+/// Shared failure for operations given a handle the session doesn't hold.
+template <typename T>
+Result<T> unknown_model(ModelId id) {
+  return Result<T>::failure(diag::kUnknownModel,
+                            id.valid() ? "no model with handle #" + std::to_string(id.value())
+                                       : "invalid (default-constructed) model handle");
+}
+
+/// Runs `fn` (returning Result<T>) with every exception converted into a
+/// failed Result — the session's no-throw boundary.
+template <typename T, typename Fn>
+Result<T> guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const spi::ParseError& e) {
+    return Result<T>::failure(diag::kParseError, e.what());
+  } catch (const support::ModelError& e) {
+    return Result<T>::failure(diag::kModelError, e.what());
+  } catch (const std::exception& e) {
+    return Result<T>::failure(diag::kInternalError, e.what());
+  }
+}
+
+std::vector<std::string> process_names(const spi::Graph& graph,
+                                       const std::vector<support::ProcessId>& ids) {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (auto pid : ids) names.push_back(graph.process(pid).name);
+  return names;
+}
+
+/// Derived fallback library: the deterministic per-process synthetic library,
+/// plus — for cluster-atomic problems — one aggregated entry per cluster
+/// (member loads/costs/WCETs summed, capabilities intersected), so both
+/// granularities can be explored on models without a curated library.
+synth::ImplLibrary derive_library(const variant::VariantModel& model,
+                                  synth::ElementGranularity granularity) {
+  synth::ImplLibrary library = models::make_synthetic_library(model);
+  if (granularity != synth::ElementGranularity::kClusterAtomic) return library;
+
+  for (support::ClusterId cid : model.cluster_ids()) {
+    const variant::Cluster& cluster = model.cluster(cid);
+    synth::ElementImpl aggregate;
+    aggregate.sw_load = 0.0;
+    bool any = false;
+    for (support::ProcessId pid : cluster.processes) {
+      const spi::Process& process = model.graph().process(pid);
+      if (process.is_virtual || !library.contains(process.name)) continue;
+      const synth::ElementImpl& member = library.at(process.name);
+      aggregate.sw_load += member.sw_load;
+      aggregate.sw_wcet = aggregate.sw_wcet + member.sw_wcet;
+      aggregate.hw_cost += member.hw_cost;
+      aggregate.hw_wcet = aggregate.hw_wcet + member.hw_wcet;
+      aggregate.can_sw = aggregate.can_sw && member.can_sw;
+      aggregate.can_hw = aggregate.can_hw && member.can_hw;
+      any = true;
+    }
+    if (any) library.add(cluster.name, aggregate);
+  }
+  return library;
+}
+
+}  // namespace
+
+// --- loading ----------------------------------------------------------------
+
+Result<ModelInfo> Session::load_text(std::string_view text, std::string_view name) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    spi::Graph graph = spi::parse_text(text);
+    if (!name.empty()) graph.set_name(std::string{name});
+    return adopt(Entry{.origin = "text", .model = variant::VariantModel{std::move(graph)}});
+  });
+}
+
+Result<ModelInfo> Session::load_file(const std::string& path) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec)) {
+      return Result<ModelInfo>::failure(diag::kIoError, "'" + path + "' is not a readable file");
+    }
+    std::ifstream in{path};
+    if (!in) return Result<ModelInfo>::failure(diag::kIoError, "cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    spi::Graph graph = spi::parse_text(buffer.str());
+    return adopt(Entry{.origin = path, .model = variant::VariantModel{std::move(graph)}});
+  });
+}
+
+Result<ModelInfo> Session::load_builtin(std::string_view name) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    const BuiltinModel* builtin = find_builtin(name);
+    if (!builtin) {
+      return Result<ModelInfo>::failure(
+          diag::kUnknownBuiltin,
+          "no built-in model '" + std::string{name} + "' (see Session::builtins())");
+    }
+    return adopt(Entry{.origin = "builtin:" + builtin->name,
+                       .model = builtin->make(),
+                       .builtin = builtin});
+  });
+}
+
+Result<ModelInfo> Session::load_model(std::string_view spec) {
+  if (find_builtin(spec)) return load_builtin(spec);
+  return load_file(std::string{spec});
+}
+
+Result<ModelInfo> Session::load(variant::VariantModel model, std::string_view origin) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    return adopt(Entry{.origin = std::string{origin}, .model = std::move(model)});
+  });
+}
+
+Result<ModelInfo> Session::adopt(Entry entry) {
+  const ModelId id{next_id_++};
+  auto [it, inserted] = entries_.emplace(id.value(), std::move(entry));
+  (void)inserted;
+  return Result<ModelInfo>::success(describe(id, it->second));
+}
+
+bool Session::unload(ModelId id) { return entries_.erase(id.value()) > 0; }
+
+// --- introspection ----------------------------------------------------------
+
+const Session::Entry* Session::find(ModelId id) const {
+  const auto it = entries_.find(id.value());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ModelInfo Session::describe(ModelId id, const Entry& entry) const {
+  return ModelInfo{
+      .id = id,
+      .name = entry.model.graph().name(),
+      .origin = entry.origin,
+      .processes = entry.model.graph().process_count(),
+      .channels = entry.model.graph().channel_count(),
+      .interfaces = entry.model.interface_count(),
+      .clusters = entry.model.cluster_count(),
+  };
+}
+
+std::vector<ModelInfo> Session::models() const {
+  std::vector<ModelInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [raw, entry] : entries_) out.push_back(describe(ModelId{raw}, entry));
+  return out;
+}
+
+Result<ModelInfo> Session::info(ModelId id) const {
+  const Entry* entry = find(id);
+  if (!entry) return unknown_model<ModelInfo>(id);
+  return Result<ModelInfo>::success(describe(id, *entry));
+}
+
+std::vector<std::string> Session::builtins() { return builtin_names(); }
+
+// --- pipeline operations ----------------------------------------------------
+
+Result<ValidateResponse> Session::validate(ModelId id) const {
+  const Entry* entry = find(id);
+  if (!entry) {
+    return unknown_model<ValidateResponse>(id);
+  }
+  return guarded<ValidateResponse>([&]() -> Result<ValidateResponse> {
+    ValidateResponse response{.model = entry->model.graph().name(), .findings = {}};
+    if (entry->model.interface_count() > 0) {
+      // Includes the core graph pass with the mutual-exclusivity oracle.
+      response.findings = variant::validate_variants(entry->model);
+    } else {
+      response.findings = spi::validate(entry->model.graph());
+    }
+    return Result<ValidateResponse>::success(std::move(response));
+  });
+}
+
+Result<spi::ModelStatistics> Session::stats(ModelId id) const {
+  const Entry* entry = find(id);
+  if (!entry) {
+    return unknown_model<spi::ModelStatistics>(id);
+  }
+  return guarded<spi::ModelStatistics>([&] {
+    return Result<spi::ModelStatistics>::success(spi::collect_statistics(entry->model.graph()));
+  });
+}
+
+Result<std::string> Session::dot(ModelId id) const {
+  const Entry* entry = find(id);
+  if (!entry) return unknown_model<std::string>(id);
+  return guarded<std::string>([&] {
+    return Result<std::string>::success(entry->model.interface_count() > 0
+                                            ? variant::to_dot(entry->model)
+                                            : spi::to_dot(entry->model.graph()));
+  });
+}
+
+Result<std::string> Session::write_text(ModelId id) const {
+  const Entry* entry = find(id);
+  if (!entry) return unknown_model<std::string>(id);
+  return guarded<std::string>(
+      [&] { return Result<std::string>::success(spi::write_text(entry->model.graph())); });
+}
+
+Result<AnalyzeResponse> Session::analyze(const AnalyzeRequest& request) const {
+  const Entry* entry = find(request.model);
+  if (!entry) {
+    return unknown_model<AnalyzeResponse>(request.model);
+  }
+  return guarded<AnalyzeResponse>([&]() -> Result<AnalyzeResponse> {
+    const spi::Graph& graph = entry->model.graph();
+    AnalyzeResponse response;
+    response.model = graph.name();
+    response.request = request;
+
+    if (request.deadlock) {
+      for (const auto& d : analysis::find_structural_deadlocks(graph)) {
+        response.deadlocks.push_back({.cycle = process_names(graph, d.cycle),
+                                      .initial_tokens = d.initial_tokens,
+                                      .required_tokens = d.required_tokens,
+                                      .description = d.describe(graph)});
+      }
+    }
+    if (request.buffers) response.buffer_flows = analysis::analyze_buffers(graph);
+    if (request.timing) {
+      response.latency_checks =
+          analysis::check_latency_constraints(graph, request.include_reconfiguration);
+    }
+    if (request.structure) {
+      response.structure.acyclic = analysis::is_acyclic(graph);
+      response.structure.sources = process_names(graph, analysis::source_processes(graph));
+      response.structure.sinks = process_names(graph, analysis::sink_processes(graph));
+      response.structure.dead = process_names(graph, analysis::dead_processes(graph));
+      response.structure.components = analysis::weak_components(graph).size();
+    }
+    return Result<AnalyzeResponse>::success(std::move(response));
+  });
+}
+
+Result<SimulateResponse> Session::simulate(const SimulateRequest& request) const {
+  const Entry* entry = find(request.model);
+  if (!entry) {
+    return unknown_model<SimulateResponse>(request.model);
+  }
+  return guarded<SimulateResponse>([&]() -> Result<SimulateResponse> {
+    const spi::Graph& graph = entry->model.graph();
+    sim::SimOptions options = request.options;
+    if (request.render_timeline) options.record_trace = true;
+
+    // Interface-aware simulation when the model carries variant structure.
+    sim::SimResult result = entry->model.interface_count() > 0
+                                ? sim::Simulator{entry->model, options}.run()
+                                : sim::Simulator{graph, options}.run();
+
+    SimulateResponse response;
+    response.model = graph.name();
+    response.result = std::move(result);
+    for (auto pid : graph.process_ids()) {
+      const auto& stats = response.result.process(pid);
+      response.processes.push_back({.name = graph.process(pid).name,
+                                    .firings = stats.firings,
+                                    .busy = stats.busy,
+                                    .reconfigurations = stats.reconfigurations});
+    }
+    for (auto cid : graph.channel_ids()) {
+      const auto& stats = response.result.channel(cid);
+      response.channels.push_back({.name = graph.channel(cid).name,
+                                   .produced = stats.produced,
+                                   .consumed = stats.consumed,
+                                   .occupancy = stats.occupancy,
+                                   .max_occupancy = stats.max_occupancy});
+    }
+    if (request.render_timeline) {
+      response.timeline = sim::render_timeline(graph, response.result);
+    }
+    return Result<SimulateResponse>::success(std::move(response));
+  });
+}
+
+// --- synthesis --------------------------------------------------------------
+
+Session::SynthesisSetup Session::synthesis_setup(
+    const Entry& entry, const std::optional<synth::ProblemOptions>& problem,
+    const std::optional<synth::ImplLibrary>& library) const {
+  SynthesisSetup setup;
+  const bool curated = entry.builtin != nullptr && entry.builtin->library != nullptr;
+
+  synth::ProblemOptions options;
+  if (problem.has_value()) {
+    options = *problem;
+  } else if (curated) {
+    options = entry.builtin->problem;
+  } else {
+    options = {.granularity = synth::ElementGranularity::kProcess};
+  }
+
+  // A curated library is calibrated for one granularity; a request that
+  // overrides it gets the derived library instead (which covers the
+  // requested granularity) rather than opaque missing-element errors.
+  const bool curated_matches =
+      curated && options.granularity == entry.builtin->problem.granularity;
+
+  if (library.has_value()) {
+    setup.library = *library;
+    setup.library_origin = "request";
+  } else if (curated_matches) {
+    setup.library = entry.builtin->library(entry.model);
+    setup.library_origin = "curated";
+  } else {
+    setup.library = derive_library(entry.model, options.granularity);
+    setup.library_origin = "derived";
+  }
+  setup.problem = synth::problem_from_model(entry.model, options);
+  return setup;
+}
+
+namespace {
+
+/// Shared guard for explore()/pareto(): a problem is explorable iff some
+/// application contributes at least one element.
+bool problem_has_elements(const synth::SynthesisProblem& problem) {
+  for (const synth::Application& app : problem.apps) {
+    if (!app.elements.empty()) return true;
+  }
+  return false;
+}
+
+std::string empty_problem_message(const std::string& model_name) {
+  return "model '" + model_name + "' yields no synthesis elements (only virtual processes?)";
+}
+
+}  // namespace
+
+Result<ExploreResponse> Session::explore(const ExploreRequest& request) const {
+  const Entry* entry = find(request.model);
+  if (!entry) {
+    return unknown_model<ExploreResponse>(request.model);
+  }
+  return guarded<ExploreResponse>([&]() -> Result<ExploreResponse> {
+    SynthesisSetup setup = synthesis_setup(*entry, request.problem, request.library);
+    if (!problem_has_elements(setup.problem)) {
+      return Result<ExploreResponse>::failure(diag::kEmptyProblem,
+                                              empty_problem_message(entry->model.graph().name()));
+    }
+    ExploreResponse response{
+        .model = entry->model.graph().name(),
+        .result = synth::explore(setup.library, setup.problem.apps, request.options),
+        .problem = setup.problem.name,
+        .applications = setup.problem.apps.size(),
+        .elements = setup.problem.element_union().size(),
+        .library_origin = setup.library_origin,
+    };
+    return Result<ExploreResponse>::success(std::move(response));
+  });
+}
+
+Result<ParetoResponse> Session::pareto(const ParetoRequest& request) const {
+  const Entry* entry = find(request.model);
+  if (!entry) {
+    return unknown_model<ParetoResponse>(request.model);
+  }
+  return guarded<ParetoResponse>([&]() -> Result<ParetoResponse> {
+    SynthesisSetup setup = synthesis_setup(*entry, request.problem, request.library);
+    if (!problem_has_elements(setup.problem)) {
+      return Result<ParetoResponse>::failure(diag::kEmptyProblem,
+                                             empty_problem_message(entry->model.graph().name()));
+    }
+    ParetoResponse response{
+        .model = entry->model.graph().name(),
+        .points = synth::pareto_front(setup.library, setup.problem.apps, request.options),
+        .applications = setup.problem.apps.size(),
+        .library_origin = setup.library_origin,
+    };
+    return Result<ParetoResponse>::success(std::move(response));
+  });
+}
+
+// --- batch surface ----------------------------------------------------------
+
+std::vector<Result<SimulateResponse>> Session::simulate_batch(
+    const std::vector<SimulateRequest>& requests) const {
+  std::vector<Result<SimulateResponse>> results;
+  results.reserve(requests.size());
+  for (const SimulateRequest& request : requests) results.push_back(simulate(request));
+  return results;
+}
+
+std::vector<Result<ExploreResponse>> Session::explore_batch(
+    const std::vector<ExploreRequest>& requests) const {
+  std::vector<Result<ExploreResponse>> results;
+  results.reserve(requests.size());
+  for (const ExploreRequest& request : requests) results.push_back(explore(request));
+  return results;
+}
+
+}  // namespace spivar::api

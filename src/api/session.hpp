@@ -1,0 +1,125 @@
+// api::Session — the unified entry point over the whole pipeline.
+//
+// A Session owns loaded models (parsed from text, read from disk, or
+// instantiated from the built-in registry) and exposes every pipeline stage
+// of the paper — validate, analyze, simulate, explore, pareto — as uniform
+// request/response operations returning Result<T>. No exception escapes a
+// session call: parse errors, model errors and unexpected failures surface
+// as diagnostics in the failed Result.
+//
+//   api::Session session;
+//   auto model = session.load_builtin("fig2");
+//   auto sim = session.simulate({.model = model.value().id});
+//   auto arch = session.explore({.model = model.value().id});
+//
+// The batch entry points evaluate whole scenario sets through one call —
+// the seam where sharding/parallel dispatch lands later.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/requests.hpp"
+#include "api/responses.hpp"
+#include "api/result.hpp"
+#include "spi/statistics.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::api {
+
+class Session {
+ public:
+  Session() = default;
+
+  // Sessions own their models; handles would dangle after a copy.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // --- loading --------------------------------------------------------------
+
+  /// Parses a model from "spit" text. `name` overrides the model name for
+  /// presentation (empty keeps the parsed one).
+  Result<ModelInfo> load_text(std::string_view text, std::string_view name = {});
+
+  /// Reads and parses a .spit file.
+  Result<ModelInfo> load_file(const std::string& path);
+
+  /// Instantiates a registry model with its default options.
+  Result<ModelInfo> load_builtin(std::string_view name);
+
+  /// Builtin name when it matches one, file path otherwise — the CLI's
+  /// positional-model resolution in one place.
+  Result<ModelInfo> load_model(std::string_view spec);
+
+  /// Adopts an already-built model (programmatic construction).
+  Result<ModelInfo> load(variant::VariantModel model, std::string_view origin = "adopted");
+
+  bool unload(ModelId id);
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] std::vector<ModelInfo> models() const;
+  [[nodiscard]] Result<ModelInfo> info(ModelId id) const;
+  [[nodiscard]] static std::vector<std::string> builtins();
+
+  // --- pipeline operations --------------------------------------------------
+
+  /// Core graph validation plus the variant pass when the model has
+  /// interfaces. Findings (even errors) are the payload.
+  [[nodiscard]] Result<ValidateResponse> validate(ModelId id) const;
+
+  [[nodiscard]] Result<spi::ModelStatistics> stats(ModelId id) const;
+
+  /// GraphViz rendering (variant-aware when the model has interfaces).
+  [[nodiscard]] Result<std::string> dot(ModelId id) const;
+
+  /// Canonical "spit" text of the model's graph.
+  [[nodiscard]] Result<std::string> write_text(ModelId id) const;
+
+  [[nodiscard]] Result<AnalyzeResponse> analyze(const AnalyzeRequest& request) const;
+  [[nodiscard]] Result<SimulateResponse> simulate(const SimulateRequest& request) const;
+  [[nodiscard]] Result<ExploreResponse> explore(const ExploreRequest& request) const;
+  [[nodiscard]] Result<ParetoResponse> pareto(const ParetoRequest& request) const;
+
+  // --- batch surface --------------------------------------------------------
+
+  /// Evaluates each request independently; one failing scenario never
+  /// aborts the batch — its slot carries the diagnostics.
+  [[nodiscard]] std::vector<Result<SimulateResponse>> simulate_batch(
+      const std::vector<SimulateRequest>& requests) const;
+  [[nodiscard]] std::vector<Result<ExploreResponse>> explore_batch(
+      const std::vector<ExploreRequest>& requests) const;
+
+ private:
+  struct Entry {
+    std::string origin;
+    variant::VariantModel model;
+    const BuiltinModel* builtin = nullptr;  ///< registry entry when applicable
+  };
+
+  Result<ModelInfo> adopt(Entry entry);
+  [[nodiscard]] const Entry* find(ModelId id) const;
+  [[nodiscard]] ModelInfo describe(ModelId id, const Entry& entry) const;
+
+  /// Resolves the (library, problem) pair for a synthesis request: explicit
+  /// request override > curated registry library > derived synthetic one.
+  struct SynthesisSetup {
+    synth::ImplLibrary library;
+    synth::SynthesisProblem problem;
+    std::string library_origin;
+  };
+  [[nodiscard]] SynthesisSetup synthesis_setup(const Entry& entry,
+                                               const std::optional<synth::ProblemOptions>& problem,
+                                               const std::optional<synth::ImplLibrary>& library) const;
+
+  std::map<std::uint32_t, Entry> entries_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace spivar::api

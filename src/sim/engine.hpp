@@ -46,7 +46,9 @@ class Simulator {
   explicit Simulator(const variant::VariantModel& model, SimOptions options = {});
 
   /// Runs to quiescence or to the configured limits and returns the result.
-  /// May be called once per simulator instance.
+  /// May be called once per simulator instance; a second call throws
+  /// ModelError (api::Session constructs a fresh simulator per request, so
+  /// facade callers never see this).
   [[nodiscard]] SimResult run();
 
  private:

@@ -1,0 +1,91 @@
+// Multi-producer / multi-consumer channel accessors.
+//
+// Port channels of an interface are legally written/read by several
+// processes — one per mutually exclusive cluster (Def. 1 degree rule up to
+// exclusion). These tests pin down the accessor contract: `producers_of` /
+// `consumers_of` return *all* attached processes in edge-insertion order,
+// and `producer_of` / `consumer_of` are exactly their first elements.
+#include <gtest/gtest.h>
+
+#include "models/fig2.hpp"
+#include "models/multistandard_tv.hpp"
+#include "spi/validate.hpp"
+#include "variant/model.hpp"
+
+namespace spivar {
+namespace {
+
+TEST(ChannelAccessors, SharedOutputPortListsClusterWritersInInsertionOrder) {
+  const variant::VariantModel model = models::make_fig2();
+  const spi::Graph& g = model.graph();
+
+  // Co is written by cluster1's tail (P1b) and cluster2's tail (P2c);
+  // cluster1 is built first, so its writer comes first.
+  const auto co = *g.find_channel("Co");
+  const auto producers = g.producers_of(co);
+  ASSERT_EQ(producers.size(), 2u);
+  EXPECT_EQ(g.process(producers[0]).name, "P1b");
+  EXPECT_EQ(g.process(producers[1]).name, "P2c");
+
+  // producer_of is the first writer — and only a convenience for the
+  // single-writer case, never a summary of the full set.
+  ASSERT_TRUE(g.producer_of(co).has_value());
+  EXPECT_EQ(*g.producer_of(co), producers[0]);
+
+  // The two writers are mutually exclusive (different clusters of theta).
+  EXPECT_TRUE(model.mutually_exclusive(producers[0], producers[1]));
+}
+
+TEST(ChannelAccessors, SharedInputPortListsClusterReadersInInsertionOrder) {
+  const variant::VariantModel model = models::make_fig2();
+  const spi::Graph& g = model.graph();
+
+  const auto ci = *g.find_channel("Ci");
+  const auto consumers = g.consumers_of(ci);
+  ASSERT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(g.process(consumers[0]).name, "P1a");
+  EXPECT_EQ(g.process(consumers[1]).name, "P2a");
+
+  ASSERT_TRUE(g.consumer_of(ci).has_value());
+  EXPECT_EQ(*g.consumer_of(ci), consumers[0]);
+  EXPECT_TRUE(model.mutually_exclusive(consumers[0], consumers[1]));
+
+  // Ci also has exactly one producer (the common part's PA): the plural
+  // accessor agrees with the singular one on single-writer channels.
+  EXPECT_EQ(g.producers_of(ci).size(), 1u);
+  EXPECT_EQ(g.process(*g.producer_of(ci)).name, "PA");
+}
+
+TEST(ChannelAccessors, LinkedInterfacesKeepPerInterfaceOrdering) {
+  // The TV model has two linked interfaces; each port channel collects one
+  // writer/reader per cluster, ordered by cluster construction (PAL, NTSC,
+  // SECAM).
+  const variant::VariantModel model = models::make_multistandard_tv();
+  const spi::Graph& g = model.graph();
+
+  const auto decoded = g.find_channel("CVideoOut");
+  ASSERT_TRUE(decoded.has_value());
+  const auto producers = g.producers_of(*decoded);
+  ASSERT_EQ(producers.size(), 3u);
+  for (std::size_t i = 0; i + 1 < producers.size(); ++i) {
+    EXPECT_TRUE(model.mutually_exclusive(producers[i], producers[i + 1]));
+  }
+  EXPECT_EQ(*g.producer_of(*decoded), producers[0]);
+}
+
+TEST(ChannelAccessors, DegreeRuleRelaxesOnlyUnderExclusivityOracle) {
+  const variant::VariantModel model = models::make_fig2();
+
+  // Without the oracle the strict Def. 1 rule fires on the shared ports.
+  const auto strict = spi::validate(model.graph());
+  EXPECT_TRUE(strict.has_code(spi::diag::kChannelMultiProducer) ||
+              strict.has_code(spi::diag::kChannelMultiConsumer));
+
+  // With the model's oracle the mutually exclusive writers are accepted.
+  const auto relaxed = spi::validate(model.graph(), model.exclusivity_oracle());
+  EXPECT_FALSE(relaxed.has_code(spi::diag::kChannelMultiProducer));
+  EXPECT_FALSE(relaxed.has_code(spi::diag::kChannelMultiConsumer));
+}
+
+}  // namespace
+}  // namespace spivar

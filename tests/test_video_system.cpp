@@ -11,14 +11,6 @@ namespace {
 
 using support::Duration;
 
-sim::SimResult run_video(const VideoOptions& options, bool trace = false) {
-  const spi::Graph g = make_video_system(options);
-  sim::SimOptions sim_options;
-  sim_options.record_trace = trace;
-  sim_options.max_total_firings = 500'000;
-  return sim::Simulator{g, sim_options}.run();
-}
-
 TEST(VideoSystem, Validates) {
   const auto diags = spi::validate(make_video_system());
   EXPECT_FALSE(diags.has_errors()) << diags;

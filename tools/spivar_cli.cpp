@@ -1,136 +1,267 @@
-// spivar_cli — command-line front end over the "spit" text format.
+// spivar_cli — command-line front end built entirely on api::Session.
 //
-//   spivar_cli validate <model.spit>          structural diagnostics
-//   spivar_cli stats <model.spit>             model statistics
-//   spivar_cli simulate <model.spit> [--trace] [--timeline] [--upper|--random N]
-//   spivar_cli dot <model.spit>               GraphViz to stdout
-//   spivar_cli deadlock <model.spit>          structural deadlock report
-//   spivar_cli buffers <model.spit>           channel flow classification
-//   spivar_cli demo                           emit the built-in Figure 1 model
-//   spivar_cli selfcheck                      demo -> parse -> validate -> simulate
-#include <fstream>
+//   spivar_cli models                     list built-in models
+//   spivar_cli validate <model>           structural + variant diagnostics
+//   spivar_cli stats <model>              model statistics
+//   spivar_cli simulate <model> [--trace] [--timeline] [--upper] [--random N]
+//   spivar_cli dot <model>                GraphViz to stdout (variant-aware)
+//   spivar_cli deadlock <model>           structural deadlock report
+//   spivar_cli buffers <model>            channel flow classification
+//   spivar_cli timing <model> [--reconf]  analytical latency checks
+//   spivar_cli analyze <model> [--reconf] all analysis passes at once
+//   spivar_cli explore <model> [--engine greedy|exhaustive|annealing]
+//                             [--seed N] [--process|--cluster]
+//   spivar_cli pareto <model> [--samples N] [--seed N]
+//   spivar_cli demo [name]                emit a built-in model as spit text
+//   spivar_cli selfcheck                  demo -> parse -> validate -> simulate
+//
+// <model> is a built-in name (see `models`) or a path to a .spit file.
+#include <charconv>
 #include <iostream>
-#include <sstream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "analysis/buffer_bounds.hpp"
-#include "analysis/deadlock.hpp"
-#include "models/fig1.hpp"
-#include "sim/engine.hpp"
-#include "sim/timeline.hpp"
-#include "spi/dot.hpp"
-#include "spi/statistics.hpp"
-#include "spi/textio.hpp"
-#include "spi/validate.hpp"
-#include "support/table.hpp"
+#include "api/api.hpp"
 
 namespace {
 
 using namespace spivar;
 
+/// Bad command-line arguments (never an api failure — those come back as
+/// Result diagnostics).
+class UsageError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 int usage() {
-  std::cerr << "usage: spivar_cli "
-               "<validate|stats|simulate|dot|deadlock|buffers|demo|selfcheck> "
-               "[model.spit] [--trace] [--timeline] [--upper] [--random SEED]\n";
+  std::cerr << "usage: spivar_cli <models|validate|stats|simulate|dot|deadlock|buffers|timing|"
+               "analyze|explore|pareto|demo|selfcheck> [model] [options]\n"
+               "       model = built-in name (spivar_cli models) or .spit file path\n";
   return 2;
 }
 
-spi::Graph load(const std::string& path) {
-  std::ifstream in{path};
-  if (!in) throw support::ModelError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return spi::parse_text(buffer.str());
-}
+using api::report_failure;  // prints diagnostics to stderr, true when failed
 
-int cmd_validate(const spi::Graph& g) {
-  const auto diags = spi::validate(g);
-  if (diags.empty()) {
-    std::cout << "clean: no findings\n";
-    return 0;
+bool has_flag(const std::vector<std::string>& flags, const std::string& name) {
+  for (const auto& flag : flags) {
+    if (flag == name) return true;
   }
-  std::cout << diags;
-  return diags.has_errors() ? 1 : 0;
+  return false;
 }
 
-int cmd_simulate(const spi::Graph& g, const std::vector<std::string>& flags) {
-  sim::SimOptions options;
-  bool timeline = false;
+/// Value following `name`, or nullopt when the flag is absent. Callers run
+/// check_flags() first — it owns the "a value must follow" rule — so only a
+/// bounds guard remains here.
+std::optional<std::string> flag_value(const std::vector<std::string>& flags,
+                                      const std::string& name) {
   for (std::size_t i = 0; i < flags.size(); ++i) {
-    if (flags[i] == "--trace") options.record_trace = true;
-    if (flags[i] == "--timeline") {
-      options.record_trace = true;
-      timeline = true;
+    if (flags[i] != name) continue;
+    if (i + 1 >= flags.size()) throw UsageError("'" + name + "' requires a value");
+    return flags[i + 1];
+  }
+  return std::nullopt;
+}
+
+/// Rejects tokens the command does not understand: unknown --flags, the
+/// unsupported --flag=value spelling, and stray positional arguments.
+/// `value_flags` consume the following token.
+void check_flags(const std::vector<std::string>& flags,
+                 std::initializer_list<const char*> bool_flags,
+                 std::initializer_list<const char*> value_flags) {
+  const auto matches = [](std::initializer_list<const char*> set, const std::string& flag) {
+    for (const char* candidate : set) {
+      if (flag == candidate) return true;
     }
-    if (flags[i] == "--upper") options.resolution = sim::Resolution::kUpperBound;
-    if (flags[i] == "--random" && i + 1 < flags.size()) {
-      options.resolution = sim::Resolution::kRandom;
-      options.seed = std::stoull(flags[++i]);
+    return false;
+  };
+  std::vector<std::string> seen;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i].rfind("--", 0) != 0) {
+      throw UsageError("unexpected argument '" + flags[i] + "'");
+    }
+    const bool is_value = matches(value_flags, flags[i]);
+    if (!is_value && !matches(bool_flags, flags[i])) {
+      throw UsageError("unknown option '" + flags[i] + "' (note: --flag=value is not supported, "
+                       "use '--flag value')");
+    }
+    for (const std::string& earlier : seen) {
+      if (earlier == flags[i]) throw UsageError("duplicate option '" + flags[i] + "'");
+    }
+    seen.push_back(flags[i]);
+    if (is_value) {
+      if (i + 1 >= flags.size() || flags[i + 1].rfind("--", 0) == 0) {
+        throw UsageError("'" + flags[i] + "' requires a value");
+      }
+      ++i;
     }
   }
+}
 
-  sim::SimResult r = sim::Simulator{g, options}.run();
-  std::cout << "end time " << r.end_time << ", " << r.total_firings << " firings, "
-            << (r.quiescent ? "quiescent" : "stopped on limit") << "\n\n";
-
-  support::TextTable processes{{"process", "firings", "busy", "reconfigs"}};
-  for (auto pid : g.process_ids()) {
-    processes.add_row({g.process(pid).name, std::to_string(r.process(pid).firings),
-                       r.process(pid).busy.to_string(),
-                       std::to_string(r.process(pid).reconfigurations)});
+std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
+  std::uint64_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw UsageError("invalid value '" + text + "' for " + flag);
   }
-  std::cout << processes << "\n";
+  return value;
+}
 
-  support::TextTable channels{{"channel", "produced", "consumed", "left", "max"}};
-  for (auto cid : g.channel_ids()) {
-    channels.add_row({g.channel(cid).name, std::to_string(r.channel(cid).produced),
-                      std::to_string(r.channel(cid).consumed),
-                      std::to_string(r.channel(cid).occupancy),
-                      std::to_string(r.channel(cid).max_occupancy)});
+int cmd_models() {
+  for (const api::BuiltinModel& entry : api::builtin_models()) {
+    std::cout << entry.name << "\n    " << entry.description << "\n";
   }
-  std::cout << channels;
+  return 0;
+}
 
-  for (const auto& c : r.constraints) {
-    std::cout << "constraint " << c.name << ": observed " << c.observed << " bound " << c.bound
-              << (c.satisfied ? " OK" : " VIOLATED") << "\n";
+int cmd_validate(api::Session& session, api::ModelId model) {
+  const auto result = session.validate(model);
+  if (report_failure(result)) return 1;
+  std::cout << api::render(result.value());
+  return result.value().has_errors() ? 1 : 0;
+}
+
+int cmd_simulate(api::Session& session, api::ModelId model,
+                 const std::vector<std::string>& flags) {
+  api::SimulateRequest request{.model = model};
+  request.options.record_trace = has_flag(flags, "--trace");
+  request.render_timeline = has_flag(flags, "--timeline");
+  if (has_flag(flags, "--upper")) request.options.resolution = sim::Resolution::kUpperBound;
+  if (has_flag(flags, "--random")) {
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = parse_u64(*flag_value(flags, "--random"), "--random");
   }
-  if (timeline) std::cout << "\n" << sim::render_timeline(g, r);
+
+  const auto result = session.simulate(request);
+  if (report_failure(result)) return 1;
+  std::cout << api::render(result.value());
+  const auto& r = result.value().result;
+
+  if (has_flag(flags, "--trace")) {
+    constexpr std::size_t kMaxShown = 50;
+    const auto& events = r.trace.events();
+    std::cout << "\ntrace (" << events.size() << " events";
+    if (events.size() > kMaxShown) std::cout << ", first " << kMaxShown;
+    std::cout << "):\n";
+    std::size_t shown = 0;
+    for (const auto& event : events) {
+      if (shown++ >= kMaxShown) break;
+      std::cout << "  " << event.time << " " << sim::to_string(event.kind) << " "
+                << event.subject << " [" << event.detail << "]\n";
+    }
+  }
   return r.quiescent || r.hit_limit ? 0 : 1;
 }
 
-int cmd_deadlock(const spi::Graph& g) {
-  const auto deadlocks = analysis::find_structural_deadlocks(g);
-  if (deadlocks.empty()) {
+int cmd_analyze(api::Session& session, const api::AnalyzeRequest& request) {
+  const auto result = session.analyze(request);
+  if (report_failure(result)) return 1;
+  std::cout << api::render(result.value());
+  // Verdict in the exit code, like every other subcommand: nonzero when a
+  // requested pass found a problem (deadlock, or an unguaranteed latency
+  // bound; buffer/structure findings are informational).
+  bool bad = !result.value().deadlock_free();
+  for (const auto& check : result.value().latency_checks) {
+    if (!check.guaranteed) bad = true;
+  }
+  return bad ? 1 : 0;
+}
+
+int cmd_deadlock(api::Session& session, api::ModelId model) {
+  api::AnalyzeRequest request{.model = model};
+  request.buffers = request.structure = request.timing = false;
+  const auto result = session.analyze(request);
+  if (report_failure(result)) return 1;
+  if (result.value().deadlock_free()) {
     std::cout << "no structural deadlock\n";
     return 0;
   }
-  for (const auto& d : deadlocks) std::cout << d.describe(g) << "\n";
+  for (const auto& d : result.value().deadlocks) std::cout << d.description << "\n";
   return 1;
 }
 
-int cmd_buffers(const spi::Graph& g) {
-  support::TextTable table{{"channel", "class", "max inflow/ms", "min drain/ms"}};
-  for (const auto& flow : analysis::analyze_buffers(g)) {
-    table.add_row({flow.name, analysis::to_string(flow.flow),
-                   support::format_double(flow.max_inflow), support::format_double(flow.min_drain)});
+synth::ExploreEngine parse_engine(const std::string& name) {
+  if (name == "greedy") return synth::ExploreEngine::kGreedy;
+  if (name == "exhaustive") return synth::ExploreEngine::kExhaustive;
+  if (name == "annealing") return synth::ExploreEngine::kAnnealing;
+  throw UsageError("unknown engine '" + name + "' (greedy|exhaustive|annealing)");
+}
+
+int cmd_explore(api::Session& session, api::ModelId model,
+                const std::vector<std::string>& flags) {
+  api::ExploreRequest request{.model = model};
+  request.options.engine = parse_engine(flag_value(flags, "--engine").value_or("greedy"));
+  request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
+  if (has_flag(flags, "--process")) {
+    request.problem = synth::ProblemOptions{.granularity = synth::ElementGranularity::kProcess};
   }
-  std::cout << table;
+  if (has_flag(flags, "--cluster")) {
+    request.problem =
+        synth::ProblemOptions{.granularity = synth::ElementGranularity::kClusterAtomic};
+  }
+
+  const auto result = session.explore(request);
+  if (report_failure(result)) return 1;
+  std::cout << api::render(result.value());
+  return result.value().result.found_feasible ? 0 : 1;
+}
+
+int cmd_pareto(api::Session& session, api::ModelId model,
+               const std::vector<std::string>& flags) {
+  api::ParetoRequest request{.model = model};
+  request.options.samples = parse_u64(flag_value(flags, "--samples").value_or("4096"), "--samples");
+  request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
+
+  const auto result = session.pareto(request);
+  if (report_failure(result)) return 1;
+  std::cout << api::render(result.value());
+  return result.value().points.empty() ? 1 : 0;
+}
+
+int cmd_demo(const std::string& name) {
+  api::Session session;
+  const auto model = session.load_builtin(name);
+  if (report_failure(model)) return 1;
+  if (model.value().has_variants()) {
+    // The spit format covers the flat graph only; make the loss visible so
+    // nobody round-trips a variant model expecting it to validate.
+    std::cerr << "note: '" << name << "' has " << model.value().interfaces
+              << " interface(s); .spit text captures the flat graph only (the "
+                 "variant structure and its exclusivity relation are not emitted)\n";
+  }
+  const auto text = session.write_text(model.value().id);
+  if (report_failure(text)) return 1;
+  std::cout << text.value();
   return 0;
 }
 
 int cmd_selfcheck() {
-  // Full pipeline on the built-in model: write -> parse -> validate ->
+  // Full pipeline through the facade: builtin -> text -> parse -> validate ->
   // simulate; compare behavior against the in-memory original.
-  const spi::Graph original = models::make_fig1({.tag = 'b', .source_firings = 10});
-  const std::string text = spi::write_text(original);
-  const spi::Graph reparsed = spi::parse_text(text);
-  if (spi::validate(reparsed).has_errors()) {
-    std::cerr << "selfcheck: reparsed model has validation errors\n";
+  api::Session session;
+  const auto original = session.load_builtin("fig1");
+  if (report_failure(original)) return 1;
+  const auto text = session.write_text(original.value().id);
+  if (report_failure(text)) return 1;
+  const auto reparsed = session.load_text(text.value(), "fig1-reparsed");
+  if (report_failure(reparsed)) return 1;
+
+  const auto diags = session.validate(reparsed.value().id);
+  if (report_failure(diags)) return 1;
+  if (diags.value().has_errors()) {
+    std::cerr << "selfcheck: reparsed model has validation errors\n"
+              << api::render(diags.value());
     return 1;
   }
-  sim::SimResult ra = sim::Simulator{original}.run();
-  sim::SimResult rb = sim::Simulator{reparsed}.run();
+
+  const auto batch = session.simulate_batch({{.model = original.value().id},
+                                             {.model = reparsed.value().id}});
+  for (const auto& run : batch) {
+    if (report_failure(run)) return 1;
+  }
+  const auto& ra = batch[0].value().result;
+  const auto& rb = batch[1].value().result;
   if (ra.total_firings != rb.total_firings || ra.end_time != rb.end_time) {
     std::cerr << "selfcheck: behavior differs after round-trip\n";
     return 1;
@@ -139,42 +270,113 @@ int cmd_selfcheck() {
   return 0;
 }
 
+int run_cli(const std::string& command, const std::vector<std::string>& rest) {
+  if (command == "models" || command == "selfcheck") {
+    check_flags(rest, {}, {});  // no arguments
+    return command == "models" ? cmd_models() : cmd_selfcheck();
+  }
+  if (command == "demo") {
+    const bool named = !rest.empty() && rest[0].rfind("--", 0) != 0;
+    check_flags({rest.begin() + (named ? 1 : 0), rest.end()}, {}, {});
+    return cmd_demo(named ? rest[0] : "fig1");
+  }
+
+  // Reject unknown commands before touching the model argument, so a typoed
+  // command never masquerades as a model-load failure.
+  constexpr const char* kModelCommands[] = {"validate", "stats",  "simulate", "dot",    "deadlock",
+                                            "buffers",  "timing", "analyze",  "explore", "pareto"};
+  bool known = false;
+  for (const char* candidate : kModelCommands) {
+    if (command == candidate) known = true;
+  }
+  if (!known || rest.empty()) return usage();
+  if (rest[0].rfind("--", 0) == 0) {
+    throw UsageError("expected a model (built-in name or .spit path) before options, got '" +
+                     rest[0] + "'");
+  }
+  const std::vector<std::string> flags(rest.begin() + 1, rest.end());
+
+  // Validate the flags — names, exclusions, and values — before the
+  // (potentially expensive) model load, so a typoed option fails
+  // immediately. The cmd_* handlers re-run the same parse helpers to
+  // consume the values; the rules live in one place.
+  const auto prevalidate_u64 = [&flags](const char* flag) {
+    if (const auto value = flag_value(flags, flag)) (void)parse_u64(*value, flag);
+  };
+  if (command == "simulate") {
+    check_flags(flags, {"--trace", "--timeline", "--upper"}, {"--random"});
+    if (has_flag(flags, "--upper") && has_flag(flags, "--random")) {
+      throw UsageError("'--upper' and '--random' are mutually exclusive");
+    }
+    prevalidate_u64("--random");
+  } else if (command == "explore") {
+    check_flags(flags, {"--process", "--cluster"}, {"--engine", "--seed"});
+    if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
+      throw UsageError("'--process' and '--cluster' are mutually exclusive");
+    }
+    (void)parse_engine(flag_value(flags, "--engine").value_or("greedy"));
+    prevalidate_u64("--seed");
+  } else if (command == "pareto") {
+    check_flags(flags, {}, {"--samples", "--seed"});
+    prevalidate_u64("--samples");
+    prevalidate_u64("--seed");
+  } else if (command == "timing" || command == "analyze") {
+    check_flags(flags, {"--reconf"}, {});
+  } else {
+    check_flags(flags, {}, {});  // validate/stats/dot/deadlock/buffers take no flags
+  }
+
+  api::Session session;
+  const auto loaded = session.load_model(rest[0]);
+  if (report_failure(loaded)) return 1;
+  const api::ModelId model = loaded.value().id;
+
+  if (command == "validate") return cmd_validate(session, model);
+  if (command == "stats") {
+    const auto result = session.stats(model);
+    if (report_failure(result)) return 1;
+    std::cout << result.value().to_string() << "\n";
+    return 0;
+  }
+  if (command == "simulate") return cmd_simulate(session, model, flags);
+  if (command == "dot") {
+    const auto result = session.dot(model);
+    if (report_failure(result)) return 1;
+    std::cout << result.value();
+    return 0;
+  }
+  if (command == "deadlock") return cmd_deadlock(session, model);
+  if (command == "buffers") {
+    api::AnalyzeRequest request{.model = model};
+    request.deadlock = request.structure = request.timing = false;
+    return cmd_analyze(session, request);
+  }
+  if (command == "timing") {
+    api::AnalyzeRequest request{.model = model};
+    request.deadlock = request.buffers = request.structure = false;
+    request.include_reconfiguration = has_flag(flags, "--reconf");
+    return cmd_analyze(session, request);
+  }
+  if (command == "analyze") {
+    api::AnalyzeRequest request{.model = model};
+    request.include_reconfiguration = has_flag(flags, "--reconf");
+    return cmd_analyze(session, request);
+  }
+  if (command == "explore") return cmd_explore(session, model, flags);
+  if (command == "pareto") return cmd_pareto(session, model, flags);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  std::vector<std::string> rest(argv + 2, argv + argc);
-
+  const std::vector<std::string> rest(argv + 2, argv + argc);
   try {
-    if (command == "demo") {
-      std::cout << spi::write_text(models::make_fig1());
-      return 0;
-    }
-    if (command == "selfcheck") return cmd_selfcheck();
-
-    if (rest.empty()) return usage();
-    const spi::Graph g = load(rest[0]);
-    const std::vector<std::string> flags(rest.begin() + 1, rest.end());
-
-    if (command == "validate") return cmd_validate(g);
-    if (command == "stats") {
-      std::cout << spi::collect_statistics(g).to_string() << "\n";
-      return 0;
-    }
-    if (command == "simulate") return cmd_simulate(g, flags);
-    if (command == "dot") {
-      std::cout << spi::to_dot(g);
-      return 0;
-    }
-    if (command == "deadlock") return cmd_deadlock(g);
-    if (command == "buffers") return cmd_buffers(g);
-    return usage();
-  } catch (const spi::ParseError& e) {
-    std::cerr << "parse error: " << e.what() << "\n";
-    return 1;
-  } catch (const support::ModelError& e) {
+    return run_cli(command, rest);
+  } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return usage();
   }
 }
