@@ -2,9 +2,10 @@
 // the batch surface.
 //
 // The facade adds response materialization (name-resolved rows) on top of
-// the raw engine; the batch entry points are the seam where parallel
-// dispatch lands later. This benchmark pins down today's sequential
-// baseline so that future sharding work has a number to beat.
+// the raw engine. BM_BatchThroughput measures the executor seam directly:
+// the same 64-request simulate batch under 1 vs N workers, so the
+// serial-vs-parallel speedup is a recorded number, not an assertion (CI
+// uploads the JSON as BENCH_api.json).
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -71,6 +72,31 @@ void BM_SessionSimulateBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SessionSimulateBatch)->Arg(4)->Arg(16)->Arg(64);
+
+/// Batch throughput at the executor seam: 64 independent simulate requests
+/// over the synthetic model, dispatched across state.range(0) workers.
+/// Results are bit-identical across worker counts (asserted in the tests);
+/// only the wall time moves.
+void BM_BatchThroughput(benchmark::State& state) {
+  constexpr std::int64_t kRequests = 64;
+  api::Session session{api::make_executor(static_cast<std::size_t>(state.range(0)))};
+  const api::ModelId model = must_load(session, "synthetic");
+  std::vector<api::SimulateRequest> batch;
+  batch.reserve(kRequests);
+  for (std::int64_t seed = 1; seed <= kRequests; ++seed) {
+    api::SimulateRequest request{.model = model};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = static_cast<std::uint64_t>(seed);
+    batch.push_back(request);
+  }
+  for (auto _ : state) {
+    const auto results = session.simulate_batch(batch);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kRequests);
+  state.counters["workers"] = static_cast<double>(session.executor().workers());
+}
+BENCHMARK(BM_BatchThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_SessionExplore(benchmark::State& state) {
   api::Session session;

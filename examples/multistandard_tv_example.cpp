@@ -2,16 +2,15 @@
 // selected together at boot — the motivating scenario of the paper's
 // introduction ("TV sets which can be adapted to different standards").
 //
-// The three boot regions are simulated as one api::Session batch; the
-// cross-region synthesis comparison uses the strategy layer directly.
+// Fully on the api facade: the three boot regions load as typed builtin
+// requests and simulate as one batch, and the cross-region synthesis
+// comparison is a single Session::compare() call.
 #include <cstdlib>
 #include <iostream>
 
 #include "api/api.hpp"
 #include "models/multistandard_tv.hpp"
 #include "support/table.hpp"
-#include "synth/from_model.hpp"
-#include "synth/strategies.hpp"
 #include "variant/flatten.hpp"
 
 namespace {
@@ -30,23 +29,31 @@ std::int64_t firings_of(const spivar::api::SimulateResponse& response, const cha
 int main() {
   using namespace spivar;
 
-  const variant::VariantModel model = models::make_multistandard_tv();
-  std::cout << "=== multi-standard TV: " << model.interface_count()
-            << " linked variant sets, " << model.cluster_count() << " clusters ===\n\n";
+  api::Session session;
+  const auto model = session.load_builtin("multistandard_tv");
+  if (api::report_failure(model)) return 1;
+  std::cout << "=== multi-standard TV: " << model.value().interfaces
+            << " linked variant sets, " << model.value().clusters << " clusters ===\n\n";
 
-  const auto bindings = variant::enumerate_bindings(model);
-  std::cout << "consistent bindings (video/audio linked -> " << bindings.size()
-            << ", not 9):\n";
-  for (const auto& binding : bindings) {
-    std::cout << "  " << variant::binding_name(model, binding) << "\n";
+  {
+    // Binding enumeration still speaks the variant subsystem's language —
+    // builder-level introspection the facade intentionally leaves exposed.
+    const variant::VariantModel tv = models::make_multistandard_tv();
+    const auto bindings = variant::enumerate_bindings(tv);
+    std::cout << "consistent bindings (video/audio linked -> " << bindings.size()
+              << ", not 9):\n";
+    for (const auto& binding : bindings) {
+      std::cout << "  " << variant::binding_name(tv, binding) << "\n";
+    }
   }
 
-  // One session model per boot region, simulated as a batch.
-  api::Session session;
+  // One session model per boot region — typed per-model options through the
+  // registry — simulated as a batch.
   std::vector<api::SimulateRequest> batch;
   for (int region = 0; region < 3; ++region) {
-    const auto loaded =
-        session.load(models::make_multistandard_tv({.region = region, .frames = 25}), "tv-region");
+    const auto loaded = session.load_builtin(api::LoadBuiltinRequest{
+        .name = "multistandard_tv",
+        .options = models::TvOptions{.region = region, .frames = 25}});
     if (api::report_failure(loaded)) return 1;
     batch.push_back({.model = loaded.value().id});
   }
@@ -66,17 +73,22 @@ int main() {
   }
   std::cout << table;
 
-  // Synthesis across the three regions.
-  const synth::SynthesisProblem problem = synth::problem_from_model(model);
-  const synth::ImplLibrary lib = models::tv_library();
-  synth::ExploreOptions options;
-  options.engine = synth::ExploreEngine::kExhaustive;
-  const auto var = synth::synthesize_with_variants(lib, problem.apps, options);
-  const auto sup = synth::synthesize_superposition(lib, problem.apps, options);
+  // Synthesis across the three regions: one compare() call instead of
+  // hand-wired strategy invocations.
+  api::CompareRequest request{.model = model.value().id};
+  request.options.engine = synth::ExploreEngine::kExhaustive;
+  request.strategies = {synth::StrategyKind::kSuperposition, synth::StrategyKind::kWithVariants};
+  const auto compared = session.compare(request);
+  if (api::report_failure(compared)) return 1;
+  const auto* superposition = compared.value().find("superposition");
+  const auto* with_variants = compared.value().find("with-variants");
+  if (superposition == nullptr || with_variants == nullptr) return 1;
 
   std::cout << "\nsynthesis across regions:\n"
-            << "  superposition of per-region architectures: " << sup.cost.total << "\n"
-            << "  variant-aware joint synthesis:             " << var.cost.total << "\n"
+            << "  superposition of per-region architectures: "
+            << superposition->outcome.cost.total << "\n"
+            << "  variant-aware joint synthesis:             "
+            << with_variants->outcome.cost.total << "\n"
             << "  (mutually exclusive standards share resources -> cheaper or equal)\n";
-  return var.cost.total <= sup.cost.total ? 0 : 1;
+  return with_variants->outcome.cost.total <= superposition->outcome.cost.total ? 0 : 1;
 }

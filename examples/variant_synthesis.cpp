@@ -1,68 +1,50 @@
-// Regenerates Table 1 of the paper ("System Cost"): independent synthesis
-// per application, superposition, and joint variant-aware synthesis, plus
-// the two literature baselines the paper positions itself against.
+// Regenerates Table 1 of the paper ("System Cost") through the api facade:
+// one Session::compare() call runs independent synthesis per application,
+// superposition, joint variant-aware synthesis, and the two literature
+// baselines, and ranks the outcomes.
 #include <iostream>
 
-#include "models/fig2.hpp"
-#include "support/table.hpp"
-#include "synth/strategies.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace spivar;
-  using synth::ExploreEngine;
-  using synth::ExploreOptions;
 
-  const synth::ImplLibrary lib = models::table1_library();
-  const synth::SynthesisProblem problem = models::table1_problem();
-  ExploreOptions options;
-  options.engine = ExploreEngine::kExhaustive;
+  api::Session session;
+  const auto model = session.load_builtin("fig2");
+  if (api::report_failure(model)) return 1;
 
-  const auto r1 = synth::synthesize_independent(lib, problem.apps[0], options);
-  const auto r2 = synth::synthesize_independent(lib, problem.apps[1], options);
-  const auto sup = synth::synthesize_superposition(lib, problem.apps, options);
-  const auto var = synth::synthesize_with_variants(lib, problem.apps, options);
-  const auto ser = synth::synthesize_serialized(lib, problem.apps, {}, options);
-  const auto inc = synth::synthesize_incremental(lib, problem.apps, {0, 1}, options);
+  api::CompareRequest request{.model = model.value().id};
+  request.options.engine = synth::ExploreEngine::kExhaustive;
+  const auto compared = session.compare(request);
+  if (api::report_failure(compared)) return 1;
+  const api::CompareResponse& table = compared.value();
+
+  std::cout << "=== Table 1: System Cost (paper totals: 34 / 38 / 57 / 41) ===\n\n"
+            << api::render(table);
 
   // Design time is measured on the iterative (greedy) flow: exhaustive
   // search over the joint space would trivially dominate the counters.
-  synth::ExploreOptions greedy;
-  greedy.engine = synth::ExploreEngine::kGreedy;
-  const auto g1 = synth::synthesize_independent(lib, problem.apps[0], greedy);
-  const auto g2 = synth::synthesize_independent(lib, problem.apps[1], greedy);
-  const auto gsup = synth::synthesize_superposition(lib, problem.apps, greedy);
-  const auto gvar = synth::synthesize_with_variants(lib, problem.apps, greedy);
-
-  auto join = [](const std::vector<std::string>& v) {
-    std::string out;
-    for (const auto& s : v) {
-      if (!out.empty()) out += ", ";
-      out += s;
-    }
-    return out;
-  };
-
-  std::cout << "=== Table 1: System Cost (paper totals: 34 / 38 / 57 / 41) ===\n\n";
-  support::TextTable table{{"strategy", "software", "hardware", "total", "paper"}};
-  auto row = [&](const char* label, const synth::StrategyOutcome& o, const char* paper) {
-    table.add_row({label, join(o.cost.software), join(o.cost.hardware),
-                   support::format_double(o.cost.total, 0), paper});
-  };
-  row("Application 1", r1, "34");
-  row("Application 2", r2, "38");
-  row("Superposition", sup, "57");
-  row("With variants", var, "41");
-  row("Serialized [6]", ser, "-");
-  row("Incremental [5]", inc, "-");
-  std::cout << table;
+  api::CompareRequest greedy{.model = model.value().id};
+  greedy.options.engine = synth::ExploreEngine::kGreedy;
+  greedy.strategies = {synth::StrategyKind::kIndependent, synth::StrategyKind::kSuperposition,
+                       synth::StrategyKind::kWithVariants};
+  const auto timed = session.compare(greedy);
+  if (api::report_failure(timed)) return 1;
 
   std::cout << "\nDesign time, greedy flow, in examined decisions\n"
-            << "(paper: 67 + 73 = 140 for superposition; with variants 118 < 140):\n"
-            << "  independent: " << g1.decisions << " + " << g2.decisions
-            << "  superposition: " << gsup.decisions << "  with variants: " << gvar.decisions
-            << "\n";
+            << "(paper: 67 + 73 = 140 for superposition; with variants 118 < 140):\n  ";
+  for (const auto& row : timed.value().rows) {
+    std::cout << row.strategy << (row.system() ? "" : " '" + row.scope + "'") << ": "
+              << row.decisions << "  ";
+  }
+  std::cout << "\n";
 
-  const bool ok = var.cost.total < sup.cost.total && r1.cost.total < r2.cost.total;
+  const auto* superposition = table.find("superposition");
+  const auto* with_variants = table.find("with-variants");
+  const auto* best = table.best();
+  const bool ok = superposition != nullptr && with_variants != nullptr && best != nullptr &&
+                  with_variants->outcome.cost.total < superposition->outcome.cost.total &&
+                  best->strategy == "with-variants";
   std::cout << (ok ? "\nReproduction check PASSED: variant-aware joint synthesis beats "
                      "superposition.\n"
                    : "\nReproduction check FAILED.\n");

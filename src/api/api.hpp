@@ -1,8 +1,26 @@
 // Umbrella header for the spivar::api layer — the only include front ends
-// need. See session.hpp for the facade, format.hpp for text rendering.
+// need.
+//
+// v2 surface:
+//   * Session (session.hpp) — load_text/load_file/load_model, typed
+//     load_builtin(LoadBuiltinRequest) with per-model option structs,
+//     validate/stats/dot/write_text, analyze/simulate/explore/pareto,
+//     compare() (ranked run of the five Table 1 strategies), and the batch
+//     entry points simulate_batch/explore_batch.
+//   * Executor (executor.hpp) — SerialExecutor / ThreadPoolExecutor /
+//     make_executor(jobs); inject into Session to parallelize the batch
+//     surface with bit-identical results.
+//   * BuiltinOptions (options.hpp) — std::variant of per-model option
+//     structs plus parse_builtin_options() for "key=value" assignments.
+//   * Result<T> (result.hpp) — value-or-diagnostics; no exception crosses
+//     the session boundary.
+//   * render() (format.hpp) — stable plain-text rendering of every
+//     response type.
 #pragma once
 
+#include "api/executor.hpp"  // IWYU pragma: export
 #include "api/format.hpp"    // IWYU pragma: export
+#include "api/options.hpp"   // IWYU pragma: export
 #include "api/registry.hpp"  // IWYU pragma: export
 #include "api/requests.hpp"  // IWYU pragma: export
 #include "api/responses.hpp" // IWYU pragma: export

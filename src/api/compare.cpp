@@ -1,0 +1,149 @@
+// Session::compare — the strategy-comparison endpoint (paper §5, Table 1).
+//
+// One call runs any subset of the five synthesis strategies over a loaded
+// model and returns the ranked outcome table. Independent synthesis yields
+// one row per application (Table 1 rows 1-2); the order-sensitive baselines
+// optionally sweep application orders and report the best outcome plus the
+// cost spread. Every strategy run (and every order) is an independent,
+// seed-deterministic job dispatched across the session's executor.
+#include <algorithm>
+#include <utility>
+
+#include "api/detail.hpp"
+#include "api/session.hpp"
+
+namespace spivar::api {
+
+namespace {
+
+using synth::StrategyKind;
+
+/// One strategy run: a (row, order) pair. Independent rows carry the single
+/// application they synthesize; everything else runs on the shared problem
+/// (empty `apps` — no per-job copy of the application vector).
+struct Job {
+  std::size_t row = 0;
+  StrategyKind kind{};
+  std::vector<synth::Application> apps;    ///< one-app slice, or empty = whole problem
+  std::vector<std::size_t> order;          ///< identity when empty
+};
+
+/// Requested kinds in presentation order, deduplicated; all five when the
+/// request leaves the subset empty.
+std::vector<StrategyKind> requested_kinds(const CompareRequest& request) {
+  std::vector<StrategyKind> kinds;
+  const auto add = [&kinds](StrategyKind kind) {
+    if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end()) kinds.push_back(kind);
+  };
+  if (request.strategies.empty()) {
+    for (StrategyKind kind : synth::kAllStrategies) add(kind);
+  } else {
+    for (StrategyKind kind : request.strategies) add(kind);
+  }
+  return kinds;
+}
+
+/// `a` ranks strictly better than `b`: feasible first, then cheaper.
+bool better(const synth::StrategyOutcome& a, const synth::StrategyOutcome& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  return a.cost.total < b.cost.total;
+}
+
+}  // namespace
+
+Result<CompareResponse> Session::compare(const CompareRequest& request) const {
+  const Entry* entry = find(request.model);
+  if (!entry) {
+    return detail::unknown_model<CompareResponse>(request.model);
+  }
+  return detail::guarded<CompareResponse>([&]() -> Result<CompareResponse> {
+    const SynthesisSetup setup = synthesis_setup(*entry, request.problem, request.library);
+    if (!detail::problem_has_elements(setup.problem)) {
+      return Result<CompareResponse>::failure(
+          diag::kEmptyProblem, detail::empty_problem_message(entry->model.graph().name()));
+    }
+    const std::vector<synth::Application>& apps = setup.problem.apps;
+
+    CompareResponse response;
+    response.model = entry->model.graph().name();
+    response.problem = setup.problem.name;
+    response.applications = apps.size();
+    response.library_origin = setup.library_origin;
+
+    // Row skeleton + job list. Rows keep the canonical presentation order;
+    // jobs reference their row so parallel completion cannot reorder them.
+    std::vector<Job> jobs;
+    for (StrategyKind kind : requested_kinds(request)) {
+      if (kind == StrategyKind::kIndependent) {
+        for (const synth::Application& app : apps) {
+          response.rows.push_back({.strategy = synth::to_string(kind), .scope = app.name});
+          jobs.push_back({.row = response.rows.size() - 1, .kind = kind, .apps = {app}});
+        }
+        continue;
+      }
+      response.rows.push_back({.strategy = synth::to_string(kind), .scope = "system"});
+      const std::size_t row = response.rows.size() - 1;
+      const bool sweep = request.all_orders && synth::order_sensitive(kind) && apps.size() > 1;
+      const auto orders = sweep ? synth::application_orders(apps.size(), request.max_orders)
+                                : std::vector<std::vector<std::size_t>>{{}};
+      for (const auto& order : orders) {
+        jobs.push_back({.row = row, .kind = kind, .order = order});
+      }
+    }
+
+    // Every job is independent and deterministic by seed — dispatch across
+    // the executor, then aggregate per row in job order (so the serial and
+    // parallel paths produce identical responses).
+    struct Slot {
+      std::optional<synth::StrategyOutcome> outcome;
+      std::string error;
+    };
+    std::vector<Slot> slots(jobs.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      tasks.push_back([&slots, &jobs, &setup, &request, &apps, i] {
+        try {
+          const auto& job_apps = jobs[i].apps.empty() ? apps : jobs[i].apps;
+          slots[i].outcome = synth::run_strategy(jobs[i].kind, setup.library, job_apps,
+                                                 jobs[i].order, request.options);
+        } catch (const std::exception& e) {
+          slots[i].error = e.what();
+        }
+      });
+    }
+    executor_->run(std::move(tasks));
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!slots[i].error.empty()) {
+        return Result<CompareResponse>::failure(
+            diag::kModelError, std::string{synth::to_string(jobs[i].kind)} + ": " + slots[i].error);
+      }
+      CompareResponse::Row& row = response.rows[jobs[i].row];
+      synth::StrategyOutcome& outcome = *slots[i].outcome;
+      row.decisions += outcome.decisions;
+      row.evaluations += outcome.evaluations;
+      const bool first = row.outcome.strategy.empty();
+      if (first) {
+        row.orders_tried = 1;
+        row.worst_total = outcome.cost.total;
+        row.outcome = std::move(outcome);
+        continue;
+      }
+      row.orders_tried += 1;
+      row.worst_total = std::max(row.worst_total, outcome.cost.total);
+      if (better(outcome, row.outcome)) row.outcome = std::move(outcome);
+    }
+
+    for (std::size_t i = 0; i < response.rows.size(); ++i) {
+      if (response.rows[i].system()) response.ranking.push_back(i);
+    }
+    std::stable_sort(response.ranking.begin(), response.ranking.end(),
+                     [&response](std::size_t a, std::size_t b) {
+                       return better(response.rows[a].outcome, response.rows[b].outcome);
+                     });
+    return Result<CompareResponse>::success(std::move(response));
+  });
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,53 @@
+// Internal helpers shared by the Session translation units (session.cpp,
+// compare.cpp). Not part of the public api surface — do not include from
+// api.hpp or front ends.
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "api/requests.hpp"
+#include "api/result.hpp"
+#include "spi/textio.hpp"
+#include "support/diagnostics.hpp"
+#include "synth/target.hpp"
+
+namespace spivar::api::detail {
+
+/// Shared failure for operations given a handle the session doesn't hold.
+template <typename T>
+Result<T> unknown_model(ModelId id) {
+  return Result<T>::failure(diag::kUnknownModel,
+                            id.valid() ? "no model with handle #" + std::to_string(id.value())
+                                       : "invalid (default-constructed) model handle");
+}
+
+/// Runs `fn` (returning Result<T>) with every exception converted into a
+/// failed Result — the session's no-throw boundary.
+template <typename T, typename Fn>
+Result<T> guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const spi::ParseError& e) {
+    return Result<T>::failure(diag::kParseError, e.what());
+  } catch (const support::ModelError& e) {
+    return Result<T>::failure(diag::kModelError, e.what());
+  } catch (const std::exception& e) {
+    return Result<T>::failure(diag::kInternalError, e.what());
+  }
+}
+
+/// Shared guard for the synthesis operations: a problem is explorable iff
+/// some application contributes at least one element.
+inline bool problem_has_elements(const synth::SynthesisProblem& problem) {
+  for (const synth::Application& app : problem.apps) {
+    if (!app.elements.empty()) return true;
+  }
+  return false;
+}
+
+inline std::string empty_problem_message(const std::string& model_name) {
+  return "model '" + model_name + "' yields no synthesis elements (only virtual processes?)";
+}
+
+}  // namespace spivar::api::detail

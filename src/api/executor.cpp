@@ -1,0 +1,81 @@
+#include "api/executor.hpp"
+
+#include <utility>
+
+namespace spivar::api {
+
+void SerialExecutor::run(std::vector<std::function<void()>> tasks) {
+  for (auto& task : tasks) task();
+}
+
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t workers) {
+  std::size_t count = workers != 0 ? workers : std::thread::hardware_concurrency();
+  if (count == 0) count = 1;
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard lock{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPoolExecutor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mutex_};
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+
+  // Completion state per run() call, shared with the wrapped tasks, so
+  // concurrent batches from different threads never cross-signal.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+
+  {
+    std::lock_guard lock{mutex_};
+    for (auto& task : tasks) {
+      queue_.push_back([batch, task = std::move(task)] {
+        task();
+        std::lock_guard guard{batch->mutex};
+        if (--batch->remaining == 0) batch->done.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock lock{batch->mutex};
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+std::string ThreadPoolExecutor::name() const {
+  return "threads:" + std::to_string(threads_.size());
+}
+
+std::shared_ptr<Executor> make_executor(std::size_t jobs) {
+  if (jobs <= 1) return std::make_shared<SerialExecutor>();
+  return std::make_shared<ThreadPoolExecutor>(jobs);
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,76 @@
+// Execution policy for the session's batch surface.
+//
+// Every batch entry point (simulate_batch, explore_batch, compare) splits
+// its work into independent tasks and hands them to the session's Executor.
+// Tasks are deterministic by seed and write to disjoint result slots, so the
+// outcome is bit-identical whether they run serially or across a pool —
+// parallelism is purely a wall-clock decision, asserted by the tests.
+//
+//   api::Session fast{api::make_executor(4)};   // thread pool, 4 workers
+//   api::Session exact;                         // serial (the default)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spivar::api {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs every task to completion before returning, in any order, possibly
+  /// concurrently. Tasks must be independent and must not throw (the session
+  /// wraps its work in the no-throw boundary before submitting).
+  virtual void run(std::vector<std::function<void()>> tasks) = 0;
+
+  [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Runs tasks inline on the calling thread, in submission order.
+class SerialExecutor final : public Executor {
+ public:
+  void run(std::vector<std::function<void()>> tasks) override;
+  [[nodiscard]] std::size_t workers() const noexcept override { return 1; }
+  [[nodiscard]] std::string name() const override { return "serial"; }
+};
+
+/// Persistent worker threads draining a shared queue. run() blocks the
+/// calling thread until its whole batch has completed; concurrent run()
+/// calls from different threads interleave safely.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  /// `workers == 0` uses the hardware concurrency (at least one thread).
+  explicit ThreadPoolExecutor(std::size_t workers = 0);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void run(std::vector<std::function<void()>> tasks) override;
+  [[nodiscard]] std::size_t workers() const noexcept override { return threads_.size(); }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;                 ///< guards queue_ and stop_
+  std::condition_variable work_cv_;  ///< signals queued work / shutdown
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Policy by worker count: `jobs <= 1` is the serial executor, anything
+/// above a `ThreadPoolExecutor{jobs}` — the CLI's `--jobs N` in one place.
+[[nodiscard]] std::shared_ptr<Executor> make_executor(std::size_t jobs);
+
+}  // namespace spivar::api

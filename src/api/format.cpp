@@ -147,6 +147,33 @@ std::string render(const ParetoResponse& response) {
   return os.str();
 }
 
+std::string render(const CompareResponse& response) {
+  std::ostringstream os;
+  os << "strategy comparison on " << response.model << " (" << response.problem << "): "
+     << response.applications << " application(s), library " << response.library_origin << "\n";
+
+  support::TextTable table{
+      {"strategy", "scope", "total", "software", "hardware", "decisions", "orders", "feasible"}};
+  for (const auto& row : response.rows) {
+    const auto& cost = row.outcome.cost;
+    std::string orders = std::to_string(row.orders_tried);
+    if (row.orders_tried > 1 && row.worst_total != cost.total) {
+      orders += " (worst " + support::format_double(row.worst_total, 0) + ")";
+    }
+    table.add_row({row.strategy, row.scope, support::format_double(cost.total, 0),
+                   join(cost.software), join(cost.hardware), std::to_string(row.decisions),
+                   std::move(orders), row.outcome.feasible ? "yes" : "NO"});
+  }
+  os << table;
+
+  if (const auto* best = response.best()) {
+    os << "best system strategy: " << best->strategy << " at cost "
+       << support::format_double(best->outcome.cost.total, 0)
+       << (best->outcome.feasible ? "" : " (infeasible!)") << "\n";
+  }
+  return os.str();
+}
+
 std::string render_diagnostics(const support::DiagnosticList& diagnostics) {
   std::ostringstream os;
   os << diagnostics;

@@ -20,6 +20,7 @@ namespace spivar::api {
 [[nodiscard]] std::string render(const AnalyzeResponse& response);
 [[nodiscard]] std::string render(const ExploreResponse& response);
 [[nodiscard]] std::string render(const ParetoResponse& response);
+[[nodiscard]] std::string render(const CompareResponse& response);
 
 /// "severity [code] message" lines, one per finding.
 [[nodiscard]] std::string render_diagnostics(const support::DiagnosticList& diagnostics);

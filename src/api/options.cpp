@@ -1,0 +1,216 @@
+#include "api/options.hpp"
+
+#include <charconv>
+#include <concepts>
+#include <functional>
+#include <utility>
+
+namespace spivar::api {
+
+namespace {
+
+// --- value parsers ----------------------------------------------------------
+// One overload per field type occurring in the option structs; each returns
+// false on malformed input without touching `out`.
+
+template <typename Int>
+bool parse_integer(const std::string& text, Int& out) {
+  Int value{};
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) return false;
+  out = value;
+  return true;
+}
+
+// One template covers every integer field width (int, int64_t, size_t —
+// whether or not size_t aliases uint64_t on the platform); bool and char
+// keep their dedicated overloads below.
+template <typename Int>
+  requires std::integral<Int> && (!std::same_as<Int, bool>) && (!std::same_as<Int, char>)
+bool parse_value(const std::string& text, Int& out) {
+  return parse_integer(text, out);
+}
+
+bool parse_value(const std::string& text, bool& out) {
+  if (text == "true" || text == "1") {
+    out = true;
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_value(const std::string& text, char& out) {
+  if (text.size() != 1) return false;
+  out = text.front();
+  return true;
+}
+
+/// Durations are assigned in (fractional) milliseconds: "t_conf_ms=2.5".
+bool parse_value(const std::string& text, support::Duration& out) {
+  double millis = 0.0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), millis);
+  if (ec != std::errc{} || end != text.data() + text.size() || millis < 0.0) return false;
+  out = support::Duration::micros(static_cast<std::int64_t>(millis * 1000.0));
+  return true;
+}
+
+// --- per-model field tables -------------------------------------------------
+
+template <typename Opts>
+using FieldTable = std::vector<std::pair<std::string, std::function<bool(Opts&, const std::string&)>>>;
+
+/// Binds "key" to a member of the option struct (`Class` may be a base of
+/// `Opts`, so Fig3Options reuses the inherited Fig2Options fields).
+template <typename Opts, typename Class, typename Member>
+std::pair<std::string, std::function<bool(Opts&, const std::string&)>> field(
+    const char* key, Member Class::* member) {
+  return {key, [member](Opts& options, const std::string& value) {
+            return parse_value(value, options.*member);
+          }};
+}
+
+FieldTable<models::Fig1Options> fig1_fields() {
+  using O = models::Fig1Options;
+  return {field<O>("tag", &O::tag), field<O>("tagged", &O::tagged),
+          field<O>("source_period_ms", &O::source_period),
+          field<O>("source_firings", &O::source_firings)};
+}
+
+FieldTable<models::Fig2Options> fig2_fields() {
+  using O = models::Fig2Options;
+  return {field<O>("source_period_ms", &O::source_period),
+          field<O>("source_firings", &O::source_firings)};
+}
+
+FieldTable<models::Fig3Options> fig3_fields() {
+  using O = models::Fig3Options;
+  return {field<O>("source_period_ms", &O::source_period),
+          field<O>("source_firings", &O::source_firings),
+          field<O>("user_choice", &O::user_choice), field<O>("t_conf1_ms", &O::t_conf1),
+          field<O>("t_conf2_ms", &O::t_conf2)};
+}
+
+FieldTable<models::VideoOptions> video_fields() {
+  using O = models::VideoOptions;
+  return {field<O>("frames", &O::frames), field<O>("frame_period_ms", &O::frame_period),
+          field<O>("requests", &O::requests), field<O>("request_period_ms", &O::request_period),
+          field<O>("t_conf_ms", &O::t_conf), field<O>("input_valve", &O::input_valve),
+          field<O>("output_valve", &O::output_valve)};
+}
+
+FieldTable<models::TvOptions> tv_fields() {
+  using O = models::TvOptions;
+  return {field<O>("region", &O::region), field<O>("frame_period_ms", &O::frame_period),
+          field<O>("frames", &O::frames)};
+}
+
+FieldTable<models::EmissionOptions> emission_fields() {
+  using O = models::EmissionOptions;
+  return {field<O>("samples", &O::samples), field<O>("sample_period_ms", &O::sample_period)};
+}
+
+FieldTable<models::SyntheticSpec> synthetic_fields() {
+  using O = models::SyntheticSpec;
+  return {field<O>("shared_processes", &O::shared_processes),
+          field<O>("interfaces", &O::interfaces), field<O>("variants", &O::variants),
+          field<O>("cluster_size", &O::cluster_size), field<O>("seed", &O::seed)};
+}
+
+template <typename Opts>
+std::string known_keys(const FieldTable<Opts>& table) {
+  std::string out;
+  for (const auto& [key, setter] : table) {
+    if (!out.empty()) out += ", ";
+    out += key;
+  }
+  return out;
+}
+
+/// Applies every assignment to a default-constructed option struct;
+/// collects all problems instead of stopping at the first one.
+template <typename Opts>
+Result<BuiltinOptions> apply(const FieldTable<Opts>& table, std::string_view builtin,
+                             const std::vector<std::string>& assignments) {
+  Opts options{};
+  support::DiagnosticList diagnostics;
+  for (const std::string& assignment : assignments) {
+    const auto eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      diagnostics.error(diag::kBadOption, "expected key=value, got '" + assignment + "'");
+      continue;
+    }
+    const std::string key = assignment.substr(0, eq);
+    const std::string value = assignment.substr(eq + 1);
+    bool matched = false;
+    for (const auto& [name, setter] : table) {
+      if (name != key) continue;
+      matched = true;
+      if (!setter(options, value)) {
+        diagnostics.error(diag::kBadOption,
+                          "invalid value '" + value + "' for " + std::string{builtin} + " option '" +
+                              key + "'");
+      }
+      break;
+    }
+    if (!matched) {
+      diagnostics.error(diag::kBadOption, "'" + std::string{builtin} + "' has no option '" + key +
+                                              "' (known: " + known_keys(table) + ")");
+    }
+  }
+  if (diagnostics.has_errors()) return Result<BuiltinOptions>::failure(std::move(diagnostics));
+  return Result<BuiltinOptions>::success(BuiltinOptions{std::move(options)});
+}
+
+/// Routes a callback to the builtin's field table; returns false for names
+/// without one (unknown, or a model without options).
+template <typename Fn>
+bool with_fields(std::string_view builtin, Fn&& fn) {
+  if (builtin == "fig1") {
+    fn(fig1_fields());
+  } else if (builtin == "fig2") {
+    fn(fig2_fields());
+  } else if (builtin == "fig3") {
+    fn(fig3_fields());
+  } else if (builtin == "video_system") {
+    fn(video_fields());
+  } else if (builtin == "multistandard_tv") {
+    fn(tv_fields());
+  } else if (builtin == "emission_control") {
+    fn(emission_fields());
+  } else if (builtin == "synthetic") {
+    fn(synthetic_fields());
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<BuiltinOptions> parse_builtin_options(std::string_view builtin,
+                                             const std::vector<std::string>& assignments) {
+  std::optional<Result<BuiltinOptions>> result;
+  const bool known = with_fields(builtin, [&](const auto& table) {
+    result = apply(table, builtin, assignments);
+  });
+  if (!known) {
+    return Result<BuiltinOptions>::failure(
+        diag::kUnknownBuiltin, "no built-in model '" + std::string{builtin} + "' to parse options for");
+  }
+  return *std::move(result);
+}
+
+std::vector<std::string> builtin_option_keys(std::string_view builtin) {
+  std::vector<std::string> keys;
+  with_fields(builtin, [&](const auto& table) {
+    keys.reserve(table.size());
+    for (const auto& [key, setter] : table) keys.push_back(key);
+  });
+  return keys;
+}
+
+}  // namespace spivar::api

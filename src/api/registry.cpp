@@ -14,52 +14,88 @@ namespace {
 using synth::ElementGranularity;
 using synth::ProblemOptions;
 
+/// The typed options for this factory, or the defaults when the request
+/// carries std::monostate. Any other alternative is a caller error: the
+/// option struct names a different model.
+template <typename Opts>
+Opts expect(const BuiltinOptions& options, const char* model) {
+  if (std::holds_alternative<std::monostate>(options)) return Opts{};
+  if (const Opts* typed = std::get_if<Opts>(&options)) return *typed;
+  throw support::ModelError(std::string{"option struct does not belong to builtin '"} + model +
+                            "'");
+}
+
 const std::vector<BuiltinModel>& table() {
   static const std::vector<BuiltinModel> entries = {
       {
           .name = "fig1",
           .description = "Figure 1: introductory SPI chain with mode-refined p2",
-          .make = [] { return variant::VariantModel{models::make_fig1()}; },
+          .make =
+              [](const BuiltinOptions& o) {
+                return variant::VariantModel{
+                    models::make_fig1(expect<models::Fig1Options>(o, "fig1"))};
+              },
           .library = nullptr,
       },
       {
           .name = "fig2",
           .description = "Figure 2: two production variants behind interface theta (Table 1)",
-          .make = [] { return models::make_fig2(); },
+          .make =
+              [](const BuiltinOptions& o) {
+                return models::make_fig2(expect<models::Fig2Options>(o, "fig2"));
+              },
           .library = [](const variant::VariantModel&) { return models::table1_library(); },
           .problem = ProblemOptions{.granularity = ElementGranularity::kClusterAtomic},
       },
       {
           .name = "fig3",
           .description = "Figure 3: run-time variant selection via PUser/CV",
-          .make = [] { return models::make_fig3(); },
+          .make =
+              [](const BuiltinOptions& o) {
+                return models::make_fig3(expect<models::Fig3Options>(o, "fig3"));
+              },
           .library = [](const variant::VariantModel&) { return models::table1_library(); },
           .problem = ProblemOptions{.granularity = ElementGranularity::kClusterAtomic},
       },
       {
           .name = "video_system",
           .description = "Figure 4: reconfigurable video system with valve protocol",
-          .make = [] { return variant::VariantModel{models::make_video_system()}; },
+          .make =
+              [](const BuiltinOptions& o) {
+                return variant::VariantModel{
+                    models::make_video_system(expect<models::VideoOptions>(o, "video_system"))};
+              },
           .library = nullptr,
       },
       {
           .name = "multistandard_tv",
           .description = "Multi-standard TV: linked video/audio variant sets (PAL/NTSC/SECAM)",
-          .make = [] { return models::make_multistandard_tv(); },
+          .make =
+              [](const BuiltinOptions& o) {
+                return models::make_multistandard_tv(
+                    expect<models::TvOptions>(o, "multistandard_tv"));
+              },
           .library = [](const variant::VariantModel&) { return models::tv_library(); },
           .problem = ProblemOptions{.granularity = ElementGranularity::kClusterAtomic},
       },
       {
           .name = "emission_control",
           .description = "Automotive ECU with emission-law production variants",
-          .make = [] { return models::make_emission_control(); },
+          .make =
+              [](const BuiltinOptions& o) {
+                return models::make_emission_control(
+                    expect<models::EmissionOptions>(o, "emission_control"));
+              },
           .library = [](const variant::VariantModel&) { return models::emission_library(); },
           .problem = ProblemOptions{.granularity = ElementGranularity::kProcess},
       },
       {
           .name = "synthetic",
           .description = "Scalable synthetic variant system (ablation default spec)",
-          .make = [] { return models::make_synthetic(models::SyntheticSpec{}); },
+          .make =
+              [](const BuiltinOptions& o) {
+                return models::make_synthetic(expect<models::SyntheticSpec>(o, "synthetic"));
+              },
           .library =
               [](const variant::VariantModel& model) {
                 return models::make_synthetic_library(model);

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/options.hpp"
 #include "synth/from_model.hpp"
 #include "synth/target.hpp"
 #include "variant/model.hpp"
@@ -22,10 +23,12 @@ struct BuiltinModel {
   std::string name;
   std::string description;
 
-  /// Constructs the model with its default options. Flat graphs (fig1,
-  /// video_system) are wrapped into a VariantModel with zero interfaces so
-  /// every builtin travels through one type.
-  variant::VariantModel (*make)();
+  /// Constructs the model from a typed option struct; std::monostate picks
+  /// the model's defaults, a mismatched alternative throws ModelError (the
+  /// session converts it into diagnostics). Flat graphs (fig1, video_system)
+  /// are wrapped into a VariantModel with zero interfaces so every builtin
+  /// travels through one type.
+  variant::VariantModel (*make)(const BuiltinOptions& options);
 
   /// Curated implementation library, or nullptr when none exists — the
   /// session then derives a deterministic synthetic library covering every

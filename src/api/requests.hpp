@@ -14,6 +14,7 @@
 #include "synth/explore.hpp"
 #include "synth/from_model.hpp"
 #include "synth/pareto.hpp"
+#include "synth/strategies.hpp"
 
 namespace spivar::api {
 
@@ -57,6 +58,23 @@ struct ExploreRequest {
 struct ParetoRequest {
   ModelId model;
   synth::ParetoOptions options{};
+  std::optional<synth::ProblemOptions> problem;
+  std::optional<synth::ImplLibrary> library;
+};
+
+/// Runs a subset of the five synthesis strategies (paper §5, Table 1) over
+/// one model and ranks the outcomes — the Table 1 reproduction as one call.
+struct CompareRequest {
+  ModelId model;
+  /// Strategy subset, in presentation order; empty runs all five.
+  std::vector<synth::StrategyKind> strategies;
+  synth::ExploreOptions options{};
+  /// Order-sensitive baselines (serialized, incremental): try every
+  /// application order up to `max_orders` and keep the best outcome per
+  /// strategy (the spread is reported); identity order only when false.
+  bool all_orders = false;
+  /// Permutation cap when `all_orders` (orders grow factorially).
+  std::size_t max_orders = 24;
   std::optional<synth::ProblemOptions> problem;
   std::optional<synth::ImplLibrary> library;
 };

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/buffer_bounds.hpp"
@@ -106,6 +107,47 @@ struct ParetoResponse {
   std::vector<synth::ParetoPoint> points;  ///< ascending cost, non-dominated
   std::size_t applications = 0;
   std::string library_origin;
+};
+
+/// Ranked outcome table of Session::compare() — the paper's Table 1 shape.
+/// Independent synthesis contributes one row per application (the table's
+/// "Application k" rows); every other strategy one system-level row.
+struct CompareResponse {
+  std::string model;
+  std::string problem;
+  std::size_t applications = 0;
+  std::string library_origin;
+
+  struct Row {
+    std::string strategy;  ///< canonical strategy name
+    /// Application name for per-application (independent) rows, "system"
+    /// for whole-system strategies — only system rows are ranked.
+    std::string scope;
+    /// Best outcome; for order-permuted baselines the best over all orders.
+    synth::StrategyOutcome outcome;
+    std::size_t orders_tried = 1;
+    double worst_total = 0.0;     ///< worst cost over the tried orders
+    std::int64_t decisions = 0;   ///< summed over every tried order
+    std::int64_t evaluations = 0; ///< summed over every tried order
+    [[nodiscard]] bool system() const noexcept { return scope == "system"; }
+  };
+  std::vector<Row> rows;  ///< canonical presentation order
+
+  /// Indices into `rows` of the system-level rows: feasible before
+  /// infeasible, then ascending cost.
+  std::vector<std::size_t> ranking;
+
+  /// The winning system-level row (nullptr when no system strategy ran).
+  [[nodiscard]] const Row* best() const noexcept {
+    return ranking.empty() ? nullptr : &rows[ranking.front()];
+  }
+  /// Row of `strategy` with system scope, or nullptr.
+  [[nodiscard]] const Row* find(std::string_view strategy) const noexcept {
+    for (const Row& row : rows) {
+      if (row.system() && row.strategy == strategy) return &row;
+    }
+    return nullptr;
+  }
 };
 
 }  // namespace spivar::api

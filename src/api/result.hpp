@@ -26,6 +26,7 @@ inline constexpr const char* kModelError = "api-model-error";
 inline constexpr const char* kIoError = "api-io-error";
 inline constexpr const char* kInternalError = "api-internal-error";
 inline constexpr const char* kEmptyProblem = "api-empty-problem";
+inline constexpr const char* kBadOption = "api-bad-option";
 }  // namespace diag
 
 template <typename T>

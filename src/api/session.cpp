@@ -3,13 +3,16 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <type_traits>
 #include <utility>
 
 #include "analysis/buffer_bounds.hpp"
 #include "analysis/deadlock.hpp"
 #include "analysis/structure.hpp"
 #include "analysis/timing.hpp"
+#include "api/detail.hpp"
 #include "models/synthetic.hpp"
 #include "sim/engine.hpp"
 #include "sim/timeline.hpp"
@@ -21,30 +24,10 @@
 
 namespace spivar::api {
 
+using detail::guarded;
+using detail::unknown_model;
+
 namespace {
-
-/// Shared failure for operations given a handle the session doesn't hold.
-template <typename T>
-Result<T> unknown_model(ModelId id) {
-  return Result<T>::failure(diag::kUnknownModel,
-                            id.valid() ? "no model with handle #" + std::to_string(id.value())
-                                       : "invalid (default-constructed) model handle");
-}
-
-/// Runs `fn` (returning Result<T>) with every exception converted into a
-/// failed Result — the session's no-throw boundary.
-template <typename T, typename Fn>
-Result<T> guarded(Fn&& fn) {
-  try {
-    return fn();
-  } catch (const spi::ParseError& e) {
-    return Result<T>::failure(diag::kParseError, e.what());
-  } catch (const support::ModelError& e) {
-    return Result<T>::failure(diag::kModelError, e.what());
-  } catch (const std::exception& e) {
-    return Result<T>::failure(diag::kInternalError, e.what());
-  }
-}
 
 std::vector<std::string> process_names(const spi::Graph& graph,
                                        const std::vector<support::ProcessId>& ids) {
@@ -87,6 +70,12 @@ synth::ImplLibrary derive_library(const variant::VariantModel& model,
 
 }  // namespace
 
+Session::Session() : executor_(std::make_shared<SerialExecutor>()) {}
+
+Session::Session(std::shared_ptr<Executor> executor) : executor_(std::move(executor)) {
+  if (!executor_) executor_ = std::make_shared<SerialExecutor>();
+}
+
 // --- loading ----------------------------------------------------------------
 
 Result<ModelInfo> Session::load_text(std::string_view text, std::string_view name) {
@@ -113,15 +102,19 @@ Result<ModelInfo> Session::load_file(const std::string& path) {
 }
 
 Result<ModelInfo> Session::load_builtin(std::string_view name) {
+  return load_builtin(LoadBuiltinRequest{.name = std::string{name}});
+}
+
+Result<ModelInfo> Session::load_builtin(const LoadBuiltinRequest& request) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    const BuiltinModel* builtin = find_builtin(name);
+    const BuiltinModel* builtin = find_builtin(request.name);
     if (!builtin) {
       return Result<ModelInfo>::failure(
           diag::kUnknownBuiltin,
-          "no built-in model '" + std::string{name} + "' (see Session::builtins())");
+          "no built-in model '" + request.name + "' (see Session::builtins())");
     }
     return adopt(Entry{.origin = "builtin:" + builtin->name,
-                       .model = builtin->make(),
+                       .model = builtin->make(request.options),
                        .builtin = builtin});
   });
 }
@@ -338,22 +331,8 @@ Session::SynthesisSetup Session::synthesis_setup(
   return setup;
 }
 
-namespace {
-
-/// Shared guard for explore()/pareto(): a problem is explorable iff some
-/// application contributes at least one element.
-bool problem_has_elements(const synth::SynthesisProblem& problem) {
-  for (const synth::Application& app : problem.apps) {
-    if (!app.elements.empty()) return true;
-  }
-  return false;
-}
-
-std::string empty_problem_message(const std::string& model_name) {
-  return "model '" + model_name + "' yields no synthesis elements (only virtual processes?)";
-}
-
-}  // namespace
+using detail::empty_problem_message;
+using detail::problem_has_elements;
 
 Result<ExploreResponse> Session::explore(const ExploreRequest& request) const {
   const Entry* entry = find(request.model);
@@ -401,20 +380,41 @@ Result<ParetoResponse> Session::pareto(const ParetoRequest& request) const {
 
 // --- batch surface ----------------------------------------------------------
 
+namespace {
+
+/// Evaluates `op` over each request through the executor. Slots are disjoint
+/// and requests deterministic, so the result is bit-identical to serial
+/// evaluation regardless of worker count. `op` never throws (it runs inside
+/// the session's guarded boundary).
+template <typename Request, typename Op>
+auto run_batch(Executor& executor, const std::vector<Request>& requests, Op op) {
+  using R = std::invoke_result_t<Op, const Request&>;
+  std::vector<std::optional<R>> slots(requests.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    tasks.push_back([&slots, &requests, &op, i] { slots[i] = op(requests[i]); });
+  }
+  executor.run(std::move(tasks));
+
+  std::vector<R> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace
+
 std::vector<Result<SimulateResponse>> Session::simulate_batch(
     const std::vector<SimulateRequest>& requests) const {
-  std::vector<Result<SimulateResponse>> results;
-  results.reserve(requests.size());
-  for (const SimulateRequest& request : requests) results.push_back(simulate(request));
-  return results;
+  return run_batch(*executor_, requests,
+                   [this](const SimulateRequest& request) { return simulate(request); });
 }
 
 std::vector<Result<ExploreResponse>> Session::explore_batch(
     const std::vector<ExploreRequest>& requests) const {
-  std::vector<Result<ExploreResponse>> results;
-  results.reserve(requests.size());
-  for (const ExploreRequest& request : requests) results.push_back(explore(request));
-  return results;
+  return run_batch(*executor_, requests,
+                   [this](const ExploreRequest& request) { return explore(request); });
 }
 
 }  // namespace spivar::api

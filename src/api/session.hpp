@@ -18,10 +18,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "api/executor.hpp"
+#include "api/options.hpp"
 #include "api/registry.hpp"
 #include "api/requests.hpp"
 #include "api/responses.hpp"
@@ -33,13 +36,20 @@ namespace spivar::api {
 
 class Session {
  public:
-  Session() = default;
+  /// Serial execution — batches evaluate on the calling thread.
+  Session();
+  /// Injected execution policy for the batch surface (make_executor(jobs)).
+  explicit Session(std::shared_ptr<Executor> executor);
 
-  // Sessions own their models; handles would dangle after a copy.
+  // Sessions own their models; handles would dangle after a copy. Moves are
+  // deleted too: a batch in flight on a thread-pool executor holds tasks
+  // referencing this session, which a move would silently dangle.
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  Session(Session&&) = delete;
+  Session& operator=(Session&&) = delete;
+
+  [[nodiscard]] const Executor& executor() const noexcept { return *executor_; }
 
   // --- loading --------------------------------------------------------------
 
@@ -52,6 +62,12 @@ class Session {
 
   /// Instantiates a registry model with its default options.
   Result<ModelInfo> load_builtin(std::string_view name);
+
+  /// Instantiates a registry model with a typed option struct, e.g.
+  /// `load_builtin({.name = "synthetic", .options = models::SyntheticSpec{
+  /// .variants = 4}})`. A struct that belongs to a different model fails
+  /// with diagnostics.
+  Result<ModelInfo> load_builtin(const LoadBuiltinRequest& request);
 
   /// Builtin name when it matches one, file path otherwise — the CLI's
   /// positional-model resolution in one place.
@@ -87,10 +103,18 @@ class Session {
   [[nodiscard]] Result<ExploreResponse> explore(const ExploreRequest& request) const;
   [[nodiscard]] Result<ParetoResponse> pareto(const ParetoRequest& request) const;
 
+  /// Runs the requested synthesis strategies (all five when unspecified)
+  /// over the model and returns the ranked outcome table — Table 1 of the
+  /// paper as one call. Order-sensitive baselines can sweep application
+  /// orders; strategy runs dispatch across the session's executor.
+  [[nodiscard]] Result<CompareResponse> compare(const CompareRequest& request) const;
+
   // --- batch surface --------------------------------------------------------
 
-  /// Evaluates each request independently; one failing scenario never
-  /// aborts the batch — its slot carries the diagnostics.
+  /// Evaluates each request independently across the session's executor;
+  /// one failing scenario never aborts the batch — its slot carries the
+  /// diagnostics. Results are bit-identical to serial evaluation (requests
+  /// are deterministic by seed and write disjoint slots).
   [[nodiscard]] std::vector<Result<SimulateResponse>> simulate_batch(
       const std::vector<SimulateRequest>& requests) const;
   [[nodiscard]] std::vector<Result<ExploreResponse>> explore_batch(
@@ -120,6 +144,7 @@ class Session {
 
   std::map<std::uint32_t, Entry> entries_;
   std::uint32_t next_id_ = 0;
+  std::shared_ptr<Executor> executor_;
 };
 
 }  // namespace spivar::api

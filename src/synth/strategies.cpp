@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <set>
 
 #include "support/diagnostics.hpp"
 
@@ -33,7 +32,26 @@ std::string order_string(const std::vector<Application>& apps,
   return out;
 }
 
+/// Appends the elements of `source` that `target` does not contain yet,
+/// preserving first-seen order (serialization keeps chains stable).
+void append_unique(std::vector<std::string>& target, const std::vector<std::string>& source) {
+  for (const std::string& e : source) {
+    if (std::find(target.begin(), target.end(), e) == target.end()) target.push_back(e);
+  }
+}
+
 }  // namespace
+
+std::optional<StrategyKind> parse_strategy(std::string_view name) {
+  for (StrategyKind kind : kAllStrategies) {
+    if (name == to_string(kind)) return kind;
+  }
+  // Common aliases so CLI users don't need the exact canonical spelling.
+  if (name == "variants" || name == "variant-aware" || name == "joint") {
+    return StrategyKind::kWithVariants;
+  }
+  return std::nullopt;
+}
 
 StrategyOutcome synthesize_independent(const ImplLibrary& library, const Application& app,
                                        const ExploreOptions& options) {
@@ -43,6 +61,7 @@ StrategyOutcome synthesize_independent(const ImplLibrary& library, const Applica
   out.cost = r.cost;
   out.mapping = r.mapping;
   out.decisions = r.decisions;
+  out.evaluations = r.evaluations;
   out.feasible = r.found_feasible;
   out.detail = r.engine + " on '" + app.name + "'";
   return out;
@@ -59,6 +78,7 @@ StrategyOutcome synthesize_superposition(const ImplLibrary& library,
     const StrategyOutcome ind = synthesize_independent(library, app, options);
     out.per_app.push_back(ind.mapping);
     out.decisions += ind.decisions;
+    out.evaluations += ind.evaluations;
     out.feasible = out.feasible && ind.feasible;
   }
 
@@ -83,6 +103,7 @@ StrategyOutcome synthesize_with_variants(const ImplLibrary& library,
   out.cost = r.cost;
   out.mapping = r.mapping;
   out.decisions = r.decisions;
+  out.evaluations = r.evaluations;
   out.feasible = r.found_feasible;
   out.detail = r.engine + " joint over " + std::to_string(apps.size()) + " variants";
   return out;
@@ -100,31 +121,17 @@ StrategyOutcome synthesize_serialized(const ImplLibrary& library,
   // serialized chain.
   Application united;
   united.name = "serialized";
-  std::set<std::string> seen;
   for (std::size_t i : seq) {
-    for (const std::string& e : apps[i].elements) {
-      if (seen.insert(e).second) united.elements.push_back(e);
-    }
-    for (const std::string& e : apps[i].chain) {
-      if (std::find(united.chain.begin(), united.chain.end(), e) == united.chain.end()) {
-        united.chain.push_back(e);
-      }
-    }
+    append_unique(united.elements, apps[i].elements);
+    append_unique(united.chain, apps[i].chain);
   }
 
   std::vector<Application> transformed{united};
-  std::set<std::string> prefix_seen;
   Application prefix;
   prefix.name = "serialized-prefix";
   for (std::size_t i : seq) {
-    for (const std::string& e : apps[i].elements) {
-      if (prefix_seen.insert(e).second) prefix.elements.push_back(e);
-    }
-    for (const std::string& e : apps[i].chain) {
-      if (std::find(prefix.chain.begin(), prefix.chain.end(), e) == prefix.chain.end()) {
-        prefix.chain.push_back(e);
-      }
-    }
+    append_unique(prefix.elements, apps[i].elements);
+    append_unique(prefix.chain, apps[i].chain);
     if (apps[i].deadline) {
       Application checkpoint = prefix;
       checkpoint.name = "prefix-" + apps[i].name;
@@ -139,6 +146,7 @@ StrategyOutcome synthesize_serialized(const ImplLibrary& library,
   out.cost = r.cost;
   out.mapping = r.mapping;
   out.decisions = r.decisions;
+  out.evaluations = r.evaluations;
   out.feasible = r.found_feasible;
   out.detail = "order " + order_string(apps, seq);
   return out;
@@ -160,11 +168,13 @@ StrategyOutcome synthesize_incremental(const ImplLibrary& library,
     considered.push_back(apps[i]);
     ExploreResult r = explore_with_fixed(library, considered, decided, options);
     out.decisions += r.decisions;
+    out.evaluations += r.evaluations;
     if (!r.found_feasible) {
       // Inherited decisions block the new variant: re-open everything for
       // this and all previous variants (counted as extra design effort).
       r = explore(library, considered, options);
       out.decisions += r.decisions;
+      out.evaluations += r.evaluations;
       out.detail += "[re-design at '" + apps[i].name + "'] ";
     }
     out.feasible = out.feasible && r.found_feasible;
@@ -176,6 +186,35 @@ StrategyOutcome synthesize_incremental(const ImplLibrary& library,
   out.feasible = out.feasible && out.cost.feasible;
   out.detail += "order " + order_string(apps, seq);
   return out;
+}
+
+StrategyOutcome run_strategy(StrategyKind kind, const ImplLibrary& library,
+                             const std::vector<Application>& apps,
+                             const std::vector<std::size_t>& order,
+                             const ExploreOptions& options) {
+  switch (kind) {
+    case StrategyKind::kIndependent:
+      if (apps.size() != 1) {
+        throw support::ModelError("independent synthesis takes exactly one application; "
+                                  "slice the problem per application");
+      }
+      return synthesize_independent(library, apps.front(), options);
+    case StrategyKind::kSuperposition: return synthesize_superposition(library, apps, options);
+    case StrategyKind::kWithVariants: return synthesize_with_variants(library, apps, options);
+    case StrategyKind::kSerialized: return synthesize_serialized(library, apps, order, options);
+    case StrategyKind::kIncremental: return synthesize_incremental(library, apps, order, options);
+  }
+  throw support::ModelError("unknown strategy kind");
+}
+
+std::vector<std::vector<std::size_t>> application_orders(std::size_t count, std::size_t limit) {
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<std::size_t>> orders{order};
+  while (orders.size() < limit && std::next_permutation(order.begin(), order.end())) {
+    orders.push_back(order);
+  }
+  return orders;
 }
 
 }  // namespace spivar::synth

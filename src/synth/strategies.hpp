@@ -17,19 +17,56 @@
 // decisions examined — the design-time proxy behind Table 1's "Time" column.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "synth/explore.hpp"
 
 namespace spivar::synth {
 
+/// The five strategies of Table 1, as data — the api compare layer and the
+/// CLI select subsets by kind instead of hard-coding call sites.
+enum class StrategyKind : std::uint8_t {
+  kIndependent,    ///< one synthesis cycle per application
+  kSuperposition,  ///< union of the independent implementations
+  kWithVariants,   ///< joint, exclusion-aware (the paper's contribution)
+  kSerialized,     ///< Kim/Karri/Potkonjak [6], order-sensitive
+  kIncremental,    ///< Kavalade/Subrahmanyam [5], order-sensitive
+};
+
+inline constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kIndependent, StrategyKind::kSuperposition, StrategyKind::kWithVariants,
+    StrategyKind::kSerialized, StrategyKind::kIncremental,
+};
+
+[[nodiscard]] constexpr const char* to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kIndependent: return "independent";
+    case StrategyKind::kSuperposition: return "superposition";
+    case StrategyKind::kWithVariants: return "with-variants";
+    case StrategyKind::kSerialized: return "serialized";
+    case StrategyKind::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
+/// Canonical name back to the kind; nullopt for unknown names.
+[[nodiscard]] std::optional<StrategyKind> parse_strategy(std::string_view name);
+
+/// Serialized and incremental synthesis depend on the application order.
+[[nodiscard]] constexpr bool order_sensitive(StrategyKind kind) noexcept {
+  return kind == StrategyKind::kSerialized || kind == StrategyKind::kIncremental;
+}
+
 struct StrategyOutcome {
   std::string strategy;
   CostBreakdown cost;          ///< final architecture cost
   Mapping mapping;             ///< unified mapping (empty for superposition)
   std::vector<Mapping> per_app;  ///< per-application mappings (superposition)
-  std::int64_t decisions = 0;  ///< design-time proxy
+  std::int64_t decisions = 0;    ///< design-time proxy
+  std::int64_t evaluations = 0;  ///< full mapping evaluations behind `decisions`
   bool feasible = false;
   std::string detail;          ///< engine used, order, notes
 };
@@ -56,5 +93,19 @@ struct StrategyOutcome {
                                                      const std::vector<Application>& apps,
                                                      const std::vector<std::size_t>& order = {},
                                                      const ExploreOptions& options = {});
+
+/// Uniform dispatch over the five strategies. `kIndependent` expects exactly
+/// one application (callers slice the problem per application); `order` is
+/// only consulted by the order-sensitive baselines.
+[[nodiscard]] StrategyOutcome run_strategy(StrategyKind kind, const ImplLibrary& library,
+                                           const std::vector<Application>& apps,
+                                           const std::vector<std::size_t>& order = {},
+                                           const ExploreOptions& options = {});
+
+/// Application orders to try for the order-sensitive baselines: identity
+/// first, then the remaining permutations in lexicographic succession, at
+/// most `limit` in total (permutation count explodes factorially).
+[[nodiscard]] std::vector<std::vector<std::size_t>> application_orders(std::size_t count,
+                                                                       std::size_t limit = 24);
 
 }  // namespace spivar::synth

@@ -1,0 +1,182 @@
+// Executor contract and parallel-vs-serial determinism of the session's
+// batch surface: a ThreadPoolExecutor must produce results bit-identical to
+// SerialExecutor (every request is deterministic by seed and writes its own
+// slot), so parallelism is purely a wall-clock decision.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace spivar {
+namespace {
+
+using api::Session;
+
+// --- executor contract -------------------------------------------------------
+
+TEST(Executor, SerialRunsInSubmissionOrder) {
+  api::SerialExecutor executor;
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back([&order, i] { order.push_back(i); });
+  executor.run(std::move(tasks));
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Executor, ThreadPoolRunsEveryTaskToCompletion) {
+  api::ThreadPoolExecutor executor{4};
+  EXPECT_EQ(executor.workers(), 4u);
+  EXPECT_EQ(executor.name(), "threads:4");
+
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back([&count] { ++count; });
+  executor.run(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);  // run() is a completion barrier
+
+  // The pool is reusable: a second batch on the same workers.
+  std::vector<std::function<void()>> more;
+  for (int i = 0; i < 10; ++i) more.push_back([&count] { ++count; });
+  executor.run(std::move(more));
+  EXPECT_EQ(count.load(), 110);
+  executor.run({});  // empty batch is a no-op
+}
+
+TEST(Executor, MakeExecutorPicksPolicyByJobCount) {
+  EXPECT_EQ(api::make_executor(0)->name(), "serial");
+  EXPECT_EQ(api::make_executor(1)->name(), "serial");
+  EXPECT_EQ(api::make_executor(3)->name(), "threads:3");
+}
+
+// --- session move semantics --------------------------------------------------
+
+// A batch in flight holds tasks referencing the session; moving it would
+// dangle those references, so Session is pinned (no copy, no move).
+TEST(SessionSemantics, SessionsArePinned) {
+  static_assert(!std::is_copy_constructible_v<Session>);
+  static_assert(!std::is_copy_assignable_v<Session>);
+  static_assert(!std::is_move_constructible_v<Session>);
+  static_assert(!std::is_move_assignable_v<Session>);
+  SUCCEED();
+}
+
+TEST(SessionSemantics, ExecutorInjectionIsVisible) {
+  Session serial;
+  EXPECT_EQ(serial.executor().name(), "serial");
+  Session pooled{api::make_executor(2)};
+  EXPECT_EQ(pooled.executor().name(), "threads:2");
+  Session fallback{nullptr};  // null executor falls back to serial
+  EXPECT_EQ(fallback.executor().name(), "serial");
+}
+
+// --- parallel-vs-serial determinism ------------------------------------------
+
+/// Renders every batch slot (or its diagnostics) into one string — the
+/// bit-identical comparison covers names, costs, mappings and orderings.
+template <typename T>
+std::string render_batch(const std::vector<api::Result<T>>& results) {
+  std::string out;
+  for (const auto& result : results) {
+    out += result.ok() ? api::render(result.value())
+                       : api::render_diagnostics(result.diagnostics());
+    out += "\n---\n";
+  }
+  return out;
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelDeterminism, BatchAndCompareMatchSerialBitForBit) {
+  Session serial;  // SerialExecutor by default
+  Session pooled{api::make_executor(4)};
+
+  const auto serial_model = serial.load_builtin(GetParam());
+  const auto pooled_model = pooled.load_builtin(GetParam());
+  ASSERT_TRUE(serial_model.ok() && pooled_model.ok());
+  ASSERT_EQ(serial_model.value().id.value(), pooled_model.value().id.value());
+
+  // Simulate: a seed sweep across resolutions.
+  std::vector<api::SimulateRequest> simulations;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    api::SimulateRequest request{.model = serial_model.value().id};
+    request.options.resolution = seed % 2 == 0 ? sim::Resolution::kRandom
+                                               : sim::Resolution::kUpperBound;
+    request.options.seed = seed;
+    simulations.push_back(request);
+  }
+  EXPECT_EQ(render_batch(serial.simulate_batch(simulations)),
+            render_batch(pooled.simulate_batch(simulations)));
+
+  // Explore: greedy and annealing are seed-deterministic.
+  std::vector<api::ExploreRequest> explorations;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    api::ExploreRequest request{.model = serial_model.value().id};
+    request.options.engine = seed == 3 ? synth::ExploreEngine::kAnnealing
+                                       : synth::ExploreEngine::kGreedy;
+    request.options.seed = seed;
+    explorations.push_back(request);
+  }
+  EXPECT_EQ(render_batch(serial.explore_batch(explorations)),
+            render_batch(pooled.explore_batch(explorations)));
+
+  // Compare: all five strategies, order sweep included.
+  api::CompareRequest compare{.model = serial_model.value().id};
+  compare.all_orders = true;
+  const auto a = serial.compare(compare);
+  const auto b = pooled.compare(compare);
+  ASSERT_TRUE(a.ok()) << a.error_summary();
+  ASSERT_TRUE(b.ok()) << b.error_summary();
+  EXPECT_EQ(api::render(a.value()), api::render(b.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, ParallelDeterminism,
+                         ::testing::Values("fig1", "fig2", "fig3", "video_system",
+                                           "multistandard_tv", "emission_control", "synthetic"));
+
+TEST(ParallelBatch, FailingSlotsStayIsolatedUnderThePool) {
+  Session pooled{api::make_executor(4)};
+  const auto loaded = pooled.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<api::SimulateRequest> batch;
+  for (int i = 0; i < 12; ++i) {
+    batch.push_back({.model = i % 3 == 1 ? api::ModelId{9999} : loaded.value().id});
+  }
+  const auto results = pooled.simulate_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i % 3 == 1) {
+      EXPECT_FALSE(results[i].ok()) << i;
+      EXPECT_TRUE(results[i].diagnostics().has_code(api::diag::kUnknownModel)) << i;
+    } else {
+      EXPECT_TRUE(results[i].ok()) << i;
+    }
+  }
+}
+
+TEST(ParallelBatch, ConcurrentBatchesFromSeveralThreadsInterleaveSafely) {
+  Session pooled{api::make_executor(4)};
+  const auto loaded = pooled.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+  std::vector<api::SimulateRequest> batch(8, {.model = loaded.value().id});
+
+  const std::string expected = render_batch(pooled.simulate_batch(batch));
+  std::vector<std::string> observed(3);
+  std::vector<std::thread> callers;
+  callers.reserve(observed.size());
+  for (auto& slot : observed) {
+    callers.emplace_back(
+        [&pooled, &batch, &slot] { slot = render_batch(pooled.simulate_batch(batch)); });
+  }
+  for (auto& caller : callers) caller.join();
+  for (const auto& text : observed) EXPECT_EQ(text, expected);
+}
+
+}  // namespace
+}  // namespace spivar

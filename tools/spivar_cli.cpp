@@ -12,10 +12,14 @@
 //   spivar_cli explore <model> [--engine greedy|exhaustive|annealing]
 //                             [--seed N] [--process|--cluster]
 //   spivar_cli pareto <model> [--samples N] [--seed N]
+//   spivar_cli compare <model> [--engine E] [--seed N] [--strategies a,b,c]
+//                             [--all-orders] [--jobs N] [--process|--cluster]
 //   spivar_cli demo [name]                emit a built-in model as spit text
 //   spivar_cli selfcheck                  demo -> parse -> validate -> simulate
 //
-// <model> is a built-in name (see `models`) or a path to a .spit file.
+// <model> is a built-in name (see `models`) or a path to a .spit file. Model
+// commands accept repeated `--opt key=value` assignments to load a built-in
+// with non-default options (e.g. `--opt frames=100 --opt region=2`).
 #include <charconv>
 #include <iostream>
 #include <optional>
@@ -37,8 +41,9 @@ class UsageError : public std::runtime_error {
 
 int usage() {
   std::cerr << "usage: spivar_cli <models|validate|stats|simulate|dot|deadlock|buffers|timing|"
-               "analyze|explore|pareto|demo|selfcheck> [model] [options]\n"
-               "       model = built-in name (spivar_cli models) or .spit file path\n";
+               "analyze|explore|pareto|compare|demo|selfcheck> [model] [options]\n"
+               "       model = built-in name (spivar_cli models) or .spit file path\n"
+               "       built-ins take '--opt key=value' (repeatable) for non-default options\n";
   return 2;
 }
 
@@ -64,9 +69,23 @@ std::optional<std::string> flag_value(const std::vector<std::string>& flags,
   return std::nullopt;
 }
 
+/// Every value following an occurrence of `name` — for repeatable flags
+/// ("--opt frames=100 --opt region=2").
+std::vector<std::string> flag_values(const std::vector<std::string>& flags,
+                                     const std::string& name) {
+  std::vector<std::string> values;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] != name) continue;
+    if (i + 1 >= flags.size()) throw UsageError("'" + name + "' requires a value");
+    values.push_back(flags[i + 1]);
+  }
+  return values;
+}
+
 /// Rejects tokens the command does not understand: unknown --flags, the
 /// unsupported --flag=value spelling, and stray positional arguments.
-/// `value_flags` consume the following token.
+/// `value_flags` consume the following token; "--opt" is the one value flag
+/// that may repeat.
 void check_flags(const std::vector<std::string>& flags,
                  std::initializer_list<const char*> bool_flags,
                  std::initializer_list<const char*> value_flags) {
@@ -86,8 +105,10 @@ void check_flags(const std::vector<std::string>& flags,
       throw UsageError("unknown option '" + flags[i] + "' (note: --flag=value is not supported, "
                        "use '--flag value')");
     }
-    for (const std::string& earlier : seen) {
-      if (earlier == flags[i]) throw UsageError("duplicate option '" + flags[i] + "'");
+    if (flags[i] != "--opt") {
+      for (const std::string& earlier : seen) {
+        if (earlier == flags[i]) throw UsageError("duplicate option '" + flags[i] + "'");
+      }
     }
     seen.push_back(flags[i]);
     if (is_value) {
@@ -207,6 +228,55 @@ int cmd_explore(api::Session& session, api::ModelId model,
   return result.value().result.found_feasible ? 0 : 1;
 }
 
+std::vector<synth::StrategyKind> parse_strategies(const std::string& list) {
+  std::vector<synth::StrategyKind> kinds;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string name =
+        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    const auto kind = synth::parse_strategy(name);
+    if (!kind) {
+      throw UsageError("unknown strategy '" + name +
+                       "' (independent|superposition|with-variants|serialized|incremental)");
+    }
+    kinds.push_back(*kind);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return kinds;
+}
+
+int cmd_compare(api::Session& session, api::ModelId model,
+                const std::vector<std::string>& flags) {
+  api::CompareRequest request{.model = model};
+  request.options.engine = parse_engine(flag_value(flags, "--engine").value_or("exhaustive"));
+  request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
+  request.all_orders = has_flag(flags, "--all-orders");
+  if (const auto list = flag_value(flags, "--strategies")) {
+    request.strategies = parse_strategies(*list);
+  }
+  if (has_flag(flags, "--process")) {
+    request.problem = synth::ProblemOptions{.granularity = synth::ElementGranularity::kProcess};
+  }
+  if (has_flag(flags, "--cluster")) {
+    request.problem =
+        synth::ProblemOptions{.granularity = synth::ElementGranularity::kClusterAtomic};
+  }
+
+  const auto result = session.compare(request);
+  if (report_failure(result)) return 1;
+  std::cout << api::render(result.value());
+  // Verdict: the winning system strategy must be feasible; a subset with
+  // only per-application rows (e.g. --strategies independent) succeeds
+  // when every row is feasible.
+  if (const auto* best = result.value().best()) return best->outcome.feasible ? 0 : 1;
+  for (const auto& row : result.value().rows) {
+    if (!row.outcome.feasible) return 1;
+  }
+  return 0;
+}
+
 int cmd_pareto(api::Session& session, api::ModelId model,
                const std::vector<std::string>& flags) {
   api::ParetoRequest request{.model = model};
@@ -283,8 +353,9 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
 
   // Reject unknown commands before touching the model argument, so a typoed
   // command never masquerades as a model-load failure.
-  constexpr const char* kModelCommands[] = {"validate", "stats",  "simulate", "dot",    "deadlock",
-                                            "buffers",  "timing", "analyze",  "explore", "pareto"};
+  constexpr const char* kModelCommands[] = {"validate", "stats",   "simulate", "dot",
+                                            "deadlock", "buffers", "timing",   "analyze",
+                                            "explore",  "pareto",  "compare"};
   bool known = false;
   for (const char* candidate : kModelCommands) {
     if (command == candidate) known = true;
@@ -304,30 +375,58 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
     if (const auto value = flag_value(flags, flag)) (void)parse_u64(*value, flag);
   };
   if (command == "simulate") {
-    check_flags(flags, {"--trace", "--timeline", "--upper"}, {"--random"});
+    check_flags(flags, {"--trace", "--timeline", "--upper"}, {"--random", "--opt"});
     if (has_flag(flags, "--upper") && has_flag(flags, "--random")) {
       throw UsageError("'--upper' and '--random' are mutually exclusive");
     }
     prevalidate_u64("--random");
   } else if (command == "explore") {
-    check_flags(flags, {"--process", "--cluster"}, {"--engine", "--seed"});
+    check_flags(flags, {"--process", "--cluster"}, {"--engine", "--seed", "--opt"});
     if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
       throw UsageError("'--process' and '--cluster' are mutually exclusive");
     }
     (void)parse_engine(flag_value(flags, "--engine").value_or("greedy"));
     prevalidate_u64("--seed");
   } else if (command == "pareto") {
-    check_flags(flags, {}, {"--samples", "--seed"});
+    check_flags(flags, {}, {"--samples", "--seed", "--opt"});
     prevalidate_u64("--samples");
     prevalidate_u64("--seed");
+  } else if (command == "compare") {
+    check_flags(flags, {"--all-orders", "--process", "--cluster"},
+                {"--engine", "--seed", "--strategies", "--jobs", "--opt"});
+    if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
+      throw UsageError("'--process' and '--cluster' are mutually exclusive");
+    }
+    (void)parse_engine(flag_value(flags, "--engine").value_or("exhaustive"));
+    if (const auto list = flag_value(flags, "--strategies")) (void)parse_strategies(*list);
+    prevalidate_u64("--seed");
+    prevalidate_u64("--jobs");
   } else if (command == "timing" || command == "analyze") {
-    check_flags(flags, {"--reconf"}, {});
+    check_flags(flags, {"--reconf"}, {"--opt"});
   } else {
-    check_flags(flags, {}, {});  // validate/stats/dot/deadlock/buffers take no flags
+    // validate/stats/dot/deadlock/buffers take no flags beyond --opt
+    check_flags(flags, {}, {"--opt"});
   }
 
-  api::Session session;
-  const auto loaded = session.load_model(rest[0]);
+  // `--jobs N` selects the execution policy for the batch/compare surface;
+  // everything else runs identically (results are deterministic by seed).
+  const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
+  api::Session session{api::make_executor(jobs)};
+
+  // `--opt key=value` loads a built-in with non-default typed options.
+  const std::vector<std::string> assignments = flag_values(flags, "--opt");
+  api::Result<api::ModelInfo> loaded = [&] {
+    if (assignments.empty()) return session.load_model(rest[0]);
+    if (!api::find_builtin(rest[0])) {
+      throw UsageError("'--opt' requires a built-in model, and '" + rest[0] + "' is not one");
+    }
+    const auto options = api::parse_builtin_options(rest[0], assignments);
+    if (!options.ok()) {
+      return api::Result<api::ModelInfo>::failure(options.diagnostics());
+    }
+    return session.load_builtin(
+        api::LoadBuiltinRequest{.name = rest[0], .options = options.value()});
+  }();
   if (report_failure(loaded)) return 1;
   const api::ModelId model = loaded.value().id;
 
@@ -364,6 +463,7 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
   }
   if (command == "explore") return cmd_explore(session, model, flags);
   if (command == "pareto") return cmd_pareto(session, model, flags);
+  if (command == "compare") return cmd_compare(session, model, flags);
   return usage();
 }
 
