@@ -3,11 +3,15 @@
 //
 // The facade adds response materialization (name-resolved rows) on top of
 // the raw engine. BM_BatchThroughput measures the executor seam directly:
-// the same 64-request simulate batch under 1 vs N workers, so the
-// serial-vs-parallel speedup is a recorded number, not an assertion (CI
-// uploads the JSON as BENCH_api.json).
+// the same 64-request simulate batch under 1 vs N workers; BM_FirstSlot*
+// measures latency until the *first* result is observable (streaming
+// futures vs the blocking batch call); BM_SkewedBatch runs one oversized
+// scenario next to many small ones through the self-scheduling pool. The
+// serial-vs-parallel numbers are recorded, not asserted (CI uploads the
+// JSON as BENCH_api.json).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 
@@ -23,6 +27,12 @@ using namespace spivar;
 /// error path of their own.
 api::ModelId must_load(api::Session& session, const char* name) {
   const auto loaded = session.load_builtin(name);
+  if (api::report_failure(loaded)) std::exit(1);
+  return loaded.value().id;
+}
+
+api::ModelId must_load(api::Session& session, api::LoadBuiltinRequest request) {
+  const auto loaded = session.load_builtin(request);
   if (api::report_failure(loaded)) std::exit(1);
   return loaded.value().id;
 }
@@ -97,6 +107,74 @@ void BM_BatchThroughput(benchmark::State& state) {
   state.counters["workers"] = static_cast<double>(session.executor().workers());
 }
 BENCHMARK(BM_BatchThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// A deliberately skewed batch: slot 0 is a small fig1 run, the remaining
+/// slots are much heavier synthetic scenarios — the shape where
+/// latency-to-first-result and self-scheduling matter.
+std::vector<api::SimulateRequest> make_skewed_batch(api::Session& session, std::size_t heavy) {
+  const api::ModelId small = must_load(session, "fig1");
+  const api::ModelId big = must_load(
+      session, api::LoadBuiltinRequest{.name = "synthetic",
+                                       .options = models::SyntheticSpec{.variants = 12}});
+  std::vector<api::SimulateRequest> batch;
+  batch.push_back({.model = small});
+  for (std::size_t i = 0; i < heavy; ++i) {
+    api::SimulateRequest request{.model = big};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = i + 1;
+    batch.push_back(request);
+  }
+  return batch;
+}
+
+/// Streaming: time until the first slot's future is ready — front ends can
+/// render it while the heavy slots are still running.
+void BM_FirstSlotLatencyStreaming(benchmark::State& state) {
+  api::Session session{api::make_executor(4)};
+  const auto batch = make_skewed_batch(session, 7);
+  for (auto _ : state) {
+    const auto started = std::chrono::steady_clock::now();
+    auto handle = session.submit_simulate_batch(batch);
+    handle.slot(0).wait();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started)
+                               .count());
+    const auto rest = handle.wait();  // drain outside the measured region
+    benchmark::DoNotOptimize(rest.size());
+  }
+}
+BENCHMARK(BM_FirstSlotLatencyStreaming)->UseManualTime();
+
+/// Blocking: the first result only becomes observable when the whole batch
+/// returns — the baseline the streaming surface beats.
+void BM_FirstSlotLatencyBlocking(benchmark::State& state) {
+  api::Session session{api::make_executor(4)};
+  const auto batch = make_skewed_batch(session, 7);
+  for (auto _ : state) {
+    const auto started = std::chrono::steady_clock::now();
+    const auto results = session.simulate_batch(batch);
+    benchmark::DoNotOptimize(results.front().ok());
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started)
+                               .count());
+  }
+}
+BENCHMARK(BM_FirstSlotLatencyBlocking)->UseManualTime();
+
+/// Full wall time of the skewed batch across worker counts — the atomic-
+/// cursor self-scheduling pool keeps small slots flowing around the giant
+/// one instead of serializing behind a static partition.
+void BM_SkewedBatch(benchmark::State& state) {
+  api::Session session{api::make_executor(static_cast<std::size_t>(state.range(0)))};
+  const auto batch = make_skewed_batch(session, 7);
+  for (auto _ : state) {
+    const auto results = session.simulate_batch(batch);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+  state.counters["workers"] = static_cast<double>(session.executor().workers());
+}
+BENCHMARK(BM_SkewedBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_SessionExplore(benchmark::State& state) {
   api::Session session;

@@ -2,11 +2,14 @@
 // selected together at boot — the motivating scenario of the paper's
 // introduction ("TV sets which can be adapted to different standards").
 //
-// Fully on the api facade: the three boot regions load as typed builtin
-// requests and simulate as one batch, and the cross-region synthesis
-// comparison is a single Session::compare() call.
+// Fully on the api facade, sharded over one ModelStore: a loader session
+// instantiates the three boot regions as typed builtin requests, a second
+// (pooled) session attached to the *same store* simulates them as one
+// batch, and the cross-region synthesis comparison is a single
+// Session::compare() call.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "api/api.hpp"
 #include "models/multistandard_tv.hpp"
@@ -29,7 +32,12 @@ std::int64_t firings_of(const spivar::api::SimulateResponse& response, const cha
 int main() {
   using namespace spivar;
 
-  api::Session session;
+  // One store, two sessions: `session` loads models, `pooled` (attached to
+  // the same store) evaluates them across two workers. Handles are
+  // store-scoped, so they travel freely between the sessions.
+  const auto store = std::make_shared<api::ModelStore>();
+  api::Session session{store};
+  api::Session pooled{store, api::make_executor(2)};
   const auto model = session.load_builtin("multistandard_tv");
   if (api::report_failure(model)) return 1;
   std::cout << "=== multi-standard TV: " << model.value().interfaces
@@ -57,7 +65,9 @@ int main() {
     if (api::report_failure(loaded)) return 1;
     batch.push_back({.model = loaded.value().id});
   }
-  const auto results = session.simulate_batch(batch);
+  // The pooled session evaluates models the loader session put in the
+  // shared store — cross-session sharding in two lines.
+  const auto results = pooled.simulate_batch(batch);
 
   std::cout << "\nboot-time selection per region:\n";
   support::TextTable table{{"region", "video demod firings", "audio firings", "frames shown"}};

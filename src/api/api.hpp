@@ -1,15 +1,26 @@
 // Umbrella header for the spivar::api layer — the only include front ends
 // need.
 //
-// v2 surface:
-//   * Session (session.hpp) — load_text/load_file/load_model, typed
-//     load_builtin(LoadBuiltinRequest) with per-model option structs,
-//     validate/stats/dot/write_text, analyze/simulate/explore/pareto,
-//     compare() (ranked run of the five Table 1 strategies), and the batch
-//     entry points simulate_batch/explore_batch.
-//   * Executor (executor.hpp) — SerialExecutor / ThreadPoolExecutor /
-//     make_executor(jobs); inject into Session to parallelize the batch
-//     surface with bit-identical results.
+// v3 surface:
+//   * ModelStore (store.hpp) — thread-safe, share-by-snapshot model
+//     ownership: loads produce immutable `shared_ptr<const StoreEntry>`
+//     snapshots (model + registry entry + memoized synthesis setup),
+//     unload is tombstone-only (UnloadStatus three-way contract), and any
+//     number of sessions attach to one store.
+//   * Session (session.hpp) — a movable view over (store, executor):
+//     load_text/load_file/load_model, typed load_builtin(LoadBuiltinRequest)
+//     with per-model option structs, validate/stats/dot/write_text,
+//     analyze/simulate/explore/pareto, compare() (ranked run of the five
+//     Table 1 strategies, multi-objective via CompareRequest::objectives,
+//     per-order outcome lists), blocking batches (simulate_batch/
+//     explore_batch) and the streaming submit_simulate_batch/
+//     submit_explore_batch/submit_compare.
+//   * BatchHandle (batch.hpp) — per-slot shared_futures, on_slot streaming
+//     callback, wait(), cooperative cancel() (diag::kCancelled); slot tasks
+//     capture store snapshots, so handles survive unloads and session moves.
+//   * Executor (executor.hpp) — SerialExecutor / self-scheduling
+//     ThreadPoolExecutor / make_executor(jobs); run() participates in its
+//     own batch (nested dispatch is deadlock-free), submit() streams.
 //   * BuiltinOptions (options.hpp) — std::variant of per-model option
 //     structs plus parse_builtin_options() for "key=value" assignments.
 //   * Result<T> (result.hpp) — value-or-diagnostics; no exception crosses
@@ -18,6 +29,7 @@
 //     response type.
 #pragma once
 
+#include "api/batch.hpp"     // IWYU pragma: export
 #include "api/executor.hpp"  // IWYU pragma: export
 #include "api/format.hpp"    // IWYU pragma: export
 #include "api/options.hpp"   // IWYU pragma: export
@@ -26,3 +38,4 @@
 #include "api/responses.hpp" // IWYU pragma: export
 #include "api/result.hpp"    // IWYU pragma: export
 #include "api/session.hpp"   // IWYU pragma: export
+#include "api/store.hpp"     // IWYU pragma: export

@@ -1,0 +1,15 @@
+#include "api/batch.hpp"
+
+#include <string>
+
+namespace spivar::api::detail {
+
+support::DiagnosticList cancelled_diagnostics(std::size_t slot) {
+  support::DiagnosticList diagnostics;
+  diagnostics.error(diag::kCancelled,
+                    "slot " + std::to_string(slot) +
+                        " cancelled before evaluation (BatchHandle::cancel)");
+  return diagnostics;
+}
+
+}  // namespace spivar::api::detail

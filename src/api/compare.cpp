@@ -1,18 +1,24 @@
-// Session::compare — the strategy-comparison endpoint (paper §5, Table 1).
+// detail::eval_compare — the strategy-comparison evaluation (paper §5,
+// Table 1), running against one immutable store snapshot.
 //
-// One call runs any subset of the five synthesis strategies over a loaded
-// model and returns the ranked outcome table. Independent synthesis yields
-// one row per application (Table 1 rows 1-2); the order-sensitive baselines
-// optionally sweep application orders and report the best outcome plus the
-// cost spread. Every strategy run (and every order) is an independent,
-// seed-deterministic job dispatched across the session's executor.
+// One call runs any subset of the five synthesis strategies over a model
+// snapshot and returns the ranked outcome table. Independent synthesis
+// yields one row per application (Table 1 rows 1-2); the order-sensitive
+// baselines optionally sweep application orders, report the best outcome
+// plus the cost spread, and expose the full per-order outcome list. System
+// rows rank by the request's objective chain (total cost by default; worst
+// utilization and design time as tie-breakers on demand). Every strategy
+// run (and every order) is an independent, seed-deterministic job dispatched
+// across the executor — which may be the same pool the compare itself runs
+// on (the self-scheduling pool lets the calling thread drain its own jobs).
 #include <algorithm>
 #include <utility>
 
 #include "api/detail.hpp"
-#include "api/session.hpp"
+#include "api/executor.hpp"
+#include "api/store.hpp"
 
-namespace spivar::api {
+namespace spivar::api::detail {
 
 namespace {
 
@@ -43,32 +49,24 @@ std::vector<StrategyKind> requested_kinds(const CompareRequest& request) {
   return kinds;
 }
 
-/// `a` ranks strictly better than `b`: feasible first, then cheaper.
-bool better(const synth::StrategyOutcome& a, const synth::StrategyOutcome& b) {
-  if (a.feasible != b.feasible) return a.feasible;
-  return a.cost.total < b.cost.total;
-}
-
 }  // namespace
 
-Result<CompareResponse> Session::compare(const CompareRequest& request) const {
-  const Entry* entry = find(request.model);
-  if (!entry) {
-    return detail::unknown_model<CompareResponse>(request.model);
-  }
-  return detail::guarded<CompareResponse>([&]() -> Result<CompareResponse> {
-    const SynthesisSetup setup = synthesis_setup(*entry, request.problem, request.library);
-    if (!detail::problem_has_elements(setup.problem)) {
+Result<CompareResponse> eval_compare(const StoreEntry& entry, const CompareRequest& request,
+                                     Executor& executor) {
+  return guarded<CompareResponse>([&]() -> Result<CompareResponse> {
+    const auto setup = resolve_setup(entry, request.problem, request.library);
+    if (!problem_has_elements(setup->problem)) {
       return Result<CompareResponse>::failure(
-          diag::kEmptyProblem, detail::empty_problem_message(entry->model.graph().name()));
+          diag::kEmptyProblem, empty_problem_message(entry.model().graph().name()));
     }
-    const std::vector<synth::Application>& apps = setup.problem.apps;
+    const std::vector<synth::Application>& apps = setup->problem.apps;
 
     CompareResponse response;
-    response.model = entry->model.graph().name();
-    response.problem = setup.problem.name;
+    response.model = entry.model().graph().name();
+    response.problem = setup->problem.name;
     response.applications = apps.size();
-    response.library_origin = setup.library_origin;
+    response.library_origin = setup->library_origin;
+    response.objectives = request.objectives;
 
     // Row skeleton + job list. Rows keep the canonical presentation order;
     // jobs reference their row so parallel completion cannot reorder them.
@@ -105,14 +103,14 @@ Result<CompareResponse> Session::compare(const CompareRequest& request) const {
       tasks.push_back([&slots, &jobs, &setup, &request, &apps, i] {
         try {
           const auto& job_apps = jobs[i].apps.empty() ? apps : jobs[i].apps;
-          slots[i].outcome = synth::run_strategy(jobs[i].kind, setup.library, job_apps,
+          slots[i].outcome = synth::run_strategy(jobs[i].kind, setup->library, job_apps,
                                                  jobs[i].order, request.options);
         } catch (const std::exception& e) {
           slots[i].error = e.what();
         }
       });
     }
-    executor_->run(std::move(tasks));
+    executor.run(std::move(tasks));
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (!slots[i].error.empty()) {
@@ -123,6 +121,13 @@ Result<CompareResponse> Session::compare(const CompareRequest& request) const {
       synth::StrategyOutcome& outcome = *slots[i].outcome;
       row.decisions += outcome.decisions;
       row.evaluations += outcome.evaluations;
+      if (synth::order_sensitive(jobs[i].kind)) {
+        row.per_order.push_back({.order = jobs[i].order,
+                                 .total = outcome.cost.total,
+                                 .worst_utilization = outcome.cost.worst_utilization,
+                                 .feasible = outcome.feasible,
+                                 .decisions = outcome.decisions});
+      }
       const bool first = row.outcome.strategy.empty();
       if (first) {
         row.orders_tried = 1;
@@ -132,18 +137,22 @@ Result<CompareResponse> Session::compare(const CompareRequest& request) const {
       }
       row.orders_tried += 1;
       row.worst_total = std::max(row.worst_total, outcome.cost.total);
-      if (better(outcome, row.outcome)) row.outcome = std::move(outcome);
+      if (synth::better_outcome(outcome, row.outcome, request.objectives)) {
+        row.outcome = std::move(outcome);
+      }
     }
 
     for (std::size_t i = 0; i < response.rows.size(); ++i) {
       if (response.rows[i].system()) response.ranking.push_back(i);
     }
     std::stable_sort(response.ranking.begin(), response.ranking.end(),
-                     [&response](std::size_t a, std::size_t b) {
-                       return better(response.rows[a].outcome, response.rows[b].outcome);
+                     [&response, &request](std::size_t a, std::size_t b) {
+                       return synth::better_outcome(response.rows[a].outcome,
+                                                    response.rows[b].outcome,
+                                                    request.objectives);
                      });
     return Result<CompareResponse>::success(std::move(response));
   });
 }
 
-}  // namespace spivar::api
+}  // namespace spivar::api::detail

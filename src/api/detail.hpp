@@ -1,16 +1,22 @@
-// Internal helpers shared by the Session translation units (session.cpp,
-// compare.cpp). Not part of the public api surface — do not include from
-// api.hpp or front ends.
+// Internal helpers shared by the api translation units (store.cpp,
+// session.cpp, compare.cpp). Not part of the public api surface — do not
+// include from api.hpp or front ends.
 #pragma once
 
 #include <exception>
 #include <string>
 
 #include "api/requests.hpp"
+#include "api/responses.hpp"
 #include "api/result.hpp"
 #include "spi/textio.hpp"
 #include "support/diagnostics.hpp"
 #include "synth/target.hpp"
+
+namespace spivar::api {
+class Executor;
+class StoreEntry;
+}  // namespace spivar::api
 
 namespace spivar::api::detail {
 
@@ -49,5 +55,25 @@ inline bool problem_has_elements(const synth::SynthesisProblem& problem) {
 inline std::string empty_problem_message(const std::string& model_name) {
   return "model '" + model_name + "' yields no synthesis elements (only virtual processes?)";
 }
+
+// --- snapshot evaluation seam ------------------------------------------------
+//
+// The whole pipeline evaluates against immutable StoreEntry snapshots, never
+// against a Session: batch tasks capture a snapshot (keeping the model alive
+// across unloads and session moves) and call these.
+
+[[nodiscard]] Result<SimulateResponse> eval_simulate(const StoreEntry& entry,
+                                                     const SimulateRequest& request);
+[[nodiscard]] Result<ExploreResponse> eval_explore(const StoreEntry& entry,
+                                                   const ExploreRequest& request);
+[[nodiscard]] Result<ParetoResponse> eval_pareto(const StoreEntry& entry,
+                                                 const ParetoRequest& request);
+[[nodiscard]] Result<AnalyzeResponse> eval_analyze(const StoreEntry& entry,
+                                                   const AnalyzeRequest& request);
+/// Compare fans its strategy jobs across `executor` (nested dispatch is safe
+/// on the self-scheduling pool).
+[[nodiscard]] Result<CompareResponse> eval_compare(const StoreEntry& entry,
+                                                   const CompareRequest& request,
+                                                   Executor& executor);
 
 }  // namespace spivar::api::detail

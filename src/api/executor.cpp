@@ -8,6 +8,12 @@ void SerialExecutor::run(std::vector<std::function<void()>> tasks) {
   for (auto& task : tasks) task();
 }
 
+void SerialExecutor::submit(std::vector<std::function<void()>> tasks) {
+  // No background thread: submission order is execution order, and every
+  // slot has landed by the time submit returns.
+  run(std::move(tasks));
+}
+
 ThreadPoolExecutor::ThreadPoolExecutor(std::size_t workers) {
   std::size_t count = workers != 0 ? workers : std::thread::hardware_concurrency();
   if (count == 0) count = 1;
@@ -23,50 +29,74 @@ ThreadPoolExecutor::~ThreadPoolExecutor() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  // Workers drain every queued batch before exiting, so fire-and-forget
+  // submissions still complete.
   for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPoolExecutor::enqueue(std::shared_ptr<TaskBatch> batch) {
+  {
+    std::lock_guard lock{mutex_};
+    queue_.push_back(std::move(batch));
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPoolExecutor::help(TaskBatch& batch) {
+  for (;;) {
+    const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.tasks.size()) return;
+    batch.tasks[index]();
+    finish_one(batch);
+  }
+}
+
+void ThreadPoolExecutor::finish_one(TaskBatch& batch) {
+  if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard guard{batch.mutex};
+      batch.finished = true;
+    }
+    batch.done.notify_all();
+  }
 }
 
 void ThreadPoolExecutor::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    std::shared_ptr<TaskBatch> batch;
     {
       std::unique_lock lock{mutex_};
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      batch = queue_.front();
+      if (batch->cursor.load(std::memory_order_relaxed) >= batch->tasks.size()) {
+        // Fully claimed (running tasks may still be finishing elsewhere);
+        // retire it from the queue and look for the next batch.
+        queue_.pop_front();
+        continue;
+      }
     }
-    task();
+    // Claim tasks outside the queue lock — the self-scheduling hot loop is
+    // one fetch_add per task.
+    help(*batch);
   }
 }
 
 void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
-
-  // Completion state per run() call, shared with the wrapped tasks, so
-  // concurrent batches from different threads never cross-signal.
-  struct Batch {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining = 0;
-  };
-  auto batch = std::make_shared<Batch>();
-  batch->remaining = tasks.size();
-
-  {
-    std::lock_guard lock{mutex_};
-    for (auto& task : tasks) {
-      queue_.push_back([batch, task = std::move(task)] {
-        task();
-        std::lock_guard guard{batch->mutex};
-        if (--batch->remaining == 0) batch->done.notify_all();
-      });
-    }
-  }
-  work_cv_.notify_all();
-
+  auto batch = std::make_shared<TaskBatch>(std::move(tasks));
+  enqueue(batch);
+  // The caller self-schedules on its own batch alongside the workers. A
+  // nested run() from inside a pool task therefore always makes progress,
+  // even when every worker is blocked in a run() of its own.
+  help(*batch);
   std::unique_lock lock{batch->mutex};
-  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  batch->done.wait(lock, [&] { return batch->finished; });
+}
+
+void ThreadPoolExecutor::submit(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  enqueue(std::make_shared<TaskBatch>(std::move(tasks)));
 }
 
 std::string ThreadPoolExecutor::name() const {

@@ -1,15 +1,25 @@
 // Execution policy for the session's batch surface.
 //
-// Every batch entry point (simulate_batch, explore_batch, compare) splits
-// its work into independent tasks and hands them to the session's Executor.
-// Tasks are deterministic by seed and write to disjoint result slots, so the
-// outcome is bit-identical whether they run serially or across a pool —
-// parallelism is purely a wall-clock decision, asserted by the tests.
+// Every batch entry point (simulate_batch, explore_batch, compare and the
+// submit_* streaming variants) splits its work into independent tasks and
+// hands them to the session's Executor. Tasks are deterministic by seed and
+// write to disjoint result slots, so the outcome is bit-identical whether
+// they run serially or across a pool — parallelism is purely a wall-clock
+// decision, asserted by the tests.
 //
 //   api::Session fast{api::make_executor(4)};   // thread pool, 4 workers
 //   api::Session exact;                         // serial (the default)
+//
+// The pool is *self-scheduling*: a batch is one queue node with an atomic
+// cursor, and every participating thread claims the next task index with a
+// single fetch_add — no per-task queue traffic, and a skewed batch (one
+// giant task next to many small ones) never serializes behind a static
+// partition. The thread calling run() participates in its own batch, which
+// also makes nested dispatch (a compare slot fanning its strategy jobs onto
+// the same pool) deadlock-free by construction.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,8 +38,16 @@ class Executor {
 
   /// Runs every task to completion before returning, in any order, possibly
   /// concurrently. Tasks must be independent and must not throw (the session
-  /// wraps its work in the no-throw boundary before submitting).
+  /// wraps its work in the no-throw boundary before submitting). Safe to
+  /// call from within a task running on this executor (nested batches make
+  /// progress on the calling thread).
   virtual void run(std::vector<std::function<void()>> tasks) = 0;
+
+  /// Enqueues the tasks and returns immediately; completion is observable
+  /// only through the tasks' own side effects (the async batch surface
+  /// counts landed slots). A serial executor has no background thread, so
+  /// its submit degenerates to inline execution.
+  virtual void submit(std::vector<std::function<void()>> tasks) = 0;
 
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
   [[nodiscard]] virtual std::string name() const = 0;
@@ -39,13 +57,15 @@ class Executor {
 class SerialExecutor final : public Executor {
  public:
   void run(std::vector<std::function<void()>> tasks) override;
+  void submit(std::vector<std::function<void()>> tasks) override;
   [[nodiscard]] std::size_t workers() const noexcept override { return 1; }
   [[nodiscard]] std::string name() const override { return "serial"; }
 };
 
-/// Persistent worker threads draining a shared queue. run() blocks the
-/// calling thread until its whole batch has completed; concurrent run()
-/// calls from different threads interleave safely.
+/// Persistent worker threads self-scheduling over queued batches. run()
+/// blocks until its whole batch has completed (the caller helps execute it);
+/// submit() is fire-and-forget; concurrent batches from different threads
+/// interleave safely. The destructor drains every queued batch first.
 class ThreadPoolExecutor final : public Executor {
  public:
   /// `workers == 0` uses the hardware concurrency (at least one thread).
@@ -56,16 +76,36 @@ class ThreadPoolExecutor final : public Executor {
   ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
 
   void run(std::vector<std::function<void()>> tasks) override;
+  void submit(std::vector<std::function<void()>> tasks) override;
   [[nodiscard]] std::size_t workers() const noexcept override { return threads_.size(); }
   [[nodiscard]] std::string name() const override;
 
  private:
+  /// One enqueued batch. Threads claim task indexes through `cursor`
+  /// (fetch_add) — the self-scheduling loop — and the last finisher
+  /// signals `done`.
+  struct TaskBatch {
+    explicit TaskBatch(std::vector<std::function<void()>> work)
+        : tasks(std::move(work)), remaining(tasks.size()) {}
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> cursor{0};     ///< next unclaimed task index
+    std::atomic<std::size_t> remaining;     ///< tasks not yet finished
+    std::mutex mutex;                       ///< guards finished, for run()'s wait
+    std::condition_variable done;
+    bool finished = false;
+  };
+
+  void enqueue(std::shared_ptr<TaskBatch> batch);
+  /// Claims and runs tasks from `batch` until its cursor is exhausted.
+  static void help(TaskBatch& batch);
+  /// Marks one task finished; the last one signals completion.
+  static void finish_one(TaskBatch& batch);
   void worker_loop();
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;                 ///< guards queue_ and stop_
   std::condition_variable work_cv_;  ///< signals queued work / shutdown
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::shared_ptr<TaskBatch>> queue_;
   bool stop_ = false;
 };
 

@@ -75,6 +75,12 @@ struct CompareRequest {
   bool all_orders = false;
   /// Permutation cap when `all_orders` (orders grow factorially).
   std::size_t max_orders = 24;
+  /// Ranking objective chain for the system rows, applied lexicographically
+  /// after the feasibility split. Empty ranks by total cost only (Table 1's
+  /// classic ordering, stable on ties); e.g. {kTotalCost,
+  /// kWorstUtilization, kDesignTime} breaks cost ties by processor headroom,
+  /// then design time.
+  std::vector<synth::RankObjective> objectives;
   std::optional<synth::ProblemOptions> problem;
   std::optional<synth::ImplLibrary> library;
 };

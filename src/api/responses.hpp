@@ -118,23 +118,42 @@ struct CompareResponse {
   std::size_t applications = 0;
   std::string library_origin;
 
+  /// One tried application order of an order-sensitive baseline, in the
+  /// order it was tried (identity first) — the order-sensitivity of the
+  /// literature baselines as data, not just a best/worst spread.
+  struct OrderOutcome {
+    std::vector<std::size_t> order;  ///< applied permutation; empty = identity
+    double total = 0.0;
+    double worst_utilization = 0.0;
+    bool feasible = false;
+    std::int64_t decisions = 0;
+  };
+
   struct Row {
     std::string strategy;  ///< canonical strategy name
     /// Application name for per-application (independent) rows, "system"
     /// for whole-system strategies — only system rows are ranked.
     std::string scope;
-    /// Best outcome; for order-permuted baselines the best over all orders.
+    /// Best outcome; for order-permuted baselines the best over all orders
+    /// (under the request's objective chain).
     synth::StrategyOutcome outcome;
     std::size_t orders_tried = 1;
     double worst_total = 0.0;     ///< worst cost over the tried orders
     std::int64_t decisions = 0;   ///< summed over every tried order
     std::int64_t evaluations = 0; ///< summed over every tried order
+    /// Per-order outcome list; populated for order-sensitive strategies
+    /// (one entry even without a sweep: the identity order).
+    std::vector<OrderOutcome> per_order;
     [[nodiscard]] bool system() const noexcept { return scope == "system"; }
   };
   std::vector<Row> rows;  ///< canonical presentation order
 
+  /// Objective chain the ranking used (echo of the request; empty = total
+  /// cost only).
+  std::vector<synth::RankObjective> objectives;
+
   /// Indices into `rows` of the system-level rows: feasible before
-  /// infeasible, then ascending cost.
+  /// infeasible, then by the objective chain (ties keep canonical order).
   std::vector<std::size_t> ranking;
 
   /// The winning system-level row (nullptr when no system strategy ran).

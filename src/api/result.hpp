@@ -27,6 +27,7 @@ inline constexpr const char* kIoError = "api-io-error";
 inline constexpr const char* kInternalError = "api-internal-error";
 inline constexpr const char* kEmptyProblem = "api-empty-problem";
 inline constexpr const char* kBadOption = "api-bad-option";
+inline constexpr const char* kCancelled = "api-cancelled";
 }  // namespace diag
 
 template <typename T>

@@ -1,10 +1,7 @@
 #include "api/session.hpp"
 
 #include <exception>
-#include <filesystem>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <type_traits>
 #include <utility>
 
@@ -13,7 +10,6 @@
 #include "analysis/structure.hpp"
 #include "analysis/timing.hpp"
 #include "api/detail.hpp"
-#include "models/synthetic.hpp"
 #include "sim/engine.hpp"
 #include "sim/timeline.hpp"
 #include "spi/dot.hpp"
@@ -37,195 +33,91 @@ std::vector<std::string> process_names(const spi::Graph& graph,
   return names;
 }
 
-/// Derived fallback library: the deterministic per-process synthetic library,
-/// plus — for cluster-atomic problems — one aggregated entry per cluster
-/// (member loads/costs/WCETs summed, capabilities intersected), so both
-/// granularities can be explored on models without a curated library.
-synth::ImplLibrary derive_library(const variant::VariantModel& model,
-                                  synth::ElementGranularity granularity) {
-  synth::ImplLibrary library = models::make_synthetic_library(model);
-  if (granularity != synth::ElementGranularity::kClusterAtomic) return library;
-
-  for (support::ClusterId cid : model.cluster_ids()) {
-    const variant::Cluster& cluster = model.cluster(cid);
-    synth::ElementImpl aggregate;
-    aggregate.sw_load = 0.0;
-    bool any = false;
-    for (support::ProcessId pid : cluster.processes) {
-      const spi::Process& process = model.graph().process(pid);
-      if (process.is_virtual || !library.contains(process.name)) continue;
-      const synth::ElementImpl& member = library.at(process.name);
-      aggregate.sw_load += member.sw_load;
-      aggregate.sw_wcet = aggregate.sw_wcet + member.sw_wcet;
-      aggregate.hw_cost += member.hw_cost;
-      aggregate.hw_wcet = aggregate.hw_wcet + member.hw_wcet;
-      aggregate.can_sw = aggregate.can_sw && member.can_sw;
-      aggregate.can_hw = aggregate.can_hw && member.can_hw;
-      any = true;
-    }
-    if (any) library.add(cluster.name, aggregate);
-  }
-  return library;
-}
-
 }  // namespace
 
-Session::Session() : executor_(std::make_shared<SerialExecutor>()) {}
+// --- snapshot evaluation -----------------------------------------------------
+//
+// Everything below detail:: evaluates one immutable StoreEntry. These are
+// the functions batch tasks capture (together with their snapshot), so no
+// evaluation path ever touches Session state.
 
-Session::Session(std::shared_ptr<Executor> executor) : executor_(std::move(executor)) {
-  if (!executor_) executor_ = std::make_shared<SerialExecutor>();
-}
+namespace detail {
 
-// --- loading ----------------------------------------------------------------
+Result<SimulateResponse> eval_simulate(const StoreEntry& entry, const SimulateRequest& request) {
+  return guarded<SimulateResponse>([&]() -> Result<SimulateResponse> {
+    const spi::Graph& graph = entry.model().graph();
+    sim::SimOptions options = request.options;
+    if (request.render_timeline) options.record_trace = true;
 
-Result<ModelInfo> Session::load_text(std::string_view text, std::string_view name) {
-  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    spi::Graph graph = spi::parse_text(text);
-    if (!name.empty()) graph.set_name(std::string{name});
-    return adopt(Entry{.origin = "text", .model = variant::VariantModel{std::move(graph)}});
-  });
-}
+    // Interface-aware simulation when the model carries variant structure.
+    sim::SimResult result = entry.model().interface_count() > 0
+                                ? sim::Simulator{entry.model(), options}.run()
+                                : sim::Simulator{graph, options}.run();
 
-Result<ModelInfo> Session::load_file(const std::string& path) {
-  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    std::error_code ec;
-    if (!std::filesystem::is_regular_file(path, ec)) {
-      return Result<ModelInfo>::failure(diag::kIoError, "'" + path + "' is not a readable file");
+    SimulateResponse response;
+    response.model = graph.name();
+    response.result = std::move(result);
+    for (auto pid : graph.process_ids()) {
+      const auto& stats = response.result.process(pid);
+      response.processes.push_back({.name = graph.process(pid).name,
+                                    .firings = stats.firings,
+                                    .busy = stats.busy,
+                                    .reconfigurations = stats.reconfigurations});
     }
-    std::ifstream in{path};
-    if (!in) return Result<ModelInfo>::failure(diag::kIoError, "cannot open '" + path + "'");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    spi::Graph graph = spi::parse_text(buffer.str());
-    return adopt(Entry{.origin = path, .model = variant::VariantModel{std::move(graph)}});
-  });
-}
-
-Result<ModelInfo> Session::load_builtin(std::string_view name) {
-  return load_builtin(LoadBuiltinRequest{.name = std::string{name}});
-}
-
-Result<ModelInfo> Session::load_builtin(const LoadBuiltinRequest& request) {
-  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    const BuiltinModel* builtin = find_builtin(request.name);
-    if (!builtin) {
-      return Result<ModelInfo>::failure(
-          diag::kUnknownBuiltin,
-          "no built-in model '" + request.name + "' (see Session::builtins())");
+    for (auto cid : graph.channel_ids()) {
+      const auto& stats = response.result.channel(cid);
+      response.channels.push_back({.name = graph.channel(cid).name,
+                                   .produced = stats.produced,
+                                   .consumed = stats.consumed,
+                                   .occupancy = stats.occupancy,
+                                   .max_occupancy = stats.max_occupancy});
     }
-    return adopt(Entry{.origin = "builtin:" + builtin->name,
-                       .model = builtin->make(request.options),
-                       .builtin = builtin});
-  });
-}
-
-Result<ModelInfo> Session::load_model(std::string_view spec) {
-  if (find_builtin(spec)) return load_builtin(spec);
-  return load_file(std::string{spec});
-}
-
-Result<ModelInfo> Session::load(variant::VariantModel model, std::string_view origin) {
-  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    return adopt(Entry{.origin = std::string{origin}, .model = std::move(model)});
-  });
-}
-
-Result<ModelInfo> Session::adopt(Entry entry) {
-  const ModelId id{next_id_++};
-  auto [it, inserted] = entries_.emplace(id.value(), std::move(entry));
-  (void)inserted;
-  return Result<ModelInfo>::success(describe(id, it->second));
-}
-
-bool Session::unload(ModelId id) { return entries_.erase(id.value()) > 0; }
-
-// --- introspection ----------------------------------------------------------
-
-const Session::Entry* Session::find(ModelId id) const {
-  const auto it = entries_.find(id.value());
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-ModelInfo Session::describe(ModelId id, const Entry& entry) const {
-  return ModelInfo{
-      .id = id,
-      .name = entry.model.graph().name(),
-      .origin = entry.origin,
-      .processes = entry.model.graph().process_count(),
-      .channels = entry.model.graph().channel_count(),
-      .interfaces = entry.model.interface_count(),
-      .clusters = entry.model.cluster_count(),
-  };
-}
-
-std::vector<ModelInfo> Session::models() const {
-  std::vector<ModelInfo> out;
-  out.reserve(entries_.size());
-  for (const auto& [raw, entry] : entries_) out.push_back(describe(ModelId{raw}, entry));
-  return out;
-}
-
-Result<ModelInfo> Session::info(ModelId id) const {
-  const Entry* entry = find(id);
-  if (!entry) return unknown_model<ModelInfo>(id);
-  return Result<ModelInfo>::success(describe(id, *entry));
-}
-
-std::vector<std::string> Session::builtins() { return builtin_names(); }
-
-// --- pipeline operations ----------------------------------------------------
-
-Result<ValidateResponse> Session::validate(ModelId id) const {
-  const Entry* entry = find(id);
-  if (!entry) {
-    return unknown_model<ValidateResponse>(id);
-  }
-  return guarded<ValidateResponse>([&]() -> Result<ValidateResponse> {
-    ValidateResponse response{.model = entry->model.graph().name(), .findings = {}};
-    if (entry->model.interface_count() > 0) {
-      // Includes the core graph pass with the mutual-exclusivity oracle.
-      response.findings = variant::validate_variants(entry->model);
-    } else {
-      response.findings = spi::validate(entry->model.graph());
+    if (request.render_timeline) {
+      response.timeline = sim::render_timeline(graph, response.result);
     }
-    return Result<ValidateResponse>::success(std::move(response));
+    return Result<SimulateResponse>::success(std::move(response));
   });
 }
 
-Result<spi::ModelStatistics> Session::stats(ModelId id) const {
-  const Entry* entry = find(id);
-  if (!entry) {
-    return unknown_model<spi::ModelStatistics>(id);
-  }
-  return guarded<spi::ModelStatistics>([&] {
-    return Result<spi::ModelStatistics>::success(spi::collect_statistics(entry->model.graph()));
+Result<ExploreResponse> eval_explore(const StoreEntry& entry, const ExploreRequest& request) {
+  return guarded<ExploreResponse>([&]() -> Result<ExploreResponse> {
+    const auto setup = resolve_setup(entry, request.problem, request.library);
+    if (!problem_has_elements(setup->problem)) {
+      return Result<ExploreResponse>::failure(
+          diag::kEmptyProblem, empty_problem_message(entry.model().graph().name()));
+    }
+    ExploreResponse response{
+        .model = entry.model().graph().name(),
+        .result = synth::explore(setup->library, setup->problem.apps, request.options),
+        .problem = setup->problem.name,
+        .applications = setup->problem.apps.size(),
+        .elements = setup->problem.element_union().size(),
+        .library_origin = setup->library_origin,
+    };
+    return Result<ExploreResponse>::success(std::move(response));
   });
 }
 
-Result<std::string> Session::dot(ModelId id) const {
-  const Entry* entry = find(id);
-  if (!entry) return unknown_model<std::string>(id);
-  return guarded<std::string>([&] {
-    return Result<std::string>::success(entry->model.interface_count() > 0
-                                            ? variant::to_dot(entry->model)
-                                            : spi::to_dot(entry->model.graph()));
+Result<ParetoResponse> eval_pareto(const StoreEntry& entry, const ParetoRequest& request) {
+  return guarded<ParetoResponse>([&]() -> Result<ParetoResponse> {
+    const auto setup = resolve_setup(entry, request.problem, request.library);
+    if (!problem_has_elements(setup->problem)) {
+      return Result<ParetoResponse>::failure(
+          diag::kEmptyProblem, empty_problem_message(entry.model().graph().name()));
+    }
+    ParetoResponse response{
+        .model = entry.model().graph().name(),
+        .points = synth::pareto_front(setup->library, setup->problem.apps, request.options),
+        .applications = setup->problem.apps.size(),
+        .library_origin = setup->library_origin,
+    };
+    return Result<ParetoResponse>::success(std::move(response));
   });
 }
 
-Result<std::string> Session::write_text(ModelId id) const {
-  const Entry* entry = find(id);
-  if (!entry) return unknown_model<std::string>(id);
-  return guarded<std::string>(
-      [&] { return Result<std::string>::success(spi::write_text(entry->model.graph())); });
-}
-
-Result<AnalyzeResponse> Session::analyze(const AnalyzeRequest& request) const {
-  const Entry* entry = find(request.model);
-  if (!entry) {
-    return unknown_model<AnalyzeResponse>(request.model);
-  }
+Result<AnalyzeResponse> eval_analyze(const StoreEntry& entry, const AnalyzeRequest& request) {
   return guarded<AnalyzeResponse>([&]() -> Result<AnalyzeResponse> {
-    const spi::Graph& graph = entry->model.graph();
+    const spi::Graph& graph = entry.model().graph();
     AnalyzeResponse response;
     response.model = graph.name();
     response.request = request;
@@ -254,150 +146,211 @@ Result<AnalyzeResponse> Session::analyze(const AnalyzeRequest& request) const {
   });
 }
 
-Result<SimulateResponse> Session::simulate(const SimulateRequest& request) const {
-  const Entry* entry = find(request.model);
-  if (!entry) {
-    return unknown_model<SimulateResponse>(request.model);
-  }
-  return guarded<SimulateResponse>([&]() -> Result<SimulateResponse> {
-    const spi::Graph& graph = entry->model.graph();
-    sim::SimOptions options = request.options;
-    if (request.render_timeline) options.record_trace = true;
+}  // namespace detail
 
-    // Interface-aware simulation when the model carries variant structure.
-    sim::SimResult result = entry->model.interface_count() > 0
-                                ? sim::Simulator{entry->model, options}.run()
-                                : sim::Simulator{graph, options}.run();
+// --- construction ------------------------------------------------------------
 
-    SimulateResponse response;
-    response.model = graph.name();
-    response.result = std::move(result);
-    for (auto pid : graph.process_ids()) {
-      const auto& stats = response.result.process(pid);
-      response.processes.push_back({.name = graph.process(pid).name,
-                                    .firings = stats.firings,
-                                    .busy = stats.busy,
-                                    .reconfigurations = stats.reconfigurations});
+Session::Session() : Session(nullptr, nullptr) {}
+
+Session::Session(std::shared_ptr<Executor> executor) : Session(nullptr, std::move(executor)) {}
+
+Session::Session(std::shared_ptr<ModelStore> store, std::shared_ptr<Executor> executor)
+    : store_(std::move(store)), executor_(std::move(executor)) {
+  if (!store_) store_ = std::make_shared<ModelStore>();
+  if (!executor_) executor_ = std::make_shared<SerialExecutor>();
+}
+
+// --- loading (forwarded to the store) ----------------------------------------
+
+Result<ModelInfo> Session::load_text(std::string_view text, std::string_view name) {
+  return store_->load_text(text, name);
+}
+
+Result<ModelInfo> Session::load_file(const std::string& path) { return store_->load_file(path); }
+
+Result<ModelInfo> Session::load_builtin(std::string_view name) {
+  return store_->load_builtin(name);
+}
+
+Result<ModelInfo> Session::load_builtin(const LoadBuiltinRequest& request) {
+  return store_->load_builtin(request);
+}
+
+Result<ModelInfo> Session::load_model(std::string_view spec) { return store_->load_model(spec); }
+
+Result<ModelInfo> Session::load(variant::VariantModel model, std::string_view origin) {
+  return store_->load(std::move(model), origin);
+}
+
+UnloadStatus Session::unload(ModelId id) { return store_->unload(id); }
+
+// --- introspection ----------------------------------------------------------
+
+std::vector<ModelInfo> Session::models() const { return store_->models(); }
+
+Result<ModelInfo> Session::info(ModelId id) const { return store_->info(id); }
+
+std::vector<std::string> Session::builtins() { return builtin_names(); }
+
+// --- pipeline operations ----------------------------------------------------
+
+Result<ValidateResponse> Session::validate(ModelId id) const {
+  const ModelStore::Snapshot snapshot = store_->find(id);
+  if (!snapshot) return unknown_model<ValidateResponse>(id);
+  return guarded<ValidateResponse>([&]() -> Result<ValidateResponse> {
+    ValidateResponse response{.model = snapshot->model().graph().name(), .findings = {}};
+    if (snapshot->model().interface_count() > 0) {
+      // Includes the core graph pass with the mutual-exclusivity oracle.
+      response.findings = variant::validate_variants(snapshot->model());
+    } else {
+      response.findings = spi::validate(snapshot->model().graph());
     }
-    for (auto cid : graph.channel_ids()) {
-      const auto& stats = response.result.channel(cid);
-      response.channels.push_back({.name = graph.channel(cid).name,
-                                   .produced = stats.produced,
-                                   .consumed = stats.consumed,
-                                   .occupancy = stats.occupancy,
-                                   .max_occupancy = stats.max_occupancy});
-    }
-    if (request.render_timeline) {
-      response.timeline = sim::render_timeline(graph, response.result);
-    }
-    return Result<SimulateResponse>::success(std::move(response));
+    return Result<ValidateResponse>::success(std::move(response));
   });
 }
 
-// --- synthesis --------------------------------------------------------------
-
-Session::SynthesisSetup Session::synthesis_setup(
-    const Entry& entry, const std::optional<synth::ProblemOptions>& problem,
-    const std::optional<synth::ImplLibrary>& library) const {
-  SynthesisSetup setup;
-  const bool curated = entry.builtin != nullptr && entry.builtin->library != nullptr;
-
-  synth::ProblemOptions options;
-  if (problem.has_value()) {
-    options = *problem;
-  } else if (curated) {
-    options = entry.builtin->problem;
-  } else {
-    options = {.granularity = synth::ElementGranularity::kProcess};
-  }
-
-  // A curated library is calibrated for one granularity; a request that
-  // overrides it gets the derived library instead (which covers the
-  // requested granularity) rather than opaque missing-element errors.
-  const bool curated_matches =
-      curated && options.granularity == entry.builtin->problem.granularity;
-
-  if (library.has_value()) {
-    setup.library = *library;
-    setup.library_origin = "request";
-  } else if (curated_matches) {
-    setup.library = entry.builtin->library(entry.model);
-    setup.library_origin = "curated";
-  } else {
-    setup.library = derive_library(entry.model, options.granularity);
-    setup.library_origin = "derived";
-  }
-  setup.problem = synth::problem_from_model(entry.model, options);
-  return setup;
+Result<spi::ModelStatistics> Session::stats(ModelId id) const {
+  const ModelStore::Snapshot snapshot = store_->find(id);
+  if (!snapshot) return unknown_model<spi::ModelStatistics>(id);
+  return guarded<spi::ModelStatistics>([&] {
+    return Result<spi::ModelStatistics>::success(
+        spi::collect_statistics(snapshot->model().graph()));
+  });
 }
 
-using detail::empty_problem_message;
-using detail::problem_has_elements;
+Result<std::string> Session::dot(ModelId id) const {
+  const ModelStore::Snapshot snapshot = store_->find(id);
+  if (!snapshot) return unknown_model<std::string>(id);
+  return guarded<std::string>([&] {
+    return Result<std::string>::success(snapshot->model().interface_count() > 0
+                                            ? variant::to_dot(snapshot->model())
+                                            : spi::to_dot(snapshot->model().graph()));
+  });
+}
+
+Result<std::string> Session::write_text(ModelId id) const {
+  const ModelStore::Snapshot snapshot = store_->find(id);
+  if (!snapshot) return unknown_model<std::string>(id);
+  return guarded<std::string>(
+      [&] { return Result<std::string>::success(spi::write_text(snapshot->model().graph())); });
+}
+
+Result<AnalyzeResponse> Session::analyze(const AnalyzeRequest& request) const {
+  const ModelStore::Snapshot snapshot = store_->find(request.model);
+  if (!snapshot) return unknown_model<AnalyzeResponse>(request.model);
+  return detail::eval_analyze(*snapshot, request);
+}
+
+Result<SimulateResponse> Session::simulate(const SimulateRequest& request) const {
+  const ModelStore::Snapshot snapshot = store_->find(request.model);
+  if (!snapshot) return unknown_model<SimulateResponse>(request.model);
+  return detail::eval_simulate(*snapshot, request);
+}
 
 Result<ExploreResponse> Session::explore(const ExploreRequest& request) const {
-  const Entry* entry = find(request.model);
-  if (!entry) {
-    return unknown_model<ExploreResponse>(request.model);
-  }
-  return guarded<ExploreResponse>([&]() -> Result<ExploreResponse> {
-    SynthesisSetup setup = synthesis_setup(*entry, request.problem, request.library);
-    if (!problem_has_elements(setup.problem)) {
-      return Result<ExploreResponse>::failure(diag::kEmptyProblem,
-                                              empty_problem_message(entry->model.graph().name()));
-    }
-    ExploreResponse response{
-        .model = entry->model.graph().name(),
-        .result = synth::explore(setup.library, setup.problem.apps, request.options),
-        .problem = setup.problem.name,
-        .applications = setup.problem.apps.size(),
-        .elements = setup.problem.element_union().size(),
-        .library_origin = setup.library_origin,
-    };
-    return Result<ExploreResponse>::success(std::move(response));
-  });
+  const ModelStore::Snapshot snapshot = store_->find(request.model);
+  if (!snapshot) return unknown_model<ExploreResponse>(request.model);
+  return detail::eval_explore(*snapshot, request);
 }
 
 Result<ParetoResponse> Session::pareto(const ParetoRequest& request) const {
-  const Entry* entry = find(request.model);
-  if (!entry) {
-    return unknown_model<ParetoResponse>(request.model);
-  }
-  return guarded<ParetoResponse>([&]() -> Result<ParetoResponse> {
-    SynthesisSetup setup = synthesis_setup(*entry, request.problem, request.library);
-    if (!problem_has_elements(setup.problem)) {
-      return Result<ParetoResponse>::failure(diag::kEmptyProblem,
-                                             empty_problem_message(entry->model.graph().name()));
-    }
-    ParetoResponse response{
-        .model = entry->model.graph().name(),
-        .points = synth::pareto_front(setup.library, setup.problem.apps, request.options),
-        .applications = setup.problem.apps.size(),
-        .library_origin = setup.library_origin,
-    };
-    return Result<ParetoResponse>::success(std::move(response));
-  });
+  const ModelStore::Snapshot snapshot = store_->find(request.model);
+  if (!snapshot) return unknown_model<ParetoResponse>(request.model);
+  return detail::eval_pareto(*snapshot, request);
+}
+
+Result<CompareResponse> Session::compare(const CompareRequest& request) const {
+  const ModelStore::Snapshot snapshot = store_->find(request.model);
+  if (!snapshot) return unknown_model<CompareResponse>(request.model);
+  return detail::eval_compare(*snapshot, request, *executor_);
 }
 
 // --- batch surface ----------------------------------------------------------
 
 namespace {
 
-/// Evaluates `op` over each request through the executor. Slots are disjoint
-/// and requests deterministic, so the result is bit-identical to serial
-/// evaluation regardless of worker count. `op` never throws (it runs inside
-/// the session's guarded boundary).
-template <typename Request, typename Op>
-auto run_batch(Executor& executor, const std::vector<Request>& requests, Op op) {
-  using R = std::invoke_result_t<Op, const Request&>;
-  std::vector<std::optional<R>> slots(requests.size());
+/// Shared submit path of the streaming surface. Every request's snapshot is
+/// resolved *now* — the batch evaluates the store as of submission, so a
+/// concurrent unload (or session move/destruction) cannot touch a slot.
+/// Tasks capture only the batch state, the snapshot and `eval`.
+template <typename Response, typename Request, typename Eval>
+BatchHandle<Response> submit_batch(const ModelStore& store, std::shared_ptr<Executor> executor,
+                                   std::vector<Request> requests,
+                                   SlotCallback<Response> on_slot, Eval eval) {
+  auto state =
+      std::make_shared<detail::BatchState<Response>>(requests.size(), std::move(on_slot));
   std::vector<std::function<void()>> tasks;
   tasks.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    tasks.push_back([&slots, &requests, &op, i] { slots[i] = op(requests[i]); });
+    tasks.push_back([state, snapshot = store.find(requests[i].model),
+                     request = std::move(requests[i]), i, eval] {
+      Result<Response> result = [&]() -> Result<Response> {
+        if (state->core.cancel_requested()) {
+          return Result<Response>::failure(detail::cancelled_diagnostics(i));
+        }
+        if (!snapshot) return unknown_model<Response>(request.model);
+        return eval(*snapshot, request);
+      }();
+      state->deliver(i, std::move(result));
+    });
+  }
+  executor->submit(std::move(tasks));
+  return make_batch_handle<Response>(std::move(state), std::move(executor));
+}
+
+}  // namespace
+
+BatchHandle<SimulateResponse> Session::submit_simulate_batch(
+    std::vector<SimulateRequest> requests, SlotCallback<SimulateResponse> on_slot) const {
+  return submit_batch<SimulateResponse>(*store_, executor_, std::move(requests),
+                                        std::move(on_slot), &detail::eval_simulate);
+}
+
+BatchHandle<ExploreResponse> Session::submit_explore_batch(
+    std::vector<ExploreRequest> requests, SlotCallback<ExploreResponse> on_slot) const {
+  return submit_batch<ExploreResponse>(*store_, executor_, std::move(requests),
+                                       std::move(on_slot), &detail::eval_explore);
+}
+
+BatchHandle<CompareResponse> Session::submit_compare(std::vector<CompareRequest> requests,
+                                                     SlotCallback<CompareResponse> on_slot) const {
+  // Each compare slot fans its strategy jobs across the same executor; the
+  // self-scheduling pool lets the slot's thread help drain its own jobs, so
+  // nesting cannot deadlock. Deliberately a raw pointer: the executor
+  // outlives every queued task (the handle keeps it alive, and the pool
+  // destructor drains its queue before joining), while an owning copy here
+  // could make a *worker* drop the last reference and self-join the pool.
+  Executor* executor = executor_.get();
+  return submit_batch<CompareResponse>(
+      *store_, executor_, std::move(requests), std::move(on_slot),
+      [executor](const StoreEntry& entry, const CompareRequest& request) {
+        return detail::eval_compare(entry, request, *executor);
+      });
+}
+
+namespace {
+
+/// Blocking twin of submit_batch with the same snapshot-at-submit
+/// semantics, built on Executor::run for two reasons the streaming path
+/// can't provide: the calling thread participates in its own batch (so a
+/// blocking batch issued from inside a pool task cannot deadlock), and
+/// results move straight out of their slots — no promise/future machinery,
+/// no copies.
+template <typename Response, typename Request, typename Eval>
+std::vector<Result<Response>> run_batch(const ModelStore& store, Executor& executor,
+                                        const std::vector<Request>& requests, Eval eval) {
+  std::vector<std::optional<Result<Response>>> slots(requests.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    tasks.push_back([&slots, &requests, snapshot = store.find(requests[i].model), &eval, i] {
+      slots[i] = snapshot ? eval(*snapshot, requests[i])
+                          : unknown_model<Response>(requests[i].model);
+    });
   }
   executor.run(std::move(tasks));
 
-  std::vector<R> results;
+  std::vector<Result<Response>> results;
   results.reserve(slots.size());
   for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
@@ -407,14 +360,12 @@ auto run_batch(Executor& executor, const std::vector<Request>& requests, Op op) 
 
 std::vector<Result<SimulateResponse>> Session::simulate_batch(
     const std::vector<SimulateRequest>& requests) const {
-  return run_batch(*executor_, requests,
-                   [this](const SimulateRequest& request) { return simulate(request); });
+  return run_batch<SimulateResponse>(*store_, *executor_, requests, &detail::eval_simulate);
 }
 
 std::vector<Result<ExploreResponse>> Session::explore_batch(
     const std::vector<ExploreRequest>& requests) const {
-  return run_batch(*executor_, requests,
-                   [this](const ExploreRequest& request) { return explore(request); });
+  return run_batch<ExploreResponse>(*store_, *executor_, requests, &detail::eval_explore);
 }
 
 }  // namespace spivar::api

@@ -1,34 +1,42 @@
 // api::Session — the unified entry point over the whole pipeline.
 //
-// A Session owns loaded models (parsed from text, read from disk, or
-// instantiated from the built-in registry) and exposes every pipeline stage
-// of the paper — validate, analyze, simulate, explore, pareto — as uniform
-// request/response operations returning Result<T>. No exception escapes a
-// session call: parse errors, model errors and unexpected failures surface
-// as diagnostics in the failed Result.
+// A Session is a *view* over a ModelStore plus an execution policy. The
+// store owns the models (immutable snapshots, see store.hpp); the session
+// exposes every pipeline stage of the paper — validate, analyze, simulate,
+// explore, pareto, compare — as uniform request/response operations
+// returning Result<T>. No exception escapes a session call: parse errors,
+// model errors and unexpected failures surface as diagnostics in the failed
+// Result.
 //
-//   api::Session session;
+//   api::Session session;                         // private store, serial
 //   auto model = session.load_builtin("fig2");
 //   auto sim = session.simulate({.model = model.value().id});
-//   auto arch = session.explore({.model = model.value().id});
 //
-// The batch entry points evaluate whole scenario sets through one call —
-// the seam where sharding/parallel dispatch lands later.
+//   auto store = std::make_shared<api::ModelStore>();
+//   api::Session a{store};                        // many sessions,
+//   api::Session b{store, api::make_executor(4)}; // one model store
+//
+// The batch surface evaluates whole scenario sets: blocking
+// (simulate_batch/explore_batch/compare) or streaming (submit_* returning a
+// BatchHandle with per-slot futures, an on_slot callback, and cancel()).
+// Batch tasks capture store snapshots — never the session — so sessions are
+// movable even with batches in flight.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "api/batch.hpp"
 #include "api/executor.hpp"
 #include "api/options.hpp"
 #include "api/registry.hpp"
 #include "api/requests.hpp"
 #include "api/responses.hpp"
 #include "api/result.hpp"
+#include "api/store.hpp"
 #include "spi/statistics.hpp"
 #include "variant/model.hpp"
 
@@ -36,22 +44,32 @@ namespace spivar::api {
 
 class Session {
  public:
-  /// Serial execution — batches evaluate on the calling thread.
+  /// Private store, serial execution — batches evaluate on the calling
+  /// thread.
   Session();
-  /// Injected execution policy for the batch surface (make_executor(jobs)).
+  /// Private store with an injected execution policy (make_executor(jobs)).
   explicit Session(std::shared_ptr<Executor> executor);
+  /// Attaches to a shared store: models loaded by any attached session are
+  /// visible to all of them, and each session brings its own execution
+  /// policy (null falls back to serial).
+  explicit Session(std::shared_ptr<ModelStore> store,
+                   std::shared_ptr<Executor> executor = nullptr);
 
-  // Sessions own their models; handles would dangle after a copy. Moves are
-  // deleted too: a batch in flight on a thread-pool executor holds tasks
-  // referencing this session, which a move would silently dangle.
+  // Copies are deleted (two sessions silently sharing one store should be
+  // explicit, via the store constructor). Moves are allowed: batch tasks
+  // capture store snapshots, never `this`, so an in-flight batch keeps
+  // running across a move. A moved-from session may only be destroyed or
+  // assigned to.
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
-  Session(Session&&) = delete;
-  Session& operator=(Session&&) = delete;
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
 
   [[nodiscard]] const Executor& executor() const noexcept { return *executor_; }
+  /// The shared model store; hand it to another Session to shard work.
+  [[nodiscard]] const std::shared_ptr<ModelStore>& store() const noexcept { return store_; }
 
-  // --- loading --------------------------------------------------------------
+  // --- loading (forwarded to the store) -------------------------------------
 
   /// Parses a model from "spit" text. `name` overrides the model name for
   /// presentation (empty keeps the parsed one).
@@ -76,7 +94,12 @@ class Session {
   /// Adopts an already-built model (programmatic construction).
   Result<ModelInfo> load(variant::VariantModel model, std::string_view origin = "adopted");
 
-  bool unload(ModelId id);
+  /// Tombstones the model in the store. Returns kUnloaded when this call
+  /// removed a live model, kAlreadyUnloaded when the id had been unloaded
+  /// before, and kNeverLoaded for ids the store never issued — the three
+  /// cases are distinguishable forever because ids are never reused.
+  /// In-flight batches that captured the model's snapshot finish unaffected.
+  UnloadStatus unload(ModelId id);
 
   // --- introspection --------------------------------------------------------
 
@@ -106,44 +129,44 @@ class Session {
   /// Runs the requested synthesis strategies (all five when unspecified)
   /// over the model and returns the ranked outcome table — Table 1 of the
   /// paper as one call. Order-sensitive baselines can sweep application
-  /// orders; strategy runs dispatch across the session's executor.
+  /// orders; ranking follows the request's objective chain (total cost by
+  /// default; see CompareRequest::objectives); strategy runs dispatch
+  /// across the session's executor.
   [[nodiscard]] Result<CompareResponse> compare(const CompareRequest& request) const;
 
-  // --- batch surface --------------------------------------------------------
+  // --- blocking batch surface ------------------------------------------------
 
   /// Evaluates each request independently across the session's executor;
   /// one failing scenario never aborts the batch — its slot carries the
   /// diagnostics. Results are bit-identical to serial evaluation (requests
-  /// are deterministic by seed and write disjoint slots).
+  /// are deterministic by seed and write disjoint slots). The calling
+  /// thread participates in the batch, so these are safe to call even from
+  /// inside a task already running on the session's pool.
   [[nodiscard]] std::vector<Result<SimulateResponse>> simulate_batch(
       const std::vector<SimulateRequest>& requests) const;
   [[nodiscard]] std::vector<Result<ExploreResponse>> explore_batch(
       const std::vector<ExploreRequest>& requests) const;
 
+  // --- streaming batch surface -----------------------------------------------
+  //
+  // submit_* resolve every request's snapshot immediately (the batch sees
+  // the store as of submission) and return without waiting. Results stream
+  // through `on_slot` and the handle's per-slot futures as they land;
+  // handle.wait() yields the same vector the blocking entry point would.
+
+  [[nodiscard]] BatchHandle<SimulateResponse> submit_simulate_batch(
+      std::vector<SimulateRequest> requests,
+      SlotCallback<SimulateResponse> on_slot = {}) const;
+  [[nodiscard]] BatchHandle<ExploreResponse> submit_explore_batch(
+      std::vector<ExploreRequest> requests, SlotCallback<ExploreResponse> on_slot = {}) const;
+  /// One slot per CompareRequest — a cross-model comparison sweep; each
+  /// slot's strategy jobs fan out across the same executor (safe: the pool
+  /// self-schedules nested batches).
+  [[nodiscard]] BatchHandle<CompareResponse> submit_compare(
+      std::vector<CompareRequest> requests, SlotCallback<CompareResponse> on_slot = {}) const;
+
  private:
-  struct Entry {
-    std::string origin;
-    variant::VariantModel model;
-    const BuiltinModel* builtin = nullptr;  ///< registry entry when applicable
-  };
-
-  Result<ModelInfo> adopt(Entry entry);
-  [[nodiscard]] const Entry* find(ModelId id) const;
-  [[nodiscard]] ModelInfo describe(ModelId id, const Entry& entry) const;
-
-  /// Resolves the (library, problem) pair for a synthesis request: explicit
-  /// request override > curated registry library > derived synthetic one.
-  struct SynthesisSetup {
-    synth::ImplLibrary library;
-    synth::SynthesisProblem problem;
-    std::string library_origin;
-  };
-  [[nodiscard]] SynthesisSetup synthesis_setup(const Entry& entry,
-                                               const std::optional<synth::ProblemOptions>& problem,
-                                               const std::optional<synth::ImplLibrary>& library) const;
-
-  std::map<std::uint32_t, Entry> entries_;
-  std::uint32_t next_id_ = 0;
+  std::shared_ptr<ModelStore> store_;
   std::shared_ptr<Executor> executor_;
 };
 

@@ -1,0 +1,225 @@
+#include "api/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "api/detail.hpp"
+#include "models/synthetic.hpp"
+#include "spi/textio.hpp"
+
+namespace spivar::api {
+
+using detail::guarded;
+
+namespace {
+
+/// Derived fallback library: the deterministic per-process synthetic library,
+/// plus — for cluster-atomic problems — one aggregated entry per cluster
+/// (member loads/costs/WCETs summed, capabilities intersected), so both
+/// granularities can be explored on models without a curated library.
+synth::ImplLibrary derive_library(const variant::VariantModel& model,
+                                  synth::ElementGranularity granularity) {
+  synth::ImplLibrary library = models::make_synthetic_library(model);
+  if (granularity != synth::ElementGranularity::kClusterAtomic) return library;
+
+  for (support::ClusterId cid : model.cluster_ids()) {
+    const variant::Cluster& cluster = model.cluster(cid);
+    synth::ElementImpl aggregate;
+    aggregate.sw_load = 0.0;
+    bool any = false;
+    for (support::ProcessId pid : cluster.processes) {
+      const spi::Process& process = model.graph().process(pid);
+      if (process.is_virtual || !library.contains(process.name)) continue;
+      const synth::ElementImpl& member = library.at(process.name);
+      aggregate.sw_load += member.sw_load;
+      aggregate.sw_wcet = aggregate.sw_wcet + member.sw_wcet;
+      aggregate.hw_cost += member.hw_cost;
+      aggregate.hw_wcet = aggregate.hw_wcet + member.hw_wcet;
+      aggregate.can_sw = aggregate.can_sw && member.can_sw;
+      aggregate.can_hw = aggregate.can_hw && member.can_hw;
+      any = true;
+    }
+    if (any) library.add(cluster.name, aggregate);
+  }
+  return library;
+}
+
+/// The uncached resolution behind default_setup()/resolve_setup().
+SynthesisSetup compute_setup(const StoreEntry& entry,
+                             const std::optional<synth::ProblemOptions>& problem,
+                             const std::optional<synth::ImplLibrary>& library) {
+  SynthesisSetup setup;
+  const BuiltinModel* builtin = entry.builtin();
+  const bool curated = builtin != nullptr && builtin->library != nullptr;
+
+  synth::ProblemOptions options;
+  if (problem.has_value()) {
+    options = *problem;
+  } else if (curated) {
+    options = builtin->problem;
+  } else {
+    options = {.granularity = synth::ElementGranularity::kProcess};
+  }
+
+  // A curated library is calibrated for one granularity; a request that
+  // overrides it gets the derived library instead (which covers the
+  // requested granularity) rather than opaque missing-element errors.
+  const bool curated_matches = curated && options.granularity == builtin->problem.granularity;
+
+  if (library.has_value()) {
+    setup.library = *library;
+    setup.library_origin = "request";
+  } else if (curated_matches) {
+    setup.library = builtin->library(entry.model());
+    setup.library_origin = "curated";
+  } else {
+    setup.library = derive_library(entry.model(), options.granularity);
+    setup.library_origin = "derived";
+  }
+  setup.problem = synth::problem_from_model(entry.model(), options);
+  return setup;
+}
+
+}  // namespace
+
+// --- StoreEntry --------------------------------------------------------------
+
+StoreEntry::StoreEntry(std::string origin, variant::VariantModel model,
+                       const BuiltinModel* builtin)
+    : origin_(std::move(origin)), model_(std::move(model)), builtin_(builtin) {}
+
+std::shared_ptr<const SynthesisSetup> StoreEntry::default_setup() const {
+  std::call_once(setup_once_, [this] {
+    setup_ = std::make_shared<const SynthesisSetup>(
+        compute_setup(*this, std::nullopt, std::nullopt));
+  });
+  return setup_;
+}
+
+std::shared_ptr<const SynthesisSetup> resolve_setup(
+    const StoreEntry& entry, const std::optional<synth::ProblemOptions>& problem,
+    const std::optional<synth::ImplLibrary>& library) {
+  if (!problem.has_value() && !library.has_value()) return entry.default_setup();
+  return std::make_shared<const SynthesisSetup>(compute_setup(entry, problem, library));
+}
+
+// --- ModelStore --------------------------------------------------------------
+
+Result<ModelInfo> ModelStore::load_text(std::string_view text, std::string_view name) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    spi::Graph graph = spi::parse_text(text);
+    if (!name.empty()) graph.set_name(std::string{name});
+    return adopt("text", variant::VariantModel{std::move(graph)}, nullptr);
+  });
+}
+
+Result<ModelInfo> ModelStore::load_file(const std::string& path) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec)) {
+      return Result<ModelInfo>::failure(diag::kIoError, "'" + path + "' is not a readable file");
+    }
+    std::ifstream in{path};
+    if (!in) return Result<ModelInfo>::failure(diag::kIoError, "cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    spi::Graph graph = spi::parse_text(buffer.str());
+    return adopt(path, variant::VariantModel{std::move(graph)}, nullptr);
+  });
+}
+
+Result<ModelInfo> ModelStore::load_builtin(std::string_view name) {
+  return load_builtin(LoadBuiltinRequest{.name = std::string{name}});
+}
+
+Result<ModelInfo> ModelStore::load_builtin(const LoadBuiltinRequest& request) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    const BuiltinModel* builtin = find_builtin(request.name);
+    if (!builtin) {
+      return Result<ModelInfo>::failure(
+          diag::kUnknownBuiltin,
+          "no built-in model '" + request.name + "' (see Session::builtins())");
+    }
+    return adopt("builtin:" + builtin->name, builtin->make(request.options), builtin);
+  });
+}
+
+Result<ModelInfo> ModelStore::load_model(std::string_view spec) {
+  if (find_builtin(spec)) return load_builtin(spec);
+  return load_file(std::string{spec});
+}
+
+Result<ModelInfo> ModelStore::load(variant::VariantModel model, std::string_view origin) {
+  return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
+    return adopt(std::string{origin}, std::move(model), nullptr);
+  });
+}
+
+Result<ModelInfo> ModelStore::adopt(std::string origin, variant::VariantModel model,
+                                    const BuiltinModel* builtin) {
+  // Entry construction (and any model factory work) happens outside the
+  // table lock; only the id assignment and insertion are serialized.
+  auto entry = std::make_shared<const StoreEntry>(std::move(origin), std::move(model), builtin);
+  ModelId id;
+  {
+    std::lock_guard lock{mutex_};
+    id = ModelId{next_id_++};
+    entries_.emplace(id.value(), entry);
+  }
+  return Result<ModelInfo>::success(describe(id, *entry));
+}
+
+UnloadStatus ModelStore::unload(ModelId id) {
+  std::lock_guard lock{mutex_};
+  const auto it = entries_.find(id.value());
+  if (it == entries_.end()) return UnloadStatus::kNeverLoaded;
+  if (it->second == nullptr) return UnloadStatus::kAlreadyUnloaded;
+  it->second = nullptr;  // tombstone: the id stays known, never reused
+  return UnloadStatus::kUnloaded;
+}
+
+ModelStore::Snapshot ModelStore::find(ModelId id) const {
+  std::lock_guard lock{mutex_};
+  const auto it = entries_.find(id.value());
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<ModelInfo> ModelStore::models() const {
+  std::vector<ModelInfo> out;
+  std::lock_guard lock{mutex_};
+  for (const auto& [raw, snapshot] : entries_) {
+    if (snapshot) out.push_back(describe(ModelId{raw}, *snapshot));
+  }
+  return out;
+}
+
+Result<ModelInfo> ModelStore::info(ModelId id) const {
+  const Snapshot snapshot = find(id);
+  if (!snapshot) return detail::unknown_model<ModelInfo>(id);
+  return Result<ModelInfo>::success(describe(id, *snapshot));
+}
+
+std::size_t ModelStore::size() const {
+  std::lock_guard lock{mutex_};
+  std::size_t live = 0;
+  for (const auto& [raw, snapshot] : entries_) {
+    if (snapshot) ++live;
+  }
+  return live;
+}
+
+ModelInfo describe(ModelId id, const StoreEntry& entry) {
+  return ModelInfo{
+      .id = id,
+      .name = entry.model().graph().name(),
+      .origin = entry.origin(),
+      .processes = entry.model().graph().process_count(),
+      .channels = entry.model().graph().channel_count(),
+      .interfaces = entry.model().interface_count(),
+      .clusters = entry.model().cluster_count(),
+  };
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,162 @@
+// api::ModelStore — thread-safe, share-by-snapshot model ownership.
+//
+// The store owns every loaded model and hands out *immutable snapshots*:
+// `shared_ptr<const StoreEntry>` holding the model, its registry entry (when
+// loaded from a builtin) and a memoized default SynthesisSetup. Any number
+// of sessions attach to one store, so a model is parsed/built once and
+// evaluated from many sessions — the cross-session sharding seam.
+//
+//   auto store = std::make_shared<api::ModelStore>();
+//   api::Session a{store};                        // loads are visible to b
+//   api::Session b{store, api::make_executor(4)}; // shards the same models
+//
+// Concurrency contract:
+//   * load/unload/find/models are safe to call from any thread.
+//   * Snapshots are immutable; an in-flight batch that captured a snapshot
+//     keeps evaluating it even if the model is unloaded concurrently.
+//   * unload is tombstone-only: the id is never reused, so a store can tell
+//     "was unloaded" apart from "never existed" (see UnloadStatus).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/options.hpp"
+#include "api/registry.hpp"
+#include "api/responses.hpp"
+#include "api/result.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::api {
+
+/// Outcome of ModelStore::unload / Session::unload. The store keeps a
+/// tombstone per unloaded id (ids are never reused), so the three cases are
+/// distinguishable forever.
+enum class UnloadStatus : std::uint8_t {
+  kUnloaded,         ///< a live model was unloaded by this call
+  kAlreadyUnloaded,  ///< the id was loaded once and unloaded earlier
+  kNeverLoaded,      ///< the store never issued this id
+};
+
+[[nodiscard]] constexpr const char* to_string(UnloadStatus status) noexcept {
+  switch (status) {
+    case UnloadStatus::kUnloaded: return "unloaded";
+    case UnloadStatus::kAlreadyUnloaded: return "already-unloaded";
+    case UnloadStatus::kNeverLoaded: return "never-loaded";
+  }
+  return "?";
+}
+
+/// True exactly when the call itself removed a live model.
+[[nodiscard]] constexpr bool unloaded(UnloadStatus status) noexcept {
+  return status == UnloadStatus::kUnloaded;
+}
+
+/// Resolved (library, problem) pair for synthesis over one model: explicit
+/// request override > curated registry library > derived synthetic one.
+struct SynthesisSetup {
+  synth::ImplLibrary library;
+  synth::SynthesisProblem problem;
+  std::string library_origin;  ///< "curated", "derived", or "request"
+};
+
+/// One loaded model, immutable after load. Snapshots of this type are what
+/// batch tasks capture — never a Session or the store itself.
+class StoreEntry {
+ public:
+  StoreEntry(std::string origin, variant::VariantModel model, const BuiltinModel* builtin);
+
+  StoreEntry(const StoreEntry&) = delete;
+  StoreEntry& operator=(const StoreEntry&) = delete;
+
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+  [[nodiscard]] const variant::VariantModel& model() const noexcept { return model_; }
+  /// Registry entry the model was instantiated from, nullptr otherwise.
+  [[nodiscard]] const BuiltinModel* builtin() const noexcept { return builtin_; }
+
+  /// The default synthesis setup (no request overrides), memoized on first
+  /// use — concurrent callers share one computation and one instance.
+  [[nodiscard]] std::shared_ptr<const SynthesisSetup> default_setup() const;
+
+ private:
+  std::string origin_;
+  variant::VariantModel model_;
+  const BuiltinModel* builtin_ = nullptr;
+
+  mutable std::once_flag setup_once_;
+  mutable std::shared_ptr<const SynthesisSetup> setup_;
+};
+
+/// Resolves the synthesis setup for `entry` under optional request
+/// overrides; the no-override path returns the entry's memoized default.
+[[nodiscard]] std::shared_ptr<const SynthesisSetup> resolve_setup(
+    const StoreEntry& entry, const std::optional<synth::ProblemOptions>& problem,
+    const std::optional<synth::ImplLibrary>& library);
+
+class ModelStore {
+ public:
+  using Snapshot = std::shared_ptr<const StoreEntry>;
+
+  ModelStore() = default;
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  // --- loading (all thread-safe) -------------------------------------------
+
+  /// Parses a model from "spit" text. `name` overrides the model name for
+  /// presentation (empty keeps the parsed one).
+  Result<ModelInfo> load_text(std::string_view text, std::string_view name = {});
+
+  /// Reads and parses a .spit file.
+  Result<ModelInfo> load_file(const std::string& path);
+
+  /// Instantiates a registry model with its default options.
+  Result<ModelInfo> load_builtin(std::string_view name);
+
+  /// Instantiates a registry model with a typed option struct.
+  Result<ModelInfo> load_builtin(const LoadBuiltinRequest& request);
+
+  /// Builtin name when it matches one, file path otherwise.
+  Result<ModelInfo> load_model(std::string_view spec);
+
+  /// Adopts an already-built model (programmatic construction).
+  Result<ModelInfo> load(variant::VariantModel model, std::string_view origin = "adopted");
+
+  /// Tombstones the model: the snapshot is dropped from the table but the id
+  /// stays known, so later calls can distinguish the three UnloadStatus
+  /// cases. Snapshots already captured (e.g. by an in-flight batch) stay
+  /// valid and immutable.
+  UnloadStatus unload(ModelId id);
+
+  // --- lookup ---------------------------------------------------------------
+
+  /// The live snapshot for `id`, or nullptr when unknown or tombstoned.
+  [[nodiscard]] Snapshot find(ModelId id) const;
+
+  /// Summaries of every live (non-tombstoned) model, ascending id.
+  [[nodiscard]] std::vector<ModelInfo> models() const;
+
+  [[nodiscard]] Result<ModelInfo> info(ModelId id) const;
+
+  /// Live models currently in the table (tombstones excluded).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Result<ModelInfo> adopt(std::string origin, variant::VariantModel model,
+                          const BuiltinModel* builtin);
+
+  mutable std::mutex mutex_;  ///< guards entries_ and next_id_
+  std::map<std::uint32_t, Snapshot> entries_;  ///< tombstone = null snapshot
+  std::uint32_t next_id_ = 0;
+};
+
+/// Summary of `entry` under handle `id` (shared by store and session).
+[[nodiscard]] ModelInfo describe(ModelId id, const StoreEntry& entry);
+
+}  // namespace spivar::api

@@ -53,6 +53,35 @@ std::optional<StrategyKind> parse_strategy(std::string_view name) {
   return std::nullopt;
 }
 
+std::optional<RankObjective> parse_objective(std::string_view name) {
+  for (RankObjective objective : kAllObjectives) {
+    if (name == to_string(objective)) return objective;
+  }
+  if (name == "util") return RankObjective::kWorstUtilization;
+  if (name == "decisions") return RankObjective::kDesignTime;
+  return std::nullopt;
+}
+
+bool better_outcome(const StrategyOutcome& a, const StrategyOutcome& b,
+                    const std::vector<RankObjective>& objectives) {
+  if (a.feasible != b.feasible) return a.feasible;
+  const auto value = [](const StrategyOutcome& outcome, RankObjective objective) {
+    switch (objective) {
+      case RankObjective::kTotalCost: return outcome.cost.total;
+      case RankObjective::kWorstUtilization: return outcome.cost.worst_utilization;
+      case RankObjective::kDesignTime: return static_cast<double>(outcome.decisions);
+    }
+    return outcome.cost.total;
+  };
+  static const std::vector<RankObjective> kDefault{RankObjective::kTotalCost};
+  for (RankObjective objective : objectives.empty() ? kDefault : objectives) {
+    const double va = value(a, objective);
+    const double vb = value(b, objective);
+    if (va != vb) return va < vb;
+  }
+  return false;
+}
+
 StrategyOutcome synthesize_independent(const ImplLibrary& library, const Application& app,
                                        const ExploreOptions& options) {
   const ExploreResult r = explore(library, {app}, options);

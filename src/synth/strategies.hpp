@@ -60,6 +60,33 @@ inline constexpr StrategyKind kAllStrategies[] = {
   return kind == StrategyKind::kSerialized || kind == StrategyKind::kIncremental;
 }
 
+/// Objectives for ranking strategy outcomes, applied lexicographically after
+/// the feasibility split (feasible always beats infeasible). Lower is better
+/// for all three: cost is the paper's Table 1 column, worst utilization is
+/// headroom on the most loaded processor, design time is the examined
+/// decision count (the "Time" column's proxy).
+enum class RankObjective : std::uint8_t {
+  kTotalCost,         ///< CostBreakdown::total
+  kWorstUtilization,  ///< CostBreakdown::worst_utilization
+  kDesignTime,        ///< StrategyOutcome::decisions
+};
+
+inline constexpr RankObjective kAllObjectives[] = {
+    RankObjective::kTotalCost, RankObjective::kWorstUtilization, RankObjective::kDesignTime};
+
+[[nodiscard]] constexpr const char* to_string(RankObjective objective) noexcept {
+  switch (objective) {
+    case RankObjective::kTotalCost: return "cost";
+    case RankObjective::kWorstUtilization: return "utilization";
+    case RankObjective::kDesignTime: return "time";
+  }
+  return "?";
+}
+
+/// Canonical name (or the "util"/"decisions" aliases) back to the
+/// objective; nullopt for unknown names.
+[[nodiscard]] std::optional<RankObjective> parse_objective(std::string_view name);
+
 struct StrategyOutcome {
   std::string strategy;
   CostBreakdown cost;          ///< final architecture cost
@@ -107,5 +134,13 @@ struct StrategyOutcome {
 /// most `limit` in total (permutation count explodes factorially).
 [[nodiscard]] std::vector<std::vector<std::size_t>> application_orders(std::size_t count,
                                                                        std::size_t limit = 24);
+
+/// Multi-objective outcome comparison: `a` ranks strictly better than `b`
+/// when it is feasible and `b` is not, or when the first objective in
+/// `objectives` on which they differ favors `a`. An empty objective list
+/// means total cost only (the classic Table 1 ranking). Equal outcomes
+/// compare false both ways, so stable sorts preserve presentation order.
+[[nodiscard]] bool better_outcome(const StrategyOutcome& a, const StrategyOutcome& b,
+                                  const std::vector<RankObjective>& objectives = {});
 
 }  // namespace spivar::synth

@@ -2,6 +2,9 @@
 // per-model option plumbing of load_builtin.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "api/api.hpp"
 
 namespace spivar {
@@ -103,6 +106,127 @@ TEST(ApiCompare, AllOrdersSweepsPermutationsAndAccumulatesEffort) {
     // The best-over-orders outcome is never worse than the identity order.
     EXPECT_LE(row.outcome.cost.total, base->outcome.cost.total) << row.strategy;
   }
+}
+
+TEST(ApiCompare, PerOrderOutcomeListExposesOrderSensitivity) {
+  Session session;
+  const auto loaded = session.load_builtin("fig2");
+  ASSERT_TRUE(loaded.ok());
+
+  api::CompareRequest request{.model = loaded.value().id};
+  request.options.engine = synth::ExploreEngine::kExhaustive;
+  request.strategies = {StrategyKind::kSerialized, StrategyKind::kIncremental,
+                        StrategyKind::kWithVariants};
+  request.all_orders = true;
+  const auto compared = session.compare(request);
+  ASSERT_TRUE(compared.ok()) << compared.error_summary();
+
+  for (const auto& row : compared.value().rows) {
+    if (!synth::order_sensitive(*synth::parse_strategy(row.strategy))) {
+      EXPECT_TRUE(row.per_order.empty()) << row.strategy;  // only the baselines
+      continue;
+    }
+    // One entry per tried order, identity first, and the summary columns
+    // must be consistent with the list.
+    ASSERT_EQ(row.per_order.size(), row.orders_tried) << row.strategy;
+    ASSERT_EQ(row.per_order.size(), 2u) << row.strategy;  // 2 apps -> 2 orders
+    EXPECT_EQ(row.per_order.front().order, (std::vector<std::size_t>{0, 1})) << row.strategy;
+    EXPECT_EQ(row.per_order.back().order, (std::vector<std::size_t>{1, 0})) << row.strategy;
+    double best = row.per_order.front().total;
+    double worst = row.per_order.front().total;
+    for (const auto& tried : row.per_order) {
+      EXPECT_GT(tried.decisions, 0) << row.strategy;
+      best = std::min(best, tried.total);
+      worst = std::max(worst, tried.total);
+    }
+    EXPECT_DOUBLE_EQ(row.outcome.cost.total, best) << row.strategy;
+    EXPECT_DOUBLE_EQ(row.worst_total, worst) << row.strategy;
+  }
+
+  // Without a sweep the list still records the single identity run.
+  api::CompareRequest identity = request;
+  identity.all_orders = false;
+  const auto single = session.compare(identity);
+  ASSERT_TRUE(single.ok());
+  const auto* serialized = single.value().find("serialized");
+  ASSERT_NE(serialized, nullptr);
+  // find() returns the row; locate it again to read per_order.
+  for (const auto& row : single.value().rows) {
+    if (synth::order_sensitive(*synth::parse_strategy(row.strategy))) {
+      ASSERT_EQ(row.per_order.size(), 1u) << row.strategy;
+      EXPECT_TRUE(row.per_order.front().order.empty()) << row.strategy;
+    }
+  }
+}
+
+TEST(ApiCompare, MultiObjectiveRankingOrdersByTheObjectiveChain) {
+  Session session;
+  const auto loaded = session.load_builtin("multistandard_tv");
+  ASSERT_TRUE(loaded.ok());
+
+  api::CompareRequest request{.model = loaded.value().id};
+  request.options.engine = synth::ExploreEngine::kExhaustive;
+  request.objectives = {synth::RankObjective::kTotalCost,
+                        synth::RankObjective::kWorstUtilization,
+                        synth::RankObjective::kDesignTime};
+  const auto compared = session.compare(request);
+  ASSERT_TRUE(compared.ok()) << compared.error_summary();
+  const api::CompareResponse& response = compared.value();
+  EXPECT_EQ(response.objectives, request.objectives);  // echoed for renderers
+
+  // The ranking must be consistent with the objective chain: no later row
+  // strictly beats an earlier one.
+  ASSERT_FALSE(response.ranking.empty());
+  for (std::size_t i = 1; i < response.ranking.size(); ++i) {
+    const auto& earlier = response.rows[response.ranking[i - 1]].outcome;
+    const auto& later = response.rows[response.ranking[i]].outcome;
+    EXPECT_FALSE(synth::better_outcome(later, earlier, request.objectives)) << i;
+  }
+
+  // The default (cost-only) ranking keeps the classic Table 1 winner.
+  const auto classic = session.compare({.model = loaded.value().id});
+  ASSERT_TRUE(classic.ok());
+  ASSERT_NE(classic.value().best(), nullptr);
+  EXPECT_EQ(classic.value().best()->strategy, "with-variants");
+}
+
+TEST(StrategyKinds, MultiObjectiveOutcomeComparison) {
+  synth::StrategyOutcome cheap;
+  cheap.feasible = true;
+  cheap.cost.total = 40.0;
+  cheap.cost.worst_utilization = 0.9;
+  cheap.decisions = 100;
+
+  synth::StrategyOutcome headroom = cheap;
+  headroom.cost.worst_utilization = 0.5;
+  headroom.decisions = 200;
+
+  synth::StrategyOutcome infeasible = cheap;
+  infeasible.feasible = false;
+  infeasible.cost.total = 1.0;
+
+  // Feasibility dominates every objective chain.
+  EXPECT_TRUE(synth::better_outcome(cheap, infeasible));
+  EXPECT_FALSE(synth::better_outcome(infeasible, cheap, {synth::RankObjective::kTotalCost}));
+
+  // Cost tie: the default (cost-only) chain sees them as equal both ways —
+  // stable sorts keep presentation order — while a utilization tie-break
+  // prefers the headroom, and a time tie-break the cheaper search.
+  EXPECT_FALSE(synth::better_outcome(cheap, headroom));
+  EXPECT_FALSE(synth::better_outcome(headroom, cheap));
+  EXPECT_TRUE(synth::better_outcome(
+      headroom, cheap,
+      {synth::RankObjective::kTotalCost, synth::RankObjective::kWorstUtilization}));
+  EXPECT_TRUE(synth::better_outcome(
+      cheap, headroom, {synth::RankObjective::kTotalCost, synth::RankObjective::kDesignTime}));
+
+  // Objective parsing round-trips with aliases.
+  for (synth::RankObjective objective : synth::kAllObjectives) {
+    EXPECT_EQ(synth::parse_objective(synth::to_string(objective)), objective);
+  }
+  EXPECT_EQ(synth::parse_objective("util"), synth::RankObjective::kWorstUtilization);
+  EXPECT_EQ(synth::parse_objective("decisions"), synth::RankObjective::kDesignTime);
+  EXPECT_FALSE(synth::parse_objective("bogus").has_value());
 }
 
 TEST(ApiCompare, MaxOrdersCapsThePermutationSweep) {

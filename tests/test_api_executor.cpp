@@ -54,16 +54,55 @@ TEST(Executor, MakeExecutorPicksPolicyByJobCount) {
   EXPECT_EQ(api::make_executor(3)->name(), "threads:3");
 }
 
+// --- executor self-scheduling ------------------------------------------------
+
+TEST(Executor, NestedRunFromWorkerTasksMakesProgress) {
+  // Every task of the outer batch performs a nested run() on the same pool.
+  // With one worker plus the calling thread, progress is only possible
+  // because run() self-schedules on its own batch — a queue-only pool would
+  // deadlock here (all workers blocked waiting for subtasks nobody runs).
+  api::ThreadPoolExecutor executor{1};
+  std::atomic<int> inner{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&executor, &inner] {
+      std::vector<std::function<void()>> subtasks;
+      for (int j = 0; j < 8; ++j) subtasks.push_back([&inner] { ++inner; });
+      executor.run(std::move(subtasks));
+    });
+  }
+  executor.run(std::move(outer));
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(Executor, SubmitIsFireAndForgetAndDrainsBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    api::ThreadPoolExecutor executor{2};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 64; ++i) tasks.push_back([&count] { ++count; });
+    executor.submit(std::move(tasks));
+    // No barrier here: the destructor drains every queued batch.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
 // --- session move semantics --------------------------------------------------
 
-// A batch in flight holds tasks referencing the session; moving it would
-// dangle those references, so Session is pinned (no copy, no move).
-TEST(SessionSemantics, SessionsArePinned) {
+// Batch tasks capture store snapshots, never the session, so sessions are
+// movable (copies stay deleted: sharing a store must be explicit).
+TEST(SessionSemantics, SessionsAreMovableNotCopyable) {
   static_assert(!std::is_copy_constructible_v<Session>);
   static_assert(!std::is_copy_assignable_v<Session>);
-  static_assert(!std::is_move_constructible_v<Session>);
-  static_assert(!std::is_move_assignable_v<Session>);
-  SUCCEED();
+  static_assert(std::is_move_constructible_v<Session>);
+  static_assert(std::is_move_assignable_v<Session>);
+
+  Session original;
+  const auto loaded = original.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+  Session moved{std::move(original)};
+  const auto run = moved.simulate({.model = loaded.value().id});
+  EXPECT_TRUE(run.ok());
 }
 
 TEST(SessionSemantics, ExecutorInjectionIsVisible) {
@@ -71,7 +110,7 @@ TEST(SessionSemantics, ExecutorInjectionIsVisible) {
   EXPECT_EQ(serial.executor().name(), "serial");
   Session pooled{api::make_executor(2)};
   EXPECT_EQ(pooled.executor().name(), "threads:2");
-  Session fallback{nullptr};  // null executor falls back to serial
+  Session fallback{std::shared_ptr<api::Executor>{}};  // null falls back to serial
   EXPECT_EQ(fallback.executor().name(), "serial");
 }
 
@@ -101,7 +140,8 @@ TEST_P(ParallelDeterminism, BatchAndCompareMatchSerialBitForBit) {
   ASSERT_TRUE(serial_model.ok() && pooled_model.ok());
   ASSERT_EQ(serial_model.value().id.value(), pooled_model.value().id.value());
 
-  // Simulate: a seed sweep across resolutions.
+  // Simulate: a seed sweep across resolutions — serial, pooled, and
+  // streaming (submit + wait) must be bit-identical.
   std::vector<api::SimulateRequest> simulations;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     api::SimulateRequest request{.model = serial_model.value().id};
@@ -110,8 +150,16 @@ TEST_P(ParallelDeterminism, BatchAndCompareMatchSerialBitForBit) {
     request.options.seed = seed;
     simulations.push_back(request);
   }
-  EXPECT_EQ(render_batch(serial.simulate_batch(simulations)),
-            render_batch(pooled.simulate_batch(simulations)));
+  const std::string serial_text = render_batch(serial.simulate_batch(simulations));
+  EXPECT_EQ(serial_text, render_batch(pooled.simulate_batch(simulations)));
+  std::atomic<std::size_t> streamed{0};
+  auto handle = pooled.submit_simulate_batch(
+      simulations, [&streamed](std::size_t, const api::Result<api::SimulateResponse>&) {
+        ++streamed;
+      });
+  EXPECT_EQ(serial_text, render_batch(handle.wait()));
+  EXPECT_TRUE(handle.done());
+  EXPECT_EQ(streamed.load(), simulations.size());  // on_slot fired per slot
 
   // Explore: greedy and annealing are seed-deterministic.
   std::vector<api::ExploreRequest> explorations;
@@ -125,7 +173,8 @@ TEST_P(ParallelDeterminism, BatchAndCompareMatchSerialBitForBit) {
   EXPECT_EQ(render_batch(serial.explore_batch(explorations)),
             render_batch(pooled.explore_batch(explorations)));
 
-  // Compare: all five strategies, order sweep included.
+  // Compare: all five strategies, order sweep included — and the streaming
+  // submit_compare slot must match both blocking paths bit for bit.
   api::CompareRequest compare{.model = serial_model.value().id};
   compare.all_orders = true;
   const auto a = serial.compare(compare);
@@ -133,6 +182,10 @@ TEST_P(ParallelDeterminism, BatchAndCompareMatchSerialBitForBit) {
   ASSERT_TRUE(a.ok()) << a.error_summary();
   ASSERT_TRUE(b.ok()) << b.error_summary();
   EXPECT_EQ(api::render(a.value()), api::render(b.value()));
+  const auto streamed_compare = pooled.submit_compare({compare}).wait();
+  ASSERT_EQ(streamed_compare.size(), 1u);
+  ASSERT_TRUE(streamed_compare[0].ok()) << streamed_compare[0].error_summary();
+  EXPECT_EQ(api::render(a.value()), api::render(streamed_compare[0].value()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Builtins, ParallelDeterminism,

@@ -211,8 +211,13 @@ TEST(ApiSession, UnloadInvalidatesHandle) {
   Session session;
   const auto loaded = session.load_builtin("fig1");
   ASSERT_TRUE(loaded.ok());
-  EXPECT_TRUE(session.unload(loaded.value().id));
-  EXPECT_FALSE(session.unload(loaded.value().id));
+  // Three-way contract: live -> kUnloaded, tombstone -> kAlreadyUnloaded,
+  // and an id the store never issued -> kNeverLoaded.
+  EXPECT_EQ(session.unload(loaded.value().id), api::UnloadStatus::kUnloaded);
+  EXPECT_EQ(session.unload(loaded.value().id), api::UnloadStatus::kAlreadyUnloaded);
+  EXPECT_EQ(session.unload(api::ModelId{9999}), api::UnloadStatus::kNeverLoaded);
+  EXPECT_TRUE(api::unloaded(api::UnloadStatus::kUnloaded));
+  EXPECT_FALSE(api::unloaded(api::UnloadStatus::kAlreadyUnloaded));
   EXPECT_FALSE(session.simulate({.model = loaded.value().id}).ok());
   EXPECT_TRUE(session.models().empty());
 }

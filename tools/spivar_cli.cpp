@@ -14,20 +14,34 @@
 //   spivar_cli pareto <model> [--samples N] [--seed N]
 //   spivar_cli compare <model> [--engine E] [--seed N] [--strategies a,b,c]
 //                             [--all-orders] [--jobs N] [--process|--cluster]
+//                             [--rank cost,utilization,time] [--stream]
+//   spivar_cli batch <model> [model...] [--sims N] [--jobs N] [--stream]
+//                             seed-sweep simulate batch over every listed
+//                             model; --stream prints slots as they land
 //   spivar_cli demo [name]                emit a built-in model as spit text
 //   spivar_cli selfcheck                  demo -> parse -> validate -> simulate
 //
 // <model> is a built-in name (see `models`) or a path to a .spit file. Model
 // commands accept repeated `--opt key=value` assignments to load a built-in
 // with non-default options (e.g. `--opt frames=100 --opt region=2`).
+//
+// Commands chain with `--then`, sharing one ModelStore for the whole
+// invocation — a model loaded (or `--opt`-configured) once is reused by
+// every later command:
+//
+//   spivar_cli simulate fig2 --then compare fig2 --all-orders
 #include <charconv>
+#include <chrono>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "api/api.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -41,9 +55,10 @@ class UsageError : public std::runtime_error {
 
 int usage() {
   std::cerr << "usage: spivar_cli <models|validate|stats|simulate|dot|deadlock|buffers|timing|"
-               "analyze|explore|pareto|compare|demo|selfcheck> [model] [options]\n"
+               "analyze|explore|pareto|compare|batch|demo|selfcheck> [model] [options]\n"
                "       model = built-in name (spivar_cli models) or .spit file path\n"
-               "       built-ins take '--opt key=value' (repeatable) for non-default options\n";
+               "       built-ins take '--opt key=value' (repeatable) for non-default options\n"
+               "       commands chain with '--then' and share one model store\n";
   return 2;
 }
 
@@ -247,6 +262,24 @@ std::vector<synth::StrategyKind> parse_strategies(const std::string& list) {
   return kinds;
 }
 
+std::vector<synth::RankObjective> parse_rank(const std::string& list) {
+  std::vector<synth::RankObjective> objectives;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string name =
+        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    const auto objective = synth::parse_objective(name);
+    if (!objective) {
+      throw UsageError("unknown rank objective '" + name + "' (cost|utilization|time)");
+    }
+    objectives.push_back(*objective);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return objectives;
+}
+
 int cmd_compare(api::Session& session, api::ModelId model,
                 const std::vector<std::string>& flags) {
   api::CompareRequest request{.model = model};
@@ -256,6 +289,9 @@ int cmd_compare(api::Session& session, api::ModelId model,
   if (const auto list = flag_value(flags, "--strategies")) {
     request.strategies = parse_strategies(*list);
   }
+  if (const auto list = flag_value(flags, "--rank")) {
+    request.objectives = parse_rank(*list);
+  }
   if (has_flag(flags, "--process")) {
     request.problem = synth::ProblemOptions{.granularity = synth::ElementGranularity::kProcess};
   }
@@ -264,7 +300,21 @@ int cmd_compare(api::Session& session, api::ModelId model,
         synth::ProblemOptions{.granularity = synth::ElementGranularity::kClusterAtomic};
   }
 
-  const auto result = session.compare(request);
+  // --stream submits through the async surface and reports progress on
+  // stderr as slots land (the rendered table on stdout stays stable).
+  api::Result<api::CompareResponse> result = [&] {
+    if (!has_flag(flags, "--stream")) return session.compare(request);
+    const auto started = std::chrono::steady_clock::now();
+    auto handle = session.submit_compare(
+        {request}, [&started](std::size_t slot, const api::Result<api::CompareResponse>& r) {
+          const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+          std::cerr << "compare slot " << slot << (r.ok() ? " landed" : " failed") << " after "
+                    << ms << " ms\n";
+        });
+    return std::move(handle.wait().front());
+  }();
   if (report_failure(result)) return 1;
   std::cout << api::render(result.value());
   // Verdict: the winning system strategy must be feasible; a subset with
@@ -287,6 +337,65 @@ int cmd_pareto(api::Session& session, api::ModelId model,
   if (report_failure(result)) return 1;
   std::cout << api::render(result.value());
   return result.value().points.empty() ? 1 : 0;
+}
+
+/// Seed-sweep simulate batch over every listed model, submitted through the
+/// streaming surface. Slots land in any order (--stream shows them as they
+/// do, on stderr); the stdout table is always in slot order, bit-identical
+/// to a serial run.
+int cmd_batch(api::Session& session, const std::vector<api::ModelId>& models,
+              const std::vector<std::string>& names, const std::vector<std::string>& flags) {
+  const std::uint64_t sims = parse_u64(flag_value(flags, "--sims").value_or("4"), "--sims");
+  if (sims == 0) throw UsageError("'--sims' must be at least 1");
+
+  std::vector<api::SimulateRequest> requests;
+  requests.reserve(models.size() * sims);
+  for (const api::ModelId model : models) {
+    for (std::uint64_t seed = 1; seed <= sims; ++seed) {
+      api::SimulateRequest request{.model = model};
+      request.options.resolution = sim::Resolution::kRandom;
+      request.options.seed = seed;
+      requests.push_back(request);
+    }
+  }
+
+  api::SlotCallback<api::SimulateResponse> on_slot;
+  const auto started = std::chrono::steady_clock::now();
+  if (has_flag(flags, "--stream")) {
+    const std::size_t total = requests.size();
+    on_slot = [&started, total](std::size_t slot, const api::Result<api::SimulateResponse>& r) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+      std::cerr << "slot " << slot << "/" << total << (r.ok() ? " landed" : " failed")
+                << " after " << ms << " ms"
+                << (r.ok() ? " (" + r.value().model + ")" : std::string{}) << "\n";
+    };
+  }
+
+  auto handle = session.submit_simulate_batch(requests, std::move(on_slot));
+  const auto results = handle.wait();
+
+  support::TextTable table{{"slot", "model", "seed", "firings", "end time", "status"}};
+  bool all_ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string& name = names[i / sims];
+    const std::uint64_t seed = i % sims + 1;
+    if (results[i].ok()) {
+      const auto& r = results[i].value().result;
+      table.add_row({std::to_string(i), name, std::to_string(seed),
+                     std::to_string(r.total_firings),
+                     std::to_string(r.end_time.count()) + "us", "ok"});
+    } else {
+      all_ok = false;
+      table.add_row({std::to_string(i), name, std::to_string(seed), "-", "-",
+                     results[i].error_summary()});
+    }
+  }
+  std::cout << table;
+  std::cout << requests.size() << " slots over " << models.size() << " model(s), executor "
+            << session.executor().name() << "\n";
+  return all_ok ? 0 : 1;
 }
 
 int cmd_demo(const std::string& name) {
@@ -340,7 +449,41 @@ int cmd_selfcheck() {
   return 0;
 }
 
-int run_cli(const std::string& command, const std::vector<std::string>& rest) {
+/// State shared by every `--then` segment of one invocation: the model
+/// store (sessions are views over it) and a spec -> handle cache so a model
+/// named twice is loaded once.
+struct CliContext {
+  std::shared_ptr<api::ModelStore> store = std::make_shared<api::ModelStore>();
+  std::map<std::string, api::ModelId> loaded;
+};
+
+/// Loads `spec` (with optional `--opt` assignments) through the shared
+/// store, reusing the handle when an earlier segment already loaded the
+/// same spec+options combination.
+api::Result<api::ModelInfo> load_spec(api::Session& session, CliContext& ctx,
+                                      const std::string& spec,
+                                      const std::vector<std::string>& assignments) {
+  std::string key = spec;
+  for (const auto& assignment : assignments) key += "\n" + assignment;
+  if (const auto it = ctx.loaded.find(key); it != ctx.loaded.end()) {
+    return session.info(it->second);
+  }
+  auto loaded = [&] {
+    if (assignments.empty()) return session.load_model(spec);
+    if (!api::find_builtin(spec)) {
+      throw UsageError("'--opt' requires a built-in model, and '" + spec + "' is not one");
+    }
+    const auto options = api::parse_builtin_options(spec, assignments);
+    if (!options.ok()) {
+      return api::Result<api::ModelInfo>::failure(options.diagnostics());
+    }
+    return session.load_builtin(api::LoadBuiltinRequest{.name = spec, .options = options.value()});
+  }();
+  if (loaded.ok()) ctx.loaded.emplace(key, loaded.value().id);
+  return loaded;
+}
+
+int run_cli(const std::string& command, const std::vector<std::string>& rest, CliContext& ctx) {
   if (command == "models" || command == "selfcheck") {
     check_flags(rest, {}, {});  // no arguments
     return command == "models" ? cmd_models() : cmd_selfcheck();
@@ -349,6 +492,34 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
     const bool named = !rest.empty() && rest[0].rfind("--", 0) != 0;
     check_flags({rest.begin() + (named ? 1 : 0), rest.end()}, {}, {});
     return cmd_demo(named ? rest[0] : "fig1");
+  }
+
+  if (command == "batch") {
+    // Every leading non-flag token is a model spec; the seed sweep runs
+    // over all of them as one streamed batch.
+    std::size_t first_flag = 0;
+    while (first_flag < rest.size() && rest[first_flag].rfind("--", 0) != 0) ++first_flag;
+    if (first_flag == 0) {
+      throw UsageError("'batch' expects at least one model before options");
+    }
+    const std::vector<std::string> specs(rest.begin(), rest.begin() + first_flag);
+    const std::vector<std::string> flags(rest.begin() + first_flag, rest.end());
+    check_flags(flags, {"--stream"}, {"--sims", "--jobs", "--opt"});
+    (void)parse_u64(flag_value(flags, "--sims").value_or("4"), "--sims");
+    const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
+    api::Session session{ctx.store, api::make_executor(jobs)};
+
+    // `--opt` assignments apply to every built-in model in the list.
+    const std::vector<std::string> assignments = flag_values(flags, "--opt");
+    std::vector<api::ModelId> models;
+    for (const std::string& spec : specs) {
+      const auto loaded = load_spec(session, ctx, spec,
+                                    api::find_builtin(spec) ? assignments
+                                                            : std::vector<std::string>{});
+      if (report_failure(loaded)) return 1;
+      models.push_back(loaded.value().id);
+    }
+    return cmd_batch(session, models, specs, flags);
   }
 
   // Reject unknown commands before touching the model argument, so a typoed
@@ -392,13 +563,14 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
     prevalidate_u64("--samples");
     prevalidate_u64("--seed");
   } else if (command == "compare") {
-    check_flags(flags, {"--all-orders", "--process", "--cluster"},
-                {"--engine", "--seed", "--strategies", "--jobs", "--opt"});
+    check_flags(flags, {"--all-orders", "--process", "--cluster", "--stream"},
+                {"--engine", "--seed", "--strategies", "--jobs", "--rank", "--opt"});
     if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
       throw UsageError("'--process' and '--cluster' are mutually exclusive");
     }
     (void)parse_engine(flag_value(flags, "--engine").value_or("exhaustive"));
     if (const auto list = flag_value(flags, "--strategies")) (void)parse_strategies(*list);
+    if (const auto list = flag_value(flags, "--rank")) (void)parse_rank(*list);
     prevalidate_u64("--seed");
     prevalidate_u64("--jobs");
   } else if (command == "timing" || command == "analyze") {
@@ -408,25 +580,16 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
     check_flags(flags, {}, {"--opt"});
   }
 
-  // `--jobs N` selects the execution policy for the batch/compare surface;
-  // everything else runs identically (results are deterministic by seed).
+  // `--jobs N` selects this segment's execution policy for the
+  // batch/compare surface; everything else runs identically (results are
+  // deterministic by seed). The session is a view over the invocation's
+  // shared store.
   const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
-  api::Session session{api::make_executor(jobs)};
+  api::Session session{ctx.store, api::make_executor(jobs)};
 
-  // `--opt key=value` loads a built-in with non-default typed options.
-  const std::vector<std::string> assignments = flag_values(flags, "--opt");
-  api::Result<api::ModelInfo> loaded = [&] {
-    if (assignments.empty()) return session.load_model(rest[0]);
-    if (!api::find_builtin(rest[0])) {
-      throw UsageError("'--opt' requires a built-in model, and '" + rest[0] + "' is not one");
-    }
-    const auto options = api::parse_builtin_options(rest[0], assignments);
-    if (!options.ok()) {
-      return api::Result<api::ModelInfo>::failure(options.diagnostics());
-    }
-    return session.load_builtin(
-        api::LoadBuiltinRequest{.name = rest[0], .options = options.value()});
-  }();
+  // `--opt key=value` loads a built-in with non-default typed options;
+  // repeated specs reuse the handle loaded by an earlier segment.
+  const auto loaded = load_spec(session, ctx, rest[0], flag_values(flags, "--opt"));
   if (report_failure(loaded)) return 1;
   const api::ModelId model = loaded.value().id;
 
@@ -471,10 +634,30 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string command = argv[1];
-  const std::vector<std::string> rest(argv + 2, argv + argc);
+  const std::vector<std::string> args(argv + 1, argv + argc);
+
+  // Split the invocation into `--then`-separated command segments. All
+  // segments share one ModelStore (and the load cache over it), so a model
+  // loaded by the first command is evaluated — not re-parsed or re-built —
+  // by every later one.
+  std::vector<std::vector<std::string>> segments{{}};
+  for (const std::string& arg : args) {
+    if (arg == "--then") {
+      segments.emplace_back();
+    } else {
+      segments.back().push_back(arg);
+    }
+  }
+
+  CliContext ctx;
   try {
-    return run_cli(command, rest);
+    for (const auto& segment : segments) {
+      if (segment.empty()) return usage();
+      const std::vector<std::string> rest(segment.begin() + 1, segment.end());
+      const int rc = run_cli(segment[0], rest, ctx);
+      if (rc != 0) return rc;
+    }
+    return 0;
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return usage();
