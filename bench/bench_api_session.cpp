@@ -176,6 +176,82 @@ void BM_SkewedBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SkewedBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// --- result cache ------------------------------------------------------------
+
+/// Latency of a pure cache hit: the same simulate request repeated against
+/// a warmed (snapshot, request) cache — lookup plus one response copy,
+/// orders of magnitude under BM_SessionSimulate's full evaluation.
+void BM_CacheHitSimulate(benchmark::State& state) {
+  api::Session session;
+  session.enable_cache({.capacity = 256});
+  api::SimulateRequest request{.model = must_load(session, "synthetic")};
+  request.options.resolution = sim::Resolution::kRandom;
+  request.options.seed = 1;
+  benchmark::DoNotOptimize(session.simulate(request).ok());  // warm the entry
+  for (auto _ : state) {
+    const auto r = session.simulate(request);
+    benchmark::DoNotOptimize(r.value().result.total_firings);
+  }
+  const auto stats = session.cache_stats();
+  state.counters["hit_rate"] = stats ? stats->hit_rate() : 0.0;
+}
+BENCHMARK(BM_CacheHitSimulate);
+
+/// The acceptance-criterion pair: a 16-seed scenario sweep, cold (no cache,
+/// every iteration re-simulates) vs warm (cache enabled and pre-filled,
+/// every slot hits). The warm/cold wall-time ratio is the cache's payoff
+/// for repeated sweeps; warm must be >= 10x faster.
+void BM_ColdVsWarmSweep(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  api::Session session;
+  if (warm) session.enable_cache({.capacity = 4096});
+  const api::ModelId model = must_load(session, "synthetic");
+  std::vector<api::SimulateRequest> sweep;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    api::SimulateRequest request{.model = model};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = seed;
+    sweep.push_back(request);
+  }
+  if (warm) benchmark::DoNotOptimize(session.simulate_batch(sweep).size());  // prefill
+  for (auto _ : state) {
+    const auto results = session.simulate_batch(sweep);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sweep.size()));
+  state.counters["warm"] = warm ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ColdVsWarmSweep)->Arg(0)->Arg(1)->UseRealTime();
+
+// --- priority scheduling -----------------------------------------------------
+
+/// Priority inversion, measured: an urgent single-slot batch submitted
+/// while a skewed background batch occupies the pool. At normal priority
+/// the urgent slot queues FIFO behind the backlog; at high priority workers
+/// yield to it between tasks. The latency gap is the scheduler's payoff.
+void BM_UrgentSlotUnderLoad(benchmark::State& state) {
+  const auto priority = static_cast<api::Priority>(state.range(0));
+  api::Session session{api::make_executor(2)};
+  const api::ModelId small = must_load(session, "fig1");
+  const auto background = make_skewed_batch(session, 12);
+  for (auto _ : state) {
+    auto backlog = session.submit_simulate_batch(background);
+    const auto started = std::chrono::steady_clock::now();
+    auto urgent = session.submit_simulate_batch({{.model = small}}, {},
+                                                {.priority = priority});
+    urgent.slot(0).wait();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started)
+                               .count());
+    benchmark::DoNotOptimize(backlog.wait().size());  // drain outside the clock
+  }
+  state.counters["priority"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_UrgentSlotUnderLoad)
+    ->Arg(static_cast<int>(api::Priority::kNormal))
+    ->Arg(static_cast<int>(api::Priority::kHigh))
+    ->UseManualTime();
+
 void BM_SessionExplore(benchmark::State& state) {
   api::Session session;
   api::ExploreRequest request{.model = must_load(session, "fig2")};

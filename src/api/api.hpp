@@ -1,41 +1,54 @@
 // Umbrella header for the spivar::api layer — the only include front ends
 // need.
 //
-// v3 surface:
+// v4 surface:
 //   * ModelStore (store.hpp) — thread-safe, share-by-snapshot model
 //     ownership: loads produce immutable `shared_ptr<const StoreEntry>`
-//     snapshots (model + registry entry + memoized synthesis setup),
-//     unload is tombstone-only (UnloadStatus three-way contract), and any
-//     number of sessions attach to one store.
+//     snapshots (model + registry entry + memoized synthesis setup, each
+//     carrying its id and load generation), unload is tombstone-only
+//     (UnloadStatus three-way contract), and any number of sessions attach
+//     to one store. enable_cache() attaches the result cache.
+//   * ResultCache (cache.hpp) — sharded LRU keyed by (store entry id, load
+//     generation, request kind, canonical request fingerprint); fronts
+//     every eval path of every session on the store, invalidated per entry
+//     on unload, hit/miss/eviction/invalidation stats via CacheStats.
 //   * Session (session.hpp) — a movable view over (store, executor):
 //     load_text/load_file/load_model, typed load_builtin(LoadBuiltinRequest)
-//     with per-model option structs, validate/stats/dot/write_text,
-//     analyze/simulate/explore/pareto, compare() (ranked run of the five
-//     Table 1 strategies, multi-objective via CompareRequest::objectives,
-//     per-order outcome lists), blocking batches (simulate_batch/
-//     explore_batch) and the streaming submit_simulate_batch/
-//     submit_explore_batch/submit_compare.
+//     with per-model option structs, validate/stats/dot/write_text
+//     (variant-aware: the `variants v1` spit section round-trips clusters
+//     and interfaces), analyze/simulate/explore/pareto, compare() (ranked
+//     run of the five Table 1 strategies, multi-objective via
+//     CompareRequest::objectives, per-order outcome lists), blocking
+//     batches (simulate_batch/explore_batch) and the streaming
+//     submit_simulate_batch/submit_explore_batch/submit_compare with
+//     per-submission SubmitOptions.
+//   * SpecCache (spec_cache.hpp) — tombstone-aware spec → handle
+//     memoization for front ends chaining commands over one store.
 //   * BatchHandle (batch.hpp) — per-slot shared_futures, on_slot streaming
 //     callback, wait(), cooperative cancel() (diag::kCancelled); slot tasks
 //     capture store snapshots, so handles survive unloads and session moves.
 //   * Executor (executor.hpp) — SerialExecutor / self-scheduling
 //     ThreadPoolExecutor / make_executor(jobs); run() participates in its
-//     own batch (nested dispatch is deadlock-free), submit() streams.
+//     own batch (nested dispatch is deadlock-free), submit() streams, and
+//     both take SubmitOptions{priority, deadline}: workers drain the
+//     highest priority band first, earliest deadline first within a band.
 //   * BuiltinOptions (options.hpp) — std::variant of per-model option
 //     structs plus parse_builtin_options() for "key=value" assignments.
 //   * Result<T> (result.hpp) — value-or-diagnostics; no exception crosses
 //     the session boundary.
 //   * render() (format.hpp) — stable plain-text rendering of every
-//     response type.
+//     response type, CacheStats included.
 #pragma once
 
-#include "api/batch.hpp"     // IWYU pragma: export
-#include "api/executor.hpp"  // IWYU pragma: export
-#include "api/format.hpp"    // IWYU pragma: export
-#include "api/options.hpp"   // IWYU pragma: export
-#include "api/registry.hpp"  // IWYU pragma: export
-#include "api/requests.hpp"  // IWYU pragma: export
-#include "api/responses.hpp" // IWYU pragma: export
-#include "api/result.hpp"    // IWYU pragma: export
-#include "api/session.hpp"   // IWYU pragma: export
-#include "api/store.hpp"     // IWYU pragma: export
+#include "api/batch.hpp"      // IWYU pragma: export
+#include "api/cache.hpp"      // IWYU pragma: export
+#include "api/executor.hpp"   // IWYU pragma: export
+#include "api/format.hpp"     // IWYU pragma: export
+#include "api/options.hpp"    // IWYU pragma: export
+#include "api/registry.hpp"   // IWYU pragma: export
+#include "api/requests.hpp"   // IWYU pragma: export
+#include "api/responses.hpp"  // IWYU pragma: export
+#include "api/result.hpp"     // IWYU pragma: export
+#include "api/session.hpp"    // IWYU pragma: export
+#include "api/spec_cache.hpp" // IWYU pragma: export
+#include "api/store.hpp"      // IWYU pragma: export

@@ -1,0 +1,172 @@
+#include "api/cache.hpp"
+
+#include <algorithm>
+
+#include "synth/fingerprint.hpp"
+
+namespace spivar::api {
+
+// --- canonical request fingerprints ------------------------------------------
+
+namespace {
+
+using support::Fnv1aHasher;
+
+void hash_sim_options(Fnv1aHasher& hasher, const sim::SimOptions& options) {
+  hasher.u64(static_cast<std::uint64_t>(options.resolution));
+  hasher.u64(options.seed);
+  hasher.i64(options.max_time.count());
+  hasher.i64(options.max_total_firings);
+  hasher.boolean(options.record_trace);
+  hasher.u64(options.trace_limit);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const SimulateRequest& request) {
+  Fnv1aHasher hasher;
+  hash_sim_options(hasher, request.options);
+  // render_timeline forces trace recording, so hash the effective option —
+  // a timeline request and an explicit-trace request that resolve to the
+  // same simulation still fingerprint apart via the flag itself.
+  hasher.boolean(request.render_timeline);
+  return hasher.digest();
+}
+
+std::uint64_t fingerprint(const AnalyzeRequest& request) {
+  Fnv1aHasher hasher;
+  hasher.boolean(request.deadlock);
+  hasher.boolean(request.buffers);
+  hasher.boolean(request.structure);
+  hasher.boolean(request.timing);
+  hasher.boolean(request.include_reconfiguration);
+  return hasher.digest();
+}
+
+std::uint64_t fingerprint(const ExploreRequest& request) {
+  Fnv1aHasher hasher;
+  synth::hash_options(hasher, request.options);
+  synth::hash_overrides(hasher, request.problem, request.library);
+  return hasher.digest();
+}
+
+std::uint64_t fingerprint(const ParetoRequest& request) {
+  Fnv1aHasher hasher;
+  synth::hash_options(hasher, request.options);
+  synth::hash_overrides(hasher, request.problem, request.library);
+  return hasher.digest();
+}
+
+std::uint64_t fingerprint(const CompareRequest& request) {
+  Fnv1aHasher hasher;
+  synth::hash_strategies(hasher, request.strategies);
+  synth::hash_options(hasher, request.options);
+  hasher.boolean(request.all_orders);
+  hasher.u64(request.max_orders);
+  synth::hash_objectives(hasher, request.objectives);
+  synth::hash_overrides(hasher, request.problem, request.library);
+  return hasher.digest();
+}
+
+// --- ResultCache --------------------------------------------------------------
+
+ResultCache::ResultCache(CacheConfig config)
+    : shards_(std::max<std::size_t>(config.shards, 1)),
+      capacity_(std::max<std::size_t>(config.capacity, 1)),
+      per_shard_capacity_(std::max<std::size_t>(
+          (capacity_ + shards_.size() - 1) / shards_.size(), 1)) {}
+
+std::uint64_t ResultCache::hash_key(const Key& key) noexcept {
+  support::Fnv1aHasher hasher;
+  hasher.u64(key.model);
+  hasher.u64(key.generation);
+  hasher.u64(static_cast<std::uint64_t>(key.kind));
+  hasher.u64(key.fingerprint);
+  return hasher.digest();
+}
+
+ResultCache::Slot ResultCache::lookup(const Key& key) {
+  Shard& shard = shard_of(hash_key(key));
+  std::lock_guard lock{shard.mutex};
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Refresh recency: splice the entry to the front of the LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::store(const Key& key, Slot slot) {
+  {
+    // Refuse entries for unloaded models: find(id) fails at the store
+    // before the cache is ever consulted for them, so such an entry could
+    // only waste capacity (e.g. an in-flight batch slot finishing after a
+    // concurrent unload).
+    std::lock_guard dead_lock{dead_mutex_};
+    if (dead_models_.contains(key.model)) return;
+  }
+  Shard& shard = shard_of(hash_key(key));
+  std::lock_guard lock{shard.mutex};
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    // Concurrent miss on the same key: both evaluations are deterministic,
+    // keep the newer slot and refresh recency.
+    it->second->second = std::move(slot);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(slot));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void ResultCache::invalidate_model(std::uint32_t model) {
+  {
+    // Mark dead *before* sweeping, so an insert racing the sweep is either
+    // swept or refused — never left behind.
+    std::lock_guard dead_lock{dead_mutex_};
+    dead_models_.insert(model);
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard lock{shard.mutex};
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.model == model) {
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock{shard.mutex};
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.capacity = capacity_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock{shard.mutex};
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace spivar::api

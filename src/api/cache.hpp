@@ -1,0 +1,154 @@
+// api::ResultCache — memoized evaluation results keyed by (snapshot, request).
+//
+// PR 3 made every eval path run against immutable StoreEntry snapshots; this
+// cache exploits that: a (store entry id, entry generation, request kind,
+// canonical request fingerprint) key uniquely identifies a deterministic
+// evaluation, so repeated scenario sweeps (order sweeps, seed grids, compare
+// re-runs) return the memoized result instead of re-simulating. Hits are
+// bit-identical to cold evaluations — the cache stores the full Result<T>
+// and hands back copies.
+//
+//   auto store = std::make_shared<api::ModelStore>();
+//   store->enable_cache({.capacity = 1024});
+//   api::Session session{store};           // every eval path is now fronted
+//   session.simulate(request);             // miss: evaluates, inserts
+//   session.simulate(request);             // hit: returns the cached result
+//
+// Concurrency contract:
+//   * find/insert/invalidate_model/stats are safe from any thread — the
+//     cache is sharded (per-shard mutex + LRU list), so concurrent batch
+//     workers do not serialize on one lock.
+//   * Stale entries are impossible by construction: store ids are never
+//     reused and each entry carries a distinct generation, so an
+//     unload/reload pair changes the key. ModelStore::unload additionally
+//     invalidates the unloaded id's entries eagerly (memory, not
+//     correctness).
+//   * Two threads missing on the same key both evaluate and both insert;
+//     results are deterministic, so the duplicate insert is benign.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/requests.hpp"
+#include "api/result.hpp"
+#include "support/hash.hpp"
+
+namespace spivar::api {
+
+struct CacheConfig {
+  /// Maximum cached results across all shards; at least one per shard.
+  std::size_t capacity = 1024;
+  /// Independent LRU shards (each with its own lock); clamped to >= 1.
+  std::size_t shards = 8;
+};
+
+/// Monotonic counters plus the current fill — one consistent snapshot per
+/// call (see ResultCache::stats), rendered by the CLI's `cache-stats`.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      ///< entries dropped by LRU capacity
+  std::uint64_t invalidations = 0;  ///< entries dropped by model unload
+  std::size_t entries = 0;          ///< currently cached results
+  std::size_t capacity = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Full cache key. `model`/`generation` pin the snapshot (ids are never
+  /// reused; generation distinguishes reloads), `kind` discriminates the
+  /// response type behind the type-erased slot, `fingerprint` is the
+  /// canonical request digest.
+  struct Key {
+    std::uint32_t model = 0;
+    std::uint64_t generation = 0;
+    RequestKind kind = RequestKind::kSimulate;
+    std::uint64_t fingerprint = 0;
+
+    friend bool operator==(const Key&, const Key&) noexcept = default;
+  };
+
+  /// The cached result for `key`, or nullptr on a miss. `Response` must be
+  /// the response type of `key.kind` — callers go through detail::with_cache,
+  /// which derives both from the same request.
+  template <typename Response>
+  [[nodiscard]] std::shared_ptr<const Result<Response>> find(const Key& key) {
+    return std::static_pointer_cast<const Result<Response>>(lookup(key));
+  }
+
+  /// Memoizes `result` (success or deterministic failure) under `key`,
+  /// replacing any previous entry and evicting the shard's least recently
+  /// used entry when full.
+  template <typename Response>
+  void insert(const Key& key, Result<Response> result) {
+    store(key, std::make_shared<const Result<Response>>(std::move(result)));
+  }
+
+  /// Drops every entry cached for `model` (any generation, any kind) — the
+  /// unload-tombstone hook. The id is also remembered as dead: an in-flight
+  /// batch slot finishing *after* the unload cannot repopulate the cache
+  /// with entries no lookup could ever reach (store ids are never reused).
+  void invalidate_model(std::uint32_t model);
+
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  using Slot = std::shared_ptr<const void>;
+
+  struct KeyHasher {
+    std::size_t operator()(const Key& key) const noexcept {
+      return static_cast<std::size_t>(hash_key(key));
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used; the map indexes into this list.
+    std::list<std::pair<Key, Slot>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Slot>>::iterator, KeyHasher> index;
+  };
+
+  [[nodiscard]] static std::uint64_t hash_key(const Key& key) noexcept;
+  [[nodiscard]] Shard& shard_of(std::uint64_t hash) noexcept {
+    return shards_[hash % shards_.size()];
+  }
+
+  [[nodiscard]] Slot lookup(const Key& key);
+  void store(const Key& key, Slot slot);
+
+  std::vector<Shard> shards_;
+  mutable std::mutex dead_mutex_;  ///< guards dead_models_ (insert-miss path only)
+  /// Ids invalidate_model has seen; inserts for them are refused. Grows by
+  /// 4 bytes per unload — ids are never reused, so it never shrinks.
+  std::unordered_set<std::uint32_t> dead_models_;
+  std::size_t capacity_;  ///< configured total, as reported by stats()
+  /// ceil(capacity / shards): sharding rounds the enforced total up by at
+  /// most shards-1 so every shard holds at least one entry.
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace spivar::api

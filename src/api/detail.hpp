@@ -4,18 +4,21 @@
 #pragma once
 
 #include <exception>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "api/cache.hpp"
 #include "api/requests.hpp"
 #include "api/responses.hpp"
 #include "api/result.hpp"
+#include "api/store.hpp"
 #include "spi/textio.hpp"
 #include "support/diagnostics.hpp"
 #include "synth/target.hpp"
 
 namespace spivar::api {
 class Executor;
-class StoreEntry;
 }  // namespace spivar::api
 
 namespace spivar::api::detail {
@@ -75,5 +78,27 @@ inline std::string empty_problem_message(const std::string& model_name) {
 [[nodiscard]] Result<CompareResponse> eval_compare(const StoreEntry& entry,
                                                    const CompareRequest& request,
                                                    Executor& executor);
+
+// --- result-cache seam -------------------------------------------------------
+
+/// Fronts one eval with the store's result cache: a hit returns a copy of
+/// the memoized Result (bit-identical to a cold eval, results are
+/// deterministic per (snapshot, request)); a miss evaluates and memoizes.
+/// Null cache degrades to a plain eval. The key's kind and fingerprint both
+/// derive from `request`, so the typed find can never alias across response
+/// types.
+template <typename Response, typename Request, typename Eval>
+Result<Response> with_cache(const std::shared_ptr<ResultCache>& cache, const StoreEntry& entry,
+                            const Request& request, Eval&& eval) {
+  if (!cache) return eval(entry, request);
+  const ResultCache::Key key{.model = entry.id().value(),
+                             .generation = entry.generation(),
+                             .kind = kind_of(request),
+                             .fingerprint = fingerprint(request)};
+  if (const auto hit = cache->find<Response>(key)) return *hit;
+  Result<Response> result = eval(entry, request);
+  cache->insert(key, result);
+  return result;
+}
 
 }  // namespace spivar::api::detail

@@ -4,14 +4,21 @@
 
 namespace spivar::api {
 
-void SerialExecutor::run(std::vector<std::function<void()>> tasks) {
+std::optional<Priority> parse_priority(std::string_view name) {
+  if (name == "low") return Priority::kLow;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "high") return Priority::kHigh;
+  return std::nullopt;
+}
+
+void SerialExecutor::run(std::vector<std::function<void()>> tasks, SubmitOptions) {
   for (auto& task : tasks) task();
 }
 
-void SerialExecutor::submit(std::vector<std::function<void()>> tasks) {
+void SerialExecutor::submit(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   // No background thread: submission order is execution order, and every
   // slot has landed by the time submit returns.
-  run(std::move(tasks));
+  run(std::move(tasks), options);
 }
 
 ThreadPoolExecutor::ThreadPoolExecutor(std::size_t workers) {
@@ -34,16 +41,55 @@ ThreadPoolExecutor::~ThreadPoolExecutor() {
   for (std::thread& thread : threads_) thread.join();
 }
 
+bool ThreadPoolExecutor::BatchOrder::operator()(const std::shared_ptr<TaskBatch>& a,
+                                                const std::shared_ptr<TaskBatch>& b) const noexcept {
+  if (a->priority != b->priority) return a->priority > b->priority;  // kHigh first
+  if (a->deadline.has_value() != b->deadline.has_value()) {
+    return a->deadline.has_value();  // any deadline beats none (EDF band)
+  }
+  if (a->deadline && b->deadline && *a->deadline != *b->deadline) {
+    return *a->deadline < *b->deadline;  // earliest deadline first
+  }
+  return a->seq < b->seq;  // FIFO tie-break
+}
+
+void ThreadPoolExecutor::refresh_top_priority() {
+  top_queued_priority_.store(
+      queue_.empty() ? -1 : static_cast<int>((*queue_.begin())->priority),
+      std::memory_order_relaxed);
+}
+
 void ThreadPoolExecutor::enqueue(std::shared_ptr<TaskBatch> batch) {
   {
     std::lock_guard lock{mutex_};
-    queue_.push_back(std::move(batch));
+    batch->seq = next_seq_++;
+    queue_.insert(std::move(batch));
+    refresh_top_priority();
   }
   work_cv_.notify_all();
 }
 
 void ThreadPoolExecutor::help(TaskBatch& batch) {
   for (;;) {
+    const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.tasks.size()) return;
+    batch.tasks[index]();
+    finish_one(batch);
+  }
+}
+
+void ThreadPoolExecutor::help_until_preempted(TaskBatch& batch) {
+  for (;;) {
+    // Band preemption at task granularity: a strictly higher-priority batch
+    // in the queue pulls this worker away between tasks (a relaxed load —
+    // the hint may be momentarily stale, which only costs one lock round
+    // trip in worker_loop). The abandoned batch keeps its queue slot and is
+    // resumed once the higher band drains. Deadlines never preempt: EDF
+    // orders batch pickup within a band only.
+    if (top_queued_priority_.load(std::memory_order_relaxed) >
+        static_cast<int>(batch.priority)) {
+      return;
+    }
     const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.tasks.size()) return;
     batch.tasks[index]();
@@ -68,35 +114,40 @@ void ThreadPoolExecutor::worker_loop() {
       std::unique_lock lock{mutex_};
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and nothing left to drain
-      batch = queue_.front();
+      // Best batch under the scheduling order: priority band, then EDF,
+      // then FIFO. The batch stays queued while unclaimed tasks remain, so
+      // several workers gang up on it.
+      batch = *queue_.begin();
       if (batch->cursor.load(std::memory_order_relaxed) >= batch->tasks.size()) {
         // Fully claimed (running tasks may still be finishing elsewhere);
         // retire it from the queue and look for the next batch.
-        queue_.pop_front();
+        queue_.erase(queue_.begin());
+        refresh_top_priority();
         continue;
       }
     }
     // Claim tasks outside the queue lock — the self-scheduling hot loop is
-    // one fetch_add per task.
-    help(*batch);
+    // one fetch_add per task (plus one relaxed preemption-hint load).
+    help_until_preempted(*batch);
   }
 }
 
-void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks) {
+void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   if (tasks.empty()) return;
-  auto batch = std::make_shared<TaskBatch>(std::move(tasks));
+  auto batch = std::make_shared<TaskBatch>(std::move(tasks), options);
   enqueue(batch);
-  // The caller self-schedules on its own batch alongside the workers. A
-  // nested run() from inside a pool task therefore always makes progress,
-  // even when every worker is blocked in a run() of its own.
+  // The caller self-schedules on its own batch alongside the workers —
+  // regardless of the batch's priority, so a nested run() from inside a
+  // pool task always makes progress, even when every worker is blocked in
+  // a run() of its own.
   help(*batch);
   std::unique_lock lock{batch->mutex};
   batch->done.wait(lock, [&] { return batch->finished; });
 }
 
-void ThreadPoolExecutor::submit(std::vector<std::function<void()>> tasks) {
+void ThreadPoolExecutor::submit(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   if (tasks.empty()) return;
-  enqueue(std::make_shared<TaskBatch>(std::move(tasks)));
+  enqueue(std::make_shared<TaskBatch>(std::move(tasks), options));
 }
 
 std::string ThreadPoolExecutor::name() const {

@@ -17,20 +17,56 @@
 // partition. The thread calling run() participates in its own batch, which
 // also makes nested dispatch (a compare slot fanning its strategy jobs onto
 // the same pool) deadlock-free by construction.
+//
+// Scheduling is priority + deadline aware: every run/submit carries
+// SubmitOptions{priority, deadline}. Workers always pick the best queued
+// batch — higher priority band first, earliest deadline within a band (EDF;
+// no deadline sorts last), FIFO on ties — and between tasks they yield to a
+// strictly higher band, so a high-priority task overtakes a queued (or even
+// in-flight) skewed batch instead of waiting behind it. Deadlines order
+// work, they never cancel it; a task already running is never interrupted.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace spivar::api {
+
+/// Scheduling band of one submitted batch; kHigh drains first.
+enum class Priority : std::uint8_t { kLow, kNormal, kHigh };
+
+[[nodiscard]] constexpr const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "?";
+}
+
+/// Canonical name back to the band; nullopt for unknown names.
+[[nodiscard]] std::optional<Priority> parse_priority(std::string_view name);
+
+/// Per-submission scheduling options, uniform across run() and submit().
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Soft deadline relative to submission: within a priority band, batches
+  /// order earliest-deadline-first (no deadline sorts after any deadline).
+  /// Purely an ordering hint — late work still runs to completion.
+  std::optional<std::chrono::milliseconds> deadline;
+};
 
 class Executor {
  public:
@@ -40,24 +76,34 @@ class Executor {
   /// concurrently. Tasks must be independent and must not throw (the session
   /// wraps its work in the no-throw boundary before submitting). Safe to
   /// call from within a task running on this executor (nested batches make
-  /// progress on the calling thread).
-  virtual void run(std::vector<std::function<void()>> tasks) = 0;
+  /// progress on the calling thread). The caller participates in its own
+  /// batch regardless of priority; `options` governs how idle workers pick
+  /// it against other queued work.
+  virtual void run(std::vector<std::function<void()>> tasks, SubmitOptions options) = 0;
 
   /// Enqueues the tasks and returns immediately; completion is observable
   /// only through the tasks' own side effects (the async batch surface
   /// counts landed slots). A serial executor has no background thread, so
   /// its submit degenerates to inline execution.
-  virtual void submit(std::vector<std::function<void()>> tasks) = 0;
+  virtual void submit(std::vector<std::function<void()>> tasks, SubmitOptions options) = 0;
+
+  // Default-options conveniences (normal priority, no deadline).
+  void run(std::vector<std::function<void()>> tasks) { run(std::move(tasks), {}); }
+  void submit(std::vector<std::function<void()>> tasks) { submit(std::move(tasks), {}); }
 
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// Runs tasks inline on the calling thread, in submission order.
+/// Runs tasks inline on the calling thread, in submission order. With no
+/// queue there is nothing to reorder, so SubmitOptions are accepted and
+/// ignored.
 class SerialExecutor final : public Executor {
  public:
-  void run(std::vector<std::function<void()>> tasks) override;
-  void submit(std::vector<std::function<void()>> tasks) override;
+  using Executor::run;
+  using Executor::submit;
+  void run(std::vector<std::function<void()>> tasks, SubmitOptions options) override;
+  void submit(std::vector<std::function<void()>> tasks, SubmitOptions options) override;
   [[nodiscard]] std::size_t workers() const noexcept override { return 1; }
   [[nodiscard]] std::string name() const override { return "serial"; }
 };
@@ -65,7 +111,9 @@ class SerialExecutor final : public Executor {
 /// Persistent worker threads self-scheduling over queued batches. run()
 /// blocks until its whole batch has completed (the caller helps execute it);
 /// submit() is fire-and-forget; concurrent batches from different threads
-/// interleave safely. The destructor drains every queued batch first.
+/// interleave safely. Idle workers always claim from the best queued batch
+/// (priority band, then EDF, then FIFO). The destructor drains every queued
+/// batch first.
 class ThreadPoolExecutor final : public Executor {
  public:
   /// `workers == 0` uses the hardware concurrency (at least one thread).
@@ -75,37 +123,67 @@ class ThreadPoolExecutor final : public Executor {
   ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
   ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
 
-  void run(std::vector<std::function<void()>> tasks) override;
-  void submit(std::vector<std::function<void()>> tasks) override;
+  using Executor::run;
+  using Executor::submit;
+  void run(std::vector<std::function<void()>> tasks, SubmitOptions options) override;
+  void submit(std::vector<std::function<void()>> tasks, SubmitOptions options) override;
   [[nodiscard]] std::size_t workers() const noexcept override { return threads_.size(); }
   [[nodiscard]] std::string name() const override;
 
  private:
   /// One enqueued batch. Threads claim task indexes through `cursor`
   /// (fetch_add) — the self-scheduling loop — and the last finisher
-  /// signals `done`.
+  /// signals `done`. Scheduling rank (priority, deadline, seq) is fixed at
+  /// enqueue time.
   struct TaskBatch {
-    explicit TaskBatch(std::vector<std::function<void()>> work)
-        : tasks(std::move(work)), remaining(tasks.size()) {}
+    TaskBatch(std::vector<std::function<void()>> work, SubmitOptions options)
+        : tasks(std::move(work)), remaining(tasks.size()), priority(options.priority) {
+      if (options.deadline) deadline = std::chrono::steady_clock::now() + *options.deadline;
+    }
     std::vector<std::function<void()>> tasks;
     std::atomic<std::size_t> cursor{0};     ///< next unclaimed task index
     std::atomic<std::size_t> remaining;     ///< tasks not yet finished
     std::mutex mutex;                       ///< guards finished, for run()'s wait
     std::condition_variable done;
     bool finished = false;
+
+    Priority priority = Priority::kNormal;
+    std::optional<std::chrono::steady_clock::time_point> deadline;  ///< absolute, EDF key
+    std::uint64_t seq = 0;  ///< FIFO tie-break within (priority, deadline)
   };
 
+  /// Strict weak order: higher priority first, then earliest deadline (none
+  /// sorts last), then submission order — the queue's multiset comparator.
+  struct BatchOrder {
+    bool operator()(const std::shared_ptr<TaskBatch>& a,
+                    const std::shared_ptr<TaskBatch>& b) const noexcept;
+  };
+
+  /// Assigns the FIFO tie-break sequence under the queue lock and inserts.
   void enqueue(std::shared_ptr<TaskBatch> batch);
   /// Claims and runs tasks from `batch` until its cursor is exhausted.
+  /// run()'s caller uses this: it must drive its own batch to completion.
   static void help(TaskBatch& batch);
+  /// Worker variant of help(): additionally yields between tasks when a
+  /// strictly higher-priority batch arrives in the queue, so a high-priority
+  /// submission overtakes even an in-flight lower band at task granularity
+  /// (the abandoned batch stays queued and is resumed afterwards).
+  void help_until_preempted(TaskBatch& batch);
   /// Marks one task finished; the last one signals completion.
   static void finish_one(TaskBatch& batch);
   void worker_loop();
+  /// Recomputes top_queued_priority_ from the queue head; call with mutex_.
+  void refresh_top_priority();
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;                 ///< guards queue_ and stop_
+  std::mutex mutex_;                 ///< guards queue_, stop_ and next_seq_
   std::condition_variable work_cv_;  ///< signals queued work / shutdown
-  std::deque<std::shared_ptr<TaskBatch>> queue_;
+  /// Best batch first; fully claimed batches are lazily retired by workers.
+  std::multiset<std::shared_ptr<TaskBatch>, BatchOrder> queue_;
+  /// Priority of the queue's best batch (-1 when empty) — the relaxed hint
+  /// workers poll between tasks to detect band preemption without a lock.
+  std::atomic<int> top_queued_priority_{-1};
+  std::uint64_t next_seq_ = 0;
   bool stop_ = false;
 };
 

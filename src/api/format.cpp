@@ -30,6 +30,16 @@ std::string render(const ModelInfo& info) {
   return os.str();
 }
 
+std::string render(const CacheStats& stats) {
+  support::TextTable table{{"hits", "misses", "hit rate", "evictions", "invalidations",
+                            "entries", "capacity"}};
+  table.add_row({std::to_string(stats.hits), std::to_string(stats.misses),
+                 support::format_double(stats.hit_rate() * 100.0, 1) + "%",
+                 std::to_string(stats.evictions), std::to_string(stats.invalidations),
+                 std::to_string(stats.entries), std::to_string(stats.capacity)});
+  return table.to_string();
+}
+
 std::string render(const ValidateResponse& response) {
   if (response.clean()) return "clean: no findings\n";
   return render_diagnostics(response.findings);

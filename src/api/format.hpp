@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "api/cache.hpp"
 #include "api/responses.hpp"
 #include "api/result.hpp"
 #include "support/diagnostics.hpp"
@@ -15,6 +16,7 @@
 namespace spivar::api {
 
 [[nodiscard]] std::string render(const ModelInfo& info);
+[[nodiscard]] std::string render(const CacheStats& stats);
 [[nodiscard]] std::string render(const ValidateResponse& response);
 [[nodiscard]] std::string render(const SimulateResponse& response);
 [[nodiscard]] std::string render(const AnalyzeResponse& response);

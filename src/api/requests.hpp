@@ -23,6 +23,27 @@ namespace spivar::api {
 struct SessionModelTag {};
 using ModelId = support::Id<SessionModelTag>;
 
+/// Which evaluation a request drives — part of the result-cache key, so two
+/// request types with coincidentally equal fingerprints can never collide.
+enum class RequestKind : std::uint8_t {
+  kSimulate,
+  kAnalyze,
+  kExplore,
+  kPareto,
+  kCompare,
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestKind kind) noexcept {
+  switch (kind) {
+    case RequestKind::kSimulate: return "simulate";
+    case RequestKind::kAnalyze: return "analyze";
+    case RequestKind::kExplore: return "explore";
+    case RequestKind::kPareto: return "pareto";
+    case RequestKind::kCompare: return "compare";
+  }
+  return "?";
+}
+
 struct SimulateRequest {
   ModelId model;
   sim::SimOptions options{};
@@ -84,5 +105,36 @@ struct CompareRequest {
   std::optional<synth::ProblemOptions> problem;
   std::optional<synth::ImplLibrary> library;
 };
+
+// --- canonical request fingerprints ------------------------------------------
+//
+// 64-bit digests of every outcome-relevant field *except* the model handle
+// (the cache key carries the snapshot identity separately). Canonical where
+// semantics allow: duplicate compare strategies collapse, library elements
+// hash in name order; order stays significant where it changes the response
+// (objective chains, strategy presentation order). Implemented in cache.cpp.
+
+[[nodiscard]] std::uint64_t fingerprint(const SimulateRequest& request);
+[[nodiscard]] std::uint64_t fingerprint(const AnalyzeRequest& request);
+[[nodiscard]] std::uint64_t fingerprint(const ExploreRequest& request);
+[[nodiscard]] std::uint64_t fingerprint(const ParetoRequest& request);
+[[nodiscard]] std::uint64_t fingerprint(const CompareRequest& request);
+
+/// The evaluation a request type drives (the cache key's kind column).
+[[nodiscard]] constexpr RequestKind kind_of(const SimulateRequest&) noexcept {
+  return RequestKind::kSimulate;
+}
+[[nodiscard]] constexpr RequestKind kind_of(const AnalyzeRequest&) noexcept {
+  return RequestKind::kAnalyze;
+}
+[[nodiscard]] constexpr RequestKind kind_of(const ExploreRequest&) noexcept {
+  return RequestKind::kExplore;
+}
+[[nodiscard]] constexpr RequestKind kind_of(const ParetoRequest&) noexcept {
+  return RequestKind::kPareto;
+}
+[[nodiscard]] constexpr RequestKind kind_of(const CompareRequest&) noexcept {
+  return RequestKind::kCompare;
+}
 
 }  // namespace spivar::api

@@ -16,6 +16,7 @@
 #include "spi/textio.hpp"
 #include "spi/validate.hpp"
 #include "variant/dot.hpp"
+#include "variant/textio.hpp"
 #include "variant/validate.hpp"
 
 namespace spivar::api {
@@ -184,6 +185,14 @@ Result<ModelInfo> Session::load(variant::VariantModel model, std::string_view or
 
 UnloadStatus Session::unload(ModelId id) { return store_->unload(id); }
 
+// --- result caching ----------------------------------------------------------
+
+std::shared_ptr<ResultCache> Session::enable_cache(CacheConfig config) {
+  return store_->enable_cache(config);
+}
+
+std::optional<CacheStats> Session::cache_stats() const { return store_->cache_stats(); }
+
 // --- introspection ----------------------------------------------------------
 
 std::vector<ModelInfo> Session::models() const { return store_->models(); }
@@ -231,38 +240,49 @@ Result<std::string> Session::dot(ModelId id) const {
 Result<std::string> Session::write_text(ModelId id) const {
   const ModelStore::Snapshot snapshot = store_->find(id);
   if (!snapshot) return unknown_model<std::string>(id);
+  // variant::write_text appends the versioned `variants v1` section for
+  // models with interfaces, so variant structure is no longer silently
+  // dropped on save; flat models keep emitting plain graph text.
   return guarded<std::string>(
-      [&] { return Result<std::string>::success(spi::write_text(snapshot->model().graph())); });
+      [&] { return Result<std::string>::success(variant::write_text(snapshot->model())); });
 }
 
 Result<AnalyzeResponse> Session::analyze(const AnalyzeRequest& request) const {
   const ModelStore::Snapshot snapshot = store_->find(request.model);
   if (!snapshot) return unknown_model<AnalyzeResponse>(request.model);
-  return detail::eval_analyze(*snapshot, request);
+  return detail::with_cache<AnalyzeResponse>(store_->cache(), *snapshot, request,
+                                             &detail::eval_analyze);
 }
 
 Result<SimulateResponse> Session::simulate(const SimulateRequest& request) const {
   const ModelStore::Snapshot snapshot = store_->find(request.model);
   if (!snapshot) return unknown_model<SimulateResponse>(request.model);
-  return detail::eval_simulate(*snapshot, request);
+  return detail::with_cache<SimulateResponse>(store_->cache(), *snapshot, request,
+                                              &detail::eval_simulate);
 }
 
 Result<ExploreResponse> Session::explore(const ExploreRequest& request) const {
   const ModelStore::Snapshot snapshot = store_->find(request.model);
   if (!snapshot) return unknown_model<ExploreResponse>(request.model);
-  return detail::eval_explore(*snapshot, request);
+  return detail::with_cache<ExploreResponse>(store_->cache(), *snapshot, request,
+                                             &detail::eval_explore);
 }
 
 Result<ParetoResponse> Session::pareto(const ParetoRequest& request) const {
   const ModelStore::Snapshot snapshot = store_->find(request.model);
   if (!snapshot) return unknown_model<ParetoResponse>(request.model);
-  return detail::eval_pareto(*snapshot, request);
+  return detail::with_cache<ParetoResponse>(store_->cache(), *snapshot, request,
+                                            &detail::eval_pareto);
 }
 
 Result<CompareResponse> Session::compare(const CompareRequest& request) const {
   const ModelStore::Snapshot snapshot = store_->find(request.model);
   if (!snapshot) return unknown_model<CompareResponse>(request.model);
-  return detail::eval_compare(*snapshot, request, *executor_);
+  return detail::with_cache<CompareResponse>(
+      store_->cache(), *snapshot, request,
+      [this](const StoreEntry& entry, const CompareRequest& r) {
+        return detail::eval_compare(entry, r, *executor_);
+      });
 }
 
 // --- batch surface ----------------------------------------------------------
@@ -272,48 +292,54 @@ namespace {
 /// Shared submit path of the streaming surface. Every request's snapshot is
 /// resolved *now* — the batch evaluates the store as of submission, so a
 /// concurrent unload (or session move/destruction) cannot touch a slot.
-/// Tasks capture only the batch state, the snapshot and `eval`.
+/// Tasks capture only the batch state, the snapshot, the result cache (if
+/// the store has one) and `eval`; cancelled slots never touch the cache.
 template <typename Response, typename Request, typename Eval>
 BatchHandle<Response> submit_batch(const ModelStore& store, std::shared_ptr<Executor> executor,
                                    std::vector<Request> requests,
-                                   SlotCallback<Response> on_slot, Eval eval) {
+                                   SlotCallback<Response> on_slot, SubmitOptions options,
+                                   Eval eval) {
   auto state =
       std::make_shared<detail::BatchState<Response>>(requests.size(), std::move(on_slot));
+  const std::shared_ptr<ResultCache> cache = store.cache();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    tasks.push_back([state, snapshot = store.find(requests[i].model),
+    tasks.push_back([state, cache, snapshot = store.find(requests[i].model),
                      request = std::move(requests[i]), i, eval] {
       Result<Response> result = [&]() -> Result<Response> {
         if (state->core.cancel_requested()) {
           return Result<Response>::failure(detail::cancelled_diagnostics(i));
         }
         if (!snapshot) return unknown_model<Response>(request.model);
-        return eval(*snapshot, request);
+        return detail::with_cache<Response>(cache, *snapshot, request, eval);
       }();
       state->deliver(i, std::move(result));
     });
   }
-  executor->submit(std::move(tasks));
+  executor->submit(std::move(tasks), options);
   return make_batch_handle<Response>(std::move(state), std::move(executor));
 }
 
 }  // namespace
 
 BatchHandle<SimulateResponse> Session::submit_simulate_batch(
-    std::vector<SimulateRequest> requests, SlotCallback<SimulateResponse> on_slot) const {
+    std::vector<SimulateRequest> requests, SlotCallback<SimulateResponse> on_slot,
+    SubmitOptions options) const {
   return submit_batch<SimulateResponse>(*store_, executor_, std::move(requests),
-                                        std::move(on_slot), &detail::eval_simulate);
+                                        std::move(on_slot), options, &detail::eval_simulate);
 }
 
 BatchHandle<ExploreResponse> Session::submit_explore_batch(
-    std::vector<ExploreRequest> requests, SlotCallback<ExploreResponse> on_slot) const {
+    std::vector<ExploreRequest> requests, SlotCallback<ExploreResponse> on_slot,
+    SubmitOptions options) const {
   return submit_batch<ExploreResponse>(*store_, executor_, std::move(requests),
-                                       std::move(on_slot), &detail::eval_explore);
+                                       std::move(on_slot), options, &detail::eval_explore);
 }
 
 BatchHandle<CompareResponse> Session::submit_compare(std::vector<CompareRequest> requests,
-                                                     SlotCallback<CompareResponse> on_slot) const {
+                                                     SlotCallback<CompareResponse> on_slot,
+                                                     SubmitOptions options) const {
   // Each compare slot fans its strategy jobs across the same executor; the
   // self-scheduling pool lets the slot's thread help drain its own jobs, so
   // nesting cannot deadlock. Deliberately a raw pointer: the executor
@@ -322,7 +348,7 @@ BatchHandle<CompareResponse> Session::submit_compare(std::vector<CompareRequest>
   // could make a *worker* drop the last reference and self-join the pool.
   Executor* executor = executor_.get();
   return submit_batch<CompareResponse>(
-      *store_, executor_, std::move(requests), std::move(on_slot),
+      *store_, executor_, std::move(requests), std::move(on_slot), options,
       [executor](const StoreEntry& entry, const CompareRequest& request) {
         return detail::eval_compare(entry, request, *executor);
       });
@@ -339,14 +365,17 @@ namespace {
 template <typename Response, typename Request, typename Eval>
 std::vector<Result<Response>> run_batch(const ModelStore& store, Executor& executor,
                                         const std::vector<Request>& requests, Eval eval) {
+  const std::shared_ptr<ResultCache> cache = store.cache();
   std::vector<std::optional<Result<Response>>> slots(requests.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    tasks.push_back([&slots, &requests, snapshot = store.find(requests[i].model), &eval, i] {
-      slots[i] = snapshot ? eval(*snapshot, requests[i])
-                          : unknown_model<Response>(requests[i].model);
-    });
+    tasks.push_back(
+        [&slots, &requests, &cache, snapshot = store.find(requests[i].model), &eval, i] {
+          slots[i] = snapshot
+                         ? detail::with_cache<Response>(cache, *snapshot, requests[i], eval)
+                         : unknown_model<Response>(requests[i].model);
+        });
   }
   executor.run(std::move(tasks));
 

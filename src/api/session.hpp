@@ -98,8 +98,20 @@ class Session {
   /// removed a live model, kAlreadyUnloaded when the id had been unloaded
   /// before, and kNeverLoaded for ids the store never issued — the three
   /// cases are distinguishable forever because ids are never reused.
-  /// In-flight batches that captured the model's snapshot finish unaffected.
+  /// In-flight batches that captured the model's snapshot finish unaffected;
+  /// results cached for the id are invalidated.
   UnloadStatus unload(ModelId id);
+
+  // --- result caching --------------------------------------------------------
+
+  /// Enables the store's (snapshot, request) result cache — every eval path
+  /// of every session on this store is fronted from now on. Idempotent;
+  /// returns the active cache (see ModelStore::enable_cache).
+  std::shared_ptr<ResultCache> enable_cache(CacheConfig config = {});
+
+  /// Hit/miss/eviction/invalidation counters of the store's cache, or
+  /// nullopt when caching is off.
+  [[nodiscard]] std::optional<CacheStats> cache_stats() const;
 
   // --- introspection --------------------------------------------------------
 
@@ -118,7 +130,9 @@ class Session {
   /// GraphViz rendering (variant-aware when the model has interfaces).
   [[nodiscard]] Result<std::string> dot(ModelId id) const;
 
-  /// Canonical "spit" text of the model's graph.
+  /// Canonical "spit" text of the model — including the versioned variant
+  /// section (clusters, interfaces, selection rules) when the model has
+  /// one, so `--opt`-configured variant models round-trip losslessly.
   [[nodiscard]] Result<std::string> write_text(ModelId id) const;
 
   [[nodiscard]] Result<AnalyzeResponse> analyze(const AnalyzeRequest& request) const;
@@ -153,17 +167,22 @@ class Session {
   // the store as of submission) and return without waiting. Results stream
   // through `on_slot` and the handle's per-slot futures as they land;
   // handle.wait() yields the same vector the blocking entry point would.
+  // `options` selects the executor's scheduling band: a high-priority batch
+  // overtakes queued normal/low work, and a deadline orders it EDF within
+  // its band (see SubmitOptions).
 
   [[nodiscard]] BatchHandle<SimulateResponse> submit_simulate_batch(
-      std::vector<SimulateRequest> requests,
-      SlotCallback<SimulateResponse> on_slot = {}) const;
+      std::vector<SimulateRequest> requests, SlotCallback<SimulateResponse> on_slot = {},
+      SubmitOptions options = {}) const;
   [[nodiscard]] BatchHandle<ExploreResponse> submit_explore_batch(
-      std::vector<ExploreRequest> requests, SlotCallback<ExploreResponse> on_slot = {}) const;
+      std::vector<ExploreRequest> requests, SlotCallback<ExploreResponse> on_slot = {},
+      SubmitOptions options = {}) const;
   /// One slot per CompareRequest — a cross-model comparison sweep; each
   /// slot's strategy jobs fan out across the same executor (safe: the pool
   /// self-schedules nested batches).
   [[nodiscard]] BatchHandle<CompareResponse> submit_compare(
-      std::vector<CompareRequest> requests, SlotCallback<CompareResponse> on_slot = {}) const;
+      std::vector<CompareRequest> requests, SlotCallback<CompareResponse> on_slot = {},
+      SubmitOptions options = {}) const;
 
  private:
   std::shared_ptr<ModelStore> store_;

@@ -1,0 +1,71 @@
+#include "api/spec_cache.hpp"
+
+#include <utility>
+
+#include "api/registry.hpp"
+
+namespace spivar::api {
+
+SpecCache::SpecCache(std::shared_ptr<ModelStore> store) : store_(std::move(store)) {
+  if (!store_) store_ = std::make_shared<ModelStore>();
+}
+
+namespace {
+
+std::string cache_key(const std::string& spec, const std::vector<std::string>& assignments) {
+  std::string key = spec;
+  for (const std::string& assignment : assignments) key += "\n" + assignment;
+  return key;
+}
+
+}  // namespace
+
+std::optional<ModelId> SpecCache::peek(const std::string& spec,
+                                       const std::vector<std::string>& assignments) const {
+  const auto it = loaded_.find(cache_key(spec, assignments));
+  if (it == loaded_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ModelId> SpecCache::handles(const std::string& spec) const {
+  // Keys are "spec" or "spec\nassignment...": match the bare spec and every
+  // assignments variant, never a different spec with a shared prefix.
+  std::vector<ModelId> out;
+  for (const auto& [key, id] : loaded_) {
+    if (key == spec || (key.size() > spec.size() && key[spec.size()] == '\n' &&
+                        key.compare(0, spec.size(), spec) == 0)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Result<ModelInfo> SpecCache::resolve(const std::string& spec,
+                                     const std::vector<std::string>& assignments) {
+  std::string key = cache_key(spec, assignments);
+
+  if (const auto it = loaded_.find(key); it != loaded_.end()) {
+    Result<ModelInfo> info = store_->info(it->second);
+    if (info.ok()) return info;
+    // The cached handle was tombstoned (or the store never knew it): drop
+    // the mapping instead of resurrecting a dead id, and load fresh below —
+    // the reload gets a new id and generation, so stale cached results are
+    // unreachable by construction.
+    loaded_.erase(it);
+  }
+
+  Result<ModelInfo> loaded = [&] {
+    if (assignments.empty()) return store_->load_model(spec);
+    if (!find_builtin(spec)) {
+      return Result<ModelInfo>::failure(
+          diag::kBadOption, "'--opt' requires a built-in model, and '" + spec + "' is not one");
+    }
+    const auto options = parse_builtin_options(spec, assignments);
+    if (!options.ok()) return Result<ModelInfo>::failure(options.diagnostics());
+    return store_->load_builtin(LoadBuiltinRequest{.name = spec, .options = options.value()});
+  }();
+  if (loaded.ok()) loaded_.emplace(std::move(key), loaded.value().id);
+  return loaded;
+}
+
+}  // namespace spivar::api

@@ -8,6 +8,7 @@
 #include "api/detail.hpp"
 #include "models/synthetic.hpp"
 #include "spi/textio.hpp"
+#include "variant/textio.hpp"
 
 namespace spivar::api {
 
@@ -86,9 +87,13 @@ SynthesisSetup compute_setup(const StoreEntry& entry,
 
 // --- StoreEntry --------------------------------------------------------------
 
-StoreEntry::StoreEntry(std::string origin, variant::VariantModel model,
-                       const BuiltinModel* builtin)
-    : origin_(std::move(origin)), model_(std::move(model)), builtin_(builtin) {}
+StoreEntry::StoreEntry(ModelId id, std::uint64_t generation, std::string origin,
+                       variant::VariantModel model, const BuiltinModel* builtin)
+    : id_(id),
+      generation_(generation),
+      origin_(std::move(origin)),
+      model_(std::move(model)),
+      builtin_(builtin) {}
 
 std::shared_ptr<const SynthesisSetup> StoreEntry::default_setup() const {
   std::call_once(setup_once_, [this] {
@@ -109,9 +114,11 @@ std::shared_ptr<const SynthesisSetup> resolve_setup(
 
 Result<ModelInfo> ModelStore::load_text(std::string_view text, std::string_view name) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    spi::Graph graph = spi::parse_text(text);
-    if (!name.empty()) graph.set_name(std::string{name});
-    return adopt("text", variant::VariantModel{std::move(graph)}, nullptr);
+    // Variant-aware: text with a `variants v1` section reconstructs the
+    // cluster/interface structure, plain graph text loads flat.
+    variant::VariantModel model = variant::parse_text(text);
+    if (!name.empty()) model.graph().set_name(std::string{name});
+    return adopt("text", std::move(model), nullptr);
   });
 }
 
@@ -125,8 +132,7 @@ Result<ModelInfo> ModelStore::load_file(const std::string& path) {
     if (!in) return Result<ModelInfo>::failure(diag::kIoError, "cannot open '" + path + "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    spi::Graph graph = spi::parse_text(buffer.str());
-    return adopt(path, variant::VariantModel{std::move(graph)}, nullptr);
+    return adopt(path, variant::parse_text(buffer.str()), nullptr);
   });
 }
 
@@ -159,25 +165,54 @@ Result<ModelInfo> ModelStore::load(variant::VariantModel model, std::string_view
 
 Result<ModelInfo> ModelStore::adopt(std::string origin, variant::VariantModel model,
                                     const BuiltinModel* builtin) {
-  // Entry construction (and any model factory work) happens outside the
-  // table lock; only the id assignment and insertion are serialized.
-  auto entry = std::make_shared<const StoreEntry>(std::move(origin), std::move(model), builtin);
-  ModelId id;
+  // Id and generation are atomic draws, so entry construction (and any
+  // model factory work) happens outside the table lock; only the insertion
+  // is serialized. A draw wasted by a throwing factory is fine — ids are
+  // never reused anyway.
+  const ModelId id{next_id_.fetch_add(1, std::memory_order_relaxed)};
+  const std::uint64_t generation = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto entry = std::make_shared<const StoreEntry>(id, generation, std::move(origin),
+                                                  std::move(model), builtin);
   {
     std::lock_guard lock{mutex_};
-    id = ModelId{next_id_++};
     entries_.emplace(id.value(), entry);
   }
   return Result<ModelInfo>::success(describe(id, *entry));
 }
 
 UnloadStatus ModelStore::unload(ModelId id) {
-  std::lock_guard lock{mutex_};
-  const auto it = entries_.find(id.value());
-  if (it == entries_.end()) return UnloadStatus::kNeverLoaded;
-  if (it->second == nullptr) return UnloadStatus::kAlreadyUnloaded;
-  it->second = nullptr;  // tombstone: the id stays known, never reused
+  std::shared_ptr<ResultCache> cache;
+  {
+    std::lock_guard lock{mutex_};
+    const auto it = entries_.find(id.value());
+    if (it == entries_.end()) return UnloadStatus::kNeverLoaded;
+    if (it->second == nullptr) return UnloadStatus::kAlreadyUnloaded;
+    it->second = nullptr;  // tombstone: the id stays known, never reused
+    cache = cache_;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  // Eager invalidation outside the table lock: correctness already holds
+  // (the id is never reused, so no future lookup can hit these entries) —
+  // this frees the memory and feeds the invalidation counter.
+  if (cache) cache->invalidate_model(id.value());
   return UnloadStatus::kUnloaded;
+}
+
+std::shared_ptr<ResultCache> ModelStore::enable_cache(CacheConfig config) {
+  std::lock_guard lock{mutex_};
+  if (!cache_) cache_ = std::make_shared<ResultCache>(config);
+  return cache_;
+}
+
+std::shared_ptr<ResultCache> ModelStore::cache() const {
+  std::lock_guard lock{mutex_};
+  return cache_;
+}
+
+std::optional<CacheStats> ModelStore::cache_stats() const {
+  const auto cache = this->cache();
+  if (!cache) return std::nullopt;
+  return cache->stats();
 }
 
 ModelStore::Snapshot ModelStore::find(ModelId id) const {

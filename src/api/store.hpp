@@ -18,6 +18,7 @@
 //     "was unloaded" apart from "never existed" (see UnloadStatus).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/cache.hpp"
 #include "api/options.hpp"
 #include "api/registry.hpp"
 #include "api/responses.hpp"
@@ -70,11 +72,19 @@ struct SynthesisSetup {
 /// batch tasks capture — never a Session or the store itself.
 class StoreEntry {
  public:
-  StoreEntry(std::string origin, variant::VariantModel model, const BuiltinModel* builtin);
+  StoreEntry(ModelId id, std::uint64_t generation, std::string origin,
+             variant::VariantModel model, const BuiltinModel* builtin);
 
   StoreEntry(const StoreEntry&) = delete;
   StoreEntry& operator=(const StoreEntry&) = delete;
 
+  /// The handle the store issued for this entry (never reused).
+  [[nodiscard]] ModelId id() const noexcept { return id_; }
+  /// Store mutation epoch at load time. Belt and braces on top of the
+  /// never-reused ids: an unload/reload pair always changes (id, generation),
+  /// so a result cached for an earlier life of a spec can never be served
+  /// for a later one.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
   [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
   [[nodiscard]] const variant::VariantModel& model() const noexcept { return model_; }
   /// Registry entry the model was instantiated from, nullptr otherwise.
@@ -85,6 +95,8 @@ class StoreEntry {
   [[nodiscard]] std::shared_ptr<const SynthesisSetup> default_setup() const;
 
  private:
+  ModelId id_;
+  std::uint64_t generation_ = 0;
   std::string origin_;
   variant::VariantModel model_;
   const BuiltinModel* builtin_ = nullptr;
@@ -131,8 +143,22 @@ class ModelStore {
   /// Tombstones the model: the snapshot is dropped from the table but the id
   /// stays known, so later calls can distinguish the three UnloadStatus
   /// cases. Snapshots already captured (e.g. by an in-flight batch) stay
-  /// valid and immutable.
+  /// valid and immutable. When a result cache is attached, every result
+  /// cached for the id is invalidated.
   UnloadStatus unload(ModelId id);
+
+  // --- result caching --------------------------------------------------------
+
+  /// Attaches a (snapshot, request)-keyed result cache fronting every eval
+  /// path of every session on this store. Idempotent: a second call keeps
+  /// the existing cache (and its statistics). Returns the active cache.
+  std::shared_ptr<ResultCache> enable_cache(CacheConfig config = {});
+
+  /// The attached cache, or nullptr when caching is off.
+  [[nodiscard]] std::shared_ptr<ResultCache> cache() const;
+
+  /// Statistics of the attached cache; nullopt when caching is off.
+  [[nodiscard]] std::optional<CacheStats> cache_stats() const;
 
   // --- lookup ---------------------------------------------------------------
 
@@ -151,9 +177,13 @@ class ModelStore {
   Result<ModelInfo> adopt(std::string origin, variant::VariantModel model,
                           const BuiltinModel* builtin);
 
-  mutable std::mutex mutex_;  ///< guards entries_ and next_id_
+  mutable std::mutex mutex_;  ///< guards entries_ and cache_
   std::map<std::uint32_t, Snapshot> entries_;  ///< tombstone = null snapshot
-  std::uint32_t next_id_ = 0;
+  std::atomic<std::uint32_t> next_id_{0};
+  /// Mutation epoch: bumped on every load and unload; entries record the
+  /// epoch they were created in (part of the result-cache key).
+  std::atomic<std::uint64_t> generation_{0};
+  std::shared_ptr<ResultCache> cache_;  ///< null until enable_cache
 };
 
 /// Summary of `entry` under handle `id` (shared by store and session).

@@ -60,23 +60,6 @@ std::string tags_text(const TagSet& tags, const support::TagInterner& interner) 
 
 // --- parser helpers ------------------------------------------------------------
 
-/// Whitespace-splitting with position-preserving raw line access.
-std::vector<std::string> split_words(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream is{line};
-  std::string word;
-  while (is >> word) out.push_back(word);
-  return out;
-}
-
-std::string strip(const std::string& s) {
-  std::size_t a = 0;
-  std::size_t b = s.size();
-  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
-  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
-  return s.substr(a, b - a);
-}
-
 Duration parse_duration(const std::string& word, std::size_t line) {
   std::size_t i = 0;
   while (i < word.size() && (std::isdigit(static_cast<unsigned char>(word[i])) != 0 ||
@@ -239,6 +222,47 @@ class PredicateParser {
 
 }  // namespace
 
+// --- shared grammar primitives -----------------------------------------------
+
+std::string strip_whitespace(const std::string& text) {
+  std::size_t a = 0;
+  std::size_t b = text.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(text[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(text[b - 1])) != 0) --b;
+  return text.substr(a, b - a);
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is{line};
+  std::string word;
+  while (is >> word) out.push_back(word);
+  return out;
+}
+
+std::string logical_line(const std::string& raw) {
+  const auto hash = raw.find('#');
+  // '#' only starts a comment at start-of-word (names may contain '#').
+  if (hash != std::string::npos &&
+      (hash == 0 || std::isspace(static_cast<unsigned char>(raw[hash - 1])) != 0)) {
+    return strip_whitespace(raw.substr(0, hash));
+  }
+  return strip_whitespace(raw);
+}
+
+support::Duration parse_duration_text(const std::string& word, std::size_t line) {
+  return parse_duration(word, line);
+}
+
+Predicate parse_predicate_text(std::string_view text, std::size_t line, Graph& graph) {
+  PredicateParser parser{text, line, graph};
+  return parser.parse();
+}
+
+void require_serializable_name(const std::string& kind, const std::string& name) {
+  require_serializable(kind, name);
+}
+
 // --- writer ------------------------------------------------------------------
 
 std::string write_text(const Graph& graph) {
@@ -349,7 +373,7 @@ Graph parse_text(std::string_view text) {
     while (start <= list.size()) {
       const auto comma = list.find(',', start);
       const std::string name =
-          strip(comma == std::string::npos ? list.substr(start) : list.substr(start, comma - start));
+          strip_whitespace(comma == std::string::npos ? list.substr(start) : list.substr(start, comma - start));
       if (name.empty()) throw ParseError(line, "empty tag name in '" + list + "'");
       tags.insert(graph.tag(name));
       if (comma == std::string::npos) break;
@@ -369,13 +393,7 @@ Graph parse_text(std::string_view text) {
   std::size_t line_no = 0;
   while (std::getline(stream, raw)) {
     ++line_no;
-    const auto hash = raw.find('#');
-    // '#' only starts a comment at start-of-word (names may contain '#').
-    std::string line = raw;
-    if (hash != std::string::npos && (hash == 0 || std::isspace(static_cast<unsigned char>(raw[hash - 1])) != 0)) {
-      line = raw.substr(0, hash);
-    }
-    line = strip(line);
+    const std::string line = logical_line(raw);
     if (line.empty()) continue;
     const auto words = split_words(line);
     const std::string& head = words[0];
@@ -490,9 +508,9 @@ Graph parse_text(std::string_view text) {
       if (colon == std::string::npos || arrow == std::string::npos || arrow < colon) {
         throw ParseError(line_no, "rule syntax: rule <name>: <predicate> -> <mode>");
       }
-      const std::string rule_name = strip(line.substr(4, colon - 4));
+      const std::string rule_name = strip_whitespace(line.substr(4, colon - 4));
       const std::string predicate_text = line.substr(colon + 1, arrow - colon - 1);
-      const std::string mode_name = strip(line.substr(arrow + 2));
+      const std::string mode_name = strip_whitespace(line.substr(arrow + 2));
       Process& p = graph.process(*current_process);
       const auto mode_id = p.find_mode(mode_name);
       if (!mode_id) throw ParseError(line_no, "rule targets unknown mode '" + mode_name + "'");
@@ -513,7 +531,7 @@ Graph parse_text(std::string_view text) {
       std::istringstream mode_list{line.substr(modes_pos + 5)};
       std::string mode_name;
       while (std::getline(mode_list, mode_name, ',')) {
-        mode_name = strip(mode_name);
+        mode_name = strip_whitespace(mode_name);
         if (mode_name.empty()) continue;
         const auto mode_id = p.find_mode(mode_name);
         if (!mode_id) {
@@ -546,12 +564,12 @@ Graph parse_text(std::string_view text) {
                          "syntax: latency_constraint <name> path a, b bound <dur>");
       }
       LatencyPathConstraint c;
-      c.name = strip(line.substr(19, path_pos - 19));
-      c.max_total = parse_duration(strip(line.substr(bound_pos + 7)), line_no);
+      c.name = strip_whitespace(line.substr(19, path_pos - 19));
+      c.max_total = parse_duration(strip_whitespace(line.substr(bound_pos + 7)), line_no);
       std::istringstream path_list{line.substr(path_pos + 6, bound_pos - path_pos - 6)};
       std::string pname;
       while (std::getline(path_list, pname, ',')) {
-        pname = strip(pname);
+        pname = strip_whitespace(pname);
         if (pname.empty()) continue;
         const auto pid = graph.find_process(pname);
         if (!pid) throw ParseError(line_no, "constraint references unknown process '" + pname + "'");

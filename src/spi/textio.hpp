@@ -29,6 +29,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "spi/graph.hpp"
 #include "support/diagnostics.hpp"
@@ -48,9 +49,43 @@ class ParseError : public support::ModelError {
 };
 
 /// Emits the canonical text form of a graph.
+///
+/// Covers the flat graph only. Variant structure (clusters, interfaces,
+/// selection rules) is serialized by variant::write_text as a versioned
+/// `variants v1` section appended after the graph — see variant/textio.hpp.
 [[nodiscard]] std::string write_text(const Graph& graph);
 
-/// Parses the text form back into a graph.
+/// Parses the text form back into a graph. Input must be graph-only; the
+/// variant-aware entry point is variant::parse_text, which splits off the
+/// `variants v1` section before delegating here.
 [[nodiscard]] Graph parse_text(std::string_view text);
+
+// --- shared grammar primitives ----------------------------------------------
+//
+// The variant section reuses the spit line/token grammar; these expose the
+// parser's building blocks so variant/textio.cpp never duplicates them.
+
+/// Leading/trailing-whitespace trim.
+[[nodiscard]] std::string strip_whitespace(const std::string& text);
+
+/// Whitespace-splitting into words.
+[[nodiscard]] std::vector<std::string> split_words(const std::string& line);
+
+/// One raw line reduced to its parseable content: comment stripped ('#'
+/// starts a comment only at start-of-word — names may contain '#') and
+/// whitespace trimmed. THE comment rule of the format; every section
+/// parser must go through it.
+[[nodiscard]] std::string logical_line(const std::string& raw);
+
+/// Parses "2ms" / "1500us" (ParseError carries `line`).
+[[nodiscard]] support::Duration parse_duration_text(const std::string& word, std::size_t line);
+
+/// Parses a predicate in the textio grammar against `graph`'s channels/tags.
+[[nodiscard]] Predicate parse_predicate_text(std::string_view text, std::size_t line,
+                                             Graph& graph);
+
+/// Throws ModelError when `name` cannot appear in the text format
+/// (characters outside [A-Za-z0-9_.#/+-]); `kind` labels the message.
+void require_serializable_name(const std::string& kind, const std::string& name);
 
 }  // namespace spivar::spi

@@ -1,0 +1,76 @@
+#include "synth/fingerprint.hpp"
+
+#include <algorithm>
+
+namespace spivar::synth {
+
+namespace {
+
+void hash_duration(support::Fnv1aHasher& hasher, support::Duration d) { hasher.i64(d.count()); }
+
+}  // namespace
+
+void hash_options(support::Fnv1aHasher& hasher, const ExploreOptions& options) {
+  hasher.u64(static_cast<std::uint64_t>(options.engine));
+  hasher.u64(options.seed);
+  hasher.u64(options.exhaustive_limit);
+  hasher.u64(options.annealing_trials_per_element);
+  hasher.f64(options.annealing_initial_temperature);
+  hasher.f64(options.infeasibility_penalty);
+}
+
+void hash_options(support::Fnv1aHasher& hasher, const ParetoOptions& options) {
+  hasher.u64(options.exhaustive_limit);
+  hasher.u64(options.samples);
+  hasher.u64(options.seed);
+}
+
+void hash_options(support::Fnv1aHasher& hasher, const ProblemOptions& options) {
+  hasher.u64(static_cast<std::uint64_t>(options.granularity));
+  hasher.boolean(options.skip_virtual);
+}
+
+void hash_library(support::Fnv1aHasher& hasher, const ImplLibrary& library) {
+  hasher.f64(library.processor_cost);
+  hasher.f64(library.processor_budget);
+  hasher.u64(library.size());
+  for (const auto& [name, impl] : library.elements()) {
+    hasher.str(name);
+    hasher.f64(impl.sw_load);
+    hash_duration(hasher, impl.sw_wcet);
+    hasher.f64(impl.hw_cost);
+    hash_duration(hasher, impl.hw_wcet);
+    hasher.boolean(impl.can_sw);
+    hasher.boolean(impl.can_hw);
+    hasher.presence(impl.period.has_value());
+    if (impl.period) hash_duration(hasher, *impl.period);
+  }
+}
+
+void hash_overrides(support::Fnv1aHasher& hasher, const std::optional<ProblemOptions>& problem,
+                    const std::optional<ImplLibrary>& library) {
+  hasher.presence(problem.has_value());
+  if (problem) hash_options(hasher, *problem);
+  hasher.presence(library.has_value());
+  if (library) hash_library(hasher, *library);
+}
+
+void hash_strategies(support::Fnv1aHasher& hasher, const std::vector<StrategyKind>& strategies) {
+  // Same canonicalization as the compare evaluation: duplicates collapse,
+  // first-seen order survives (it orders the response rows).
+  std::vector<StrategyKind> kinds;
+  for (const StrategyKind kind : strategies) {
+    if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end()) kinds.push_back(kind);
+  }
+  hasher.u64(kinds.size());
+  for (const StrategyKind kind : kinds) hasher.u64(static_cast<std::uint64_t>(kind));
+}
+
+void hash_objectives(support::Fnv1aHasher& hasher, const std::vector<RankObjective>& objectives) {
+  hasher.u64(objectives.size());
+  for (const RankObjective objective : objectives) {
+    hasher.u64(static_cast<std::uint64_t>(objective));
+  }
+}
+
+}  // namespace spivar::synth

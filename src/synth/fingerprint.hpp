@@ -1,0 +1,47 @@
+// Stable fingerprints for synthesis setups and strategy selections.
+//
+// The api result cache keys cached evaluations by (store snapshot, request)
+// — the request side needs a canonical 64-bit digest of every synthesis
+// option that can change an outcome. Fingerprints are *semantic*: fields
+// that cannot affect results are canonicalized away (duplicate strategies
+// collapse, library elements hash in name order), while everything
+// order-sensitive (objective chains, the requested strategy presentation
+// order) stays order-sensitive. Two requests with equal fingerprints under
+// the same library/problem produce bit-identical evaluation results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "synth/explore.hpp"
+#include "synth/from_model.hpp"
+#include "synth/pareto.hpp"
+#include "synth/strategies.hpp"
+
+namespace spivar::synth {
+
+/// Feeds every outcome-relevant field of the engine options.
+void hash_options(support::Fnv1aHasher& hasher, const ExploreOptions& options);
+void hash_options(support::Fnv1aHasher& hasher, const ParetoOptions& options);
+void hash_options(support::Fnv1aHasher& hasher, const ProblemOptions& options);
+
+/// Library digest: processor parameters plus every element in name order
+/// (std::map iteration — insertion order never leaks into the key).
+void hash_library(support::Fnv1aHasher& hasher, const ImplLibrary& library);
+
+/// Optional problem/library overrides of a request: absence hashes
+/// distinctly from any present value.
+void hash_overrides(support::Fnv1aHasher& hasher, const std::optional<ProblemOptions>& problem,
+                    const std::optional<ImplLibrary>& library);
+
+/// Canonicalized strategy subset: duplicates collapse (they cannot add
+/// rows), but the first-seen order is kept — it fixes the presentation
+/// order of the response rows.
+void hash_strategies(support::Fnv1aHasher& hasher, const std::vector<StrategyKind>& strategies);
+
+/// Objective chains are lexicographic — strictly order-sensitive.
+void hash_objectives(support::Fnv1aHasher& hasher, const std::vector<RankObjective>& objectives);
+
+}  // namespace spivar::synth

@@ -60,6 +60,12 @@ class ImplLibrary {
   [[nodiscard]] bool contains(const std::string& name) const { return elements_.contains(name); }
   [[nodiscard]] std::size_t size() const noexcept { return elements_.size(); }
 
+  /// Name-ordered view over every element (std::map order) — the iteration
+  /// the fingerprint layer relies on for order-insensitive library digests.
+  [[nodiscard]] const std::map<std::string, ElementImpl>& elements() const noexcept {
+    return elements_;
+  }
+
  private:
   std::map<std::string, ElementImpl> elements_;
 };

@@ -63,6 +63,12 @@ class VariantModel {
   /// Interfaces linked (directly or transitively) with `id`, including `id`.
   [[nodiscard]] std::vector<InterfaceId> linked_group(InterfaceId id) const;
 
+  /// The declared link pairs, in declaration order (serialized by
+  /// variant::write_text).
+  [[nodiscard]] const std::vector<std::pair<InterfaceId, InterfaceId>>& links() const noexcept {
+    return links_;
+  }
+
   // --- mutual exclusion -------------------------------------------------------
 
   /// True when the two processes can never be active in the same system

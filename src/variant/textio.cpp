@@ -1,0 +1,280 @@
+#include "variant/textio.hpp"
+
+#include <cctype>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spi/textio.hpp"
+#include "support/diagnostics.hpp"
+#include "support/duration.hpp"
+
+namespace spivar::variant {
+
+namespace {
+
+using spi::ParseError;
+// Line/token grammar shared with the graph parser — one comment rule, one
+// tokenizer (spi/textio's "shared grammar primitives").
+using spi::logical_line;
+using spi::split_words;
+using spi::strip_whitespace;
+
+InterfaceId require_interface(const VariantModel& model, const std::string& name,
+                              std::size_t line) {
+  const auto id = model.find_interface(name);
+  if (!id) throw ParseError(line, "unknown interface '" + name + "'");
+  return *id;
+}
+
+ClusterId require_cluster(const VariantModel& model, InterfaceId iface, const std::string& name,
+                          std::size_t line) {
+  const auto id = model.find_cluster(name);
+  if (!id || model.cluster(*id).interface != iface) {
+    throw ParseError(line, "interface '" + model.interface(iface).name +
+                               "' has no cluster named '" + name + "'");
+  }
+  return *id;
+}
+
+/// Applies one directive of the `variants v1` section to the model.
+/// `current_cluster` threads the open cluster for `member` lines.
+void apply_directive(VariantModel& model, const std::string& line, std::size_t line_no,
+                     std::optional<ClusterId>& current_cluster) {
+  const auto words = split_words(line);
+  const std::string& head = words[0];
+  const auto expect_words = [&](std::size_t at_least) {
+    if (words.size() < at_least) throw ParseError(line_no, "truncated '" + head + "' line");
+  };
+
+  if (head == "interface") {
+    expect_words(2);
+    Interface iface;
+    iface.name = words[1];
+    if (model.find_interface(iface.name)) {
+      throw ParseError(line_no, "duplicate interface '" + iface.name + "'");
+    }
+    for (std::size_t i = 2; i < words.size(); ++i) {
+      if (words[i] == "consume_selection_token") {
+        iface.consume_selection_token = true;
+      } else {
+        throw ParseError(line_no, "unknown interface attribute '" + words[i] + "'");
+      }
+    }
+    model.add_interface(std::move(iface));
+    current_cluster.reset();
+  } else if (head == "cluster") {
+    expect_words(4);
+    if (words[2] != "interface") {
+      throw ParseError(line_no,
+                       "cluster syntax: cluster <name> interface <iface> [t_conf <dur>]");
+    }
+    const InterfaceId iface = require_interface(model, words[3], line_no);
+    if (model.find_cluster(words[1])) {
+      throw ParseError(line_no, "duplicate cluster '" + words[1] + "'");
+    }
+    Cluster cluster;
+    cluster.name = words[1];
+    cluster.interface = iface;
+    const ClusterId id = model.add_cluster(std::move(cluster));
+    for (std::size_t i = 4; i < words.size(); ++i) {
+      if (words[i] == "t_conf") {
+        expect_words(i + 2);
+        model.interface(iface).t_conf[id] = spi::parse_duration_text(words[++i], line_no);
+      } else {
+        throw ParseError(line_no, "unknown cluster attribute '" + words[i] + "'");
+      }
+    }
+    current_cluster = id;
+  } else if (head == "member") {
+    if (!current_cluster) throw ParseError(line_no, "'member' outside a cluster");
+    expect_words(3);
+    Cluster& cluster = model.cluster(*current_cluster);
+    if (words[1] == "process") {
+      const auto pid = model.graph().find_process(words[2]);
+      if (!pid) throw ParseError(line_no, "member references unknown process '" + words[2] + "'");
+      cluster.processes.push_back(*pid);
+    } else if (words[1] == "channel") {
+      const auto cid = model.graph().find_channel(words[2]);
+      if (!cid) throw ParseError(line_no, "member references unknown channel '" + words[2] + "'");
+      cluster.channels.push_back(*cid);
+    } else {
+      throw ParseError(line_no, "member syntax: member process|channel <name>");
+    }
+  } else if (head == "port") {
+    expect_words(5);
+    const InterfaceId iface = require_interface(model, words[1], line_no);
+    if (words[3] != "input" && words[3] != "output") {
+      throw ParseError(line_no, "port syntax: port <iface> <name> input|output <channel>");
+    }
+    const auto external = model.graph().find_channel(words[4]);
+    if (!external) throw ParseError(line_no, "port references unknown channel '" + words[4] + "'");
+    model.interface(iface).ports.push_back(
+        {words[2], words[3] == "input" ? PortDir::kInput : PortDir::kOutput, *external});
+    current_cluster.reset();
+  } else if (head == "rule") {
+    // rule <iface> <name>: <predicate> -> <cluster>
+    const auto colon = line.find(':');
+    const auto arrow = line.rfind("->");
+    if (colon == std::string::npos || arrow == std::string::npos || arrow < colon) {
+      throw ParseError(line_no, "rule syntax: rule <iface> <name>: <predicate> -> <cluster>");
+    }
+    const auto header = split_words(line.substr(0, colon));
+    if (header.size() != 3) {
+      throw ParseError(line_no, "rule syntax: rule <iface> <name>: <predicate> -> <cluster>");
+    }
+    const InterfaceId iface = require_interface(model, header[1], line_no);
+    const std::string predicate_text = line.substr(colon + 1, arrow - colon - 1);
+    const Predicate predicate = spi::parse_predicate_text(predicate_text, line_no, model.graph());
+    const std::string cluster_name = strip_whitespace(line.substr(arrow + 2));
+    const ClusterId cluster = require_cluster(model, iface, cluster_name, line_no);
+    model.interface(iface).selection.push_back({header[2], predicate, cluster});
+    current_cluster.reset();
+  } else if (head == "initial") {
+    expect_words(3);
+    const InterfaceId iface = require_interface(model, words[1], line_no);
+    model.interface(iface).initial = require_cluster(model, iface, words[2], line_no);
+    current_cluster.reset();
+  } else if (head == "link") {
+    expect_words(3);
+    const InterfaceId a = require_interface(model, words[1], line_no);
+    const InterfaceId b = require_interface(model, words[2], line_no);
+    try {
+      model.link_interfaces(a, b);
+    } catch (const support::ModelError& e) {
+      throw ParseError(line_no, e.what());
+    }
+    current_cluster.reset();
+  } else {
+    throw ParseError(line_no, "unknown variants directive '" + head + "'");
+  }
+}
+
+}  // namespace
+
+std::string write_text(const VariantModel& model) {
+  std::string text = spi::write_text(model.graph());
+  if (model.interface_count() == 0) return text;
+
+  const spi::Graph& graph = model.graph();
+  const auto channel_name = [&graph](support::ChannelId c) { return graph.channel(c).name; };
+
+  // The section addresses interfaces and clusters by name, so duplicates
+  // cannot round-trip — refuse with a diagnosis instead of emitting text
+  // the parser would reject (the model layer itself does not enforce
+  // global uniqueness).
+  const auto require_unique = [](const char* kind, std::set<std::string>& seen,
+                                 const std::string& name) {
+    if (!seen.insert(name).second) {
+      throw support::ModelError(std::string{"textio: duplicate "} + kind + " name '" + name +
+                                "' — the variants section requires globally unique " + kind +
+                                " names to round-trip");
+    }
+  };
+  std::set<std::string> interface_names;
+  std::set<std::string> cluster_names;
+  for (InterfaceId iid : model.interface_ids()) {
+    require_unique("interface", interface_names, model.interface(iid).name);
+  }
+  for (ClusterId cid : model.cluster_ids()) {
+    require_unique("cluster", cluster_names, model.cluster(cid).name);
+  }
+
+  std::ostringstream os;
+  os << "variants v1\n\n";
+
+  for (InterfaceId iid : model.interface_ids()) {
+    const Interface& iface = model.interface(iid);
+    spi::require_serializable_name("interface", iface.name);
+    os << "interface " << iface.name;
+    if (iface.consume_selection_token) os << " consume_selection_token";
+    os << "\n";
+  }
+  os << "\n";
+
+  // Clusters in global id order: re-adding them in this order reproduces
+  // both the global ids and every interface's positional cluster list (the
+  // positions carry linked-interface exclusivity).
+  for (ClusterId cid : model.cluster_ids()) {
+    const Cluster& cluster = model.cluster(cid);
+    spi::require_serializable_name("cluster", cluster.name);
+    const Interface& iface = model.interface(cluster.interface);
+    os << "cluster " << cluster.name << " interface " << iface.name;
+    if (const auto it = iface.t_conf.find(cid); it != iface.t_conf.end()) {
+      os << " t_conf " << it->second.to_string();
+    }
+    os << "\n";
+    for (support::ProcessId pid : cluster.processes) {
+      os << "  member process " << graph.process(pid).name << "\n";
+    }
+    for (support::ChannelId ch : cluster.channels) {
+      os << "  member channel " << channel_name(ch) << "\n";
+    }
+  }
+  os << "\n";
+
+  for (InterfaceId iid : model.interface_ids()) {
+    const Interface& iface = model.interface(iid);
+    for (const Port& port : iface.ports) {
+      spi::require_serializable_name("port", port.name);
+      os << "port " << iface.name << " " << port.name << " "
+         << (port.dir == PortDir::kInput ? "input" : "output") << " "
+         << channel_name(port.external) << "\n";
+    }
+    for (const SelectionRule& rule : iface.selection) {
+      spi::require_serializable_name("rule", rule.name);
+      os << "rule " << iface.name << " " << rule.name << ": "
+         << rule.predicate.to_text(channel_name, graph.tags()) << " -> "
+         << model.cluster(rule.cluster).name << "\n";
+    }
+    if (iface.initial) {
+      os << "initial " << iface.name << " " << model.cluster(*iface.initial).name << "\n";
+    }
+  }
+  for (const auto& [a, b] : model.links()) {
+    os << "link " << model.interface(a).name << " " << model.interface(b).name << "\n";
+  }
+  return text + os.str();
+}
+
+VariantModel parse_text(std::string_view text) {
+  // First pass: split the graph part from the `variants v1` section. The
+  // section marker is a top-level line, so a plain string scan suffices.
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  std::size_t line_no = 0;
+  std::ostringstream graph_part;
+  std::vector<std::pair<std::size_t, std::string>> section;
+  bool in_section = false;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string line = logical_line(raw);
+    if (!in_section && line.rfind("variants", 0) == 0 &&
+        (line.size() == 8 || std::isspace(static_cast<unsigned char>(line[8])) != 0)) {
+      const auto words = split_words(line);
+      if (words.size() != 2 || words[1] != "v1") {
+        throw ParseError(line_no, "unsupported variants section '" + line +
+                                      "' (this reader understands 'variants v1')");
+      }
+      in_section = true;
+      continue;
+    }
+    if (in_section) {
+      if (!line.empty()) section.emplace_back(line_no, line);
+    } else {
+      graph_part << raw << "\n";
+    }
+  }
+
+  VariantModel model{spi::parse_text(graph_part.str())};
+  std::optional<ClusterId> current_cluster;
+  for (const auto& [no, line] : section) {
+    apply_directive(model, line, no, current_cluster);
+  }
+  return model;
+}
+
+}  // namespace spivar::variant

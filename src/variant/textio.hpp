@@ -1,0 +1,51 @@
+// Text serialization of variant-annotated models.
+//
+// The spit format (spi/textio) covers the flat graph only; saving a
+// VariantModel through it used to silently drop the cluster/interface
+// structure — an `--opt`-configured variant model could not round-trip.
+// This module closes that gap with a *versioned* section appended after the
+// graph text:
+//
+//   variants v1
+//
+//   interface theta
+//   cluster cluster1 interface theta t_conf 2ms
+//     member process P1
+//     member channel cx
+//   cluster cluster2 interface theta
+//     ...
+//   port theta i input Ci
+//   port theta o output Co
+//   rule theta r1: tag(CV, v1) -> cluster1
+//   initial theta cluster1
+//   link theta phi
+//
+// Interfaces, clusters, ports, selection rules, per-cluster configuration
+// latencies, initial clusters, the consume-selection-token flag, and linked
+// interface pairs all round-trip; declaration order is preserved exactly
+// (cluster positions matter: linked-interface exclusivity is positional).
+// A model without variant structure writes plain graph text, so every
+// existing flat .spit file stays valid, and parse_text accepts both forms.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "variant/model.hpp"
+
+namespace spivar::variant {
+
+/// Canonical spit text: the graph (spi::write_text) plus the `variants v1`
+/// section when the model has interfaces. The section addresses entities by
+/// name, so models with duplicate interface or cluster names are refused
+/// (support::ModelError — surfaced as a diagnostic through the session)
+/// rather than written as text the parser would reject.
+[[nodiscard]] std::string write_text(const VariantModel& model);
+
+/// Parses spit text with an optional `variants v1` section back into a
+/// model. Graph-only input yields a VariantModel with zero interfaces.
+/// Throws spi::ParseError (with the offending line) on malformed input and
+/// on unsupported section versions.
+[[nodiscard]] VariantModel parse_text(std::string_view text);
+
+}  // namespace spivar::variant

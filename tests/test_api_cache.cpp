@@ -1,0 +1,402 @@
+// Result-cache correctness: hits bit-identical to cold evaluations per
+// builtin, exact hit/miss accounting, LRU eviction under a tiny capacity,
+// invalidation on unload, and the generation contract (an unload/reload
+// pair can never serve a stale entry). Also covers the canonical request
+// fingerprints the keys are built from.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace spivar {
+namespace {
+
+using api::ModelStore;
+using api::Session;
+
+template <typename T>
+std::string render_result(const api::Result<T>& result) {
+  return result.ok() ? api::render(result.value())
+                     : api::render_diagnostics(result.diagnostics());
+}
+
+// --- hits are bit-identical to cold evals, per builtin -----------------------
+
+class CacheBitIdentical : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CacheBitIdentical, HitMatchesColdEvalAcrossEveryEvalPath) {
+  Session cold;  // no cache: the reference evaluation
+  Session cached;
+  cached.enable_cache({.capacity = 64});
+
+  const auto cold_model = cold.load_builtin(GetParam());
+  const auto cached_model = cached.load_builtin(GetParam());
+  ASSERT_TRUE(cold_model.ok() && cached_model.ok());
+
+  api::SimulateRequest simulate{.model = cold_model.value().id};
+  simulate.options.resolution = sim::Resolution::kRandom;
+  simulate.options.seed = 7;
+  api::AnalyzeRequest analyze{.model = cold_model.value().id};
+  api::ExploreRequest explore{.model = cold_model.value().id};
+  api::ParetoRequest pareto{.model = cold_model.value().id};
+  pareto.options.samples = 256;
+  api::CompareRequest compare{.model = cold_model.value().id};
+  compare.options.engine = synth::ExploreEngine::kGreedy;
+
+  const auto check = [&](const char* what, const std::string& reference,
+                         const std::string& miss, const std::string& hit) {
+    EXPECT_EQ(reference, miss) << what << ": cold vs cache-miss";
+    EXPECT_EQ(reference, hit) << what << ": cold vs cache-hit";
+  };
+
+  const auto on_cached = [&](auto request) {
+    request.model = cached_model.value().id;
+    return request;
+  };
+  check("simulate", render_result(cold.simulate(simulate)),
+        render_result(cached.simulate(on_cached(simulate))),
+        render_result(cached.simulate(on_cached(simulate))));
+  check("analyze", render_result(cold.analyze(analyze)),
+        render_result(cached.analyze(on_cached(analyze))),
+        render_result(cached.analyze(on_cached(analyze))));
+  check("explore", render_result(cold.explore(explore)),
+        render_result(cached.explore(on_cached(explore))),
+        render_result(cached.explore(on_cached(explore))));
+  check("pareto", render_result(cold.pareto(pareto)),
+        render_result(cached.pareto(on_cached(pareto))),
+        render_result(cached.pareto(on_cached(pareto))));
+  check("compare", render_result(cold.compare(compare)),
+        render_result(cached.compare(on_cached(compare))),
+        render_result(cached.compare(on_cached(compare))));
+
+  const auto stats = cached.cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->misses, 5u);  // one per eval path
+  EXPECT_EQ(stats->hits, 5u);    // one repeat per eval path
+  EXPECT_EQ(stats->entries, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, CacheBitIdentical,
+                         ::testing::Values("fig1", "fig2", "fig3", "video_system",
+                                           "multistandard_tv", "emission_control", "synthetic"));
+
+// --- accounting --------------------------------------------------------------
+
+TEST(ResultCache, DistinctRequestsMissAndIdenticalRequestsHit) {
+  Session session;
+  session.enable_cache();
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+
+  api::SimulateRequest request{.model = loaded.value().id};
+  ASSERT_TRUE(session.simulate(request).ok());  // miss
+  ASSERT_TRUE(session.simulate(request).ok());  // hit
+  request.options.seed = 2;                     // different fingerprint
+  ASSERT_TRUE(session.simulate(request).ok());  // miss
+  request.options.seed = 1;
+  ASSERT_TRUE(session.simulate(request).ok());  // hit (original entry)
+
+  const auto stats = session.cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->misses, 2u);
+  EXPECT_EQ(stats->hits, 2u);
+  EXPECT_EQ(stats->entries, 2u);
+  EXPECT_DOUBLE_EQ(stats->hit_rate(), 0.5);
+}
+
+TEST(ResultCache, SessionsSharingAStoreShareTheCache) {
+  auto store = std::make_shared<ModelStore>();
+  store->enable_cache();
+  Session a{store};
+  Session b{store, api::make_executor(2)};
+  const auto loaded = a.load_builtin("fig2");
+  ASSERT_TRUE(loaded.ok());
+
+  const api::SimulateRequest request{.model = loaded.value().id};
+  ASSERT_TRUE(a.simulate(request).ok());  // miss, fills the shared cache
+  ASSERT_TRUE(b.simulate(request).ok());  // hit from the sibling session
+  const auto stats = store->cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->misses, 1u);
+  EXPECT_EQ(stats->hits, 1u);
+}
+
+TEST(ResultCache, BatchesAreFrontedToo) {
+  Session session{api::make_executor(4)};
+  session.enable_cache();
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<api::SimulateRequest> sweep;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    api::SimulateRequest request{.model = loaded.value().id};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = seed;
+    sweep.push_back(request);
+  }
+  const auto cold = session.simulate_batch(sweep);
+  const auto warm = session.simulate_batch(sweep);  // every slot hits
+  const auto streamed = session.submit_simulate_batch(sweep).wait();
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(render_result(cold[i]), render_result(warm[i])) << i;
+    EXPECT_EQ(render_result(cold[i]), render_result(streamed[i])) << i;
+  }
+  const auto stats = session.cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->misses, sweep.size());       // the cold sweep
+  EXPECT_EQ(stats->hits, 2 * sweep.size());     // warm + streamed repeat
+}
+
+// --- invalidation and the generation contract --------------------------------
+
+TEST(ResultCache, UnloadInvalidatesAndReloadNeverServesStaleEntries) {
+  Session session;
+  session.enable_cache();
+  const auto first = session.load_builtin("fig1");
+  ASSERT_TRUE(first.ok());
+  const auto first_snapshot = session.store()->find(first.value().id);
+  ASSERT_NE(first_snapshot, nullptr);
+
+  ASSERT_TRUE(session.simulate({.model = first.value().id}).ok());  // miss
+  EXPECT_EQ(session.cache_stats()->entries, 1u);
+
+  EXPECT_EQ(session.unload(first.value().id), api::UnloadStatus::kUnloaded);
+  const auto after_unload = session.cache_stats();
+  EXPECT_EQ(after_unload->invalidations, 1u);
+  EXPECT_EQ(after_unload->entries, 0u);
+
+  // Reload: a fresh id *and* a fresh generation — the old key is
+  // unreachable even without the eager invalidation.
+  const auto second = session.load_builtin("fig1");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value().id.value(), first.value().id.value());
+  const auto second_snapshot = session.store()->find(second.value().id);
+  ASSERT_NE(second_snapshot, nullptr);
+  EXPECT_GT(second_snapshot->generation(), first_snapshot->generation());
+
+  ASSERT_TRUE(session.simulate({.model = second.value().id}).ok());
+  const auto stats = session.cache_stats();
+  EXPECT_EQ(stats->misses, 2u);  // the reload evaluated cold — zero stale hits
+  EXPECT_EQ(stats->hits, 0u);
+}
+
+TEST(ResultCache, InsertsAfterInvalidationAreRefused) {
+  // An in-flight batch slot finishing after a concurrent unload must not
+  // repopulate the cache: entries for an unloaded id are unreachable (the
+  // store's find fails first), so they could only waste capacity.
+  api::ResultCache cache{{.capacity = 8, .shards = 1}};
+  const api::ResultCache::Key key{
+      .model = 7, .generation = 1, .kind = api::RequestKind::kSimulate, .fingerprint = 42};
+  cache.invalidate_model(7);
+  cache.insert(key, api::Result<api::SimulateResponse>::success({}));
+  EXPECT_EQ(cache.find<api::SimulateResponse>(key), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // Other models are unaffected.
+  const api::ResultCache::Key live{
+      .model = 8, .generation = 2, .kind = api::RequestKind::kSimulate, .fingerprint = 42};
+  cache.insert(live, api::Result<api::SimulateResponse>::success({}));
+  EXPECT_NE(cache.find<api::SimulateResponse>(live), nullptr);
+}
+
+TEST(ResultCache, EvictionUnderTinyCapacity) {
+  Session session;
+  session.enable_cache({.capacity = 2, .shards = 1});
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+
+  api::SimulateRequest request{.model = loaded.value().id};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {  // 3 entries, capacity 2
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = seed;
+    ASSERT_TRUE(session.simulate(request).ok());
+  }
+  auto stats = session.cache_stats();
+  EXPECT_EQ(stats->evictions, 1u);  // seed 1 (least recently used) dropped
+  EXPECT_EQ(stats->entries, 2u);
+
+  request.options.seed = 1;
+  ASSERT_TRUE(session.simulate(request).ok());  // evicted: must miss again
+  stats = session.cache_stats();
+  EXPECT_EQ(stats->misses, 4u);
+  EXPECT_EQ(stats->hits, 0u);
+
+  // LRU order, not insertion order: touching seed 3 makes seed 1 the
+  // eviction victim of the next insert.
+  request.options.seed = 3;
+  ASSERT_TRUE(session.simulate(request).ok());  // hit, refreshes recency
+  request.options.seed = 4;
+  ASSERT_TRUE(session.simulate(request).ok());  // evicts seed 1
+  request.options.seed = 3;
+  ASSERT_TRUE(session.simulate(request).ok());  // still cached
+  stats = session.cache_stats();
+  EXPECT_EQ(stats->hits, 2u);
+}
+
+TEST(ResultCache, CacheStatsAreNulloptWhenDisabled) {
+  Session session;
+  EXPECT_FALSE(session.cache_stats().has_value());
+  session.enable_cache({.capacity = 4});
+  EXPECT_TRUE(session.cache_stats().has_value());
+  // Idempotent: re-enabling keeps the cache and its counters.
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(session.simulate({.model = loaded.value().id}).ok());
+  session.enable_cache({.capacity = 999});
+  EXPECT_EQ(session.cache_stats()->misses, 1u);
+}
+
+// --- canonical fingerprints --------------------------------------------------
+
+TEST(RequestFingerprint, DuplicateCompareStrategiesCollapse) {
+  using synth::StrategyKind;
+  api::CompareRequest a;
+  a.strategies = {StrategyKind::kSerialized, StrategyKind::kIndependent};
+  api::CompareRequest b = a;
+  b.strategies = {StrategyKind::kSerialized, StrategyKind::kIndependent,
+                  StrategyKind::kSerialized};  // duplicate adds no row
+  EXPECT_EQ(api::fingerprint(a), api::fingerprint(b));
+
+  // Presentation order is semantic (it orders the response rows).
+  api::CompareRequest c = a;
+  c.strategies = {StrategyKind::kIndependent, StrategyKind::kSerialized};
+  EXPECT_NE(api::fingerprint(a), api::fingerprint(c));
+}
+
+TEST(RequestFingerprint, ObjectiveChainsAreOrderSensitive) {
+  using synth::RankObjective;
+  api::CompareRequest a;
+  a.objectives = {RankObjective::kTotalCost, RankObjective::kDesignTime};
+  api::CompareRequest b = a;
+  b.objectives = {RankObjective::kDesignTime, RankObjective::kTotalCost};
+  EXPECT_NE(api::fingerprint(a), api::fingerprint(b));
+}
+
+TEST(RequestFingerprint, OutcomeRelevantFieldsChangeTheDigest) {
+  api::SimulateRequest base;
+  EXPECT_EQ(api::fingerprint(base), api::fingerprint(api::SimulateRequest{}));
+  api::SimulateRequest seeded = base;
+  seeded.options.seed = 99;
+  EXPECT_NE(api::fingerprint(base), api::fingerprint(seeded));
+  api::SimulateRequest timeline = base;
+  timeline.render_timeline = true;
+  EXPECT_NE(api::fingerprint(base), api::fingerprint(timeline));
+
+  // The model handle is deliberately *not* part of the fingerprint — the
+  // cache key pins the snapshot separately.
+  api::SimulateRequest other_model = base;
+  other_model.model = api::ModelId{42};
+  EXPECT_EQ(api::fingerprint(base), api::fingerprint(other_model));
+}
+
+TEST(RequestFingerprint, LibraryOverridesHashByValue) {
+  api::ExploreRequest a;
+  api::ExploreRequest b;
+  EXPECT_EQ(api::fingerprint(a), api::fingerprint(b));
+
+  synth::ImplLibrary library;
+  library.add("x", {.sw_load = 0.5, .hw_cost = 10.0});
+  library.add("y", {.sw_load = 0.25, .hw_cost = 20.0});
+  a.library = library;
+  EXPECT_NE(api::fingerprint(a), api::fingerprint(b));
+
+  // Same logical library (std::map iterates name-ordered regardless of
+  // insertion order) — equal digests.
+  synth::ImplLibrary reordered;
+  reordered.add("y", {.sw_load = 0.25, .hw_cost = 20.0});
+  reordered.add("x", {.sw_load = 0.5, .hw_cost = 10.0});
+  b.library = reordered;
+  EXPECT_EQ(api::fingerprint(a), api::fingerprint(b));
+}
+
+// --- tombstone-aware spec cache ----------------------------------------------
+
+TEST(SpecCache, ReusesLiveHandlesAndReloadsTombstonedOnes) {
+  auto store = std::make_shared<ModelStore>();
+  api::SpecCache specs{store};
+
+  const auto first = specs.resolve("fig2");
+  ASSERT_TRUE(first.ok());
+  const auto again = specs.resolve("fig2");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().id.value(), first.value().id.value());  // one load
+  EXPECT_EQ(store->size(), 1u);
+
+  // Unload through the store (a `--then unload` stage): the next resolve
+  // must NOT resurrect the tombstoned id.
+  ASSERT_EQ(store->unload(first.value().id), api::UnloadStatus::kUnloaded);
+  const auto reloaded = specs.resolve("fig2");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_NE(reloaded.value().id.value(), first.value().id.value());
+  EXPECT_NE(store->find(reloaded.value().id), nullptr);
+  EXPECT_EQ(store->find(first.value().id), nullptr);  // still a tombstone
+  EXPECT_EQ(store->unload(first.value().id), api::UnloadStatus::kAlreadyUnloaded);
+}
+
+TEST(SpecCache, PeekObservesWithoutLoading) {
+  auto store = std::make_shared<ModelStore>();
+  api::SpecCache specs{store};
+
+  // Never resolved: peek reports nothing and loads nothing (the CLI's
+  // `unload` of an unknown spec must not build it just to tombstone it).
+  EXPECT_FALSE(specs.peek("fig2").has_value());
+  EXPECT_EQ(store->size(), 0u);
+
+  const auto loaded = specs.resolve("fig2");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(specs.peek("fig2").has_value());
+  EXPECT_EQ(specs.peek("fig2")->value(), loaded.value().id.value());
+
+  // After unload, peek still returns the tombstoned handle — that is what
+  // makes kAlreadyUnloaded observable through the CLI's `--then unload`.
+  ASSERT_EQ(store->unload(loaded.value().id), api::UnloadStatus::kUnloaded);
+  ASSERT_TRUE(specs.peek("fig2").has_value());
+  EXPECT_EQ(store->unload(*specs.peek("fig2")), api::UnloadStatus::kAlreadyUnloaded);
+}
+
+TEST(SpecCache, OptionAssignmentsKeySeparatelyAndRequireABuiltin) {
+  auto store = std::make_shared<ModelStore>();
+  api::SpecCache specs{store};
+
+  const auto plain = specs.resolve("synthetic");
+  const auto tuned = specs.resolve("synthetic", {"variants=4"});
+  ASSERT_TRUE(plain.ok() && tuned.ok());
+  EXPECT_NE(plain.value().id.value(), tuned.value().id.value());
+  EXPECT_EQ(specs.resolve("synthetic", {"variants=4"}).value().id.value(),
+            tuned.value().id.value());
+
+  const auto bad = specs.resolve("/tmp/not-a-builtin.spit", {"variants=4"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.diagnostics().has_code(api::diag::kBadOption));
+}
+
+TEST(SpecCache, UnloadInvalidatesCachedResultsAcrossStages) {
+  // The full `--then` interaction: stage 1 evaluates (cached), stage 2
+  // unloads, stage 3 re-resolves and re-evaluates — fresh id, fresh
+  // generation, zero stale hits.
+  auto store = std::make_shared<ModelStore>();
+  store->enable_cache();
+  api::SpecCache specs{store};
+  Session session{store};
+
+  const auto first = specs.resolve("fig1");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(session.simulate({.model = first.value().id}).ok());
+  ASSERT_EQ(store->unload(first.value().id), api::UnloadStatus::kUnloaded);
+
+  const auto second = specs.resolve("fig1");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(session.simulate({.model = second.value().id}).ok());
+  const auto stats = store->cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->hits, 0u);
+  EXPECT_EQ(stats->misses, 2u);
+  EXPECT_EQ(stats->invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace spivar

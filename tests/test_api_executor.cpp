@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -16,6 +20,19 @@ namespace spivar {
 namespace {
 
 using api::Session;
+
+/// Renders every batch slot (or its diagnostics) into one string — the
+/// bit-identical comparison covers names, costs, mappings and orderings.
+template <typename T>
+std::string render_batch(const std::vector<api::Result<T>>& results) {
+  std::string out;
+  for (const auto& result : results) {
+    out += result.ok() ? api::render(result.value())
+                       : api::render_diagnostics(result.diagnostics());
+    out += "\n---\n";
+  }
+  return out;
+}
 
 // --- executor contract -------------------------------------------------------
 
@@ -87,6 +104,114 @@ TEST(Executor, SubmitIsFireAndForgetAndDrainsBeforeDestruction) {
   EXPECT_EQ(count.load(), 64);
 }
 
+// --- priority / deadline scheduling ------------------------------------------
+
+TEST(ExecutorScheduling, ParsePriorityRoundTrips) {
+  EXPECT_EQ(api::parse_priority("low"), api::Priority::kLow);
+  EXPECT_EQ(api::parse_priority("normal"), api::Priority::kNormal);
+  EXPECT_EQ(api::parse_priority("high"), api::Priority::kHigh);
+  EXPECT_FALSE(api::parse_priority("urgent").has_value());
+  EXPECT_EQ(std::string{api::to_string(api::Priority::kHigh)}, "high");
+}
+
+TEST(ExecutorScheduling, HighPriorityOvertakesQueuedSkewedBatch) {
+  // Single worker, held on a gate while work piles up behind it: a big
+  // low-priority batch is queued first, then one high-priority task. When
+  // the gate opens, the high-priority task must run before any low slot —
+  // the FIFO queue of PR 3 would have drained the skewed batch first.
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  {
+    api::ThreadPoolExecutor executor{1};
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    executor.submit({[gate] { gate.wait(); }}, {.priority = api::Priority::kHigh});
+
+    std::vector<std::function<void()>> low;
+    for (int i = 0; i < 8; ++i) {
+      low.push_back([&order_mutex, &order] {
+        std::lock_guard lock{order_mutex};
+        order.push_back("low");
+      });
+    }
+    executor.submit(std::move(low), {.priority = api::Priority::kLow});
+    executor.submit({[&order_mutex, &order] {
+                      std::lock_guard lock{order_mutex};
+                      order.push_back("high");
+                    }},
+                    {.priority = api::Priority::kHigh});
+    release.set_value();
+  }  // destructor drains the queue
+
+  ASSERT_EQ(order.size(), 9u);
+  EXPECT_EQ(order.front(), "high");
+  for (std::size_t i = 1; i < order.size(); ++i) EXPECT_EQ(order[i], "low") << i;
+}
+
+TEST(ExecutorScheduling, EarlierDeadlineDrainsFirstWithinAPriorityBand) {
+  // Same single-worker gate; three normal-priority batches submitted in the
+  // order (late deadline, early deadline, no deadline) must drain EDF:
+  // early, late, none.
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto record = [&order_mutex, &order](const char* tag) {
+    return [&order_mutex, &order, tag] {
+      std::lock_guard lock{order_mutex};
+      order.emplace_back(tag);
+    };
+  };
+  {
+    api::ThreadPoolExecutor executor{1};
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    executor.submit({[gate] { gate.wait(); }}, {.priority = api::Priority::kHigh});
+
+    executor.submit({record("late")}, {.deadline = std::chrono::milliseconds{60'000}});
+    executor.submit({record("early")}, {.deadline = std::chrono::milliseconds{1'000}});
+    executor.submit({record("none")}, {});  // no deadline sorts after any deadline
+    release.set_value();
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "early");
+  EXPECT_EQ(order[1], "late");
+  EXPECT_EQ(order[2], "none");
+}
+
+TEST(ExecutorScheduling, SerialExecutorAcceptsOptionsUnchanged) {
+  api::SerialExecutor executor;
+  std::vector<int> order;
+  executor.submit({[&order] { order.push_back(1); }}, {.priority = api::Priority::kLow});
+  executor.run({[&order] { order.push_back(2); }},
+               {.priority = api::Priority::kHigh,
+                .deadline = std::chrono::milliseconds{5}});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // inline, submission order — options are inert
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ExecutorScheduling, PrioritizedSessionBatchesStayBitIdentical) {
+  // Scheduling options move work around in time, never in value: a
+  // high-priority deadline batch returns exactly the serial results.
+  Session serial;
+  Session pooled{api::make_executor(4)};
+  const auto serial_model = serial.load_builtin("fig2");
+  const auto pooled_model = pooled.load_builtin("fig2");
+  ASSERT_TRUE(serial_model.ok() && pooled_model.ok());
+
+  std::vector<api::SimulateRequest> batch;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    api::SimulateRequest request{.model = serial_model.value().id};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = seed;
+    batch.push_back(request);
+  }
+  const std::string expected = render_batch(serial.simulate_batch(batch));
+  auto handle = pooled.submit_simulate_batch(
+      batch, {},
+      {.priority = api::Priority::kHigh, .deadline = std::chrono::milliseconds{100}});
+  EXPECT_EQ(render_batch(handle.wait()), expected);
+}
+
 // --- session move semantics --------------------------------------------------
 
 // Batch tasks capture store snapshots, never the session, so sessions are
@@ -115,19 +240,6 @@ TEST(SessionSemantics, ExecutorInjectionIsVisible) {
 }
 
 // --- parallel-vs-serial determinism ------------------------------------------
-
-/// Renders every batch slot (or its diagnostics) into one string — the
-/// bit-identical comparison covers names, costs, mappings and orderings.
-template <typename T>
-std::string render_batch(const std::vector<api::Result<T>>& results) {
-  std::string out;
-  for (const auto& result : results) {
-    out += result.ok() ? api::render(result.value())
-                       : api::render_diagnostics(result.diagnostics());
-    out += "\n---\n";
-  }
-  return out;
-}
 
 class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};
 

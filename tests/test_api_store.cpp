@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -276,6 +277,92 @@ TEST(StreamingBatch, BlockingBatchNestedInsideAPoolTaskCompletes) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].ok());
   EXPECT_EQ(inner_ok.load(), 3u);
+}
+
+TEST(StreamingBatch, WaitAfterCancelNeverHangsWhenCancelRacesCompletion) {
+  // Stress the cancel/completion race under the pool (and TSAN in CI): a
+  // canceller thread fires while workers are mid-batch. Contract: every
+  // slot's future becomes ready — a slot either carries its real result or
+  // the api-cancelled diagnostics, never a hung future — and wait() after
+  // cancel() returns the full vector, repeatably.
+  auto store = std::make_shared<ModelStore>();
+  Session session{store, api::make_executor(4)};
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<api::SimulateRequest> requests;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    api::SimulateRequest request{.model = loaded.value().id};
+    request.options.resolution = sim::Resolution::kRandom;
+    request.options.seed = seed;
+    requests.push_back(request);
+  }
+
+  for (int round = 0; round < 16; ++round) {
+    auto handle = session.submit_simulate_batch(requests);
+    std::thread canceller{[&handle] { handle.cancel(); }};
+
+    // Per-slot deadline so a lost slot fails the test instead of freezing
+    // the suite: 60s is orders of magnitude above any fig1 simulation.
+    for (std::size_t i = 0; i < handle.size(); ++i) {
+      ASSERT_EQ(handle.slot(i).wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "round " << round << " slot " << i << " never landed";
+    }
+    canceller.join();
+
+    const auto results = handle.wait();  // repeatable after cancel
+    ASSERT_EQ(results.size(), requests.size());
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        EXPECT_GT(results[i].value().result.total_firings, 0) << i;
+      } else {
+        EXPECT_TRUE(results[i].diagnostics().has_code(api::diag::kCancelled)) << i;
+        ++cancelled;
+      }
+    }
+    EXPECT_TRUE(handle.done());
+    EXPECT_EQ(handle.landed(), requests.size());
+    EXPECT_TRUE(handle.cancel_requested());
+    // Both extremes are legal outcomes of the race; the invariant is that
+    // all slots landed either way.
+    EXPECT_LE(cancelled, requests.size());
+  }
+}
+
+TEST(StreamingBatch, CancelFromOnSlotRacingManyWorkersLandsEverySlot) {
+  // The in-stream variant of the race: slot callbacks themselves request
+  // cancellation while sibling workers are evaluating — on_slot still fires
+  // exactly once per slot and the landed counter converges.
+  Session session{api::make_executor(4)};
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+  std::vector<api::SimulateRequest> batch(24, {.model = loaded.value().id});
+
+  api::BatchHandle<api::SimulateResponse> handle;
+  std::atomic<std::size_t> streamed{0};
+  std::promise<void> handle_ready;
+  std::shared_future<void> ready = handle_ready.get_future().share();
+  handle = session.submit_simulate_batch(
+      batch, [&handle, &streamed, ready](std::size_t slot,
+                                         const api::Result<api::SimulateResponse>&) {
+        ++streamed;
+        if (slot % 5 == 0) {
+          ready.wait();
+          handle.cancel();
+        }
+      });
+  handle_ready.set_value();
+
+  const auto results = handle.wait();
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(streamed.load(), batch.size());
+  EXPECT_TRUE(handle.done());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok() || results[i].diagnostics().has_code(api::diag::kCancelled))
+        << i;
+  }
 }
 
 TEST(StreamingBatch, CancelAfterCompletionIsANoOp) {

@@ -1,7 +1,9 @@
-// Tests for the tooling layer: variant-aware DOT, model statistics, and
-// per-binding utilization reports.
+// Tests for the tooling layer: variant-aware DOT, model statistics,
+// per-binding utilization reports, and the cache-stats rendering the CLI's
+// `cache-stats` command prints.
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "models/emission_control.hpp"
 #include "models/fig1.hpp"
 #include "models/fig2.hpp"
@@ -155,6 +157,36 @@ TEST(Utilization, AgreesWithStrategyOutcome) {
                                                  synth::ElementGranularity::kProcess);
   EXPECT_TRUE(report.all_feasible());
   EXPECT_EQ(report.bindings.size(), 3u);
+}
+
+// --- cache stats rendering ---------------------------------------------------
+
+TEST(CacheStatsRender, TableCarriesCountersAndHitRate) {
+  api::Session session;
+  session.enable_cache({.capacity = 16});
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(session.simulate({.model = loaded.value().id}).ok());  // miss
+  ASSERT_TRUE(session.simulate({.model = loaded.value().id}).ok());  // hit
+
+  const auto stats = session.cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->hits, 1u);
+  EXPECT_EQ(stats->misses, 1u);
+  EXPECT_DOUBLE_EQ(stats->hit_rate(), 0.5);
+
+  const std::string text = api::render(*stats);
+  EXPECT_NE(text.find("hits"), std::string::npos);
+  EXPECT_NE(text.find("misses"), std::string::npos);
+  EXPECT_NE(text.find("evictions"), std::string::npos);
+  EXPECT_NE(text.find("invalidations"), std::string::npos);
+  EXPECT_NE(text.find("50.0%"), std::string::npos);
+}
+
+TEST(CacheStatsRender, ZeroLookupsRenderAsZeroRate) {
+  const api::CacheStats empty{.capacity = 8};
+  EXPECT_DOUBLE_EQ(empty.hit_rate(), 0.0);
+  EXPECT_NE(api::render(empty).find("0.0%"), std::string::npos);
 }
 
 // --- buffer sizing -----------------------------------------------------------

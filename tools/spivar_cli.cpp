@@ -16,9 +16,18 @@
 //                             [--all-orders] [--jobs N] [--process|--cluster]
 //                             [--rank cost,utilization,time] [--stream]
 //   spivar_cli batch <model> [model...] [--sims N] [--jobs N] [--stream]
+//                             [--priority low|normal|high] [--deadline-ms N]
 //                             seed-sweep simulate batch over every listed
-//                             model; --stream prints slots as they land
+//                             model; --stream prints slots as they land;
+//                             --priority/--deadline-ms pick the executor's
+//                             scheduling band (EDF within a band)
+//   spivar_cli unload <model>             tombstone a model an earlier
+//                                         segment loaded (reports
+//                                         already-unloaded / never-loaded)
+//   spivar_cli cache-stats                result-cache hit/miss counters
 //   spivar_cli demo [name]                emit a built-in model as spit text
+//                                         (variant models include the
+//                                         `variants v1` section)
 //   spivar_cli selfcheck                  demo -> parse -> validate -> simulate
 //
 // <model> is a built-in name (see `models`) or a path to a .spit file. Model
@@ -27,13 +36,15 @@
 //
 // Commands chain with `--then`, sharing one ModelStore for the whole
 // invocation — a model loaded (or `--opt`-configured) once is reused by
-// every later command:
+// every later command. `--cache N` (any segment) enables the store's
+// (snapshot, request) result cache with capacity N, so repeated evaluations
+// across segments return memoized results:
 //
-//   spivar_cli simulate fig2 --then compare fig2 --all-orders
+//   spivar_cli simulate fig2 --cache 256
+//       --then compare fig2 --all-orders --then cache-stats
 #include <charconv>
 #include <chrono>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -55,10 +66,12 @@ class UsageError : public std::runtime_error {
 
 int usage() {
   std::cerr << "usage: spivar_cli <models|validate|stats|simulate|dot|deadlock|buffers|timing|"
-               "analyze|explore|pareto|compare|batch|demo|selfcheck> [model] [options]\n"
+               "analyze|explore|pareto|compare|batch|unload|cache-stats|demo|selfcheck> "
+               "[model] [options]\n"
                "       model = built-in name (spivar_cli models) or .spit file path\n"
                "       built-ins take '--opt key=value' (repeatable) for non-default options\n"
-               "       commands chain with '--then' and share one model store\n";
+               "       commands chain with '--then' and share one model store;\n"
+               "       '--cache N' enables the (snapshot, request) result cache\n";
   return 2;
 }
 
@@ -339,14 +352,29 @@ int cmd_pareto(api::Session& session, api::ModelId model,
   return result.value().points.empty() ? 1 : 0;
 }
 
+api::SubmitOptions parse_submit_options(const std::vector<std::string>& flags) {
+  api::SubmitOptions options;
+  if (const auto name = flag_value(flags, "--priority")) {
+    const auto priority = api::parse_priority(*name);
+    if (!priority) throw UsageError("unknown priority '" + *name + "' (low|normal|high)");
+    options.priority = *priority;
+  }
+  if (const auto ms = flag_value(flags, "--deadline-ms")) {
+    options.deadline = std::chrono::milliseconds{parse_u64(*ms, "--deadline-ms")};
+  }
+  return options;
+}
+
 /// Seed-sweep simulate batch over every listed model, submitted through the
 /// streaming surface. Slots land in any order (--stream shows them as they
 /// do, on stderr); the stdout table is always in slot order, bit-identical
-/// to a serial run.
+/// to a serial run. --priority/--deadline-ms pick the batch's scheduling
+/// band on the executor.
 int cmd_batch(api::Session& session, const std::vector<api::ModelId>& models,
               const std::vector<std::string>& names, const std::vector<std::string>& flags) {
   const std::uint64_t sims = parse_u64(flag_value(flags, "--sims").value_or("4"), "--sims");
   if (sims == 0) throw UsageError("'--sims' must be at least 1");
+  const api::SubmitOptions submit_options = parse_submit_options(flags);
 
   std::vector<api::SimulateRequest> requests;
   requests.reserve(models.size() * sims);
@@ -373,7 +401,7 @@ int cmd_batch(api::Session& session, const std::vector<api::ModelId>& models,
     };
   }
 
-  auto handle = session.submit_simulate_batch(requests, std::move(on_slot));
+  auto handle = session.submit_simulate_batch(requests, std::move(on_slot), submit_options);
   const auto results = handle.wait();
 
   support::TextTable table{{"slot", "model", "seed", "firings", "end time", "status"}};
@@ -402,13 +430,8 @@ int cmd_demo(const std::string& name) {
   api::Session session;
   const auto model = session.load_builtin(name);
   if (report_failure(model)) return 1;
-  if (model.value().has_variants()) {
-    // The spit format covers the flat graph only; make the loss visible so
-    // nobody round-trips a variant model expecting it to validate.
-    std::cerr << "note: '" << name << "' has " << model.value().interfaces
-              << " interface(s); .spit text captures the flat graph only (the "
-                 "variant structure and its exclusivity relation are not emitted)\n";
-  }
+  // Variant models emit the versioned `variants v1` section, so clusters,
+  // interfaces and selection rules round-trip through the text format.
   const auto text = session.write_text(model.value().id);
   if (report_failure(text)) return 1;
   std::cout << text.value();
@@ -450,47 +473,46 @@ int cmd_selfcheck() {
 }
 
 /// State shared by every `--then` segment of one invocation: the model
-/// store (sessions are views over it) and a spec -> handle cache so a model
-/// named twice is loaded once.
+/// store (sessions are views over it) and a tombstone-aware spec -> handle
+/// cache so a model named twice is loaded once — but a spec whose handle a
+/// previous segment unloaded is reloaded fresh instead of resurrecting the
+/// tombstoned id (api::SpecCache owns that rule).
 struct CliContext {
   std::shared_ptr<api::ModelStore> store = std::make_shared<api::ModelStore>();
-  std::map<std::string, api::ModelId> loaded;
+  api::SpecCache specs{store};
 };
 
-/// Loads `spec` (with optional `--opt` assignments) through the shared
-/// store, reusing the handle when an earlier segment already loaded the
-/// same spec+options combination.
-api::Result<api::ModelInfo> load_spec(api::Session& session, CliContext& ctx,
-                                      const std::string& spec,
-                                      const std::vector<std::string>& assignments) {
-  std::string key = spec;
-  for (const auto& assignment : assignments) key += "\n" + assignment;
-  if (const auto it = ctx.loaded.find(key); it != ctx.loaded.end()) {
-    return session.info(it->second);
+/// Applies a segment's `--cache N` flag: enables the shared store's result
+/// cache (idempotent — a later segment's flag keeps the earlier cache and
+/// its statistics).
+void apply_cache_flag(CliContext& ctx, const std::vector<std::string>& flags) {
+  if (const auto capacity = flag_value(flags, "--cache")) {
+    ctx.store->enable_cache({.capacity = parse_u64(*capacity, "--cache")});
   }
-  auto loaded = [&] {
-    if (assignments.empty()) return session.load_model(spec);
-    if (!api::find_builtin(spec)) {
-      throw UsageError("'--opt' requires a built-in model, and '" + spec + "' is not one");
-    }
-    const auto options = api::parse_builtin_options(spec, assignments);
-    if (!options.ok()) {
-      return api::Result<api::ModelInfo>::failure(options.diagnostics());
-    }
-    return session.load_builtin(api::LoadBuiltinRequest{.name = spec, .options = options.value()});
-  }();
-  if (loaded.ok()) ctx.loaded.emplace(key, loaded.value().id);
-  return loaded;
 }
 
 int run_cli(const std::string& command, const std::vector<std::string>& rest, CliContext& ctx) {
   if (command == "models" || command == "selfcheck") {
-    check_flags(rest, {}, {});  // no arguments
+    check_flags(rest, {}, {"--cache"});
+    apply_cache_flag(ctx, rest);
     return command == "models" ? cmd_models() : cmd_selfcheck();
+  }
+  if (command == "cache-stats") {
+    check_flags(rest, {}, {"--cache"});
+    apply_cache_flag(ctx, rest);
+    const auto stats = ctx.store->cache_stats();
+    if (!stats) {
+      std::cout << "result cache disabled (enable with '--cache N' on any segment)\n";
+      return 0;
+    }
+    std::cout << api::render(*stats);
+    return 0;
   }
   if (command == "demo") {
     const bool named = !rest.empty() && rest[0].rfind("--", 0) != 0;
-    check_flags({rest.begin() + (named ? 1 : 0), rest.end()}, {}, {});
+    const std::vector<std::string> flags(rest.begin() + (named ? 1 : 0), rest.end());
+    check_flags(flags, {}, {"--cache"});
+    apply_cache_flag(ctx, flags);
     return cmd_demo(named ? rest[0] : "fig1");
   }
 
@@ -504,8 +526,11 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
     }
     const std::vector<std::string> specs(rest.begin(), rest.begin() + first_flag);
     const std::vector<std::string> flags(rest.begin() + first_flag, rest.end());
-    check_flags(flags, {"--stream"}, {"--sims", "--jobs", "--opt"});
+    check_flags(flags, {"--stream"},
+                {"--sims", "--jobs", "--opt", "--cache", "--priority", "--deadline-ms"});
     (void)parse_u64(flag_value(flags, "--sims").value_or("4"), "--sims");
+    (void)parse_submit_options(flags);
+    apply_cache_flag(ctx, flags);
     const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
     api::Session session{ctx.store, api::make_executor(jobs)};
 
@@ -513,9 +538,8 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
     const std::vector<std::string> assignments = flag_values(flags, "--opt");
     std::vector<api::ModelId> models;
     for (const std::string& spec : specs) {
-      const auto loaded = load_spec(session, ctx, spec,
-                                    api::find_builtin(spec) ? assignments
-                                                            : std::vector<std::string>{});
+      const auto loaded = ctx.specs.resolve(
+          spec, api::find_builtin(spec) ? assignments : std::vector<std::string>{});
       if (report_failure(loaded)) return 1;
       models.push_back(loaded.value().id);
     }
@@ -526,7 +550,7 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
   // command never masquerades as a model-load failure.
   constexpr const char* kModelCommands[] = {"validate", "stats",   "simulate", "dot",
                                             "deadlock", "buffers", "timing",   "analyze",
-                                            "explore",  "pareto",  "compare"};
+                                            "explore",  "pareto",  "compare",  "unload"};
   bool known = false;
   for (const char* candidate : kModelCommands) {
     if (command == candidate) known = true;
@@ -546,25 +570,25 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
     if (const auto value = flag_value(flags, flag)) (void)parse_u64(*value, flag);
   };
   if (command == "simulate") {
-    check_flags(flags, {"--trace", "--timeline", "--upper"}, {"--random", "--opt"});
+    check_flags(flags, {"--trace", "--timeline", "--upper"}, {"--random", "--opt", "--cache"});
     if (has_flag(flags, "--upper") && has_flag(flags, "--random")) {
       throw UsageError("'--upper' and '--random' are mutually exclusive");
     }
     prevalidate_u64("--random");
   } else if (command == "explore") {
-    check_flags(flags, {"--process", "--cluster"}, {"--engine", "--seed", "--opt"});
+    check_flags(flags, {"--process", "--cluster"}, {"--engine", "--seed", "--opt", "--cache"});
     if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
       throw UsageError("'--process' and '--cluster' are mutually exclusive");
     }
     (void)parse_engine(flag_value(flags, "--engine").value_or("greedy"));
     prevalidate_u64("--seed");
   } else if (command == "pareto") {
-    check_flags(flags, {}, {"--samples", "--seed", "--opt"});
+    check_flags(flags, {}, {"--samples", "--seed", "--opt", "--cache"});
     prevalidate_u64("--samples");
     prevalidate_u64("--seed");
   } else if (command == "compare") {
     check_flags(flags, {"--all-orders", "--process", "--cluster", "--stream"},
-                {"--engine", "--seed", "--strategies", "--jobs", "--rank", "--opt"});
+                {"--engine", "--seed", "--strategies", "--jobs", "--rank", "--opt", "--cache"});
     if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
       throw UsageError("'--process' and '--cluster' are mutually exclusive");
     }
@@ -574,22 +598,54 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
     prevalidate_u64("--seed");
     prevalidate_u64("--jobs");
   } else if (command == "timing" || command == "analyze") {
-    check_flags(flags, {"--reconf"}, {"--opt"});
+    check_flags(flags, {"--reconf"}, {"--opt", "--cache"});
   } else {
-    // validate/stats/dot/deadlock/buffers take no flags beyond --opt
-    check_flags(flags, {}, {"--opt"});
+    // validate/stats/dot/deadlock/buffers/unload take no flags beyond
+    // --opt/--cache
+    check_flags(flags, {}, {"--opt", "--cache"});
   }
 
-  // `--jobs N` selects this segment's execution policy for the
-  // batch/compare surface; everything else runs identically (results are
-  // deterministic by seed). The session is a view over the invocation's
-  // shared store.
+  // `--cache N` enables the shared store's result cache for this and every
+  // later segment; `--jobs N` selects this segment's execution policy for
+  // the batch/compare surface; everything else runs identically (results
+  // are deterministic by seed). The session is a view over the
+  // invocation's shared store.
+  apply_cache_flag(ctx, flags);
   const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
   api::Session session{ctx.store, api::make_executor(jobs)};
 
+  if (command == "unload") {
+    // Deliberately peeks instead of resolving: unloading must never *load*
+    // (an unknown spec is reported, not built-then-tombstoned), and the
+    // full three-way UnloadStatus contract stays observable — a second
+    // `--then unload` of the same spec reports already-unloaded. Without
+    // `--opt` every assignments-combination loaded for the spec is
+    // targeted; with `--opt` only that exact combination.
+    const std::vector<std::string> assignments = flag_values(flags, "--opt");
+    std::vector<api::ModelId> targets;
+    if (assignments.empty()) {
+      targets = ctx.specs.handles(rest[0]);
+    } else if (const auto cached = ctx.specs.peek(rest[0], assignments)) {
+      targets.push_back(*cached);
+    }
+    if (targets.empty()) {
+      std::cout << rest[0] << ": " << api::to_string(api::UnloadStatus::kNeverLoaded)
+                << " (no earlier segment loaded it)\n";
+      return 1;
+    }
+    bool any_unloaded = false;
+    for (const api::ModelId target : targets) {
+      const api::UnloadStatus status = session.unload(target);
+      any_unloaded = any_unloaded || api::unloaded(status);
+      std::cout << rest[0] << " #" << target.value() << ": " << api::to_string(status) << "\n";
+    }
+    return any_unloaded ? 0 : 1;
+  }
+
   // `--opt key=value` loads a built-in with non-default typed options;
-  // repeated specs reuse the handle loaded by an earlier segment.
-  const auto loaded = load_spec(session, ctx, rest[0], flag_values(flags, "--opt"));
+  // repeated specs reuse the handle loaded by an earlier segment (unless a
+  // previous segment unloaded it — then the spec cache reloads fresh).
+  const auto loaded = ctx.specs.resolve(rest[0], flag_values(flags, "--opt"));
   if (report_failure(loaded)) return 1;
   const api::ModelId model = loaded.value().id;
 
