@@ -237,15 +237,23 @@ void BM_UrgentSlotUnderLoad(benchmark::State& state) {
   for (auto _ : state) {
     auto backlog = session.submit_simulate_batch(background);
     const auto started = std::chrono::steady_clock::now();
-    auto urgent = session.submit_simulate_batch({{.model = small}}, {},
-                                                {.priority = priority});
+    // A 1 ms deadline on the urgent slot arms the executor's deadline-miss
+    // telemetry: at normal priority the slot queues behind the backlog and
+    // blows the deadline, at high priority it overtakes and meets it.
+    auto urgent = session.submit_simulate_batch(
+        {{.model = small}}, {},
+        {.priority = priority, .deadline = std::chrono::milliseconds{1}});
     urgent.slot(0).wait();
     state.SetIterationTime(std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - started)
                                .count());
     benchmark::DoNotOptimize(backlog.wait().size());  // drain outside the clock
   }
+  const api::ExecutorStats stats = session.executor_stats();
   state.counters["priority"] = static_cast<double>(state.range(0));
+  state.counters["deadline_misses"] = static_cast<double>(stats.deadline_misses);
+  state.counters["max_lateness_ms"] =
+      static_cast<double>(stats.max_lateness.count()) / 1000.0;
 }
 BENCHMARK(BM_UrgentSlotUnderLoad)
     ->Arg(static_cast<int>(api::Priority::kNormal))

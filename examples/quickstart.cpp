@@ -4,6 +4,7 @@
 //   $ ./quickstart
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "api/api.hpp"
 
@@ -48,7 +49,22 @@ int main() {
   const auto arch = session.explore({.model = model});
   std::cout << "\n== synthesis ==\n" << api::render(unwrap(arch));
 
-  // 6. GraphViz export (pipe into `dot -Tsvg`).
+  // 6. The v5 envelope: any mix of evaluation kinds travels through one
+  //    call_batch — each slot returns exactly what its dedicated endpoint
+  //    would, and targets can be named by spec instead of handle (that is
+  //    what wire clients of spivar_serve send).
+  std::vector<api::AnyRequest> envelope;
+  envelope.push_back({.payload = api::SimulateRequest{.model = model},
+                      .options = {.priority = api::Priority::kHigh}});
+  envelope.push_back({.payload = api::AnalyzeRequest{.model = model}});
+  envelope.push_back({.payload = api::ExploreRequest{}, .target = "fig2"});
+  std::cout << "\n== envelope batch ==\n";
+  for (const auto& slot : session.call_batch(envelope)) {
+    std::cout << api::to_string(api::kind_of(slot.value())) << " -> "
+              << api::model_of(slot.value()) << "\n";
+  }
+
+  // 7. GraphViz export (pipe into `dot -Tsvg`).
   const auto dot = session.dot(model);
   std::cout << "\n== dot ==\n" << unwrap(dot);
   return 0;

@@ -1,43 +1,67 @@
 // Umbrella header for the spivar::api layer — the only include front ends
 // need.
 //
-// v4 surface:
+// v5 surface — the unified request envelope is the primary entry point;
+// the per-kind methods remain as thin typed wrappers over the same
+// internals:
+//   * AnyRequest / AnyResponse (requests.hpp / responses.hpp) — one
+//     std::variant envelope over every evaluation kind (simulate, analyze,
+//     explore, pareto, compare) plus an optional target spec (builtin name
+//     or .spit path, resolved through a tombstone-aware per-session target
+//     cache) and per-slot SubmitOptions{priority, deadline}.
+//   * Session::call / call_batch / submit (session.hpp) — one uniform
+//     entry point, one heterogeneous blocking batch, one heterogeneous
+//     streaming batch (BatchHandle<AnyResponse>). Dispatch runs through the
+//     same snapshot + result-cache seam as the per-kind endpoints, so an
+//     envelope slot is bit-identical to its dedicated endpoint and shares
+//     its cache entries; slots grouped by identical SubmitOptions become
+//     one executor submission each, so priority bands and EDF deadlines
+//     hold per slot.
+//   * wire (wire.hpp) — versioned line-oriented codec for the envelope:
+//     every AnyRequest/Result<AnyResponse> (error responses included)
+//     round-trips bit-identically as a plain-text frame; malformed and
+//     old-version frames decode into line-numbered diag::kWireError
+//     failures. Plus the service frames (batch headers, control commands,
+//     info replies) spoken by tools/spivar_serve and `spivar_cli remote`.
 //   * ModelStore (store.hpp) — thread-safe, share-by-snapshot model
 //     ownership: loads produce immutable `shared_ptr<const StoreEntry>`
 //     snapshots (model + registry entry + memoized synthesis setup, each
 //     carrying its id and load generation), unload is tombstone-only
 //     (UnloadStatus three-way contract), and any number of sessions attach
 //     to one store. enable_cache() attaches the result cache.
-//   * ResultCache (cache.hpp) — sharded LRU keyed by (store entry id, load
-//     generation, request kind, canonical request fingerprint); fronts
-//     every eval path of every session on the store, invalidated per entry
-//     on unload, hit/miss/eviction/invalidation stats via CacheStats.
+//   * ResultCache (cache.hpp) — sharded cost-aware LRU keyed by (store
+//     entry id, load generation, request kind, canonical request
+//     fingerprint); every entry is charged its measured eval time and
+//     eviction drops the cheapest entry in the LRU tail's cost window
+//     (CacheConfig::cost_window), so a sub-microsecond simulate hit never
+//     displaces a multi-second compare. CacheStats accounts hit/miss/
+//     eviction counters plus cached/saved/evicted cost.
 //   * Session (session.hpp) — a movable view over (store, executor):
-//     load_text/load_file/load_model, typed load_builtin(LoadBuiltinRequest)
-//     with per-model option structs, validate/stats/dot/write_text
-//     (variant-aware: the `variants v1` spit section round-trips clusters
-//     and interfaces), analyze/simulate/explore/pareto, compare() (ranked
-//     run of the five Table 1 strategies, multi-objective via
-//     CompareRequest::objectives, per-order outcome lists), blocking
-//     batches (simulate_batch/explore_batch) and the streaming
-//     submit_simulate_batch/submit_explore_batch/submit_compare with
-//     per-submission SubmitOptions.
+//     load_text/load_file/load_model, typed load_builtin(LoadBuiltinRequest),
+//     resolve() (spec -> handle through the target cache),
+//     validate/stats/dot/write_text (variant-aware `variants v1` spit
+//     round-trip), the per-kind analyze/simulate/explore/pareto/compare,
+//     blocking batches (simulate_batch/explore_batch), the streaming
+//     submit_* surface, and executor_stats() for deadline telemetry.
+//   * Executor (executor.hpp) — SerialExecutor / self-scheduling
+//     ThreadPoolExecutor / make_executor(jobs); run() participates in its
+//     own batch (nested dispatch is deadlock-free), submit() streams, both
+//     take SubmitOptions{priority, deadline} (priority bands drain first,
+//     EDF within a band), and stats() reports ExecutorStats{completed,
+//     deadline_misses, max_lateness, total_lateness} recorded per task at
+//     completion.
 //   * SpecCache (spec_cache.hpp) — tombstone-aware spec → handle
 //     memoization for front ends chaining commands over one store.
 //   * BatchHandle (batch.hpp) — per-slot shared_futures, on_slot streaming
 //     callback, wait(), cooperative cancel() (diag::kCancelled); slot tasks
 //     capture store snapshots, so handles survive unloads and session moves.
-//   * Executor (executor.hpp) — SerialExecutor / self-scheduling
-//     ThreadPoolExecutor / make_executor(jobs); run() participates in its
-//     own batch (nested dispatch is deadlock-free), submit() streams, and
-//     both take SubmitOptions{priority, deadline}: workers drain the
-//     highest priority band first, earliest deadline first within a band.
 //   * BuiltinOptions (options.hpp) — std::variant of per-model option
 //     structs plus parse_builtin_options() for "key=value" assignments.
 //   * Result<T> (result.hpp) — value-or-diagnostics; no exception crosses
 //     the session boundary.
 //   * render() (format.hpp) — stable plain-text rendering of every
-//     response type, CacheStats included.
+//     response type (AnyResponse dispatch included), CacheStats and
+//     ExecutorStats.
 #pragma once
 
 #include "api/batch.hpp"      // IWYU pragma: export
@@ -52,3 +76,4 @@
 #include "api/session.hpp"    // IWYU pragma: export
 #include "api/spec_cache.hpp" // IWYU pragma: export
 #include "api/store.hpp"      // IWYU pragma: export
+#include "api/wire.hpp"       // IWYU pragma: export

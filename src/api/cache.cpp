@@ -1,7 +1,10 @@
 #include "api/cache.hpp"
 
 #include <algorithm>
+#include <type_traits>
+#include <variant>
 
+#include "api/responses.hpp"
 #include "synth/fingerprint.hpp"
 
 namespace spivar::api {
@@ -68,13 +71,72 @@ std::uint64_t fingerprint(const CompareRequest& request) {
   return hasher.digest();
 }
 
+// --- envelope helpers --------------------------------------------------------
+//
+// Envelope fingerprints and kinds delegate to the payload alternative, so an
+// AnyRequest produces exactly the cache key its dedicated v4 endpoint would
+// — mixed-kind batches and the per-kind surface share every cached result.
+
+std::optional<RequestKind> parse_request_kind(std::string_view name) {
+  if (name == "simulate") return RequestKind::kSimulate;
+  if (name == "analyze") return RequestKind::kAnalyze;
+  if (name == "explore") return RequestKind::kExplore;
+  if (name == "pareto") return RequestKind::kPareto;
+  if (name == "compare") return RequestKind::kCompare;
+  return std::nullopt;
+}
+
+RequestKind kind_of(const AnyRequest& request) noexcept {
+  return std::visit([](const auto& payload) { return kind_of(payload); }, request.payload);
+}
+
+std::uint64_t fingerprint(const AnyRequest& request) {
+  return std::visit([](const auto& payload) { return fingerprint(payload); }, request.payload);
+}
+
+ModelId model_of(const RequestPayload& payload) noexcept {
+  return std::visit([](const auto& request) { return request.model; }, payload);
+}
+
+void set_model(RequestPayload& payload, ModelId model) noexcept {
+  std::visit([model](auto& request) { request.model = model; }, payload);
+}
+
+RequestKind kind_of(const AnyResponse& response) noexcept {
+  // Typed dispatch, not index arithmetic: inserting a new alternative into
+  // AnyResponse must fail to compile here instead of silently mislabeling
+  // shifted indices.
+  return std::visit(
+      [](const auto& typed) {
+        using Response = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<Response, SimulateResponse>) {
+          return RequestKind::kSimulate;
+        } else if constexpr (std::is_same_v<Response, AnalyzeResponse>) {
+          return RequestKind::kAnalyze;
+        } else if constexpr (std::is_same_v<Response, ExploreResponse>) {
+          return RequestKind::kExplore;
+        } else if constexpr (std::is_same_v<Response, ParetoResponse>) {
+          return RequestKind::kPareto;
+        } else {
+          static_assert(std::is_same_v<Response, CompareResponse>);
+          return RequestKind::kCompare;
+        }
+      },
+      response);
+}
+
+const std::string& model_of(const AnyResponse& response) noexcept {
+  return std::visit([](const auto& r) -> const std::string& { return r.model; }, response);
+}
+
 // --- ResultCache --------------------------------------------------------------
 
 ResultCache::ResultCache(CacheConfig config)
     : shards_(std::max<std::size_t>(config.shards, 1)),
       capacity_(std::max<std::size_t>(config.capacity, 1)),
       per_shard_capacity_(std::max<std::size_t>(
-          (capacity_ + shards_.size() - 1) / shards_.size(), 1)) {}
+          (capacity_ + shards_.size() - 1) / shards_.size(), 1)),
+      cost_window_(std::max<std::size_t>(config.cost_window, 1)) {}
 
 std::uint64_t ResultCache::hash_key(const Key& key) noexcept {
   support::Fnv1aHasher hasher;
@@ -96,10 +158,28 @@ ResultCache::Slot ResultCache::lookup(const Key& key) {
   // Refresh recency: splice the entry to the front of the LRU list.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second->second;
+  saved_cost_us_.fetch_add(it->second->cost_us, std::memory_order_relaxed);
+  return it->second->slot;
 }
 
-void ResultCache::store(const Key& key, Slot slot) {
+void ResultCache::evict_one(Shard& shard) {
+  // Cost-weighted LRU: among the `cost_window_` least recently used
+  // entries, drop the cheapest (ties keep the least recent victim), so one
+  // expensive result survives a stampede of cheap ones filling the shard.
+  auto victim = std::prev(shard.lru.end());
+  auto candidate = victim;
+  for (std::size_t examined = 1; examined < cost_window_ && candidate != shard.lru.begin();
+       ++examined) {
+    --candidate;
+    if (candidate->cost_us < victim->cost_us) victim = candidate;
+  }
+  evicted_cost_us_.fetch_add(victim->cost_us, std::memory_order_relaxed);
+  shard.index.erase(victim->key);
+  shard.lru.erase(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::store(const Key& key, Slot slot, std::uint64_t cost_us) {
   {
     // Refuse entries for unloaded models: find(id) fails at the store
     // before the cache is ever consulted for them, so such an entry could
@@ -112,17 +192,14 @@ void ResultCache::store(const Key& key, Slot slot) {
   std::lock_guard lock{shard.mutex};
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     // Concurrent miss on the same key: both evaluations are deterministic,
-    // keep the newer slot and refresh recency.
-    it->second->second = std::move(slot);
+    // keep the newer slot (and its cost) and refresh recency.
+    it->second->slot = std::move(slot);
+    it->second->cost_us = cost_us;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  shard.lru.emplace_front(key, std::move(slot));
+  if (shard.lru.size() >= per_shard_capacity_) evict_one(shard);
+  shard.lru.emplace_front(Entry{key, std::move(slot), cost_us});
   shard.index.emplace(key, shard.lru.begin());
 }
 
@@ -136,8 +213,8 @@ void ResultCache::invalidate_model(std::uint32_t model) {
   for (Shard& shard : shards_) {
     std::lock_guard lock{shard.mutex};
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      if (it->first.model == model) {
-        shard.index.erase(it->first);
+      if (it->key.model == model) {
+        shard.index.erase(it->key);
         it = shard.lru.erase(it);
         invalidations_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -162,9 +239,12 @@ CacheStats ResultCache::stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.capacity = capacity_;
+  stats.saved_cost_us = saved_cost_us_.load(std::memory_order_relaxed);
+  stats.evicted_cost_us = evicted_cost_us_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard lock{shard.mutex};
     stats.entries += shard.lru.size();
+    for (const Entry& entry : shard.lru) stats.cached_cost_us += entry.cost_us;
   }
   return stats;
 }

@@ -14,6 +14,12 @@
 //   session.simulate(request);             // miss: evaluates, inserts
 //   session.simulate(request);             // hit: returns the cached result
 //
+// Admission is *cost-aware*: every entry is charged its measured evaluation
+// time, and eviction drops the cheapest entry within a small window at the
+// LRU tail (CacheConfig::cost_window) instead of blindly dropping the least
+// recent — a sub-microsecond simulate hit no longer weighs the same as a
+// multi-second compare. CacheStats accounts the held/saved/evicted cost.
+//
 // Concurrency contract:
 //   * find/insert/invalidate_model/stats are safe from any thread — the
 //     cache is sharded (per-shard mutex + LRU list), so concurrent batch
@@ -48,17 +54,28 @@ struct CacheConfig {
   std::size_t capacity = 1024;
   /// Independent LRU shards (each with its own lock); clamped to >= 1.
   std::size_t shards = 8;
+  /// Cost-aware admission: an eviction examines up to this many entries from
+  /// the LRU tail and drops the *cheapest* (measured eval time), so a 624 ns
+  /// simulate result can never push a multi-second compare out of the cache.
+  /// 1 degrades to classic LRU (recency only); clamped to >= 1.
+  std::size_t cost_window = 4;
 };
 
 /// Monotonic counters plus the current fill — one consistent snapshot per
 /// call (see ResultCache::stats), rendered by the CLI's `cache-stats`.
+/// The `*_cost_us` columns account for the measured evaluation time each
+/// entry was charged on insert: how much compute the cache currently holds,
+/// how much hits have saved, and how much evictions threw away.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;      ///< entries dropped by LRU capacity
+  std::uint64_t evictions = 0;      ///< entries dropped by cost-weighted LRU
   std::uint64_t invalidations = 0;  ///< entries dropped by model unload
   std::size_t entries = 0;          ///< currently cached results
   std::size_t capacity = 0;
+  std::uint64_t cached_cost_us = 0;   ///< summed eval cost of current entries
+  std::uint64_t saved_cost_us = 0;    ///< eval cost returned from hits
+  std::uint64_t evicted_cost_us = 0;  ///< eval cost dropped by eviction
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t lookups = hits + misses;
@@ -95,11 +112,13 @@ class ResultCache {
   }
 
   /// Memoizes `result` (success or deterministic failure) under `key`,
-  /// replacing any previous entry and evicting the shard's least recently
-  /// used entry when full.
+  /// charging the entry `cost_us` — its measured evaluation time, the weight
+  /// cost-aware eviction protects. Replaces any previous entry; when the
+  /// shard is full, the cheapest entry within the LRU tail's cost window is
+  /// evicted.
   template <typename Response>
-  void insert(const Key& key, Result<Response> result) {
-    store(key, std::make_shared<const Result<Response>>(std::move(result)));
+  void insert(const Key& key, Result<Response> result, std::uint64_t cost_us = 0) {
+    store(key, std::make_shared<const Result<Response>>(std::move(result)), cost_us);
   }
 
   /// Drops every entry cached for `model` (any generation, any kind) — the
@@ -121,11 +140,17 @@ class ResultCache {
     }
   };
 
+  struct Entry {
+    Key key;
+    Slot slot;
+    std::uint64_t cost_us = 0;  ///< measured eval time charged on insert
+  };
+
   struct Shard {
     mutable std::mutex mutex;
     /// Front = most recently used; the map indexes into this list.
-    std::list<std::pair<Key, Slot>> lru;
-    std::unordered_map<Key, std::list<std::pair<Key, Slot>>::iterator, KeyHasher> index;
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
   };
 
   [[nodiscard]] static std::uint64_t hash_key(const Key& key) noexcept;
@@ -134,7 +159,10 @@ class ResultCache {
   }
 
   [[nodiscard]] Slot lookup(const Key& key);
-  void store(const Key& key, Slot slot);
+  void store(const Key& key, Slot slot, std::uint64_t cost_us);
+  /// Drops the cheapest entry among the `cost_window_` least recently used
+  /// ones (ties keep the least recent). Call with the shard lock held.
+  void evict_one(Shard& shard);
 
   std::vector<Shard> shards_;
   mutable std::mutex dead_mutex_;  ///< guards dead_models_ (insert-miss path only)
@@ -145,10 +173,13 @@ class ResultCache {
   /// ceil(capacity / shards): sharding rounds the enforced total up by at
   /// most shards-1 so every shard holds at least one entry.
   std::size_t per_shard_capacity_;
+  std::size_t cost_window_;  ///< LRU-tail entries examined per eviction
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> saved_cost_us_{0};
+  std::atomic<std::uint64_t> evicted_cost_us_{0};
 };
 
 }  // namespace spivar::api

@@ -3,6 +3,7 @@
 // include from api.hpp or front ends.
 #pragma once
 
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <string>
@@ -83,10 +84,11 @@ inline std::string empty_problem_message(const std::string& model_name) {
 
 /// Fronts one eval with the store's result cache: a hit returns a copy of
 /// the memoized Result (bit-identical to a cold eval, results are
-/// deterministic per (snapshot, request)); a miss evaluates and memoizes.
-/// Null cache degrades to a plain eval. The key's kind and fingerprint both
-/// derive from `request`, so the typed find can never alias across response
-/// types.
+/// deterministic per (snapshot, request)); a miss evaluates and memoizes,
+/// charging the entry its measured evaluation time — the weight the cache's
+/// cost-aware eviction protects. Null cache degrades to a plain eval. The
+/// key's kind and fingerprint both derive from `request`, so the typed find
+/// can never alias across response types.
 template <typename Response, typename Request, typename Eval>
 Result<Response> with_cache(const std::shared_ptr<ResultCache>& cache, const StoreEntry& entry,
                             const Request& request, Eval&& eval) {
@@ -96,8 +98,12 @@ Result<Response> with_cache(const std::shared_ptr<ResultCache>& cache, const Sto
                              .kind = kind_of(request),
                              .fingerprint = fingerprint(request)};
   if (const auto hit = cache->find<Response>(key)) return *hit;
+  const auto started = std::chrono::steady_clock::now();
   Result<Response> result = eval(entry, request);
-  cache->insert(key, result);
+  const auto cost_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  cache->insert(key, result, static_cast<std::uint64_t>(cost_us));
   return result;
 }
 

@@ -11,8 +11,16 @@ std::optional<Priority> parse_priority(std::string_view name) {
   return std::nullopt;
 }
 
-void SerialExecutor::run(std::vector<std::function<void()>> tasks, SubmitOptions) {
-  for (auto& task : tasks) task();
+void SerialExecutor::run(std::vector<std::function<void()>> tasks, SubmitOptions options) {
+  // Inline execution still keeps the deadline telemetry honest: a deadline
+  // is measured from submission, so a long serial batch records its misses
+  // exactly like a queued one.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (options.deadline) deadline = std::chrono::steady_clock::now() + *options.deadline;
+  for (auto& task : tasks) {
+    task();
+    recorder_.record(deadline);
+  }
 }
 
 void SerialExecutor::submit(std::vector<std::function<void()>> tasks, SubmitOptions options) {
@@ -74,6 +82,7 @@ void ThreadPoolExecutor::help(TaskBatch& batch) {
     const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.tasks.size()) return;
     batch.tasks[index]();
+    if (batch.stats) batch.stats->record(batch.deadline);
     finish_one(batch);
   }
 }
@@ -93,6 +102,7 @@ void ThreadPoolExecutor::help_until_preempted(TaskBatch& batch) {
     const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.tasks.size()) return;
     batch.tasks[index]();
+    if (batch.stats) batch.stats->record(batch.deadline);
     finish_one(batch);
   }
 }
@@ -135,6 +145,7 @@ void ThreadPoolExecutor::worker_loop() {
 void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   if (tasks.empty()) return;
   auto batch = std::make_shared<TaskBatch>(std::move(tasks), options);
+  batch->stats = &recorder_;
   enqueue(batch);
   // The caller self-schedules on its own batch alongside the workers —
   // regardless of the batch's priority, so a nested run() from inside a
@@ -147,7 +158,9 @@ void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks, SubmitOpt
 
 void ThreadPoolExecutor::submit(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   if (tasks.empty()) return;
-  enqueue(std::make_shared<TaskBatch>(std::move(tasks), options));
+  auto batch = std::make_shared<TaskBatch>(std::move(tasks), options);
+  batch->stats = &recorder_;
+  enqueue(std::move(batch));
 }
 
 std::string ThreadPoolExecutor::name() const {

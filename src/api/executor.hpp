@@ -66,7 +66,70 @@ struct SubmitOptions {
   /// order earliest-deadline-first (no deadline sorts after any deadline).
   /// Purely an ordering hint — late work still runs to completion.
   std::optional<std::chrono::milliseconds> deadline;
+
+  friend bool operator==(const SubmitOptions&, const SubmitOptions&) = default;
 };
+
+/// Deadline-miss telemetry, recorded per task at completion (ROADMAP:
+/// "deadlines order work but nothing records how late a batch actually
+/// ran"). A task misses when it finishes after its submission's deadline;
+/// lateness is completion minus deadline. Deadline-free tasks only bump
+/// `completed`. One consistent snapshot per Executor::stats() call.
+struct ExecutorStats {
+  std::uint64_t completed = 0;        ///< tasks run to completion
+  std::uint64_t deadline_misses = 0;  ///< tasks finished past their deadline
+  std::chrono::microseconds max_lateness{0};    ///< worst single-task lateness
+  std::chrono::microseconds total_lateness{0};  ///< summed over every miss
+
+  /// Misses per completed task (0 when nothing completed yet).
+  [[nodiscard]] double miss_rate() const noexcept {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(deadline_misses) / static_cast<double>(completed);
+  }
+};
+
+namespace detail {
+
+/// Lock-free accumulator behind Executor::stats(); shared by the serial and
+/// pool executors so telemetry is uniform across execution policies.
+class ExecutorStatsRecorder {
+ public:
+  /// Records one task completion against the (absolute) deadline of its
+  /// submission; nullopt marks deadline-free work.
+  void record(const std::optional<std::chrono::steady_clock::time_point>& deadline) noexcept {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!deadline) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now <= *deadline) return;
+    const std::int64_t late =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - *deadline).count();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    total_lateness_us_.fetch_add(static_cast<std::uint64_t>(late), std::memory_order_relaxed);
+    std::int64_t prev = max_lateness_us_.load(std::memory_order_relaxed);
+    while (prev < late &&
+           !max_lateness_us_.compare_exchange_weak(prev, late, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] ExecutorStats snapshot() const noexcept {
+    ExecutorStats stats;
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.deadline_misses = misses_.load(std::memory_order_relaxed);
+    stats.max_lateness =
+        std::chrono::microseconds{max_lateness_us_.load(std::memory_order_relaxed)};
+    stats.total_lateness = std::chrono::microseconds{
+        static_cast<std::int64_t>(total_lateness_us_.load(std::memory_order_relaxed))};
+    return stats;
+  }
+
+ private:
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::int64_t> max_lateness_us_{0};
+  std::atomic<std::uint64_t> total_lateness_us_{0};
+};
+
+}  // namespace detail
 
 class Executor {
  public:
@@ -93,6 +156,9 @@ class Executor {
 
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deadline-miss telemetry over every task this executor has completed.
+  [[nodiscard]] virtual ExecutorStats stats() const noexcept = 0;
 };
 
 /// Runs tasks inline on the calling thread, in submission order. With no
@@ -106,6 +172,10 @@ class SerialExecutor final : public Executor {
   void submit(std::vector<std::function<void()>> tasks, SubmitOptions options) override;
   [[nodiscard]] std::size_t workers() const noexcept override { return 1; }
   [[nodiscard]] std::string name() const override { return "serial"; }
+  [[nodiscard]] ExecutorStats stats() const noexcept override { return recorder_.snapshot(); }
+
+ private:
+  detail::ExecutorStatsRecorder recorder_;
 };
 
 /// Persistent worker threads self-scheduling over queued batches. run()
@@ -129,6 +199,7 @@ class ThreadPoolExecutor final : public Executor {
   void submit(std::vector<std::function<void()>> tasks, SubmitOptions options) override;
   [[nodiscard]] std::size_t workers() const noexcept override { return threads_.size(); }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ExecutorStats stats() const noexcept override { return recorder_.snapshot(); }
 
  private:
   /// One enqueued batch. Threads claim task indexes through `cursor`
@@ -150,6 +221,9 @@ class ThreadPoolExecutor final : public Executor {
     Priority priority = Priority::kNormal;
     std::optional<std::chrono::steady_clock::time_point> deadline;  ///< absolute, EDF key
     std::uint64_t seq = 0;  ///< FIFO tie-break within (priority, deadline)
+    /// Owning executor's telemetry sink; every finished task records its
+    /// completion (and lateness against `deadline`) here.
+    detail::ExecutorStatsRecorder* stats = nullptr;
   };
 
   /// Strict weak order: higher priority first, then earliest deadline (none
@@ -185,6 +259,7 @@ class ThreadPoolExecutor final : public Executor {
   std::atomic<int> top_queued_priority_{-1};
   std::uint64_t next_seq_ = 0;
   bool stop_ = false;
+  detail::ExecutorStatsRecorder recorder_;
 };
 
 /// Policy by worker count: `jobs <= 1` is the serial executor, anything

@@ -30,6 +30,14 @@ std::string render(const ModelInfo& info) {
   return os.str();
 }
 
+namespace {
+
+std::string micros_string(std::uint64_t us) {
+  return support::Duration{static_cast<std::int64_t>(us)}.to_string();
+}
+
+}  // namespace
+
 std::string render(const CacheStats& stats) {
   support::TextTable table{{"hits", "misses", "hit rate", "evictions", "invalidations",
                             "entries", "capacity"}};
@@ -37,6 +45,23 @@ std::string render(const CacheStats& stats) {
                  support::format_double(stats.hit_rate() * 100.0, 1) + "%",
                  std::to_string(stats.evictions), std::to_string(stats.invalidations),
                  std::to_string(stats.entries), std::to_string(stats.capacity)});
+  // Cost accounting of the cost-aware admission policy: eval time currently
+  // held, eval time hits have returned without re-running, and eval time
+  // eviction threw away.
+  support::TextTable costs{{"cached cost", "saved cost", "evicted cost"}};
+  costs.add_row({micros_string(stats.cached_cost_us), micros_string(stats.saved_cost_us),
+                 micros_string(stats.evicted_cost_us)});
+  return table.to_string() + costs.to_string();
+}
+
+std::string render(const ExecutorStats& stats) {
+  support::TextTable table{{"completed", "deadline misses", "miss rate", "max lateness",
+                            "total lateness"}};
+  table.add_row(
+      {std::to_string(stats.completed), std::to_string(stats.deadline_misses),
+       support::format_double(stats.miss_rate() * 100.0, 1) + "%",
+       micros_string(static_cast<std::uint64_t>(stats.max_lateness.count())),
+       micros_string(static_cast<std::uint64_t>(stats.total_lateness.count()))});
   return table.to_string();
 }
 
@@ -182,6 +207,10 @@ std::string render(const CompareResponse& response) {
        << (best->outcome.feasible ? "" : " (infeasible!)") << "\n";
   }
   return os.str();
+}
+
+std::string render(const AnyResponse& response) {
+  return std::visit([](const auto& typed) { return render(typed); }, response);
 }
 
 std::string render_diagnostics(const support::DiagnosticList& diagnostics) {

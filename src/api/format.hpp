@@ -9,6 +9,7 @@
 #include <string>
 
 #include "api/cache.hpp"
+#include "api/executor.hpp"
 #include "api/responses.hpp"
 #include "api/result.hpp"
 #include "support/diagnostics.hpp"
@@ -17,12 +18,16 @@ namespace spivar::api {
 
 [[nodiscard]] std::string render(const ModelInfo& info);
 [[nodiscard]] std::string render(const CacheStats& stats);
+[[nodiscard]] std::string render(const ExecutorStats& stats);
 [[nodiscard]] std::string render(const ValidateResponse& response);
 [[nodiscard]] std::string render(const SimulateResponse& response);
 [[nodiscard]] std::string render(const AnalyzeResponse& response);
 [[nodiscard]] std::string render(const ExploreResponse& response);
 [[nodiscard]] std::string render(const ParetoResponse& response);
 [[nodiscard]] std::string render(const CompareResponse& response);
+/// Envelope dispatch: renders whatever alternative the response holds,
+/// byte-identical to the matching typed overload.
+[[nodiscard]] std::string render(const AnyResponse& response);
 
 /// "severity [code] message" lines, one per finding.
 [[nodiscard]] std::string render_diagnostics(const support::DiagnosticList& diagnostics);

@@ -2,13 +2,20 @@
 //
 // Each request wraps the underlying subsystem's option type plus the handle
 // of the session model it applies to, so one struct travels through single
-// and batch entry points alike.
+// and batch entry points alike. AnyRequest is the v5 envelope: one variant
+// over every request kind plus a target spec and per-slot scheduling
+// options, so mixed-kind workloads travel through one entry point
+// (Session::call / call_batch / submit) and one wire protocol (api/wire).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
 #include <vector>
 
+#include "api/executor.hpp"
 #include "sim/options.hpp"
 #include "support/ids.hpp"
 #include "synth/explore.hpp"
@@ -43,6 +50,10 @@ enum class RequestKind : std::uint8_t {
   }
   return "?";
 }
+
+/// Canonical name back to the kind; nullopt for unknown names (the wire
+/// codec's frame-header dispatch).
+[[nodiscard]] std::optional<RequestKind> parse_request_kind(std::string_view name);
 
 struct SimulateRequest {
   ModelId model;
@@ -136,5 +147,39 @@ struct CompareRequest {
 [[nodiscard]] constexpr RequestKind kind_of(const CompareRequest&) noexcept {
   return RequestKind::kCompare;
 }
+
+// --- the v5 envelope ---------------------------------------------------------
+
+/// One alternative per evaluation kind — the payload of AnyRequest.
+using RequestPayload =
+    std::variant<SimulateRequest, AnalyzeRequest, ExploreRequest, ParetoRequest, CompareRequest>;
+
+/// The unified request envelope: any evaluation kind, an optional target
+/// spec, and per-slot scheduling options — the one shape Session::call /
+/// call_batch / submit and the wire protocol speak.
+struct AnyRequest {
+  RequestPayload payload;
+
+  /// Optional model spec (builtin name or .spit path) resolved at dispatch
+  /// through the session's tombstone-aware target cache; when set it
+  /// overrides the payload's model handle. This is how wire clients name
+  /// models without ever holding store handles.
+  std::string target;
+  /// `--opt key=value` assignments applied when `target` names a builtin
+  /// (same rules as SpecCache::resolve; rejected for non-builtin targets).
+  std::vector<std::string> target_options;
+
+  /// Per-slot scheduling: call_batch and submit honor priority and deadline
+  /// for this request's slot (EDF within a priority band, see SubmitOptions).
+  SubmitOptions options;
+};
+
+/// The payload's evaluation kind / canonical fingerprint / model handle —
+/// visitors over the variant, so envelope code never switch-cases by hand.
+[[nodiscard]] RequestKind kind_of(const AnyRequest& request) noexcept;
+[[nodiscard]] std::uint64_t fingerprint(const AnyRequest& request);
+[[nodiscard]] ModelId model_of(const RequestPayload& payload) noexcept;
+/// Points the payload at `model` (what target resolution writes back).
+void set_model(RequestPayload& payload, ModelId model) noexcept;
 
 }  // namespace spivar::api

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "analysis/buffer_bounds.hpp"
@@ -168,5 +169,20 @@ struct CompareResponse {
     return nullptr;
   }
 };
+
+// --- the v5 envelope ---------------------------------------------------------
+
+/// One alternative per evaluation kind — what Session::call returns and the
+/// wire protocol transports. The alternative always matches the request's
+/// payload kind.
+using AnyResponse =
+    std::variant<SimulateResponse, AnalyzeResponse, ExploreResponse, ParetoResponse,
+                 CompareResponse>;
+
+/// The evaluation kind behind an envelope response.
+[[nodiscard]] RequestKind kind_of(const AnyResponse& response) noexcept;
+
+/// The response's model name (every alternative carries one).
+[[nodiscard]] const std::string& model_of(const AnyResponse& response) noexcept;
 
 }  // namespace spivar::api

@@ -28,6 +28,7 @@ inline constexpr const char* kInternalError = "api-internal-error";
 inline constexpr const char* kEmptyProblem = "api-empty-problem";
 inline constexpr const char* kBadOption = "api-bad-option";
 inline constexpr const char* kCancelled = "api-cancelled";
+inline constexpr const char* kWireError = "api-wire-error";
 }  // namespace diag
 
 template <typename T>

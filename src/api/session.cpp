@@ -1,6 +1,8 @@
 #include "api/session.hpp"
 
+#include <condition_variable>
 #include <exception>
+#include <functional>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -159,6 +161,7 @@ Session::Session(std::shared_ptr<ModelStore> store, std::shared_ptr<Executor> ex
     : store_(std::move(store)), executor_(std::move(executor)) {
   if (!store_) store_ = std::make_shared<ModelStore>();
   if (!executor_) executor_ = std::make_shared<SerialExecutor>();
+  targets_ = std::make_shared<TargetCache>(store_);
 }
 
 // --- loading (forwarded to the store) ----------------------------------------
@@ -184,6 +187,17 @@ Result<ModelInfo> Session::load(variant::VariantModel model, std::string_view or
 }
 
 UnloadStatus Session::unload(ModelId id) { return store_->unload(id); }
+
+Result<ModelInfo> Session::resolve(const std::string& spec,
+                                   const std::vector<std::string>& options) {
+  std::lock_guard lock{targets_->mutex};
+  return targets_->specs.resolve(spec, options);
+}
+
+std::vector<ModelId> Session::resolved_handles(const std::string& spec) const {
+  std::lock_guard lock{targets_->mutex};
+  return targets_->specs.handles(spec);
+}
 
 // --- result caching ----------------------------------------------------------
 
@@ -247,42 +261,113 @@ Result<std::string> Session::write_text(ModelId id) const {
       [&] { return Result<std::string>::success(variant::write_text(snapshot->model())); });
 }
 
+namespace {
+
+/// The one snapshot-and-cache path behind every evaluation entry point —
+/// per-kind endpoint, envelope call, and every batch slot all converge
+/// here, which is what makes their results (and cache keys) identical.
+template <typename Response, typename Request, typename Eval>
+Result<Response> call_one(const ModelStore& store, const Request& request, Eval&& eval) {
+  const ModelStore::Snapshot snapshot = store.find(request.model);
+  if (!snapshot) return unknown_model<Response>(request.model);
+  return detail::with_cache<Response>(store.cache(), *snapshot, request,
+                                      std::forward<Eval>(eval));
+}
+
+}  // namespace
+
 Result<AnalyzeResponse> Session::analyze(const AnalyzeRequest& request) const {
-  const ModelStore::Snapshot snapshot = store_->find(request.model);
-  if (!snapshot) return unknown_model<AnalyzeResponse>(request.model);
-  return detail::with_cache<AnalyzeResponse>(store_->cache(), *snapshot, request,
-                                             &detail::eval_analyze);
+  return call_one<AnalyzeResponse>(*store_, request, &detail::eval_analyze);
 }
 
 Result<SimulateResponse> Session::simulate(const SimulateRequest& request) const {
-  const ModelStore::Snapshot snapshot = store_->find(request.model);
-  if (!snapshot) return unknown_model<SimulateResponse>(request.model);
-  return detail::with_cache<SimulateResponse>(store_->cache(), *snapshot, request,
-                                              &detail::eval_simulate);
+  return call_one<SimulateResponse>(*store_, request, &detail::eval_simulate);
 }
 
 Result<ExploreResponse> Session::explore(const ExploreRequest& request) const {
-  const ModelStore::Snapshot snapshot = store_->find(request.model);
-  if (!snapshot) return unknown_model<ExploreResponse>(request.model);
-  return detail::with_cache<ExploreResponse>(store_->cache(), *snapshot, request,
-                                             &detail::eval_explore);
+  return call_one<ExploreResponse>(*store_, request, &detail::eval_explore);
 }
 
 Result<ParetoResponse> Session::pareto(const ParetoRequest& request) const {
-  const ModelStore::Snapshot snapshot = store_->find(request.model);
-  if (!snapshot) return unknown_model<ParetoResponse>(request.model);
-  return detail::with_cache<ParetoResponse>(store_->cache(), *snapshot, request,
-                                            &detail::eval_pareto);
+  return call_one<ParetoResponse>(*store_, request, &detail::eval_pareto);
 }
 
 Result<CompareResponse> Session::compare(const CompareRequest& request) const {
-  const ModelStore::Snapshot snapshot = store_->find(request.model);
-  if (!snapshot) return unknown_model<CompareResponse>(request.model);
-  return detail::with_cache<CompareResponse>(
-      store_->cache(), *snapshot, request,
-      [this](const StoreEntry& entry, const CompareRequest& r) {
-        return detail::eval_compare(entry, r, *executor_);
-      });
+  return call_one<CompareResponse>(*store_, request,
+                                   [this](const StoreEntry& entry, const CompareRequest& r) {
+                                     return detail::eval_compare(entry, r, *executor_);
+                                   });
+}
+
+// --- the unified envelope (v5) ----------------------------------------------
+
+namespace {
+
+/// Lifts a typed Result into the envelope's Result<AnyResponse>, keeping
+/// diagnostics (failure lists and success notes) intact.
+template <typename Response>
+Result<AnyResponse> to_any(Result<Response> result) {
+  if (!result.ok()) return Result<AnyResponse>::failure(result.diagnostics());
+  support::DiagnosticList notes = result.diagnostics();
+  return Result<AnyResponse>::success(AnyResponse{std::move(result).value()}, std::move(notes));
+}
+
+/// Evaluates one resolved payload against a captured snapshot through the
+/// result-cache seam — the envelope twin of the submit_batch task body.
+/// `executor` powers compare's nested strategy fan-out (raw pointer for the
+/// same lifetime reason as Session::submit_compare).
+Result<AnyResponse> eval_any(const std::shared_ptr<ResultCache>& cache, const StoreEntry& entry,
+                             const RequestPayload& payload, Executor* executor) {
+  return std::visit(
+      [&](const auto& request) -> Result<AnyResponse> {
+        using Request = std::decay_t<decltype(request)>;
+        if constexpr (std::is_same_v<Request, CompareRequest>) {
+          return to_any(detail::with_cache<CompareResponse>(
+              cache, entry, request, [executor](const StoreEntry& e, const CompareRequest& r) {
+                return detail::eval_compare(e, r, *executor);
+              }));
+        } else if constexpr (std::is_same_v<Request, SimulateRequest>) {
+          return to_any(
+              detail::with_cache<SimulateResponse>(cache, entry, request, &detail::eval_simulate));
+        } else if constexpr (std::is_same_v<Request, AnalyzeRequest>) {
+          return to_any(
+              detail::with_cache<AnalyzeResponse>(cache, entry, request, &detail::eval_analyze));
+        } else if constexpr (std::is_same_v<Request, ExploreRequest>) {
+          return to_any(
+              detail::with_cache<ExploreResponse>(cache, entry, request, &detail::eval_explore));
+        } else {
+          static_assert(std::is_same_v<Request, ParetoRequest>);
+          return to_any(
+              detail::with_cache<ParetoResponse>(cache, entry, request, &detail::eval_pareto));
+        }
+      },
+      payload);
+}
+
+}  // namespace
+
+Result<ModelId> Session::resolve_target(const AnyRequest& request) const {
+  if (request.target.empty()) {
+    if (!request.target_options.empty()) {
+      return Result<ModelId>::failure(diag::kBadOption,
+                                      "envelope target options require a target spec");
+    }
+    return Result<ModelId>::success(model_of(request.payload));
+  }
+  std::lock_guard lock{targets_->mutex};
+  Result<ModelInfo> resolved = targets_->specs.resolve(request.target, request.target_options);
+  if (!resolved.ok()) return Result<ModelId>::failure(resolved.diagnostics());
+  return Result<ModelId>::success(resolved.value().id);
+}
+
+Result<AnyResponse> Session::call(const AnyRequest& request) const {
+  const Result<ModelId> target = resolve_target(request);
+  if (!target.ok()) return Result<AnyResponse>::failure(target.diagnostics());
+  RequestPayload payload = request.payload;
+  set_model(payload, target.value());
+  const ModelStore::Snapshot snapshot = store_->find(target.value());
+  if (!snapshot) return unknown_model<AnyResponse>(target.value());
+  return eval_any(store_->cache(), *snapshot, payload, executor_.get());
 }
 
 // --- batch surface ----------------------------------------------------------
@@ -395,6 +480,161 @@ std::vector<Result<SimulateResponse>> Session::simulate_batch(
 std::vector<Result<ExploreResponse>> Session::explore_batch(
     const std::vector<ExploreRequest>& requests) const {
   return run_batch<ExploreResponse>(*store_, *executor_, requests, &detail::eval_explore);
+}
+
+// --- envelope batch surface --------------------------------------------------
+
+namespace {
+
+/// One envelope slot after submission-time resolution: the payload pointed
+/// at its model, the snapshot it will evaluate (null when resolution or
+/// lookup failed — `failure` then carries what the slot lands with), and
+/// the slot's scheduling options.
+struct PreparedSlot {
+  RequestPayload payload;
+  ModelStore::Snapshot snapshot;
+  std::optional<support::DiagnosticList> failure;
+  SubmitOptions options;
+};
+
+/// Envelope slots grouped by identical SubmitOptions, in first-appearance
+/// order. Each group becomes one executor submission, so priority bands and
+/// EDF deadlines hold per slot while slots that agree still share one
+/// self-scheduling batch. Tasks are *moved* into their group — a slot task
+/// owns the request payload and snapshot, so copying it would duplicate
+/// every request's data.
+template <typename Task>
+std::vector<std::pair<SubmitOptions, std::vector<Task>>> group_by_options(
+    const std::vector<PreparedSlot>& slots, std::vector<Task>&& tasks) {
+  std::vector<std::pair<SubmitOptions, std::vector<Task>>> groups;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    auto group = groups.begin();
+    for (; group != groups.end(); ++group) {
+      if (group->first == slots[i].options) break;
+    }
+    if (group == groups.end()) {
+      groups.push_back({slots[i].options, {}});
+      group = std::prev(groups.end());
+    }
+    group->second.push_back(std::move(tasks[i]));
+  }
+  return groups;
+}
+
+/// Resolves every envelope's target and snapshot at submission time — the
+/// batch sees the store as of submit, exactly like the v4 streaming
+/// surface. Takes the requests by value so owning callers (submit) move
+/// payloads through instead of copying; call_batch pays its one copy here
+/// and none later.
+std::vector<PreparedSlot> prepare(const ModelStore& store, std::vector<AnyRequest> requests,
+                                  const std::function<Result<ModelId>(const AnyRequest&)>& resolve) {
+  std::vector<PreparedSlot> slots;
+  slots.reserve(requests.size());
+  for (AnyRequest& request : requests) {
+    const Result<ModelId> target = resolve(request);  // reads the request: resolve before moving
+    PreparedSlot slot{.payload = std::move(request.payload), .options = request.options};
+    if (!target.ok()) {
+      slot.failure = target.diagnostics();
+    } else {
+      set_model(slot.payload, target.value());
+      slot.snapshot = store.find(target.value());
+    }
+    slots.push_back(std::move(slot));
+  }
+  return slots;
+}
+
+}  // namespace
+
+BatchHandle<AnyResponse> Session::submit(std::vector<AnyRequest> requests,
+                                         SlotCallback<AnyResponse> on_slot) const {
+  auto state =
+      std::make_shared<detail::BatchState<AnyResponse>>(requests.size(), std::move(on_slot));
+  const std::shared_ptr<ResultCache> cache = store_->cache();
+  // Raw pointer for compare's nested fan-out; the handle's owning copy
+  // keeps the executor alive past the session (see submit_compare).
+  Executor* executor = executor_.get();
+
+  std::vector<PreparedSlot> slots = prepare(*store_, std::move(requests),
+                                            [this](const AnyRequest& r) { return resolve_target(r); });
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    tasks.push_back([state, cache, executor, i, payload = std::move(slots[i].payload),
+                     snapshot = std::move(slots[i].snapshot),
+                     failure = std::move(slots[i].failure)] {
+      Result<AnyResponse> result = [&]() -> Result<AnyResponse> {
+        if (state->core.cancel_requested()) {
+          return Result<AnyResponse>::failure(detail::cancelled_diagnostics(i));
+        }
+        if (failure) return Result<AnyResponse>::failure(*failure);
+        if (!snapshot) return unknown_model<AnyResponse>(model_of(payload));
+        return eval_any(cache, *snapshot, payload, executor);
+      }();
+      state->deliver(i, std::move(result));
+    });
+  }
+  for (auto& [options, group] : group_by_options(slots, std::move(tasks))) {
+    executor_->submit(std::move(group), options);
+  }
+  return make_batch_handle<AnyResponse>(std::move(state), executor_);
+}
+
+std::vector<Result<AnyResponse>> Session::call_batch(
+    const std::vector<AnyRequest>& requests) const {
+  const std::shared_ptr<ResultCache> cache = store_->cache();
+  Executor* executor = executor_.get();
+  std::vector<PreparedSlot> slots =
+      prepare(*store_, requests, [this](const AnyRequest& r) { return resolve_target(r); });
+
+  std::vector<std::optional<Result<AnyResponse>>> results(slots.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    tasks.push_back([&results, &slots, cache, executor, i] {
+      const PreparedSlot& slot = slots[i];
+      results[i] = slot.failure ? Result<AnyResponse>::failure(*slot.failure)
+                   : !slot.snapshot
+                       ? unknown_model<AnyResponse>(model_of(slot.payload))
+                       : eval_any(cache, *slot.snapshot, slot.payload, executor);
+    });
+  }
+
+  auto groups = group_by_options(slots, std::move(tasks));
+  if (groups.size() <= 1) {
+    // Uniform options: the classic participating run() — safe even from
+    // inside a task already on the session's pool.
+    if (!groups.empty()) executor_->run(std::move(groups.front().second), groups.front().first);
+  } else {
+    // Mixed options: one submission per options group so the executor can
+    // order them (priority band, then EDF), plus a latch so the call stays
+    // blocking. Groups drain on the pool's workers; prefer uniform options
+    // when calling from inside a pool task.
+    struct Latch {
+      std::mutex mutex;
+      std::condition_variable done;
+      std::size_t remaining;
+    };
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = slots.size();  // tasks was consumed by the grouping
+    for (auto& [options, group] : groups) {
+      for (auto& task : group) {
+        task = [task = std::move(task), latch] {
+          task();
+          std::lock_guard lock{latch->mutex};
+          if (--latch->remaining == 0) latch->done.notify_all();
+        };
+      }
+      executor_->submit(std::move(group), options);
+    }
+    std::unique_lock lock{latch->mutex};
+    latch->done.wait(lock, [&] { return latch->remaining == 0; });
+  }
+
+  std::vector<Result<AnyResponse>> out;
+  out.reserve(results.size());
+  for (auto& result : results) out.push_back(std::move(*result));
+  return out;
 }
 
 }  // namespace spivar::api

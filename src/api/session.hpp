@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "api/requests.hpp"
 #include "api/responses.hpp"
 #include "api/result.hpp"
+#include "api/spec_cache.hpp"
 #include "api/store.hpp"
 #include "spi/statistics.hpp"
 #include "variant/model.hpp"
@@ -69,6 +71,10 @@ class Session {
   /// The shared model store; hand it to another Session to shard work.
   [[nodiscard]] const std::shared_ptr<ModelStore>& store() const noexcept { return store_; }
 
+  /// Deadline-miss telemetry of the session's executor: tasks completed,
+  /// deadline misses, and worst/summed lateness (see ExecutorStats).
+  [[nodiscard]] ExecutorStats executor_stats() const noexcept { return executor_->stats(); }
+
   // --- loading (forwarded to the store) -------------------------------------
 
   /// Parses a model from "spit" text. `name` overrides the model name for
@@ -93,6 +99,19 @@ class Session {
 
   /// Adopts an already-built model (programmatic construction).
   Result<ModelInfo> load(variant::VariantModel model, std::string_view origin = "adopted");
+
+  /// Resolves a spec (builtin name or .spit path, with optional "key=value"
+  /// builtin options) through the session's tombstone-aware target cache —
+  /// the same cache AnyRequest::target resolution uses, so a spec resolved
+  /// here and a later envelope naming the same target share one handle.
+  /// Thread-safe.
+  Result<ModelInfo> resolve(const std::string& spec,
+                            const std::vector<std::string>& options = {});
+
+  /// Every handle this session's target cache resolved for `spec` (across
+  /// all option combinations), without loading — the service front end's
+  /// `unload <spec>` support. Thread-safe.
+  [[nodiscard]] std::vector<ModelId> resolved_handles(const std::string& spec) const;
 
   /// Tombstones the model in the store. Returns kUnloaded when this call
   /// removed a live model, kAlreadyUnloaded when the id had been unloaded
@@ -148,6 +167,37 @@ class Session {
   /// across the session's executor.
   [[nodiscard]] Result<CompareResponse> compare(const CompareRequest& request) const;
 
+  // --- the unified envelope (v5) --------------------------------------------
+  //
+  // One entry point for every evaluation kind: the AnyRequest envelope
+  // carries the payload variant, an optional target spec (resolved through
+  // a tombstone-aware per-session target cache — wire clients never hold
+  // handles), and per-slot SubmitOptions. Dispatch runs through the same
+  // snapshot + result-cache seam as the per-kind methods above, so an
+  // envelope call and its dedicated endpoint produce bit-identical results
+  // and share cache entries. The per-kind methods are thin wrappers over
+  // the same internals and remain the convenient typed surface.
+
+  /// Evaluates one envelope (target resolved first when set).
+  [[nodiscard]] Result<AnyResponse> call(const AnyRequest& request) const;
+
+  /// Heterogeneous blocking batch: every slot evaluates independently
+  /// across the executor and the call returns all slots in order,
+  /// bit-identical to per-kind evaluation. Slots sharing identical
+  /// SubmitOptions run as one executor submission (the calling thread
+  /// participates when every slot agrees, so a uniform batch is safe from
+  /// inside a pool task); mixed options split into per-options submissions
+  /// so priority and deadline hold per slot.
+  [[nodiscard]] std::vector<Result<AnyResponse>> call_batch(
+      const std::vector<AnyRequest>& requests) const;
+
+  /// Heterogeneous streaming batch: snapshots resolve at submission, slots
+  /// land through `on_slot` and the handle's futures, and each slot's
+  /// SubmitOptions select its scheduling band — a high-priority simulate
+  /// overtakes a queued normal compare from the same envelope batch.
+  [[nodiscard]] BatchHandle<AnyResponse> submit(std::vector<AnyRequest> requests,
+                                                SlotCallback<AnyResponse> on_slot = {}) const;
+
   // --- blocking batch surface ------------------------------------------------
 
   /// Evaluates each request independently across the session's executor;
@@ -185,8 +235,22 @@ class Session {
       SubmitOptions options = {}) const;
 
  private:
+  /// Tombstone-aware target-spec memoization behind AnyRequest::target.
+  /// Shared-ptr + mutex: sessions stay movable and call()/submit stay safe
+  /// from several threads (SpecCache itself is single-threaded).
+  struct TargetCache {
+    explicit TargetCache(std::shared_ptr<ModelStore> store) : specs(std::move(store)) {}
+    std::mutex mutex;
+    SpecCache specs;
+  };
+
+  /// Resolves the envelope's target spec (when set) into the payload's
+  /// model handle; returns the resolution failure otherwise.
+  [[nodiscard]] Result<ModelId> resolve_target(const AnyRequest& request) const;
+
   std::shared_ptr<ModelStore> store_;
   std::shared_ptr<Executor> executor_;
+  std::shared_ptr<TargetCache> targets_;
 };
 
 }  // namespace spivar::api

@@ -1,0 +1,115 @@
+// api::wire — the versioned line-oriented wire protocol of the envelope.
+//
+// Every AnyRequest and every Result<AnyResponse> (success payloads of all
+// five kinds *and* diagnostics-carrying failures) encodes to a plain-text
+// *frame*: a header line carrying the protocol version, `key value...` body
+// lines, and a terminating `end` line. Frames follow the `variants v1`
+// textio discipline — versioned header, one fact per line, strings quoted
+// with backslash escapes, declaration order preserved — so a recorded
+// request log is diffable, hand-editable, and replayable byte for byte.
+//
+//   request v1 simulate
+//   target "fig2"
+//   priority high
+//   seed 7
+//   resolution random
+//   end
+//
+//   response v1 ok simulate
+//   model "fig2"
+//   total-firings 42
+//   ...
+//   end
+//
+// Round-trip contract: decode(encode(x)) reproduces every field of x
+// bit-identically (doubles travel as shortest-round-trip decimals via
+// std::to_chars), so a spivar_serve client observes exactly the results an
+// in-process session would return. Decoding never throws: malformed input,
+// unknown keys, and version mismatches come back as failed Results whose
+// diagnostics carry the offending 1-based line number (diag::kWireError).
+//
+// The service front end (tools/spivar_serve) speaks three more one-purpose
+// frames on top of the envelope pair: `batch v1 <n>` prefixing n request
+// frames evaluated as one heterogeneous Session::submit, `control v1
+// <command> ...` for session management (load/unload/stats/shutdown), and
+// `info v1` carrying a control reply's rendered text.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/requests.hpp"
+#include "api/responses.hpp"
+#include "api/result.hpp"
+
+namespace spivar::api::wire {
+
+/// Protocol version stamped into (and required of) every frame header.
+inline constexpr int kVersion = 1;
+
+// --- envelope frames ---------------------------------------------------------
+
+/// `request v1 <kind>` frame for one envelope: target spec, scheduling
+/// options, and every non-default payload field.
+[[nodiscard]] std::string encode(const AnyRequest& request);
+
+/// `response v1 ok <kind>` / `response v1 error` frame for one evaluation
+/// result, diagnostics (failure lists and success notes) included.
+[[nodiscard]] std::string encode(const Result<AnyResponse>& result);
+
+/// Parses one request frame. Malformed input fails with diag::kWireError
+/// and a "line N: ..." message; omitted payload keys keep their
+/// designated-initializer defaults, so hand-written frames stay terse.
+[[nodiscard]] Result<AnyRequest> decode_request(std::string_view frame);
+
+/// Parses one response frame back into the Result an in-process call would
+/// have returned. A transported error response decodes as that failure; a
+/// malformed frame fails with diag::kWireError (line-numbered).
+[[nodiscard]] Result<AnyResponse> decode_response(std::string_view frame);
+
+// --- service frames ----------------------------------------------------------
+
+/// Frame announcing `slots` request frames evaluated as one heterogeneous
+/// streaming batch ("batch v1 <n>\nend\n" — like every frame, it is
+/// `end`-terminated).
+[[nodiscard]] std::string batch_header(std::size_t slots);
+
+/// Slot count of a batch header frame; nullopt when `frame` is not a
+/// well-formed batch header of this version (a bare header without `end`
+/// is accepted for hand-written logs).
+[[nodiscard]] std::optional<std::size_t> parse_batch_header(std::string_view frame);
+
+/// Control frame: "control v1 <command> [quoted args...]\nend\n".
+[[nodiscard]] std::string control_frame(std::string_view command,
+                                        const std::vector<std::string>& args = {});
+
+/// Command + decoded args of a control frame; nullopt when `frame` is not
+/// a control frame of this version.
+struct ControlCommand {
+  std::string command;
+  std::vector<std::string> args;
+};
+[[nodiscard]] std::optional<ControlCommand> parse_control(std::string_view frame);
+
+/// `info v1` frame carrying a control reply's rendered text verbatim.
+[[nodiscard]] std::string encode_info(std::string_view text);
+[[nodiscard]] Result<std::string> decode_info(std::string_view frame);
+
+// --- stream utilities --------------------------------------------------------
+
+/// Reads the next frame from `in`: skips blank lines, then accumulates
+/// lines through the terminating `end` (every frame kind is
+/// `end`-terminated, so one malformed frame consumes exactly one frame).
+/// nullopt at EOF. The result includes the trailing newline and feeds
+/// straight into the decoders.
+[[nodiscard]] std::optional<std::string> read_frame(std::istream& in);
+
+/// Quotes `text` for a frame line: wraps in double quotes, escaping
+/// backslash, quote, newline, carriage return and tab.
+[[nodiscard]] std::string quote(std::string_view text);
+
+}  // namespace spivar::api::wire

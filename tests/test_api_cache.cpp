@@ -205,7 +205,10 @@ TEST(ResultCache, InsertsAfterInvalidationAreRefused) {
 
 TEST(ResultCache, EvictionUnderTinyCapacity) {
   Session session;
-  session.enable_cache({.capacity = 2, .shards = 1});
+  // cost_window = 1 pins classic LRU: this test asserts pure recency order,
+  // which cost-aware admission would perturb (measured eval times are
+  // noisy). Cost-weighted eviction has its own deterministic tests below.
+  session.enable_cache({.capacity = 2, .shards = 1, .cost_window = 1});
   const auto loaded = session.load_builtin("fig1");
   ASSERT_TRUE(loaded.ok());
 
@@ -235,6 +238,82 @@ TEST(ResultCache, EvictionUnderTinyCapacity) {
   ASSERT_TRUE(session.simulate(request).ok());  // still cached
   stats = session.cache_stats();
   EXPECT_EQ(stats->hits, 2u);
+}
+
+// --- cost-aware admission ----------------------------------------------------
+
+TEST(ResultCache, CostWeightedEvictionProtectsExpensiveEntries) {
+  // Capacity 2, window 2: when the third entry arrives, the two least
+  // recent are examined and the *cheaper* one is dropped even though the
+  // expensive one is older.
+  api::ResultCache cache{{.capacity = 2, .shards = 1, .cost_window = 2}};
+  const auto key = [](std::uint64_t fingerprint) {
+    return api::ResultCache::Key{
+        .model = 1, .generation = 1, .kind = api::RequestKind::kSimulate,
+        .fingerprint = fingerprint};
+  };
+  cache.insert(key(1), api::Result<api::SimulateResponse>::success({}), 5'000'000);  // expensive
+  cache.insert(key(2), api::Result<api::SimulateResponse>::success({}), 1);          // cheap
+  cache.insert(key(3), api::Result<api::SimulateResponse>::success({}), 10);
+
+  EXPECT_NE(cache.find<api::SimulateResponse>(key(1)), nullptr);  // survived despite LRU tail
+  EXPECT_EQ(cache.find<api::SimulateResponse>(key(2)), nullptr);  // the cheap one was evicted
+  EXPECT_NE(cache.find<api::SimulateResponse>(key(3)), nullptr);
+
+  const api::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.evicted_cost_us, 1u);
+  EXPECT_EQ(stats.cached_cost_us, 5'000'010u);
+}
+
+TEST(ResultCache, CostWindowOneIsClassicLru) {
+  api::ResultCache cache{{.capacity = 2, .shards = 1, .cost_window = 1}};
+  const auto key = [](std::uint64_t fingerprint) {
+    return api::ResultCache::Key{
+        .model = 1, .generation = 1, .kind = api::RequestKind::kSimulate,
+        .fingerprint = fingerprint};
+  };
+  cache.insert(key(1), api::Result<api::SimulateResponse>::success({}), 5'000'000);
+  cache.insert(key(2), api::Result<api::SimulateResponse>::success({}), 1);
+  cache.insert(key(3), api::Result<api::SimulateResponse>::success({}), 10);
+  // Pure recency: the expensive-but-oldest entry is the victim.
+  EXPECT_EQ(cache.find<api::SimulateResponse>(key(1)), nullptr);
+  EXPECT_NE(cache.find<api::SimulateResponse>(key(2)), nullptr);
+}
+
+TEST(ResultCache, HitsAccumulateSavedCost) {
+  api::ResultCache cache{{.capacity = 8, .shards = 1}};
+  const api::ResultCache::Key key{
+      .model = 1, .generation = 1, .kind = api::RequestKind::kCompare, .fingerprint = 42};
+  cache.insert(key, api::Result<api::CompareResponse>::success({}), 250);
+  EXPECT_NE(cache.find<api::CompareResponse>(key), nullptr);
+  EXPECT_NE(cache.find<api::CompareResponse>(key), nullptr);
+  const api::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.saved_cost_us, 500u);
+  EXPECT_EQ(stats.cached_cost_us, 250u);
+}
+
+TEST(ResultCache, EvalPathsChargeMeasuredCost) {
+  // End to end: entries inserted through with_cache carry their measured
+  // eval time, so a real sweep accumulates nonzero cached cost and repeat
+  // hits accumulate saved cost. (Exact values are wall-clock dependent;
+  // only the accounting invariants are asserted.)
+  Session session;
+  session.enable_cache({.capacity = 64});
+  const auto loaded = session.load_builtin("fig2");
+  ASSERT_TRUE(loaded.ok());
+  api::CompareRequest compare{.model = loaded.value().id};
+  compare.options.engine = synth::ExploreEngine::kExhaustive;
+  ASSERT_TRUE(session.compare(compare).ok());
+  const auto cold = *session.cache_stats();
+  EXPECT_GT(cold.cached_cost_us, 0u);
+  EXPECT_EQ(cold.saved_cost_us, 0u);
+
+  ASSERT_TRUE(session.compare(compare).ok());
+  const auto warm = *session.cache_stats();
+  EXPECT_EQ(warm.hits, cold.hits + 1);
+  EXPECT_GE(warm.saved_cost_us, cold.cached_cost_us);
 }
 
 TEST(ResultCache, CacheStatsAreNulloptWhenDisabled) {

@@ -325,6 +325,82 @@ TEST(ParallelBatch, FailingSlotsStayIsolatedUnderThePool) {
   }
 }
 
+// --- deadline-miss telemetry -------------------------------------------------
+
+TEST(ExecutorStats, CompletionsAreCountedWithoutDeadlines) {
+  api::SerialExecutor serial;
+  std::atomic<int> ran{0};
+  serial.run({[&] { ++ran; }, [&] { ++ran; }, [&] { ++ran; }});
+  const api::ExecutorStats stats = serial.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.max_lateness.count(), 0);
+  EXPECT_EQ(stats.total_lateness.count(), 0);
+  EXPECT_EQ(stats.miss_rate(), 0.0);
+}
+
+TEST(ExecutorStats, ZeroDeadlineRecordsMissesAndLateness) {
+  // A deadline of 0 ms is already past when the task finishes, so every
+  // task records a miss with strictly positive lateness.
+  api::SerialExecutor serial;
+  serial.run({[] { std::this_thread::sleep_for(std::chrono::milliseconds{2}); },
+              [] { std::this_thread::sleep_for(std::chrono::milliseconds{2}); }},
+             {.deadline = std::chrono::milliseconds{0}});
+  const api::ExecutorStats stats = serial.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.deadline_misses, 2u);
+  EXPECT_GT(stats.max_lateness.count(), 0);
+  EXPECT_GE(stats.total_lateness, stats.max_lateness);
+  EXPECT_EQ(stats.miss_rate(), 1.0);
+}
+
+TEST(ExecutorStats, GenerousDeadlineDoesNotMiss) {
+  api::ThreadPoolExecutor pool{2};
+  pool.run({[] {}, [] {}, [] {}, [] {}},
+           {.deadline = std::chrono::milliseconds{60'000}});
+  const api::ExecutorStats stats = pool.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+}
+
+TEST(ExecutorStats, PoolRecordsMissesAcrossRunAndSubmit) {
+  api::ThreadPoolExecutor pool{2};
+  std::atomic<int> landed{0};
+  pool.submit({[&] {
+                 std::this_thread::sleep_for(std::chrono::milliseconds{2});
+                 ++landed;
+               }},
+              {.deadline = std::chrono::milliseconds{0}});
+  pool.run({[&] { ++landed; }});  // deadline-free: counted, never a miss
+  while (landed.load() < 2) std::this_thread::yield();
+  // The submit path may record an instant after the task body lands; poll
+  // the monotone counters instead of racing them.
+  api::ExecutorStats stats = pool.stats();
+  while (stats.completed < 2) stats = pool.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_GT(stats.total_lateness.count(), 0);
+}
+
+TEST(ExecutorStats, SessionExposesItsExecutorsTelemetry) {
+  Session session{api::make_executor(2)};
+  const auto loaded = session.load_builtin("fig1");
+  ASSERT_TRUE(loaded.ok());
+  std::vector<api::SimulateRequest> batch(6, {.model = loaded.value().id});
+
+  EXPECT_EQ(session.executor_stats().completed, 0u);
+  auto handle = session.submit_simulate_batch(batch, {}, {.deadline = std::chrono::milliseconds{0}});
+  (void)handle.wait();
+  api::ExecutorStats stats = session.executor_stats();
+  while (stats.completed < batch.size()) stats = session.executor_stats();
+  EXPECT_EQ(stats.completed, batch.size());
+  EXPECT_EQ(stats.deadline_misses, batch.size());
+  EXPECT_GT(stats.max_lateness.count(), 0);
+  EXPECT_GE(stats.total_lateness.count(),
+            static_cast<std::int64_t>(batch.size()) * 0);  // monotone, consistent
+  EXPECT_GE(stats.total_lateness, stats.max_lateness);
+}
+
 TEST(ParallelBatch, ConcurrentBatchesFromSeveralThreadsInterleaveSafely) {
   Session pooled{api::make_executor(4)};
   const auto loaded = pooled.load_builtin("fig1");

@@ -1,0 +1,521 @@
+// The v5 envelope and its wire protocol: every request/response kind
+// round-trips bit-identically (diagnostics-carrying error responses
+// included), malformed and old-version frames are rejected with
+// line-numbered errors, and a mixed-kind call_batch/submit returns per-slot
+// results identical to the dedicated v4 endpoints — with cache hits and
+// per-slot priorities/deadlines intact.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/api.hpp"
+#include "api/wire.hpp"
+
+namespace spivar {
+namespace {
+
+using api::AnyRequest;
+using api::AnyResponse;
+using api::Session;
+
+/// Wire frames are deterministic functions of every transported field, so
+/// frame(decode(frame)) == frame is the round-trip check: any dropped or
+/// altered field shows up as a frame diff (spot field checks guard against
+/// symmetric encode/decode omissions).
+std::string reencode_request(const std::string& frame) {
+  const auto decoded = api::wire::decode_request(frame);
+  EXPECT_TRUE(decoded.ok()) << decoded.error_summary();
+  return decoded.ok() ? api::wire::encode(decoded.value()) : std::string{};
+}
+
+std::string reencode_response(const std::string& frame) {
+  const auto decoded = api::wire::decode_response(frame);
+  EXPECT_TRUE(decoded.ok()) << decoded.error_summary();
+  if (!decoded.ok()) return {};
+  return api::wire::encode(
+      api::Result<AnyResponse>::success(decoded.value(), decoded.diagnostics()));
+}
+
+// --- request round trips -----------------------------------------------------
+
+TEST(WireRequest, SimulateRoundTripsEveryField) {
+  AnyRequest request;
+  api::SimulateRequest simulate;
+  simulate.options.resolution = sim::Resolution::kRandom;
+  simulate.options.seed = 99;
+  simulate.options.max_time = support::TimePoint{123456};
+  simulate.options.max_total_firings = 777;
+  simulate.options.record_trace = true;
+  simulate.options.trace_limit = 42;
+  simulate.render_timeline = true;
+  request.payload = simulate;
+  request.target = "fig 2.spit";  // spaces survive quoting
+  request.target_options = {"variants=3", "seed=7"};
+  request.options.priority = api::Priority::kHigh;
+  request.options.deadline = std::chrono::milliseconds{250};
+
+  const std::string frame = api::wire::encode(request);
+  EXPECT_EQ(reencode_request(frame), frame);
+
+  const auto decoded = api::wire::decode_request(frame);
+  ASSERT_TRUE(decoded.ok());
+  const auto& payload = std::get<api::SimulateRequest>(decoded.value().payload);
+  EXPECT_EQ(payload.options.seed, 99u);
+  EXPECT_EQ(payload.options.max_time, support::TimePoint{123456});
+  EXPECT_TRUE(payload.render_timeline);
+  EXPECT_EQ(decoded.value().target, "fig 2.spit");
+  EXPECT_EQ(decoded.value().target_options.size(), 2u);
+  EXPECT_EQ(decoded.value().options.priority, api::Priority::kHigh);
+  EXPECT_EQ(decoded.value().options.deadline, std::chrono::milliseconds{250});
+}
+
+TEST(WireRequest, EveryKindReencodesIdentically) {
+  std::vector<AnyRequest> requests;
+
+  api::AnalyzeRequest analyze;
+  analyze.buffers = false;
+  analyze.include_reconfiguration = true;
+  requests.push_back({.payload = analyze, .target = "fig1"});
+
+  api::ExploreRequest explore;
+  explore.options.engine = synth::ExploreEngine::kAnnealing;
+  explore.options.annealing_trials_per_element = 17;
+  explore.options.annealing_initial_temperature = 3.25;
+  explore.problem = synth::ProblemOptions{.granularity = synth::ElementGranularity::kProcess,
+                                          .skip_virtual = false};
+  synth::ImplLibrary library;
+  library.processor_cost = 15.5;
+  library.processor_budget = 0.875;
+  library.add("PA", {.sw_load = 0.25,
+                     .sw_wcet = support::Duration::millis(2),
+                     .hw_cost = 8.0,
+                     .hw_wcet = support::Duration::micros(430),
+                     .can_sw = true,
+                     .can_hw = false});
+  synth::ElementImpl periodic{.sw_load = 0.5, .hw_cost = 3.0};
+  periodic.period = support::Duration::millis(40);
+  library.add("PB", periodic);
+  explore.library = library;
+  requests.push_back({.payload = explore, .target = "fig2"});
+
+  api::ParetoRequest pareto;
+  pareto.options.samples = 128;
+  pareto.options.seed = 5;
+  requests.push_back({.payload = pareto});
+
+  api::CompareRequest compare;
+  compare.strategies = {synth::StrategyKind::kSerialized, synth::StrategyKind::kWithVariants};
+  compare.all_orders = true;
+  compare.max_orders = 6;
+  compare.objectives = {synth::RankObjective::kTotalCost, synth::RankObjective::kDesignTime};
+  requests.push_back({.payload = compare, .target = "multistandard_tv"});
+
+  for (const AnyRequest& request : requests) {
+    const std::string frame = api::wire::encode(request);
+    EXPECT_EQ(reencode_request(frame), frame) << frame;
+  }
+}
+
+TEST(WireRequest, BlankAndWhitespaceLinesAreIgnored) {
+  // Hand-edited replay logs contain blank separators; a line of spaces or
+  // tabs-as-spaces must read as blank, not crash or error.
+  const auto decoded =
+      api::wire::decode_request("request v1 simulate\n   \nseed 9\n\nend\n");
+  ASSERT_TRUE(decoded.ok()) << decoded.error_summary();
+  EXPECT_EQ(std::get<api::SimulateRequest>(decoded.value().payload).options.seed, 9u);
+  EXPECT_FALSE(api::wire::parse_batch_header("   \n").has_value());
+  EXPECT_FALSE(api::wire::parse_control(" ").has_value());
+}
+
+TEST(WireRequest, OmittedKeysKeepDefaults) {
+  const auto decoded = api::wire::decode_request("request v1 simulate\nend\n");
+  ASSERT_TRUE(decoded.ok());
+  const auto& payload = std::get<api::SimulateRequest>(decoded.value().payload);
+  const api::SimulateRequest defaults;
+  EXPECT_EQ(payload.options.seed, defaults.options.seed);
+  EXPECT_EQ(payload.options.resolution, defaults.options.resolution);
+  EXPECT_EQ(decoded.value().options.priority, api::Priority::kNormal);
+  EXPECT_FALSE(decoded.value().options.deadline.has_value());
+}
+
+// --- malformed / old-version frames ------------------------------------------
+
+TEST(WireRequest, RejectsOldVersionWithLineNumber) {
+  const auto decoded = api::wire::decode_request("request v0 simulate\nend\n");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.diagnostics().has_code(api::diag::kWireError));
+  EXPECT_NE(decoded.error_summary().find("line 1"), std::string::npos);
+  EXPECT_NE(decoded.error_summary().find("unsupported wire version"), std::string::npos);
+
+  const auto future = api::wire::decode_request("request v2 simulate\nend\n");
+  EXPECT_FALSE(future.ok());
+}
+
+TEST(WireRequest, RejectsUnknownKeysWithLineNumber) {
+  const auto decoded =
+      api::wire::decode_request("request v1 simulate\nseed 3\nfroznar 12\nend\n");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error_summary().find("line 3"), std::string::npos);
+  EXPECT_NE(decoded.error_summary().find("froznar"), std::string::npos);
+}
+
+TEST(WireRequest, RejectsMalformedFrames) {
+  // Unknown kind.
+  EXPECT_FALSE(api::wire::decode_request("request v1 transmogrify\nend\n").ok());
+  // Missing `end`.
+  const auto truncated = api::wire::decode_request("request v1 simulate\nseed 3\n");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.error_summary().find("not terminated"), std::string::npos);
+  // Content after `end`.
+  EXPECT_FALSE(api::wire::decode_request("request v1 simulate\nend\nseed 3\n").ok());
+  // Unterminated quote carries its line number.
+  const auto unterminated =
+      api::wire::decode_request("request v1 simulate\ntarget \"oops\nend\n");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.error_summary().find("line 2"), std::string::npos);
+  // Bad number.
+  EXPECT_FALSE(api::wire::decode_request("request v1 simulate\nseed banana\nend\n").ok());
+  // Wrong frame tag.
+  EXPECT_FALSE(api::wire::decode_request("response v1 ok simulate\nend\n").ok());
+}
+
+TEST(WireResponse, RejectsMalformedFrames) {
+  EXPECT_FALSE(api::wire::decode_response("response v0 ok simulate\nend\n").ok());
+  const auto unknown =
+      api::wire::decode_response("response v1 ok simulate\nmodel \"x\"\nwibble 3\nend\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.diagnostics().has_code(api::diag::kWireError));
+  EXPECT_NE(unknown.error_summary().find("line 3"), std::string::npos);
+}
+
+// --- response round trips ----------------------------------------------------
+
+TEST(WireResponse, ErrorResponseCarriesDiagnosticsExactly) {
+  support::DiagnosticList diagnostics;
+  diagnostics.error("api-unknown-model", "no model with handle #7");
+  diagnostics.warning("some-code", "message with \"quotes\",\nnewlines\tand tabs");
+  diagnostics.note("note-code", "");
+  const auto failure = api::Result<AnyResponse>::failure(diagnostics);
+
+  const std::string frame = api::wire::encode(failure);
+  const auto decoded = api::wire::decode_response(frame);
+  ASSERT_FALSE(decoded.ok());
+  ASSERT_EQ(decoded.diagnostics().size(), 3u);
+  EXPECT_EQ(decoded.diagnostics().items(), diagnostics.items());
+  // And the re-encoded frame is byte-identical.
+  EXPECT_EQ(api::wire::encode(api::Result<AnyResponse>::failure(decoded.diagnostics())), frame);
+}
+
+/// Evaluates one real response per kind and asserts the wire round trip is
+/// bit-identical (frame equality plus spot checks on decoded fields).
+class WireResponseRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = session_.load_builtin("fig2").value().id;
+    tv_ = session_.load_builtin("multistandard_tv").value().id;
+  }
+
+  Session session_;
+  api::ModelId model_;
+  api::ModelId tv_;
+};
+
+TEST_F(WireResponseRoundTrip, Simulate) {
+  api::SimulateRequest request{.model = tv_};
+  request.options.resolution = sim::Resolution::kRandom;
+  request.options.seed = 3;
+  request.options.record_trace = true;
+  request.render_timeline = true;
+  const auto result = session_.simulate(request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().result.trace.events().empty());
+
+  const std::string frame =
+      api::wire::encode(api::Result<AnyResponse>::success(AnyResponse{result.value()}));
+  EXPECT_EQ(reencode_response(frame), frame);
+
+  const auto decoded = api::wire::decode_response(frame);
+  ASSERT_TRUE(decoded.ok());
+  const auto& typed = std::get<api::SimulateResponse>(decoded.value());
+  EXPECT_EQ(typed.model, result.value().model);
+  EXPECT_EQ(typed.result.total_firings, result.value().result.total_firings);
+  EXPECT_EQ(typed.result.end_time, result.value().result.end_time);
+  EXPECT_EQ(typed.result.trace.events().size(), result.value().result.trace.events().size());
+  EXPECT_EQ(typed.timeline, result.value().timeline);
+  EXPECT_EQ(typed.result.interfaces.size(), result.value().result.interfaces.size());
+}
+
+TEST_F(WireResponseRoundTrip, Analyze) {
+  const auto result = session_.analyze({.model = model_});
+  ASSERT_TRUE(result.ok());
+  const std::string frame =
+      api::wire::encode(api::Result<AnyResponse>::success(AnyResponse{result.value()}));
+  EXPECT_EQ(reencode_response(frame), frame);
+
+  const auto decoded = api::wire::decode_response(frame);
+  ASSERT_TRUE(decoded.ok());
+  const auto& typed = std::get<api::AnalyzeResponse>(decoded.value());
+  EXPECT_EQ(typed.buffer_flows.size(), result.value().buffer_flows.size());
+  EXPECT_EQ(typed.structure.sources, result.value().structure.sources);
+  EXPECT_EQ(typed.request.model, model_);
+}
+
+TEST_F(WireResponseRoundTrip, Explore) {
+  api::ExploreRequest request{.model = model_};
+  request.options.engine = synth::ExploreEngine::kExhaustive;
+  const auto result = session_.explore(request);
+  ASSERT_TRUE(result.ok());
+  const std::string frame =
+      api::wire::encode(api::Result<AnyResponse>::success(AnyResponse{result.value()}));
+  EXPECT_EQ(reencode_response(frame), frame);
+
+  const auto decoded = api::wire::decode_response(frame);
+  const auto& typed = std::get<api::ExploreResponse>(decoded.value());
+  EXPECT_EQ(typed.result.cost.total, result.value().result.cost.total);
+  EXPECT_EQ(typed.result.mapping, result.value().result.mapping);
+}
+
+TEST_F(WireResponseRoundTrip, Pareto) {
+  const auto result = session_.pareto({.model = model_});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().points.empty());
+  const std::string frame =
+      api::wire::encode(api::Result<AnyResponse>::success(AnyResponse{result.value()}));
+  EXPECT_EQ(reencode_response(frame), frame);
+
+  const auto decoded = api::wire::decode_response(frame);
+  const auto& typed = std::get<api::ParetoResponse>(decoded.value());
+  EXPECT_EQ(typed.points, result.value().points);
+}
+
+TEST_F(WireResponseRoundTrip, Compare) {
+  api::CompareRequest request{.model = tv_};
+  request.options.engine = synth::ExploreEngine::kGreedy;
+  request.all_orders = true;
+  request.objectives = {synth::RankObjective::kTotalCost,
+                        synth::RankObjective::kWorstUtilization};
+  const auto result = session_.compare(request);
+  ASSERT_TRUE(result.ok());
+  const std::string frame =
+      api::wire::encode(api::Result<AnyResponse>::success(AnyResponse{result.value()}));
+  EXPECT_EQ(reencode_response(frame), frame);
+
+  const auto decoded = api::wire::decode_response(frame);
+  const auto& typed = std::get<api::CompareResponse>(decoded.value());
+  ASSERT_EQ(typed.rows.size(), result.value().rows.size());
+  EXPECT_EQ(typed.ranking, result.value().ranking);
+  for (std::size_t i = 0; i < typed.rows.size(); ++i) {
+    EXPECT_EQ(typed.rows[i].outcome.cost.total, result.value().rows[i].outcome.cost.total);
+    EXPECT_EQ(typed.rows[i].outcome.mapping, result.value().rows[i].outcome.mapping);
+    EXPECT_EQ(typed.rows[i].per_order.size(), result.value().rows[i].per_order.size());
+  }
+}
+
+// --- service frames ----------------------------------------------------------
+
+TEST(WireService, BatchHeaderAndControlRoundTrip) {
+  EXPECT_EQ(api::wire::parse_batch_header(api::wire::batch_header(5)), 5u);
+  EXPECT_FALSE(api::wire::parse_batch_header("batch v0 5\n").has_value());
+  EXPECT_FALSE(api::wire::parse_batch_header("request v1 simulate\n").has_value());
+
+  const auto control =
+      api::wire::parse_control(api::wire::control_frame("load", {"synthetic", "variants=3"}));
+  ASSERT_TRUE(control.has_value());
+  EXPECT_EQ(control->command, "load");
+  EXPECT_EQ(control->args, (std::vector<std::string>{"synthetic", "variants=3"}));
+  EXPECT_FALSE(api::wire::parse_control("control v9 ping\n").has_value());
+}
+
+TEST(WireService, InfoFrameRoundTripsText) {
+  const std::string text = "line one\nline \"two\"\ttabbed\n";
+  const auto decoded = api::wire::decode_info(api::wire::encode_info(text));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), text);
+}
+
+TEST(WireService, ReadFrameSplitsAStream) {
+  std::istringstream in{api::wire::control_frame("ping") +
+                        "\nrequest v1 simulate\nseed 3\nend\n\n" + api::wire::batch_header(2)};
+  const auto control = api::wire::read_frame(in);
+  ASSERT_TRUE(control.has_value());
+  EXPECT_TRUE(api::wire::parse_control(*control).has_value());
+  const auto request = api::wire::read_frame(in);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(api::wire::decode_request(*request).ok());
+  const auto batch = api::wire::read_frame(in);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(api::wire::parse_batch_header(*batch), 2u);
+  EXPECT_FALSE(api::wire::read_frame(in).has_value());  // EOF
+}
+
+TEST(WireService, TypodFrameConsumesExactlyOneFrame) {
+  // Every frame is end-terminated, so a misspelled tag costs one error
+  // reply and the stream stays synchronized — in both directions: a
+  // typo'd control does not swallow later frames, and a typo'd request
+  // does not explode into one error per body line.
+  std::istringstream in{"contrl v1 ping\nend\n" + api::wire::control_frame("ping") +
+                        "requst v1 simulate\nseed 3\nend\n" + api::wire::control_frame("ping")};
+  const auto bad_control = api::wire::read_frame(in);
+  ASSERT_TRUE(bad_control.has_value());
+  EXPECT_FALSE(api::wire::parse_control(*bad_control).has_value());
+  const auto good1 = api::wire::read_frame(in);
+  ASSERT_TRUE(good1.has_value());
+  EXPECT_TRUE(api::wire::parse_control(*good1).has_value());
+  const auto bad_request = api::wire::read_frame(in);
+  ASSERT_TRUE(bad_request.has_value());
+  EXPECT_FALSE(api::wire::decode_request(*bad_request).ok());
+  const auto good2 = api::wire::read_frame(in);
+  ASSERT_TRUE(good2.has_value());
+  EXPECT_TRUE(api::wire::parse_control(*good2).has_value());
+  EXPECT_FALSE(api::wire::read_frame(in).has_value());
+}
+
+// --- the envelope against the dedicated endpoints ----------------------------
+
+/// One request per kind over two models, with mixed per-slot priorities and
+/// deadlines — the acceptance scenario.
+std::vector<AnyRequest> mixed_batch(api::ModelId fig2, api::ModelId tv) {
+  std::vector<AnyRequest> requests;
+  api::SimulateRequest simulate{.model = fig2};
+  simulate.options.resolution = sim::Resolution::kRandom;
+  simulate.options.seed = 7;
+  requests.push_back({.payload = simulate,
+                      .options = {.priority = api::Priority::kHigh,
+                                  .deadline = std::chrono::milliseconds{50}}});
+  api::ExploreRequest explore{.model = fig2};
+  explore.options.engine = synth::ExploreEngine::kExhaustive;
+  requests.push_back({.payload = explore});
+  requests.push_back({.payload = api::ParetoRequest{.model = fig2},
+                      .options = {.priority = api::Priority::kLow}});
+  requests.push_back({.payload = api::AnalyzeRequest{.model = tv},
+                      .options = {.deadline = std::chrono::milliseconds{200}}});
+  api::CompareRequest compare{.model = tv};
+  compare.options.engine = synth::ExploreEngine::kGreedy;
+  requests.push_back({.payload = compare});
+  return requests;
+}
+
+/// Frame equality is field equality (the encoder covers every field), so
+/// comparing encoded frames compares whole responses.
+template <typename Response>
+void expect_slot_matches(const api::Result<AnyResponse>& slot,
+                         const api::Result<Response>& dedicated) {
+  ASSERT_TRUE(slot.ok()) << slot.error_summary();
+  ASSERT_TRUE(dedicated.ok()) << dedicated.error_summary();
+  EXPECT_EQ(api::wire::encode(slot),
+            api::wire::encode(api::Result<AnyResponse>::success(AnyResponse{dedicated.value()})));
+}
+
+class EnvelopeBatch : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnvelopeBatch, MixedKindResultsMatchDedicatedEndpointsPerSlot) {
+  auto store = std::make_shared<api::ModelStore>();
+  Session session{store, api::make_executor(GetParam())};
+  const api::ModelId fig2 = session.load_builtin("fig2").value().id;
+  const api::ModelId tv = session.load_builtin("multistandard_tv").value().id;
+  const std::vector<AnyRequest> requests = mixed_batch(fig2, tv);
+
+  // Blocking heterogeneous batch.
+  const auto batched = session.call_batch(requests);
+  ASSERT_EQ(batched.size(), 5u);
+  expect_slot_matches(batched[0],
+                      session.simulate(std::get<api::SimulateRequest>(requests[0].payload)));
+  expect_slot_matches(batched[1],
+                      session.explore(std::get<api::ExploreRequest>(requests[1].payload)));
+  expect_slot_matches(batched[2],
+                      session.pareto(std::get<api::ParetoRequest>(requests[2].payload)));
+  expect_slot_matches(batched[3],
+                      session.analyze(std::get<api::AnalyzeRequest>(requests[3].payload)));
+  expect_slot_matches(batched[4],
+                      session.compare(std::get<api::CompareRequest>(requests[4].payload)));
+
+  // Streaming submit with per-slot options delivers the same results.
+  auto handle = session.submit(requests);
+  const auto streamed = handle.wait();
+  ASSERT_EQ(streamed.size(), 5u);
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    ASSERT_TRUE(streamed[i].ok()) << streamed[i].error_summary();
+    EXPECT_EQ(api::wire::encode(streamed[i]), api::wire::encode(batched[i])) << "slot " << i;
+  }
+
+  // call() agrees slot-by-slot too.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto single = session.call(requests[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(api::wire::encode(single), api::wire::encode(batched[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndPool, EnvelopeBatch, ::testing::Values(1u, 4u));
+
+TEST(Envelope, SharesCacheEntriesWithDedicatedEndpoints) {
+  Session session;
+  session.enable_cache({.capacity = 64});
+  const api::ModelId fig2 = session.load_builtin("fig2").value().id;
+
+  // Dedicated endpoint populates; the envelope must hit the same entry.
+  api::SimulateRequest request{.model = fig2};
+  request.options.seed = 11;
+  request.options.resolution = sim::Resolution::kRandom;
+  ASSERT_TRUE(session.simulate(request).ok());
+  const auto miss_stats = *session.cache_stats();
+  EXPECT_EQ(miss_stats.misses, 1u);
+
+  const auto via_envelope = session.call({.payload = request});
+  ASSERT_TRUE(via_envelope.ok());
+  const auto hit_stats = *session.cache_stats();
+  EXPECT_EQ(hit_stats.hits, 1u);
+  EXPECT_EQ(hit_stats.misses, 1u);
+
+  // And a mixed batch repeated end-to-end is all hits.
+  const auto tv = session.load_builtin("multistandard_tv").value().id;
+  const auto requests = mixed_batch(fig2, tv);
+  (void)session.call_batch(requests);
+  const auto cold = *session.cache_stats();
+  (void)session.call_batch(requests);
+  const auto warm = *session.cache_stats();
+  EXPECT_EQ(warm.misses, cold.misses);  // second pass added no misses
+  EXPECT_EQ(warm.hits, cold.hits + 5);
+}
+
+TEST(Envelope, TargetSpecResolvesAndMemoizes) {
+  Session session;
+  api::SimulateRequest simulate;
+  simulate.options.resolution = sim::Resolution::kRandom;
+
+  const auto first = session.call({.payload = simulate, .target = "synthetic",
+                                   .target_options = {"variants=3"}});
+  ASSERT_TRUE(first.ok()) << first.error_summary();
+  const auto second = session.call({.payload = simulate, .target = "synthetic",
+                                    .target_options = {"variants=3"}});
+  ASSERT_TRUE(second.ok());
+  // Memoized: one model in the store, not two.
+  EXPECT_EQ(session.models().size(), 1u);
+
+  const auto unknown = session.call({.payload = simulate, .target = "no-such-model"});
+  ASSERT_FALSE(unknown.ok());
+  const auto orphan_options =
+      session.call({.payload = simulate, .target_options = {"variants=3"}});
+  ASSERT_FALSE(orphan_options.ok());
+  EXPECT_TRUE(orphan_options.diagnostics().has_code(api::diag::kBadOption));
+}
+
+TEST(Envelope, UnknownModelAndKindHelpers) {
+  Session session;
+  const auto result = session.call({.payload = api::SimulateRequest{}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.diagnostics().has_code(api::diag::kUnknownModel));
+
+  AnyRequest request{.payload = api::CompareRequest{}};
+  EXPECT_EQ(api::kind_of(request), api::RequestKind::kCompare);
+  EXPECT_EQ(api::fingerprint(request), api::fingerprint(api::CompareRequest{}));
+  EXPECT_EQ(api::parse_request_kind("pareto"), api::RequestKind::kPareto);
+  EXPECT_FALSE(api::parse_request_kind("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace spivar

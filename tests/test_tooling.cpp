@@ -3,6 +3,8 @@
 // `cache-stats` command prints.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "api/api.hpp"
 #include "models/emission_control.hpp"
 #include "models/fig1.hpp"
@@ -187,6 +189,44 @@ TEST(CacheStatsRender, ZeroLookupsRenderAsZeroRate) {
   const api::CacheStats empty{.capacity = 8};
   EXPECT_DOUBLE_EQ(empty.hit_rate(), 0.0);
   EXPECT_NE(api::render(empty).find("0.0%"), std::string::npos);
+}
+
+TEST(CacheStatsRender, CostAccountingColumnsRender) {
+  api::CacheStats stats;
+  stats.cached_cost_us = 2'000;     // renders as 2ms
+  stats.saved_cost_us = 1'500;      // renders as 1500us
+  stats.evicted_cost_us = 3'000;
+  const std::string text = api::render(stats);
+  EXPECT_NE(text.find("cached cost"), std::string::npos);
+  EXPECT_NE(text.find("saved cost"), std::string::npos);
+  EXPECT_NE(text.find("evicted cost"), std::string::npos);
+  EXPECT_NE(text.find("2ms"), std::string::npos);
+  EXPECT_NE(text.find("1500us"), std::string::npos);
+  EXPECT_NE(text.find("3ms"), std::string::npos);
+}
+
+// --- executor stats rendering ------------------------------------------------
+
+TEST(ExecutorStatsRender, TableCarriesDeadlineTelemetry) {
+  api::ExecutorStats stats;
+  stats.completed = 8;
+  stats.deadline_misses = 2;
+  stats.max_lateness = std::chrono::microseconds{1'500};
+  stats.total_lateness = std::chrono::microseconds{2'000};
+  EXPECT_DOUBLE_EQ(stats.miss_rate(), 0.25);
+
+  const std::string text = api::render(stats);
+  EXPECT_NE(text.find("completed"), std::string::npos);
+  EXPECT_NE(text.find("deadline misses"), std::string::npos);
+  EXPECT_NE(text.find("25.0%"), std::string::npos);
+  EXPECT_NE(text.find("1500us"), std::string::npos);
+  EXPECT_NE(text.find("2ms"), std::string::npos);
+}
+
+TEST(ExecutorStatsRender, FreshExecutorRendersZeroes) {
+  api::SerialExecutor serial;
+  const std::string text = api::render(serial.stats());
+  EXPECT_NE(text.find("0.0%"), std::string::npos);
 }
 
 // --- buffer sizing -----------------------------------------------------------

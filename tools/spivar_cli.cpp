@@ -25,10 +25,19 @@
 //                                         segment loaded (reports
 //                                         already-unloaded / never-loaded)
 //   spivar_cli cache-stats                result-cache hit/miss counters
+//   spivar_cli executor-stats [--jobs N]  executor deadline-miss telemetry
+//                                         (completed / misses / lateness)
 //   spivar_cli demo [name]                emit a built-in model as spit text
 //                                         (variant models include the
 //                                         `variants v1` section)
 //   spivar_cli selfcheck                  demo -> parse -> validate -> simulate
+//
+//   spivar_cli remote <host:port> <command...> [--then <command...>]
+//       client mode: runs the same eval commands (simulate/analyze/explore/
+//       pareto/compare with their usual flags, plus --priority/--deadline-ms)
+//       against a spivar_serve instance over the wire protocol, rendering
+//       replies exactly like the local commands; models/load/unload/
+//       cache-stats/executor-stats/ping/shutdown map to control frames.
 //
 // <model> is a built-in name (see `models`) or a path to a .spit file. Model
 // commands accept repeated `--opt key=value` assignments to load a built-in
@@ -45,14 +54,18 @@
 #include <charconv>
 #include <chrono>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/wire.hpp"
 #include "support/table.hpp"
+#include "tcp.hpp"
 
 namespace {
 
@@ -66,8 +79,9 @@ class UsageError : public std::runtime_error {
 
 int usage() {
   std::cerr << "usage: spivar_cli <models|validate|stats|simulate|dot|deadlock|buffers|timing|"
-               "analyze|explore|pareto|compare|batch|unload|cache-stats|demo|selfcheck> "
-               "[model] [options]\n"
+               "analyze|explore|pareto|compare|batch|unload|cache-stats|executor-stats|demo|"
+               "selfcheck> [model] [options]\n"
+               "       spivar_cli remote <host:port> <command...>   drive a spivar_serve\n"
                "       model = built-in name (spivar_cli models) or .spit file path\n"
                "       built-ins take '--opt key=value' (repeatable) for non-default options\n"
                "       commands chain with '--then' and share one model store;\n"
@@ -171,9 +185,13 @@ int cmd_validate(api::Session& session, api::ModelId model) {
   return result.value().has_errors() ? 1 : 0;
 }
 
-int cmd_simulate(api::Session& session, api::ModelId model,
-                 const std::vector<std::string>& flags) {
-  api::SimulateRequest request{.model = model};
+// The build_* functions turn a command's flags into its request (model
+// handle unset) and the print_* functions render a response plus the exit
+// verdict — shared verbatim by the local commands and the `remote` client,
+// which is what makes a remote reply byte-identical to the local output.
+
+api::SimulateRequest build_simulate_request(const std::vector<std::string>& flags) {
+  api::SimulateRequest request;
   request.options.record_trace = has_flag(flags, "--trace");
   request.render_timeline = has_flag(flags, "--timeline");
   if (has_flag(flags, "--upper")) request.options.resolution = sim::Resolution::kUpperBound;
@@ -181,11 +199,12 @@ int cmd_simulate(api::Session& session, api::ModelId model,
     request.options.resolution = sim::Resolution::kRandom;
     request.options.seed = parse_u64(*flag_value(flags, "--random"), "--random");
   }
+  return request;
+}
 
-  const auto result = session.simulate(request);
-  if (report_failure(result)) return 1;
-  std::cout << api::render(result.value());
-  const auto& r = result.value().result;
+int print_simulate(const api::SimulateResponse& response, const std::vector<std::string>& flags) {
+  std::cout << api::render(response);
+  const auto& r = response.result;
 
   if (has_flag(flags, "--trace")) {
     constexpr std::size_t kMaxShown = 50;
@@ -203,18 +222,31 @@ int cmd_simulate(api::Session& session, api::ModelId model,
   return r.quiescent || r.hit_limit ? 0 : 1;
 }
 
-int cmd_analyze(api::Session& session, const api::AnalyzeRequest& request) {
-  const auto result = session.analyze(request);
+int cmd_simulate(api::Session& session, api::ModelId model,
+                 const std::vector<std::string>& flags) {
+  api::SimulateRequest request = build_simulate_request(flags);
+  request.model = model;
+  const auto result = session.simulate(request);
   if (report_failure(result)) return 1;
-  std::cout << api::render(result.value());
+  return print_simulate(result.value(), flags);
+}
+
+int print_analyze(const api::AnalyzeResponse& response) {
+  std::cout << api::render(response);
   // Verdict in the exit code, like every other subcommand: nonzero when a
   // requested pass found a problem (deadlock, or an unguaranteed latency
   // bound; buffer/structure findings are informational).
-  bool bad = !result.value().deadlock_free();
-  for (const auto& check : result.value().latency_checks) {
+  bool bad = !response.deadlock_free();
+  for (const auto& check : response.latency_checks) {
     if (!check.guaranteed) bad = true;
   }
   return bad ? 1 : 0;
+}
+
+int cmd_analyze(api::Session& session, const api::AnalyzeRequest& request) {
+  const auto result = session.analyze(request);
+  if (report_failure(result)) return 1;
+  return print_analyze(result.value());
 }
 
 int cmd_deadlock(api::Session& session, api::ModelId model) {
@@ -237,9 +269,8 @@ synth::ExploreEngine parse_engine(const std::string& name) {
   throw UsageError("unknown engine '" + name + "' (greedy|exhaustive|annealing)");
 }
 
-int cmd_explore(api::Session& session, api::ModelId model,
-                const std::vector<std::string>& flags) {
-  api::ExploreRequest request{.model = model};
+api::ExploreRequest build_explore_request(const std::vector<std::string>& flags) {
+  api::ExploreRequest request;
   request.options.engine = parse_engine(flag_value(flags, "--engine").value_or("greedy"));
   request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
   if (has_flag(flags, "--process")) {
@@ -249,11 +280,21 @@ int cmd_explore(api::Session& session, api::ModelId model,
     request.problem =
         synth::ProblemOptions{.granularity = synth::ElementGranularity::kClusterAtomic};
   }
+  return request;
+}
 
+int print_explore(const api::ExploreResponse& response) {
+  std::cout << api::render(response);
+  return response.result.found_feasible ? 0 : 1;
+}
+
+int cmd_explore(api::Session& session, api::ModelId model,
+                const std::vector<std::string>& flags) {
+  api::ExploreRequest request = build_explore_request(flags);
+  request.model = model;
   const auto result = session.explore(request);
   if (report_failure(result)) return 1;
-  std::cout << api::render(result.value());
-  return result.value().result.found_feasible ? 0 : 1;
+  return print_explore(result.value());
 }
 
 std::vector<synth::StrategyKind> parse_strategies(const std::string& list) {
@@ -293,9 +334,8 @@ std::vector<synth::RankObjective> parse_rank(const std::string& list) {
   return objectives;
 }
 
-int cmd_compare(api::Session& session, api::ModelId model,
-                const std::vector<std::string>& flags) {
-  api::CompareRequest request{.model = model};
+api::CompareRequest build_compare_request(const std::vector<std::string>& flags) {
+  api::CompareRequest request;
   request.options.engine = parse_engine(flag_value(flags, "--engine").value_or("exhaustive"));
   request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
   request.all_orders = has_flag(flags, "--all-orders");
@@ -312,6 +352,25 @@ int cmd_compare(api::Session& session, api::ModelId model,
     request.problem =
         synth::ProblemOptions{.granularity = synth::ElementGranularity::kClusterAtomic};
   }
+  return request;
+}
+
+int print_compare(const api::CompareResponse& response) {
+  std::cout << api::render(response);
+  // Verdict: the winning system strategy must be feasible; a subset with
+  // only per-application rows (e.g. --strategies independent) succeeds
+  // when every row is feasible.
+  if (const auto* best = response.best()) return best->outcome.feasible ? 0 : 1;
+  for (const auto& row : response.rows) {
+    if (!row.outcome.feasible) return 1;
+  }
+  return 0;
+}
+
+int cmd_compare(api::Session& session, api::ModelId model,
+                const std::vector<std::string>& flags) {
+  api::CompareRequest request = build_compare_request(flags);
+  request.model = model;
 
   // --stream submits through the async surface and reports progress on
   // stderr as slots land (the rendered table on stdout stays stable).
@@ -329,27 +388,28 @@ int cmd_compare(api::Session& session, api::ModelId model,
     return std::move(handle.wait().front());
   }();
   if (report_failure(result)) return 1;
-  std::cout << api::render(result.value());
-  // Verdict: the winning system strategy must be feasible; a subset with
-  // only per-application rows (e.g. --strategies independent) succeeds
-  // when every row is feasible.
-  if (const auto* best = result.value().best()) return best->outcome.feasible ? 0 : 1;
-  for (const auto& row : result.value().rows) {
-    if (!row.outcome.feasible) return 1;
-  }
-  return 0;
+  return print_compare(result.value());
+}
+
+api::ParetoRequest build_pareto_request(const std::vector<std::string>& flags) {
+  api::ParetoRequest request;
+  request.options.samples = parse_u64(flag_value(flags, "--samples").value_or("4096"), "--samples");
+  request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
+  return request;
+}
+
+int print_pareto(const api::ParetoResponse& response) {
+  std::cout << api::render(response);
+  return response.points.empty() ? 1 : 0;
 }
 
 int cmd_pareto(api::Session& session, api::ModelId model,
                const std::vector<std::string>& flags) {
-  api::ParetoRequest request{.model = model};
-  request.options.samples = parse_u64(flag_value(flags, "--samples").value_or("4096"), "--samples");
-  request.options.seed = parse_u64(flag_value(flags, "--seed").value_or("1"), "--seed");
-
+  api::ParetoRequest request = build_pareto_request(flags);
+  request.model = model;
   const auto result = session.pareto(request);
   if (report_failure(result)) return 1;
-  std::cout << api::render(result.value());
-  return result.value().points.empty() ? 1 : 0;
+  return print_pareto(result.value());
 }
 
 api::SubmitOptions parse_submit_options(const std::vector<std::string>& flags) {
@@ -480,6 +540,16 @@ int cmd_selfcheck() {
 struct CliContext {
   std::shared_ptr<api::ModelStore> store = std::make_shared<api::ModelStore>();
   api::SpecCache specs{store};
+  /// One executor per `--jobs N` value, shared across segments, so a later
+  /// `executor-stats` segment reports the deadline telemetry of the batches
+  /// earlier segments actually ran.
+  std::map<std::size_t, std::shared_ptr<api::Executor>> executors;
+
+  std::shared_ptr<api::Executor> executor_for(std::size_t jobs) {
+    auto& executor = executors[jobs];
+    if (!executor) executor = api::make_executor(jobs);
+    return executor;
+  }
 };
 
 /// Applies a segment's `--cache N` flag: enables the shared store's result
@@ -508,6 +578,17 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
     std::cout << api::render(*stats);
     return 0;
   }
+  if (command == "executor-stats") {
+    // Deadline-miss telemetry of every executor this invocation has used
+    // (`--jobs N` materializes that executor's row even before first use).
+    check_flags(rest, {}, {"--cache", "--jobs"});
+    apply_cache_flag(ctx, rest);
+    (void)ctx.executor_for(parse_u64(flag_value(rest, "--jobs").value_or("1"), "--jobs"));
+    for (const auto& [jobs, executor] : ctx.executors) {
+      std::cout << "executor " << executor->name() << "\n" << api::render(executor->stats());
+    }
+    return 0;
+  }
   if (command == "demo") {
     const bool named = !rest.empty() && rest[0].rfind("--", 0) != 0;
     const std::vector<std::string> flags(rest.begin() + (named ? 1 : 0), rest.end());
@@ -532,7 +613,7 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
     (void)parse_submit_options(flags);
     apply_cache_flag(ctx, flags);
     const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
-    api::Session session{ctx.store, api::make_executor(jobs)};
+    api::Session session{ctx.store, ctx.executor_for(jobs)};
 
     // `--opt` assignments apply to every built-in model in the list.
     const std::vector<std::string> assignments = flag_values(flags, "--opt");
@@ -612,7 +693,7 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
   // invocation's shared store.
   apply_cache_flag(ctx, flags);
   const std::size_t jobs = parse_u64(flag_value(flags, "--jobs").value_or("1"), "--jobs");
-  api::Session session{ctx.store, api::make_executor(jobs)};
+  api::Session session{ctx.store, ctx.executor_for(jobs)};
 
   if (command == "unload") {
     // Deliberately peeks instead of resolving: unloading must never *load*
@@ -686,16 +767,180 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
   return usage();
 }
 
+// --- remote client mode ------------------------------------------------------
+//
+// `spivar_cli remote host:port <command...>` drives a spivar_serve instance:
+// eval commands encode their request into the wire envelope (the model is
+// named by target spec, `--opt` travels as target options, --priority/
+// --deadline-ms as the slot's scheduling options) and render the decoded
+// reply through the same print_* functions as the local commands — a remote
+// run's stdout is byte-identical to the local command against the same
+// store. Segments chained with --then share one connection, i.e. one
+// server-side session.
+
+template <class... Fns>
+struct overloaded : Fns... {
+  using Fns::operator()...;
+};
+template <class... Fns>
+overloaded(Fns...) -> overloaded<Fns...>;
+
+int print_response(const api::AnyResponse& response, const std::vector<std::string>& flags) {
+  return std::visit(
+      overloaded{
+          [&](const api::SimulateResponse& r) { return print_simulate(r, flags); },
+          [&](const api::AnalyzeResponse& r) { return print_analyze(r); },
+          [&](const api::ExploreResponse& r) { return print_explore(r); },
+          [&](const api::ParetoResponse& r) { return print_pareto(r); },
+          [&](const api::CompareResponse& r) { return print_compare(r); },
+      },
+      response);
+}
+
+/// Sends one control frame and prints the info reply (or the error
+/// response's diagnostics).
+int remote_control(std::istream& in, std::ostream& out, const std::string& command,
+                   const std::vector<std::string>& args) {
+  out << api::wire::control_frame(command, args) << std::flush;
+  const auto frame = api::wire::read_frame(in);
+  if (!frame) {
+    std::cerr << "error: connection closed before reply\n";
+    return 1;
+  }
+  const auto info = api::wire::decode_info(*frame);
+  if (info.ok()) {
+    std::cout << info.value();
+    if (!info.value().empty() && info.value().back() != '\n') std::cout << "\n";
+    return 0;
+  }
+  const auto failure = api::wire::decode_response(*frame);
+  std::cerr << api::render_diagnostics(failure.diagnostics());
+  return 1;
+}
+
+int run_remote_segment(std::istream& in, std::ostream& out, const std::string& command,
+                       const std::vector<std::string>& rest) {
+  if (command == "ping" || command == "models" || command == "cache-stats" ||
+      command == "executor-stats" || command == "shutdown") {
+    check_flags(rest, {}, {});
+    return remote_control(in, out, command, {});
+  }
+  if (command == "load" || command == "unload") {
+    if (rest.empty() || rest[0].rfind("--", 0) == 0) {
+      throw UsageError("'" + command + "' expects a model spec");
+    }
+    const std::vector<std::string> flags(rest.begin() + 1, rest.end());
+    check_flags(flags, {}, {"--opt"});
+    std::vector<std::string> args{rest[0]};
+    for (const std::string& assignment : flag_values(flags, "--opt")) args.push_back(assignment);
+    if (command == "unload" && args.size() > 1) {
+      throw UsageError("'unload' does not take --opt (it targets every loaded combination)");
+    }
+    return remote_control(in, out, command, args);
+  }
+
+  if (rest.empty() || rest[0].rfind("--", 0) == 0) {
+    throw UsageError("expected a model (built-in name or .spit path) before options");
+  }
+  const std::string spec = rest[0];
+  const std::vector<std::string> flags(rest.begin() + 1, rest.end());
+
+  api::AnyRequest envelope;
+  if (command == "simulate") {
+    check_flags(flags, {"--trace", "--timeline", "--upper"},
+                {"--random", "--opt", "--priority", "--deadline-ms"});
+    if (has_flag(flags, "--upper") && has_flag(flags, "--random")) {
+      throw UsageError("'--upper' and '--random' are mutually exclusive");
+    }
+    envelope.payload = build_simulate_request(flags);
+  } else if (command == "analyze") {
+    check_flags(flags, {"--reconf"}, {"--opt", "--priority", "--deadline-ms"});
+    api::AnalyzeRequest request;
+    request.include_reconfiguration = has_flag(flags, "--reconf");
+    envelope.payload = request;
+  } else if (command == "explore") {
+    check_flags(flags, {"--process", "--cluster"},
+                {"--engine", "--seed", "--opt", "--priority", "--deadline-ms"});
+    if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
+      throw UsageError("'--process' and '--cluster' are mutually exclusive");
+    }
+    envelope.payload = build_explore_request(flags);
+  } else if (command == "pareto") {
+    check_flags(flags, {}, {"--samples", "--seed", "--opt", "--priority", "--deadline-ms"});
+    envelope.payload = build_pareto_request(flags);
+  } else if (command == "compare") {
+    check_flags(flags, {"--all-orders", "--process", "--cluster"},
+                {"--engine", "--seed", "--strategies", "--rank", "--opt", "--priority",
+                 "--deadline-ms"});
+    if (has_flag(flags, "--process") && has_flag(flags, "--cluster")) {
+      throw UsageError("'--process' and '--cluster' are mutually exclusive");
+    }
+    envelope.payload = build_compare_request(flags);
+  } else {
+    throw UsageError("unknown remote command '" + command +
+                     "' (simulate|analyze|explore|pareto|compare|models|load|unload|"
+                     "cache-stats|executor-stats|ping|shutdown)");
+  }
+  envelope.target = spec;
+  envelope.target_options = flag_values(flags, "--opt");
+  envelope.options = parse_submit_options(flags);
+
+  out << api::wire::encode(envelope) << std::flush;
+  const auto frame = api::wire::read_frame(in);
+  if (!frame) {
+    std::cerr << "error: connection closed before reply\n";
+    return 1;
+  }
+  const auto result = api::wire::decode_response(*frame);
+  if (report_failure(result)) return 1;
+  return print_response(result.value(), flags);
+}
+
+int run_remote(const std::string& endpoint_spec,
+               const std::vector<std::vector<std::string>>& segments) {
+  const auto endpoint = tools::parse_endpoint(endpoint_spec);
+  if (!endpoint) {
+    std::cerr << "error: invalid endpoint '" << endpoint_spec << "' (expected host:port)\n";
+    return 2;
+  }
+  tools::Socket sock = tools::connect_to(*endpoint);
+  if (!sock.valid()) {
+    std::cerr << "error: cannot connect to " << endpoint_spec << "\n";
+    return 1;
+  }
+  tools::FdStreamBuf buffer{sock.fd()};
+  std::istream in{&buffer};
+  std::ostream out{&buffer};
+  for (const auto& segment : segments) {
+    if (segment.empty()) return usage();
+    const std::vector<std::string> rest(segment.begin() + 1, segment.end());
+    const int rc = run_remote_segment(in, out, segment[0], rest);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  // `remote <host:port> ...` switches the whole invocation into client
+  // mode: the remaining segments run against a spivar_serve instance over
+  // one connection instead of an in-process store.
+  std::string remote_endpoint;
+  if (args.front() == "remote") {
+    if (args.size() < 3) return usage();
+    remote_endpoint = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+  }
 
   // Split the invocation into `--then`-separated command segments. All
   // segments share one ModelStore (and the load cache over it), so a model
   // loaded by the first command is evaluated — not re-parsed or re-built —
-  // by every later one.
+  // by every later one. (In remote mode the store lives in the server and
+  // the segments share its session the same way.)
   std::vector<std::vector<std::string>> segments{{}};
   for (const std::string& arg : args) {
     if (arg == "--then") {
@@ -707,6 +952,7 @@ int main(int argc, char** argv) {
 
   CliContext ctx;
   try {
+    if (!remote_endpoint.empty()) return run_remote(remote_endpoint, segments);
     for (const auto& segment : segments) {
       if (segment.empty()) return usage();
       const std::vector<std::string> rest(segment.begin() + 1, segment.end());

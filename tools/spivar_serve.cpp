@@ -1,0 +1,430 @@
+// spivar_serve — the cross-process service front end: a wire-protocol
+// request/response loop over one shared ModelStore + executor.
+//
+//   spivar_serve                          frames on stdin/stdout
+//   spivar_serve --port N                 TCP on 127.0.0.1:N (0 = ephemeral;
+//                                         prints "listening on 127.0.0.1:P")
+//   spivar_serve --replay FILE            replay a recorded request log to
+//                                         stdout, then exit
+//
+// Options: --jobs N (executor workers), --cache N (result-cache capacity),
+// --once (exit after the first connection closes), --record FILE (append
+// every received frame — the log --replay consumes).
+//
+// Every connection shares ONE Session over ONE ModelStore and executor, so
+// a model any client loads (or names via a request's target spec) is built
+// once, its synthesis setup is memoized once, and the result cache serves
+// every client. Frames (see api/wire.hpp):
+//
+//   request v1 <kind> ... end      one envelope  -> response frame
+//   batch v1 <n> + n requests      heterogeneous Session::submit; per-slot
+//                                  priorities/deadlines honored -> batch
+//                                  header + n response frames in slot order
+//   control v1 <command> ...       ping | models | load | unload |
+//                                  cache-stats | executor-stats | shutdown
+//                                  -> info frame (or an error response)
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/api.hpp"
+#include "api/wire.hpp"
+#include "tcp.hpp"
+
+namespace {
+
+using namespace spivar;
+
+int usage() {
+  std::cerr << "usage: spivar_serve [--port N] [--jobs N] [--cache N] [--once]\n"
+               "                    [--record FILE] [--replay FILE]\n"
+               "       default: wire frames on stdin/stdout; --port serves TCP on\n"
+               "       127.0.0.1:N (0 picks an ephemeral port); --replay processes a\n"
+               "       recorded request log and writes the responses to stdout\n";
+  return 2;
+}
+
+struct ServeOptions {
+  std::optional<std::uint16_t> port;
+  std::size_t jobs = 1;
+  std::optional<std::size_t> cache;
+  bool once = false;
+  std::string record;
+  std::string replay;
+};
+
+/// The shared service state: one store, one executor, one session — every
+/// connection (and the replay loop) evaluates against the same models and
+/// the same result cache. Session's envelope surface is thread-safe, so
+/// connection threads share it directly.
+class Service {
+ public:
+  explicit Service(const ServeOptions& options)
+      : store_(std::make_shared<api::ModelStore>()),
+        executor_(api::make_executor(options.jobs)),
+        session_(store_, executor_) {
+    if (options.cache) store_->enable_cache({.capacity = *options.cache});
+    if (!options.record.empty()) {
+      record_.open(options.record, std::ios::app);
+      if (!record_) std::cerr << "warning: cannot open record file '" << options.record << "'\n";
+    }
+  }
+
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Invoked once when a shutdown control arrives (the TCP loop uses it to
+  /// unblock accept()).
+  std::function<void()> on_shutdown;
+
+  /// Drives one stream of frames to EOF (or a shutdown control). Returns
+  /// when the stream ends; concurrent calls from several connection
+  /// threads are safe. A frame whose handling throws produces an error
+  /// response instead of tearing down the connection thread (and with it,
+  /// the whole process).
+  void serve_stream(std::istream& in, std::ostream& out) {
+    while (!shutdown_requested()) {
+      const auto frame = api::wire::read_frame(in);
+      if (!frame) break;
+      try {
+        record_frame(*frame);
+        if (const auto slots = api::wire::parse_batch_header(*frame)) {
+          handle_batch(*slots, in, out);
+          continue;
+        }
+        if (const auto control = api::wire::parse_control(*frame)) {
+          handle_control(*control, out);
+          continue;
+        }
+        const api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
+        const api::Result<api::AnyResponse> result =
+            request.ok() ? session_.call(request.value())
+                         : api::Result<api::AnyResponse>::failure(request.diagnostics());
+        out << api::wire::encode(result) << std::flush;
+      } catch (const std::exception& e) {
+        reply_error(out, std::string{"internal error handling frame: "} + e.what());
+      }
+    }
+  }
+
+ private:
+  void record_frame(const std::string& frame) {
+    if (!record_.is_open()) return;
+    std::lock_guard lock{record_mutex_};
+    record_ << frame << "\n" << std::flush;
+  }
+
+  /// A `batch v1 <n>` header: reads the n request frames, evaluates them as
+  /// one heterogeneous streaming submit (per-slot priorities and deadlines
+  /// intact), and replies with a batch header plus n responses in slot
+  /// order. Frames that fail to decode land as their slot's failure without
+  /// aborting the rest of the batch.
+  void handle_batch(std::size_t slots, std::istream& in, std::ostream& out) {
+    // Sanity-cap the client-supplied count before allocating anything for
+    // it — a corrupt header must not be able to abort the shared server.
+    constexpr std::size_t kMaxBatchSlots = 65'536;
+    if (slots > kMaxBatchSlots) {
+      reply_error(out, "batch of " + std::to_string(slots) + " slots exceeds the limit of " +
+                           std::to_string(kMaxBatchSlots));
+      return;
+    }
+    std::vector<api::Result<api::AnyRequest>> decoded;
+    decoded.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      const auto frame = api::wire::read_frame(in);
+      if (!frame) {
+        decoded.push_back(api::Result<api::AnyRequest>::failure(
+            api::diag::kWireError,
+            "batch truncated: expected " + std::to_string(slots) + " request frames, got " +
+                std::to_string(i)));
+        break;
+      }
+      record_frame(*frame);
+      decoded.push_back(api::wire::decode_request(*frame));
+    }
+
+    // Evaluate the well-formed slots as one submit; merge decode failures
+    // back into their original positions.
+    std::vector<api::AnyRequest> requests;
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      if (decoded[i].ok()) {
+        requests.push_back(std::move(decoded[i]).value());
+        positions.push_back(i);
+      }
+    }
+    auto handle = session_.submit(std::move(requests));
+    const std::vector<api::Result<api::AnyResponse>> landed = handle.wait();
+
+    std::vector<api::Result<api::AnyResponse>> results;
+    results.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      results.push_back(api::Result<api::AnyResponse>::failure(
+          api::diag::kWireError, "batch truncated before this slot"));
+    }
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      if (!decoded[i].ok()) {
+        results[i] = api::Result<api::AnyResponse>::failure(decoded[i].diagnostics());
+      }
+    }
+    for (std::size_t j = 0; j < positions.size(); ++j) results[positions[j]] = landed[j];
+
+    out << api::wire::batch_header(slots);
+    for (const auto& result : results) out << api::wire::encode(result);
+    out << std::flush;
+  }
+
+  void reply_info(std::ostream& out, const std::string& text) {
+    out << api::wire::encode_info(text) << std::flush;
+  }
+
+  void reply_error(std::ostream& out, const support::DiagnosticList& diagnostics) {
+    out << api::wire::encode(api::Result<api::AnyResponse>::failure(diagnostics)) << std::flush;
+  }
+
+  void reply_error(std::ostream& out, const std::string& message) {
+    support::DiagnosticList diagnostics;
+    diagnostics.error(api::diag::kWireError, message);
+    reply_error(out, diagnostics);
+  }
+
+  void handle_control(const api::wire::ControlCommand& control, std::ostream& out) {
+    if (control.command == "ping") {
+      reply_info(out, "pong");
+      return;
+    }
+    if (control.command == "shutdown") {
+      shutdown_.store(true, std::memory_order_release);
+      reply_info(out, "shutting down");
+      if (on_shutdown) on_shutdown();
+      return;
+    }
+    if (control.command == "models") {
+      std::string text;
+      for (const api::ModelInfo& info : session_.models()) {
+        text += "#" + std::to_string(info.id.value()) + " " + api::render(info);
+      }
+      reply_info(out, text.empty() ? "no models loaded" : text);
+      return;
+    }
+    if (control.command == "cache-stats") {
+      const auto stats = session_.cache_stats();
+      reply_info(out, stats ? api::render(*stats)
+                            : "result cache disabled (start with '--cache N')");
+      return;
+    }
+    if (control.command == "executor-stats") {
+      reply_info(out, "executor " + executor_->name() + "\n" +
+                          api::render(session_.executor_stats()));
+      return;
+    }
+    if (control.command == "load") {
+      if (control.args.empty()) {
+        reply_error(out, "'load' requires a model spec");
+        return;
+      }
+      const std::vector<std::string> options(control.args.begin() + 1, control.args.end());
+      const auto resolved = session_.resolve(control.args.front(), options);
+      if (!resolved.ok()) {
+        reply_error(out, resolved.diagnostics());
+        return;
+      }
+      reply_info(out, "#" + std::to_string(resolved.value().id.value()) + " " +
+                          api::render(resolved.value()));
+      return;
+    }
+    if (control.command == "unload") {
+      if (control.args.size() != 1) {
+        reply_error(out, "'unload' requires exactly one model spec");
+        return;
+      }
+      const std::vector<api::ModelId> handles = session_.resolved_handles(control.args.front());
+      if (handles.empty()) {
+        reply_info(out, control.args.front() + ": " +
+                            api::to_string(api::UnloadStatus::kNeverLoaded) +
+                            " (no request loaded it)");
+        return;
+      }
+      std::string text;
+      for (const api::ModelId handle : handles) {
+        text += control.args.front() + " #" + std::to_string(handle.value()) + ": " +
+                api::to_string(session_.unload(handle)) + "\n";
+      }
+      reply_info(out, text);
+      return;
+    }
+    reply_error(out, "unknown control command '" + control.command + "'");
+  }
+
+  std::shared_ptr<api::ModelStore> store_;
+  std::shared_ptr<api::Executor> executor_;
+  api::Session session_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex record_mutex_;
+  std::ofstream record_;
+};
+
+int serve_tcp(Service& service, const ServeOptions& options) {
+  tools::Socket listener = tools::listen_loopback(*options.port);
+  if (!listener.valid()) {
+    std::cerr << "error: cannot listen on 127.0.0.1:" << *options.port << "\n";
+    return 1;
+  }
+  std::cout << "listening on 127.0.0.1:" << tools::bound_port(listener) << "\n" << std::flush;
+
+  // Shutdown must unblock *everything*: the accept loop below and every
+  // connection thread parked in a blocking read on its own socket (an idle
+  // client would otherwise keep the process alive forever).
+  std::mutex clients_mutex;
+  std::vector<int> client_fds;
+  service.on_shutdown = [&] {
+    ::shutdown(listener.fd(), SHUT_RDWR);
+    std::lock_guard lock{clients_mutex};
+    for (const int fd : client_fds) ::shutdown(fd, SHUT_RDWR);
+  };
+
+  /// One connection thread plus its completion flag, so the accept loop
+  /// can reap finished connections instead of accumulating joinable
+  /// threads for the life of the process.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections;
+  const auto reap_finished = [&connections] {
+    std::erase_if(connections, [](Connection& connection) {
+      if (!connection.done->load(std::memory_order_acquire)) return false;
+      connection.thread.join();
+      return true;
+    });
+  };
+
+  while (!service.shutdown_requested()) {
+    tools::Socket client = tools::accept_client(listener);
+    if (!client.valid()) {
+      if (service.shutdown_requested()) break;
+      // Transient accept failures (client reset before accept, fd
+      // pressure, signals) must not kill a long-running service; only an
+      // unexpected listener failure ends the loop.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{50});
+        continue;
+      }
+      std::cerr << "error: accept failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    reap_finished();
+    {
+      std::lock_guard lock{clients_mutex};
+      client_fds.push_back(client.fd());
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    connections.push_back(
+        {std::thread{[&service, &clients_mutex, &client_fds, done,
+                      client = std::move(client)]() mutable {
+           tools::FdStreamBuf buffer{client.fd()};
+           std::istream in{&buffer};
+           std::ostream out{&buffer};
+           service.serve_stream(in, out);
+           // Deregister before the socket closes, so a concurrent shutdown
+           // sweep never touches a recycled descriptor.
+           {
+             std::lock_guard lock{clients_mutex};
+             std::erase(client_fds, client.fd());
+           }
+           done->store(true, std::memory_order_release);
+         }},
+         done});
+    if (options.once || service.shutdown_requested()) break;
+  }
+  for (Connection& connection : connections) connection.thread.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  ServeOptions options;
+  const auto value_of = [&](std::size_t& i) -> std::string {
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: '" << args[i] << "' requires a value\n";
+      std::exit(usage());
+    }
+    return args[++i];
+  };
+  const auto number_of = [&](std::size_t& i, std::uint64_t max) -> std::uint64_t {
+    const std::string flag = args[i];
+    const std::string text = value_of(i);
+    std::uint64_t value = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size() || value > max) {
+      std::cerr << "error: invalid value '" << text << "' for " << flag << "\n";
+      std::exit(usage());
+    }
+    return value;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--port") {
+      options.port = static_cast<std::uint16_t>(number_of(i, 65'535));
+    } else if (args[i] == "--jobs") {
+      options.jobs = number_of(i, 1'024);
+    } else if (args[i] == "--cache") {
+      options.cache = number_of(i, std::numeric_limits<std::uint64_t>::max());
+    } else if (args[i] == "--once") {
+      options.once = true;
+    } else if (args[i] == "--record") {
+      options.record = value_of(i);
+    } else if (args[i] == "--replay") {
+      options.replay = value_of(i);
+    } else if (args[i] == "--stdio") {
+      options.port.reset();
+    } else {
+      std::cerr << "error: unknown option '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (!options.replay.empty() && options.port) {
+    std::cerr << "error: '--replay' and '--port' are mutually exclusive\n";
+    return usage();
+  }
+  if (!options.replay.empty() && !options.record.empty()) {
+    // Recording a replay would re-append every frame being read — with the
+    // same file on both sides, an unbounded feedback loop.
+    std::cerr << "error: '--replay' and '--record' are mutually exclusive\n";
+    return usage();
+  }
+
+  // A client vanishing mid-reply must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Service service{options};
+  if (!options.replay.empty()) {
+    std::ifstream log{options.replay};
+    if (!log) {
+      std::cerr << "error: cannot open replay log '" << options.replay << "'\n";
+      return 1;
+    }
+    service.serve_stream(log, std::cout);
+    return 0;
+  }
+  if (options.port) return serve_tcp(service, options);
+  service.serve_stream(std::cin, std::cout);
+  return 0;
+}
