@@ -10,6 +10,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -45,7 +46,14 @@ struct LoadBuiltinRequest {
     std::string_view builtin, const std::vector<std::string>& assignments);
 
 /// The option keys `parse_builtin_options` understands for `builtin`
-/// (empty for unknown names) — help text and error messages.
+/// (empty for unknown names) — help text and error messages. Corpus
+/// (`sweep/...`) names report the synthetic knob set.
 [[nodiscard]] std::vector<std::string> builtin_option_keys(std::string_view builtin);
+
+/// (key, default value) pairs for `builtin`, rendered in the same format the
+/// parser accepts — the machine-readable listing behind `models --json`.
+/// For corpus names the "defaults" are the knobs encoded in the name.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> builtin_option_defaults(
+    std::string_view builtin);
 
 }  // namespace spivar::api

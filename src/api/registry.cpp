@@ -1,5 +1,9 @@
 #include "api/registry.hpp"
 
+#include <map>
+#include <mutex>
+
+#include "corpus/spec.hpp"
 #include "models/emission_control.hpp"
 #include "models/fig1.hpp"
 #include "models/fig2.hpp"
@@ -106,6 +110,50 @@ const std::vector<BuiltinModel>& table() {
   return entries;
 }
 
+/// Corpus models, minted on first lookup. A std::map keeps node addresses
+/// stable across insertions, so StoreEntry can hold the pointer for the
+/// lifetime of the process exactly like it does for curated entries.
+const BuiltinModel* mint_corpus(std::string_view name) {
+  const auto parsed = corpus::parse_name(name);
+  if (!parsed) return nullptr;
+
+  static std::mutex mutex;
+  static std::map<std::string, BuiltinModel, std::less<>> minted;
+  std::scoped_lock lock{mutex};
+  if (const auto it = minted.find(name); it != minted.end()) return &it->second;
+
+  const corpus::CorpusSpec spec = *parsed;
+  const models::SyntheticSpec& s = spec.spec;
+  BuiltinModel entry{
+      .name = std::string{name},
+      .description = "sweep corpus: synthetic(p=" + std::to_string(s.shared_processes) +
+                     ", i=" + std::to_string(s.interfaces) + ", v=" + std::to_string(s.variants) +
+                     ", c=" + std::to_string(s.cluster_size) + ", m=" + std::to_string(s.modes) +
+                     ", d=" + std::to_string(s.predicate_depth) + ", seed=" +
+                     std::to_string(s.seed) + "), " + std::string{profile_name(spec.profile)} +
+                     " library",
+      .make =
+          [spec, name = std::string{name}](const BuiltinOptions& o) {
+            // `--opt` assignments arrive as a full SyntheticSpec already
+            // merged over the name-parsed knobs by parse_builtin_options;
+            // monostate means the name is the whole spec.
+            models::SyntheticSpec merged = spec.spec;
+            if (!std::holds_alternative<std::monostate>(o)) {
+              merged = expect<models::SyntheticSpec>(o, name.c_str());
+            }
+            variant::VariantModel model = models::make_synthetic(merged);
+            model.graph().set_name(name);
+            return model;
+          },
+      .library =
+          [spec](const variant::VariantModel& model) {
+            return models::make_synthetic_library(model, corpus::library_options(spec));
+          },
+      .problem = ProblemOptions{.granularity = ElementGranularity::kProcess},
+  };
+  return &minted.emplace(std::string{name}, std::move(entry)).first->second;
+}
+
 }  // namespace
 
 const std::vector<BuiltinModel>& builtin_models() { return table(); }
@@ -114,6 +162,7 @@ const BuiltinModel* find_builtin(std::string_view name) {
   for (const BuiltinModel& entry : table()) {
     if (entry.name == name) return &entry;
   }
+  if (corpus::is_corpus_name(name)) return mint_corpus(name);
   return nullptr;
 }
 

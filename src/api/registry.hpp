@@ -8,6 +8,7 @@
 // library was built for.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,21 +29,26 @@ struct BuiltinModel {
   /// session converts it into diagnostics). Flat graphs (fig1, video_system)
   /// are wrapped into a VariantModel with zero interfaces so every builtin
   /// travels through one type.
-  variant::VariantModel (*make)(const BuiltinOptions& options);
+  std::function<variant::VariantModel(const BuiltinOptions& options)> make;
 
   /// Curated implementation library, or nullptr when none exists — the
   /// session then derives a deterministic synthetic library covering every
   /// non-virtual process.
-  synth::ImplLibrary (*library)(const variant::VariantModel& model);
+  std::function<synth::ImplLibrary(const variant::VariantModel& model)> library;
 
   /// Element granularity the library was calibrated for.
   synth::ProblemOptions problem{};
 };
 
-/// All built-in models, in presentation order.
+/// All built-in models, in presentation order (curated entries only — corpus
+/// models are minted on demand by find_builtin and not listed here).
 [[nodiscard]] const std::vector<BuiltinModel>& builtin_models();
 
-/// Entry by name, or nullptr.
+/// Entry by name, or nullptr. Names under `sweep/` (corpus::kCorpusPrefix)
+/// are parsed by the corpus name grammar and minted into a pointer-stable
+/// side table on first use: every well-formed sweep point loads through the
+/// same registry path as a curated builtin, with the library calibrated by
+/// the name's cost profile. Malformed sweep names return nullptr.
 [[nodiscard]] const BuiltinModel* find_builtin(std::string_view name);
 
 [[nodiscard]] std::vector<std::string> builtin_names();

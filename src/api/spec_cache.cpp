@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "corpus/spec.hpp"
 
 namespace spivar::api {
 
@@ -56,7 +57,9 @@ Result<ModelInfo> SpecCache::resolve(const std::string& spec,
 
   Result<ModelInfo> loaded = [&] {
     if (assignments.empty()) return store_->load_model(spec);
-    if (!find_builtin(spec)) {
+    // Corpus names take the builtin path too: parse_builtin_options starts
+    // from the name-parsed spec, so malformed names get grammar diagnostics.
+    if (!find_builtin(spec) && !corpus::is_corpus_name(spec)) {
       return Result<ModelInfo>::failure(
           diag::kBadOption, "'--opt' requires a built-in model, and '" + spec + "' is not one");
     }

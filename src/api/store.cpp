@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/detail.hpp"
+#include "corpus/spec.hpp"
 #include "models/synthetic.hpp"
 #include "spi/textio.hpp"
 #include "variant/textio.hpp"
@@ -144,6 +145,13 @@ Result<ModelInfo> ModelStore::load_builtin(const LoadBuiltinRequest& request) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
     const BuiltinModel* builtin = find_builtin(request.name);
     if (!builtin) {
+      // A sweep/ name that failed to mint is malformed — surface the name
+      // grammar instead of the generic unknown-builtin message.
+      if (corpus::is_corpus_name(request.name)) {
+        std::string error;
+        (void)corpus::parse_name(request.name, &error);
+        return Result<ModelInfo>::failure(diag::kUnknownBuiltin, error);
+      }
       return Result<ModelInfo>::failure(
           diag::kUnknownBuiltin,
           "no built-in model '" + request.name + "' (see Session::builtins())");
@@ -153,7 +161,9 @@ Result<ModelInfo> ModelStore::load_builtin(const LoadBuiltinRequest& request) {
 }
 
 Result<ModelInfo> ModelStore::load_model(std::string_view spec) {
-  if (find_builtin(spec)) return load_builtin(spec);
+  // Corpus names route through the builtin path even when malformed, so the
+  // caller sees a grammar diagnostic rather than a missing-file error.
+  if (find_builtin(spec) || corpus::is_corpus_name(spec)) return load_builtin(spec);
   return load_file(std::string{spec});
 }
 

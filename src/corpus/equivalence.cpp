@@ -1,0 +1,286 @@
+#include "corpus/equivalence.hpp"
+
+#include <cmath>
+#include <optional>
+#include <set>
+
+#include "synth/cost.hpp"
+#include "variant/flatten.hpp"
+
+namespace spivar::corpus {
+
+namespace {
+
+using synth::Application;
+
+std::string render_time(support::TimePoint t) {
+  return std::to_string(t.count()) + "us";
+}
+
+/// Pins every interface of a copy of `model` to the binding's cluster and
+/// strips the selection function, so interface-aware simulation keeps the
+/// choice fixed without paying any reconfiguration.
+variant::VariantModel pin_binding(const variant::VariantModel& model,
+                                  const variant::FlattenChoice& choice) {
+  variant::VariantModel pinned = model;
+  for (const auto& [iface, cluster] : choice) {
+    variant::Interface& target = pinned.interface(iface);
+    target.selection.clear();
+    target.initial = cluster;
+  }
+  return pinned;
+}
+
+bool close_enough(double a, double b) { return std::abs(a - b) <= 1e-9 * (1.0 + std::abs(a)); }
+
+std::string join(const std::set<std::string>& names, std::size_t limit = 5) {
+  std::string out;
+  std::size_t shown = 0;
+  for (const std::string& name : names) {
+    if (shown == limit) {
+      out += ", ...";
+      break;
+    }
+    if (!out.empty()) out += ", ";
+    out += name;
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace
+
+BehaviorSignature signature_of(const spi::Graph& graph, const sim::SimResult& result) {
+  BehaviorSignature sig;
+  for (support::ProcessId pid : graph.process_ids()) {
+    sig.process_firings[graph.process(pid).name] = result.process(pid).firings;
+  }
+  for (support::ChannelId cid : graph.channel_ids()) {
+    const sim::ChannelStats& stats = result.channel(cid);
+    sig.channel_io[graph.channel(cid).name] = {stats.produced, stats.consumed};
+  }
+  sig.end_time = result.end_time;
+  sig.quiescent = result.quiescent;
+  return sig;
+}
+
+std::string first_difference(const BehaviorSignature& a, const BehaviorSignature& b) {
+  for (const auto& [name, firings] : a.process_firings) {
+    const auto it = b.process_firings.find(name);
+    if (it == b.process_firings.end()) return "process '" + name + "' missing from second run";
+    if (it->second != firings) {
+      return "process '" + name + "' fired " + std::to_string(firings) + " vs " +
+             std::to_string(it->second);
+    }
+  }
+  for (const auto& [name, firings] : b.process_firings) {
+    if (!a.process_firings.contains(name)) {
+      return "process '" + name + "' missing from first run";
+    }
+    (void)firings;
+  }
+  for (const auto& [name, io] : a.channel_io) {
+    const auto it = b.channel_io.find(name);
+    if (it == b.channel_io.end()) return "channel '" + name + "' missing from second run";
+    if (it->second != io) {
+      return "channel '" + name + "' moved " + std::to_string(io.first) + "/" +
+             std::to_string(io.second) + " vs " + std::to_string(it->second.first) + "/" +
+             std::to_string(it->second.second) + " tokens (produced/consumed)";
+    }
+  }
+  for (const auto& [name, io] : b.channel_io) {
+    if (!a.channel_io.contains(name)) return "channel '" + name + "' missing from first run";
+    (void)io;
+  }
+  if (a.end_time != b.end_time) {
+    return "end time " + render_time(a.end_time) + " vs " + render_time(b.end_time);
+  }
+  if (a.quiescent != b.quiescent) {
+    return std::string{"quiescence "} + (a.quiescent ? "true" : "false") + " vs " +
+           (b.quiescent ? "true" : "false");
+  }
+  return "";
+}
+
+namespace {
+
+void check_behavior(const std::string& model_name, const variant::VariantModel& model,
+                    const EquivalenceOptions& options, EquivalenceReport& report) {
+  const variant::VariantModel& baseline =
+      options.baseline_override != nullptr ? *options.baseline_override : model;
+  for (const variant::FlattenChoice& choice : variant::enumerate_bindings(model)) {
+    const std::string binding = variant::binding_name(model, choice);
+    const variant::VariantModel flat = variant::flatten(baseline, choice);
+    const sim::SimResult flat_result = sim::Simulator{flat.graph(), options.sim}.run();
+    BehaviorSignature flat_sig = signature_of(flat.graph(), flat_result);
+
+    const variant::VariantModel pinned = pin_binding(model, choice);
+    const sim::SimResult pinned_result = sim::Simulator{pinned, options.sim}.run();
+    BehaviorSignature pinned_sig = signature_of(pinned.graph(), pinned_result);
+
+    ++report.bindings_checked;
+    const std::string reproducer =
+        "spivar_experiments check " + model_name + " --binding '" + binding + "'";
+
+    // Entities absent from the product belong to unchosen clusters: they
+    // must have stayed completely silent, then they are projected out.
+    bool silent = true;
+    for (auto it = pinned_sig.process_firings.begin(); it != pinned_sig.process_firings.end();) {
+      if (flat_sig.process_firings.contains(it->first)) {
+        ++it;
+        continue;
+      }
+      if (it->second != 0) {
+        report.mismatches.push_back({model_name, binding, "",
+                                     "inactive process '" + it->first + "' fired " +
+                                         std::to_string(it->second) + " times",
+                                     reproducer});
+        silent = false;
+      }
+      it = pinned_sig.process_firings.erase(it);
+    }
+    for (auto it = pinned_sig.channel_io.begin(); it != pinned_sig.channel_io.end();) {
+      if (flat_sig.channel_io.contains(it->first)) {
+        ++it;
+        continue;
+      }
+      if (it->second != std::pair<std::int64_t, std::int64_t>{0, 0}) {
+        report.mismatches.push_back({model_name, binding, "",
+                                     "inactive channel '" + it->first + "' moved tokens",
+                                     reproducer});
+        silent = false;
+      }
+      it = pinned_sig.channel_io.erase(it);
+    }
+    if (!silent) continue;
+
+    if (const std::string diff = first_difference(flat_sig, pinned_sig); !diff.empty()) {
+      report.mismatches.push_back(
+          {model_name, binding, "", "flattened vs pinned simulation: " + diff, reproducer});
+    }
+  }
+}
+
+const Application* find_app(const std::vector<Application>& apps, const std::string& name) {
+  for (const Application& app : apps) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+/// Mapping must assign exactly the given element set.
+bool check_coverage(const synth::Mapping& mapping, const std::set<std::string>& elements,
+                    std::string& detail) {
+  std::set<std::string> missing;
+  std::set<std::string> extra;
+  for (const std::string& element : elements) {
+    if (!mapping.contains(element)) missing.insert(element);
+  }
+  for (const auto& [element, target] : mapping.assignments()) {
+    if (!elements.contains(element)) extra.insert(element);
+    (void)target;
+  }
+  if (!missing.empty()) {
+    detail = "mapping misses element(s): " + join(missing);
+    return false;
+  }
+  if (!extra.empty()) {
+    detail = "mapping assigns foreign element(s): " + join(extra);
+    return false;
+  }
+  return true;
+}
+
+void check_strategies(const std::string& model_name, const variant::VariantModel& model,
+                      const synth::ImplLibrary& library,
+                      const std::vector<StrategyResult>& results,
+                      const EquivalenceOptions& options, EquivalenceReport& report) {
+  if (results.empty()) return;
+  const synth::SynthesisProblem problem = synth::problem_from_model(model, options.problem);
+
+  for (const StrategyResult& result : results) {
+    ++report.strategy_checks;
+    const std::string reproducer =
+        "spivar_experiments check " + model_name + " --strategy " + result.strategy;
+    auto mismatch = [&](std::string detail) {
+      report.mismatches.push_back(
+          {model_name, "", result.strategy, std::move(detail), reproducer});
+    };
+
+    // Which applications and cost re-derivation apply to this row.
+    std::vector<Application> scope_apps;
+    if (result.scope != "system") {
+      const Application* app = find_app(problem.apps, result.scope);
+      if (app == nullptr) {
+        mismatch("outcome scoped to unknown application '" + result.scope + "'");
+        continue;
+      }
+      scope_apps = {*app};
+    } else {
+      scope_apps = problem.apps;
+    }
+
+    std::optional<synth::CostBreakdown> rechecked;
+    if (result.strategy == "superposition") {
+      if (result.outcome.per_app.size() != scope_apps.size()) {
+        mismatch("superposition carries " + std::to_string(result.outcome.per_app.size()) +
+                 " per-app mappings for " + std::to_string(scope_apps.size()) + " applications");
+        continue;
+      }
+      bool covered = true;
+      for (std::size_t i = 0; i < scope_apps.size(); ++i) {
+        std::set<std::string> elements{scope_apps[i].elements.begin(),
+                                       scope_apps[i].elements.end()};
+        std::string detail;
+        if (!check_coverage(result.outcome.per_app[i], elements, detail)) {
+          mismatch("application '" + scope_apps[i].name + "': " + detail);
+          covered = false;
+        }
+      }
+      if (!covered) continue;
+      rechecked = synth::evaluate_superposition(library, scope_apps, result.outcome.per_app);
+    } else {
+      std::set<std::string> elements;
+      for (const Application& app : scope_apps) {
+        elements.insert(app.elements.begin(), app.elements.end());
+      }
+      std::string detail;
+      if (!check_coverage(result.outcome.mapping, elements, detail)) {
+        mismatch(detail);
+        continue;
+      }
+      // The serialized baseline prices a transformed task chain (prefix
+      // deadlines over the united application), so its cost is not
+      // re-derivable from the published mapping alone — coverage only.
+      if (result.strategy != "serialized") {
+        rechecked = synth::evaluate(library, scope_apps, result.outcome.mapping);
+      }
+    }
+
+    if (rechecked) {
+      if (rechecked->feasible != result.outcome.cost.feasible) {
+        mismatch(std::string{"re-evaluation says "} +
+                 (rechecked->feasible ? "feasible" : "infeasible") + ", outcome says " +
+                 (result.outcome.cost.feasible ? "feasible" : "infeasible"));
+      } else if (!close_enough(rechecked->total, result.outcome.cost.total)) {
+        mismatch("re-evaluated cost " + std::to_string(rechecked->total) +
+                 " != reported " + std::to_string(result.outcome.cost.total));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EquivalenceReport check_equivalence(const std::string& model_name,
+                                    const variant::VariantModel& model,
+                                    const synth::ImplLibrary& library,
+                                    const std::vector<StrategyResult>& results,
+                                    const EquivalenceOptions& options) {
+  EquivalenceReport report;
+  check_behavior(model_name, model, options, report);
+  check_strategies(model_name, model, library, results, options, report);
+  return report;
+}
+
+}  // namespace spivar::corpus

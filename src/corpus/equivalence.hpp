@@ -1,0 +1,96 @@
+// Cross-strategy equivalence checking (the corpus as a correctness fuzzer).
+//
+// Two independent gates per corpus model:
+//
+//  * Behavioral: for every complete variant binding, the flattened product
+//    (paper §4 — clusters spliced in, interfaces removed) must simulate
+//    identically to the variant-annotated model pinned to the same choice
+//    (interface-aware simulation with the cluster fixed). The two runs take
+//    entirely different simulator code paths, so agreement exercises the
+//    paper's behavior-preservation claim; inactive-cluster processes must
+//    stay silent and are projected out before comparison.
+//
+//  * Strategy: every synthesis outcome must cover exactly the elements of
+//    its applications, and — where the strategy's cost is re-derivable from
+//    its published mapping (all but the serialized baseline, whose cost is
+//    defined over a transformed task chain) — a fresh cost evaluation must
+//    reproduce the reported total and feasibility.
+//
+// Failures come back as Mismatch records carrying a reproducer command line
+// for `spivar_experiments check`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "synth/from_model.hpp"
+#include "synth/strategies.hpp"
+#include "variant/model.hpp"
+
+namespace spivar::corpus {
+
+/// Name-keyed behavioral fingerprint of one run — comparable across
+/// structurally different graphs (flattened vs pinned).
+struct BehaviorSignature {
+  std::map<std::string, std::int64_t> process_firings;
+  /// produced/consumed token counts per channel.
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> channel_io;
+  support::TimePoint end_time{};
+  bool quiescent = false;
+
+  friend bool operator==(const BehaviorSignature&, const BehaviorSignature&) = default;
+};
+
+[[nodiscard]] BehaviorSignature signature_of(const spi::Graph& graph,
+                                             const sim::SimResult& result);
+
+/// Empty string when equal; otherwise a one-line description of the first
+/// difference (missing entity, diverging count, diverging end time).
+[[nodiscard]] std::string first_difference(const BehaviorSignature& a,
+                                           const BehaviorSignature& b);
+
+/// One synthesis outcome to validate. `scope` is "system" for joint
+/// strategies or the application (binding) name for independent rows.
+struct StrategyResult {
+  std::string strategy;
+  std::string scope = "system";
+  synth::StrategyOutcome outcome;
+};
+
+struct EquivalenceOptions {
+  sim::SimOptions sim{};
+  synth::ProblemOptions problem{.granularity = synth::ElementGranularity::kProcess};
+  /// Test seam: when non-null, flattened baselines are produced from this
+  /// model instead of the checked one — used to prove the checker catches
+  /// injected behavioral divergence.
+  const variant::VariantModel* baseline_override = nullptr;
+};
+
+struct Mismatch {
+  std::string model;
+  std::string binding;   ///< empty for strategy-level findings
+  std::string strategy;  ///< empty for behavioral findings
+  std::string detail;
+  std::string reproducer;  ///< `spivar_experiments check ...` command line
+};
+
+struct EquivalenceReport {
+  std::size_t bindings_checked = 0;
+  std::size_t strategy_checks = 0;
+  std::vector<Mismatch> mismatches;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+};
+
+/// Runs both gates. `results` may be empty (behavioral gate only).
+[[nodiscard]] EquivalenceReport check_equivalence(const std::string& model_name,
+                                                  const variant::VariantModel& model,
+                                                  const synth::ImplLibrary& library,
+                                                  const std::vector<StrategyResult>& results,
+                                                  const EquivalenceOptions& options = {});
+
+}  // namespace spivar::corpus

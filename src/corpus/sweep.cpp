@@ -1,0 +1,94 @@
+#include "corpus/sweep.hpp"
+
+namespace spivar::corpus {
+
+namespace {
+
+/// An empty axis collapses to the default value of the knob.
+template <typename T>
+std::vector<T> axis(const std::vector<T>& values, T fallback) {
+  if (values.empty()) return {fallback};
+  return values;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> expand(const SweepGrammar& grammar) {
+  const models::SyntheticSpec defaults{};
+  const auto ps = axis(grammar.shared_processes, defaults.shared_processes);
+  const auto is = axis(grammar.interfaces, defaults.interfaces);
+  const auto vs = axis(grammar.variants, defaults.variants);
+  const auto cs = axis(grammar.cluster_size, defaults.cluster_size);
+  const auto ms = axis(grammar.modes, defaults.modes);
+  const auto ds = axis(grammar.predicate_depth, defaults.predicate_depth);
+  const auto profiles = axis(grammar.profiles, LibraryProfile::kBalanced);
+  const auto seeds = axis(grammar.seeds, defaults.seed);
+
+  std::vector<CorpusEntry> entries;
+  entries.reserve(ps.size() * is.size() * vs.size() * cs.size() * ms.size() * ds.size() *
+                  profiles.size() * seeds.size());
+  for (std::size_t p : ps)
+    for (std::size_t i : is)
+      for (std::size_t v : vs)
+        for (std::size_t c : cs)
+          for (std::size_t m : ms)
+            for (std::size_t d : ds)
+              for (LibraryProfile profile : profiles)
+                for (std::uint64_t seed : seeds) {
+                  CorpusSpec spec;
+                  spec.spec.shared_processes = p;
+                  spec.spec.interfaces = i;
+                  spec.spec.variants = v;
+                  spec.spec.cluster_size = c;
+                  spec.spec.modes = m;
+                  spec.spec.predicate_depth = d;
+                  spec.spec.seed = seed;
+                  spec.profile = profile;
+                  entries.push_back({format_name(spec), spec});
+                }
+  return entries;
+}
+
+std::vector<CorpusEntry> default_corpus() {
+  std::vector<CorpusEntry> corpus;
+  auto append = [&corpus](const SweepGrammar& grammar) {
+    auto part = expand(grammar);
+    corpus.insert(corpus.end(), part.begin(), part.end());
+  };
+
+  // Scale family: structural growth along every production-variant axis.
+  append({.shared_processes = {2, 4, 8},
+          .interfaces = {1, 2},
+          .variants = {2, 3, 4},
+          .cluster_size = {1, 3}});
+  // Mode/predicate family: behavioral richness at a fixed small structure.
+  append({.cluster_size = {2}, .modes = {2, 3}, .predicate_depth = {0, 1, 2}});
+  // Profile family: identical structures under the three cost regimes.
+  append({.interfaces = {2},
+          .cluster_size = {2},
+          .profiles = {LibraryProfile::kBalanced, LibraryProfile::kTight,
+                       LibraryProfile::kRelaxed},
+          .seeds = {42, 43, 44}});
+  // Seed family: library/latency variation at one structure.
+  append({.variants = {3}, .seeds = {1, 2, 3, 4, 5, 6, 7, 8}});
+  return corpus;
+}
+
+std::vector<CorpusEntry> smoke_corpus() {
+  std::vector<CorpusEntry> corpus;
+  auto append = [&corpus](const SweepGrammar& grammar) {
+    auto part = expand(grammar);
+    corpus.insert(corpus.end(), part.begin(), part.end());
+  };
+  append({.shared_processes = {2}, .cluster_size = {1}, .seeds = {42, 43}});
+  append({.shared_processes = {2}, .interfaces = {2}, .cluster_size = {1}});
+  append({.shared_processes = {3}, .cluster_size = {2}, .modes = {2}});
+  append({.shared_processes = {2}, .cluster_size = {1}, .predicate_depth = {1}});
+  append({.shared_processes = {2},
+          .variants = {3},
+          .cluster_size = {1},
+          .profiles = {LibraryProfile::kTight}});
+  return corpus;
+}
+
+}  // namespace spivar::corpus

@@ -1,0 +1,46 @@
+// Sweep grammar: cross-products over the synthetic-model knobs.
+//
+// A SweepGrammar lists candidate values per knob (an empty axis means "keep
+// the default"); expand() walks the cross-product in canonical knob order
+// and mints one named CorpusEntry per point. default_corpus() is the graded
+// standing corpus used by the experiments runner (>= 50 models across scale,
+// mode, predicate-depth, cost-profile and seed families); smoke_corpus() is
+// the tiny slice CI can afford on every push.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/spec.hpp"
+
+namespace spivar::corpus {
+
+struct SweepGrammar {
+  std::vector<std::size_t> shared_processes;
+  std::vector<std::size_t> interfaces;
+  std::vector<std::size_t> variants;
+  std::vector<std::size_t> cluster_size;
+  std::vector<std::size_t> modes;
+  std::vector<std::size_t> predicate_depth;
+  std::vector<LibraryProfile> profiles;
+  std::vector<std::uint64_t> seeds;
+};
+
+struct CorpusEntry {
+  std::string name;  ///< canonical `sweep/...` name (format_name of spec)
+  CorpusSpec spec;
+};
+
+/// Cross-product of the grammar, outermost axis first (shared_processes,
+/// interfaces, variants, cluster_size, modes, predicate_depth, profile,
+/// seed). Deterministic: same grammar, same order, same names.
+[[nodiscard]] std::vector<CorpusEntry> expand(const SweepGrammar& grammar);
+
+/// The standing experiments corpus (>= 50 graded models).
+[[nodiscard]] std::vector<CorpusEntry> default_corpus();
+
+/// A few tiny models for CI smoke runs (sub-second per suite).
+[[nodiscard]] std::vector<CorpusEntry> smoke_corpus();
+
+}  // namespace spivar::corpus

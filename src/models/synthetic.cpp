@@ -1,5 +1,6 @@
 #include "models/synthetic.hpp"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,9 @@ variant::VariantModel make_synthetic(const SyntheticSpec& spec) {
   if (spec.variants < 1 || spec.cluster_size < 1) {
     throw support::ModelError("synthetic spec needs at least one variant and one process");
   }
+  if (spec.modes < 1) {
+    throw support::ModelError("synthetic spec needs at least one mode per process");
+  }
   variant::VariantBuilder vb{"synthetic"};
   support::SplitMix64 rng{spec.seed};
 
@@ -33,6 +37,24 @@ variant::VariantModel make_synthetic(const SyntheticSpec& spec) {
       .produces(source_channel, 1)
       .min_period(Duration::millis(10))
       .max_firings(100);
+
+  // Run-time selection scaffold (predicate_depth > 0): a control channel
+  // carrying tagged selection tokens, fed by a virtual user process (the
+  // fig3 PUser/CV idiom). Every interface observes — never consumes — the
+  // token, so the deterministic choice stays cluster 0 while the selection
+  // predicates exercise evaluation at the requested structural depth.
+  std::optional<spi::ChannelId> control;
+  if (spec.predicate_depth > 0) {
+    auto ctl = vb.queue("ctl");
+    ctl.initial(1, {"v0"});
+    control = ctl.id();
+    vb.process("user")
+        .mark_virtual()
+        .latency(Duration::zero())
+        .produces(*control, 1, {"v0"})
+        .min_period(Duration::millis(20))
+        .max_firings(10);
+  }
 
   spi::ChannelId upstream = source_channel;
   std::size_t shared_built = 0;
@@ -73,13 +95,56 @@ variant::VariantModel make_synthetic(const SyntheticSpec& spec) {
         if (!last) {
           next = vb.queue(cluster_name + "_c" + std::to_string(p));
         }
-        vb.process(cluster_name + "_p" + std::to_string(p))
-            .latency(latency())
-            .consumes(inner, 1)
-            .produces(next, 1);
+        auto proc = vb.process(cluster_name + "_p" + std::to_string(p));
+        if (spec.modes == 1) {
+          proc.latency(latency()).consumes(inner, 1).produces(next, 1);
+        } else {
+          // Backlog-sensitive explicit modes: every mode moves exactly one
+          // token (so firing counts stay mode-independent) but runs slower
+          // the deeper the mode index; rules are ordered highest-backlog
+          // first so m{j} fires when at least j+1 tokens wait.
+          const Duration base = latency();
+          for (std::size_t m = 0; m < spec.modes; ++m) {
+            proc.mode("m" + std::to_string(m))
+                .latency(base + Duration::millis(static_cast<std::int64_t>(m)))
+                .consume(inner, 1)
+                .produce(next, 1);
+          }
+          for (std::size_t m = spec.modes; m-- > 0;) {
+            proc.rule("r" + std::to_string(m),
+                      spi::Predicate::num_at_least(inner, static_cast<std::int64_t>(m) + 1),
+                      "m" + std::to_string(m));
+          }
+        }
         inner = next;
       }
       (void)scope;
+    }
+    if (control) {
+      // Run-time selection rules at the requested predicate depth. The core
+      // predicate matches the selection token's variant tag; extra depth is
+      // added with semantically neutral conjuncts/disjuncts (`num(ctl) >= 1`
+      // always holds once the token sits there, the huge threshold never
+      // does), so nesting grows without changing which cluster wins.
+      for (std::size_t v = 0; v < spec.variants; ++v) {
+        const std::string cluster_name =
+            "i" + std::to_string(k) + "v" + std::to_string(v);
+        const auto tag = vb.tag("v" + std::to_string(v));
+        spi::Predicate pred = spi::Predicate::num_at_least(*control, 1) &&
+                              spi::Predicate::has_tag(*control, tag);
+        for (std::size_t d = 1; d < spec.predicate_depth; ++d) {
+          if (d % 2 == 1) {
+            pred = pred && spi::Predicate::num_at_least(*control, 1);
+          } else {
+            pred = pred || spi::Predicate::num_at_least(
+                               *control, 1'000'000 + static_cast<std::int64_t>(d));
+          }
+        }
+        vb.selection_rule(iface, "sel" + std::to_string(k) + "v" + std::to_string(v),
+                          pred, cluster_name);
+        vb.t_conf(iface, cluster_name, Duration::millis(1));
+      }
+      vb.initial_cluster(iface, "i" + std::to_string(k) + "v0");
     }
     upstream = out;
   }

@@ -21,7 +21,17 @@ struct SyntheticSpec {
   std::size_t interfaces = 1;        ///< variant sets spliced into the chain
   std::size_t variants = 2;          ///< clusters per interface
   std::size_t cluster_size = 3;      ///< processes per cluster
+  /// Modes per cluster process (>1 adds backlog-sensitive explicit modes
+  /// with activation rules; 1 keeps the single-mode shorthand, so default
+  /// models — and their fingerprints/spit text — are unchanged).
+  std::size_t modes = 1;
+  /// Depth of the cluster-selection predicates (>0 adds a control channel
+  /// fed by a virtual user process plus run-time selection rules per
+  /// interface, nested to this depth; 0 keeps pure production variants).
+  std::size_t predicate_depth = 0;
   std::uint64_t seed = 42;
+
+  friend bool operator==(const SyntheticSpec&, const SyntheticSpec&) = default;
 };
 
 [[nodiscard]] variant::VariantModel make_synthetic(const SyntheticSpec& spec);

@@ -1,0 +1,138 @@
+// Minimal append-style JSON writer.
+//
+// Powers the experiments harness tables and `spivar_cli models --json`.
+// Deliberately tiny: objects, arrays, string/number/bool/null values, no
+// parsing. Doubles render as the shortest decimal that round-trips to the
+// same IEEE value (same convention as the wire codec), so two runs that
+// compute identical numbers emit byte-identical files — the property the
+// local-vs-remote determinism check in CI diffs on.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spivar::support {
+
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level; 0 emits
+  /// compact one-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Object member key; the next value (or container) attaches to it.
+  JsonWriter& key(std::string_view name) {
+    separate();
+    append_string(name);
+    out_ += indent_ > 0 ? ": " : ":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    append_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view{text}); }
+  JsonWriter& value(bool flag) { return raw(flag ? "true" : "false"); }
+  JsonWriter& value(double number) {
+    if (!std::isfinite(number)) return raw("null");
+    char buffer[64];
+    const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), number);
+    return raw(ec == std::errc{} ? std::string_view(buffer, end - buffer) : "0");
+  }
+  template <typename Int>
+    requires std::integral<Int> && (!std::same_as<Int, bool>)
+  JsonWriter& value(Int number) {
+    return raw(std::to_string(number));
+  }
+  JsonWriter& null() { return raw("null"); }
+
+  /// A pre-rendered JSON fragment ("12.5", "true") dropped in verbatim —
+  /// lets tables carry numbers without re-parsing them.
+  JsonWriter& raw(std::string_view fragment) {
+    separate();
+    out_ += fragment;
+    return *this;
+  }
+
+  /// The finished document (callers are expected to have balanced every
+  /// begin_* with its end_*).
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char bracket) {
+    separate();
+    out_ += bracket;
+    counts_.push_back(0);
+    return *this;
+  }
+
+  JsonWriter& close(char bracket) {
+    const bool had_items = !counts_.empty() && counts_.back() > 0;
+    if (!counts_.empty()) counts_.pop_back();
+    if (had_items) newline();
+    out_ += bracket;
+    return *this;
+  }
+
+  /// Emits the comma/newline context for the next item. A value following
+  /// key() attaches inline; anything else is a new element of the enclosing
+  /// container.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (counts_.empty()) return;
+    if (counts_.back()++ > 0) out_ += ',';
+    newline();
+  }
+
+  void newline() {
+    if (indent_ <= 0) return;
+    out_ += '\n';
+    out_.append(counts_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+
+  void append_string(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<std::size_t> counts_;  ///< items emitted per open container
+  bool pending_key_ = false;
+  int indent_;
+};
+
+}  // namespace spivar::support

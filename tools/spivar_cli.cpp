@@ -1,6 +1,7 @@
 // spivar_cli — command-line front end built entirely on api::Session.
 //
-//   spivar_cli models                     list built-in models
+//   spivar_cli models [--json]            list built-in models (--json adds
+//                                         option defaults + the sweep/ corpus)
 //   spivar_cli validate <model>           structural + variant diagnostics
 //   spivar_cli stats <model>              model statistics
 //   spivar_cli simulate <model> [--trace] [--timeline] [--upper] [--random N]
@@ -64,6 +65,9 @@
 
 #include "api/api.hpp"
 #include "api/wire.hpp"
+#include "corpus/spec.hpp"
+#include "corpus/sweep.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "tcp.hpp"
 
@@ -171,7 +175,49 @@ std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
   return value;
 }
 
-int cmd_models() {
+/// `models --json`: machine-readable listing — curated builtins with their
+/// option keys and defaults (rendered in the format `--opt` accepts), plus
+/// the standing sweep/ experiments corpus with the knobs each name encodes.
+int cmd_models_json() {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("builtins").begin_array();
+  for (const api::BuiltinModel& entry : api::builtin_models()) {
+    json.begin_object();
+    json.key("name").value(entry.name);
+    json.key("description").value(entry.description);
+    json.key("options").begin_object();
+    for (const auto& [key, value] : api::builtin_option_defaults(entry.name)) {
+      json.key(key).value(value);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("corpus").begin_object();
+  json.key("prefix").value(corpus::kCorpusPrefix);
+  json.key("grammar").value("sweep/[p<n>][i<n>][v<n>][c<n>][m<n>][d<n>][b|t|r][-s<seed>]");
+  json.key("models").begin_array();
+  for (const corpus::CorpusEntry& entry : corpus::default_corpus()) {
+    json.begin_object();
+    json.key("name").value(entry.name);
+    json.key("profile").value(corpus::profile_name(entry.spec.profile));
+    json.key("options").begin_object();
+    for (const auto& [key, value] : api::builtin_option_defaults(entry.name)) {
+      json.key(key).value(value);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  std::cout << json.take() << "\n";
+  return 0;
+}
+
+int cmd_models(bool json) {
+  if (json) return cmd_models_json();
   for (const api::BuiltinModel& entry : api::builtin_models()) {
     std::cout << entry.name << "\n    " << entry.description << "\n";
   }
@@ -563,9 +609,9 @@ void apply_cache_flag(CliContext& ctx, const std::vector<std::string>& flags) {
 
 int run_cli(const std::string& command, const std::vector<std::string>& rest, CliContext& ctx) {
   if (command == "models" || command == "selfcheck") {
-    check_flags(rest, {}, {"--cache"});
+    check_flags(rest, {"--json"}, {"--cache"});
     apply_cache_flag(ctx, rest);
-    return command == "models" ? cmd_models() : cmd_selfcheck();
+    return command == "models" ? cmd_models(has_flag(rest, "--json")) : cmd_selfcheck();
   }
   if (command == "cache-stats") {
     check_flags(rest, {}, {"--cache"});

@@ -1,0 +1,829 @@
+// spivar_experiments — the corpus experiments harness.
+//
+// Drives named experiment suites over the sweep/ scenario corpus through the
+// unified AnyRequest envelope: either an in-process api::Session or a running
+// spivar_serve instance over the wire codec (`--remote host:port`). Each
+// suite emits one table as <suite>.json + <suite>.csv plus a
+// BENCH_experiments.json run summary. Compare-based suites additionally run
+// the cross-strategy equivalence checker (corpus/equivalence) on every
+// model — a mismatch prints a reproducer command line and fails the run,
+// which is the property CI gates on.
+//
+// `--deterministic` drops wall-clock columns from the tables, so a local run
+// and a remote run against the same corpus diff byte-identically (doubles
+// travel the wire as shortest-round-trip decimals).
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/format.hpp"
+#include "api/session.hpp"
+#include "api/wire.hpp"
+#include "corpus/equivalence.hpp"
+#include "corpus/spec.hpp"
+#include "corpus/sweep.hpp"
+#include "models/synthetic.hpp"
+#include "support/json.hpp"
+#include "tcp.hpp"
+
+namespace {
+
+namespace api = spivar::api;
+namespace corpus = spivar::corpus;
+namespace models = spivar::models;
+namespace synth = spivar::synth;
+namespace tools = spivar::tools;
+
+using spivar::support::JsonWriter;
+
+// --- tiny argv helpers (same idiom as spivar_cli) ----------------------------
+
+struct UsageError {
+  std::string message;
+};
+
+using Args = std::vector<std::string>;
+
+bool has_flag(Args& args, std::string_view flag) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return false;
+  args.erase(it);
+  return true;
+}
+
+std::optional<std::string> flag_value(Args& args, std::string_view flag) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return std::nullopt;
+  if (std::next(it) == args.end()) throw UsageError{std::string{flag} + " needs a value"};
+  std::string value = *std::next(it);
+  args.erase(it, std::next(it, 2));
+  return value;
+}
+
+/// After flag extraction, anything left that looks like a flag is a typo.
+void check_flags(const Args& args) {
+  for (const std::string& arg : args) {
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      throw UsageError{"unknown flag '" + arg + "'"};
+    }
+  }
+}
+
+std::size_t parse_count(const std::string& text, std::string_view what) {
+  std::size_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size() || value == 0) {
+    throw UsageError{std::string{what} + " must be a positive integer, got '" + text + "'"};
+  }
+  return value;
+}
+
+// --- table model -------------------------------------------------------------
+
+/// One rendered cell. `raw` cells carry a JSON literal (number / bool)
+/// verbatim; others are quoted strings. Everything is pre-rendered text so
+/// CSV and JSON emit the exact same bytes for the same value.
+struct Cell {
+  std::string text;
+  bool raw = false;
+};
+
+Cell cell(std::string text) { return {std::move(text), false}; }
+Cell cell(bool value) { return {value ? "true" : "false", true}; }
+Cell cell(double value) {
+  char buffer[64];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return {ec == std::errc{} ? std::string(buffer, end) : std::string{"0"}, true};
+}
+template <typename Int>
+  requires std::integral<Int> && (!std::same_as<Int, bool>)
+Cell cell(Int value) {
+  return {std::to_string(value), true};
+}
+
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Cell>> rows;
+
+  void add(std::vector<Cell> row) {
+    if (row.size() != columns.size()) throw std::logic_error{"table row width mismatch"};
+    rows.push_back(std::move(row));
+  }
+};
+
+std::string csv_field(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const Table& table) {
+  std::string out;
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    if (i > 0) out += ',';
+    out += csv_field(table.columns[i]);
+  }
+  out += '\n';
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csv_field(row[i].text);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void table_to_json(JsonWriter& json, const Table& table) {
+  json.key("columns").begin_array();
+  for (const std::string& column : table.columns) json.value(column);
+  json.end_array();
+  json.key("rows").begin_array();
+  for (const auto& row : table.rows) {
+    json.begin_object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      json.key(table.columns[i]);
+      if (row[i].raw) {
+        json.raw(row[i].text);
+      } else {
+        json.value(row[i].text);
+      }
+    }
+    json.end_object();
+  }
+  json.end_array();
+}
+
+// --- backends ----------------------------------------------------------------
+
+/// Where envelopes evaluate: an in-process Session or a spivar_serve
+/// endpoint over the wire codec. Both speak Result<AnyResponse>, so suites
+/// are backend-agnostic — the determinism check in CI diffs their outputs.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual api::Result<api::AnyResponse> call(const api::AnyRequest& request) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class LocalBackend final : public Backend {
+ public:
+  explicit LocalBackend(std::size_t jobs)
+      : session_(jobs > 1 ? api::Session{api::make_executor(jobs)} : api::Session{}) {}
+
+  api::Result<api::AnyResponse> call(const api::AnyRequest& request) override {
+    return session_.call(request);
+  }
+  [[nodiscard]] std::string name() const override { return "local"; }
+
+  [[nodiscard]] api::Session& session() { return session_; }
+
+ private:
+  api::Session session_;
+};
+
+class RemoteBackend final : public Backend {
+ public:
+  explicit RemoteBackend(const std::string& endpoint_spec) {
+    const auto endpoint = tools::parse_endpoint(endpoint_spec);
+    if (!endpoint) throw UsageError{"bad --remote endpoint '" + endpoint_spec + "'"};
+    socket_ = tools::connect_to(*endpoint);
+    if (!socket_.valid()) throw UsageError{"cannot connect to " + endpoint_spec};
+    buffer_ = std::make_unique<tools::FdStreamBuf>(socket_.fd());
+    stream_ = std::make_unique<std::iostream>(buffer_.get());
+    endpoint_ = endpoint_spec;
+  }
+
+  api::Result<api::AnyResponse> call(const api::AnyRequest& request) override {
+    *stream_ << api::wire::encode(request) << std::flush;
+    const auto frame = api::wire::read_frame(*stream_);
+    if (!frame) {
+      return api::Result<api::AnyResponse>::failure(
+          api::diag::kWireError, "connection to " + endpoint_ + " closed mid-run");
+    }
+    return api::wire::decode_response(*frame);
+  }
+  [[nodiscard]] std::string name() const override { return "remote:" + endpoint_; }
+
+ private:
+  tools::Socket socket_;
+  std::unique_ptr<tools::FdStreamBuf> buffer_;
+  std::unique_ptr<std::iostream> stream_;
+  std::string endpoint_;
+};
+
+// --- shared suite plumbing ---------------------------------------------------
+
+struct RunConfig {
+  std::string suite;
+  std::filesystem::path out_dir = "experiments-out";
+  std::optional<std::string> remote;
+  std::size_t jobs = 1;
+  bool deterministic = false;
+  bool equivalence = true;
+  std::vector<corpus::CorpusEntry> corpus;
+};
+
+struct SuiteRun {
+  Table table;
+  corpus::EquivalenceReport equivalence;
+  double wall_ms = 0.0;
+  std::size_t failures = 0;  ///< envelope calls that came back failed
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  const auto delta = std::chrono::steady_clock::now() - since;
+  return std::chrono::duration<double, std::milli>(delta).count();
+}
+
+/// The knob columns every per-model suite table leads with.
+std::vector<std::string> knob_columns() {
+  return {"model",        "shared_processes", "interfaces", "variants", "cluster_size",
+          "modes",        "predicate_depth",  "profile",    "seed"};
+}
+
+std::vector<Cell> knob_cells(const corpus::CorpusEntry& entry) {
+  const models::SyntheticSpec& s = entry.spec.spec;
+  return {cell(entry.name),
+          cell(s.shared_processes),
+          cell(s.interfaces),
+          cell(s.variants),
+          cell(s.cluster_size),
+          cell(s.modes),
+          cell(s.predicate_depth),
+          cell(std::string{corpus::profile_name(entry.spec.profile)}),
+          cell(static_cast<std::uint64_t>(s.seed))};
+}
+
+void report_call_failure(const corpus::CorpusEntry& entry, std::string_view what,
+                         const spivar::support::DiagnosticList& diagnostics) {
+  std::cerr << "error: " << what << " failed for " << entry.name << "\n"
+            << api::render_diagnostics(diagnostics);
+}
+
+/// Rebuilds the corpus model + library locally (the checker always runs
+/// in-process: the point is to validate backend results against an
+/// independently constructed ground truth) and feeds the compare rows in.
+corpus::EquivalenceReport check_entry(const corpus::CorpusEntry& entry,
+                                      const api::CompareResponse& compare) {
+  spivar::variant::VariantModel model = models::make_synthetic(entry.spec.spec);
+  model.graph().set_name(entry.name);
+  const synth::ImplLibrary library =
+      models::make_synthetic_library(model, corpus::library_options(entry.spec));
+  std::vector<corpus::StrategyResult> results;
+  results.reserve(compare.rows.size());
+  for (const api::CompareResponse::Row& row : compare.rows) {
+    results.push_back({row.strategy, row.scope, row.outcome});
+  }
+  return corpus::check_equivalence(entry.name, model, library, results);
+}
+
+void merge(corpus::EquivalenceReport& into, corpus::EquivalenceReport part) {
+  into.bindings_checked += part.bindings_checked;
+  into.strategy_checks += part.strategy_checks;
+  for (auto& mismatch : part.mismatches) into.mismatches.push_back(std::move(mismatch));
+}
+
+// --- suites ------------------------------------------------------------------
+
+/// Strategy comparison (Table 1 over the corpus): all five strategies per
+/// model through the envelope, one row per model with per-strategy
+/// cost/utilization/feasibility/evaluations, plus the equivalence gate.
+SuiteRun run_compare_suite(const RunConfig& config, Backend& backend) {
+  SuiteRun run;
+  run.table.columns = knob_columns();
+  run.table.columns.insert(run.table.columns.end(), {"applications", "winner"});
+  for (const synth::StrategyKind kind : synth::kAllStrategies) {
+    const std::string prefix = synth::to_string(kind);
+    run.table.columns.push_back(prefix + "_cost");
+    run.table.columns.push_back(prefix + "_utilization");
+    run.table.columns.push_back(prefix + "_feasible");
+    run.table.columns.push_back(prefix + "_evaluations");
+  }
+  if (config.equivalence) run.table.columns.push_back("equivalence");
+  if (!config.deterministic) run.table.columns.push_back("wall_ms");
+
+  for (const corpus::CorpusEntry& entry : config.corpus) {
+    const auto started = std::chrono::steady_clock::now();
+    const api::AnyRequest request{.payload = api::CompareRequest{}, .target = entry.name};
+    const auto result = backend.call(request);
+    if (!result.ok()) {
+      report_call_failure(entry, "compare", result.diagnostics());
+      ++run.failures;
+      continue;
+    }
+    const auto& compare = std::get<api::CompareResponse>(result.value());
+
+    std::vector<Cell> row = knob_cells(entry);
+    row.push_back(cell(compare.applications));
+    const api::CompareResponse::Row* best = compare.best();
+    row.push_back(cell(best ? best->strategy : std::string{}));
+    for (const synth::StrategyKind kind : synth::kAllStrategies) {
+      // Independent synthesis is per-application: sum the costs (the price
+      // of building every variant separately), AND the feasibility flags,
+      // and keep the worst utilization.
+      double cost = 0.0;
+      double utilization = 0.0;
+      bool feasible = true;
+      std::int64_t evaluations = 0;
+      bool seen = false;
+      for (const api::CompareResponse::Row& out : compare.rows) {
+        if (out.strategy != synth::to_string(kind)) continue;
+        seen = true;
+        cost += out.outcome.cost.total;
+        utilization = std::max(utilization, out.outcome.cost.worst_utilization);
+        feasible = feasible && out.outcome.feasible;
+        evaluations += out.evaluations;
+      }
+      row.push_back(cell(cost));
+      row.push_back(cell(utilization));
+      row.push_back(cell(seen && feasible));
+      row.push_back(cell(evaluations));
+    }
+
+    if (config.equivalence) {
+      corpus::EquivalenceReport report = check_entry(entry, compare);
+      row.push_back(cell(report.ok() ? std::string{"ok"}
+                                     : std::to_string(report.mismatches.size()) + " mismatches"));
+      merge(run.equivalence, std::move(report));
+    }
+    if (!config.deterministic) row.push_back(cell(elapsed_ms(started)));
+    run.table.add(std::move(row));
+  }
+  return run;
+}
+
+/// Explore ablation: greedy vs annealing engines per corpus model.
+SuiteRun run_explore_suite(const RunConfig& config, Backend& backend) {
+  SuiteRun run;
+  run.table.columns = knob_columns();
+  run.table.columns.insert(
+      run.table.columns.end(),
+      {"engine", "engine_used", "cost", "feasible", "decisions", "evaluations"});
+  if (!config.deterministic) run.table.columns.push_back("wall_ms");
+
+  const synth::ExploreEngine engines[] = {synth::ExploreEngine::kGreedy,
+                                          synth::ExploreEngine::kAnnealing};
+  for (const corpus::CorpusEntry& entry : config.corpus) {
+    for (const synth::ExploreEngine engine : engines) {
+      const auto started = std::chrono::steady_clock::now();
+      const api::AnyRequest request{
+          .payload = api::ExploreRequest{.options = {.engine = engine}},
+          .target = entry.name};
+      const auto result = backend.call(request);
+      if (!result.ok()) {
+        report_call_failure(entry, "explore", result.diagnostics());
+        ++run.failures;
+        continue;
+      }
+      const auto& response = std::get<api::ExploreResponse>(result.value());
+      std::vector<Cell> row = knob_cells(entry);
+      row.push_back(cell(std::string{synth::to_string(engine)}));
+      row.push_back(cell(response.result.engine));
+      row.push_back(cell(response.result.cost.total));
+      row.push_back(cell(response.result.found_feasible));
+      row.push_back(cell(response.result.decisions));
+      row.push_back(cell(response.result.evaluations));
+      if (!config.deterministic) row.push_back(cell(elapsed_ms(started)));
+      run.table.add(std::move(row));
+    }
+  }
+  return run;
+}
+
+/// Pareto sweep: front size and cost/latency envelope per corpus model.
+SuiteRun run_pareto_suite(const RunConfig& config, Backend& backend) {
+  SuiteRun run;
+  run.table.columns = knob_columns();
+  run.table.columns.insert(run.table.columns.end(),
+                           {"points", "min_cost", "max_cost", "best_latency_us"});
+  if (!config.deterministic) run.table.columns.push_back("wall_ms");
+
+  for (const corpus::CorpusEntry& entry : config.corpus) {
+    const auto started = std::chrono::steady_clock::now();
+    const api::AnyRequest request{.payload = api::ParetoRequest{}, .target = entry.name};
+    const auto result = backend.call(request);
+    if (!result.ok()) {
+      report_call_failure(entry, "pareto", result.diagnostics());
+      ++run.failures;
+      continue;
+    }
+    const auto& response = std::get<api::ParetoResponse>(result.value());
+    std::vector<Cell> row = knob_cells(entry);
+    row.push_back(cell(response.points.size()));
+    row.push_back(cell(response.points.empty() ? 0.0 : response.points.front().cost));
+    row.push_back(cell(response.points.empty() ? 0.0 : response.points.back().cost));
+    std::int64_t best_latency = 0;
+    for (const synth::ParetoPoint& point : response.points) {
+      const std::int64_t latency = point.worst_latency.count();
+      if (best_latency == 0 || latency < best_latency) best_latency = latency;
+    }
+    row.push_back(cell(best_latency));
+    if (!config.deterministic) row.push_back(cell(elapsed_ms(started)));
+    run.table.add(std::move(row));
+  }
+  return run;
+}
+
+/// Cold-vs-warm result cache: every model compared twice through a
+/// cache-enabled local session; the second pass must be served from cache
+/// with a bit-identical cost table. Local-only — the cache under test is
+/// the store's, and a remote server's cache state is not observable per
+/// call.
+SuiteRun run_cache_suite(const RunConfig& config, LocalBackend& backend) {
+  SuiteRun run;
+  run.table.columns = knob_columns();
+  run.table.columns.insert(run.table.columns.end(), {"cost", "warm_hit", "identical"});
+  if (!config.deterministic) {
+    run.table.columns.insert(run.table.columns.end(), {"cold_ms", "warm_ms"});
+  }
+
+  backend.session().enable_cache({});
+  for (const corpus::CorpusEntry& entry : config.corpus) {
+    const api::AnyRequest request{.payload = api::CompareRequest{}, .target = entry.name};
+
+    const auto cold_start = std::chrono::steady_clock::now();
+    const auto cold = backend.call(request);
+    const double cold_ms = elapsed_ms(cold_start);
+    if (!cold.ok()) {
+      report_call_failure(entry, "compare (cold)", cold.diagnostics());
+      ++run.failures;
+      continue;
+    }
+    const auto before = backend.session().cache_stats();
+
+    const auto warm_start = std::chrono::steady_clock::now();
+    const auto warm = backend.call(request);
+    const double warm_ms = elapsed_ms(warm_start);
+    if (!warm.ok()) {
+      report_call_failure(entry, "compare (warm)", warm.diagnostics());
+      ++run.failures;
+      continue;
+    }
+    const auto after = backend.session().cache_stats();
+
+    const auto& cold_compare = std::get<api::CompareResponse>(cold.value());
+    const auto& warm_compare = std::get<api::CompareResponse>(warm.value());
+    bool identical = cold_compare.rows.size() == warm_compare.rows.size();
+    for (std::size_t i = 0; identical && i < cold_compare.rows.size(); ++i) {
+      identical = cold_compare.rows[i].strategy == warm_compare.rows[i].strategy &&
+                  cold_compare.rows[i].outcome.cost.total ==
+                      warm_compare.rows[i].outcome.cost.total;
+    }
+
+    std::vector<Cell> row = knob_cells(entry);
+    const api::CompareResponse::Row* best = cold_compare.best();
+    row.push_back(cell(best ? best->outcome.cost.total : 0.0));
+    row.push_back(cell(before && after && after->hits > before->hits));
+    row.push_back(cell(identical));
+    if (!config.deterministic) {
+      row.push_back(cell(cold_ms));
+      row.push_back(cell(warm_ms));
+    }
+    run.table.add(std::move(row));
+  }
+  return run;
+}
+
+/// Batch simulation throughput across executor widths. Local-only: the
+/// subject is Session::call_batch scheduling, not the wire.
+SuiteRun run_throughput_suite(const RunConfig& config) {
+  SuiteRun run;
+  run.table.columns = {"jobs", "batch", "total_firings", "all_ok"};
+  if (!config.deterministic) {
+    run.table.columns.insert(run.table.columns.end(), {"wall_ms", "models_per_s"});
+  }
+
+  std::vector<std::size_t> widths = {1, 2, 4};
+  if (config.jobs > 1 && std::find(widths.begin(), widths.end(), config.jobs) == widths.end()) {
+    widths.push_back(config.jobs);
+  }
+
+  for (const std::size_t jobs : widths) {
+    LocalBackend backend{jobs};
+    std::vector<api::AnyRequest> batch;
+    batch.reserve(config.corpus.size());
+    for (const corpus::CorpusEntry& entry : config.corpus) {
+      batch.push_back(api::AnyRequest{.payload = api::SimulateRequest{}, .target = entry.name});
+    }
+    const auto started = std::chrono::steady_clock::now();
+    const auto results = backend.session().call_batch(batch);
+    const double wall = elapsed_ms(started);
+
+    std::int64_t total_firings = 0;
+    bool all_ok = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        report_call_failure(config.corpus[i], "simulate", results[i].diagnostics());
+        all_ok = false;
+        ++run.failures;
+        continue;
+      }
+      total_firings += std::get<api::SimulateResponse>(results[i].value()).result.total_firings;
+    }
+
+    std::vector<Cell> row = {cell(jobs), cell(batch.size()), cell(total_firings), cell(all_ok)};
+    if (!config.deterministic) {
+      row.push_back(cell(wall));
+      row.push_back(cell(wall > 0.0 ? 1000.0 * static_cast<double>(batch.size()) / wall : 0.0));
+    }
+    run.table.add(std::move(row));
+  }
+  return run;
+}
+
+// --- output ------------------------------------------------------------------
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw UsageError{"cannot write '" + path.string() + "'"};
+  out << content;
+}
+
+void emit_mismatches(const corpus::EquivalenceReport& report) {
+  for (const corpus::Mismatch& mismatch : report.mismatches) {
+    std::cerr << "EQUIVALENCE MISMATCH: model=" << mismatch.model;
+    if (!mismatch.binding.empty()) std::cerr << " binding=" << mismatch.binding;
+    if (!mismatch.strategy.empty()) std::cerr << " strategy=" << mismatch.strategy;
+    std::cerr << "\n  " << mismatch.detail << "\n  reproduce: " << mismatch.reproducer << "\n";
+  }
+}
+
+std::string suite_json(const RunConfig& config, const std::string& backend_name,
+                       const SuiteRun& run) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("suite").value(config.suite);
+  // A deterministic table must not say which backend produced it — that is
+  // the byte-diff CI runs between the local and the remote pass.
+  json.key("backend").value(config.deterministic ? std::string{"any"} : backend_name);
+  json.key("models").value(config.corpus.size());
+  table_to_json(json, run.table);
+  json.end_object();
+  return json.take() + "\n";
+}
+
+std::string bench_json(const RunConfig& config, const std::string& backend_name,
+                       const SuiteRun& run, std::optional<api::CacheStats> cache) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("experiments");
+  json.key("suite").value(config.suite);
+  json.key("backend").value(backend_name);
+  json.key("models").value(config.corpus.size());
+  json.key("rows").value(run.table.rows.size());
+  json.key("call_failures").value(run.failures);
+  json.key("wall_ms").value(run.wall_ms);
+  json.key("equivalence").begin_object();
+  json.key("bindings_checked").value(run.equivalence.bindings_checked);
+  json.key("strategy_checks").value(run.equivalence.strategy_checks);
+  json.key("mismatches").begin_array();
+  for (const corpus::Mismatch& mismatch : run.equivalence.mismatches) {
+    json.begin_object();
+    json.key("model").value(mismatch.model);
+    json.key("binding").value(mismatch.binding);
+    json.key("strategy").value(mismatch.strategy);
+    json.key("detail").value(mismatch.detail);
+    json.key("reproducer").value(mismatch.reproducer);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  if (cache) {
+    const std::uint64_t lookups = cache->hits + cache->misses;
+    json.key("cache").begin_object();
+    json.key("hits").value(cache->hits);
+    json.key("misses").value(cache->misses);
+    json.key("hit_rate")
+        .value(lookups == 0 ? 0.0 : static_cast<double>(cache->hits) / static_cast<double>(lookups));
+    json.end_object();
+  }
+  json.end_object();
+  return json.take() + "\n";
+}
+
+// --- commands ----------------------------------------------------------------
+
+std::vector<corpus::CorpusEntry> corpus_by_name(const std::string& name) {
+  if (name == "smoke") return corpus::smoke_corpus();
+  if (name == "default") return corpus::default_corpus();
+  throw UsageError{"unknown corpus '" + name + "' (smoke, default)"};
+}
+
+int cmd_list(Args args) {
+  const std::string which = flag_value(args, "--corpus").value_or("default");
+  check_flags(args);
+  if (!args.empty()) throw UsageError{"list takes no positional arguments"};
+  for (const corpus::CorpusEntry& entry : corpus_by_name(which)) {
+    const models::SyntheticSpec& s = entry.spec.spec;
+    std::cout << entry.name << "  (p=" << s.shared_processes << " i=" << s.interfaces
+              << " v=" << s.variants << " c=" << s.cluster_size << " m=" << s.modes
+              << " d=" << s.predicate_depth << " " << corpus::profile_name(entry.spec.profile)
+              << " seed=" << s.seed << ")\n";
+  }
+  return 0;
+}
+
+int cmd_run(Args args) {
+  if (args.empty()) {
+    throw UsageError{"run needs a suite (smoke, strategy, explore, pareto, cache, throughput)"};
+  }
+  RunConfig config;
+  config.suite = args.front();
+  args.erase(args.begin());
+
+  config.out_dir = flag_value(args, "--out").value_or("experiments-out");
+  config.remote = flag_value(args, "--remote");
+  if (const auto jobs = flag_value(args, "--jobs")) config.jobs = parse_count(*jobs, "--jobs");
+  config.deterministic = has_flag(args, "--deterministic");
+  if (has_flag(args, "--no-equivalence")) config.equivalence = false;
+  const std::string corpus_name =
+      flag_value(args, "--corpus").value_or(config.suite == "smoke" ? "smoke" : "default");
+  check_flags(args);
+  if (!args.empty()) throw UsageError{"unexpected argument '" + args.front() + "'"};
+  config.corpus = corpus_by_name(corpus_name);
+
+  const bool local_only = config.suite == "cache" || config.suite == "throughput";
+  if (local_only && config.remote) {
+    throw UsageError{"suite '" + config.suite + "' measures in-process state and is local-only"};
+  }
+
+  std::unique_ptr<Backend> backend;
+  LocalBackend* local = nullptr;
+  if (config.remote) {
+    backend = std::make_unique<RemoteBackend>(*config.remote);
+  } else {
+    auto owned = std::make_unique<LocalBackend>(config.jobs);
+    local = owned.get();
+    backend = std::move(owned);
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  SuiteRun run;
+  if (config.suite == "smoke" || config.suite == "strategy") {
+    run = run_compare_suite(config, *backend);
+  } else if (config.suite == "explore") {
+    run = run_explore_suite(config, *backend);
+  } else if (config.suite == "pareto") {
+    run = run_pareto_suite(config, *backend);
+  } else if (config.suite == "cache") {
+    run = run_cache_suite(config, *local);
+  } else if (config.suite == "throughput") {
+    run = run_throughput_suite(config);
+  } else {
+    throw UsageError{"unknown suite '" + config.suite +
+                     "' (smoke, strategy, explore, pareto, cache, throughput)"};
+  }
+  run.wall_ms = elapsed_ms(started);
+
+  std::filesystem::create_directories(config.out_dir);
+  write_file(config.out_dir / (config.suite + ".json"), suite_json(config, backend->name(), run));
+  write_file(config.out_dir / (config.suite + ".csv"), to_csv(run.table));
+  write_file(config.out_dir / "BENCH_experiments.json",
+             bench_json(config, backend->name(), run,
+                        local ? local->session().cache_stats() : std::nullopt));
+
+  std::cout << "suite " << config.suite << ": " << run.table.rows.size() << " rows over "
+            << config.corpus.size() << " models via " << backend->name();
+  if (run.equivalence.bindings_checked + run.equivalence.strategy_checks > 0) {
+    std::cout << "; equivalence " << run.equivalence.bindings_checked << " bindings + "
+              << run.equivalence.strategy_checks << " strategy checks, "
+              << run.equivalence.mismatches.size() << " mismatches";
+  }
+  std::cout << "\n";
+
+  emit_mismatches(run.equivalence);
+  if (!run.equivalence.ok()) {
+    std::cerr << "FAIL: " << run.equivalence.mismatches.size() << " equivalence mismatches\n";
+    return 1;
+  }
+  if (run.failures > 0) {
+    std::cerr << "FAIL: " << run.failures << " envelope calls failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_check(Args args) {
+  if (args.empty()) throw UsageError{"check needs a model name (sweep/... or a builtin)"};
+  const std::string model_name = args.front();
+  args.erase(args.begin());
+  const auto binding = flag_value(args, "--binding");
+  const auto strategy = flag_value(args, "--strategy");
+  check_flags(args);
+  if (!args.empty()) throw UsageError{"unexpected argument '" + args.front() + "'"};
+
+  // Ground truth is always built in-process from the registry.
+  api::Session session;
+  const auto info = session.resolve(model_name);
+  if (!info.ok()) {
+    std::cerr << api::render_diagnostics(info.diagnostics());
+    return 2;
+  }
+
+  api::CompareRequest compare{.model = info.value().id};
+  if (strategy) {
+    const auto kind = synth::parse_strategy(*strategy);
+    if (!kind) throw UsageError{"unknown strategy '" + *strategy + "'"};
+    compare.strategies = {*kind};
+  }
+  const auto result = session.compare(compare);
+  if (!result.ok()) {
+    std::cerr << api::render_diagnostics(result.diagnostics());
+    return 2;
+  }
+
+  // Rebuild the model/library pair the way the registry does, so the check
+  // sees exactly what the session evaluated.
+  const api::BuiltinModel* builtin = api::find_builtin(model_name);
+  if (!builtin || !builtin->library) {
+    throw UsageError{"'" + model_name + "' has no registry library to check against"};
+  }
+  const spivar::variant::VariantModel model = builtin->make({});
+  const synth::ImplLibrary library = builtin->library(model);
+
+  std::vector<corpus::StrategyResult> results;
+  for (const api::CompareResponse::Row& row : result.value().rows) {
+    results.push_back({row.strategy, row.scope, row.outcome});
+  }
+  corpus::EquivalenceReport report =
+      corpus::check_equivalence(model_name, model, library, results);
+
+  // --binding / --strategy narrow the *verdict* to the reproduced failure.
+  corpus::EquivalenceReport filtered;
+  filtered.bindings_checked = report.bindings_checked;
+  filtered.strategy_checks = report.strategy_checks;
+  for (auto& mismatch : report.mismatches) {
+    if (binding && mismatch.binding != *binding) continue;
+    if (strategy && !mismatch.strategy.empty() && mismatch.strategy != *strategy) continue;
+    filtered.mismatches.push_back(std::move(mismatch));
+  }
+
+  std::cout << "checked " << model_name << ": " << filtered.bindings_checked << " bindings, "
+            << filtered.strategy_checks << " strategy checks, " << filtered.mismatches.size()
+            << " mismatches\n";
+  emit_mismatches(filtered);
+  return filtered.ok() ? 0 : 1;
+}
+
+int usage(std::ostream& out, int code) {
+  out << "spivar_experiments — corpus experiments harness\n"
+         "\n"
+         "usage:\n"
+         "  spivar_experiments list [--corpus smoke|default]\n"
+         "  spivar_experiments run <suite> [--out DIR] [--remote HOST:PORT] [--jobs N]\n"
+         "                     [--corpus smoke|default] [--deterministic] [--no-equivalence]\n"
+         "  spivar_experiments check <model> [--binding NAME] [--strategy NAME]\n"
+         "\n"
+         "suites:\n"
+         "  smoke       strategy compare + equivalence over the tiny CI corpus\n"
+         "  strategy    Table-1 strategy compare + equivalence over the full corpus\n"
+         "  explore     greedy vs annealing exploration ablation\n"
+         "  pareto      cost/latency front sweep\n"
+         "  cache       cold-vs-warm result-cache comparison (local only)\n"
+         "  throughput  batch simulation across executor widths (local only)\n"
+         "\n"
+         "run writes <suite>.json, <suite>.csv and BENCH_experiments.json into --out\n"
+         "(default experiments-out). --deterministic drops wall-clock columns so a\n"
+         "local and a remote run diff byte-identically. Equivalence mismatches print\n"
+         "`spivar_experiments check ...` reproducers and fail the run.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args{argv + 1, argv + argc};
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string command = args.front();
+  args.erase(args.begin());
+  try {
+    if (command == "list") return cmd_list(std::move(args));
+    if (command == "run") return cmd_run(std::move(args));
+    if (command == "check") return cmd_check(std::move(args));
+    if (command == "help" || command == "--help" || command == "-h") return usage(std::cout, 0);
+    throw UsageError{"unknown command '" + command + "'"};
+  } catch (const UsageError& error) {
+    std::cerr << "error: " << error.message << "\n\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+}
