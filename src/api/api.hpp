@@ -1,14 +1,15 @@
 // Umbrella header for the spivar::api layer — the only include front ends
 // need.
 //
-// v5 surface — the unified request envelope is the primary entry point;
-// the per-kind methods remain as thin typed wrappers over the same
-// internals:
+// v7 surface — the unified request envelope remains the primary entry
+// point, and the result cache is now *tiered*: a persistent on-disk second
+// tier (content-fingerprint keyed) survives process restarts:
 //   * AnyRequest / AnyResponse (requests.hpp / responses.hpp) — one
 //     std::variant envelope over every evaluation kind (simulate, analyze,
 //     explore, pareto, compare) plus an optional target spec (builtin name
 //     or .spit path, resolved through a tombstone-aware per-session target
-//     cache) and per-slot SubmitOptions{priority, deadline}.
+//     cache) and per-slot SubmitOptions{priority, deadline}. ModelInfo
+//     carries the model's canonical content fingerprint.
 //   * Session::call / call_batch / submit (session.hpp) — one uniform
 //     entry point, one heterogeneous blocking batch, one heterogeneous
 //     streaming batch (BatchHandle<AnyResponse>). Dispatch runs through the
@@ -23,19 +24,30 @@
 //     old-version frames decode into line-numbered diag::kWireError
 //     failures. Plus the service frames (batch headers, control commands,
 //     info replies) spoken by tools/spivar_serve and `spivar_cli remote`.
+//     The persistent cache tier stores these same frames on disk.
 //   * ModelStore (store.hpp) — thread-safe, share-by-snapshot model
 //     ownership: loads produce immutable `shared_ptr<const StoreEntry>`
-//     snapshots (model + registry entry + memoized synthesis setup, each
-//     carrying its id and load generation), unload is tombstone-only
-//     (UnloadStatus three-way contract), and any number of sessions attach
-//     to one store. enable_cache() attaches the result cache.
+//     snapshots (model + registry entry + memoized synthesis setup +
+//     memoized content fingerprint, each carrying its id and load
+//     generation), unload is tombstone-only (UnloadStatus three-way
+//     contract), and any number of sessions attach to one store.
+//     enable_cache() attaches the result cache (CacheConfig::persist adds
+//     the disk tier).
 //   * ResultCache (cache.hpp) — sharded cost-aware LRU keyed by (store
 //     entry id, load generation, request kind, canonical request
-//     fingerprint); every entry is charged its measured eval time and
-//     eviction drops the cheapest entry in the LRU tail's cost window
-//     (CacheConfig::cost_window), so a sub-microsecond simulate hit never
-//     displaces a multi-second compare. CacheStats accounts hit/miss/
-//     eviction counters plus cached/saved/evicted cost.
+//     fingerprint, content fingerprint); every entry is charged its
+//     measured eval time and eviction drops the cheapest entry in the LRU
+//     tail's cost window (CacheConfig::cost_window — self-tuning with
+//     adaptive_window). With CacheConfig::persist, inserts write through to
+//     a persist::DiskTier, memory misses consult disk and promote on hit,
+//     and evicted entries spill down; persist_all()/clear(include_disk)
+//     are the admin hooks. CacheStats accounts hit/miss/eviction counters,
+//     cached/saved/evicted cost, the live cost window, and the disk tier's
+//     hits/spills/promotes/skipped/fill.
+//   * persist::DiskTier (persist/disk_tier.hpp) — the durable tier itself:
+//     one versioned, CRC-checked entry file per (content fingerprint,
+//     kind, request fingerprint) key; corrupt or stale entries are skipped
+//     with a diagnostic and compacted away, never served.
 //   * Session (session.hpp) — a movable view over (store, executor):
 //     load_text/load_file/load_model, typed load_builtin(LoadBuiltinRequest),
 //     resolve() (spec -> handle through the target cache),
@@ -77,3 +89,4 @@
 #include "api/spec_cache.hpp" // IWYU pragma: export
 #include "api/store.hpp"      // IWYU pragma: export
 #include "api/wire.hpp"       // IWYU pragma: export
+#include "persist/disk_tier.hpp"  // IWYU pragma: export

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <type_traits>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "api/responses.hpp"
+#include "api/wire.hpp"
+#include "persist/disk_tier.hpp"
 #include "synth/fingerprint.hpp"
 
 namespace spivar::api {
@@ -129,16 +133,101 @@ const std::string& model_of(const AnyResponse& response) noexcept {
   return std::visit([](const auto& r) -> const std::string& { return r.model; }, response);
 }
 
+// --- type-erased slot <-> wire frame bridge ----------------------------------
+//
+// The persistent tier stores wire-encoded Result<AnyResponse> frames (the
+// PR 5 codec round-trips every response bit-identically); the memory tier
+// stores typed Result<Response> slots behind shared_ptr<const void>. The
+// key's kind names which Response hides behind the erasure, so the bridge is
+// a switch over RequestKind around two templates.
+
+namespace {
+
+template <typename Response>
+std::string encode_typed(const std::shared_ptr<const void>& slot) {
+  const auto& typed = *static_cast<const Result<Response>*>(slot.get());
+  if (typed.ok()) {
+    return wire::encode(
+        Result<AnyResponse>::success(AnyResponse{typed.value()}, typed.diagnostics()));
+  }
+  return wire::encode(Result<AnyResponse>::failure(typed.diagnostics()));
+}
+
+template <typename Response>
+std::shared_ptr<const void> decode_typed(std::string_view frame) {
+  Result<AnyResponse> any = wire::decode_response(frame);
+  if (any.ok()) {
+    if (!std::holds_alternative<Response>(any.value())) return nullptr;
+    support::DiagnosticList notes = any.diagnostics();
+    return std::make_shared<const Result<Response>>(Result<Response>::success(
+        std::get<Response>(std::move(any).value()), std::move(notes)));
+  }
+  // A failed decode is either a transported *cached failure* (results
+  // memoize deterministic failures too) or an undecodable frame. The codec
+  // marks the latter with diag::kWireError — a code no eval path emits — so
+  // the two are distinguishable and a rotten frame never masquerades as a
+  // cached diagnosis.
+  for (const auto& d : any.diagnostics().items()) {
+    if (d.code == diag::kWireError) return nullptr;
+  }
+  return std::make_shared<const Result<Response>>(
+      Result<Response>::failure(any.diagnostics()));
+}
+
+std::string encode_slot(RequestKind kind, const std::shared_ptr<const void>& slot) {
+  switch (kind) {
+    case RequestKind::kSimulate: return encode_typed<SimulateResponse>(slot);
+    case RequestKind::kAnalyze: return encode_typed<AnalyzeResponse>(slot);
+    case RequestKind::kExplore: return encode_typed<ExploreResponse>(slot);
+    case RequestKind::kPareto: return encode_typed<ParetoResponse>(slot);
+    case RequestKind::kCompare: return encode_typed<CompareResponse>(slot);
+  }
+  return {};
+}
+
+std::shared_ptr<const void> decode_slot(RequestKind kind, std::string_view frame) {
+  switch (kind) {
+    case RequestKind::kSimulate: return decode_typed<SimulateResponse>(frame);
+    case RequestKind::kAnalyze: return decode_typed<AnalyzeResponse>(frame);
+    case RequestKind::kExplore: return decode_typed<ExploreResponse>(frame);
+    case RequestKind::kPareto: return decode_typed<ParetoResponse>(frame);
+    case RequestKind::kCompare: return decode_typed<CompareResponse>(frame);
+  }
+  return nullptr;
+}
+
+persist::DiskKey disk_key_of(const ResultCache::Key& key) noexcept {
+  return persist::DiskKey{.content = key.content,
+                          .kind = static_cast<std::uint8_t>(key.kind),
+                          .fingerprint = key.fingerprint};
+}
+
+}  // namespace
+
 // --- ResultCache --------------------------------------------------------------
 
-ResultCache::ResultCache(CacheConfig config)
+ResultCache::ResultCache(CacheConfig config, persist::DiagnosticSink sink)
     : shards_(std::max<std::size_t>(config.shards, 1)),
       capacity_(std::max<std::size_t>(config.capacity, 1)),
       per_shard_capacity_(std::max<std::size_t>(
           (capacity_ + shards_.size() - 1) / shards_.size(), 1)),
-      cost_window_(std::max<std::size_t>(config.cost_window, 1)) {}
+      cost_window_(std::max<std::size_t>(config.cost_window, 1)),
+      adaptive_window_(config.adaptive_window) {
+  if (config.persist.has_value()) {
+    auto tier = std::make_unique<persist::DiskTier>(*config.persist, std::move(sink));
+    // An unusable directory already reported itself through the sink; the
+    // cache then runs memory-only rather than failing enable_cache.
+    if (tier->ready()) tier_ = std::move(tier);
+  }
+}
+
+ResultCache::~ResultCache() = default;
 
 std::uint64_t ResultCache::hash_key(const Key& key) noexcept {
+  // `content` is deliberately absent: it is a function of (model,
+  // generation) for the entry's lifetime, so hashing it would be redundant,
+  // and leaving it out keeps keys built with and without a content
+  // fingerprint in the same shard.
   support::Fnv1aHasher hasher;
   hasher.u64(key.model);
   hasher.u64(key.generation);
@@ -148,45 +237,104 @@ std::uint64_t ResultCache::hash_key(const Key& key) noexcept {
 }
 
 ResultCache::Slot ResultCache::lookup(const Key& key) {
-  Shard& shard = shard_of(hash_key(key));
-  std::lock_guard lock{shard.mutex};
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  {
+    Shard& shard = shard_of(hash_key(key));
+    std::lock_guard lock{shard.mutex};
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh recency: splice the entry to the front of the LRU list.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      saved_cost_us_.fetch_add(it->second->cost_us, std::memory_order_relaxed);
+      return it->second->slot;
+    }
     misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Memory miss: consult the persistent tier (outside the shard lock — disk
+  // I/O must never serialize the fast path). Models without a content
+  // identity never touch disk.
+  if (!tier_ || key.content == 0) return nullptr;
+  const auto entry = tier_->load(disk_key_of(key), to_string(key.kind));
+  if (!entry.has_value()) return nullptr;
+  Slot slot = decode_slot(key.kind, entry->frame);
+  if (!slot) {
+    // The frame passed the tier's CRC but no longer decodes (a wire-codec
+    // version ahead of or behind this build): stale, compact it away and
+    // fall through to live evaluation.
+    tier_->remove(disk_key_of(key),
+                  std::string{"frame no longer decodes as a "} + to_string(key.kind) +
+                      " result (wire version skew?)");
     return nullptr;
   }
-  // Refresh recency: splice the entry to the front of the LRU list.
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  saved_cost_us_.fetch_add(it->second->cost_us, std::memory_order_relaxed);
-  return it->second->slot;
+  // Promote into the memory tier *without* writing back down — the bytes
+  // are already on disk, so a restarted server serving purely from disk
+  // shows zero spills (the proof that nothing was re-evaluated). The
+  // stored eval cost rides along for eviction weighting and accounting.
+  disk_promotes_.fetch_add(1, std::memory_order_relaxed);
+  saved_cost_us_.fetch_add(entry->cost_us, std::memory_order_relaxed);
+  if (const auto victim = store_memory(key, slot, entry->cost_us)) {
+    spill(*victim, /*only_if_absent=*/true);
+  }
+  return slot;
 }
 
-void ResultCache::evict_one(Shard& shard) {
+ResultCache::Entry ResultCache::evict_one(Shard& shard) {
   // Cost-weighted LRU: among the `cost_window_` least recently used
   // entries, drop the cheapest (ties keep the least recent victim), so one
   // expensive result survives a stampede of cheap ones filling the shard.
+  const std::size_t window = cost_window_.load(std::memory_order_relaxed);
   auto victim = std::prev(shard.lru.end());
   auto candidate = victim;
-  for (std::size_t examined = 1; examined < cost_window_ && candidate != shard.lru.begin();
+  for (std::size_t examined = 1; examined < window && candidate != shard.lru.begin();
        ++examined) {
     --candidate;
     if (candidate->cost_us < victim->cost_us) victim = candidate;
   }
   evicted_cost_us_.fetch_add(victim->cost_us, std::memory_order_relaxed);
-  shard.index.erase(victim->key);
+  Entry evicted = std::move(*victim);
+  shard.index.erase(evicted.key);
   shard.lru.erase(victim);
-  evictions_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t tick = evictions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // One thread per 32-eviction interval owns the adaptation (fetch_add
+  // hands out unique ticks), so concurrent evictors cannot double-adjust.
+  if (adaptive_window_ && tick % 32 == 0) adapt_window();
+  return evicted;
 }
 
-void ResultCache::store(const Key& key, Slot slot, std::uint64_t cost_us) {
+void ResultCache::adapt_window() {
+  // Widen when the average cost an eviction throws away rivals what a hit
+  // saves — a wider tail scan finds cheaper victims. Shrink back toward
+  // plain recency when hits dwarf evictions (×4 hysteresis keeps the two
+  // thresholds from oscillating).
+  const std::uint64_t evictions = evictions_.load(std::memory_order_relaxed);
+  const std::uint64_t hits = hits_.load(std::memory_order_relaxed);
+  if (evictions == 0) return;
+  const std::uint64_t avg_evicted =
+      evicted_cost_us_.load(std::memory_order_relaxed) / evictions;
+  const std::uint64_t avg_saved =
+      hits == 0 ? 0 : saved_cost_us_.load(std::memory_order_relaxed) / hits;
+  const std::size_t window = cost_window_.load(std::memory_order_relaxed);
+  std::size_t next = window;
+  if (avg_evicted > avg_saved) {
+    next = std::min<std::size_t>(window * 2, 64);
+  } else if (avg_evicted * 4 < avg_saved) {
+    next = std::max<std::size_t>(window / 2, 1);
+  }
+  if (next != window) {
+    cost_window_.store(next, std::memory_order_relaxed);
+    window_adaptations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<ResultCache::Entry> ResultCache::store_memory(const Key& key, Slot slot,
+                                                            std::uint64_t cost_us) {
   {
     // Refuse entries for unloaded models: find(id) fails at the store
     // before the cache is ever consulted for them, so such an entry could
     // only waste capacity (e.g. an in-flight batch slot finishing after a
     // concurrent unload).
     std::lock_guard dead_lock{dead_mutex_};
-    if (dead_models_.contains(key.model)) return;
+    if (dead_models_.contains(key.model)) return std::nullopt;
   }
   Shard& shard = shard_of(hash_key(key));
   std::lock_guard lock{shard.mutex};
@@ -196,11 +344,34 @@ void ResultCache::store(const Key& key, Slot slot, std::uint64_t cost_us) {
     it->second->slot = std::move(slot);
     it->second->cost_us = cost_us;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    return std::nullopt;
   }
-  if (shard.lru.size() >= per_shard_capacity_) evict_one(shard);
+  std::optional<Entry> victim;
+  if (shard.lru.size() >= per_shard_capacity_) victim = evict_one(shard);
   shard.lru.emplace_front(Entry{key, std::move(slot), cost_us});
   shard.index.emplace(key, shard.lru.begin());
+  return victim;
+}
+
+void ResultCache::spill(const Entry& entry, bool only_if_absent) {
+  if (!tier_ || entry.key.content == 0 || !entry.slot) return;
+  const persist::DiskKey key = disk_key_of(entry.key);
+  if (only_if_absent && tier_->contains(key)) return;
+  tier_->store(key, to_string(entry.key.kind), encode_slot(entry.key.kind, entry.slot),
+               entry.cost_us);
+}
+
+void ResultCache::store(const Key& key, Slot slot, std::uint64_t cost_us) {
+  Slot retained = slot;  // for the write-through below
+  const std::optional<Entry> victim = store_memory(key, std::move(slot), cost_us);
+  // Disk I/O strictly after the shard lock is released: write the fresh
+  // result through (a kill -9 one instruction later loses nothing), then
+  // spill the displaced entry if disk doesn't hold it yet. The write-through
+  // happens even when store_memory refused a dead-model insert — disk keys
+  // are content-based, so the entry stays reachable for a future load of
+  // the same model content.
+  spill(Entry{key, std::move(retained), cost_us}, /*only_if_absent=*/false);
+  if (victim.has_value()) spill(*victim, /*only_if_absent=*/true);
 }
 
 void ResultCache::invalidate_model(std::uint32_t model) {
@@ -224,12 +395,34 @@ void ResultCache::invalidate_model(std::uint32_t model) {
   }
 }
 
-void ResultCache::clear() {
+void ResultCache::clear(bool include_disk) {
   for (Shard& shard : shards_) {
     std::lock_guard lock{shard.mutex};
     shard.index.clear();
     shard.lru.clear();
   }
+  if (include_disk && tier_) tier_->clear();
+}
+
+std::size_t ResultCache::persist_all() {
+  if (!tier_) return 0;
+  // Snapshot the shards first (slot shared_ptrs are cheap to copy), then do
+  // every disk write without any shard lock held.
+  std::vector<Entry> entries;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock{shard.mutex};
+    for (const Entry& entry : shard.lru) {
+      if (entry.key.content != 0) entries.push_back(Entry{entry.key, entry.slot, entry.cost_us});
+    }
+  }
+  std::size_t written = 0;
+  for (const Entry& entry : entries) {
+    if (tier_->contains(disk_key_of(entry.key))) continue;
+    spill(entry, /*only_if_absent=*/true);
+    ++written;
+  }
+  tier_->flush();
+  return written;
 }
 
 CacheStats ResultCache::stats() const {
@@ -241,10 +434,25 @@ CacheStats ResultCache::stats() const {
   stats.capacity = capacity_;
   stats.saved_cost_us = saved_cost_us_.load(std::memory_order_relaxed);
   stats.evicted_cost_us = evicted_cost_us_.load(std::memory_order_relaxed);
+  stats.cost_window = cost_window_.load(std::memory_order_relaxed);
+  stats.window_adaptations = window_adaptations_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard lock{shard.mutex};
     stats.entries += shard.lru.size();
     for (const Entry& entry : shard.lru) stats.cached_cost_us += entry.cost_us;
+  }
+  if (tier_) {
+    const persist::DiskStats disk = tier_->stats();
+    stats.persistent = true;
+    stats.disk_hits = disk.hits;
+    stats.disk_misses = disk.misses;
+    stats.disk_spills = disk.stores;
+    stats.disk_promotes = disk_promotes_.load(std::memory_order_relaxed);
+    stats.disk_skipped = disk.skipped;
+    stats.disk_evictions = disk.evictions;
+    stats.disk_entries = disk.entries;
+    stats.disk_bytes = disk.bytes;
+    stats.disk_capacity_bytes = disk.capacity_bytes;
   }
   return stats;
 }

@@ -19,6 +19,15 @@
 // LRU tail (CacheConfig::cost_window) instead of blindly dropping the least
 // recent — a sub-microsecond simulate hit no longer weighs the same as a
 // multi-second compare. CacheStats accounts the held/saved/evicted cost.
+// With CacheConfig::adaptive_window the window tunes itself from the
+// observed evicted-cost / saved-cost ratio.
+//
+// With CacheConfig::persist the cache grows a durable second tier
+// (persist::DiskTier): inserts write through to disk, memory misses consult
+// disk and promote on hit, evicted entries spill down. Disk entries are
+// keyed by the model's *content* fingerprint (not its store id), so a
+// restarted process loading the same models re-hits results computed by an
+// earlier life — see persist/disk_tier.hpp for the on-disk contract.
 //
 // Concurrency contract:
 //   * find/insert/invalidate_model/stats are safe from any thread — the
@@ -38,6 +47,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -45,7 +55,12 @@
 
 #include "api/requests.hpp"
 #include "api/result.hpp"
+#include "persist/persist.hpp"
 #include "support/hash.hpp"
+
+namespace spivar::persist {
+class DiskTier;
+}  // namespace spivar::persist
 
 namespace spivar::api {
 
@@ -59,6 +74,19 @@ struct CacheConfig {
   /// simulate result can never push a multi-second compare out of the cache.
   /// 1 degrades to classic LRU (recency only); clamped to >= 1.
   std::size_t cost_window = 4;
+  /// Adaptive cost_window tuning: every 32 evictions the cache compares the
+  /// average cost an eviction throws away against the average cost a hit
+  /// saves, widening the window (×2, up to 64) when evictions are throwing
+  /// away more than hits recover and shrinking it (÷2, down to 1) when the
+  /// workload's hits dwarf its evictions and plain recency suffices.
+  bool adaptive_window = false;
+  /// When set, attaches a persistent second tier (persist::DiskTier) under
+  /// the configured directory: in-memory misses consult disk and promote on
+  /// hit, inserts write through, evicted entries spill down — so a restarted
+  /// process re-hits results computed by an earlier life (keys are content
+  /// fingerprints, not store ids). A directory that cannot be provisioned
+  /// disables the tier with a diagnostic; the memory tier is unaffected.
+  std::optional<persist::PersistConfig> persist;
 };
 
 /// Monotonic counters plus the current fill — one consistent snapshot per
@@ -74,8 +102,25 @@ struct CacheStats {
   std::size_t entries = 0;          ///< currently cached results
   std::size_t capacity = 0;
   std::uint64_t cached_cost_us = 0;   ///< summed eval cost of current entries
-  std::uint64_t saved_cost_us = 0;    ///< eval cost returned from hits
+  std::uint64_t saved_cost_us = 0;    ///< eval cost returned from hits (RAM + disk)
   std::uint64_t evicted_cost_us = 0;  ///< eval cost dropped by eviction
+
+  /// Cost-window tuning: the window currently in effect and how many times
+  /// adaptive tuning has changed it (0 adaptations with adaptive off).
+  std::size_t cost_window = 0;
+  std::uint64_t window_adaptations = 0;
+
+  /// Persistent tier (all zero when `persistent` is false).
+  bool persistent = false;
+  std::uint64_t disk_hits = 0;      ///< memory misses served from disk
+  std::uint64_t disk_misses = 0;    ///< memory misses that missed disk too
+  std::uint64_t disk_spills = 0;    ///< entries written to disk (write-through + evict)
+  std::uint64_t disk_promotes = 0;  ///< disk hits decoded back into the memory tier
+  std::uint64_t disk_skipped = 0;   ///< corrupt/stale disk entries skipped + compacted
+  std::uint64_t disk_evictions = 0; ///< disk entries deleted for capacity_bytes
+  std::size_t disk_entries = 0;     ///< entry files currently on disk
+  std::uint64_t disk_bytes = 0;     ///< bytes those files occupy
+  std::uint64_t disk_capacity_bytes = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t lookups = hits + misses;
@@ -85,7 +130,11 @@ struct CacheStats {
 
 class ResultCache {
  public:
-  explicit ResultCache(CacheConfig config = {});
+  /// `sink` is where the persistent tier (when configured) reports skipped
+  /// entries and I/O trouble; empty uses stderr. It is unused without
+  /// CacheConfig::persist.
+  explicit ResultCache(CacheConfig config = {}, persist::DiagnosticSink sink = {});
+  ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -93,12 +142,16 @@ class ResultCache {
   /// Full cache key. `model`/`generation` pin the snapshot (ids are never
   /// reused; generation distinguishes reloads), `kind` discriminates the
   /// response type behind the type-erased slot, `fingerprint` is the
-  /// canonical request digest.
+  /// canonical request digest. `content` is the model's canonical content
+  /// fingerprint — the restart-stable half of the snapshot identity that
+  /// keys the persistent tier; 0 means "no content identity" and such
+  /// entries never touch disk.
   struct Key {
     std::uint32_t model = 0;
     std::uint64_t generation = 0;
     RequestKind kind = RequestKind::kSimulate;
     std::uint64_t fingerprint = 0;
+    std::uint64_t content = 0;
 
     friend bool operator==(const Key&, const Key&) noexcept = default;
   };
@@ -127,7 +180,20 @@ class ResultCache {
   /// with entries no lookup could ever reach (store ids are never reused).
   void invalidate_model(std::uint32_t model);
 
-  void clear();
+  /// Empties the memory tier; `include_disk` additionally deletes every
+  /// entry file of the persistent tier.
+  void clear(bool include_disk = false);
+
+  /// True when a persistent tier is attached and usable.
+  [[nodiscard]] bool persistent() const noexcept { return tier_ != nullptr; }
+
+  /// Writes every memory-tier entry with a content identity that is not yet
+  /// on disk down to the persistent tier, then flushes directory metadata.
+  /// Returns the number of entries written; 0 without a persistent tier.
+  /// (Inserts already write through — this is the admin hook that catches
+  /// entries whose model had no fingerprint *at lookup time* and makes
+  /// `cache persist` an explicit durability point.)
+  std::size_t persist_all();
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -160,9 +226,20 @@ class ResultCache {
 
   [[nodiscard]] Slot lookup(const Key& key);
   void store(const Key& key, Slot slot, std::uint64_t cost_us);
-  /// Drops the cheapest entry among the `cost_window_` least recently used
-  /// ones (ties keep the least recent). Call with the shard lock held.
-  void evict_one(Shard& shard);
+  /// The memory-tier half of store(): dead-model refusal, LRU insert, and
+  /// eviction. Returns the evicted entry (for the caller to spill) when the
+  /// insert displaced one.
+  std::optional<Entry> store_memory(const Key& key, Slot slot, std::uint64_t cost_us);
+  /// Removes and returns the cheapest entry among the cost-window least
+  /// recently used ones (ties keep the least recent) and ticks the adaptive
+  /// window. Call with the shard lock held.
+  [[nodiscard]] Entry evict_one(Shard& shard);
+  /// The every-32-evictions adaptive cost_window adjustment.
+  void adapt_window();
+  /// Writes one entry down to the persistent tier (no-op without one or
+  /// without a content identity). `only_if_absent` is the spill path —
+  /// write-through entries always (re)write.
+  void spill(const Entry& entry, bool only_if_absent);
 
   std::vector<Shard> shards_;
   mutable std::mutex dead_mutex_;  ///< guards dead_models_ (insert-miss path only)
@@ -173,13 +250,21 @@ class ResultCache {
   /// ceil(capacity / shards): sharding rounds the enforced total up by at
   /// most shards-1 so every shard holds at least one entry.
   std::size_t per_shard_capacity_;
-  std::size_t cost_window_;  ///< LRU-tail entries examined per eviction
+  /// LRU-tail entries examined per eviction; atomic because adaptive tuning
+  /// rewrites it while shard threads read it.
+  std::atomic<std::size_t> cost_window_;
+  bool adaptive_window_;
+  /// The persistent second tier; null when not configured (or its directory
+  /// was unusable). All tier I/O happens *outside* shard locks.
+  std::unique_ptr<persist::DiskTier> tier_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> invalidations_{0};
   std::atomic<std::uint64_t> saved_cost_us_{0};
   std::atomic<std::uint64_t> evicted_cost_us_{0};
+  std::atomic<std::uint64_t> disk_promotes_{0};
+  std::atomic<std::uint64_t> window_adaptations_{0};
 };
 
 }  // namespace spivar::api

@@ -93,10 +93,14 @@ template <typename Response, typename Request, typename Eval>
 Result<Response> with_cache(const std::shared_ptr<ResultCache>& cache, const StoreEntry& entry,
                             const Request& request, Eval&& eval) {
   if (!cache) return eval(entry, request);
+  // The content fingerprint is the restart-stable half of the key: it routes
+  // the persistent tier and costs nothing here (memoized per entry, and the
+  // store already computed it to describe the model).
   const ResultCache::Key key{.model = entry.id().value(),
                              .generation = entry.generation(),
                              .kind = kind_of(request),
-                             .fingerprint = fingerprint(request)};
+                             .fingerprint = fingerprint(request),
+                             .content = entry.content_fingerprint()};
   if (const auto hit = cache->find<Response>(key)) return *hit;
   const auto started = std::chrono::steady_clock::now();
   Result<Response> result = eval(entry, request);

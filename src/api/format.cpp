@@ -47,11 +47,22 @@ std::string render(const CacheStats& stats) {
                  std::to_string(stats.entries), std::to_string(stats.capacity)});
   // Cost accounting of the cost-aware admission policy: eval time currently
   // held, eval time hits have returned without re-running, and eval time
-  // eviction threw away.
-  support::TextTable costs{{"cached cost", "saved cost", "evicted cost"}};
+  // eviction threw away — plus the eviction cost window in effect and how
+  // often adaptive tuning has moved it.
+  support::TextTable costs{
+      {"cached cost", "saved cost", "evicted cost", "cost window", "adaptations"}};
   costs.add_row({micros_string(stats.cached_cost_us), micros_string(stats.saved_cost_us),
-                 micros_string(stats.evicted_cost_us)});
-  return table.to_string() + costs.to_string();
+                 micros_string(stats.evicted_cost_us), std::to_string(stats.cost_window),
+                 std::to_string(stats.window_adaptations)});
+  if (!stats.persistent) return table.to_string() + costs.to_string();
+  support::TextTable disk{{"disk hits", "disk misses", "spills", "promotes", "skipped",
+                           "disk evictions", "disk entries", "disk bytes", "disk capacity"}};
+  disk.add_row({std::to_string(stats.disk_hits), std::to_string(stats.disk_misses),
+                std::to_string(stats.disk_spills), std::to_string(stats.disk_promotes),
+                std::to_string(stats.disk_skipped), std::to_string(stats.disk_evictions),
+                std::to_string(stats.disk_entries), std::to_string(stats.disk_bytes),
+                std::to_string(stats.disk_capacity_bytes)});
+  return table.to_string() + costs.to_string() + disk.to_string();
 }
 
 std::string render(const ExecutorStats& stats) {

@@ -31,6 +31,11 @@ struct ModelInfo {
   std::size_t channels = 0;
   std::size_t interfaces = 0;
   std::size_t clusters = 0;
+  /// Canonical content fingerprint (variant::content_fingerprint): equal
+  /// text ⇒ equal fingerprint across processes and restarts — the identity
+  /// the persistent result cache keys on. 0 when the model's text cannot
+  /// round-trip (no content identity).
+  std::uint64_t content_fingerprint = 0;
   [[nodiscard]] bool has_variants() const noexcept { return interfaces > 0; }
 };
 

@@ -104,6 +104,12 @@ std::shared_ptr<const SynthesisSetup> StoreEntry::default_setup() const {
   return setup_;
 }
 
+std::uint64_t StoreEntry::content_fingerprint() const {
+  std::call_once(content_once_,
+                 [this] { content_fingerprint_ = variant::content_fingerprint(model_); });
+  return content_fingerprint_;
+}
+
 std::shared_ptr<const SynthesisSetup> resolve_setup(
     const StoreEntry& entry, const std::optional<synth::ProblemOptions>& problem,
     const std::optional<synth::ImplLibrary>& library) {
@@ -264,6 +270,7 @@ ModelInfo describe(ModelId id, const StoreEntry& entry) {
       .channels = entry.model().graph().channel_count(),
       .interfaces = entry.model().interface_count(),
       .clusters = entry.model().cluster_count(),
+      .content_fingerprint = entry.content_fingerprint(),
   };
 }
 

@@ -94,6 +94,12 @@ class StoreEntry {
   /// use — concurrent callers share one computation and one instance.
   [[nodiscard]] std::shared_ptr<const SynthesisSetup> default_setup() const;
 
+  /// Canonical content fingerprint of the model
+  /// (variant::content_fingerprint of its spit text), memoized on first use.
+  /// Unlike id/generation it survives restarts — it keys the persistent
+  /// result-cache tier. 0 for the rare model whose text cannot round-trip.
+  [[nodiscard]] std::uint64_t content_fingerprint() const;
+
  private:
   ModelId id_;
   std::uint64_t generation_ = 0;
@@ -103,6 +109,9 @@ class StoreEntry {
 
   mutable std::once_flag setup_once_;
   mutable std::shared_ptr<const SynthesisSetup> setup_;
+
+  mutable std::once_flag content_once_;
+  mutable std::uint64_t content_fingerprint_ = 0;
 };
 
 /// Resolves the synthesis setup for `entry` under optional request

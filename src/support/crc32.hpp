@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over byte ranges.
+//
+// The persist layer stamps every on-disk cache entry with the CRC of its
+// payload so a truncated or bit-rotted file is detected and skipped instead
+// of decoded into a wrong result. Table-driven, allocation-free; the table
+// is built once per process.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace spivar::support {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t value = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        value = (value >> 1) ^ ((value & 1u) ? 0xedb88320u : 0u);
+      }
+      t[i] = value;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of `bytes` (the common single-shot form: init 0xffffffff, final
+/// xor 0xffffffff — matches zlib's crc32()).
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) noexcept {
+  const auto& table = detail::crc32_table();
+  std::uint32_t state = 0xffffffffu;
+  for (const char c : bytes) {
+    state = (state >> 8) ^ table[(state ^ static_cast<unsigned char>(c)) & 0xffu];
+  }
+  return state ^ 0xffffffffu;
+}
+
+}  // namespace spivar::support

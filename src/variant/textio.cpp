@@ -11,6 +11,7 @@
 #include "spi/textio.hpp"
 #include "support/diagnostics.hpp"
 #include "support/duration.hpp"
+#include "support/hash.hpp"
 
 namespace spivar::variant {
 
@@ -275,6 +276,19 @@ VariantModel parse_text(std::string_view text) {
     apply_directive(model, line, no, current_cluster);
   }
   return model;
+}
+
+std::uint64_t content_fingerprint(const VariantModel& model) noexcept {
+  try {
+    support::Fnv1aHasher hasher;
+    hasher.str(write_text(model));
+    return hasher.digest();
+  } catch (...) {
+    // A model that cannot be written as canonical text (duplicate entity
+    // names) has no content identity; 0 tells content-keyed consumers to
+    // skip it rather than alias unrelated models together.
+    return 0;
+  }
 }
 
 }  // namespace spivar::variant

@@ -28,6 +28,7 @@
 // existing flat .spit file stays valid, and parse_text accepts both forms.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -47,5 +48,14 @@ namespace spivar::variant {
 /// Throws spi::ParseError (with the offending line) on malformed input and
 /// on unsupported section versions.
 [[nodiscard]] VariantModel parse_text(std::string_view text);
+
+/// Canonical content fingerprint: the FNV-1a digest of write_text(model).
+/// Two models with identical canonical spit text — regardless of which
+/// process, store, or store id built them — fingerprint identically, which
+/// is what lets a restarted server's disk-tier cache re-hit results for the
+/// same models despite fresh store ids. Returns 0 for the rare model that
+/// cannot be serialized (duplicate entity names): 0 means "no content
+/// identity", and content-keyed consumers skip such models.
+[[nodiscard]] std::uint64_t content_fingerprint(const VariantModel& model) noexcept;
 
 }  // namespace spivar::variant

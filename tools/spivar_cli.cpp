@@ -38,7 +38,9 @@
 //       pareto/compare with their usual flags, plus --priority/--deadline-ms)
 //       against a spivar_serve instance over the wire protocol, rendering
 //       replies exactly like the local commands; models/load/unload/
-//       cache-stats/executor-stats/ping/shutdown map to control frames.
+//       cache-stats/executor-stats/ping/shutdown map to control frames, and
+//       `cache [stats|persist|flush]` administers the server's result cache
+//       (persist/flush need a spivar_serve started with --cache-dir).
 //
 // <model> is a built-in name (see `models`) or a path to a .spit file. Model
 // commands accept repeated `--opt key=value` assignments to load a built-in
@@ -54,6 +56,7 @@
 //       --then compare fig2 --all-orders --then cache-stats
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -70,6 +73,7 @@
 #include "support/json.hpp"
 #include "support/table.hpp"
 #include "tcp.hpp"
+#include "variant/textio.hpp"
 
 namespace {
 
@@ -175,9 +179,30 @@ std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
   return value;
 }
 
+/// 16-hex-digit content fingerprint of the builtin `name` instantiated with
+/// default options — the restart-stable identity the persistent result
+/// cache keys on (equal text ⇒ equal fingerprint, across processes). Empty
+/// when the name doesn't resolve or the model can't be built.
+std::string content_fingerprint_hex(std::string_view name) {
+  try {
+    const api::BuiltinModel* builtin = api::find_builtin(name);
+    if (!builtin) return {};
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(
+                      variant::content_fingerprint(builtin->make({}))));
+    return hex;
+  } catch (...) {
+    return {};
+  }
+}
+
 /// `models --json`: machine-readable listing — curated builtins with their
 /// option keys and defaults (rendered in the format `--opt` accepts), plus
 /// the standing sweep/ experiments corpus with the knobs each name encodes.
+/// Every entry carries its default-options content fingerprint so scripted
+/// clients can correlate models with persistent-cache entries and `info`
+/// replies without loading anything.
 int cmd_models_json() {
   support::JsonWriter json;
   json.begin_object();
@@ -186,6 +211,7 @@ int cmd_models_json() {
     json.begin_object();
     json.key("name").value(entry.name);
     json.key("description").value(entry.description);
+    json.key("content_fingerprint").value(content_fingerprint_hex(entry.name));
     json.key("options").begin_object();
     for (const auto& [key, value] : api::builtin_option_defaults(entry.name)) {
       json.key(key).value(value);
@@ -202,6 +228,7 @@ int cmd_models_json() {
     json.begin_object();
     json.key("name").value(entry.name);
     json.key("profile").value(corpus::profile_name(entry.spec.profile));
+    json.key("content_fingerprint").value(content_fingerprint_hex(entry.name));
     json.key("options").begin_object();
     for (const auto& [key, value] : api::builtin_option_defaults(entry.name)) {
       json.key(key).value(value);
@@ -871,6 +898,15 @@ int run_remote_segment(std::istream& in, std::ostream& out, const std::string& c
     check_flags(rest, {}, {});
     return remote_control(in, out, command, {});
   }
+  if (command == "cache") {
+    // Persistent-cache admin: `cache [stats|persist|flush]` (bare `cache`
+    // means stats). The server owns the semantics; this is a pass-through.
+    std::vector<std::string> args;
+    if (!rest.empty() && rest[0].rfind("--", 0) != 0) args.push_back(rest[0]);
+    const std::vector<std::string> flags(rest.begin() + args.size(), rest.end());
+    check_flags(flags, {}, {});
+    return remote_control(in, out, command, args);
+  }
   if (command == "load" || command == "unload") {
     if (rest.empty() || rest[0].rfind("--", 0) == 0) {
       throw UsageError("'" + command + "' expects a model spec");
@@ -925,7 +961,7 @@ int run_remote_segment(std::istream& in, std::ostream& out, const std::string& c
   } else {
     throw UsageError("unknown remote command '" + command +
                      "' (simulate|analyze|explore|pareto|compare|models|load|unload|"
-                     "cache-stats|executor-stats|ping|shutdown)");
+                     "cache|cache-stats|executor-stats|ping|shutdown)");
   }
   envelope.target = spec;
   envelope.target_options = flag_values(flags, "--opt");

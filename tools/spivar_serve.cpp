@@ -21,13 +21,27 @@
 //                                  priorities/deadlines honored -> batch
 //                                  header + n response frames in slot order
 //   control v1 <command> ...       ping | models | load | unload |
-//                                  cache-stats | executor-stats | shutdown
+//                                  cache-stats | cache [stats|persist|flush] |
+//                                  executor-stats | shutdown
 //                                  -> info frame (or an error response)
+//
+// Persistence: --cache-dir DIR attaches a durable second cache tier under
+// DIR (entries keyed by model *content* fingerprint, so a restarted server
+// re-hits results its earlier life computed); --warm FILE replays a
+// --record log against the shared session *before* accepting connections,
+// pre-populating both tiers. The record log is written through the OS per
+// frame (one write() each), so a killed server still leaves a usable
+// --warm/--replay input; --fsync additionally fsyncs the log and every
+// cache entry write.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -51,10 +65,14 @@ using namespace spivar;
 
 int usage() {
   std::cerr << "usage: spivar_serve [--port N] [--jobs N] [--cache N] [--once]\n"
-               "                    [--record FILE] [--replay FILE]\n"
+               "                    [--cache-dir DIR] [--cache-bytes N] [--fsync]\n"
+               "                    [--record FILE] [--replay FILE] [--warm FILE]\n"
                "       default: wire frames on stdin/stdout; --port serves TCP on\n"
                "       127.0.0.1:N (0 picks an ephemeral port); --replay processes a\n"
-               "       recorded request log and writes the responses to stdout\n";
+               "       recorded request log and writes the responses to stdout;\n"
+               "       --cache-dir persists cached results under DIR (implies --cache);\n"
+               "       --warm replays a recorded request log into the cache tiers\n"
+               "       before serving\n";
   return 2;
 }
 
@@ -65,6 +83,10 @@ struct ServeOptions {
   bool once = false;
   std::string record;
   std::string replay;
+  std::string cache_dir;                       ///< persistent tier directory ("" = off)
+  std::uint64_t cache_bytes = 256ull << 20;    ///< persistent tier capacity
+  bool fsync = false;                          ///< fsync record log + cache entries
+  std::string warm;                            ///< request log replayed before serving
 };
 
 /// The shared service state: one store, one executor, one session — every
@@ -77,10 +99,54 @@ class Service {
       : store_(std::make_shared<api::ModelStore>()),
         executor_(api::make_executor(options.jobs)),
         session_(store_, executor_) {
-    if (options.cache) store_->enable_cache({.capacity = *options.cache});
+    if (options.cache || !options.cache_dir.empty()) {
+      api::CacheConfig config;
+      config.capacity = options.cache.value_or(1024);
+      // The service is the long-running front end, so let the cost window
+      // tune itself to whatever workload the connections bring.
+      config.adaptive_window = true;
+      if (!options.cache_dir.empty()) {
+        config.persist = persist::PersistConfig{
+            .dir = options.cache_dir,
+            .capacity_bytes = options.cache_bytes,
+            .fsync_policy = options.fsync ? persist::PersistConfig::FsyncPolicy::kAlways
+                                          : persist::PersistConfig::FsyncPolicy::kNever};
+      }
+      store_->enable_cache(config);
+    }
     if (!options.record.empty()) {
-      record_.open(options.record, std::ios::app);
-      if (!record_) std::cerr << "warning: cannot open record file '" << options.record << "'\n";
+      // POSIX append fd, one write() per frame: the log survives a killed
+      // server frame-for-frame (no userspace buffering to lose), and
+      // O_APPEND keeps concurrent connection threads' frames whole.
+      record_fd_ = ::open(options.record.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (record_fd_ < 0) {
+        std::cerr << "warning: cannot open record file '" << options.record << "'\n";
+      }
+      record_fsync_ = options.fsync;
+    }
+  }
+
+  ~Service() {
+    if (record_fd_ >= 0) ::close(record_fd_);
+  }
+
+  /// Replays a recorded request log against the shared session, responses
+  /// discarded — run before accepting connections, this pre-populates both
+  /// cache tiers. Recording is suspended for the duration (warming from the
+  /// log being recorded would duplicate it every restart) and a shutdown
+  /// control inside the log is neutralized afterwards.
+  void warm(std::istream& in) {
+    const auto before = store_->cache_stats();
+    record_suspended_.store(true, std::memory_order_release);
+    std::ostream null{nullptr};
+    serve_stream(in, null);
+    record_suspended_.store(false, std::memory_order_release);
+    shutdown_.store(false, std::memory_order_release);
+    const auto after = store_->cache_stats();
+    if (before && after) {
+      std::cerr << "warmed: " << (after->entries - before->entries) << " entries in memory, "
+                << after->disk_entries << " on disk (" << after->disk_hits
+                << " served from disk)\n";
     }
   }
 
@@ -124,9 +190,25 @@ class Service {
 
  private:
   void record_frame(const std::string& frame) {
-    if (!record_.is_open()) return;
+    if (record_fd_ < 0 || record_suspended_.load(std::memory_order_acquire)) return;
     std::lock_guard lock{record_mutex_};
-    record_ << frame << "\n" << std::flush;
+    // Frame + separating blank line in ONE write(): a kill between frames
+    // leaves a log of whole frames (and read_frame tolerates a torn tail).
+    std::string chunk = frame;
+    chunk += "\n";
+    const char* data = chunk.data();
+    std::size_t left = chunk.size();
+    while (left > 0) {
+      const ssize_t wrote = ::write(record_fd_, data, left);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        std::cerr << "warning: record write failed: " << std::strerror(errno) << "\n";
+        break;
+      }
+      data += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+    if (record_fsync_) ::fsync(record_fd_);
   }
 
   /// A `batch v1 <n>` header: reads the n request frames, evaluates them as
@@ -203,6 +285,48 @@ class Service {
     reply_error(out, diagnostics);
   }
 
+  /// render(ModelInfo) plus a content-fingerprint line: the restart-stable
+  /// identity (what the persistent cache tier keys on), exposed so wire
+  /// clients can correlate models across server lives.
+  static std::string describe_model(const api::ModelInfo& info) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(info.content_fingerprint));
+    return api::render(info) + "  content-fingerprint " + hex + "\n";
+  }
+
+  /// `cache [stats|persist|flush]` — the persistent-tier admin surface.
+  void handle_cache_control(const api::wire::ControlCommand& control, std::ostream& out) {
+    const auto cache = store_->cache();
+    if (!cache) {
+      reply_error(out, "result cache disabled (start with '--cache N' or '--cache-dir DIR')");
+      return;
+    }
+    const std::string sub = control.args.empty() ? std::string{"stats"} : control.args.front();
+    if (sub == "stats") {
+      reply_info(out, api::render(cache->stats()));
+      return;
+    }
+    if (sub == "persist") {
+      if (!cache->persistent()) {
+        reply_error(out, "'cache persist' needs a persistent tier (start with '--cache-dir DIR')");
+        return;
+      }
+      const std::size_t written = cache->persist_all();
+      const api::CacheStats stats = cache->stats();
+      reply_info(out, "persisted " + std::to_string(written) + " entries (" +
+                          std::to_string(stats.disk_entries) + " on disk, " +
+                          std::to_string(stats.disk_bytes) + " bytes)");
+      return;
+    }
+    if (sub == "flush") {
+      cache->clear(/*include_disk=*/true);
+      reply_info(out, cache->persistent() ? "cache cleared (memory + disk)" : "cache cleared");
+      return;
+    }
+    reply_error(out, "unknown cache subcommand '" + sub + "' (expected stats|persist|flush)");
+  }
+
   void handle_control(const api::wire::ControlCommand& control, std::ostream& out) {
     if (control.command == "ping") {
       reply_info(out, "pong");
@@ -217,7 +341,7 @@ class Service {
     if (control.command == "models") {
       std::string text;
       for (const api::ModelInfo& info : session_.models()) {
-        text += "#" + std::to_string(info.id.value()) + " " + api::render(info);
+        text += "#" + std::to_string(info.id.value()) + " " + describe_model(info);
       }
       reply_info(out, text.empty() ? "no models loaded" : text);
       return;
@@ -226,6 +350,10 @@ class Service {
       const auto stats = session_.cache_stats();
       reply_info(out, stats ? api::render(*stats)
                             : "result cache disabled (start with '--cache N')");
+      return;
+    }
+    if (control.command == "cache") {
+      handle_cache_control(control, out);
       return;
     }
     if (control.command == "executor-stats") {
@@ -245,7 +373,7 @@ class Service {
         return;
       }
       reply_info(out, "#" + std::to_string(resolved.value().id.value()) + " " +
-                          api::render(resolved.value()));
+                          describe_model(resolved.value()));
       return;
     }
     if (control.command == "unload") {
@@ -276,7 +404,9 @@ class Service {
   api::Session session_;
   std::atomic<bool> shutdown_{false};
   std::mutex record_mutex_;
-  std::ofstream record_;
+  int record_fd_ = -1;  ///< O_APPEND request log; -1 = recording off
+  bool record_fsync_ = false;
+  std::atomic<bool> record_suspended_{false};  ///< true while warming
 };
 
 int serve_tcp(Service& service, const ServeOptions& options) {
@@ -393,6 +523,14 @@ int main(int argc, char** argv) {
       options.record = value_of(i);
     } else if (args[i] == "--replay") {
       options.replay = value_of(i);
+    } else if (args[i] == "--cache-dir") {
+      options.cache_dir = value_of(i);
+    } else if (args[i] == "--cache-bytes") {
+      options.cache_bytes = number_of(i, std::numeric_limits<std::uint64_t>::max());
+    } else if (args[i] == "--fsync") {
+      options.fsync = true;
+    } else if (args[i] == "--warm") {
+      options.warm = value_of(i);
     } else if (args[i] == "--stdio") {
       options.port.reset();
     } else {
@@ -410,11 +548,25 @@ int main(int argc, char** argv) {
     std::cerr << "error: '--replay' and '--record' are mutually exclusive\n";
     return usage();
   }
+  if (!options.warm.empty() && !options.replay.empty()) {
+    // Warming is a replay with the responses discarded; asking for both is
+    // ambiguous about which log drives the output.
+    std::cerr << "error: '--warm' and '--replay' are mutually exclusive\n";
+    return usage();
+  }
 
   // A client vanishing mid-reply must not kill the server.
   std::signal(SIGPIPE, SIG_IGN);
 
   Service service{options};
+  if (!options.warm.empty()) {
+    std::ifstream log{options.warm};
+    if (!log) {
+      std::cerr << "error: cannot open warm log '" << options.warm << "'\n";
+      return 1;
+    }
+    service.warm(log);
+  }
   if (!options.replay.empty()) {
     std::ifstream log{options.replay};
     if (!log) {
