@@ -219,9 +219,30 @@ ResultCache::ResultCache(CacheConfig config, persist::DiagnosticSink sink)
     // cache then runs memory-only rather than failing enable_cache.
     if (tier->ready()) tier_ = std::move(tier);
   }
+  // Background spill drain: only with a tier, only when asked, and never
+  // under FsyncPolicy::kAlways — fsync-per-write durability promises the
+  // entry is on stable storage when the insert returns, which a queue
+  // cannot keep.
+  if (tier_ && config.async_spill &&
+      config.persist->fsync_policy == persist::PersistConfig::FsyncPolicy::kNever) {
+    async_spill_ = true;
+    spill_queue_limit_ = std::max<std::size_t>(config.spill_queue, 1);
+    spill_thread_ = std::thread{[this] { drain_loop(); }};
+  }
 }
 
-ResultCache::~ResultCache() = default;
+ResultCache::~ResultCache() {
+  if (spill_thread_.joinable()) {
+    {
+      std::lock_guard lock{spill_mutex_};
+      spill_stop_ = true;
+    }
+    spill_cv_.notify_all();
+    // The drain loop finishes every queued write before honoring stop, so
+    // a gracefully destroyed cache leaves nothing behind in the queue.
+    spill_thread_.join();
+  }
+}
 
 std::uint64_t ResultCache::hash_key(const Key& key) noexcept {
   // `content` is deliberately absent: it is a function of (model,
@@ -353,12 +374,59 @@ std::optional<ResultCache::Entry> ResultCache::store_memory(const Key& key, Slot
   return victim;
 }
 
-void ResultCache::spill(const Entry& entry, bool only_if_absent) {
+void ResultCache::spill_now(const Entry& entry, bool only_if_absent) {
   if (!tier_ || entry.key.content == 0 || !entry.slot) return;
   const persist::DiskKey key = disk_key_of(entry.key);
   if (only_if_absent && tier_->contains(key)) return;
   tier_->store(key, to_string(entry.key.kind), encode_slot(entry.key.kind, entry.slot),
                entry.cost_us);
+}
+
+void ResultCache::spill(Entry entry, bool only_if_absent) {
+  if (!tier_ || entry.key.content == 0 || !entry.slot) return;
+  if (!async_spill_) {
+    spill_now(entry, only_if_absent);
+    return;
+  }
+  {
+    std::lock_guard lock{spill_mutex_};
+    if (!spill_stop_) {
+      if (spill_queue_.size() >= spill_queue_limit_) {
+        // Bounded by design: dropping a spill costs a possible future disk
+        // hit, never correctness — the memory tier still serves the entry
+        // and the next insert/eviction of it re-enqueues.
+        dropped_spills_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      spill_queue_.push_back(SpillTask{std::move(entry), only_if_absent});
+    }
+  }
+  spill_cv_.notify_one();
+}
+
+void ResultCache::drain_loop() {
+  std::unique_lock lock{spill_mutex_};
+  while (true) {
+    spill_cv_.wait(lock, [&] { return spill_stop_ || !spill_queue_.empty(); });
+    if (spill_queue_.empty()) {
+      if (spill_stop_) return;
+      continue;
+    }
+    SpillTask task = std::move(spill_queue_.front());
+    spill_queue_.pop_front();
+    spill_busy_ = true;
+    lock.unlock();  // disk I/O outside the queue lock — enqueuers never block on write()
+    spill_now(task.entry, task.only_if_absent);
+    lock.lock();
+    spill_busy_ = false;
+    if (spill_queue_.empty()) spill_idle_.notify_all();
+  }
+}
+
+void ResultCache::drain_spills() {
+  if (!async_spill_) return;
+  std::unique_lock lock{spill_mutex_};
+  spill_idle_.wait(lock, [&] { return spill_queue_.empty() && !spill_busy_; });
 }
 
 void ResultCache::store(const Key& key, Slot slot, std::uint64_t cost_us) {
@@ -401,11 +469,20 @@ void ResultCache::clear(bool include_disk) {
     shard.index.clear();
     shard.lru.clear();
   }
-  if (include_disk && tier_) tier_->clear();
+  if (include_disk && tier_) {
+    // A spill still queued would land *after* the clear and resurrect its
+    // entry on disk; flush the queue first so clear means clear.
+    drain_spills();
+    tier_->clear();
+  }
 }
 
 std::size_t ResultCache::persist_all() {
   if (!tier_) return 0;
+  // An explicit persist is a durability request: flush queued async spills
+  // first so the contains() checks below see the tier's real contents, then
+  // write the remainder synchronously.
+  drain_spills();
   // Snapshot the shards first (slot shared_ptrs are cheap to copy), then do
   // every disk write without any shard lock held.
   std::vector<Entry> entries;
@@ -418,7 +495,7 @@ std::size_t ResultCache::persist_all() {
   std::size_t written = 0;
   for (const Entry& entry : entries) {
     if (tier_->contains(disk_key_of(entry.key))) continue;
-    spill(entry, /*only_if_absent=*/true);
+    spill_now(entry, /*only_if_absent=*/true);
     ++written;
   }
   tier_->flush();
@@ -453,6 +530,13 @@ CacheStats ResultCache::stats() const {
     stats.disk_entries = disk.entries;
     stats.disk_bytes = disk.bytes;
     stats.disk_capacity_bytes = disk.capacity_bytes;
+    stats.disk_async = async_spill_;
+    if (async_spill_) {
+      std::lock_guard lock{spill_mutex_};
+      stats.disk_queue_depth = spill_queue_.size();
+    }
+    stats.disk_queue_capacity = spill_queue_limit_;
+    stats.disk_dropped_spills = dropped_spills_.load(std::memory_order_relaxed);
   }
   return stats;
 }

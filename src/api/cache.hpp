@@ -43,11 +43,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -87,6 +90,21 @@ struct CacheConfig {
   /// fingerprints, not store ids). A directory that cannot be provisioned
   /// disables the tier with a diagnostic; the memory tier is unaffected.
   std::optional<persist::PersistConfig> persist;
+  /// Spill execution. true (the default) drains write-through and eviction
+  /// spills through a bounded queue on a background thread, so the request
+  /// path no longer pays the tier's I/O (~85 µs per insert) in the caller's
+  /// thread. false performs every spill synchronously in the inserting
+  /// thread — the durability mode: an insert returning implies its entry is
+  /// on disk. FsyncPolicy::kAlways forces synchronous spills regardless
+  /// (fsync-per-write durability is meaningless from a lossy async queue).
+  /// Ignored without `persist`.
+  bool async_spill = true;
+  /// Bounded async spill queue capacity: an enqueue beyond it *drops* the
+  /// spill (counted in CacheStats::disk_dropped_spills) instead of blocking
+  /// the request path or growing without bound — the entry stays served
+  /// from memory and rewrites on its next insert or eviction. Clamped to
+  /// >= 1.
+  std::size_t spill_queue = 1024;
 };
 
 /// Monotonic counters plus the current fill — one consistent snapshot per
@@ -121,6 +139,11 @@ struct CacheStats {
   std::size_t disk_entries = 0;     ///< entry files currently on disk
   std::uint64_t disk_bytes = 0;     ///< bytes those files occupy
   std::uint64_t disk_capacity_bytes = 0;
+  /// Async spill queue (zero/false when spills are synchronous).
+  bool disk_async = false;            ///< spills drain on a background thread
+  std::size_t disk_queue_depth = 0;   ///< spills currently queued
+  std::size_t disk_queue_capacity = 0;
+  std::uint64_t disk_dropped_spills = 0;  ///< spills dropped at a full queue
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t lookups = hits + misses;
@@ -195,6 +218,11 @@ class ResultCache {
   /// `cache persist` an explicit durability point.)
   std::size_t persist_all();
 
+  /// Blocks until every queued async spill has been written (no-op with
+  /// synchronous spills). persist_all() and clear(include_disk) drain
+  /// implicitly; tests drain before asserting exact disk counters.
+  void drain_spills();
+
   [[nodiscard]] CacheStats stats() const;
 
  private:
@@ -236,10 +264,18 @@ class ResultCache {
   [[nodiscard]] Entry evict_one(Shard& shard);
   /// The every-32-evictions adaptive cost_window adjustment.
   void adapt_window();
-  /// Writes one entry down to the persistent tier (no-op without one or
-  /// without a content identity). `only_if_absent` is the spill path —
-  /// write-through entries always (re)write.
-  void spill(const Entry& entry, bool only_if_absent);
+  /// Routes one entry toward the persistent tier (no-op without one or
+  /// without a content identity): enqueued for the background drain thread
+  /// when spills are async, written in the calling thread otherwise.
+  /// `only_if_absent` is the spill path — write-through entries always
+  /// (re)write.
+  void spill(Entry entry, bool only_if_absent);
+  /// The synchronous tier write behind spill().
+  void spill_now(const Entry& entry, bool only_if_absent);
+  /// The background drain loop: pops queued spills and writes them until
+  /// stop is flagged *and* the queue is empty (a stopping cache finishes
+  /// its writes — the destructor's durability hand-off).
+  void drain_loop();
 
   std::vector<Shard> shards_;
   mutable std::mutex dead_mutex_;  ///< guards dead_models_ (insert-miss path only)
@@ -257,6 +293,26 @@ class ResultCache {
   /// The persistent second tier; null when not configured (or its directory
   /// was unusable). All tier I/O happens *outside* shard locks.
   std::unique_ptr<persist::DiskTier> tier_;
+
+  /// Queued spill work: one entry plus the only_if_absent flag it was
+  /// enqueued with. Slots are shared_ptrs, so a queued spill keeps its
+  /// result alive (bounded by spill_queue_limit_) even if the memory tier
+  /// evicts it meanwhile.
+  struct SpillTask {
+    Entry entry;
+    bool only_if_absent = false;
+  };
+  bool async_spill_ = false;  ///< tier attached and background drain active
+  std::size_t spill_queue_limit_ = 0;
+  mutable std::mutex spill_mutex_;
+  std::condition_variable spill_cv_;    ///< work available / stop flagged
+  std::condition_variable spill_idle_;  ///< queue empty and writer idle
+  std::deque<SpillTask> spill_queue_;
+  bool spill_stop_ = false;
+  bool spill_busy_ = false;  ///< a popped task is being written right now
+  std::thread spill_thread_;
+  std::atomic<std::uint64_t> dropped_spills_{0};
+
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

@@ -4,6 +4,12 @@
 
 namespace spivar::api {
 
+namespace {
+/// The pool whose worker_loop owns this thread, if any — how run()/submit()
+/// recognise nested fan-out issued from inside one of their own tasks.
+thread_local const void* tls_worker_pool = nullptr;
+}  // namespace
+
 std::optional<Priority> parse_priority(std::string_view name) {
   if (name == "low") return Priority::kLow;
   if (name == "normal") return Priority::kNormal;
@@ -51,7 +57,7 @@ ThreadPoolExecutor::~ThreadPoolExecutor() {
 
 bool ThreadPoolExecutor::BatchOrder::operator()(const std::shared_ptr<TaskBatch>& a,
                                                 const std::shared_ptr<TaskBatch>& b) const noexcept {
-  if (a->priority != b->priority) return a->priority > b->priority;  // kHigh first
+  if (a->band != b->band) return a->band > b->band;  // highest band first
   if (a->deadline.has_value() != b->deadline.has_value()) {
     return a->deadline.has_value();  // any deadline beats none (EDF band)
   }
@@ -61,10 +67,9 @@ bool ThreadPoolExecutor::BatchOrder::operator()(const std::shared_ptr<TaskBatch>
   return a->seq < b->seq;  // FIFO tie-break
 }
 
-void ThreadPoolExecutor::refresh_top_priority() {
-  top_queued_priority_.store(
-      queue_.empty() ? -1 : static_cast<int>((*queue_.begin())->priority),
-      std::memory_order_relaxed);
+void ThreadPoolExecutor::refresh_top_band() {
+  top_queued_band_.store(queue_.empty() ? -1 : (*queue_.begin())->band,
+                         std::memory_order_relaxed);
 }
 
 void ThreadPoolExecutor::enqueue(std::shared_ptr<TaskBatch> batch) {
@@ -72,7 +77,7 @@ void ThreadPoolExecutor::enqueue(std::shared_ptr<TaskBatch> batch) {
     std::lock_guard lock{mutex_};
     batch->seq = next_seq_++;
     queue_.insert(std::move(batch));
-    refresh_top_priority();
+    refresh_top_band();
   }
   work_cv_.notify_all();
 }
@@ -89,14 +94,14 @@ void ThreadPoolExecutor::help(TaskBatch& batch) {
 
 void ThreadPoolExecutor::help_until_preempted(TaskBatch& batch) {
   for (;;) {
-    // Band preemption at task granularity: a strictly higher-priority batch
-    // in the queue pulls this worker away between tasks (a relaxed load —
-    // the hint may be momentarily stale, which only costs one lock round
-    // trip in worker_loop). The abandoned batch keeps its queue slot and is
-    // resumed once the higher band drains. Deadlines never preempt: EDF
-    // orders batch pickup within a band only.
-    if (top_queued_priority_.load(std::memory_order_relaxed) >
-        static_cast<int>(batch.priority)) {
+    // Band preemption at task granularity: a strictly higher-band batch in
+    // the queue — an explicit higher priority, or a top-level request while
+    // this batch is nested fan-out — pulls this worker away between tasks
+    // (a relaxed load — the hint may be momentarily stale, which only costs
+    // one lock round trip in worker_loop). The abandoned batch keeps its
+    // queue slot and is resumed once the higher band drains. Deadlines
+    // never preempt: EDF orders batch pickup within a band only.
+    if (top_queued_band_.load(std::memory_order_relaxed) > batch.band) {
       return;
     }
     const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
@@ -118,21 +123,22 @@ void ThreadPoolExecutor::finish_one(TaskBatch& batch) {
 }
 
 void ThreadPoolExecutor::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::shared_ptr<TaskBatch> batch;
     {
       std::unique_lock lock{mutex_};
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and nothing left to drain
-      // Best batch under the scheduling order: priority band, then EDF,
-      // then FIFO. The batch stays queued while unclaimed tasks remain, so
-      // several workers gang up on it.
+      // Best batch under the scheduling order: band, then EDF, then FIFO.
+      // The batch stays queued while unclaimed tasks remain, so several
+      // workers gang up on it.
       batch = *queue_.begin();
       if (batch->cursor.load(std::memory_order_relaxed) >= batch->tasks.size()) {
         // Fully claimed (running tasks may still be finishing elsewhere);
         // retire it from the queue and look for the next batch.
         queue_.erase(queue_.begin());
-        refresh_top_priority();
+        refresh_top_band();
         continue;
       }
     }
@@ -144,7 +150,10 @@ void ThreadPoolExecutor::worker_loop() {
 
 void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   if (tasks.empty()) return;
-  auto batch = std::make_shared<TaskBatch>(std::move(tasks), options);
+  // A run() issued from one of this pool's own tasks is nested fan-out: it
+  // lands in the sub-band below independent batches of the same priority
+  // (see TaskBatch::band) — the caller drives it regardless.
+  auto batch = std::make_shared<TaskBatch>(std::move(tasks), options, tls_worker_pool == this);
   batch->stats = &recorder_;
   enqueue(batch);
   // The caller self-schedules on its own batch alongside the workers —
@@ -158,7 +167,7 @@ void ThreadPoolExecutor::run(std::vector<std::function<void()>> tasks, SubmitOpt
 
 void ThreadPoolExecutor::submit(std::vector<std::function<void()>> tasks, SubmitOptions options) {
   if (tasks.empty()) return;
-  auto batch = std::make_shared<TaskBatch>(std::move(tasks), options);
+  auto batch = std::make_shared<TaskBatch>(std::move(tasks), options, tls_worker_pool == this);
   batch->stats = &recorder_;
   enqueue(std::move(batch));
 }

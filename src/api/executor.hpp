@@ -182,8 +182,8 @@ class SerialExecutor final : public Executor {
 /// blocks until its whole batch has completed (the caller helps execute it);
 /// submit() is fire-and-forget; concurrent batches from different threads
 /// interleave safely. Idle workers always claim from the best queued batch
-/// (priority band, then EDF, then FIFO). The destructor drains every queued
-/// batch first.
+/// (band — priority, top-level over nested fan-out — then EDF, then FIFO).
+/// The destructor drains every queued batch first.
 class ThreadPoolExecutor final : public Executor {
  public:
   /// `workers == 0` uses the hardware concurrency (at least one thread).
@@ -204,11 +204,14 @@ class ThreadPoolExecutor final : public Executor {
  private:
   /// One enqueued batch. Threads claim task indexes through `cursor`
   /// (fetch_add) — the self-scheduling loop — and the last finisher
-  /// signals `done`. Scheduling rank (priority, deadline, seq) is fixed at
+  /// signals `done`. Scheduling rank (band, deadline, seq) is fixed at
   /// enqueue time.
   struct TaskBatch {
-    TaskBatch(std::vector<std::function<void()>> work, SubmitOptions options)
-        : tasks(std::move(work)), remaining(tasks.size()), priority(options.priority) {
+    TaskBatch(std::vector<std::function<void()>> work, SubmitOptions options, bool nested)
+        : tasks(std::move(work)),
+          remaining(tasks.size()),
+          priority(options.priority),
+          band(static_cast<int>(options.priority) * 2 + (nested ? 0 : 1)) {
       if (options.deadline) deadline = std::chrono::steady_clock::now() + *options.deadline;
     }
     std::vector<std::function<void()>> tasks;
@@ -219,15 +222,25 @@ class ThreadPoolExecutor final : public Executor {
     bool finished = false;
 
     Priority priority = Priority::kNormal;
+    /// Scheduling band: each priority splits into a top-level sub-band and,
+    /// below it, a nested sub-band for fan-out run()/submit() issued from
+    /// inside a pool task (e.g. compare's per-order jobs). A nested batch
+    /// already owns its caller as a helper; ranking it under independent
+    /// top-level batches of the same priority stops a wide fan-out from
+    /// absorbing every worker and starving later small requests — the
+    /// priority inversion the pipelined serve path exposed. Explicit
+    /// priorities still dominate: nested kHigh outranks top-level kNormal.
+    int band = 0;
     std::optional<std::chrono::steady_clock::time_point> deadline;  ///< absolute, EDF key
-    std::uint64_t seq = 0;  ///< FIFO tie-break within (priority, deadline)
+    std::uint64_t seq = 0;  ///< FIFO tie-break within (band, deadline)
     /// Owning executor's telemetry sink; every finished task records its
     /// completion (and lateness against `deadline`) here.
     detail::ExecutorStatsRecorder* stats = nullptr;
   };
 
-  /// Strict weak order: higher priority first, then earliest deadline (none
-  /// sorts last), then submission order — the queue's multiset comparator.
+  /// Strict weak order: higher band first (priority, top-level over nested
+  /// within it), then earliest deadline (none sorts last), then submission
+  /// order — the queue's multiset comparator.
   struct BatchOrder {
     bool operator()(const std::shared_ptr<TaskBatch>& a,
                     const std::shared_ptr<TaskBatch>& b) const noexcept;
@@ -239,24 +252,25 @@ class ThreadPoolExecutor final : public Executor {
   /// run()'s caller uses this: it must drive its own batch to completion.
   static void help(TaskBatch& batch);
   /// Worker variant of help(): additionally yields between tasks when a
-  /// strictly higher-priority batch arrives in the queue, so a high-priority
-  /// submission overtakes even an in-flight lower band at task granularity
-  /// (the abandoned batch stays queued and is resumed afterwards).
+  /// strictly higher-band batch arrives in the queue, so a high-priority
+  /// submission — or a top-level request behind a nested fan-out — overtakes
+  /// an in-flight lower band at task granularity (the abandoned batch stays
+  /// queued and is resumed afterwards).
   void help_until_preempted(TaskBatch& batch);
   /// Marks one task finished; the last one signals completion.
   static void finish_one(TaskBatch& batch);
   void worker_loop();
-  /// Recomputes top_queued_priority_ from the queue head; call with mutex_.
-  void refresh_top_priority();
+  /// Recomputes top_queued_band_ from the queue head; call with mutex_.
+  void refresh_top_band();
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;                 ///< guards queue_, stop_ and next_seq_
   std::condition_variable work_cv_;  ///< signals queued work / shutdown
   /// Best batch first; fully claimed batches are lazily retired by workers.
   std::multiset<std::shared_ptr<TaskBatch>, BatchOrder> queue_;
-  /// Priority of the queue's best batch (-1 when empty) — the relaxed hint
+  /// Band of the queue's best batch (-1 when empty) — the relaxed hint
   /// workers poll between tasks to detect band preemption without a lock.
-  std::atomic<int> top_queued_priority_{-1};
+  std::atomic<int> top_queued_band_{-1};
   std::uint64_t next_seq_ = 0;
   bool stop_ = false;
   detail::ExecutorStatsRecorder recorder_;

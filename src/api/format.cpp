@@ -62,7 +62,13 @@ std::string render(const CacheStats& stats) {
                 std::to_string(stats.disk_skipped), std::to_string(stats.disk_evictions),
                 std::to_string(stats.disk_entries), std::to_string(stats.disk_bytes),
                 std::to_string(stats.disk_capacity_bytes)});
-  return table.to_string() + costs.to_string() + disk.to_string();
+  // The spill queue gets its own table (not extra disk columns): scripts
+  // parse the disk table positionally, and sync tiers have no queue at all.
+  support::TextTable queue{{"spill mode", "queue depth", "queue capacity", "dropped spills"}};
+  queue.add_row({stats.disk_async ? "async" : "sync", std::to_string(stats.disk_queue_depth),
+                 std::to_string(stats.disk_queue_capacity),
+                 std::to_string(stats.disk_dropped_spills)});
+  return table.to_string() + costs.to_string() + disk.to_string() + queue.to_string();
 }
 
 std::string render(const ExecutorStats& stats) {

@@ -968,19 +968,39 @@ void decode_body(const std::vector<Line>& lines, support::DiagnosticList& diagno
   }
 }
 
+/// A frame's non-empty lines plus the header version the decoder accepted.
+struct OpenedFrame {
+  std::vector<Line> lines;
+  int version = kVersion;
+};
+
 /// Checks a frame header `<tag> v<version> ...` and returns its lines.
-std::vector<Line> open_frame(std::string_view frame, const char* tag) {
+/// Versions 1..max_version are accepted (the envelope decoders take v2 —
+/// the pipelined headers — while `info` stays v1-only).
+OpenedFrame open_frame(std::string_view frame, const char* tag, int max_version = kVersion) {
   std::vector<Line> lines = split_frame(frame);
   if (lines.empty()) fail(1, std::string{"empty frame (expected '"} + tag + "')");
   Args args{lines.front(), 0};
   const std::string head = args.word("frame tag");
   if (head != tag) fail(lines.front().number, "expected '" + std::string{tag} + "' frame, got '" + head + "'");
   const std::string version = args.word("version");
-  if (version != "v" + std::to_string(kVersion)) {
+  int parsed = 0;
+  const char* first = version.data() + 1;
+  const char* last = version.data() + version.size();
+  const bool well_formed =
+      version.size() >= 2 && version.front() == 'v' &&
+      [&] {
+        const auto [end, ec] = std::from_chars(first, last, parsed);
+        return ec == std::errc{} && end == last;
+      }();
+  if (!well_formed || parsed < 1 || parsed > max_version) {
+    const std::string range = max_version == kVersion
+                                  ? "v" + std::to_string(kVersion)
+                                  : "v1..v" + std::to_string(max_version);
     fail(lines.front().number,
-         "unsupported wire version '" + version + "' (expected v" + std::to_string(kVersion) + ")");
+         "unsupported wire version '" + version + "' (expected " + range + ")");
   }
-  return lines;
+  return OpenedFrame{std::move(lines), parsed};
 }
 
 template <typename T>
@@ -1011,9 +1031,11 @@ std::string quote(std::string_view text) {
   return out;
 }
 
-std::string encode(const AnyRequest& request) {
-  std::string out = "request v" + std::to_string(kVersion) + " " +
-                    to_string(kind_of(request)) + "\n";
+namespace {
+
+/// Everything below a request's header line — bodies are identical across
+/// protocol versions, so both encoders share this.
+void encode_request_body(std::string& out, const AnyRequest& request) {
   // Options without a target spec still travel (as an empty target), so
   // the invalid combination round-trips and fails identically on both
   // sides of the wire instead of silently becoming a valid request.
@@ -1033,14 +1055,30 @@ std::string encode(const AnyRequest& request) {
   }
   std::visit([&out](const auto& payload) { encode_payload(out, payload); }, request.payload);
   out += "end\n";
+}
+
+}  // namespace
+
+std::string encode(const AnyRequest& request) {
+  std::string out = "request v" + std::to_string(kVersion) + " " +
+                    to_string(kind_of(request)) + "\n";
+  encode_request_body(out, request);
+  return out;
+}
+
+std::string encode(const AnyRequest& request, std::uint64_t frame_id) {
+  std::string out = "request v" + std::to_string(kVersionPipelined) + " " +
+                    to_string(kind_of(request)) + " " + fmt_u64(frame_id) + "\n";
+  encode_request_body(out, request);
   return out;
 }
 
 Result<AnyRequest> decode_request(std::string_view frame) {
   try {
-    const std::vector<Line> lines = open_frame(frame, "request");
+    const auto [lines, version] = open_frame(frame, "request", kVersionPipelined);
     Args header{lines.front(), 2};
     const std::string kind_name = header.word("request kind");
+    if (version >= kVersionPipelined) (void)header.u64("frame id");
     header.finish();
     const std::optional<RequestKind> kind = parse_request_kind(kind_name);
     if (!kind) fail(lines.front().number, "unknown request kind '" + kind_name + "'");
@@ -1087,26 +1125,41 @@ Result<AnyRequest> decode_request(std::string_view frame) {
   }
 }
 
-std::string encode(const Result<AnyResponse>& result) {
-  std::string out;
+namespace {
+
+/// Status, kind and body shared by both response headers; `head` is the
+/// already-versioned header prefix ("response v1" / "response v2 <id>").
+std::string encode_response_frame(std::string head, const Result<AnyResponse>& result) {
+  std::string out = std::move(head);
   if (!result.ok()) {
-    out = "response v" + std::to_string(kVersion) + " error\n";
+    out += " error\n";
     encode_diagnostics(out, result.diagnostics());
     out += "end\n";
     return out;
   }
-  out = "response v" + std::to_string(kVersion) + " ok " +
-        to_string(kind_of(result.value())) + "\n";
+  out += " ok " + std::string{to_string(kind_of(result.value()))} + "\n";
   encode_diagnostics(out, result.diagnostics());
   std::visit([&out](const auto& response) { encode_payload(out, response); }, result.value());
   out += "end\n";
   return out;
 }
 
+}  // namespace
+
+std::string encode(const Result<AnyResponse>& result) {
+  return encode_response_frame("response v" + std::to_string(kVersion), result);
+}
+
+std::string encode(const Result<AnyResponse>& result, std::uint64_t frame_id) {
+  return encode_response_frame(
+      "response v" + std::to_string(kVersionPipelined) + " " + fmt_u64(frame_id), result);
+}
+
 Result<AnyResponse> decode_response(std::string_view frame) {
   try {
-    const std::vector<Line> lines = open_frame(frame, "response");
+    const auto [lines, version] = open_frame(frame, "response", kVersionPipelined);
     Args header{lines.front(), 2};
+    if (version >= kVersionPipelined) (void)header.u64("frame id");
     const std::string status = header.word("status");
     if (status == "error") {
       header.finish();
@@ -1177,6 +1230,46 @@ Result<AnyResponse> decode_response(std::string_view frame) {
   } catch (const std::exception& e) {
     return Result<AnyResponse>::failure(diag::kWireError, e.what());
   }
+}
+
+namespace {
+
+/// Shared peek machinery: the u64 at token `position` of the first line,
+/// provided the line starts `<tag> v2`. Never throws past this function —
+/// a peek that cannot produce an id reports nullopt and leaves the full
+/// decoder to produce the line-numbered error.
+std::optional<std::uint64_t> peek_frame_id(std::string_view frame, const char* tag,
+                                           std::size_t position) {
+  try {
+    const std::size_t nl = frame.find('\n');
+    const std::vector<Token> tokens =
+        tokenize(nl == std::string_view::npos ? frame : frame.substr(0, nl), 1);
+    if (tokens.size() <= position) return std::nullopt;
+    if (tokens[0].quoted || tokens[0].text != tag) return std::nullopt;
+    if (tokens[1].quoted || tokens[1].text != "v" + std::to_string(kVersionPipelined)) {
+      return std::nullopt;
+    }
+    const Token& id = tokens[position];
+    if (id.quoted) return std::nullopt;
+    std::uint64_t value = 0;
+    const auto [end, ec] = std::from_chars(id.text.data(), id.text.data() + id.text.size(), value);
+    if (ec != std::errc{} || end != id.text.data() + id.text.size()) return std::nullopt;
+    return value;
+  } catch (const FrameError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> request_frame_id(std::string_view frame) {
+  // `request v2 <kind> <id>`
+  return peek_frame_id(frame, "request", 3);
+}
+
+std::optional<std::uint64_t> response_frame_id(std::string_view frame) {
+  // `response v2 <id> <status> ...`
+  return peek_frame_id(frame, "response", 2);
 }
 
 // --- service frames ----------------------------------------------------------
@@ -1251,7 +1344,7 @@ std::string encode_info(std::string_view text) {
 
 Result<std::string> decode_info(std::string_view frame) {
   try {
-    const std::vector<Line> lines = open_frame(frame, "info");
+    const std::vector<Line> lines = open_frame(frame, "info").lines;
     Args header{lines.front(), 2};
     header.finish();
     std::string text;

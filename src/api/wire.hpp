@@ -33,9 +33,22 @@
 // frames evaluated as one heterogeneous Session::submit, `control v1
 // <command> ...` for session management (load/unload/stats/shutdown), and
 // `info v1` carrying a control reply's rendered text.
+//
+// Version 2 adds *pipelining*: a v2 request header carries a client-chosen
+// frame id and its reply echoes it, so a server may stream replies out of
+// arrival order the moment each evaluation completes:
+//
+//   request v2 simulate 17          response v2 17 ok simulate
+//   target "fig2"                   model "fig2"
+//   end                             ...
+//                                   end
+//
+// Bodies are identical across versions; only the header line differs. The
+// decoders accept both versions, v1 frames simply have no frame id.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -48,8 +61,12 @@
 
 namespace spivar::api::wire {
 
-/// Protocol version stamped into (and required of) every frame header.
+/// Protocol version stamped into strictly-ordered frame headers; the
+/// highest version every decoder accepts is kVersionPipelined.
 inline constexpr int kVersion = 1;
+/// Pipelined protocol version: request headers carry a client-chosen frame
+/// id, response headers echo it, replies may arrive out of order.
+inline constexpr int kVersionPipelined = 2;
 
 // --- envelope frames ---------------------------------------------------------
 
@@ -57,19 +74,41 @@ inline constexpr int kVersion = 1;
 /// options, and every non-default payload field.
 [[nodiscard]] std::string encode(const AnyRequest& request);
 
+/// `request v2 <kind> <id>` — the pipelined header; the reply to this frame
+/// echoes `frame_id`, so it may be correlated out of arrival order.
+[[nodiscard]] std::string encode(const AnyRequest& request, std::uint64_t frame_id);
+
 /// `response v1 ok <kind>` / `response v1 error` frame for one evaluation
 /// result, diagnostics (failure lists and success notes) included.
 [[nodiscard]] std::string encode(const Result<AnyResponse>& result);
 
-/// Parses one request frame. Malformed input fails with diag::kWireError
-/// and a "line N: ..." message; omitted payload keys keep their
-/// designated-initializer defaults, so hand-written frames stay terse.
+/// `response v2 <id> ok <kind>` / `response v2 <id> error` — the pipelined
+/// reply, tagged with the request's frame id.
+[[nodiscard]] std::string encode(const Result<AnyResponse>& result, std::uint64_t frame_id);
+
+/// Parses one request frame (either version; a v2 header's frame id is
+/// validated and skipped — peek it with request_frame_id). Malformed input
+/// fails with diag::kWireError and a "line N: ..." message; omitted payload
+/// keys keep their designated-initializer defaults, so hand-written frames
+/// stay terse.
 [[nodiscard]] Result<AnyRequest> decode_request(std::string_view frame);
 
-/// Parses one response frame back into the Result an in-process call would
-/// have returned. A transported error response decodes as that failure; a
-/// malformed frame fails with diag::kWireError (line-numbered).
+/// Parses one response frame (either version) back into the Result an
+/// in-process call would have returned. A transported error response
+/// decodes as that failure; a malformed frame fails with diag::kWireError
+/// (line-numbered).
 [[nodiscard]] Result<AnyResponse> decode_response(std::string_view frame);
+
+/// The frame id of a v2 request header, nullopt for v1 frames or headers
+/// too malformed to carry one (`request v2 <kind> <id>` — the id must be a
+/// plain u64). A cheap header peek: body lines are not examined, so a
+/// frame with a readable id but a rotten body still yields the id the
+/// error reply should be tagged with.
+[[nodiscard]] std::optional<std::uint64_t> request_frame_id(std::string_view frame);
+
+/// The frame id of a v2 response header (`response v2 <id> ...`), nullopt
+/// for v1 responses or unreadable headers.
+[[nodiscard]] std::optional<std::uint64_t> response_frame_id(std::string_view frame);
 
 // --- service frames ----------------------------------------------------------
 

@@ -1,0 +1,385 @@
+#include "service/service.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace spivar::service {
+
+Service::Service(const ServiceOptions& options)
+    : store_(std::make_shared<api::ModelStore>()),
+      executor_(api::make_executor(options.jobs)),
+      session_(store_, executor_),
+      max_inflight_(std::max<std::size_t>(options.max_inflight, 1)) {
+  if (options.cache || !options.cache_dir.empty()) {
+    api::CacheConfig config;
+    config.capacity = options.cache.value_or(1024);
+    // The service is the long-running front end, so let the cost window
+    // tune itself to whatever workload the connections bring.
+    config.adaptive_window = true;
+    if (!options.cache_dir.empty()) {
+      config.persist = persist::PersistConfig{
+          .dir = options.cache_dir,
+          .capacity_bytes = options.cache_bytes,
+          .fsync_policy = options.fsync ? persist::PersistConfig::FsyncPolicy::kAlways
+                                        : persist::PersistConfig::FsyncPolicy::kNever};
+      // --fsync is the durability switch: it also forces every spill to
+      // complete in the inserting thread, so an acknowledged reply implies
+      // its entry is on disk (the kill -9 restart contract).
+      config.async_spill = !options.fsync;
+    }
+    store_->enable_cache(config);
+  }
+  if (!options.record.empty()) {
+    // POSIX append fd, one write() per frame: the log survives a killed
+    // server frame-for-frame (no userspace buffering to lose), and
+    // O_APPEND keeps concurrent connection threads' frames whole.
+    record_fd_ = ::open(options.record.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (record_fd_ < 0) {
+      std::cerr << "warning: cannot open record file '" << options.record << "'\n";
+    }
+    record_fsync_ = options.fsync;
+  }
+}
+
+Service::~Service() {
+  if (record_fd_ >= 0) ::close(record_fd_);
+}
+
+void Service::Writer::write(const std::string& frame) {
+  std::lock_guard lock{mutex};
+  out << frame << std::flush;
+}
+
+void Service::warm(std::istream& in) {
+  const auto before = store_->cache_stats();
+  record_suspended_.store(true, std::memory_order_release);
+  std::ostream null{nullptr};
+  // Ordered evaluation keeps warming deterministic even when the log holds
+  // pipelined traffic (the recorded per-connection submission order is the
+  // order the cache tiers fill in).
+  serve_stream(in, null, StreamMode::kOrdered);
+  record_suspended_.store(false, std::memory_order_release);
+  shutdown_.store(false, std::memory_order_release);
+  const auto after = store_->cache_stats();
+  if (before && after) {
+    std::cerr << "warmed: " << (after->entries - before->entries) << " entries in memory, "
+              << after->disk_entries << " on disk (" << after->disk_hits
+              << " served from disk)\n";
+  }
+}
+
+StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMode mode) {
+  Writer writer{out};
+  Inflight inflight;
+  StreamStats stats;
+  while (!shutdown_requested()) {
+    const auto frame = api::wire::read_frame(in);
+    if (!frame) break;
+    ++stats.frames;
+    try {
+      record_frame(*frame);
+      if (const auto slots = api::wire::parse_batch_header(*frame)) {
+        handle_batch(*slots, in, writer);
+        continue;
+      }
+      if (const auto control = api::wire::parse_control(*frame)) {
+        handle_control(*control, writer);
+        continue;
+      }
+      const std::optional<std::uint64_t> frame_id = api::wire::request_frame_id(*frame);
+      if (!frame_id.has_value()) {
+        // v1 (or a header too rotten to carry an id): strict arrival order,
+        // evaluated inline — a v1-only client sees exactly the v1 service.
+        const api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
+        const api::Result<api::AnyResponse> result =
+            request.ok() ? session_.call(request.value())
+                         : api::Result<api::AnyResponse>::failure(request.diagnostics());
+        writer.write(api::wire::encode(result));
+        continue;
+      }
+      ++stats.pipelined;
+      // Backpressure: stop consuming the socket while max_inflight slots
+      // are evaluating. The client's unread bytes accumulate in the kernel
+      // buffers until its own writes stall — no server-side request queue
+      // to grow without bound.
+      {
+        std::unique_lock lock{inflight.mutex};
+        if (inflight.count >= max_inflight_) {
+          ++stats.backpressure_waits;
+          inflight.drained.wait(lock, [&] { return inflight.count < max_inflight_; });
+        }
+        ++inflight.count;
+      }
+      api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
+      if (!request.ok()) {
+        // Line-numbered decode error, tagged with the frame's id, and the
+        // connection lives on — one malformed frame costs one reply.
+        writer.write(api::wire::encode(
+            api::Result<api::AnyResponse>::failure(request.diagnostics()), *frame_id));
+        std::lock_guard lock{inflight.mutex};
+        --inflight.count;
+        inflight.drained.notify_all();
+        continue;
+      }
+      if (mode == StreamMode::kOrdered) {
+        // --replay/--warm: evaluate inline so the reply order (and the
+        // cache fill order) reproduces the recorded submission order
+        // byte-for-byte; the reply still carries its v2 tag.
+        writer.write(api::wire::encode(session_.call(request.value()), *frame_id));
+        std::lock_guard lock{inflight.mutex};
+        --inflight.count;
+        inflight.drained.notify_all();
+        continue;
+      }
+      submit_pipelined(std::move(request).value(), *frame_id, writer, inflight);
+    } catch (const std::exception& e) {
+      reply_error(writer, std::string{"internal error handling frame: "} + e.what());
+    }
+  }
+  // The writer, the inflight counter and the stream live on this stack
+  // frame: every slot callback must have fired before returning (shutdown
+  // included — the executor keeps draining submitted work).
+  std::unique_lock lock{inflight.mutex};
+  inflight.drained.wait(lock, [&] { return inflight.count == 0; });
+  return stats;
+}
+
+void Service::submit_pipelined(api::AnyRequest request, std::uint64_t frame_id, Writer& writer,
+                               Inflight& inflight) {
+  std::vector<api::AnyRequest> one;
+  one.push_back(std::move(request));
+  // The handle is deliberately discarded: the slot's task keeps the batch
+  // state alive, the callback below is the delivery path, and serve_stream
+  // drains the inflight count before its stack (writer, inflight) unwinds.
+  (void)session_.submit(
+      std::move(one),
+      [&writer, &inflight, frame_id](std::size_t, const api::Result<api::AnyResponse>& result) {
+        writer.write(api::wire::encode(result, frame_id));
+        std::lock_guard lock{inflight.mutex};
+        --inflight.count;
+        inflight.drained.notify_all();
+      });
+}
+
+void Service::record_frame(const std::string& frame) {
+  if (record_fd_ < 0 || record_suspended_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock{record_mutex_};
+  // Frame + separating blank line in ONE write(): a kill between frames
+  // leaves a log of whole frames (and read_frame tolerates a torn tail).
+  // v2 frames are recorded verbatim — ids included — in the order the
+  // reader pulled them off the socket, so a replay reproduces each
+  // connection's submission order even for pipelined traffic.
+  std::string chunk = frame;
+  chunk += "\n";
+  const char* data = chunk.data();
+  std::size_t left = chunk.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(record_fd_, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "warning: record write failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (record_fsync_) ::fsync(record_fd_);
+}
+
+void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer) {
+  // Sanity-cap the client-supplied count before allocating anything for
+  // it — a corrupt header must not be able to abort the shared server.
+  constexpr std::size_t kMaxBatchSlots = 65'536;
+  if (slots > kMaxBatchSlots) {
+    reply_error(writer, "batch of " + std::to_string(slots) + " slots exceeds the limit of " +
+                            std::to_string(kMaxBatchSlots));
+    return;
+  }
+  std::vector<api::Result<api::AnyRequest>> decoded;
+  decoded.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    const auto frame = api::wire::read_frame(in);
+    if (!frame) {
+      decoded.push_back(api::Result<api::AnyRequest>::failure(
+          api::diag::kWireError,
+          "batch truncated: expected " + std::to_string(slots) + " request frames, got " +
+              std::to_string(i)));
+      break;
+    }
+    record_frame(*frame);
+    decoded.push_back(api::wire::decode_request(*frame));
+  }
+
+  // Evaluate the well-formed slots as one submit; merge decode failures
+  // back into their original positions.
+  std::vector<api::AnyRequest> requests;
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded[i].ok()) {
+      requests.push_back(std::move(decoded[i]).value());
+      positions.push_back(i);
+    }
+  }
+  auto handle = session_.submit(std::move(requests));
+  const std::vector<api::Result<api::AnyResponse>> landed = handle.wait();
+
+  std::vector<api::Result<api::AnyResponse>> results;
+  results.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    results.push_back(api::Result<api::AnyResponse>::failure(
+        api::diag::kWireError, "batch truncated before this slot"));
+  }
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (!decoded[i].ok()) {
+      results[i] = api::Result<api::AnyResponse>::failure(decoded[i].diagnostics());
+    }
+  }
+  for (std::size_t j = 0; j < positions.size(); ++j) results[positions[j]] = landed[j];
+
+  // One writer acquisition for the whole reply: the batch header and its n
+  // responses are contiguous on the stream even while pipelined slots of
+  // the same connection are completing concurrently.
+  std::string reply = api::wire::batch_header(slots);
+  for (const auto& result : results) reply += api::wire::encode(result);
+  writer.write(reply);
+}
+
+void Service::reply_info(Writer& writer, const std::string& text) {
+  writer.write(api::wire::encode_info(text));
+}
+
+void Service::reply_error(Writer& writer, const support::DiagnosticList& diagnostics) {
+  writer.write(api::wire::encode(api::Result<api::AnyResponse>::failure(diagnostics)));
+}
+
+void Service::reply_error(Writer& writer, const std::string& message) {
+  support::DiagnosticList diagnostics;
+  diagnostics.error(api::diag::kWireError, message);
+  reply_error(writer, diagnostics);
+}
+
+std::string Service::describe_model(const api::ModelInfo& info) {
+  // render(ModelInfo) plus a content-fingerprint line: the restart-stable
+  // identity (what the persistent cache tier keys on), exposed so wire
+  // clients can correlate models across server lives.
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(info.content_fingerprint));
+  return api::render(info) + "  content-fingerprint " + hex + "\n";
+}
+
+void Service::handle_cache_control(const api::wire::ControlCommand& control, Writer& writer) {
+  const auto cache = store_->cache();
+  if (!cache) {
+    reply_error(writer, "result cache disabled (start with '--cache N' or '--cache-dir DIR')");
+    return;
+  }
+  const std::string sub = control.args.empty() ? std::string{"stats"} : control.args.front();
+  if (sub == "stats") {
+    reply_info(writer, api::render(cache->stats()));
+    return;
+  }
+  if (sub == "persist") {
+    if (!cache->persistent()) {
+      reply_error(writer,
+                  "'cache persist' needs a persistent tier (start with '--cache-dir DIR')");
+      return;
+    }
+    const std::size_t written = cache->persist_all();
+    const api::CacheStats stats = cache->stats();
+    reply_info(writer, "persisted " + std::to_string(written) + " entries (" +
+                           std::to_string(stats.disk_entries) + " on disk, " +
+                           std::to_string(stats.disk_bytes) + " bytes)");
+    return;
+  }
+  if (sub == "flush") {
+    cache->clear(/*include_disk=*/true);
+    reply_info(writer, cache->persistent() ? "cache cleared (memory + disk)" : "cache cleared");
+    return;
+  }
+  reply_error(writer, "unknown cache subcommand '" + sub + "' (expected stats|persist|flush)");
+}
+
+void Service::handle_control(const api::wire::ControlCommand& control, Writer& writer) {
+  if (control.command == "ping") {
+    reply_info(writer, "pong");
+    return;
+  }
+  if (control.command == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    reply_info(writer, "shutting down");
+    if (on_shutdown) on_shutdown();
+    return;
+  }
+  if (control.command == "models") {
+    std::string text;
+    for (const api::ModelInfo& info : session_.models()) {
+      text += "#" + std::to_string(info.id.value()) + " " + describe_model(info);
+    }
+    reply_info(writer, text.empty() ? "no models loaded" : text);
+    return;
+  }
+  if (control.command == "cache-stats") {
+    const auto stats = session_.cache_stats();
+    reply_info(writer, stats ? api::render(*stats)
+                             : "result cache disabled (start with '--cache N')");
+    return;
+  }
+  if (control.command == "cache") {
+    handle_cache_control(control, writer);
+    return;
+  }
+  if (control.command == "executor-stats") {
+    reply_info(writer, "executor " + executor_->name() + "\n" +
+                           api::render(session_.executor_stats()));
+    return;
+  }
+  if (control.command == "load") {
+    if (control.args.empty()) {
+      reply_error(writer, "'load' requires a model spec");
+      return;
+    }
+    const std::vector<std::string> options(control.args.begin() + 1, control.args.end());
+    const auto resolved = session_.resolve(control.args.front(), options);
+    if (!resolved.ok()) {
+      reply_error(writer, resolved.diagnostics());
+      return;
+    }
+    reply_info(writer, "#" + std::to_string(resolved.value().id.value()) + " " +
+                           describe_model(resolved.value()));
+    return;
+  }
+  if (control.command == "unload") {
+    if (control.args.size() != 1) {
+      reply_error(writer, "'unload' requires exactly one model spec");
+      return;
+    }
+    const std::vector<api::ModelId> handles = session_.resolved_handles(control.args.front());
+    if (handles.empty()) {
+      reply_info(writer, control.args.front() + ": " +
+                             api::to_string(api::UnloadStatus::kNeverLoaded) +
+                             " (no request loaded it)");
+      return;
+    }
+    std::string text;
+    for (const api::ModelId handle : handles) {
+      text += control.args.front() + " #" + std::to_string(handle.value()) + ": " +
+              api::to_string(session_.unload(handle)) + "\n";
+    }
+    reply_info(writer, text);
+    return;
+  }
+  reply_error(writer, "unknown control command '" + control.command + "'");
+}
+
+}  // namespace spivar::service

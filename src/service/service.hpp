@@ -1,0 +1,153 @@
+// service::Service — the wire-protocol request/response loop over one shared
+// ModelStore + executor, factored out of the spivar_serve tool so tests and
+// other front ends can drive it directly.
+//
+// Every connection shares ONE Session over ONE ModelStore and executor, so
+// a model any client loads (or names via a request's target spec) is built
+// once, its synthesis setup is memoized once, and the result cache serves
+// every client. Frames (see api/wire.hpp):
+//
+//   request v1 <kind> ... end      one envelope, answered in arrival order
+//   request v2 <kind> <id> ...     pipelined envelope: handed to
+//                                  Session::submit as soon as it decodes,
+//                                  replied `response v2 <id> ...` the moment
+//                                  the slot completes — out of arrival order
+//                                  when a later request finishes first
+//   batch v1 <n> + n requests      heterogeneous Session::submit; per-slot
+//                                  priorities/deadlines honored -> batch
+//                                  header + n response frames in slot order
+//   control v1 <command> ...       ping | models | load | unload |
+//                                  cache-stats | cache [stats|persist|flush] |
+//                                  executor-stats | shutdown
+//                                  -> info frame (or an error response)
+//
+// Pipelining contract per connection: one writer mutex serializes whole
+// reply frames (no reordering buffer — a reply streams the moment its slot
+// lands), and at most `max_inflight` v2 frames are evaluating at once; the
+// reader stops pulling bytes off the socket until a slot drains, which is
+// what pushes backpressure to the client. v1 frames, batches and controls
+// are handled inline, so a v1-only client observes exactly the strict
+// arrival-order behavior of protocol v1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "api/api.hpp"
+
+namespace spivar::service {
+
+struct ServiceOptions {
+  std::size_t jobs = 1;                        ///< executor workers
+  std::optional<std::size_t> cache;            ///< result-cache capacity (nullopt = off)
+  std::string record;                          ///< request log to append ("" = off)
+  std::string cache_dir;                       ///< persistent tier directory ("" = off)
+  std::uint64_t cache_bytes = 256ull << 20;    ///< persistent tier capacity
+  bool fsync = false;                          ///< fsync record log + synchronous cache spills
+  /// Per-connection cap on v2 frames evaluating at once; the reader blocks
+  /// (stops consuming the socket) until a slot drains. Clamped to >= 1.
+  std::size_t max_inflight = 64;
+};
+
+/// Per-stream telemetry serve_stream reports when the stream ends — what
+/// the pipelining tests assert on and the tool ignores.
+struct StreamStats {
+  std::uint64_t frames = 0;             ///< frames read (requests, batches, controls)
+  std::uint64_t pipelined = 0;          ///< v2 request frames submitted
+  std::uint64_t backpressure_waits = 0; ///< reader stalls at max_inflight
+};
+
+/// The shared service state: one store, one executor, one session — every
+/// connection (and the replay loop) evaluates against the same models and
+/// the same result cache. Session's envelope surface is thread-safe, so
+/// connection threads share it directly.
+class Service {
+ public:
+  explicit Service(const ServiceOptions& options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// How v2 frames on a stream are evaluated. kPipelined is the live
+  /// connection mode (submit on decode, reply on completion); kOrdered
+  /// evaluates every frame inline in arrival order — what --replay and
+  /// --warm use so a recorded pipelined session reproduces one reply per
+  /// request deterministically (replies still carry their v2 frame ids).
+  enum class StreamMode { kPipelined, kOrdered };
+
+  /// Replays a recorded request log against the shared session, responses
+  /// discarded — run before accepting connections, this pre-populates both
+  /// cache tiers. Recording is suspended for the duration (warming from the
+  /// log being recorded would duplicate it every restart) and a shutdown
+  /// control inside the log is neutralized afterwards.
+  void warm(std::istream& in);
+
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Invoked once when a shutdown control arrives (the TCP loop uses it to
+  /// unblock accept()).
+  std::function<void()> on_shutdown;
+
+  /// Drives one stream of frames to EOF (or a shutdown control). Returns
+  /// when the stream ends and every in-flight slot has replied; concurrent
+  /// calls from several connection threads are safe. A frame whose handling
+  /// throws produces an error response instead of tearing down the
+  /// connection thread (and with it, the whole process).
+  StreamStats serve_stream(std::istream& in, std::ostream& out,
+                           StreamMode mode = StreamMode::kPipelined);
+
+  [[nodiscard]] api::Session& session() noexcept { return session_; }
+  [[nodiscard]] const std::shared_ptr<api::ModelStore>& store() const noexcept { return store_; }
+
+ private:
+  /// One connection's write side: whole reply frames under one mutex, so a
+  /// slot completing on an executor thread never interleaves bytes with the
+  /// reader thread's inline replies (or another slot's).
+  struct Writer {
+    std::ostream& out;
+    std::mutex mutex;
+    void write(const std::string& frame);
+  };
+
+  /// In-flight accounting for one pipelined stream.
+  struct Inflight {
+    std::mutex mutex;
+    std::condition_variable drained;
+    std::size_t count = 0;
+  };
+
+  void record_frame(const std::string& frame);
+  void handle_batch(std::size_t slots, std::istream& in, Writer& writer);
+  void handle_control(const api::wire::ControlCommand& control, Writer& writer);
+  void handle_cache_control(const api::wire::ControlCommand& control, Writer& writer);
+  void reply_info(Writer& writer, const std::string& text);
+  void reply_error(Writer& writer, const support::DiagnosticList& diagnostics);
+  void reply_error(Writer& writer, const std::string& message);
+  /// Submits one decoded v2 frame to the session; the slot callback writes
+  /// the tagged reply and releases its inflight token.
+  void submit_pipelined(api::AnyRequest request, std::uint64_t frame_id, Writer& writer,
+                        Inflight& inflight);
+  static std::string describe_model(const api::ModelInfo& info);
+
+  std::shared_ptr<api::ModelStore> store_;
+  std::shared_ptr<api::Executor> executor_;
+  api::Session session_;
+  std::size_t max_inflight_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex record_mutex_;
+  int record_fd_ = -1;  ///< O_APPEND request log; -1 = recording off
+  bool record_fsync_ = false;
+  std::atomic<bool> record_suspended_{false};  ///< true while warming
+};
+
+}  // namespace spivar::service

@@ -1,7 +1,8 @@
-// Minimal POSIX TCP plumbing shared by spivar_serve and spivar_cli's
-// `remote` mode: an RAII socket, an iostream adapter over a file
-// descriptor, and loopback-oriented listen/accept/connect helpers. The wire
-// protocol itself lives in api/wire — this header only moves its bytes.
+// Minimal POSIX TCP plumbing shared by the service layer, spivar_cli's
+// `remote` mode and the load generator: an RAII socket, an iostream adapter
+// over a file descriptor, and loopback-oriented listen/accept/connect
+// helpers. The wire protocol itself lives in api/wire — this header only
+// moves its bytes.
 #pragma once
 
 #include <arpa/inet.h>
@@ -20,7 +21,7 @@
 #include <string>
 #include <utility>
 
-namespace spivar::tools {
+namespace spivar::service {
 
 /// Owning socket descriptor; closes on destruction, movable.
 class Socket {
@@ -176,4 +177,4 @@ inline Socket connect_to(const Endpoint& endpoint) {
   return sock;
 }
 
-}  // namespace spivar::tools
+}  // namespace spivar::service

@@ -177,6 +177,43 @@ TEST(ExecutorScheduling, EarlierDeadlineDrainsFirstWithinAPriorityBand) {
   EXPECT_EQ(order[2], "none");
 }
 
+TEST(ExecutorScheduling, NestedFanOutYieldsToLaterTopLevelRequests) {
+  // Fan-out submitted from inside a pool task lands in the sub-band below
+  // independent batches of the same priority, so a top-level request that
+  // arrives later still overtakes the queued nested work — the starvation
+  // the pipelined serve path exposed (a wide compare fan-out absorbing
+  // every worker while one-task simulates waited behind it). Explicit
+  // priorities keep dominating: nested kHigh beats top-level kNormal.
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto record = [&order_mutex, &order](const char* tag) {
+    return [&order_mutex, &order, tag] {
+      std::lock_guard lock{order_mutex};
+      order.emplace_back(tag);
+    };
+  };
+  {
+    api::ThreadPoolExecutor executor{1};
+    std::promise<void> nested_queued;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    // Runs on the pool's only worker: batches submitted inside are nested.
+    executor.submit({[&executor, &nested_queued, gate, record] {
+      executor.submit({record("nested-normal")});
+      executor.submit({record("nested-high")}, {.priority = api::Priority::kHigh});
+      nested_queued.set_value();
+      gate.wait();
+    }});
+    nested_queued.get_future().wait();
+    executor.submit({record("top-normal")});  // arrives last, from outside
+    release.set_value();
+  }  // destructor drains the queue
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "nested-high");  // explicit priority outranks any band split
+  EXPECT_EQ(order[1], "top-normal");   // top-level beats nested within a priority
+  EXPECT_EQ(order[2], "nested-normal");
+}
+
 TEST(ExecutorScheduling, SerialExecutorAcceptsOptionsUnchanged) {
   api::SerialExecutor executor;
   std::vector<int> order;

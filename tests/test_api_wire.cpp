@@ -151,8 +151,69 @@ TEST(WireRequest, RejectsOldVersionWithLineNumber) {
   EXPECT_NE(decoded.error_summary().find("line 1"), std::string::npos);
   EXPECT_NE(decoded.error_summary().find("unsupported wire version"), std::string::npos);
 
-  const auto future = api::wire::decode_request("request v2 simulate\nend\n");
-  EXPECT_FALSE(future.ok());
+  const auto future = api::wire::decode_request("request v3 simulate\nend\n");
+  ASSERT_FALSE(future.ok());
+  EXPECT_NE(future.error_summary().find("unsupported wire version"), std::string::npos);
+}
+
+// --- v2 pipelined frames -----------------------------------------------------
+
+TEST(WireV2, RequestRoundTripsWithFrameId) {
+  AnyRequest request;
+  api::SimulateRequest simulate;
+  simulate.options.seed = 4;
+  request.payload = simulate;
+  request.target = "fig1";
+
+  const std::string frame = api::wire::encode(request, /*frame_id=*/901);
+  EXPECT_EQ(frame.rfind("request v2 simulate 901\n", 0), 0u) << frame;
+  EXPECT_EQ(api::wire::request_frame_id(frame), 901u);
+
+  // The body is the v1 body: decode ignores the id and yields the same
+  // envelope the v1 encoding would.
+  const auto decoded = api::wire::decode_request(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error_summary();
+  EXPECT_EQ(api::wire::encode(decoded.value()), api::wire::encode(request));
+  EXPECT_EQ(std::get<api::SimulateRequest>(decoded.value().payload).options.seed, 4u);
+}
+
+TEST(WireV2, ResponseCarriesItsFrameId) {
+  support::DiagnosticList diagnostics;
+  diagnostics.error("api-unknown-model", "nope");
+  const auto failure = api::Result<AnyResponse>::failure(diagnostics);
+  const std::string error_frame = api::wire::encode(failure, /*frame_id=*/7);
+  EXPECT_EQ(error_frame.rfind("response v2 7 error\n", 0), 0u) << error_frame;
+  EXPECT_EQ(api::wire::response_frame_id(error_frame), 7u);
+  // Body decodes exactly as the v1 error frame would.
+  const auto decoded = api::wire::decode_response(error_frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.diagnostics().items(), diagnostics.items());
+}
+
+TEST(WireV2, FrameIdPeeksAreTotalFunctions) {
+  // request_frame_id / response_frame_id never throw: anything that is not
+  // a well-formed v2 header of the right tag is nullopt — v1 frames,
+  // controls, garbage ids, empty input.
+  EXPECT_EQ(api::wire::request_frame_id("request v1 simulate\nend\n"), std::nullopt);
+  EXPECT_EQ(api::wire::request_frame_id("control v1 ping\n"), std::nullopt);
+  EXPECT_EQ(api::wire::request_frame_id("request v2 simulate banana\nend\n"), std::nullopt);
+  EXPECT_EQ(api::wire::request_frame_id("request v2 simulate\nend\n"), std::nullopt);
+  EXPECT_EQ(api::wire::request_frame_id(""), std::nullopt);
+  EXPECT_EQ(api::wire::response_frame_id("response v1 ok simulate\nend\n"), std::nullopt);
+  EXPECT_EQ(api::wire::response_frame_id("response v2 x ok simulate\nend\n"), std::nullopt);
+  EXPECT_EQ(api::wire::request_frame_id("request v2 simulate 12\nend\n"), 12u);
+  EXPECT_EQ(api::wire::response_frame_id("response v2 12 ok simulate\nend\n"), 12u);
+}
+
+TEST(WireV2, MissingOrMalformedIdIsALineNumberedError) {
+  const auto missing = api::wire::decode_request("request v2 simulate\nend\n");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.diagnostics().has_code(api::diag::kWireError));
+  EXPECT_NE(missing.error_summary().find("line 1"), std::string::npos);
+
+  const auto garbage = api::wire::decode_request("request v2 simulate banana\nend\n");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.error_summary().find("line 1"), std::string::npos);
 }
 
 TEST(WireRequest, RejectsUnknownKeysWithLineNumber) {

@@ -1,0 +1,82 @@
+// LatencyHistogram: exact recording below 64, bounded relative error above
+// (the log-bucket mantissa guarantee the loadgen percentiles rest on),
+// exact min/max, and merge-by-addition across per-connection histograms.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/latency_histogram.hpp"
+
+namespace spivar {
+namespace {
+
+using support::LatencyHistogram;
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  const LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
+  EXPECT_EQ(histogram.quantile(0.5), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram histogram;
+  for (std::uint64_t v = 0; v < 64; ++v) histogram.record(v);
+  EXPECT_EQ(histogram.count(), 64u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 63u);
+  // Below 64 every value has its own slot: quantiles are exact.
+  EXPECT_EQ(histogram.quantile(0.5), 31u);
+  EXPECT_EQ(histogram.quantile(1.0), 63u);
+  EXPECT_NEAR(histogram.mean(), 31.5, 1e-9);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorIsBounded) {
+  LatencyHistogram histogram;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) histogram.record(v);
+  // 6 mantissa bits bound the relative bucket width by 1/64 (~1.6%); allow
+  // 2% for the rank rounding on top.
+  const auto expect_near = [&](double q, double expected) {
+    const auto value = static_cast<double>(histogram.quantile(q));
+    EXPECT_NEAR(value, expected, expected * 0.02) << "q=" << q;
+  };
+  expect_near(0.50, 50'000.0);
+  expect_near(0.90, 90'000.0);
+  expect_near(0.99, 99'000.0);
+  expect_near(0.999, 99'900.0);
+  EXPECT_EQ(histogram.min(), 1u);
+  EXPECT_EQ(histogram.max(), 100'000u);
+  EXPECT_NEAR(histogram.mean(), 50'000.5, 50'000.5 * 0.02);
+}
+
+TEST(LatencyHistogram, ExtremesClampToObservedMinMax) {
+  LatencyHistogram histogram;
+  histogram.record(1'000'000);
+  histogram.record(3);
+  // One sample per extreme: p0/p100 must be the recorded values, not the
+  // bucket bounds they landed in.
+  EXPECT_EQ(histogram.quantile(0.0), 3u);
+  EXPECT_EQ(histogram.quantile(1.0), 1'000'000u);
+}
+
+TEST(LatencyHistogram, MergeAddsCountsAndWidensExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (std::uint64_t v = 0; v < 100; ++v) a.record(10);
+  for (std::uint64_t v = 0; v < 100; ++v) b.record(1'000);
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 201u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_GE(a.max(), 1'000u);
+  // Half the mass at 10, half near 1000: the median sits in the low half
+  // and p90 in the high half.
+  EXPECT_EQ(a.quantile(0.25), 10u);
+  const auto p90 = static_cast<double>(a.quantile(0.90));
+  EXPECT_NEAR(p90, 1'000.0, 1'000.0 * 0.02);
+}
+
+}  // namespace
+}  // namespace spivar

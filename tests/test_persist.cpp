@@ -330,6 +330,7 @@ TEST(TieredCache, InsertsWriteThroughAndContentlessEntriesStayOffDisk) {
   cache.insert(key(2, 0xc1), api::Result<api::SimulateResponse>::success({}), 10);
   cache.insert(key(3, 0), api::Result<api::SimulateResponse>::success({}), 10);  // no identity
 
+  cache.drain_spills();  // write-through is async by default; settle before counting
   const auto stats = cache.stats();
   EXPECT_EQ(stats.entries, 3u);
   EXPECT_EQ(stats.disk_spills, 2u);   // the content-less entry never touches disk
@@ -344,8 +345,9 @@ TEST(TieredCache, EvictedEntriesPromoteBackFromDiskBitIdentical) {
   Session session;
   // Single shard, capacity 2, classic LRU: seed 1 is deterministically the
   // eviction victim of seed 3's insert.
+  // Synchronous spills: the test counts disk writes at exact points.
   session.enable_cache({.capacity = 2, .shards = 1, .cost_window = 1,
-                        .persist = PersistConfig{.dir = dir.str()}});
+                        .persist = PersistConfig{.dir = dir.str()}, .async_spill = false});
 
   const auto cold = reference.load_builtin("fig1");
   const auto warm = session.load_builtin("fig1");
@@ -378,8 +380,10 @@ TEST(TieredCache, EvictedEntriesPromoteBackFromDiskBitIdentical) {
 
 TEST(TieredCache, RestartReHitsEveryKindBitIdenticalWithZeroReEvaluations) {
   TempDir dir;
+  // Synchronous spills: the mid-life disk_spills count below is exact.
   const api::CacheConfig config{.capacity = 64,
-                                .persist = PersistConfig{.dir = dir.str()}};
+                                .persist = PersistConfig{.dir = dir.str()},
+                                .async_spill = false};
 
   const auto run_all = [](Session& session, api::ModelId id) {
     api::SimulateRequest simulate{.model = id};
@@ -456,6 +460,7 @@ TEST(TieredCache, CorruptEntryFallsThroughToLiveEvaluation) {
   // ...and the slot heals through a live (re)insert like any cold miss.
   cache.insert(key, api::Result<api::SimulateResponse>::success({}), 10);
   EXPECT_NE(cache.find<api::SimulateResponse>(key), nullptr);
+  cache.drain_spills();  // let the healing write-through land
   EXPECT_EQ(cache.stats().disk_entries, 1u);
 }
 
@@ -466,6 +471,7 @@ TEST(TieredCache, ClearKeepsDiskUnlessAskedAndFlushWipesBothTiers) {
                                   .kind = api::RequestKind::kCompare,
                                   .fingerprint = 1, .content = 2};
   cache.insert(key, api::Result<api::CompareResponse>::success({}), 10);
+  cache.drain_spills();  // let the async write-through land before clearing
 
   cache.clear(/*include_disk=*/false);
   EXPECT_EQ(cache.stats().entries, 0u);
@@ -477,6 +483,71 @@ TEST(TieredCache, ClearKeepsDiskUnlessAskedAndFlushWipesBothTiers) {
   EXPECT_EQ(cache.stats().disk_entries, 0u);
   EXPECT_EQ(cache.find<api::CompareResponse>(key), nullptr);
   EXPECT_TRUE(dir.entry_files().empty());
+}
+
+// --- async spill queue -------------------------------------------------------
+
+TEST(AsyncSpill, QueuedWriteThroughLandsOnDiskAfterDrain) {
+  TempDir dir;
+  api::ResultCache cache{{.capacity = 8, .persist = PersistConfig{.dir = dir.str()}}};
+  const auto key = [](std::uint64_t fingerprint) {
+    return api::ResultCache::Key{.model = 1, .generation = 1,
+                                 .kind = api::RequestKind::kSimulate,
+                                 .fingerprint = fingerprint, .content = 0xabc};
+  };
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    cache.insert(key(i), api::Result<api::SimulateResponse>::success({}), 10);
+  }
+  cache.drain_spills();
+  const auto stats = cache.stats();
+  EXPECT_TRUE(stats.disk_async);
+  EXPECT_EQ(stats.disk_queue_depth, 0u);    // drained means drained
+  EXPECT_GT(stats.disk_queue_capacity, 0u);
+  EXPECT_EQ(stats.disk_entries, 4u);
+  EXPECT_EQ(stats.disk_spills, 4u);
+}
+
+TEST(AsyncSpill, OverflowDropsSpillsInsteadOfBlockingAndCountsThem) {
+  TempDir dir;
+  // A one-slot queue under a burst of inserts: some spills are written by the
+  // drain thread, the rest are dropped at the full queue. The conservation
+  // law is exact either way: every write-through spill is stored or counted
+  // dropped — never silently lost, and the inserter never blocks.
+  api::ResultCache cache{{.capacity = 256, .shards = 1,
+                          .persist = PersistConfig{.dir = dir.str()},
+                          .spill_queue = 1}};
+  constexpr std::uint64_t kInserts = 64;
+  for (std::uint64_t i = 1; i <= kInserts; ++i) {
+    const api::ResultCache::Key key{.model = 1, .generation = 1,
+                                    .kind = api::RequestKind::kSimulate,
+                                    .fingerprint = i, .content = 0xbeef};
+    cache.insert(key, api::Result<api::SimulateResponse>::success({}), 10);
+  }
+  cache.drain_spills();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.disk_queue_capacity, 1u);
+  EXPECT_EQ(stats.disk_spills + stats.disk_dropped_spills, kInserts);
+  // persist_all backfills exactly what the overflow dropped (synchronously).
+  EXPECT_EQ(cache.persist_all(), stats.disk_dropped_spills);
+  EXPECT_EQ(cache.stats().disk_entries, kInserts);
+}
+
+TEST(AsyncSpill, FsyncAlwaysForcesSynchronousSpills) {
+  TempDir dir;
+  // Durability contract: with FsyncPolicy::kAlways, async_spill is ignored —
+  // an insert returns only after its entry is on disk (and fsynced).
+  api::ResultCache cache{{.capacity = 8,
+                          .persist = PersistConfig{
+                              .dir = dir.str(),
+                              .fsync_policy = PersistConfig::FsyncPolicy::kAlways}}};
+  const api::ResultCache::Key key{.model = 1, .generation = 1,
+                                  .kind = api::RequestKind::kSimulate,
+                                  .fingerprint = 1, .content = 0xf00d};
+  cache.insert(key, api::Result<api::SimulateResponse>::success({}), 10);
+  const auto stats = cache.stats();  // no drain: the write already happened
+  EXPECT_FALSE(stats.disk_async);
+  EXPECT_EQ(stats.disk_entries, 1u);
+  EXPECT_EQ(stats.disk_spills, 1u);
 }
 
 // --- adaptive cost window ----------------------------------------------------
@@ -605,6 +676,7 @@ TEST(TieredCache, ConcurrentInsertFindAndAdminAreRaceFree) {
   });
   for (auto& worker : workers) worker.join();
 
+  cache.drain_spills();
   const auto stats = cache.stats();  // still consistent and serving
   EXPECT_GT(stats.disk_spills, 0u);
   EXPECT_LE(stats.entries, 32u);

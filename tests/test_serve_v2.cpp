@@ -1,0 +1,280 @@
+// The pipelined service loop (service::Service): out-of-order v2 completion
+// (a slow compare ahead of K fast simulates must not delay their replies),
+// per-connection backpressure at --max-inflight, strict v1 compatibility on
+// the same server, malformed v2 frames answered without killing the stream,
+// and --record/--replay fidelity for pipelined traffic (ids preserved,
+// replay deterministic and byte-identical).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api.hpp"
+#include "api/wire.hpp"
+#include "service/service.hpp"
+
+namespace spivar {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("spivar_serve_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+api::AnyRequest simulate_envelope(const std::string& target, std::uint64_t seed = 1) {
+  api::SimulateRequest simulate;
+  simulate.options.seed = seed;
+  api::AnyRequest envelope;
+  envelope.payload = simulate;
+  envelope.target = target;
+  return envelope;
+}
+
+/// A deterministically slow request: all-orders strategy comparison on a
+/// corpus-minted model whose decision space takes ~250 ms — two orders of
+/// magnitude above a fig1 simulate, so completion-order assertions cannot
+/// flake on scheduler jitter.
+api::AnyRequest slow_compare_envelope() {
+  api::CompareRequest compare;
+  compare.all_orders = true;
+  api::AnyRequest envelope;
+  envelope.payload = compare;
+  envelope.target = "sweep/i3v3c2-s1";
+  return envelope;
+}
+
+/// Splits a reply stream back into frames and pairs each with its v2 frame
+/// id (nullopt = an untagged v1 reply).
+std::vector<std::pair<std::optional<std::uint64_t>, std::string>> parse_replies(
+    const std::string& stream) {
+  std::istringstream in{stream};
+  std::vector<std::pair<std::optional<std::uint64_t>, std::string>> replies;
+  while (const auto frame = api::wire::read_frame(in)) {
+    replies.emplace_back(api::wire::response_frame_id(*frame), *frame);
+  }
+  return replies;
+}
+
+// --- out-of-order completion -------------------------------------------------
+
+TEST(PipelinedServe, SlowCompareAheadDoesNotDelaySimulateReplies) {
+  service::Service svc{{.jobs = 2}};
+
+  // Frame 1 is the slow compare; frames 2..5 are fast simulates queued
+  // behind it on the wire. Pipelining means the simulates' replies stream
+  // back while the compare is still evaluating: the time to every simulate
+  // reply is bounded by the simulates themselves, not the compare. The
+  // reply order proves it — all four simulate replies precede the compare's.
+  std::string input = api::wire::encode(slow_compare_envelope(), 1);
+  for (std::uint64_t id = 2; id <= 5; ++id) {
+    input += api::wire::encode(simulate_envelope("fig1", id), id);
+  }
+  std::istringstream in{input};
+  std::ostringstream out;
+  const service::StreamStats stats = svc.serve_stream(in, out);
+
+  EXPECT_EQ(stats.frames, 5u);
+  EXPECT_EQ(stats.pipelined, 5u);
+
+  const auto replies = parse_replies(out.str());
+  ASSERT_EQ(replies.size(), 5u);
+  std::vector<std::uint64_t> order;
+  for (const auto& [id, frame] : replies) {
+    ASSERT_TRUE(id.has_value()) << frame;
+    order.push_back(*id);
+    EXPECT_TRUE(api::wire::decode_response(frame).ok()) << frame;
+  }
+  // Every id answered exactly once...
+  std::vector<std::uint64_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  // ...and the slow compare's reply comes last: the fast replies overtook it.
+  EXPECT_EQ(order.back(), 1u) << "compare reply did not arrive last";
+}
+
+// --- backpressure ------------------------------------------------------------
+
+TEST(PipelinedServe, BackpressureEngagesAtMaxInflight) {
+  service::Service svc{{.jobs = 2, .max_inflight = 1}};
+
+  std::string input;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    input += api::wire::encode(simulate_envelope("fig1", id), id);
+  }
+  std::istringstream in{input};
+  std::ostringstream out;
+  const service::StreamStats stats = svc.serve_stream(in, out);
+
+  // The reader had frames 2..4 ready while slot 1 was still evaluating: it
+  // must have stalled (stopped consuming the stream) before each submit.
+  EXPECT_EQ(stats.pipelined, 4u);
+  EXPECT_GE(stats.backpressure_waits, 1u);
+
+  // max-inflight 1 degenerates to strict ordering — replies in request order.
+  const auto replies = parse_replies(out.str());
+  ASSERT_EQ(replies.size(), 4u);
+  for (std::uint64_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].first, i + 1) << "reply " << i << " out of order";
+  }
+}
+
+// --- v1 compatibility --------------------------------------------------------
+
+TEST(PipelinedServe, V1ClientsKeepStrictArrivalOrder) {
+  service::Service svc{{.jobs = 4}};
+
+  // v1 frames on a pipelining-capable server: handled inline, answered in
+  // arrival order, replies untagged — indistinguishable from protocol v1.
+  std::string input;
+  input += api::wire::encode(simulate_envelope("fig2", 1));
+  input += api::wire::encode(simulate_envelope("fig1", 2));
+  input += api::wire::control_frame("ping", {});
+  std::istringstream in{input};
+  std::ostringstream out;
+  const service::StreamStats stats = svc.serve_stream(in, out);
+
+  EXPECT_EQ(stats.frames, 3u);
+  EXPECT_EQ(stats.pipelined, 0u);
+  EXPECT_EQ(stats.backpressure_waits, 0u);
+
+  std::istringstream replies{out.str()};
+  const auto first = api::wire::read_frame(replies);
+  const auto second = api::wire::read_frame(replies);
+  const auto third = api::wire::read_frame(replies);
+  ASSERT_TRUE(first && second && third);
+  EXPECT_EQ(first->rfind("response v1 ok simulate", 0), 0u) << *first;
+  EXPECT_EQ(api::wire::response_frame_id(*first), std::nullopt);
+  const auto fig2 = api::wire::decode_response(*first);
+  ASSERT_TRUE(fig2.ok());
+  EXPECT_TRUE(std::holds_alternative<api::SimulateResponse>(fig2.value()));
+  EXPECT_EQ(api::wire::response_frame_id(*second), std::nullopt);
+  EXPECT_EQ(api::wire::decode_info(*third).value(), "pong");
+}
+
+// --- malformed v2 frames -----------------------------------------------------
+
+TEST(PipelinedServe, MalformedV2FramesAnswerWithoutKillingTheStream) {
+  service::Service svc{{.jobs = 2}};
+
+  std::string input;
+  // Body error on line 2: decodable header, so the error reply carries the
+  // frame id.
+  input += "request v2 simulate 5\nfroznar 1\nend\n";
+  // Unparseable frame id: still answered (untagged, like a v1 error) with
+  // the header's line number.
+  input += "request v2 simulate banana\nend\n";
+  // And the connection is still alive for a well-formed frame.
+  input += api::wire::encode(simulate_envelope("fig1", 1), 9);
+  std::istringstream in{input};
+  std::ostringstream out;
+  const service::StreamStats stats = svc.serve_stream(in, out);
+
+  EXPECT_EQ(stats.frames, 3u);
+  const auto replies = parse_replies(out.str());
+  ASSERT_EQ(replies.size(), 3u);
+
+  const auto find_reply = [&](std::optional<std::uint64_t> id) -> const std::string& {
+    for (const auto& [reply_id, frame] : replies) {
+      if (reply_id == id) return frame;
+    }
+    static const std::string missing;
+    ADD_FAILURE() << "no reply tagged " << (id ? std::to_string(*id) : "<none>");
+    return missing;
+  };
+
+  const auto bad_body = api::wire::decode_response(find_reply(5));
+  ASSERT_FALSE(bad_body.ok());
+  EXPECT_TRUE(bad_body.diagnostics().has_code(api::diag::kWireError));
+  EXPECT_NE(bad_body.error_summary().find("line 2"), std::string::npos);
+  EXPECT_NE(bad_body.error_summary().find("froznar"), std::string::npos);
+
+  const auto bad_id = api::wire::decode_response(find_reply(std::nullopt));
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_NE(bad_id.error_summary().find("line 1"), std::string::npos);
+
+  EXPECT_TRUE(api::wire::decode_response(find_reply(9)).ok());
+}
+
+// --- record / replay for pipelined traffic -----------------------------------
+
+TEST(PipelinedServe, RecordedV2TrafficReplaysInSubmissionOrderWithIds) {
+  TempDir dir;
+  const std::string log_path = (dir.path() / "requests.log").string();
+
+  std::string input;
+  api::AnyRequest compare;
+  compare.payload = api::CompareRequest{};
+  compare.target = "fig2";
+  input += api::wire::encode(compare, 1);
+  for (std::uint64_t id = 2; id <= 4; ++id) {
+    input += api::wire::encode(simulate_envelope("fig1", id), id);
+  }
+  {
+    service::Service svc{{.jobs = 2, .record = log_path}};
+    std::istringstream in{input};
+    std::ostringstream out;
+    svc.serve_stream(in, out);
+    EXPECT_EQ(parse_replies(out.str()).size(), 4u);
+  }
+
+  // The log holds the whole v2 frames — ids included — in the order the
+  // reader pulled them off the stream (the submission order), regardless of
+  // the order their replies completed.
+  std::ifstream recorded{log_path};
+  std::vector<std::uint64_t> logged;
+  while (const auto frame = api::wire::read_frame(recorded)) {
+    const auto id = api::wire::request_frame_id(*frame);
+    ASSERT_TRUE(id.has_value()) << *frame;
+    logged.push_back(*id);
+  }
+  EXPECT_EQ(logged, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+
+  // Replay (ordered mode) answers one frame at a time in recorded order,
+  // replies still tagged — and is deterministic: two replays byte-match.
+  const auto replay = [&] {
+    service::Service svc{{.jobs = 2}};
+    std::ifstream log{log_path};
+    std::ostringstream out;
+    svc.serve_stream(log, out, service::Service::StreamMode::kOrdered);
+    return out.str();
+  };
+  const std::string first = replay();
+  const auto replies = parse_replies(first);
+  ASSERT_EQ(replies.size(), 4u);
+  for (std::uint64_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].first, i + 1) << "replay reply " << i << " out of order";
+    EXPECT_TRUE(api::wire::decode_response(replies[i].second).ok());
+  }
+  EXPECT_EQ(replay(), first);
+}
+
+}  // namespace
+}  // namespace spivar

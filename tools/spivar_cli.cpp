@@ -72,7 +72,7 @@
 #include "corpus/sweep.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
-#include "tcp.hpp"
+#include "service/tcp.hpp"
 #include "variant/textio.hpp"
 
 namespace {
@@ -850,6 +850,17 @@ int run_cli(const std::string& command, const std::vector<std::string>& rest, Cl
 // run's stdout is byte-identical to the local command against the same
 // store. Segments chained with --then share one connection, i.e. one
 // server-side session.
+//
+// Consecutive eval segments are *pipelined*: each is sent as a `request v2`
+// frame tagged with its position the moment it is built, so the server
+// overlaps their evaluation (given --jobs > 1) instead of round-tripping
+// one at a time. Replies may arrive out of order; they are buffered by
+// frame id and printed in segment order, so stdout is unchanged from the
+// sequential protocol. A control segment (ping, load, cache, ...) is a
+// synchronization point: every outstanding reply is drained first. A
+// failing segment stops the chain at the next synchronization point — later
+// eval segments already in flight still evaluate server-side, but their
+// replies print and the first failure's exit code wins.
 
 template <class... Fns>
 struct overloaded : Fns... {
@@ -891,7 +902,15 @@ int remote_control(std::istream& in, std::ostream& out, const std::string& comma
   return 1;
 }
 
-int run_remote_segment(std::istream& in, std::ostream& out, const std::string& command,
+/// True for commands that round-trip a control frame (everything that is
+/// not an eval envelope).
+bool is_remote_control(const std::string& command) {
+  return command == "ping" || command == "models" || command == "cache-stats" ||
+         command == "executor-stats" || command == "shutdown" || command == "cache" ||
+         command == "load" || command == "unload";
+}
+
+int run_remote_control(std::istream& in, std::ostream& out, const std::string& command,
                        const std::vector<std::string>& rest) {
   if (command == "ping" || command == "models" || command == "cache-stats" ||
       command == "executor-stats" || command == "shutdown") {
@@ -920,7 +939,14 @@ int run_remote_segment(std::istream& in, std::ostream& out, const std::string& c
     }
     return remote_control(in, out, command, args);
   }
+  throw UsageError("unknown remote control '" + command + "'");
+}
 
+/// Builds the wire envelope for one eval segment (simulate|analyze|explore|
+/// pareto|compare) and returns the segment's flags for printing its reply.
+api::AnyRequest build_remote_envelope(const std::string& command,
+                                      const std::vector<std::string>& rest,
+                                      std::vector<std::string>& flags_out) {
   if (rest.empty() || rest[0].rfind("--", 0) == 0) {
     throw UsageError("expected a model (built-in name or .spit path) before options");
   }
@@ -966,40 +992,94 @@ int run_remote_segment(std::istream& in, std::ostream& out, const std::string& c
   envelope.target = spec;
   envelope.target_options = flag_values(flags, "--opt");
   envelope.options = parse_submit_options(flags);
+  flags_out = flags;
+  return envelope;
+}
 
-  out << api::wire::encode(envelope) << std::flush;
-  const auto frame = api::wire::read_frame(in);
-  if (!frame) {
-    std::cerr << "error: connection closed before reply\n";
-    return 1;
+/// One pipelined eval segment awaiting its v2 reply.
+struct PendingReply {
+  std::uint64_t id;
+  std::vector<std::string> flags;  ///< print options for the decoded response
+};
+
+/// Reads frames until the reply tagged `id` arrives, buffering replies to
+/// other in-flight frames (out-of-order completion is the point of v2).
+std::optional<std::string> await_reply(std::istream& in, std::uint64_t id,
+                                       std::map<std::uint64_t, std::string>& arrived) {
+  if (const auto hit = arrived.find(id); hit != arrived.end()) {
+    std::string frame = std::move(hit->second);
+    arrived.erase(hit);
+    return frame;
   }
-  const auto result = api::wire::decode_response(*frame);
-  if (report_failure(result)) return 1;
-  return print_response(result.value(), flags);
+  while (auto frame = api::wire::read_frame(in)) {
+    const auto tagged = api::wire::response_frame_id(*frame);
+    if (tagged == id) return frame;
+    if (tagged) arrived.emplace(*tagged, std::move(*frame));
+    // An untagged frame mid-pipeline is a protocol violation; skip it rather
+    // than stall on a reply that will never match.
+  }
+  return std::nullopt;
+}
+
+/// Prints every outstanding pipelined reply in segment order. Returns the
+/// first nonzero segment status (but always drains — the frames are on the
+/// wire regardless).
+int drain_pending(std::istream& in, std::vector<PendingReply>& pending,
+                  std::map<std::uint64_t, std::string>& arrived) {
+  int rc = 0;
+  for (PendingReply& next : pending) {
+    const auto frame = await_reply(in, next.id, arrived);
+    if (!frame) {
+      std::cerr << "error: connection closed before reply\n";
+      return 1;
+    }
+    const auto result = api::wire::decode_response(*frame);
+    int segment_rc = 0;
+    if (report_failure(result)) {
+      segment_rc = 1;
+    } else {
+      segment_rc = print_response(result.value(), next.flags);
+    }
+    if (rc == 0) rc = segment_rc;
+  }
+  pending.clear();
+  return rc;
 }
 
 int run_remote(const std::string& endpoint_spec,
                const std::vector<std::vector<std::string>>& segments) {
-  const auto endpoint = tools::parse_endpoint(endpoint_spec);
+  const auto endpoint = service::parse_endpoint(endpoint_spec);
   if (!endpoint) {
     std::cerr << "error: invalid endpoint '" << endpoint_spec << "' (expected host:port)\n";
     return 2;
   }
-  tools::Socket sock = tools::connect_to(*endpoint);
+  service::Socket sock = service::connect_to(*endpoint);
   if (!sock.valid()) {
     std::cerr << "error: cannot connect to " << endpoint_spec << "\n";
     return 1;
   }
-  tools::FdStreamBuf buffer{sock.fd()};
+  service::FdStreamBuf buffer{sock.fd()};
   std::istream in{&buffer};
   std::ostream out{&buffer};
+  std::vector<PendingReply> pending;
+  std::map<std::uint64_t, std::string> arrived;
+  std::uint64_t next_id = 0;
   for (const auto& segment : segments) {
     if (segment.empty()) return usage();
     const std::vector<std::string> rest(segment.begin() + 1, segment.end());
-    const int rc = run_remote_segment(in, out, segment[0], rest);
-    if (rc != 0) return rc;
+    if (is_remote_control(segment[0])) {
+      // Controls synchronize: outstanding replies print first, so segment
+      // output order matches the command line exactly.
+      if (const int rc = drain_pending(in, pending, arrived); rc != 0) return rc;
+      if (const int rc = run_remote_control(in, out, segment[0], rest); rc != 0) return rc;
+      continue;
+    }
+    std::vector<std::string> flags;
+    const api::AnyRequest envelope = build_remote_envelope(segment[0], rest, flags);
+    out << api::wire::encode(envelope, ++next_id) << std::flush;
+    pending.push_back({next_id, std::move(flags)});
   }
-  return 0;
+  return drain_pending(in, pending, arrived);
 }
 
 }  // namespace

@@ -35,7 +35,7 @@
 #include "corpus/sweep.hpp"
 #include "models/synthetic.hpp"
 #include "support/json.hpp"
-#include "tcp.hpp"
+#include "service/tcp.hpp"
 
 namespace {
 
@@ -43,7 +43,7 @@ namespace api = spivar::api;
 namespace corpus = spivar::corpus;
 namespace models = spivar::models;
 namespace synth = spivar::synth;
-namespace tools = spivar::tools;
+namespace service = spivar::service;
 
 using spivar::support::JsonWriter;
 
@@ -201,11 +201,11 @@ class LocalBackend final : public Backend {
 class RemoteBackend final : public Backend {
  public:
   explicit RemoteBackend(const std::string& endpoint_spec) {
-    const auto endpoint = tools::parse_endpoint(endpoint_spec);
+    const auto endpoint = service::parse_endpoint(endpoint_spec);
     if (!endpoint) throw UsageError{"bad --remote endpoint '" + endpoint_spec + "'"};
-    socket_ = tools::connect_to(*endpoint);
+    socket_ = service::connect_to(*endpoint);
     if (!socket_.valid()) throw UsageError{"cannot connect to " + endpoint_spec};
-    buffer_ = std::make_unique<tools::FdStreamBuf>(socket_.fd());
+    buffer_ = std::make_unique<service::FdStreamBuf>(socket_.fd());
     stream_ = std::make_unique<std::iostream>(buffer_.get());
     endpoint_ = endpoint_spec;
   }
@@ -222,8 +222,8 @@ class RemoteBackend final : public Backend {
   [[nodiscard]] std::string name() const override { return "remote:" + endpoint_; }
 
  private:
-  tools::Socket socket_;
-  std::unique_ptr<tools::FdStreamBuf> buffer_;
+  service::Socket socket_;
+  std::unique_ptr<service::FdStreamBuf> buffer_;
   std::unique_ptr<std::iostream> stream_;
   std::string endpoint_;
 };

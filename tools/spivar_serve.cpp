@@ -1,5 +1,7 @@
 // spivar_serve — the cross-process service front end: a wire-protocol
-// request/response loop over one shared ModelStore + executor.
+// request/response loop over one shared ModelStore + executor. The loop
+// itself lives in src/service/service.{hpp,cpp}; this file is argument
+// parsing and the TCP accept loop.
 //
 //   spivar_serve                          frames on stdin/stdout
 //   spivar_serve --port N                 TCP on 127.0.0.1:N (0 = ephemeral;
@@ -9,21 +11,9 @@
 //
 // Options: --jobs N (executor workers), --cache N (result-cache capacity),
 // --once (exit after the first connection closes), --record FILE (append
-// every received frame — the log --replay consumes).
-//
-// Every connection shares ONE Session over ONE ModelStore and executor, so
-// a model any client loads (or names via a request's target spec) is built
-// once, its synthesis setup is memoized once, and the result cache serves
-// every client. Frames (see api/wire.hpp):
-//
-//   request v1 <kind> ... end      one envelope  -> response frame
-//   batch v1 <n> + n requests      heterogeneous Session::submit; per-slot
-//                                  priorities/deadlines honored -> batch
-//                                  header + n response frames in slot order
-//   control v1 <command> ...       ping | models | load | unload |
-//                                  cache-stats | cache [stats|persist|flush] |
-//                                  executor-stats | shutdown
-//                                  -> info frame (or an error response)
+// every received frame — the log --replay consumes), --max-inflight N
+// (per-connection cap on pipelined v2 frames evaluating at once; the reader
+// stops consuming the socket until a slot drains).
 //
 // Persistence: --cache-dir DIR attaches a durable second cache tier under
 // DIR (entries keyed by model *content* fingerprint, so a restarted server
@@ -31,9 +21,9 @@
 // --record log against the shared session *before* accepting connections,
 // pre-populating both tiers. The record log is written through the OS per
 // frame (one write() each), so a killed server still leaves a usable
-// --warm/--replay input; --fsync additionally fsyncs the log and every
-// cache entry write.
-#include <fcntl.h>
+// --warm/--replay input; --fsync additionally fsyncs the log and makes
+// every cache entry write synchronous + fsynced (without it spills drain on
+// a background thread, off the request path).
 #include <unistd.h>
 
 #include <atomic>
@@ -41,12 +31,10 @@
 #include <charconv>
 #include <chrono>
 #include <csignal>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <functional>
-#include <limits>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -55,9 +43,8 @@
 #include <utility>
 #include <vector>
 
-#include "api/api.hpp"
-#include "api/wire.hpp"
-#include "tcp.hpp"
+#include "service/service.hpp"
+#include "service/tcp.hpp"
 
 namespace {
 
@@ -65,364 +52,40 @@ using namespace spivar;
 
 int usage() {
   std::cerr << "usage: spivar_serve [--port N] [--jobs N] [--cache N] [--once]\n"
-               "                    [--cache-dir DIR] [--cache-bytes N] [--fsync]\n"
-               "                    [--record FILE] [--replay FILE] [--warm FILE]\n"
+               "                    [--max-inflight N] [--cache-dir DIR] [--cache-bytes N]\n"
+               "                    [--fsync] [--record FILE] [--replay FILE] [--warm FILE]\n"
                "       default: wire frames on stdin/stdout; --port serves TCP on\n"
                "       127.0.0.1:N (0 picks an ephemeral port); --replay processes a\n"
                "       recorded request log and writes the responses to stdout;\n"
                "       --cache-dir persists cached results under DIR (implies --cache);\n"
                "       --warm replays a recorded request log into the cache tiers\n"
-               "       before serving\n";
+               "       before serving; --max-inflight caps pipelined (request v2)\n"
+               "       frames evaluating per connection\n";
   return 2;
 }
 
 struct ServeOptions {
+  service::ServiceOptions service;
   std::optional<std::uint16_t> port;
-  std::size_t jobs = 1;
-  std::optional<std::size_t> cache;
   bool once = false;
-  std::string record;
   std::string replay;
-  std::string cache_dir;                       ///< persistent tier directory ("" = off)
-  std::uint64_t cache_bytes = 256ull << 20;    ///< persistent tier capacity
-  bool fsync = false;                          ///< fsync record log + cache entries
-  std::string warm;                            ///< request log replayed before serving
+  std::string warm;  ///< request log replayed before serving
 };
 
-/// The shared service state: one store, one executor, one session — every
-/// connection (and the replay loop) evaluates against the same models and
-/// the same result cache. Session's envelope surface is thread-safe, so
-/// connection threads share it directly.
-class Service {
- public:
-  explicit Service(const ServeOptions& options)
-      : store_(std::make_shared<api::ModelStore>()),
-        executor_(api::make_executor(options.jobs)),
-        session_(store_, executor_) {
-    if (options.cache || !options.cache_dir.empty()) {
-      api::CacheConfig config;
-      config.capacity = options.cache.value_or(1024);
-      // The service is the long-running front end, so let the cost window
-      // tune itself to whatever workload the connections bring.
-      config.adaptive_window = true;
-      if (!options.cache_dir.empty()) {
-        config.persist = persist::PersistConfig{
-            .dir = options.cache_dir,
-            .capacity_bytes = options.cache_bytes,
-            .fsync_policy = options.fsync ? persist::PersistConfig::FsyncPolicy::kAlways
-                                          : persist::PersistConfig::FsyncPolicy::kNever};
-      }
-      store_->enable_cache(config);
-    }
-    if (!options.record.empty()) {
-      // POSIX append fd, one write() per frame: the log survives a killed
-      // server frame-for-frame (no userspace buffering to lose), and
-      // O_APPEND keeps concurrent connection threads' frames whole.
-      record_fd_ = ::open(options.record.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-      if (record_fd_ < 0) {
-        std::cerr << "warning: cannot open record file '" << options.record << "'\n";
-      }
-      record_fsync_ = options.fsync;
-    }
-  }
-
-  ~Service() {
-    if (record_fd_ >= 0) ::close(record_fd_);
-  }
-
-  /// Replays a recorded request log against the shared session, responses
-  /// discarded — run before accepting connections, this pre-populates both
-  /// cache tiers. Recording is suspended for the duration (warming from the
-  /// log being recorded would duplicate it every restart) and a shutdown
-  /// control inside the log is neutralized afterwards.
-  void warm(std::istream& in) {
-    const auto before = store_->cache_stats();
-    record_suspended_.store(true, std::memory_order_release);
-    std::ostream null{nullptr};
-    serve_stream(in, null);
-    record_suspended_.store(false, std::memory_order_release);
-    shutdown_.store(false, std::memory_order_release);
-    const auto after = store_->cache_stats();
-    if (before && after) {
-      std::cerr << "warmed: " << (after->entries - before->entries) << " entries in memory, "
-                << after->disk_entries << " on disk (" << after->disk_hits
-                << " served from disk)\n";
-    }
-  }
-
-  [[nodiscard]] bool shutdown_requested() const noexcept {
-    return shutdown_.load(std::memory_order_acquire);
-  }
-
-  /// Invoked once when a shutdown control arrives (the TCP loop uses it to
-  /// unblock accept()).
-  std::function<void()> on_shutdown;
-
-  /// Drives one stream of frames to EOF (or a shutdown control). Returns
-  /// when the stream ends; concurrent calls from several connection
-  /// threads are safe. A frame whose handling throws produces an error
-  /// response instead of tearing down the connection thread (and with it,
-  /// the whole process).
-  void serve_stream(std::istream& in, std::ostream& out) {
-    while (!shutdown_requested()) {
-      const auto frame = api::wire::read_frame(in);
-      if (!frame) break;
-      try {
-        record_frame(*frame);
-        if (const auto slots = api::wire::parse_batch_header(*frame)) {
-          handle_batch(*slots, in, out);
-          continue;
-        }
-        if (const auto control = api::wire::parse_control(*frame)) {
-          handle_control(*control, out);
-          continue;
-        }
-        const api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
-        const api::Result<api::AnyResponse> result =
-            request.ok() ? session_.call(request.value())
-                         : api::Result<api::AnyResponse>::failure(request.diagnostics());
-        out << api::wire::encode(result) << std::flush;
-      } catch (const std::exception& e) {
-        reply_error(out, std::string{"internal error handling frame: "} + e.what());
-      }
-    }
-  }
-
- private:
-  void record_frame(const std::string& frame) {
-    if (record_fd_ < 0 || record_suspended_.load(std::memory_order_acquire)) return;
-    std::lock_guard lock{record_mutex_};
-    // Frame + separating blank line in ONE write(): a kill between frames
-    // leaves a log of whole frames (and read_frame tolerates a torn tail).
-    std::string chunk = frame;
-    chunk += "\n";
-    const char* data = chunk.data();
-    std::size_t left = chunk.size();
-    while (left > 0) {
-      const ssize_t wrote = ::write(record_fd_, data, left);
-      if (wrote < 0) {
-        if (errno == EINTR) continue;
-        std::cerr << "warning: record write failed: " << std::strerror(errno) << "\n";
-        break;
-      }
-      data += wrote;
-      left -= static_cast<std::size_t>(wrote);
-    }
-    if (record_fsync_) ::fsync(record_fd_);
-  }
-
-  /// A `batch v1 <n>` header: reads the n request frames, evaluates them as
-  /// one heterogeneous streaming submit (per-slot priorities and deadlines
-  /// intact), and replies with a batch header plus n responses in slot
-  /// order. Frames that fail to decode land as their slot's failure without
-  /// aborting the rest of the batch.
-  void handle_batch(std::size_t slots, std::istream& in, std::ostream& out) {
-    // Sanity-cap the client-supplied count before allocating anything for
-    // it — a corrupt header must not be able to abort the shared server.
-    constexpr std::size_t kMaxBatchSlots = 65'536;
-    if (slots > kMaxBatchSlots) {
-      reply_error(out, "batch of " + std::to_string(slots) + " slots exceeds the limit of " +
-                           std::to_string(kMaxBatchSlots));
-      return;
-    }
-    std::vector<api::Result<api::AnyRequest>> decoded;
-    decoded.reserve(slots);
-    for (std::size_t i = 0; i < slots; ++i) {
-      const auto frame = api::wire::read_frame(in);
-      if (!frame) {
-        decoded.push_back(api::Result<api::AnyRequest>::failure(
-            api::diag::kWireError,
-            "batch truncated: expected " + std::to_string(slots) + " request frames, got " +
-                std::to_string(i)));
-        break;
-      }
-      record_frame(*frame);
-      decoded.push_back(api::wire::decode_request(*frame));
-    }
-
-    // Evaluate the well-formed slots as one submit; merge decode failures
-    // back into their original positions.
-    std::vector<api::AnyRequest> requests;
-    std::vector<std::size_t> positions;
-    for (std::size_t i = 0; i < decoded.size(); ++i) {
-      if (decoded[i].ok()) {
-        requests.push_back(std::move(decoded[i]).value());
-        positions.push_back(i);
-      }
-    }
-    auto handle = session_.submit(std::move(requests));
-    const std::vector<api::Result<api::AnyResponse>> landed = handle.wait();
-
-    std::vector<api::Result<api::AnyResponse>> results;
-    results.reserve(slots);
-    for (std::size_t i = 0; i < slots; ++i) {
-      results.push_back(api::Result<api::AnyResponse>::failure(
-          api::diag::kWireError, "batch truncated before this slot"));
-    }
-    for (std::size_t i = 0; i < decoded.size(); ++i) {
-      if (!decoded[i].ok()) {
-        results[i] = api::Result<api::AnyResponse>::failure(decoded[i].diagnostics());
-      }
-    }
-    for (std::size_t j = 0; j < positions.size(); ++j) results[positions[j]] = landed[j];
-
-    out << api::wire::batch_header(slots);
-    for (const auto& result : results) out << api::wire::encode(result);
-    out << std::flush;
-  }
-
-  void reply_info(std::ostream& out, const std::string& text) {
-    out << api::wire::encode_info(text) << std::flush;
-  }
-
-  void reply_error(std::ostream& out, const support::DiagnosticList& diagnostics) {
-    out << api::wire::encode(api::Result<api::AnyResponse>::failure(diagnostics)) << std::flush;
-  }
-
-  void reply_error(std::ostream& out, const std::string& message) {
-    support::DiagnosticList diagnostics;
-    diagnostics.error(api::diag::kWireError, message);
-    reply_error(out, diagnostics);
-  }
-
-  /// render(ModelInfo) plus a content-fingerprint line: the restart-stable
-  /// identity (what the persistent cache tier keys on), exposed so wire
-  /// clients can correlate models across server lives.
-  static std::string describe_model(const api::ModelInfo& info) {
-    char hex[17];
-    std::snprintf(hex, sizeof hex, "%016llx",
-                  static_cast<unsigned long long>(info.content_fingerprint));
-    return api::render(info) + "  content-fingerprint " + hex + "\n";
-  }
-
-  /// `cache [stats|persist|flush]` — the persistent-tier admin surface.
-  void handle_cache_control(const api::wire::ControlCommand& control, std::ostream& out) {
-    const auto cache = store_->cache();
-    if (!cache) {
-      reply_error(out, "result cache disabled (start with '--cache N' or '--cache-dir DIR')");
-      return;
-    }
-    const std::string sub = control.args.empty() ? std::string{"stats"} : control.args.front();
-    if (sub == "stats") {
-      reply_info(out, api::render(cache->stats()));
-      return;
-    }
-    if (sub == "persist") {
-      if (!cache->persistent()) {
-        reply_error(out, "'cache persist' needs a persistent tier (start with '--cache-dir DIR')");
-        return;
-      }
-      const std::size_t written = cache->persist_all();
-      const api::CacheStats stats = cache->stats();
-      reply_info(out, "persisted " + std::to_string(written) + " entries (" +
-                          std::to_string(stats.disk_entries) + " on disk, " +
-                          std::to_string(stats.disk_bytes) + " bytes)");
-      return;
-    }
-    if (sub == "flush") {
-      cache->clear(/*include_disk=*/true);
-      reply_info(out, cache->persistent() ? "cache cleared (memory + disk)" : "cache cleared");
-      return;
-    }
-    reply_error(out, "unknown cache subcommand '" + sub + "' (expected stats|persist|flush)");
-  }
-
-  void handle_control(const api::wire::ControlCommand& control, std::ostream& out) {
-    if (control.command == "ping") {
-      reply_info(out, "pong");
-      return;
-    }
-    if (control.command == "shutdown") {
-      shutdown_.store(true, std::memory_order_release);
-      reply_info(out, "shutting down");
-      if (on_shutdown) on_shutdown();
-      return;
-    }
-    if (control.command == "models") {
-      std::string text;
-      for (const api::ModelInfo& info : session_.models()) {
-        text += "#" + std::to_string(info.id.value()) + " " + describe_model(info);
-      }
-      reply_info(out, text.empty() ? "no models loaded" : text);
-      return;
-    }
-    if (control.command == "cache-stats") {
-      const auto stats = session_.cache_stats();
-      reply_info(out, stats ? api::render(*stats)
-                            : "result cache disabled (start with '--cache N')");
-      return;
-    }
-    if (control.command == "cache") {
-      handle_cache_control(control, out);
-      return;
-    }
-    if (control.command == "executor-stats") {
-      reply_info(out, "executor " + executor_->name() + "\n" +
-                          api::render(session_.executor_stats()));
-      return;
-    }
-    if (control.command == "load") {
-      if (control.args.empty()) {
-        reply_error(out, "'load' requires a model spec");
-        return;
-      }
-      const std::vector<std::string> options(control.args.begin() + 1, control.args.end());
-      const auto resolved = session_.resolve(control.args.front(), options);
-      if (!resolved.ok()) {
-        reply_error(out, resolved.diagnostics());
-        return;
-      }
-      reply_info(out, "#" + std::to_string(resolved.value().id.value()) + " " +
-                          describe_model(resolved.value()));
-      return;
-    }
-    if (control.command == "unload") {
-      if (control.args.size() != 1) {
-        reply_error(out, "'unload' requires exactly one model spec");
-        return;
-      }
-      const std::vector<api::ModelId> handles = session_.resolved_handles(control.args.front());
-      if (handles.empty()) {
-        reply_info(out, control.args.front() + ": " +
-                            api::to_string(api::UnloadStatus::kNeverLoaded) +
-                            " (no request loaded it)");
-        return;
-      }
-      std::string text;
-      for (const api::ModelId handle : handles) {
-        text += control.args.front() + " #" + std::to_string(handle.value()) + ": " +
-                api::to_string(session_.unload(handle)) + "\n";
-      }
-      reply_info(out, text);
-      return;
-    }
-    reply_error(out, "unknown control command '" + control.command + "'");
-  }
-
-  std::shared_ptr<api::ModelStore> store_;
-  std::shared_ptr<api::Executor> executor_;
-  api::Session session_;
-  std::atomic<bool> shutdown_{false};
-  std::mutex record_mutex_;
-  int record_fd_ = -1;  ///< O_APPEND request log; -1 = recording off
-  bool record_fsync_ = false;
-  std::atomic<bool> record_suspended_{false};  ///< true while warming
-};
-
-int serve_tcp(Service& service, const ServeOptions& options) {
-  tools::Socket listener = tools::listen_loopback(*options.port);
+int serve_tcp(service::Service& svc, const ServeOptions& options) {
+  service::Socket listener = service::listen_loopback(*options.port);
   if (!listener.valid()) {
     std::cerr << "error: cannot listen on 127.0.0.1:" << *options.port << "\n";
     return 1;
   }
-  std::cout << "listening on 127.0.0.1:" << tools::bound_port(listener) << "\n" << std::flush;
+  std::cout << "listening on 127.0.0.1:" << service::bound_port(listener) << "\n" << std::flush;
 
   // Shutdown must unblock *everything*: the accept loop below and every
   // connection thread parked in a blocking read on its own socket (an idle
   // client would otherwise keep the process alive forever).
   std::mutex clients_mutex;
   std::vector<int> client_fds;
-  service.on_shutdown = [&] {
+  svc.on_shutdown = [&] {
     ::shutdown(listener.fd(), SHUT_RDWR);
     std::lock_guard lock{clients_mutex};
     for (const int fd : client_fds) ::shutdown(fd, SHUT_RDWR);
@@ -444,10 +107,10 @@ int serve_tcp(Service& service, const ServeOptions& options) {
     });
   };
 
-  while (!service.shutdown_requested()) {
-    tools::Socket client = tools::accept_client(listener);
+  while (!svc.shutdown_requested()) {
+    service::Socket client = service::accept_client(listener);
     if (!client.valid()) {
-      if (service.shutdown_requested()) break;
+      if (svc.shutdown_requested()) break;
       // Transient accept failures (client reset before accept, fd
       // pressure, signals) must not kill a long-running service; only an
       // unexpected listener failure ends the loop.
@@ -466,12 +129,12 @@ int serve_tcp(Service& service, const ServeOptions& options) {
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
     connections.push_back(
-        {std::thread{[&service, &clients_mutex, &client_fds, done,
+        {std::thread{[&svc, &clients_mutex, &client_fds, done,
                       client = std::move(client)]() mutable {
-           tools::FdStreamBuf buffer{client.fd()};
+           service::FdStreamBuf buffer{client.fd()};
            std::istream in{&buffer};
            std::ostream out{&buffer};
-           service.serve_stream(in, out);
+           svc.serve_stream(in, out);
            // Deregister before the socket closes, so a concurrent shutdown
            // sweep never touches a recycled descriptor.
            {
@@ -481,7 +144,7 @@ int serve_tcp(Service& service, const ServeOptions& options) {
            done->store(true, std::memory_order_release);
          }},
          done});
-    if (options.once || service.shutdown_requested()) break;
+    if (options.once || svc.shutdown_requested()) break;
   }
   for (Connection& connection : connections) connection.thread.join();
   return 0;
@@ -514,23 +177,26 @@ int main(int argc, char** argv) {
     if (args[i] == "--port") {
       options.port = static_cast<std::uint16_t>(number_of(i, 65'535));
     } else if (args[i] == "--jobs") {
-      options.jobs = number_of(i, 1'024);
+      options.service.jobs = number_of(i, 1'024);
     } else if (args[i] == "--cache") {
-      options.cache = number_of(i, std::numeric_limits<std::uint64_t>::max());
+      options.service.cache = number_of(i, std::numeric_limits<std::uint64_t>::max());
     } else if (args[i] == "--once") {
       options.once = true;
     } else if (args[i] == "--record") {
-      options.record = value_of(i);
+      options.service.record = value_of(i);
     } else if (args[i] == "--replay") {
       options.replay = value_of(i);
     } else if (args[i] == "--cache-dir") {
-      options.cache_dir = value_of(i);
+      options.service.cache_dir = value_of(i);
     } else if (args[i] == "--cache-bytes") {
-      options.cache_bytes = number_of(i, std::numeric_limits<std::uint64_t>::max());
+      options.service.cache_bytes = number_of(i, std::numeric_limits<std::uint64_t>::max());
     } else if (args[i] == "--fsync") {
-      options.fsync = true;
+      options.service.fsync = true;
     } else if (args[i] == "--warm") {
       options.warm = value_of(i);
+    } else if (args[i] == "--max-inflight") {
+      options.service.max_inflight =
+          static_cast<std::size_t>(number_of(i, 1'048'576));
     } else if (args[i] == "--stdio") {
       options.port.reset();
     } else {
@@ -542,7 +208,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: '--replay' and '--port' are mutually exclusive\n";
     return usage();
   }
-  if (!options.replay.empty() && !options.record.empty()) {
+  if (!options.replay.empty() && !options.service.record.empty()) {
     // Recording a replay would re-append every frame being read — with the
     // same file on both sides, an unbounded feedback loop.
     std::cerr << "error: '--replay' and '--record' are mutually exclusive\n";
@@ -558,14 +224,14 @@ int main(int argc, char** argv) {
   // A client vanishing mid-reply must not kill the server.
   std::signal(SIGPIPE, SIG_IGN);
 
-  Service service{options};
+  service::Service svc{options.service};
   if (!options.warm.empty()) {
     std::ifstream log{options.warm};
     if (!log) {
       std::cerr << "error: cannot open warm log '" << options.warm << "'\n";
       return 1;
     }
-    service.warm(log);
+    svc.warm(log);
   }
   if (!options.replay.empty()) {
     std::ifstream log{options.replay};
@@ -573,10 +239,10 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot open replay log '" << options.replay << "'\n";
       return 1;
     }
-    service.serve_stream(log, std::cout);
+    svc.serve_stream(log, std::cout, service::Service::StreamMode::kOrdered);
     return 0;
   }
-  if (options.port) return serve_tcp(service, options);
-  service.serve_stream(std::cin, std::cout);
+  if (options.port) return serve_tcp(svc, options);
+  svc.serve_stream(std::cin, std::cout);
   return 0;
 }
