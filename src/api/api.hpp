@@ -1,9 +1,27 @@
 // Umbrella header for the spivar::api layer — the only include front ends
 // need.
 //
-// v7 surface — the unified request envelope remains the primary entry
-// point, and the result cache is now *tiered*: a persistent on-disk second
-// tier (content-fingerprint keyed) survives process restarts:
+// v8 surface — the unified request envelope remains the primary entry
+// point; the result cache is *tiered* (a persistent on-disk second tier,
+// content-fingerprint keyed, survives process restarts); and the store /
+// session stack is now *multi-tenant* with lateness-driven overload
+// shedding:
+//   * TenantContext / TenantQuota (tenant.hpp) — a tenant's identity (name,
+//     runtime tag, restart-stable content salt derived from the name) and
+//     its limits (live models, cache entries, in-flight requests). Tag 0 is
+//     the default tenant: bit-identical to pre-tenancy behavior everywhere.
+//   * StoreView (store_view.hpp) — one tenant's namespace over one shared
+//     ModelStore: loads are quota-checked, content-salted and recorded as
+//     tenant-owned; unload/info/models refuse ids the view never issued
+//     (no cross-tenant tombstones or cache invalidations); builtin and
+//     corpus *names* stay globally loadable while the instantiated models
+//     are tenant-scoped.
+//   * AdmissionController (admission.hpp) — rolling-window projection of
+//     the executor's deadline-miss rate; above the configured bound,
+//     Session::call/call_batch/submit shed with a typed diag::kOverload
+//     failure carrying a "retry-after-ms N" hint instead of queueing work
+//     that would miss anyway. Session::bind_tenant wires both into a
+//     session.
 //   * AnyRequest / AnyResponse (requests.hpp / responses.hpp) — one
 //     std::variant envelope over every evaluation kind (simulate, analyze,
 //     explore, pareto, compare) plus an optional target spec (builtin name
@@ -76,6 +94,7 @@
 //     ExecutorStats.
 #pragma once
 
+#include "api/admission.hpp"  // IWYU pragma: export
 #include "api/batch.hpp"      // IWYU pragma: export
 #include "api/cache.hpp"      // IWYU pragma: export
 #include "api/executor.hpp"   // IWYU pragma: export
@@ -88,5 +107,7 @@
 #include "api/session.hpp"    // IWYU pragma: export
 #include "api/spec_cache.hpp" // IWYU pragma: export
 #include "api/store.hpp"      // IWYU pragma: export
+#include "api/store_view.hpp" // IWYU pragma: export
+#include "api/tenant.hpp"     // IWYU pragma: export
 #include "api/wire.hpp"       // IWYU pragma: export
 #include "persist/disk_tier.hpp"  // IWYU pragma: export

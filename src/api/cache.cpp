@@ -259,24 +259,42 @@ std::uint64_t ResultCache::hash_key(const Key& key) noexcept {
 
 ResultCache::Slot ResultCache::lookup(const Key& key) {
   {
-    Shard& shard = shard_of(hash_key(key));
-    std::lock_guard lock{shard.mutex};
-    const auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      // Refresh recency: splice the entry to the front of the LRU list.
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      saved_cost_us_.fetch_add(it->second->cost_us, std::memory_order_relaxed);
-      return it->second->slot;
+    std::uint32_t tag = 0;
+    Slot found;
+    {
+      Shard& shard = shard_of(hash_key(key));
+      std::lock_guard lock{shard.mutex};
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        // Refresh recency: splice the entry to the front of the LRU list.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        saved_cost_us_.fetch_add(it->second->cost_us, std::memory_order_relaxed);
+        tag = it->second->tenant;
+        found = it->second->slot;
+      } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (found) {
+      note_tenant_lookup(tag, /*served=*/true);
+      return found;
+    }
   }
   // Memory miss: consult the persistent tier (outside the shard lock — disk
   // I/O must never serialize the fast path). Models without a content
-  // identity never touch disk.
-  if (!tier_ || key.content == 0) return nullptr;
+  // identity never touch disk. The tenant ledger attributes the outcome by
+  // what the caller experiences: served (from either tier) or evaluated.
+  const std::uint32_t tag = tenant_of(key.model);
+  if (!tier_ || key.content == 0) {
+    note_tenant_lookup(tag, /*served=*/false);
+    return nullptr;
+  }
   const auto entry = tier_->load(disk_key_of(key), to_string(key.kind));
-  if (!entry.has_value()) return nullptr;
+  if (!entry.has_value()) {
+    note_tenant_lookup(tag, /*served=*/false);
+    return nullptr;
+  }
   Slot slot = decode_slot(key.kind, entry->frame);
   if (!slot) {
     // The frame passed the tier's CRC but no longer decodes (a wire-codec
@@ -285,6 +303,7 @@ ResultCache::Slot ResultCache::lookup(const Key& key) {
     tier_->remove(disk_key_of(key),
                   std::string{"frame no longer decodes as a "} + to_string(key.kind) +
                       " result (wire version skew?)");
+    note_tenant_lookup(tag, /*served=*/false);
     return nullptr;
   }
   // Promote into the memory tier *without* writing back down — the bytes
@@ -293,6 +312,8 @@ ResultCache::Slot ResultCache::lookup(const Key& key) {
   // stored eval cost rides along for eviction weighting and accounting.
   disk_promotes_.fetch_add(1, std::memory_order_relaxed);
   saved_cost_us_.fetch_add(entry->cost_us, std::memory_order_relaxed);
+  note_tenant_lookup(tag, /*served=*/true);
+  enforce_tenant_cap(tag);
   if (const auto victim = store_memory(key, slot, entry->cost_us)) {
     spill(*victim, /*only_if_absent=*/true);
   }
@@ -357,20 +378,31 @@ std::optional<ResultCache::Entry> ResultCache::store_memory(const Key& key, Slot
     std::lock_guard dead_lock{dead_mutex_};
     if (dead_models_.contains(key.model)) return std::nullopt;
   }
+  // Resolve the owner tag before the shard lock (tenant_mutex_ and shard
+  // mutexes are never held together).
+  const std::uint32_t tag = tenant_of(key.model);
   Shard& shard = shard_of(hash_key(key));
-  std::lock_guard lock{shard.mutex};
-  if (const auto it = shard.index.find(key); it != shard.index.end()) {
-    // Concurrent miss on the same key: both evaluations are deterministic,
-    // keep the newer slot (and its cost) and refresh recency.
-    it->second->slot = std::move(slot);
-    it->second->cost_us = cost_us;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return std::nullopt;
-  }
   std::optional<Entry> victim;
-  if (shard.lru.size() >= per_shard_capacity_) victim = evict_one(shard);
-  shard.lru.emplace_front(Entry{key, std::move(slot), cost_us});
-  shard.index.emplace(key, shard.lru.begin());
+  bool inserted = false;
+  {
+    std::lock_guard lock{shard.mutex};
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      // Concurrent miss on the same key: both evaluations are deterministic,
+      // keep the newer slot (and its cost) and refresh recency.
+      it->second->slot = std::move(slot);
+      it->second->cost_us = cost_us;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return std::nullopt;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) victim = evict_one(shard);
+    shard.lru.emplace_front(Entry{key, std::move(slot), cost_us, tag});
+    shard.index.emplace(key, shard.lru.begin());
+    inserted = true;
+  }
+  if (inserted && tag != 0) note_tenant_insert(tag);
+  if (victim.has_value() && victim->tenant != 0) {
+    note_tenant_removed(victim->tenant, /*evicted=*/true);
+  }
   return victim;
 }
 
@@ -430,6 +462,10 @@ void ResultCache::drain_spills() {
 }
 
 void ResultCache::store(const Key& key, Slot slot, std::uint64_t cost_us) {
+  // Tenant cap first: a capped tenant at its limit makes room by evicting
+  // its *own* least recent entry before this insert lands, so its eviction
+  // storms never displace another tenant's entries.
+  enforce_tenant_cap(tenant_of(key.model));
   Slot retained = slot;  // for the write-through below
   const std::optional<Entry> victim = store_memory(key, std::move(slot), cost_us);
   // Disk I/O strictly after the shard lock is released: write the fresh
@@ -449,6 +485,7 @@ void ResultCache::invalidate_model(std::uint32_t model) {
     std::lock_guard dead_lock{dead_mutex_};
     dead_models_.insert(model);
   }
+  std::size_t removed = 0;
   for (Shard& shard : shards_) {
     std::lock_guard lock{shard.mutex};
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
@@ -456,9 +493,17 @@ void ResultCache::invalidate_model(std::uint32_t model) {
         shard.index.erase(it->key);
         it = shard.lru.erase(it);
         invalidations_.fetch_add(1, std::memory_order_relaxed);
+        ++removed;
       } else {
         ++it;
       }
+    }
+  }
+  // All of a model's entries carry the model's tag, so one ledger update
+  // covers the whole sweep (invalidations are not tenant evictions).
+  if (removed > 0) {
+    if (const std::uint32_t tag = tenant_of(model); tag != 0) {
+      note_tenant_removed(tag, /*evicted=*/false, removed);
     }
   }
 }
@@ -468,6 +513,10 @@ void ResultCache::clear(bool include_disk) {
     std::lock_guard lock{shard.mutex};
     shard.index.clear();
     shard.lru.clear();
+  }
+  {
+    std::lock_guard lock{tenant_mutex_};
+    for (auto& [tag, account] : tenants_) account.entries = 0;
   }
   if (include_disk && tier_) {
     // A spill still queued would land *after* the clear and resurrect its
@@ -500,6 +549,112 @@ std::size_t ResultCache::persist_all() {
   }
   tier_->flush();
   return written;
+}
+
+// --- tenant accounting -------------------------------------------------------
+
+void ResultCache::bind_model_tenant(std::uint32_t model, std::uint32_t tag) {
+  if (tag == 0) return;  // tag 0 is the implicit default — never tracked
+  std::lock_guard lock{tenant_mutex_};
+  model_tenant_[model] = tag;
+  tenants_.try_emplace(tag);
+}
+
+void ResultCache::set_tenant_cap(std::uint32_t tag, std::size_t max_entries) {
+  if (tag == 0) return;  // the default tenant is never capped
+  std::lock_guard lock{tenant_mutex_};
+  tenants_[tag].cap = max_entries;
+}
+
+std::vector<TenantCacheStats> ResultCache::tenant_stats() const {
+  std::vector<TenantCacheStats> out;
+  {
+    std::lock_guard lock{tenant_mutex_};
+    out.reserve(tenants_.size());
+    for (const auto& [tag, account] : tenants_) {
+      out.push_back(TenantCacheStats{.tag = tag,
+                                     .hits = account.hits,
+                                     .misses = account.misses,
+                                     .evictions = account.evictions,
+                                     .entries = account.entries,
+                                     .cap = account.cap});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantCacheStats& a, const TenantCacheStats& b) { return a.tag < b.tag; });
+  return out;
+}
+
+std::uint32_t ResultCache::tenant_of(std::uint32_t model) const {
+  std::lock_guard lock{tenant_mutex_};
+  const auto it = model_tenant_.find(model);
+  return it == model_tenant_.end() ? 0 : it->second;
+}
+
+void ResultCache::note_tenant_lookup(std::uint32_t tag, bool served) {
+  if (tag == 0) return;
+  std::lock_guard lock{tenant_mutex_};
+  TenantAccount& account = tenants_[tag];
+  if (served) {
+    ++account.hits;
+  } else {
+    ++account.misses;
+  }
+}
+
+void ResultCache::note_tenant_insert(std::uint32_t tag) {
+  std::lock_guard lock{tenant_mutex_};
+  ++tenants_[tag].entries;
+}
+
+void ResultCache::note_tenant_removed(std::uint32_t tag, bool evicted, std::size_t count) {
+  std::lock_guard lock{tenant_mutex_};
+  TenantAccount& account = tenants_[tag];
+  account.entries -= std::min(account.entries, count);
+  if (evicted) account.evictions += count;
+}
+
+void ResultCache::enforce_tenant_cap(std::uint32_t tag) {
+  if (tag == 0) return;
+  while (true) {
+    std::size_t cap = 0;
+    std::size_t entries = 0;
+    {
+      std::lock_guard lock{tenant_mutex_};
+      const auto it = tenants_.find(tag);
+      if (it == tenants_.end()) return;
+      cap = it->second.cap;
+      entries = it->second.entries;
+    }
+    if (cap == 0 || entries < cap) return;
+    // At the cap: drop one of this tenant's own entries — the tail-most
+    // (least recent within its shard) entry of the first shard holding one.
+    // Cross-shard recency is approximate by design; exactness would need a
+    // global clock on every touch. Shards are locked one at a time and
+    // never together with tenant_mutex_.
+    std::optional<Entry> victim;
+    for (Shard& shard : shards_) {
+      std::lock_guard lock{shard.mutex};
+      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+        if (it->tenant != tag) continue;
+        const auto target = std::prev(it.base());
+        evicted_cost_us_.fetch_add(target->cost_us, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        victim = std::move(*target);
+        shard.index.erase(victim->key);
+        shard.lru.erase(target);
+        break;
+      }
+      if (victim.has_value()) break;
+    }
+    if (!victim.has_value()) {
+      // Ledger said at-cap but no entry was found (raced an invalidation
+      // sweep whose ledger update is still in flight) — nothing to evict.
+      return;
+    }
+    note_tenant_removed(tag, /*evicted=*/true);
+    spill(std::move(*victim), /*only_if_absent=*/true);
+  }
 }
 
 CacheStats ResultCache::stats() const {

@@ -151,6 +151,24 @@ struct CacheStats {
   }
 };
 
+/// Per-tenant slice of the cache counters (see ResultCache::tenant_stats).
+/// `hits` counts lookups served from either tier, `misses` lookups that
+/// fell through to evaluation — the served/evaluated split a tenant cares
+/// about, not the global memory/disk tier split.
+struct TenantCacheStats {
+  std::uint32_t tag = 0;          ///< tenant tag (0 = default tenant)
+  std::uint64_t hits = 0;         ///< lookups served (memory or disk)
+  std::uint64_t misses = 0;       ///< lookups that evaluated
+  std::uint64_t evictions = 0;    ///< this tenant's entries dropped for capacity
+  std::size_t entries = 0;        ///< entries currently held
+  std::size_t cap = 0;            ///< entry cap (0 = unlimited)
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
 class ResultCache {
  public:
   /// `sink` is where the persistent tier (when configured) reports skipped
@@ -225,6 +243,31 @@ class ResultCache {
 
   [[nodiscard]] CacheStats stats() const;
 
+  // --- tenant scoping --------------------------------------------------------
+  //
+  // Multi-tenant accounting keys on a small per-tenant tag: StoreView tags
+  // every id it loads, set_tenant_cap bounds how many entries a tag's
+  // models may occupy, and tenant_stats() slices the counters per tag.
+  // Untagged models (every pre-tenancy caller) belong to tag 0, which is
+  // never capped and never attributed — the default tenant's behavior is
+  // bit-identical to a cache that has never heard of tenants.
+
+  /// Tags every entry of `model` (present and future) as belonging to
+  /// tenant `tag`. Ids are never reused, so a binding is forever.
+  void bind_model_tenant(std::uint32_t model, std::uint32_t tag);
+
+  /// Caps tenant `tag` at `max_entries` cached results (0 = unlimited).
+  /// At the cap, an insert for the tenant evicts the tenant's own least
+  /// recent entry first — other tenants' entries are untouchable, which is
+  /// what keeps one tenant's eviction storm out of everyone else's hit
+  /// rate.
+  void set_tenant_cap(std::uint32_t tag, std::size_t max_entries);
+
+  /// Per-tenant counter slices, ascending tag; tenants appear once bound
+  /// or capped. Tag 0 is omitted — the default tenant reads the global
+  /// stats().
+  [[nodiscard]] std::vector<TenantCacheStats> tenant_stats() const;
+
  private:
   using Slot = std::shared_ptr<const void>;
 
@@ -238,6 +281,7 @@ class ResultCache {
     Key key;
     Slot slot;
     std::uint64_t cost_us = 0;  ///< measured eval time charged on insert
+    std::uint32_t tenant = 0;   ///< owning tenant tag, resolved at insert
   };
 
   struct Shard {
@@ -321,6 +365,42 @@ class ResultCache {
   std::atomic<std::uint64_t> evicted_cost_us_{0};
   std::atomic<std::uint64_t> disk_promotes_{0};
   std::atomic<std::uint64_t> window_adaptations_{0};
+
+  // --- tenant accounting ------------------------------------------------------
+  //
+  // Lock order: tenant_mutex_ and the shard mutexes are never held together.
+  // Shard-locked code records what happened and the tenant ledger is updated
+  // after the shard lock drops; enforce_tenant_cap reads the ledger first,
+  // then takes shard locks one at a time to find a victim. The ledger may
+  // therefore lag a racing insert by one entry — caps are enforced to ±1
+  // under contention, never violated steadily.
+
+  struct TenantAccount {
+    std::size_t cap = 0;      ///< 0 = unlimited
+    std::size_t entries = 0;  ///< entries currently held (ledger copy)
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// The tag `model` was bound to, 0 when unbound (default tenant).
+  [[nodiscard]] std::uint32_t tenant_of(std::uint32_t model) const;
+  /// Attributes one lookup outcome (served from either tier, or evaluated).
+  void note_tenant_lookup(std::uint32_t tag, bool served);
+  /// Ledger delta after an insert landed (shard lock already released).
+  void note_tenant_insert(std::uint32_t tag);
+  /// Ledger delta after `count` entries left the memory tier; `evicted`
+  /// distinguishes capacity evictions from unload invalidations.
+  void note_tenant_removed(std::uint32_t tag, bool evicted, std::size_t count = 1);
+  /// While `tag` sits at its entry cap, evicts the tenant's own (oldest
+  /// found, scanning shard tails) entry and spills it down — making room
+  /// for one incoming insert without touching any other tenant's entries.
+  void enforce_tenant_cap(std::uint32_t tag);
+
+  mutable std::mutex tenant_mutex_;  ///< guards tenants_ and model_tenant_
+  std::unordered_map<std::uint32_t, TenantAccount> tenants_;
+  /// model id -> tenant tag; ids are never reused, so bindings are forever.
+  std::unordered_map<std::uint32_t, std::uint32_t> model_tenant_;
 };
 
 }  // namespace spivar::api

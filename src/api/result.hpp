@@ -29,6 +29,8 @@ inline constexpr const char* kEmptyProblem = "api-empty-problem";
 inline constexpr const char* kBadOption = "api-bad-option";
 inline constexpr const char* kCancelled = "api-cancelled";
 inline constexpr const char* kWireError = "api-wire-error";
+inline constexpr const char* kOverload = "api-overload";
+inline constexpr const char* kQuotaExceeded = "api-quota-exceeded";
 }  // namespace diag
 
 template <typename T>

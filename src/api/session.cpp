@@ -1,6 +1,7 @@
 #include "api/session.hpp"
 
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <functional>
 #include <optional>
@@ -164,29 +165,48 @@ Session::Session(std::shared_ptr<ModelStore> store, std::shared_ptr<Executor> ex
   targets_ = std::make_shared<TargetCache>(store_);
 }
 
-// --- loading (forwarded to the store) ----------------------------------------
+// --- tenant binding ----------------------------------------------------------
 
-Result<ModelInfo> Session::load_text(std::string_view text, std::string_view name) {
-  return store_->load_text(text, name);
+void Session::bind_tenant(std::shared_ptr<StoreView> view,
+                          std::shared_ptr<AdmissionController> admission) {
+  view_ = std::move(view);
+  admission_ = std::move(admission);
+  tenant_ = view_ ? view_->tenant() : TenantContext{};
+  // Envelope targets must load under the tenant too — a spec resolved by a
+  // bound session issues a tenant-owned, quota-checked, salted handle.
+  std::lock_guard lock{targets_->mutex};
+  targets_->specs.bind_view(view_);
 }
 
-Result<ModelInfo> Session::load_file(const std::string& path) { return store_->load_file(path); }
+// --- loading (forwarded to the store, via the tenant view when bound) --------
+
+Result<ModelInfo> Session::load_text(std::string_view text, std::string_view name) {
+  return view_ ? view_->load_text(text, name) : store_->load_text(text, name);
+}
+
+Result<ModelInfo> Session::load_file(const std::string& path) {
+  return view_ ? view_->load_file(path) : store_->load_file(path);
+}
 
 Result<ModelInfo> Session::load_builtin(std::string_view name) {
-  return store_->load_builtin(name);
+  return view_ ? view_->load_builtin(name) : store_->load_builtin(name);
 }
 
 Result<ModelInfo> Session::load_builtin(const LoadBuiltinRequest& request) {
-  return store_->load_builtin(request);
+  return view_ ? view_->load_builtin(request) : store_->load_builtin(request);
 }
 
-Result<ModelInfo> Session::load_model(std::string_view spec) { return store_->load_model(spec); }
+Result<ModelInfo> Session::load_model(std::string_view spec) {
+  return view_ ? view_->load_model(spec) : store_->load_model(spec);
+}
 
 Result<ModelInfo> Session::load(variant::VariantModel model, std::string_view origin) {
-  return store_->load(std::move(model), origin);
+  return view_ ? view_->load(std::move(model), origin) : store_->load(std::move(model), origin);
 }
 
-UnloadStatus Session::unload(ModelId id) { return store_->unload(id); }
+UnloadStatus Session::unload(ModelId id) {
+  return view_ ? view_->unload(id) : store_->unload(id);
+}
 
 Result<ModelInfo> Session::resolve(const std::string& spec,
                                    const std::vector<std::string>& options) {
@@ -209,9 +229,13 @@ std::optional<CacheStats> Session::cache_stats() const { return store_->cache_st
 
 // --- introspection ----------------------------------------------------------
 
-std::vector<ModelInfo> Session::models() const { return store_->models(); }
+std::vector<ModelInfo> Session::models() const {
+  return view_ ? view_->models() : store_->models();
+}
 
-Result<ModelInfo> Session::info(ModelId id) const { return store_->info(id); }
+Result<ModelInfo> Session::info(ModelId id) const {
+  return view_ ? view_->info(id) : store_->info(id);
+}
 
 std::vector<std::string> Session::builtins() { return builtin_names(); }
 
@@ -352,7 +376,12 @@ Result<ModelId> Session::resolve_target(const AnyRequest& request) const {
       return Result<ModelId>::failure(diag::kBadOption,
                                       "envelope target options require a target spec");
     }
-    return Result<ModelId>::success(model_of(request.payload));
+    const ModelId id = model_of(request.payload);
+    // A bound session only evaluates ids its own view issued — a raw handle
+    // guessed (or leaked) from another tenant fails exactly like an unknown
+    // model, never disclosing that it exists.
+    if (view_ && !view_->owns(id)) return unknown_model<ModelId>(id);
+    return Result<ModelId>::success(id);
   }
   std::lock_guard lock{targets_->mutex};
   Result<ModelInfo> resolved = targets_->specs.resolve(request.target, request.target_options);
@@ -360,7 +389,31 @@ Result<ModelId> Session::resolve_target(const AnyRequest& request) const {
   return Result<ModelId>::success(resolved.value().id);
 }
 
+std::optional<AdmissionDecision> Session::shed() const {
+  if (!admission_) return std::nullopt;
+  const AdmissionDecision decision = admission_->admit(executor_->stats());
+  if (decision.admitted) return std::nullopt;
+  return decision;
+}
+
+namespace {
+
+/// The typed shed reply: diag::kOverload plus a parseable retry-after hint
+/// ("retry-after-ms N") so clients can back off without guessing.
+Result<AnyResponse> overload_failure(const AdmissionDecision& decision) {
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "server overloaded: projected deadline-miss rate %.3f exceeds the bound; "
+                "retry-after-ms %lld",
+                decision.projected_miss_rate,
+                static_cast<long long>(decision.retry_after.count()));
+  return Result<AnyResponse>::failure(diag::kOverload, detail);
+}
+
+}  // namespace
+
 Result<AnyResponse> Session::call(const AnyRequest& request) const {
+  if (const auto decision = shed()) return overload_failure(*decision);
   const Result<ModelId> target = resolve_target(request);
   if (!target.ok()) return Result<AnyResponse>::failure(target.diagnostics());
   RequestPayload payload = request.payload;
@@ -548,6 +601,17 @@ std::vector<PreparedSlot> prepare(const ModelStore& store, std::vector<AnyReques
 
 BatchHandle<AnyResponse> Session::submit(std::vector<AnyRequest> requests,
                                          SlotCallback<AnyResponse> on_slot) const {
+  if (const auto decision = shed()) {
+    // Shed before submission: every slot lands with the typed overload
+    // failure and the executor never sees the work — queueing it anyway is
+    // exactly how an overloaded tail gets worse.
+    auto state =
+        std::make_shared<detail::BatchState<AnyResponse>>(requests.size(), std::move(on_slot));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      state->deliver(i, overload_failure(*decision));
+    }
+    return make_batch_handle<AnyResponse>(std::move(state), executor_);
+  }
   auto state =
       std::make_shared<detail::BatchState<AnyResponse>>(requests.size(), std::move(on_slot));
   const std::shared_ptr<ResultCache> cache = store_->cache();
@@ -582,6 +646,12 @@ BatchHandle<AnyResponse> Session::submit(std::vector<AnyRequest> requests,
 
 std::vector<Result<AnyResponse>> Session::call_batch(
     const std::vector<AnyRequest>& requests) const {
+  if (const auto decision = shed()) {
+    std::vector<Result<AnyResponse>> out;
+    out.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) out.push_back(overload_failure(*decision));
+    return out;
+  }
   const std::shared_ptr<ResultCache> cache = store_->cache();
   Executor* executor = executor_.get();
   std::vector<PreparedSlot> slots =

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/admission.hpp"
 #include "api/batch.hpp"
 #include "api/executor.hpp"
 #include "api/options.hpp"
@@ -39,6 +40,8 @@
 #include "api/result.hpp"
 #include "api/spec_cache.hpp"
 #include "api/store.hpp"
+#include "api/store_view.hpp"
+#include "api/tenant.hpp"
 #include "spi/statistics.hpp"
 #include "variant/model.hpp"
 
@@ -74,6 +77,28 @@ class Session {
   /// Deadline-miss telemetry of the session's executor: tasks completed,
   /// deadline misses, and worst/summed lateness (see ExecutorStats).
   [[nodiscard]] ExecutorStats executor_stats() const noexcept { return executor_->stats(); }
+
+  // --- tenant binding -------------------------------------------------------
+
+  /// Binds this session to one tenant: every load/unload/enumeration below
+  /// routes through `view` (tenant-scoped ids and quotas, salted content
+  /// identity — including envelope target resolution), and when `admission`
+  /// is set, call/call_batch/submit shed with a typed api-overload failure
+  /// carrying a retry-after hint while the projected deadline-miss rate
+  /// sits above the controller's bound. Either argument may be null; an
+  /// unbound session is the default tenant and behaves exactly as before
+  /// tenancy existed. Bind before use, not concurrently with calls.
+  void bind_tenant(std::shared_ptr<StoreView> view,
+                   std::shared_ptr<AdmissionController> admission = nullptr);
+
+  /// The bound tenant's context; the default context when unbound.
+  [[nodiscard]] const TenantContext& tenant() const noexcept { return tenant_; }
+  /// The bound tenant view, null when unbound.
+  [[nodiscard]] const std::shared_ptr<StoreView>& tenant_view() const noexcept { return view_; }
+  /// The bound admission controller, null when none.
+  [[nodiscard]] const std::shared_ptr<AdmissionController>& admission() const noexcept {
+    return admission_;
+  }
 
   // --- loading (forwarded to the store) -------------------------------------
 
@@ -248,9 +273,17 @@ class Session {
   /// model handle; returns the resolution failure otherwise.
   [[nodiscard]] Result<ModelId> resolve_target(const AnyRequest& request) const;
 
+  /// The overload gate at the head of call/call_batch/submit: nullopt
+  /// admits, a decision sheds (the caller turns it into per-slot failures).
+  [[nodiscard]] std::optional<AdmissionDecision> shed() const;
+
   std::shared_ptr<ModelStore> store_;
   std::shared_ptr<Executor> executor_;
   std::shared_ptr<TargetCache> targets_;
+
+  TenantContext tenant_;  ///< default-constructed until bind_tenant
+  std::shared_ptr<StoreView> view_;
+  std::shared_ptr<AdmissionController> admission_;
 };
 
 }  // namespace spivar::api

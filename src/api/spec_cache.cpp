@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "api/store_view.hpp"
 #include "corpus/spec.hpp"
 
 namespace spivar::api {
@@ -10,6 +11,8 @@ namespace spivar::api {
 SpecCache::SpecCache(std::shared_ptr<ModelStore> store) : store_(std::move(store)) {
   if (!store_) store_ = std::make_shared<ModelStore>();
 }
+
+void SpecCache::bind_view(std::shared_ptr<StoreView> view) { view_ = std::move(view); }
 
 namespace {
 
@@ -46,7 +49,7 @@ Result<ModelInfo> SpecCache::resolve(const std::string& spec,
   std::string key = cache_key(spec, assignments);
 
   if (const auto it = loaded_.find(key); it != loaded_.end()) {
-    Result<ModelInfo> info = store_->info(it->second);
+    Result<ModelInfo> info = view_ ? view_->info(it->second) : store_->info(it->second);
     if (info.ok()) return info;
     // The cached handle was tombstoned (or the store never knew it): drop
     // the mapping instead of resurrecting a dead id, and load fresh below —
@@ -56,7 +59,9 @@ Result<ModelInfo> SpecCache::resolve(const std::string& spec,
   }
 
   Result<ModelInfo> loaded = [&] {
-    if (assignments.empty()) return store_->load_model(spec);
+    if (assignments.empty()) {
+      return view_ ? view_->load_model(spec) : store_->load_model(spec);
+    }
     // Corpus names take the builtin path too: parse_builtin_options starts
     // from the name-parsed spec, so malformed names get grammar diagnostics.
     if (!find_builtin(spec) && !corpus::is_corpus_name(spec)) {
@@ -65,7 +70,8 @@ Result<ModelInfo> SpecCache::resolve(const std::string& spec,
     }
     const auto options = parse_builtin_options(spec, assignments);
     if (!options.ok()) return Result<ModelInfo>::failure(options.diagnostics());
-    return store_->load_builtin(LoadBuiltinRequest{.name = spec, .options = options.value()});
+    const LoadBuiltinRequest request{.name = spec, .options = options.value()};
+    return view_ ? view_->load_builtin(request) : store_->load_builtin(request);
   }();
   if (loaded.ok()) loaded_.emplace(std::move(key), loaded.value().id);
   return loaded;

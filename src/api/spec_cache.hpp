@@ -28,9 +28,17 @@
 
 namespace spivar::api {
 
+class StoreView;
+
 class SpecCache {
  public:
   explicit SpecCache(std::shared_ptr<ModelStore> store);
+
+  /// Routes every load (and the liveness check behind handle reuse) through
+  /// a tenant's StoreView from now on: resolved handles are tenant-owned,
+  /// quota-checked and content-salted. Null unbinds (back to direct store
+  /// loads). The view must wrap this cache's store.
+  void bind_view(std::shared_ptr<StoreView> view);
 
   /// Resolves `spec` (builtin name or .spit path) with optional repeatable
   /// "key=value" option assignments. Reuses the handle loaded earlier for
@@ -56,6 +64,7 @@ class SpecCache {
 
  private:
   std::shared_ptr<ModelStore> store_;
+  std::shared_ptr<StoreView> view_;  ///< tenant routing; null = direct store
   std::map<std::string, ModelId> loaded_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "api/detail.hpp"
 #include "corpus/spec.hpp"
+#include "support/hash.hpp"
 #include "models/synthetic.hpp"
 #include "spi/textio.hpp"
 #include "variant/textio.hpp"
@@ -89,12 +90,14 @@ SynthesisSetup compute_setup(const StoreEntry& entry,
 // --- StoreEntry --------------------------------------------------------------
 
 StoreEntry::StoreEntry(ModelId id, std::uint64_t generation, std::string origin,
-                       variant::VariantModel model, const BuiltinModel* builtin)
+                       variant::VariantModel model, const BuiltinModel* builtin,
+                       std::uint64_t content_salt)
     : id_(id),
       generation_(generation),
       origin_(std::move(origin)),
       model_(std::move(model)),
-      builtin_(builtin) {}
+      builtin_(builtin),
+      content_salt_(content_salt) {}
 
 std::shared_ptr<const SynthesisSetup> StoreEntry::default_setup() const {
   std::call_once(setup_once_, [this] {
@@ -105,8 +108,21 @@ std::shared_ptr<const SynthesisSetup> StoreEntry::default_setup() const {
 }
 
 std::uint64_t StoreEntry::content_fingerprint() const {
-  std::call_once(content_once_,
-                 [this] { content_fingerprint_ = variant::content_fingerprint(model_); });
+  std::call_once(content_once_, [this] {
+    std::uint64_t digest = variant::content_fingerprint(model_);
+    // A tenant salt re-keys the restart-stable identity so salted and
+    // unsalted (or differently-salted) loads of the same text never share
+    // persistent-tier entries. 0 stays 0 — "no content identity" must keep
+    // meaning "never touches disk" regardless of tenant.
+    if (digest != 0 && content_salt_ != 0) {
+      support::Fnv1aHasher hasher;
+      hasher.u64(digest);
+      hasher.u64(content_salt_);
+      digest = hasher.digest();
+      if (digest == 0) digest = 1;
+    }
+    content_fingerprint_ = digest;
+  });
   return content_fingerprint_;
 }
 
@@ -119,17 +135,18 @@ std::shared_ptr<const SynthesisSetup> resolve_setup(
 
 // --- ModelStore --------------------------------------------------------------
 
-Result<ModelInfo> ModelStore::load_text(std::string_view text, std::string_view name) {
+Result<ModelInfo> ModelStore::load_text(std::string_view text, std::string_view name,
+                                        std::uint64_t content_salt) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
     // Variant-aware: text with a `variants v1` section reconstructs the
     // cluster/interface structure, plain graph text loads flat.
     variant::VariantModel model = variant::parse_text(text);
     if (!name.empty()) model.graph().set_name(std::string{name});
-    return adopt("text", std::move(model), nullptr);
+    return adopt("text", std::move(model), nullptr, content_salt);
   });
 }
 
-Result<ModelInfo> ModelStore::load_file(const std::string& path) {
+Result<ModelInfo> ModelStore::load_file(const std::string& path, std::uint64_t content_salt) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
     std::error_code ec;
     if (!std::filesystem::is_regular_file(path, ec)) {
@@ -139,7 +156,7 @@ Result<ModelInfo> ModelStore::load_file(const std::string& path) {
     if (!in) return Result<ModelInfo>::failure(diag::kIoError, "cannot open '" + path + "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return adopt(path, variant::parse_text(buffer.str()), nullptr);
+    return adopt(path, variant::parse_text(buffer.str()), nullptr, content_salt);
   });
 }
 
@@ -147,7 +164,8 @@ Result<ModelInfo> ModelStore::load_builtin(std::string_view name) {
   return load_builtin(LoadBuiltinRequest{.name = std::string{name}});
 }
 
-Result<ModelInfo> ModelStore::load_builtin(const LoadBuiltinRequest& request) {
+Result<ModelInfo> ModelStore::load_builtin(const LoadBuiltinRequest& request,
+                                           std::uint64_t content_salt) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
     const BuiltinModel* builtin = find_builtin(request.name);
     if (!builtin) {
@@ -162,25 +180,29 @@ Result<ModelInfo> ModelStore::load_builtin(const LoadBuiltinRequest& request) {
           diag::kUnknownBuiltin,
           "no built-in model '" + request.name + "' (see Session::builtins())");
     }
-    return adopt("builtin:" + builtin->name, builtin->make(request.options), builtin);
+    return adopt("builtin:" + builtin->name, builtin->make(request.options), builtin,
+                 content_salt);
   });
 }
 
-Result<ModelInfo> ModelStore::load_model(std::string_view spec) {
+Result<ModelInfo> ModelStore::load_model(std::string_view spec, std::uint64_t content_salt) {
   // Corpus names route through the builtin path even when malformed, so the
   // caller sees a grammar diagnostic rather than a missing-file error.
-  if (find_builtin(spec) || corpus::is_corpus_name(spec)) return load_builtin(spec);
-  return load_file(std::string{spec});
+  if (find_builtin(spec) || corpus::is_corpus_name(spec)) {
+    return load_builtin(LoadBuiltinRequest{.name = std::string{spec}}, content_salt);
+  }
+  return load_file(std::string{spec}, content_salt);
 }
 
-Result<ModelInfo> ModelStore::load(variant::VariantModel model, std::string_view origin) {
+Result<ModelInfo> ModelStore::load(variant::VariantModel model, std::string_view origin,
+                                   std::uint64_t content_salt) {
   return guarded<ModelInfo>([&]() -> Result<ModelInfo> {
-    return adopt(std::string{origin}, std::move(model), nullptr);
+    return adopt(std::string{origin}, std::move(model), nullptr, content_salt);
   });
 }
 
 Result<ModelInfo> ModelStore::adopt(std::string origin, variant::VariantModel model,
-                                    const BuiltinModel* builtin) {
+                                    const BuiltinModel* builtin, std::uint64_t content_salt) {
   // Id and generation are atomic draws, so entry construction (and any
   // model factory work) happens outside the table lock; only the insertion
   // is serialized. A draw wasted by a throwing factory is fine — ids are
@@ -188,7 +210,7 @@ Result<ModelInfo> ModelStore::adopt(std::string origin, variant::VariantModel mo
   const ModelId id{next_id_.fetch_add(1, std::memory_order_relaxed)};
   const std::uint64_t generation = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto entry = std::make_shared<const StoreEntry>(id, generation, std::move(origin),
-                                                  std::move(model), builtin);
+                                                  std::move(model), builtin, content_salt);
   {
     std::lock_guard lock{mutex_};
     entries_.emplace(id.value(), entry);

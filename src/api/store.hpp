@@ -73,7 +73,8 @@ struct SynthesisSetup {
 class StoreEntry {
  public:
   StoreEntry(ModelId id, std::uint64_t generation, std::string origin,
-             variant::VariantModel model, const BuiltinModel* builtin);
+             variant::VariantModel model, const BuiltinModel* builtin,
+             std::uint64_t content_salt = 0);
 
   StoreEntry(const StoreEntry&) = delete;
   StoreEntry& operator=(const StoreEntry&) = delete;
@@ -98,7 +99,14 @@ class StoreEntry {
   /// (variant::content_fingerprint of its spit text), memoized on first use.
   /// Unlike id/generation it survives restarts — it keys the persistent
   /// result-cache tier. 0 for the rare model whose text cannot round-trip.
+  /// A nonzero content salt (a tenant's namespace key) is mixed in, so the
+  /// same model text loaded by two tenants carries two distinct restart-
+  /// stable identities and their persistent-tier entries never cross;
+  /// salt 0 (the default tenant) keeps the pre-tenancy fingerprint exactly.
   [[nodiscard]] std::uint64_t content_fingerprint() const;
+
+  /// The namespace salt this entry was loaded under (0 = unsalted).
+  [[nodiscard]] std::uint64_t content_salt() const noexcept { return content_salt_; }
 
  private:
   ModelId id_;
@@ -106,6 +114,7 @@ class StoreEntry {
   std::string origin_;
   variant::VariantModel model_;
   const BuiltinModel* builtin_ = nullptr;
+  std::uint64_t content_salt_ = 0;
 
   mutable std::once_flag setup_once_;
   mutable std::shared_ptr<const SynthesisSetup> setup_;
@@ -129,25 +138,33 @@ class ModelStore {
   ModelStore& operator=(const ModelStore&) = delete;
 
   // --- loading (all thread-safe) -------------------------------------------
+  //
+  // Every load takes an optional `content_salt` — the namespace key a
+  // tenant's StoreView passes through so the entry's restart-stable content
+  // identity is scoped to that tenant. The default 0 is the unsalted
+  // pre-tenancy identity; direct callers never need to think about it.
 
   /// Parses a model from "spit" text. `name` overrides the model name for
   /// presentation (empty keeps the parsed one).
-  Result<ModelInfo> load_text(std::string_view text, std::string_view name = {});
+  Result<ModelInfo> load_text(std::string_view text, std::string_view name = {},
+                              std::uint64_t content_salt = 0);
 
   /// Reads and parses a .spit file.
-  Result<ModelInfo> load_file(const std::string& path);
+  Result<ModelInfo> load_file(const std::string& path, std::uint64_t content_salt = 0);
 
   /// Instantiates a registry model with its default options.
   Result<ModelInfo> load_builtin(std::string_view name);
 
   /// Instantiates a registry model with a typed option struct.
-  Result<ModelInfo> load_builtin(const LoadBuiltinRequest& request);
+  Result<ModelInfo> load_builtin(const LoadBuiltinRequest& request,
+                                 std::uint64_t content_salt = 0);
 
   /// Builtin name when it matches one, file path otherwise.
-  Result<ModelInfo> load_model(std::string_view spec);
+  Result<ModelInfo> load_model(std::string_view spec, std::uint64_t content_salt = 0);
 
   /// Adopts an already-built model (programmatic construction).
-  Result<ModelInfo> load(variant::VariantModel model, std::string_view origin = "adopted");
+  Result<ModelInfo> load(variant::VariantModel model, std::string_view origin = "adopted",
+                         std::uint64_t content_salt = 0);
 
   /// Tombstones the model: the snapshot is dropped from the table but the id
   /// stays known, so later calls can distinguish the three UnloadStatus
@@ -184,7 +201,7 @@ class ModelStore {
 
  private:
   Result<ModelInfo> adopt(std::string origin, variant::VariantModel model,
-                          const BuiltinModel* builtin);
+                          const BuiltinModel* builtin, std::uint64_t content_salt);
 
   mutable std::mutex mutex_;  ///< guards entries_ and cache_
   std::map<std::uint32_t, Snapshot> entries_;  ///< tombstone = null snapshot

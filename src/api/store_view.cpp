@@ -1,0 +1,105 @@
+#include "api/store_view.hpp"
+
+#include <utility>
+
+#include "api/detail.hpp"
+
+namespace spivar::api {
+
+StoreView::StoreView(std::shared_ptr<ModelStore> store, TenantContext tenant, TenantQuota quota)
+    : store_(std::move(store)), tenant_(std::move(tenant)), quota_(std::move(quota)) {
+  if (!store_) store_ = std::make_shared<ModelStore>();
+}
+
+template <typename Loader>
+Result<ModelInfo> StoreView::admitted(Loader&& loader) {
+  {
+    std::lock_guard lock{mutex_};
+    if (quota_.max_models != 0 && owned_.size() + pending_ >= quota_.max_models) {
+      return Result<ModelInfo>::failure(
+          diag::kQuotaExceeded, "tenant '" + tenant_.name + "' is at its model quota (" +
+                                    std::to_string(quota_.max_models) +
+                                    " live models); unload one first");
+    }
+    ++pending_;
+  }
+  Result<ModelInfo> loaded = loader();
+  {
+    std::lock_guard lock{mutex_};
+    --pending_;
+    if (loaded.ok()) owned_.insert(loaded.value().id.value());
+  }
+  if (loaded.ok()) record(loaded.value().id);
+  return loaded;
+}
+
+void StoreView::record(ModelId id) {
+  // Tag the id for per-tenant cache accounting (entry caps, hit/miss
+  // breakdowns). The cache may be enabled after a load — the service
+  // enables it at startup, so in practice every tenant load finds it.
+  if (const auto cache = store_->cache()) cache->bind_model_tenant(id.value(), tenant_.tag);
+}
+
+Result<ModelInfo> StoreView::load_text(std::string_view text, std::string_view name) {
+  return admitted([&] { return store_->load_text(text, name, tenant_.content_salt()); });
+}
+
+Result<ModelInfo> StoreView::load_file(const std::string& path) {
+  return admitted([&] { return store_->load_file(path, tenant_.content_salt()); });
+}
+
+Result<ModelInfo> StoreView::load_builtin(std::string_view name) {
+  return load_builtin(LoadBuiltinRequest{.name = std::string{name}});
+}
+
+Result<ModelInfo> StoreView::load_builtin(const LoadBuiltinRequest& request) {
+  return admitted([&] { return store_->load_builtin(request, tenant_.content_salt()); });
+}
+
+Result<ModelInfo> StoreView::load_model(std::string_view spec) {
+  return admitted([&] { return store_->load_model(spec, tenant_.content_salt()); });
+}
+
+Result<ModelInfo> StoreView::load(variant::VariantModel model, std::string_view origin) {
+  return admitted(
+      [&] { return store_->load(std::move(model), origin, tenant_.content_salt()); });
+}
+
+bool StoreView::owns(ModelId id) const {
+  std::lock_guard lock{mutex_};
+  return owned_.contains(id.value());
+}
+
+UnloadStatus StoreView::unload(ModelId id) {
+  {
+    std::lock_guard lock{mutex_};
+    if (tombstoned_.contains(id.value())) return UnloadStatus::kAlreadyUnloaded;
+    // An id this view never issued is indistinguishable from one that does
+    // not exist — even when another tenant (or the host process) holds it
+    // live. This is the no-cross-tenant-tombstone guarantee.
+    if (!owned_.contains(id.value())) return UnloadStatus::kNeverLoaded;
+    owned_.erase(id.value());
+    tombstoned_.insert(id.value());
+  }
+  return store_->unload(id);
+}
+
+Result<ModelInfo> StoreView::info(ModelId id) const {
+  if (!owns(id)) return detail::unknown_model<ModelInfo>(id);
+  return store_->info(id);
+}
+
+std::vector<ModelInfo> StoreView::models() const {
+  std::vector<ModelInfo> out;
+  for (ModelInfo& info : store_->models()) {
+    if (owns(info.id)) out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t StoreView::size() const {
+  std::lock_guard lock{mutex_};
+  return owned_.size();
+}
+
+}  // namespace spivar::api

@@ -1,0 +1,68 @@
+// Tenant identity and quotas for the multi-tenant service stack.
+//
+// A tenant is a namespace over one shared ModelStore: its models, cache
+// entries and in-flight work are scoped by a small integer *tag*. Tag 0 is
+// the default tenant — the pre-tenancy world every legacy client lives in —
+// and everything tenant-aware treats it as "no scoping": unsalted content
+// fingerprints, no quotas, byte-identical behavior to a server that has
+// never heard of tenants.
+//
+// The pieces that consume these types:
+//   * api::StoreView (store_view.hpp) — the per-tenant store namespace.
+//   * api::ResultCache — per-tag entry caps and hit/miss accounting.
+//   * service::Service — binds a connection to a tenant on `hello v1`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spivar::api {
+
+/// Resource limits of one tenant. 0 always means "unlimited" — the default
+/// tenant runs with an all-zero quota.
+struct TenantQuota {
+  /// Live models the tenant may hold in the store at once (its own loads;
+  /// tombstones do not count).
+  std::size_t max_models = 0;
+  /// Result-cache entries the tenant's models may occupy; at the cap, an
+  /// insert evicts one of the *tenant's own* entries, never another
+  /// tenant's — the isolation that stops one tenant's sweep from
+  /// evict-storming everyone else.
+  std::size_t max_cache_entries = 0;
+  /// Pipelined (v2) frames the tenant may have evaluating at once across
+  /// all its connections; beyond it requests are rejected with a typed
+  /// api-overload reply (not blocked — blocking would stall the
+  /// connection), composing with the per-connection --max-inflight
+  /// backpressure.
+  std::size_t max_inflight = 0;
+  /// Shared secret the hello frame must present; empty admits any client
+  /// naming the tenant.
+  std::string token;
+};
+
+/// The identity a bound connection (and its Session/StoreView) carries.
+struct TenantContext {
+  std::string name;       ///< "" for the default tenant
+  std::uint32_t tag = 0;  ///< 0 = default; cache tag and content-salt seed
+
+  [[nodiscard]] bool is_default() const noexcept { return tag == 0; }
+
+  /// The content-fingerprint salt of this tenant: 0 (unsalted — the
+  /// pre-tenancy identity, shared disk entries) for the default tenant, an
+  /// FNV-1a digest of the *name* otherwise, so two tenants loading
+  /// byte-identical model text can never share a persistent-tier entry.
+  /// Name-derived (not tag-derived) on purpose: tags are assigned in hello
+  /// order, while a tenant must re-hit its own disk entries across restarts
+  /// regardless of who connected first.
+  [[nodiscard]] std::uint64_t content_salt() const noexcept {
+    if (tag == 0 || name.empty()) return 0;
+    std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+    for (const char c : name) {
+      digest ^= static_cast<unsigned char>(c);
+      digest *= 1099511628211ull;  // FNV prime
+    }
+    return digest == 0 ? 1 : digest;  // 0 means "unsalted" — never collide with it
+  }
+};
+
+}  // namespace spivar::api

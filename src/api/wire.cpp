@@ -1335,6 +1335,28 @@ std::optional<ControlCommand> parse_control(std::string_view frame) {
   }
 }
 
+std::string hello_frame(std::string_view tenant, std::string_view token) {
+  std::string out = "hello v" + std::to_string(kVersion) + " " + quote(tenant);
+  if (!token.empty()) out += " " + quote(token);
+  out += "\nend\n";
+  return out;
+}
+
+std::optional<HelloCommand> parse_hello(std::string_view frame) {
+  try {
+    const std::optional<Line> header = service_frame_header(frame, "hello");
+    if (!header) return std::nullopt;
+    Args args{*header, 2};
+    HelloCommand hello;
+    hello.tenant = args.take("tenant").text;
+    if (!args.done()) hello.token = args.take("token").text;
+    args.finish();
+    return hello;
+  } catch (const FrameError&) {
+    return std::nullopt;
+  }
+}
+
 std::string encode_info(std::string_view text) {
   std::string out = "info v" + std::to_string(kVersion) + "\n";
   out += "text " + quote(text) + "\n";

@@ -138,6 +138,20 @@ struct ControlCommand {
 [[nodiscard]] std::string encode_info(std::string_view text);
 [[nodiscard]] Result<std::string> decode_info(std::string_view frame);
 
+/// Hello frame binding a connection to a tenant namespace:
+/// "hello v1 <tenant> [token]\nend\n". Sent once, before any request; a
+/// connection that never says hello stays in the default tenant and sees
+/// exactly the pre-tenancy service (full v1/v2 compatibility).
+[[nodiscard]] std::string hello_frame(std::string_view tenant, std::string_view token = {});
+
+/// Tenant + optional token of a hello frame; nullopt when `frame` is not a
+/// hello frame of this version.
+struct HelloCommand {
+  std::string tenant;
+  std::string token;  ///< empty when the frame carried none
+};
+[[nodiscard]] std::optional<HelloCommand> parse_hello(std::string_view frame);
+
 // --- stream utilities --------------------------------------------------------
 
 /// Reads the next frame from `in`: skips blank lines, then accumulates

@@ -27,6 +27,13 @@ constexpr std::string_view kMagic = "spivar-disk";
 constexpr int kVersion = 1;
 constexpr std::string_view kExtension = ".spr";
 
+/// How far into the LRU tail cost-weighted eviction looks for the cheapest
+/// victim. Mirrors the memory tier's cost window: small enough that recency
+/// still dominates (an entry must age into the tail before cost matters),
+/// large enough that one expensive straggler cannot pin the tail while
+/// cheap entries are evicted around it.
+constexpr std::size_t kEvictionWindow = 8;
+
 std::string hex(std::uint64_t value, int digits) {
   char buffer[17];
   std::snprintf(buffer, sizeof buffer, "%0*llx", digits,
@@ -120,7 +127,10 @@ DiskTier::DiskTier(PersistConfig config, DiagnosticSink sink)
             [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
   for (const Found& entry : found) {
     lru_.push_front(entry.key);
-    index_.emplace(entry.key, IndexEntry{entry.bytes, lru_.begin()});
+    // Cost 0 = unknown until the entry's first hit reads the real value
+    // back out of its header — which also makes stale leftovers the
+    // preferred eviction victims.
+    index_.emplace(entry.key, IndexEntry{entry.bytes, 0, lru_.begin()});
     bytes_ += entry.bytes;
   }
   std::lock_guard lock{mutex_};
@@ -155,7 +165,21 @@ void DiskTier::drop_locked(DiskKey key, std::uint64_t* counter) {
 
 void DiskTier::evict_to_fit_locked() {
   while (bytes_ > config_.capacity_bytes && !lru_.empty()) {
-    drop_locked(lru_.back(), &evictions_);
+    // Cheapest entry of the LRU tail window goes first; walking tail-first
+    // means an older entry wins cost ties, so pure LRU behavior is
+    // preserved whenever costs are equal (or all unknown).
+    auto victim = std::prev(lru_.end());
+    std::uint64_t victim_cost = index_.at(*victim).cost_us;
+    auto it = victim;
+    for (std::size_t scanned = 1; scanned < kEvictionWindow && it != lru_.begin(); ++scanned) {
+      --it;
+      const std::uint64_t cost = index_.at(*it).cost_us;
+      if (cost < victim_cost) {
+        victim = it;
+        victim_cost = cost;
+      }
+    }
+    drop_locked(*victim, &evictions_);
   }
 }
 
@@ -249,8 +273,10 @@ std::optional<DiskEntry> DiskTier::load(const DiskKey& key, std::string_view kin
     return skip("payload CRC mismatch");
   }
 
-  // Refresh recency.
+  // Refresh recency, and backfill the cost a startup scan indexed as
+  // unknown — from here on this entry competes at its real value.
   lru_.splice(lru_.begin(), lru_, it->second.lru);
+  it->second.cost_us = cost_us;
   ++hits_;
   return entry;
 }
@@ -322,7 +348,7 @@ void DiskTier::store(const DiskKey& key, std::string_view kind_name, std::string
     index_.erase(it);
   }
   lru_.push_front(key);
-  index_.emplace(key, IndexEntry{blob.size(), lru_.begin()});
+  index_.emplace(key, IndexEntry{blob.size(), cost_us, lru_.begin()});
   bytes_ += blob.size();
   ++stores_;
   evict_to_fit_locked();

@@ -31,8 +31,13 @@
 // Concurrency: every method is safe from any thread (one internal mutex —
 // the disk tier is the slow path behind the sharded in-memory tier, so
 // serializing its I/O is deliberate). Entries are LRU-ordered in memory
-// (seeded from file mtimes at startup); store() evicts least-recently-used
-// files until capacity_bytes holds.
+// (seeded from file mtimes at startup); eviction is *cost-weighted* the way
+// the memory tier's is: among the last kEvictionWindow entries of the LRU
+// list, the one whose recorded cost-us is lowest goes first — a cheap
+// result the server can recompute in microseconds should never outlive an
+// expensive sweep just because it was touched more recently. Entries
+// indexed at startup carry cost 0 (unknown) until their first hit re-reads
+// the header, which makes never-touched leftovers the preferred victims.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +110,7 @@ class DiskTier {
  private:
   struct IndexEntry {
     std::uint64_t bytes = 0;
+    std::uint64_t cost_us = 0;  ///< recorded eval cost; 0 = unknown (startup scan)
     std::list<DiskKey>::iterator lru;  ///< position in lru_ (front = MRU)
   };
 
@@ -117,7 +123,9 @@ class DiskTier {
   /// Removes `key` from index and disk. Lock held by caller. By value on
   /// purpose: eviction passes `lru_.back()`, which this method erases.
   void drop_locked(DiskKey key, std::uint64_t* counter);
-  /// Deletes LRU entries until `bytes_ <= capacity`. Lock held by caller.
+  /// Evicts until `bytes_ <= capacity`: each round drops the cheapest
+  /// (lowest cost-us) of the last kEvictionWindow LRU entries, oldest
+  /// winning ties. Lock held by caller.
   void evict_to_fit_locked();
 
   PersistConfig config_;

@@ -20,6 +20,20 @@ Service::Service(const ServiceOptions& options)
       executor_(api::make_executor(options.jobs)),
       session_(store_, executor_),
       max_inflight_(std::max<std::size_t>(options.max_inflight, 1)) {
+  if (options.overload_miss_rate < 1.0) {
+    // One controller for the whole service: overload is a property of the
+    // shared executor, so every tenant (the default one included) sheds
+    // against the same projection.
+    admission_ = std::make_shared<api::AdmissionController>(
+        api::AdmissionConfig{.max_miss_rate = options.overload_miss_rate,
+                             .retry_after = options.overload_retry_after});
+  }
+  // The default session gets a tag-0 view of its own: identical behavior to
+  // the pre-tenancy service (unsalted identity, no quotas) but models() and
+  // raw-id lookups are scoped to what *this* session loaded — a no-hello
+  // client never observes another tenant's models.
+  session_.bind_tenant(std::make_shared<api::StoreView>(store_, api::TenantContext{}),
+                       admission_);
   if (options.cache || !options.cache_dir.empty()) {
     api::CacheConfig config;
     config.capacity = options.cache.value_or(1024);
@@ -49,6 +63,50 @@ Service::Service(const ServiceOptions& options)
     }
     record_fsync_ = options.fsync;
   }
+  // Configured tenants are provisioned after the cache exists, so their
+  // entry caps land on the live cache immediately.
+  for (const ServiceOptions::TenantSpec& spec : options.tenants) {
+    if (spec.name.empty() || spec.name == "default") continue;  // tag 0 is implicit
+    std::lock_guard lock{tenants_mutex_};
+    if (!tenants_.contains(spec.name)) create_tenant_locked(spec.name, spec.quota);
+  }
+}
+
+std::shared_ptr<Service::Tenant> Service::create_tenant_locked(const std::string& name,
+                                                               const api::TenantQuota& quota) {
+  auto tenant = std::make_shared<Tenant>();
+  tenant->context = api::TenantContext{.name = name, .tag = next_tag_++};
+  tenant->quota = quota;
+  tenant->view = std::make_shared<api::StoreView>(store_, tenant->context, quota);
+  tenant->session = std::make_shared<api::Session>(store_, executor_);
+  tenant->session->bind_tenant(tenant->view, admission_);
+  if (quota.max_cache_entries > 0) {
+    if (const auto cache = store_->cache()) {
+      cache->set_tenant_cap(tenant->context.tag, quota.max_cache_entries);
+    }
+  }
+  tenants_.emplace(name, tenant);
+  return tenant;
+}
+
+std::shared_ptr<Service::Tenant> Service::authenticate(const std::string& name,
+                                                       const std::string& token,
+                                                       std::string* error) {
+  if (name == "default") return nullptr;  // the shared pre-tenancy session
+  std::lock_guard lock{tenants_mutex_};
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    // Ad hoc tenants get default (unlimited) quotas — isolation without
+    // provisioning. Only configured tenants carry tokens, so nothing
+    // protected is reachable this way.
+    create_tenant_locked(name, {});
+    it = tenants_.find(name);
+  }
+  if (!it->second->quota.token.empty() && it->second->quota.token != token) {
+    *error = "invalid token for tenant '" + name + "'";
+    return nullptr;
+  }
+  return it->second;
 }
 
 Service::~Service() {
@@ -78,22 +136,54 @@ void Service::warm(std::istream& in) {
   }
 }
 
+namespace {
+
+/// The typed reply for a frame rejected at a tenant's in-flight cap: same
+/// diagnostic code and "retry-after-ms N" hint shape as admission shedding,
+/// so clients handle both overload paths with one parser.
+api::Result<api::AnyResponse> tenant_cap_failure(const std::string& tenant, std::size_t cap) {
+  return api::Result<api::AnyResponse>::failure(
+      api::diag::kOverload, "tenant '" + tenant + "' is at its in-flight cap (" +
+                                std::to_string(cap) + "); retry-after-ms 10");
+}
+
+}  // namespace
+
 StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMode mode) {
   Writer writer{out};
   Inflight inflight;
   StreamStats stats;
+  // The stream starts on the default tenant (the shared pre-tenancy
+  // session); a hello frame re-binds it. Tenants outlive every stream, so
+  // the raw session pointer stays valid for the loop's lifetime.
+  std::shared_ptr<Tenant> tenant;
+  api::Session* session = &session_;
   while (!shutdown_requested()) {
     const auto frame = api::wire::read_frame(in);
     if (!frame) break;
     ++stats.frames;
     try {
       record_frame(*frame);
+      if (const auto hello = api::wire::parse_hello(*frame)) {
+        std::string error;
+        std::shared_ptr<Tenant> bound = authenticate(hello->tenant, hello->token, &error);
+        if (!error.empty()) {
+          reply_error(writer, error);
+          continue;
+        }
+        tenant = std::move(bound);
+        session = tenant ? tenant->session.get() : &session_;
+        const std::uint32_t tag = tenant ? tenant->context.tag : 0;
+        reply_info(writer,
+                   "hello tenant " + hello->tenant + " tag " + std::to_string(tag));
+        continue;
+      }
       if (const auto slots = api::wire::parse_batch_header(*frame)) {
-        handle_batch(*slots, in, writer);
+        handle_batch(*slots, in, writer, *session);
         continue;
       }
       if (const auto control = api::wire::parse_control(*frame)) {
-        handle_control(*control, writer);
+        handle_control(*control, writer, *session);
         continue;
       }
       const std::optional<std::uint64_t> frame_id = api::wire::request_frame_id(*frame);
@@ -102,7 +192,7 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
         // evaluated inline — a v1-only client sees exactly the v1 service.
         const api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
         const api::Result<api::AnyResponse> result =
-            request.ok() ? session_.call(request.value())
+            request.ok() ? session->call(request.value())
                          : api::Result<api::AnyResponse>::failure(request.diagnostics());
         writer.write(api::wire::encode(result));
         continue;
@@ -135,13 +225,34 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
         // --replay/--warm: evaluate inline so the reply order (and the
         // cache fill order) reproduces the recorded submission order
         // byte-for-byte; the reply still carries its v2 tag.
-        writer.write(api::wire::encode(session_.call(request.value()), *frame_id));
+        writer.write(api::wire::encode(session->call(request.value()), *frame_id));
         std::lock_guard lock{inflight.mutex};
         --inflight.count;
         inflight.drained.notify_all();
         continue;
       }
-      submit_pipelined(std::move(request).value(), *frame_id, writer, inflight);
+      if (tenant != nullptr && tenant->quota.max_inflight > 0) {
+        // The tenant's cap composes with the stream cap above — but where
+        // the stream cap *blocks* (backpressure to this client only), the
+        // tenant cap *rejects*: blocking here would let one capped tenant
+        // hold reader threads hostage while other tenants' frames queue
+        // behind it. fetch_add-then-check keeps the cap exact across the
+        // tenant's concurrent connections.
+        if (tenant->inflight.fetch_add(1, std::memory_order_acq_rel) >=
+            tenant->quota.max_inflight) {
+          tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+          tenant->shed.fetch_add(1, std::memory_order_relaxed);
+          ++stats.shed;
+          writer.write(api::wire::encode(
+              tenant_cap_failure(tenant->context.name, tenant->quota.max_inflight), *frame_id));
+          std::lock_guard lock{inflight.mutex};
+          --inflight.count;
+          inflight.drained.notify_all();
+          continue;
+        }
+      }
+      submit_pipelined(std::move(request).value(), *frame_id, writer, inflight, *session,
+                       tenant);
     } catch (const std::exception& e) {
       reply_error(writer, std::string{"internal error handling frame: "} + e.what());
     }
@@ -155,16 +266,21 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
 }
 
 void Service::submit_pipelined(api::AnyRequest request, std::uint64_t frame_id, Writer& writer,
-                               Inflight& inflight) {
+                               Inflight& inflight, api::Session& session,
+                               std::shared_ptr<Tenant> tenant) {
   std::vector<api::AnyRequest> one;
   one.push_back(std::move(request));
   // The handle is deliberately discarded: the slot's task keeps the batch
   // state alive, the callback below is the delivery path, and serve_stream
   // drains the inflight count before its stack (writer, inflight) unwinds.
-  (void)session_.submit(
-      std::move(one),
-      [&writer, &inflight, frame_id](std::size_t, const api::Result<api::AnyResponse>& result) {
+  // The tenant's in-flight token (acquired by the caller) releases here too.
+  (void)session.submit(
+      std::move(one), [&writer, &inflight, frame_id, tenant = std::move(tenant)](
+                          std::size_t, const api::Result<api::AnyResponse>& result) {
         writer.write(api::wire::encode(result, frame_id));
+        if (tenant && tenant->quota.max_inflight > 0) {
+          tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        }
         std::lock_guard lock{inflight.mutex};
         --inflight.count;
         inflight.drained.notify_all();
@@ -196,7 +312,8 @@ void Service::record_frame(const std::string& frame) {
   if (record_fsync_) ::fsync(record_fd_);
 }
 
-void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer) {
+void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer,
+                           api::Session& session) {
   // Sanity-cap the client-supplied count before allocating anything for
   // it — a corrupt header must not be able to abort the shared server.
   constexpr std::size_t kMaxBatchSlots = 65'536;
@@ -230,7 +347,7 @@ void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer) 
       positions.push_back(i);
     }
   }
-  auto handle = session_.submit(std::move(requests));
+  auto handle = session.submit(std::move(requests));
   const std::vector<api::Result<api::AnyResponse>> landed = handle.wait();
 
   std::vector<api::Result<api::AnyResponse>> results;
@@ -278,6 +395,31 @@ std::string Service::describe_model(const api::ModelInfo& info) {
   return api::render(info) + "  content-fingerprint " + hex + "\n";
 }
 
+std::string Service::render_tenant_cache_stats() {
+  const auto cache = store_->cache();
+  if (!cache) return {};
+  const std::vector<api::TenantCacheStats> rows = cache->tenant_stats();
+  if (rows.empty()) return {};
+  // tag -> name, so the breakdown reads by tenant name, not internal tag.
+  std::map<std::uint32_t, std::string> names;
+  {
+    std::lock_guard lock{tenants_mutex_};
+    for (const auto& [name, tenant] : tenants_) names[tenant->context.tag] = name;
+  }
+  std::string text;
+  for (const api::TenantCacheStats& row : rows) {
+    const auto it = names.find(row.tag);
+    char rate[16];
+    std::snprintf(rate, sizeof rate, "%.3f", row.hit_rate());
+    text += "tenant " + (it != names.end() ? it->second : "#" + std::to_string(row.tag)) +
+            "  entries " + std::to_string(row.entries) +
+            (row.cap > 0 ? "/" + std::to_string(row.cap) : "") + "  hits " +
+            std::to_string(row.hits) + "  misses " + std::to_string(row.misses) +
+            "  evictions " + std::to_string(row.evictions) + "  hit-rate " + rate + "\n";
+  }
+  return text;
+}
+
 void Service::handle_cache_control(const api::wire::ControlCommand& control, Writer& writer) {
   const auto cache = store_->cache();
   if (!cache) {
@@ -286,7 +428,7 @@ void Service::handle_cache_control(const api::wire::ControlCommand& control, Wri
   }
   const std::string sub = control.args.empty() ? std::string{"stats"} : control.args.front();
   if (sub == "stats") {
-    reply_info(writer, api::render(cache->stats()));
+    reply_info(writer, api::render(cache->stats()) + render_tenant_cache_stats());
     return;
   }
   if (sub == "persist") {
@@ -310,28 +452,33 @@ void Service::handle_cache_control(const api::wire::ControlCommand& control, Wri
   reply_error(writer, "unknown cache subcommand '" + sub + "' (expected stats|persist|flush)");
 }
 
-void Service::handle_control(const api::wire::ControlCommand& control, Writer& writer) {
+void Service::handle_control(const api::wire::ControlCommand& control, Writer& writer,
+                             api::Session& session) {
   if (control.command == "ping") {
     reply_info(writer, "pong");
     return;
   }
   if (control.command == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
+    // The graceful half of shutdown happens before the reply: queued spills
+    // drained and the memory tier persisted, so an orchestrated stop loses
+    // nothing even if the process is killed right after the frame flushes.
+    finish();
     reply_info(writer, "shutting down");
     if (on_shutdown) on_shutdown();
     return;
   }
   if (control.command == "models") {
     std::string text;
-    for (const api::ModelInfo& info : session_.models()) {
+    for (const api::ModelInfo& info : session.models()) {
       text += "#" + std::to_string(info.id.value()) + " " + describe_model(info);
     }
     reply_info(writer, text.empty() ? "no models loaded" : text);
     return;
   }
   if (control.command == "cache-stats") {
-    const auto stats = session_.cache_stats();
-    reply_info(writer, stats ? api::render(*stats)
+    const auto stats = session.cache_stats();
+    reply_info(writer, stats ? api::render(*stats) + render_tenant_cache_stats()
                              : "result cache disabled (start with '--cache N')");
     return;
   }
@@ -340,8 +487,24 @@ void Service::handle_control(const api::wire::ControlCommand& control, Writer& w
     return;
   }
   if (control.command == "executor-stats") {
-    reply_info(writer, "executor " + executor_->name() + "\n" +
-                           api::render(session_.executor_stats()));
+    std::string text =
+        "executor " + executor_->name() + "\n" + api::render(session.executor_stats());
+    if (admission_) {
+      text += "admission admitted " + std::to_string(admission_->admitted()) + "  rejected " +
+              std::to_string(admission_->rejected()) + "\n";
+    }
+    {
+      std::lock_guard lock{tenants_mutex_};
+      for (const auto& [name, tenant] : tenants_) {
+        text += "tenant " + name + "  inflight " +
+                std::to_string(tenant->inflight.load(std::memory_order_relaxed));
+        if (tenant->quota.max_inflight > 0) {
+          text += "/" + std::to_string(tenant->quota.max_inflight);
+        }
+        text += "  shed " + std::to_string(tenant->shed.load(std::memory_order_relaxed)) + "\n";
+      }
+    }
+    reply_info(writer, text);
     return;
   }
   if (control.command == "load") {
@@ -350,7 +513,7 @@ void Service::handle_control(const api::wire::ControlCommand& control, Writer& w
       return;
     }
     const std::vector<std::string> options(control.args.begin() + 1, control.args.end());
-    const auto resolved = session_.resolve(control.args.front(), options);
+    const auto resolved = session.resolve(control.args.front(), options);
     if (!resolved.ok()) {
       reply_error(writer, resolved.diagnostics());
       return;
@@ -364,7 +527,7 @@ void Service::handle_control(const api::wire::ControlCommand& control, Writer& w
       reply_error(writer, "'unload' requires exactly one model spec");
       return;
     }
-    const std::vector<api::ModelId> handles = session_.resolved_handles(control.args.front());
+    const std::vector<api::ModelId> handles = session.resolved_handles(control.args.front());
     if (handles.empty()) {
       reply_info(writer, control.args.front() + ": " +
                              api::to_string(api::UnloadStatus::kNeverLoaded) +
@@ -374,12 +537,19 @@ void Service::handle_control(const api::wire::ControlCommand& control, Writer& w
     std::string text;
     for (const api::ModelId handle : handles) {
       text += control.args.front() + " #" + std::to_string(handle.value()) + ": " +
-              api::to_string(session_.unload(handle)) + "\n";
+              api::to_string(session.unload(handle)) + "\n";
     }
     reply_info(writer, text);
     return;
   }
   reply_error(writer, "unknown control command '" + control.command + "'");
+}
+
+void Service::finish() {
+  if (const auto cache = store_->cache()) {
+    cache->drain_spills();
+    if (cache->persistent()) cache->persist_all();
+  }
 }
 
 }  // namespace spivar::service

@@ -20,25 +20,38 @@
 //                                  cache-stats | cache [stats|persist|flush] |
 //                                  executor-stats | shutdown
 //                                  -> info frame (or an error response)
+//   hello v1 <tenant> [token]      binds the connection to a tenant: later
+//                                  frames evaluate through that tenant's
+//                                  Session/StoreView (scoped ids, quotas,
+//                                  salted content identity). No hello =
+//                                  the default tenant = pre-tenancy service
+//                                  behavior, byte for byte.
 //
 // Pipelining contract per connection: one writer mutex serializes whole
 // reply frames (no reordering buffer — a reply streams the moment its slot
 // lands), and at most `max_inflight` v2 frames are evaluating at once; the
 // reader stops pulling bytes off the socket until a slot drains, which is
-// what pushes backpressure to the client. v1 frames, batches and controls
-// are handled inline, so a v1-only client observes exactly the strict
-// arrival-order behavior of protocol v1.
+// what pushes backpressure to the client. A tenant's own max_inflight quota
+// composes with that: at the tenant cap the frame is *rejected* with a
+// typed api-overload reply (and a retry-after hint) instead of blocking the
+// reader — one tenant's burst must not stall another tenant sharing the
+// executor. v1 frames, batches and controls are handled inline, so a
+// v1-only client observes exactly the strict arrival-order behavior of
+// protocol v1.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "api/api.hpp"
 
@@ -54,6 +67,23 @@ struct ServiceOptions {
   /// Per-connection cap on v2 frames evaluating at once; the reader blocks
   /// (stops consuming the socket) until a slot drains. Clamped to >= 1.
   std::size_t max_inflight = 64;
+
+  /// Pre-provisioned tenants (quotas, optional tokens). A hello naming an
+  /// unknown tenant is admitted with default (unlimited) quotas — only
+  /// configured tenants can demand a token.
+  struct TenantSpec {
+    std::string name;
+    api::TenantQuota quota;
+  };
+  std::vector<TenantSpec> tenants;
+
+  /// Admission control: shed requests (typed api-overload + retry-after)
+  /// while the executor's projected deadline-miss rate sits at or above
+  /// this bound. >= 1.0 disables shedding (the default — a miss rate cannot
+  /// exceed 1).
+  double overload_miss_rate = 1.0;
+  /// The retry-after hint attached to shed replies.
+  std::chrono::milliseconds overload_retry_after{100};
 };
 
 /// Per-stream telemetry serve_stream reports when the stream ends — what
@@ -62,6 +92,7 @@ struct StreamStats {
   std::uint64_t frames = 0;             ///< frames read (requests, batches, controls)
   std::uint64_t pipelined = 0;          ///< v2 request frames submitted
   std::uint64_t backpressure_waits = 0; ///< reader stalls at max_inflight
+  std::uint64_t shed = 0;               ///< v2 frames rejected at a tenant's in-flight cap
 };
 
 /// The shared service state: one store, one executor, one session — every
@@ -85,10 +116,18 @@ class Service {
 
   /// Replays a recorded request log against the shared session, responses
   /// discarded — run before accepting connections, this pre-populates both
-  /// cache tiers. Recording is suspended for the duration (warming from the
-  /// log being recorded would duplicate it every restart) and a shutdown
-  /// control inside the log is neutralized afterwards.
+  /// cache tiers. Recorded hello frames re-bind their tenants, so a warm
+  /// restart restores per-tenant cache state too. Recording is suspended
+  /// for the duration (warming from the log being recorded would duplicate
+  /// it every restart) and a shutdown control inside the log is neutralized
+  /// afterwards.
   void warm(std::istream& in);
+
+  /// Flushes everything a graceful exit must not lose: drains queued async
+  /// cache spills, then persists the remaining memory-tier entries (with a
+  /// persistent tier). Idempotent — the drain path and the shutdown control
+  /// both call it; calling it twice writes nothing new.
+  void finish();
 
   [[nodiscard]] bool shutdown_requested() const noexcept {
     return shutdown_.load(std::memory_order_acquire);
@@ -126,28 +165,59 @@ class Service {
     std::size_t count = 0;
   };
 
+  /// One tenant's service-side state: the view/session pair every
+  /// connection bound to this tenant shares, plus in-flight accounting for
+  /// the per-tenant cap. Created at startup (configured tenants) or on
+  /// first hello (ad hoc tenants) and kept for the service's lifetime.
+  struct Tenant {
+    api::TenantContext context;
+    api::TenantQuota quota;
+    std::shared_ptr<api::StoreView> view;
+    std::shared_ptr<api::Session> session;
+    std::atomic<std::size_t> inflight{0};    ///< v2 slots evaluating now
+    std::atomic<std::uint64_t> shed{0};      ///< frames rejected at the cap
+  };
+
   void record_frame(const std::string& frame);
-  void handle_batch(std::size_t slots, std::istream& in, Writer& writer);
-  void handle_control(const api::wire::ControlCommand& control, Writer& writer);
+  void handle_batch(std::size_t slots, std::istream& in, Writer& writer, api::Session& session);
+  void handle_control(const api::wire::ControlCommand& control, Writer& writer,
+                      api::Session& session);
   void handle_cache_control(const api::wire::ControlCommand& control, Writer& writer);
   void reply_info(Writer& writer, const std::string& text);
   void reply_error(Writer& writer, const support::DiagnosticList& diagnostics);
   void reply_error(Writer& writer, const std::string& message);
-  /// Submits one decoded v2 frame to the session; the slot callback writes
-  /// the tagged reply and releases its inflight token.
+  /// Submits one decoded v2 frame to the stream's session; the slot
+  /// callback writes the tagged reply and releases the inflight tokens
+  /// (stream-level, and the tenant's when one is bound).
   void submit_pipelined(api::AnyRequest request, std::uint64_t frame_id, Writer& writer,
-                        Inflight& inflight);
+                        Inflight& inflight, api::Session& session,
+                        std::shared_ptr<Tenant> tenant);
+  /// Resolves a hello: "default" maps to the shared default session
+  /// (returns null with *error empty); an unknown name is provisioned with
+  /// default quotas; a configured token must match (*error set otherwise).
+  std::shared_ptr<Tenant> authenticate(const std::string& name, const std::string& token,
+                                       std::string* error);
+  /// Creates (and registers) a tenant. Caller holds tenants_mutex_.
+  std::shared_ptr<Tenant> create_tenant_locked(const std::string& name,
+                                               const api::TenantQuota& quota);
+  /// "tenant <name> tag N ..." lines for cache-stats / executor-stats.
+  [[nodiscard]] std::string render_tenant_cache_stats();
   static std::string describe_model(const api::ModelInfo& info);
 
   std::shared_ptr<api::ModelStore> store_;
   std::shared_ptr<api::Executor> executor_;
   api::Session session_;
   std::size_t max_inflight_;
+  std::shared_ptr<api::AdmissionController> admission_;  ///< null = shedding off
   std::atomic<bool> shutdown_{false};
   std::mutex record_mutex_;
   int record_fd_ = -1;  ///< O_APPEND request log; -1 = recording off
   bool record_fsync_ = false;
   std::atomic<bool> record_suspended_{false};  ///< true while warming
+
+  std::mutex tenants_mutex_;  ///< guards tenants_ and next_tag_
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  std::uint32_t next_tag_ = 1;  ///< 0 is the default tenant, never assigned
 };
 
 }  // namespace spivar::service

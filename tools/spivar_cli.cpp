@@ -33,7 +33,8 @@
 //                                         `variants v1` section)
 //   spivar_cli selfcheck                  demo -> parse -> validate -> simulate
 //
-//   spivar_cli remote <host:port> <command...> [--then <command...>]
+//   spivar_cli remote <host:port> [--tenant NAME[:TOKEN]] <command...>
+//                                 [--then <command...>]
 //       client mode: runs the same eval commands (simulate/analyze/explore/
 //       pareto/compare with their usual flags, plus --priority/--deadline-ms)
 //       against a spivar_serve instance over the wire protocol, rendering
@@ -41,6 +42,10 @@
 //       cache-stats/executor-stats/ping/shutdown map to control frames, and
 //       `cache [stats|persist|flush]` administers the server's result cache
 //       (persist/flush need a spivar_serve started with --cache-dir).
+//       --tenant sends a `hello v1` frame before the first command, binding
+//       the connection to that tenant's namespace (scoped models, quotas,
+//       per-tenant cache identity); TOKEN authenticates against a
+//       provisioned tenant's shared secret.
 //
 // <model> is a built-in name (see `models`) or a path to a .spit file. Model
 // commands accept repeated `--opt key=value` assignments to load a built-in
@@ -89,7 +94,8 @@ int usage() {
   std::cerr << "usage: spivar_cli <models|validate|stats|simulate|dot|deadlock|buffers|timing|"
                "analyze|explore|pareto|compare|batch|unload|cache-stats|executor-stats|demo|"
                "selfcheck> [model] [options]\n"
-               "       spivar_cli remote <host:port> <command...>   drive a spivar_serve\n"
+               "       spivar_cli remote <host:port> [--tenant NAME[:TOKEN]] <command...>\n"
+               "           drives a spivar_serve (--tenant binds the connection first)\n"
                "       model = built-in name (spivar_cli models) or .spit file path\n"
                "       built-ins take '--opt key=value' (repeatable) for non-default options\n"
                "       commands chain with '--then' and share one model store;\n"
@@ -1046,7 +1052,7 @@ int drain_pending(std::istream& in, std::vector<PendingReply>& pending,
   return rc;
 }
 
-int run_remote(const std::string& endpoint_spec,
+int run_remote(const std::string& endpoint_spec, const std::string& tenant_spec,
                const std::vector<std::vector<std::string>>& segments) {
   const auto endpoint = service::parse_endpoint(endpoint_spec);
   if (!endpoint) {
@@ -1061,6 +1067,25 @@ int run_remote(const std::string& endpoint_spec,
   service::FdStreamBuf buffer{sock.fd()};
   std::istream in{&buffer};
   std::ostream out{&buffer};
+  if (!tenant_spec.empty()) {
+    // Bind the connection before the first command: everything after the
+    // hello evaluates in the tenant's namespace. NAME[:TOKEN].
+    const std::size_t colon = tenant_spec.find(':');
+    const std::string name = tenant_spec.substr(0, colon);
+    const std::string token =
+        colon == std::string::npos ? std::string{} : tenant_spec.substr(colon + 1);
+    out << api::wire::hello_frame(name, token) << std::flush;
+    const auto frame = api::wire::read_frame(in);
+    if (!frame) {
+      std::cerr << "error: connection closed before hello reply\n";
+      return 1;
+    }
+    if (const auto info = api::wire::decode_info(*frame); !info.ok()) {
+      const auto failure = api::wire::decode_response(*frame);
+      std::cerr << api::render_diagnostics(failure.diagnostics());
+      return 1;
+    }
+  }
   std::vector<PendingReply> pending;
   std::map<std::uint64_t, std::string> arrived;
   std::uint64_t next_id = 0;
@@ -1092,10 +1117,16 @@ int main(int argc, char** argv) {
   // mode: the remaining segments run against a spivar_serve instance over
   // one connection instead of an in-process store.
   std::string remote_endpoint;
+  std::string remote_tenant;
   if (args.front() == "remote") {
     if (args.size() < 3) return usage();
     remote_endpoint = args[1];
     args.erase(args.begin(), args.begin() + 2);
+    if (args.front() == "--tenant") {
+      if (args.size() < 3) return usage();
+      remote_tenant = args[1];
+      args.erase(args.begin(), args.begin() + 2);
+    }
   }
 
   // Split the invocation into `--then`-separated command segments. All
@@ -1114,7 +1145,7 @@ int main(int argc, char** argv) {
 
   CliContext ctx;
   try {
-    if (!remote_endpoint.empty()) return run_remote(remote_endpoint, segments);
+    if (!remote_endpoint.empty()) return run_remote(remote_endpoint, remote_tenant, segments);
     for (const auto& segment : segments) {
       if (segment.empty()) return usage();
       const std::vector<std::string> rest(segment.begin() + 1, segment.end());

@@ -16,10 +16,22 @@
 // rate on a writer thread per connection while a reader thread drains
 // replies — measures latency at an offered load, queueing included.
 //
+// Paced latency is *coordinated-omission corrected*: each request's clock
+// starts at its intended schedule slot, not at the moment the (possibly
+// backpressured) writer actually got it onto the wire — a stalled writer
+// therefore bills its stall to the server's percentiles instead of silently
+// thinning the sample. The uncorrected send-to-reply histogram is reported
+// alongside; the gap between the two is the coordination the fix exposes.
+//
 // The request mix cycles kinds (--kinds) over targets (--targets); targets
 // are model specs resolved server-side, so `sweep/...` corpus names mint
 // synthetic models on first use. Simulate seeds cycle through --seed-space
 // values, mixing result-cache hits and misses.
+//
+// --tenants N spreads the connections across N tenants (hello-bound as
+// t0..tN-1 before the first request) and reports per-tenant percentiles —
+// the mixed-tenant isolation workload the multi-tenancy tests and docs
+// reference.
 //
 // --json FILE appends nothing and overwrites FILE with a flat summary object
 // (throughput, error count, latency percentiles) for CI trending.
@@ -57,12 +69,15 @@ int usage() {
       << "usage: spivar_loadgen --endpoint HOST:PORT [--connections N] [--depth K]\n"
          "                      [--requests N] [--rate R] [--duration-ms M]\n"
          "                      [--targets a,b,...] [--kinds simulate,analyze,...]\n"
-         "                      [--seed-space N] [--json FILE]\n"
+         "                      [--seed-space N] [--tenants N] [--json FILE]\n"
          "       closed loop by default: each connection keeps --depth requests in\n"
          "       flight until --requests (total) have completed. --rate switches to\n"
-         "       paced mode: R requests/s aggregate for --duration-ms. Reports\n"
-         "       throughput and latency p50/p90/p99/p999; --json writes the summary\n"
-         "       for CI trending.\n";
+         "       paced mode: R requests/s aggregate for --duration-ms, latencies\n"
+         "       coordinated-omission corrected (clocked from the intended send\n"
+         "       slot) with the raw send-to-reply histogram alongside. --tenants\n"
+         "       spreads connections across N hello-bound tenants (t0..tN-1) and\n"
+         "       reports per-tenant percentiles. --json writes the summary for CI\n"
+         "       trending.\n";
   return 2;
 }
 
@@ -76,6 +91,7 @@ struct Options {
   std::string targets = "fig1,fig2,sweep/i2v2c2-s7";
   std::string kinds = "simulate,analyze";
   std::uint64_t seed_space = 16;
+  std::uint64_t tenants = 0;  ///< > 0: hello-bind connection w to tenant t(w % N)
   std::string json;
 };
 
@@ -144,7 +160,10 @@ bool reply_is_error(const std::string& frame) {
 }
 
 struct WorkerResult {
-  support::LatencyHistogram histogram;
+  support::LatencyHistogram histogram;  ///< send-to-reply (uncorrected)
+  /// Paced mode only: intended-slot-to-reply — the coordinated-omission
+  /// corrected view. Empty in closed loop (there is no schedule to miss).
+  support::LatencyHistogram corrected;
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   std::uint64_t errors = 0;
@@ -152,9 +171,17 @@ struct WorkerResult {
   bool connection_lost = false;
 };
 
+/// Binds the fresh connection to its tenant and consumes the hello reply
+/// frame, so the load loop's sent/received accounting never sees it.
+bool send_hello(std::istream& in, std::ostream& out, const std::string& tenant) {
+  if (tenant.empty()) return true;
+  out << api::wire::hello_frame(tenant) << std::flush;
+  return api::wire::read_frame(in).has_value();
+}
+
 WorkerResult run_closed_loop(const service::Endpoint& endpoint, const Options& options,
                              const std::vector<api::AnyRequest>& mix, std::size_t worker,
-                             std::uint64_t quota) {
+                             std::uint64_t quota, const std::string& tenant) {
   WorkerResult result;
   service::Socket sock = service::connect_to(endpoint);
   if (!sock.valid()) {
@@ -164,6 +191,10 @@ WorkerResult run_closed_loop(const service::Endpoint& endpoint, const Options& o
   service::FdStreamBuf buffer{sock.fd()};
   std::istream in{&buffer};
   std::ostream out{&buffer};
+  if (!send_hello(in, out, tenant)) {
+    result.connection_lost = true;
+    return result;
+  }
 
   std::unordered_map<std::uint64_t, Clock::time_point> inflight;
   inflight.reserve(options.depth * 2);
@@ -203,7 +234,8 @@ WorkerResult run_closed_loop(const service::Endpoint& endpoint, const Options& o
 }
 
 WorkerResult run_paced(const service::Endpoint& endpoint, const Options& options,
-                       const std::vector<api::AnyRequest>& mix, std::size_t worker) {
+                       const std::vector<api::AnyRequest>& mix, std::size_t worker,
+                       const std::string& tenant) {
   WorkerResult result;
   service::Socket sock = service::connect_to(endpoint);
   if (!sock.valid()) {
@@ -213,9 +245,20 @@ WorkerResult run_paced(const service::Endpoint& endpoint, const Options& options
   service::FdStreamBuf buffer{sock.fd()};  // separate in/out buffers: 1 reader + 1 writer
   std::istream in{&buffer};
   std::ostream out{&buffer};
+  if (!send_hello(in, out, tenant)) {
+    result.connection_lost = true;
+    return result;
+  }
 
+  /// When the clock started for one in-flight request: the schedule slot it
+  /// was *meant* to go out at (the coordinated-omission-corrected origin)
+  /// and when the writer actually put it on the wire.
+  struct Origin {
+    Clock::time_point slot;
+    Clock::time_point sent_at;
+  };
   std::mutex inflight_mutex;
-  std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+  std::unordered_map<std::uint64_t, Origin> inflight;
   std::atomic<std::uint64_t> sent{0};
   std::atomic<bool> writer_done{false};
 
@@ -230,12 +273,17 @@ WorkerResult run_paced(const service::Endpoint& endpoint, const Options& options
     for (std::uint64_t i = 0;; ++i) {
       const auto slot = start + interval * i;
       if (slot >= deadline) break;
+      // sleep_until returns immediately once the writer has fallen behind
+      // schedule (a blocking flush under server backpressure); the slot
+      // timestamp — not the late send — is what the corrected histogram
+      // clocks from, so that stall shows up in the percentiles instead of
+      // being coordinated away.
       std::this_thread::sleep_until(slot);
       const std::uint64_t index = worker + i * options.connections;
       const std::string frame = encode_nth(mix, index, options.seed_space, ++id);
       {
         std::lock_guard lock{inflight_mutex};
-        inflight.emplace(id, Clock::now());
+        inflight.emplace(id, Origin{slot, Clock::now()});
       }
       out << frame << std::flush;
       sent.fetch_add(1, std::memory_order_release);
@@ -260,9 +308,13 @@ WorkerResult run_paced(const service::Endpoint& endpoint, const Options& options
     if (const auto id = api::wire::response_frame_id(*frame)) {
       std::lock_guard lock{inflight_mutex};
       if (const auto started = inflight.find(*id); started != inflight.end()) {
-        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-            received_at - started->second);
-        result.histogram.record(static_cast<std::uint64_t>(micros.count()));
+        const auto raw = std::chrono::duration_cast<std::chrono::microseconds>(
+            received_at - started->second.sent_at);
+        const auto from_slot = std::chrono::duration_cast<std::chrono::microseconds>(
+            received_at - started->second.slot);
+        result.histogram.record(static_cast<std::uint64_t>(raw.count()));
+        result.corrected.record(static_cast<std::uint64_t>(std::max<std::int64_t>(
+            from_slot.count(), 0)));
         inflight.erase(started);
       }
     }
@@ -325,6 +377,8 @@ int main(int argc, char** argv) {
       options.kinds = value_of(i);
     } else if (args[i] == "--seed-space") {
       options.seed_space = std::max<std::uint64_t>(number_of(i, 1'000'000'000), 1);
+    } else if (args[i] == "--tenants") {
+      options.tenants = number_of(i, 1'024);
     } else if (args[i] == "--json") {
       options.json = value_of(i);
     } else {
@@ -355,28 +409,50 @@ int main(int argc, char** argv) {
     // the low workers) so `--requests` means what it says in aggregate.
     const std::uint64_t quota = options.requests / options.connections +
                                 (w < options.requests % options.connections ? 1 : 0);
-    workers.emplace_back([&, w, quota] {
-      results[w] = paced ? run_paced(*endpoint, options, mix, w)
-                         : run_closed_loop(*endpoint, options, mix, w, quota);
+    // Connection w belongs to tenant t(w % N); with --tenants 0 every
+    // connection stays the (hello-less) default tenant.
+    const std::string tenant =
+        options.tenants > 0 ? "t" + std::to_string(w % options.tenants) : std::string{};
+    workers.emplace_back([&, w, quota, tenant] {
+      results[w] = paced ? run_paced(*endpoint, options, mix, w, tenant)
+                         : run_closed_loop(*endpoint, options, mix, w, quota, tenant);
     });
   }
   for (std::thread& worker : workers) worker.join();
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - started_at).count();
 
+  /// Per-tenant rollup (index = tenant number; one "default" row when
+  /// --tenants is off, though it only prints with real tenants).
+  struct TenantRollup {
+    support::LatencyHistogram latency;
+    support::LatencyHistogram corrected;
+    std::uint64_t received = 0;
+    std::uint64_t errors = 0;
+  };
+  std::vector<TenantRollup> by_tenant(std::max<std::uint64_t>(options.tenants, 1));
+
   support::LatencyHistogram latency;
+  support::LatencyHistogram corrected;
   std::uint64_t sent = 0, received = 0, errors = 0;
   bool lost = false;
-  for (const WorkerResult& result : results) {
+  for (std::size_t w = 0; w < results.size(); ++w) {
+    const WorkerResult& result = results[w];
     if (result.connect_failed) {
       std::cerr << "error: cannot connect to " << options.endpoint << "\n";
       return 1;
     }
     latency.merge(result.histogram);
+    corrected.merge(result.corrected);
     sent += result.sent;
     received += result.received;
     errors += result.errors;
     lost = lost || result.connection_lost;
+    TenantRollup& rollup = by_tenant[options.tenants > 0 ? w % options.tenants : 0];
+    rollup.latency.merge(result.histogram);
+    rollup.corrected.merge(result.corrected);
+    rollup.received += result.received;
+    rollup.errors += result.errors;
   }
   const double throughput = elapsed_ms > 0.0 ? received / (elapsed_ms / 1000.0) : 0.0;
 
@@ -388,10 +464,22 @@ int main(int argc, char** argv) {
             << (lost ? " [connection lost]" : "") << "\n";
   std::cout << "  elapsed " << support::format_double(elapsed_ms / 1000.0, 3)
             << " s, throughput " << support::format_double(throughput, 1) << " req/s\n";
-  std::cout << "  latency us: min " << latency.min() << "  mean "
-            << support::format_double(latency.mean(), 1) << "  p50 " << latency.quantile(0.50)
-            << "  p90 " << latency.quantile(0.90) << "  p99 " << latency.quantile(0.99)
-            << "  p999 " << latency.quantile(0.999) << "  max " << latency.max() << "\n";
+  const auto print_latency = [](const std::string& label, const support::LatencyHistogram& h) {
+    std::cout << "  " << label << " us: min " << h.min() << "  mean "
+              << support::format_double(h.mean(), 1) << "  p50 " << h.quantile(0.50) << "  p90 "
+              << h.quantile(0.90) << "  p99 " << h.quantile(0.99) << "  p999 "
+              << h.quantile(0.999) << "  max " << h.max() << "\n";
+  };
+  print_latency("latency", latency);
+  if (paced) print_latency("latency (corrected)", corrected);
+  if (options.tenants > 0) {
+    for (std::size_t t = 0; t < by_tenant.size(); ++t) {
+      const TenantRollup& rollup = by_tenant[t];
+      std::cout << "  tenant t" << t << ": " << rollup.received << " replies, " << rollup.errors
+                << " error(s), p50 " << rollup.latency.quantile(0.50) << " us, p99 "
+                << rollup.latency.quantile(0.99) << " us\n";
+    }
+  }
 
   if (!options.json.empty()) {
     support::JsonWriter json;
@@ -413,15 +501,43 @@ int main(int argc, char** argv) {
     json.key("connection_lost").value(lost);
     json.key("elapsed_ms").value(elapsed_ms);
     json.key("throughput_rps").value(throughput);
-    json.key("latency_us").begin_object();
-    json.key("min").value(latency.min());
-    json.key("mean").value(latency.mean());
-    json.key("p50").value(latency.quantile(0.50));
-    json.key("p90").value(latency.quantile(0.90));
-    json.key("p99").value(latency.quantile(0.99));
-    json.key("p999").value(latency.quantile(0.999));
-    json.key("max").value(latency.max());
-    json.end_object();
+    const auto write_histogram = [&json](const support::LatencyHistogram& h) {
+      json.begin_object();
+      json.key("min").value(h.min());
+      json.key("mean").value(h.mean());
+      json.key("p50").value(h.quantile(0.50));
+      json.key("p90").value(h.quantile(0.90));
+      json.key("p99").value(h.quantile(0.99));
+      json.key("p999").value(h.quantile(0.999));
+      json.key("max").value(h.max());
+      json.end_object();
+    };
+    json.key("latency_us");
+    write_histogram(latency);
+    if (paced) {
+      // The uncorrected histogram above is what legacy trending compares;
+      // the corrected one is the honest view under backpressure.
+      json.key("latency_corrected_us");
+      write_histogram(corrected);
+    }
+    if (options.tenants > 0) {
+      json.key("tenants").begin_array();
+      for (std::size_t t = 0; t < by_tenant.size(); ++t) {
+        const TenantRollup& rollup = by_tenant[t];
+        json.begin_object();
+        json.key("name").value("t" + std::to_string(t));
+        json.key("received").value(rollup.received);
+        json.key("errors").value(rollup.errors);
+        json.key("latency_us");
+        write_histogram(rollup.latency);
+        if (paced) {
+          json.key("latency_corrected_us");
+          write_histogram(rollup.corrected);
+        }
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
     std::ofstream file{options.json};
     if (!file) {

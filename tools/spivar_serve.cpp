@@ -24,6 +24,22 @@
 // --warm/--replay input; --fsync additionally fsyncs the log and makes
 // every cache entry write synchronous + fsynced (without it spills drain on
 // a background thread, off the request path).
+//
+// Multi-tenancy: --tenants FILE|SPEC pre-provisions tenants with quotas and
+// tokens. SPEC is comma-separated `name[:key=value...]` entries with keys
+// token, max-models, cache-entries, max-inflight; FILE holds one such entry
+// per line ('#' comments). Clients bind with a `hello v1 <tenant> [token]`
+// frame; unknown tenants are admitted ad hoc with unlimited quotas.
+// --overload-miss-rate X sheds requests (typed api-overload + retry-after)
+// while the executor's projected deadline-miss rate sits at or above X;
+// --overload-retry-after-ms sets the hint on those replies.
+//
+// Graceful drain: SIGTERM stops the accept loop, lets live connections run
+// to their natural end for up to --drain-timeout-ms, then shuts the
+// stragglers' read sides (their in-flight replies still stream out),
+// flushes queued cache spills, persists the memory tier and exits 0 — a
+// drained server loses no reply and warm-restarts byte-identically.
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -31,6 +47,7 @@
 #include <charconv>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -54,13 +71,20 @@ int usage() {
   std::cerr << "usage: spivar_serve [--port N] [--jobs N] [--cache N] [--once]\n"
                "                    [--max-inflight N] [--cache-dir DIR] [--cache-bytes N]\n"
                "                    [--fsync] [--record FILE] [--replay FILE] [--warm FILE]\n"
+               "                    [--tenants FILE|SPEC] [--overload-miss-rate X]\n"
+               "                    [--overload-retry-after-ms N] [--drain-timeout-ms N]\n"
                "       default: wire frames on stdin/stdout; --port serves TCP on\n"
                "       127.0.0.1:N (0 picks an ephemeral port); --replay processes a\n"
                "       recorded request log and writes the responses to stdout;\n"
                "       --cache-dir persists cached results under DIR (implies --cache);\n"
                "       --warm replays a recorded request log into the cache tiers\n"
                "       before serving; --max-inflight caps pipelined (request v2)\n"
-               "       frames evaluating per connection\n";
+               "       frames evaluating per connection; --tenants pre-provisions\n"
+               "       tenants ('name[:token=T][:max-models=N][:cache-entries=N]\n"
+               "       [:max-inflight=N]', comma-separated, or a file with one per\n"
+               "       line); --overload-miss-rate sheds load above the projected\n"
+               "       deadline-miss-rate bound; SIGTERM drains gracefully within\n"
+               "       --drain-timeout-ms\n";
   return 2;
 }
 
@@ -70,7 +94,107 @@ struct ServeOptions {
   bool once = false;
   std::string replay;
   std::string warm;  ///< request log replayed before serving
+  std::chrono::milliseconds drain_timeout{5'000};  ///< SIGTERM natural-EOF grace
 };
+
+/// Parses one `name[:key=value...]` tenant entry. Returns false (with
+/// *error set) on a malformed entry.
+bool parse_tenant_entry(const std::string& text, service::ServiceOptions::TenantSpec& spec,
+                        std::string* error) {
+  std::size_t pos = text.find(':');
+  spec.name = text.substr(0, pos);
+  if (spec.name.empty()) {
+    *error = "empty tenant name in '" + text + "'";
+    return false;
+  }
+  while (pos != std::string::npos) {
+    const std::size_t next = text.find(':', pos + 1);
+    const std::string field =
+        text.substr(pos + 1, next == std::string::npos ? std::string::npos : next - pos - 1);
+    pos = next;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "tenant field '" + field + "' is not key=value";
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "token") {
+      spec.quota.token = value;
+      continue;
+    }
+    std::uint64_t number = 0;
+    const auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), number);
+    if (ec != std::errc{} || end != value.data() + value.size()) {
+      *error = "tenant field '" + field + "' needs a numeric value";
+      return false;
+    }
+    if (key == "max-models") {
+      spec.quota.max_models = static_cast<std::size_t>(number);
+    } else if (key == "cache-entries") {
+      spec.quota.max_cache_entries = static_cast<std::size_t>(number);
+    } else if (key == "max-inflight") {
+      spec.quota.max_inflight = static_cast<std::size_t>(number);
+    } else {
+      *error = "unknown tenant quota key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// --tenants value: a readable file (one entry per line, '#' comments) or an
+/// inline comma-separated entry list.
+bool parse_tenants(const std::string& value,
+                   std::vector<service::ServiceOptions::TenantSpec>& tenants,
+                   std::string* error) {
+  std::vector<std::string> entries;
+  if (std::ifstream file{value}; file) {
+    std::string line;
+    while (std::getline(file, line)) {
+      if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+        line.erase(hash);
+      }
+      while (!line.empty() && (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) line.erase(0, 1);
+      if (!line.empty()) entries.push_back(line);
+    }
+  } else {
+    std::size_t start = 0;
+    while (start <= value.size()) {
+      const std::size_t comma = value.find(',', start);
+      const std::string entry =
+          value.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!entry.empty()) entries.push_back(entry);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (entries.empty()) {
+    *error = "'" + value + "' names no tenants";
+    return false;
+  }
+  for (const std::string& entry : entries) {
+    service::ServiceOptions::TenantSpec spec;
+    if (!parse_tenant_entry(entry, spec, error)) return false;
+    tenants.push_back(std::move(spec));
+  }
+  return true;
+}
+
+// SIGTERM drain plumbing. The handler may only touch async-signal-safe
+// state: it raises the flag and shuts the listener down, which unblocks
+// accept() so the loop can notice the flag.
+std::atomic<int> g_listener_fd{-1};
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_sigterm(int) {
+  g_drain_requested = 1;
+  const int fd = g_listener_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
 
 int serve_tcp(service::Service& svc, const ServeOptions& options) {
   service::Socket listener = service::listen_loopback(*options.port);
@@ -79,6 +203,9 @@ int serve_tcp(service::Service& svc, const ServeOptions& options) {
     return 1;
   }
   std::cout << "listening on 127.0.0.1:" << service::bound_port(listener) << "\n" << std::flush;
+
+  g_listener_fd.store(listener.fd(), std::memory_order_relaxed);
+  std::signal(SIGTERM, on_sigterm);
 
   // Shutdown must unblock *everything*: the accept loop below and every
   // connection thread parked in a blocking read on its own socket (an idle
@@ -107,10 +234,10 @@ int serve_tcp(service::Service& svc, const ServeOptions& options) {
     });
   };
 
-  while (!svc.shutdown_requested()) {
+  while (!svc.shutdown_requested() && !g_drain_requested) {
     service::Socket client = service::accept_client(listener);
     if (!client.valid()) {
-      if (svc.shutdown_requested()) break;
+      if (svc.shutdown_requested() || g_drain_requested) break;
       // Transient accept failures (client reset before accept, fd
       // pressure, signals) must not kill a long-running service; only an
       // unexpected listener failure ends the loop.
@@ -144,9 +271,29 @@ int serve_tcp(service::Service& svc, const ServeOptions& options) {
            done->store(true, std::memory_order_release);
          }},
          done});
-    if (options.once || svc.shutdown_requested()) break;
+    if (options.once || svc.shutdown_requested() || g_drain_requested) break;
+  }
+  if (g_drain_requested && !svc.shutdown_requested()) {
+    // Graceful drain: no new connections (the listener is already shut),
+    // live ones run to their natural end within the grace period. Whatever
+    // is still connected after it gets its *read* side shut — the reader
+    // sees EOF, serve_stream waits out the in-flight slots, and every
+    // pending reply still streams to the client before the thread exits.
+    std::cerr << "draining: waiting up to " << options.drain_timeout.count()
+              << "ms for open connections\n";
+    const auto deadline = std::chrono::steady_clock::now() + options.drain_timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      reap_finished();
+      if (connections.empty()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+    std::lock_guard lock{clients_mutex};
+    for (const int fd : client_fds) ::shutdown(fd, SHUT_RD);
   }
   for (Connection& connection : connections) connection.thread.join();
+  // Everything a restart must not lose: queued spills drained, memory tier
+  // persisted. Idempotent after a shutdown control already ran it.
+  svc.finish();
   return 0;
 }
 
@@ -197,6 +344,26 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--max-inflight") {
       options.service.max_inflight =
           static_cast<std::size_t>(number_of(i, 1'048'576));
+    } else if (args[i] == "--tenants") {
+      std::string error;
+      if (!parse_tenants(value_of(i), options.service.tenants, &error)) {
+        std::cerr << "error: --tenants: " << error << "\n";
+        return usage();
+      }
+    } else if (args[i] == "--overload-miss-rate") {
+      const std::string text = value_of(i);
+      char* end = nullptr;
+      const double rate = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || !(rate >= 0.0)) {
+        std::cerr << "error: invalid value '" << text << "' for --overload-miss-rate\n";
+        return usage();
+      }
+      options.service.overload_miss_rate = rate;
+    } else if (args[i] == "--overload-retry-after-ms") {
+      options.service.overload_retry_after =
+          std::chrono::milliseconds{number_of(i, 3'600'000)};
+    } else if (args[i] == "--drain-timeout-ms") {
+      options.drain_timeout = std::chrono::milliseconds{number_of(i, 3'600'000)};
     } else if (args[i] == "--stdio") {
       options.port.reset();
     } else {
@@ -244,5 +411,6 @@ int main(int argc, char** argv) {
   }
   if (options.port) return serve_tcp(svc, options);
   svc.serve_stream(std::cin, std::cout);
+  svc.finish();
   return 0;
 }
