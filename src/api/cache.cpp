@@ -8,6 +8,7 @@
 
 #include "api/responses.hpp"
 #include "api/wire.hpp"
+#include "obs/trace.hpp"
 #include "persist/disk_tier.hpp"
 #include "synth/fingerprint.hpp"
 
@@ -410,6 +411,9 @@ void ResultCache::spill_now(const Entry& entry, bool only_if_absent) {
   if (!tier_ || entry.key.content == 0 || !entry.slot) return;
   const persist::DiskKey key = disk_key_of(entry.key);
   if (only_if_absent && tier_->contains(key)) return;
+  // The span only records on synchronous request-path spills — the async
+  // drain thread carries no current trace, so this is free there.
+  obs::ScopedSpan span{obs::SpanKind::kSpill};
   tier_->store(key, to_string(entry.key.kind), encode_slot(entry.key.kind, entry.slot),
                entry.cost_us);
 }

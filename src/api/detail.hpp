@@ -14,6 +14,7 @@
 #include "api/responses.hpp"
 #include "api/result.hpp"
 #include "api/store.hpp"
+#include "obs/trace.hpp"
 #include "spi/textio.hpp"
 #include "support/diagnostics.hpp"
 #include "synth/target.hpp"
@@ -92,7 +93,10 @@ inline std::string empty_problem_message(const std::string& model_name) {
 template <typename Response, typename Request, typename Eval>
 Result<Response> with_cache(const std::shared_ptr<ResultCache>& cache, const StoreEntry& entry,
                             const Request& request, Eval&& eval) {
-  if (!cache) return eval(entry, request);
+  if (!cache) {
+    obs::ScopedSpan span{obs::SpanKind::kEval};
+    return eval(entry, request);
+  }
   // The content fingerprint is the restart-stable half of the key: it routes
   // the persistent tier and costs nothing here (memoized per entry, and the
   // store already computed it to describe the model).
@@ -101,12 +105,18 @@ Result<Response> with_cache(const std::shared_ptr<ResultCache>& cache, const Sto
                              .kind = kind_of(request),
                              .fingerprint = fingerprint(request),
                              .content = entry.content_fingerprint()};
-  if (const auto hit = cache->find<Response>(key)) return *hit;
+  {
+    obs::ScopedSpan probe{obs::SpanKind::kCacheProbe};
+    if (const auto hit = cache->find<Response>(key)) return *hit;
+  }
   const auto started = std::chrono::steady_clock::now();
   Result<Response> result = eval(entry, request);
-  const auto cost_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - started)
-                           .count();
+  const auto ended = std::chrono::steady_clock::now();
+  if (obs::TraceContext* trace = obs::current_trace()) {
+    // Reuse the cost clock readings: the eval span costs no extra clock reads.
+    trace->add_span(obs::SpanKind::kEval, started, ended);
+  }
+  const auto cost_us = std::chrono::duration_cast<std::chrono::microseconds>(ended - started).count();
   cache->insert(key, result, static_cast<std::uint64_t>(cost_us));
   return result;
 }

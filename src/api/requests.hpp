@@ -23,6 +23,10 @@
 #include "synth/pareto.hpp"
 #include "synth/strategies.hpp"
 
+namespace spivar::obs {
+class TraceContext;
+}  // namespace spivar::obs
+
 namespace spivar::api {
 
 /// Handle to a model loaded into a Session. Handles are session-scoped and
@@ -172,6 +176,12 @@ struct AnyRequest {
   /// Per-slot scheduling: call_batch and submit honor priority and deadline
   /// for this request's slot (EDF within a priority band, see SubmitOptions).
   SubmitOptions options;
+
+  /// Observability context minted at the wire/session boundary (see
+  /// obs/trace.hpp). Session-local: never serialized by the wire codec and
+  /// never part of the request fingerprint — two requests differing only in
+  /// trace identity are the same cache entry. Null = untraced.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// The payload's evaluation kind / canonical fingerprint / model handle —

@@ -13,6 +13,7 @@
 #include "analysis/structure.hpp"
 #include "analysis/timing.hpp"
 #include "api/detail.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/timeline.hpp"
 #include "spi/dot.hpp"
@@ -420,6 +421,9 @@ Result<AnyResponse> Session::call(const AnyRequest& request) const {
   set_model(payload, target.value());
   const ModelStore::Snapshot snapshot = store_->find(target.value());
   if (!snapshot) return unknown_model<AnyResponse>(target.value());
+  // Inline calls evaluate on this thread, so the trace (if the envelope
+  // carries one) installs here; no queue-wait span on this path.
+  obs::TraceScope scope{request.trace.get()};
   return eval_any(store_->cache(), *snapshot, payload, executor_.get());
 }
 
@@ -548,6 +552,9 @@ struct PreparedSlot {
   ModelStore::Snapshot snapshot;
   std::optional<support::DiagnosticList> failure;
   SubmitOptions options;
+  /// The envelope's trace, carried onto the executor task so the queue-wait
+  /// span and the evaluation seams record against it. Null = untraced.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// Envelope slots grouped by identical SubmitOptions, in first-appearance
@@ -585,7 +592,9 @@ std::vector<PreparedSlot> prepare(const ModelStore& store, std::vector<AnyReques
   slots.reserve(requests.size());
   for (AnyRequest& request : requests) {
     const Result<ModelId> target = resolve(request);  // reads the request: resolve before moving
-    PreparedSlot slot{.payload = std::move(request.payload), .options = request.options};
+    PreparedSlot slot{.payload = std::move(request.payload), .options = request.options,
+                      .trace = std::move(request.trace)};
+    if (slot.trace) slot.trace->mark_queued();  // queue-wait starts at submission
     if (!target.ok()) {
       slot.failure = target.diagnostics();
     } else {
@@ -626,7 +635,9 @@ BatchHandle<AnyResponse> Session::submit(std::vector<AnyRequest> requests,
   for (std::size_t i = 0; i < slots.size(); ++i) {
     tasks.push_back([state, cache, executor, i, payload = std::move(slots[i].payload),
                      snapshot = std::move(slots[i].snapshot),
-                     failure = std::move(slots[i].failure)] {
+                     failure = std::move(slots[i].failure), trace = std::move(slots[i].trace)] {
+      if (trace) trace->end_queue_wait();
+      obs::TraceScope scope{trace.get()};
       Result<AnyResponse> result = [&]() -> Result<AnyResponse> {
         if (state->core.cancel_requested()) {
           return Result<AnyResponse>::failure(detail::cancelled_diagnostics(i));
@@ -663,6 +674,8 @@ std::vector<Result<AnyResponse>> Session::call_batch(
   for (std::size_t i = 0; i < slots.size(); ++i) {
     tasks.push_back([&results, &slots, cache, executor, i] {
       const PreparedSlot& slot = slots[i];
+      if (slot.trace) slot.trace->end_queue_wait();
+      obs::TraceScope scope{slot.trace.get()};
       results[i] = slot.failure ? Result<AnyResponse>::failure(*slot.failure)
                    : !slot.snapshot
                        ? unknown_model<AnyResponse>(model_of(slot.payload))

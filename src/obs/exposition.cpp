@@ -1,0 +1,76 @@
+#include "obs/exposition.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <utility>
+
+namespace spivar::obs {
+
+MetricsServer::MetricsServer(std::uint16_t port, std::function<std::string()> body)
+    : listener_(service::listen_loopback(port)), body_(std::move(body)) {
+  if (!listener_.valid()) return;
+  port_ = service::bound_port(listener_);
+  thread_ = std::thread{[this] { serve_loop(); }};
+}
+
+MetricsServer::~MetricsServer() {
+  stop_.store(true, std::memory_order_release);
+  if (listener_.valid()) ::shutdown(listener_.fd(), SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+}
+
+namespace {
+
+void write_all(int fd, const std::string& data) {
+  const char* cursor = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, cursor, left);
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote <= 0) return;  // scraper went away; nothing to salvage
+    cursor += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+}  // namespace
+
+void MetricsServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    service::Socket client = service::accept_client(listener_);
+    if (!client.valid()) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener torn down
+    }
+    // Drain whatever request head arrives (curl sends "GET ... \r\n\r\n";
+    // a raw `nc` scrape may send nothing). A short receive timeout keeps a
+    // silent client from parking the scrape thread: after it, the body is
+    // served anyway — every connection gets the exposition.
+    timeval timeout{.tv_sec = 0, .tv_usec = 200'000};
+    ::setsockopt(client.fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    char scratch[1024];
+    std::string head;
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos && head.size() < 8192) {
+      const ssize_t n = ::read(client.fd(), scratch, sizeof scratch);
+      if (n <= 0) break;  // EOF, timeout, or error — serve the body regardless
+      head.append(scratch, static_cast<std::size_t>(n));
+    }
+
+    const std::string text = body_ ? body_() : std::string{};
+    std::string response = "HTTP/1.0 200 OK\r\n";
+    response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+    response += "Content-Length: " + std::to_string(text.size()) + "\r\n";
+    response += "Connection: close\r\n\r\n";
+    response += text;
+    write_all(client.fd(), response);
+    ::shutdown(client.fd(), SHUT_WR);
+  }
+}
+
+}  // namespace spivar::obs

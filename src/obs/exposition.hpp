@@ -1,0 +1,43 @@
+// obs::MetricsServer — the scrape endpoint behind `spivar_serve
+// --metrics-port`: a minimal HTTP/1.0 responder on the loopback interface
+// that answers every request (any path, any method — or none at all, for
+// raw-TCP scrapes) with the Prometheus text exposition the supplied
+// callback renders. One accept thread, one connection at a time: scrapes
+// are rare, short, and must never compete with the serve path for workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "service/tcp.hpp"
+
+namespace spivar::obs {
+
+class MetricsServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// `body` renders the exposition text, called once per scrape.
+  MetricsServer(std::uint16_t port, std::function<std::string()> body);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// False when the port could not be bound (the thread never started).
+  [[nodiscard]] bool ok() const noexcept { return listener_.valid(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve_loop();
+
+  service::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::function<std::string()> body_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace spivar::obs

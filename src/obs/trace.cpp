@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace spivar::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t micros_between(Clock::time_point start, Clock::time_point end) {
+  if (end <= start) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start).count());
+}
+
+/// Spans per trace are bounded so a pathological evaluation (a retry loop
+/// spilling thousands of times) cannot grow a request's trace without
+/// limit; the request-shaped spans (queue/probe/eval/spill) fit easily.
+constexpr std::size_t kMaxSpans = 32;
+
+thread_local TraceContext* t_current_trace = nullptr;
+
+}  // namespace
+
+TraceContext::TraceContext(std::uint64_t id, std::string tenant, std::string kind,
+                           std::string target)
+    : id_(id), tenant_(std::move(tenant)), kind_(std::move(kind)), target_(std::move(target)),
+      born_(Clock::now()) {}
+
+void TraceContext::end_queue_wait() {
+  if (queued_at_ == Clock::time_point{}) return;
+  add_span(SpanKind::kQueueWait, queued_at_, Clock::now());
+}
+
+void TraceContext::add_span(SpanKind kind, Clock::time_point start, Clock::time_point end) {
+  std::lock_guard lock{mutex_};
+  if (spans_.size() >= kMaxSpans) return;
+  spans_.push_back(Span{.kind = kind,
+                        .start_us = micros_between(born_, start),
+                        .duration_us = micros_between(start, end)});
+}
+
+std::vector<Span> TraceContext::spans() const {
+  std::lock_guard lock{mutex_};
+  return spans_;
+}
+
+TraceContext* current_trace() noexcept { return t_current_trace; }
+
+TraceScope::TraceScope(TraceContext* trace) noexcept : previous_(t_current_trace) {
+  if (trace != nullptr) t_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { t_current_trace = previous_; }
+
+// --- Tracer ------------------------------------------------------------------
+
+Tracer::Tracer(TracerConfig config) : config_(std::move(config)) {
+  config_.ring = std::max<std::size_t>(config_.ring, 1);
+  ring_.resize(config_.ring);
+  if (!config_.log_path.empty()) {
+    log_fd_ = ::open(config_.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd_ < 0) {
+      std::cerr << "warning: cannot open trace log '" << config_.log_path << "': "
+                << std::strerror(errno) << "\n";
+    }
+  }
+}
+
+Tracer::~Tracer() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+std::shared_ptr<TraceContext> Tracer::begin(std::string tenant, std::string kind,
+                                            std::string target) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<TraceContext>(id, std::move(tenant), std::move(kind),
+                                        std::move(target));
+}
+
+std::optional<std::uint64_t> Tracer::finish(const std::shared_ptr<TraceContext>& trace,
+                                            bool ok) {
+  if (!trace || !trace->try_finish()) return std::nullopt;
+  TraceRecord record{.id = trace->id(),
+                     .tenant = trace->tenant(),
+                     .kind = trace->kind(),
+                     .target = trace->target(),
+                     .total_us = micros_between(trace->born(), Clock::now()),
+                     .ok = ok,
+                     .spans = trace->spans()};
+  const std::uint64_t total_us = record.total_us;
+  const bool slow = log_fd_ >= 0 && total_us >= config_.slow_threshold_us;
+  if (slow) log_slow(record);
+  {
+    std::lock_guard lock{mutex_};
+    last_slot_ = next_slot_;
+    ring_[next_slot_] = std::move(record);
+    next_slot_ = (next_slot_ + 1) % ring_.size();
+    ++completed_;
+  }
+  return total_us;
+}
+
+std::optional<TraceRecord> Tracer::last() const {
+  std::lock_guard lock{mutex_};
+  if (completed_ == 0) return std::nullopt;
+  return ring_[last_slot_];
+}
+
+std::optional<TraceRecord> Tracer::slowest() const {
+  std::lock_guard lock{mutex_};
+  if (completed_ == 0) return std::nullopt;
+  const std::size_t held = std::min<std::uint64_t>(completed_, ring_.size());
+  std::size_t best = last_slot_;
+  for (std::size_t i = 0; i < held; ++i) {
+    if (ring_[i].total_us > ring_[best].total_us) best = i;
+  }
+  return ring_[best];
+}
+
+std::optional<TraceRecord> Tracer::find(std::uint64_t id) const {
+  std::lock_guard lock{mutex_};
+  const std::size_t held = std::min<std::uint64_t>(completed_, ring_.size());
+  for (std::size_t i = 0; i < held; ++i) {
+    if (ring_[i].id == id) return ring_[i];
+  }
+  return std::nullopt;
+}
+
+void Tracer::log_slow(const TraceRecord& record) {
+  std::string line = to_json(record);
+  line += "\n";
+  std::lock_guard lock{log_mutex_};
+  // One write() per line, O_APPEND: lines stay whole across threads and a
+  // killed process loses at most the line being written.
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(log_fd_, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "warning: trace log write failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+std::string render(const TraceRecord& record) {
+  std::string out = "trace " + std::to_string(record.id) + "  tenant " + record.tenant +
+                    "  kind " + record.kind;
+  if (!record.target.empty()) out += "  target " + record.target;
+  out += "  total-us " + std::to_string(record.total_us) + (record.ok ? "  ok" : "  error");
+  out += "\n";
+  for (const Span& span : record.spans) {
+    out += "  span " + std::string{to_string(span.kind)} + "  start-us " +
+           std::to_string(span.start_us) + "  duration-us " + std::to_string(span.duration_us) +
+           "\n";
+  }
+  if (record.spans.empty()) out += "  (no spans recorded)\n";
+  return out;
+}
+
+std::string to_json(const TraceRecord& record) {
+  support::JsonWriter json{0};
+  json.begin_object();
+  json.key("id").value(record.id);
+  json.key("tenant").value(record.tenant);
+  json.key("kind").value(record.kind);
+  json.key("target").value(record.target);
+  json.key("total_us").value(record.total_us);
+  json.key("ok").value(record.ok);
+  json.key("spans").begin_array();
+  for (const Span& span : record.spans) {
+    json.begin_object();
+    json.key("span").value(to_string(span.kind));
+    json.key("start_us").value(span.start_us);
+    json.key("duration_us").value(span.duration_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace spivar::obs

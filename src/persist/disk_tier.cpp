@@ -68,6 +68,30 @@ std::optional<DiskKey> parse_stem(std::string_view stem) {
   return key;
 }
 
+/// Reads the `cost-us` header line of one entry file — the cheap partial
+/// read the startup scan uses so restored entries keep their eviction
+/// weight across restarts (cost 0 would make every survivor the preferred
+/// victim). Bounded: headers are a handful of short lines before `end`, and
+/// anything malformed just yields 0 — content validation stays lazy
+/// (load-time), exactly as before.
+std::uint64_t scan_cost_us(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return 0;
+  std::string line;
+  for (int i = 0; i < 8 && std::getline(in, line); ++i) {
+    if (line == "end") break;
+    std::istringstream fields{line};
+    std::string name;
+    fields >> name;
+    if (name != "cost-us") continue;
+    std::string value;
+    fields >> value;
+    std::uint64_t cost_us = 0;
+    return parse_dec(value, cost_us) ? cost_us : 0;
+  }
+  return 0;
+}
+
 /// Best-effort fsync of an open descriptor / a directory; failures are
 /// reported by the caller.
 bool fsync_path(const std::string& path) {
@@ -127,10 +151,13 @@ DiskTier::DiskTier(PersistConfig config, DiagnosticSink sink)
             [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
   for (const Found& entry : found) {
     lru_.push_front(entry.key);
-    // Cost 0 = unknown until the entry's first hit reads the real value
-    // back out of its header — which also makes stale leftovers the
-    // preferred eviction victims.
-    index_.emplace(entry.key, IndexEntry{entry.bytes, 0, lru_.begin()});
+    // The stored cost rides along from the entry's header (a bounded
+    // partial read), so a restart doesn't zero every survivor's eviction
+    // weight — cost-aware eviction keeps protecting expensive results
+    // across server lives. A file whose header won't parse scans as cost 0
+    // and so stays the preferred victim; load() still validates lazily.
+    index_.emplace(entry.key, IndexEntry{entry.bytes, scan_cost_us(path_of(entry.key)),
+                                         lru_.begin()});
     bytes_ += entry.bytes;
   }
   std::lock_guard lock{mutex_};
@@ -273,8 +300,8 @@ std::optional<DiskEntry> DiskTier::load(const DiskKey& key, std::string_view kin
     return skip("payload CRC mismatch");
   }
 
-  // Refresh recency, and backfill the cost a startup scan indexed as
-  // unknown — from here on this entry competes at its real value.
+  // Refresh recency, and re-assert the header's cost (covers entries whose
+  // startup scan couldn't parse it).
   lru_.splice(lru_.begin(), lru_, it->second.lru);
   it->second.cost_us = cost_us;
   ++hits_;

@@ -36,8 +36,9 @@
 // list, the one whose recorded cost-us is lowest goes first — a cheap
 // result the server can recompute in microseconds should never outlive an
 // expensive sweep just because it was touched more recently. Entries
-// indexed at startup carry cost 0 (unknown) until their first hit re-reads
-// the header, which makes never-touched leftovers the preferred victims.
+// indexed at startup keep their stored cost-us (a bounded header read), so
+// eviction weights survive a restart; only files whose header won't parse
+// scan as cost 0 and stay the preferred victims.
 #pragma once
 
 #include <cstdint>

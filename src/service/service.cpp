@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <istream>
@@ -19,7 +20,10 @@ Service::Service(const ServiceOptions& options)
     : store_(std::make_shared<api::ModelStore>()),
       executor_(api::make_executor(options.jobs)),
       session_(store_, executor_),
-      max_inflight_(std::max<std::size_t>(options.max_inflight, 1)) {
+      max_inflight_(std::max<std::size_t>(options.max_inflight, 1)),
+      tracer_(obs::TracerConfig{.ring = options.trace_ring,
+                                .slow_threshold_us = options.trace_slow_us,
+                                .log_path = options.trace_log}) {
   if (options.overload_miss_rate < 1.0) {
     // One controller for the whole service: overload is a property of the
     // shared executor, so every tenant (the default one included) sheds
@@ -63,6 +67,19 @@ Service::Service(const ServiceOptions& options)
     }
     record_fsync_ = options.fsync;
   }
+  // Hot-path instruments resolve once here; request threads only ever touch
+  // the pre-resolved handles (one atomic add each), never the registry.
+  default_requests_ =
+      resolve_kind_counters("spivar_requests_total", "requests completed", "default");
+  default_errors_ = resolve_kind_counters("spivar_request_errors_total",
+                                          "requests completed with a failure result", "default");
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    latency_[k] = &registry_.histogram(
+        "spivar_request_latency_us", "end-to-end request latency in microseconds",
+        {{"kind", api::to_string(static_cast<api::RequestKind>(k))}});
+  }
+  batches_ = &registry_.counter("spivar_batches_total", "batch frames handled");
+  register_collector();
   // Configured tenants are provisioned after the cache exists, so their
   // entry caps land on the live cache immediately.
   for (const ServiceOptions::TenantSpec& spec : options.tenants) {
@@ -70,6 +87,137 @@ Service::Service(const ServiceOptions& options)
     std::lock_guard lock{tenants_mutex_};
     if (!tenants_.contains(spec.name)) create_tenant_locked(spec.name, spec.quota);
   }
+}
+
+Service::KindCounters Service::resolve_kind_counters(const char* name, const char* help,
+                                                     const std::string& tenant) {
+  KindCounters counters{};
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    counters[k] = &registry_.counter(
+        name, help,
+        {{"tenant", tenant}, {"kind", api::to_string(static_cast<api::RequestKind>(k))}});
+  }
+  return counters;
+}
+
+void Service::register_collector() {
+  // Republishes every stats struct through the registry on each render(),
+  // from one snapshot per source — the scrape can never disagree with the
+  // `executor-stats`/`cache-stats` controls reading the same structs.
+  // Get-or-create inside the collector is deliberate: it runs once per
+  // scrape (the cold path) and picks up tenants provisioned after startup.
+  registry_.add_collector([this] {
+    const api::ExecutorStats ex = executor_->stats();
+    registry_.counter("spivar_executor_completed_total", "tasks run to completion")
+        .set(ex.completed);
+    registry_.counter("spivar_executor_deadline_misses_total", "tasks finished past deadline")
+        .set(ex.deadline_misses);
+    registry_.gauge("spivar_executor_max_lateness_us", "worst single-task lateness")
+        .set(ex.max_lateness.count());
+    registry_.counter("spivar_executor_total_lateness_us", "summed lateness over every miss")
+        .set(static_cast<std::uint64_t>(ex.total_lateness.count()));
+    registry_.gauge("spivar_executor_workers", "executor worker threads")
+        .set(static_cast<std::int64_t>(executor_->workers()));
+
+    if (admission_) {
+      registry_.counter("spivar_admission_admitted_total", "requests past admission control")
+          .set(admission_->admitted());
+      registry_.counter("spivar_admission_rejected_total", "requests shed by admission control")
+          .set(admission_->rejected());
+    }
+
+    if (const auto cache = store_->cache()) {
+      const api::CacheStats cs = cache->stats();
+      registry_.counter("spivar_cache_hits_total", "lookups served from cache").set(cs.hits);
+      registry_.counter("spivar_cache_misses_total", "lookups that evaluated").set(cs.misses);
+      registry_.counter("spivar_cache_evictions_total", "entries dropped by cost-weighted LRU")
+          .set(cs.evictions);
+      registry_.counter("spivar_cache_invalidations_total", "entries dropped by model unload")
+          .set(cs.invalidations);
+      registry_.gauge("spivar_cache_entries", "results currently cached")
+          .set(static_cast<std::int64_t>(cs.entries));
+      registry_.gauge("spivar_cache_capacity", "memory-tier entry capacity")
+          .set(static_cast<std::int64_t>(cs.capacity));
+      registry_.counter("spivar_cache_saved_cost_us", "eval cost returned from hits")
+          .set(cs.saved_cost_us);
+      if (cs.persistent) {
+        registry_.counter("spivar_cache_disk_hits_total", "memory misses served from disk")
+            .set(cs.disk_hits);
+        registry_.counter("spivar_cache_disk_misses_total", "memory misses that missed disk")
+            .set(cs.disk_misses);
+        registry_.counter("spivar_cache_disk_spills_total", "entries written to disk")
+            .set(cs.disk_spills);
+        registry_.counter("spivar_cache_disk_evictions_total", "disk entries deleted for capacity")
+            .set(cs.disk_evictions);
+        registry_.gauge("spivar_cache_disk_entries", "entry files on disk")
+            .set(static_cast<std::int64_t>(cs.disk_entries));
+        registry_.gauge("spivar_cache_disk_bytes", "bytes on disk")
+            .set(static_cast<std::int64_t>(cs.disk_bytes));
+        registry_.gauge("spivar_cache_spill_queue_depth", "async spills queued")
+            .set(static_cast<std::int64_t>(cs.disk_queue_depth));
+        registry_.counter("spivar_cache_spill_dropped_total", "spills dropped at a full queue")
+            .set(cs.disk_dropped_spills);
+      }
+      // Per-tenant ledger, labeled by tenant *name* (the tag is internal).
+      // Lock order: tenants_mutex_ outer, then the registry's mutex inside
+      // counter()/gauge() — the same order create_tenant_locked takes.
+      std::map<std::uint32_t, std::string> names;
+      {
+        std::lock_guard lock{tenants_mutex_};
+        for (const auto& [name, tenant] : tenants_) names[tenant->context.tag] = name;
+      }
+      for (const api::TenantCacheStats& row : cache->tenant_stats()) {
+        const auto it = names.find(row.tag);
+        const std::string name =
+            it != names.end() ? it->second : "#" + std::to_string(row.tag);
+        registry_.counter("spivar_tenant_cache_hits_total", "tenant lookups served",
+                          {{"tenant", name}})
+            .set(row.hits);
+        registry_.counter("spivar_tenant_cache_misses_total", "tenant lookups that evaluated",
+                          {{"tenant", name}})
+            .set(row.misses);
+        registry_.counter("spivar_tenant_cache_evictions_total",
+                          "tenant entries dropped for capacity", {{"tenant", name}})
+            .set(row.evictions);
+        registry_.gauge("spivar_tenant_cache_entries", "tenant entries currently held",
+                        {{"tenant", name}})
+            .set(static_cast<std::int64_t>(row.entries));
+      }
+    }
+
+    {
+      std::lock_guard lock{tenants_mutex_};
+      for (const auto& [name, tenant] : tenants_) {
+        registry_.gauge("spivar_tenant_inflight", "v2 slots evaluating now", {{"tenant", name}})
+            .set(static_cast<std::int64_t>(tenant->inflight.load(std::memory_order_relaxed)));
+        registry_.counter("spivar_tenant_shed_total", "frames rejected at the in-flight cap",
+                          {{"tenant", name}})
+            .set(tenant->shed.load(std::memory_order_relaxed));
+      }
+    }
+
+    registry_.counter("spivar_stream_frames_total", "frames read across all streams")
+        .set(stream_frames_.load(std::memory_order_relaxed));
+    registry_.counter("spivar_stream_pipelined_total", "v2 request frames submitted")
+        .set(stream_pipelined_.load(std::memory_order_relaxed));
+    registry_
+        .counter("spivar_stream_backpressure_waits_total", "reader stalls at max_inflight")
+        .set(stream_backpressure_.load(std::memory_order_relaxed));
+    registry_.counter("spivar_stream_shed_total", "v2 frames rejected at a tenant cap")
+        .set(stream_shed_.load(std::memory_order_relaxed));
+    registry_.counter("spivar_traces_minted_total", "request traces minted")
+        .set(tracer_.minted());
+  });
+}
+
+void Service::observe_done(const std::shared_ptr<obs::TraceContext>& trace,
+                           api::RequestKind kind, Tenant* tenant, bool ok) {
+  const auto total_us = tracer_.finish(trace, ok);
+  if (!total_us) return;  // finish() latched earlier — already counted
+  const auto k = static_cast<std::size_t>(kind);
+  (tenant != nullptr ? tenant->requests : default_requests_)[k]->add();
+  if (!ok) (tenant != nullptr ? tenant->errors : default_errors_)[k]->add();
+  latency_[k]->record(*total_us);
 }
 
 std::shared_ptr<Service::Tenant> Service::create_tenant_locked(const std::string& name,
@@ -80,6 +228,9 @@ std::shared_ptr<Service::Tenant> Service::create_tenant_locked(const std::string
   tenant->view = std::make_shared<api::StoreView>(store_, tenant->context, quota);
   tenant->session = std::make_shared<api::Session>(store_, executor_);
   tenant->session->bind_tenant(tenant->view, admission_);
+  tenant->requests = resolve_kind_counters("spivar_requests_total", "requests completed", name);
+  tenant->errors = resolve_kind_counters("spivar_request_errors_total",
+                                         "requests completed with a failure result", name);
   if (quota.max_cache_entries > 0) {
     if (const auto cache = store_->cache()) {
       cache->set_tenant_cap(tenant->context.tag, quota.max_cache_entries);
@@ -147,6 +298,9 @@ api::Result<api::AnyResponse> tenant_cap_failure(const std::string& tenant, std:
                                 std::to_string(cap) + "); retry-after-ms 10");
 }
 
+/// The trace/metric label for streams that never sent a hello.
+const std::string kDefaultTenantName = "default";
+
 }  // namespace
 
 StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMode mode) {
@@ -179,21 +333,30 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
         continue;
       }
       if (const auto slots = api::wire::parse_batch_header(*frame)) {
-        handle_batch(*slots, in, writer, *session);
+        handle_batch(*slots, in, writer, *session, tenant.get());
         continue;
       }
       if (const auto control = api::wire::parse_control(*frame)) {
         handle_control(*control, writer, *session);
         continue;
       }
+      const std::string& tenant_name = tenant ? tenant->context.name : kDefaultTenantName;
       const std::optional<std::uint64_t> frame_id = api::wire::request_frame_id(*frame);
       if (!frame_id.has_value()) {
         // v1 (or a header too rotten to carry an id): strict arrival order,
         // evaluated inline — a v1-only client sees exactly the v1 service.
-        const api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
-        const api::Result<api::AnyResponse> result =
-            request.ok() ? session->call(request.value())
-                         : api::Result<api::AnyResponse>::failure(request.diagnostics());
+        api::Result<api::AnyRequest> request = api::wire::decode_request(*frame);
+        if (!request.ok()) {
+          writer.write(api::wire::encode(
+              api::Result<api::AnyResponse>::failure(request.diagnostics())));
+          continue;
+        }
+        api::AnyRequest req = std::move(request).value();
+        const api::RequestKind kind = api::kind_of(req);
+        req.trace = tracer_.begin(tenant_name, api::to_string(kind), req.target);
+        const std::shared_ptr<obs::TraceContext> trace = req.trace;
+        const api::Result<api::AnyResponse> result = session->call(req);
+        observe_done(trace, kind, tenant.get(), result.ok());
         writer.write(api::wire::encode(result));
         continue;
       }
@@ -225,7 +388,13 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
         // --replay/--warm: evaluate inline so the reply order (and the
         // cache fill order) reproduces the recorded submission order
         // byte-for-byte; the reply still carries its v2 tag.
-        writer.write(api::wire::encode(session->call(request.value()), *frame_id));
+        api::AnyRequest req = std::move(request).value();
+        const api::RequestKind kind = api::kind_of(req);
+        req.trace = tracer_.begin(tenant_name, api::to_string(kind), req.target);
+        const std::shared_ptr<obs::TraceContext> trace = req.trace;
+        const api::Result<api::AnyResponse> result = session->call(req);
+        observe_done(trace, kind, tenant.get(), result.ok());
+        writer.write(api::wire::encode(result, *frame_id));
         std::lock_guard lock{inflight.mutex};
         --inflight.count;
         inflight.drained.notify_all();
@@ -251,8 +420,9 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
           continue;
         }
       }
-      submit_pipelined(std::move(request).value(), *frame_id, writer, inflight, *session,
-                       tenant);
+      api::AnyRequest req = std::move(request).value();
+      req.trace = tracer_.begin(tenant_name, api::to_string(api::kind_of(req)), req.target);
+      submit_pipelined(std::move(req), *frame_id, writer, inflight, *session, tenant);
     } catch (const std::exception& e) {
       reply_error(writer, std::string{"internal error handling frame: "} + e.what());
     }
@@ -262,12 +432,18 @@ StreamStats Service::serve_stream(std::istream& in, std::ostream& out, StreamMod
   // included — the executor keeps draining submitted work).
   std::unique_lock lock{inflight.mutex};
   inflight.drained.wait(lock, [&] { return inflight.count == 0; });
+  stream_frames_.fetch_add(stats.frames, std::memory_order_relaxed);
+  stream_pipelined_.fetch_add(stats.pipelined, std::memory_order_relaxed);
+  stream_backpressure_.fetch_add(stats.backpressure_waits, std::memory_order_relaxed);
+  stream_shed_.fetch_add(stats.shed, std::memory_order_relaxed);
   return stats;
 }
 
 void Service::submit_pipelined(api::AnyRequest request, std::uint64_t frame_id, Writer& writer,
                                Inflight& inflight, api::Session& session,
                                std::shared_ptr<Tenant> tenant) {
+  const api::RequestKind kind = api::kind_of(request);
+  std::shared_ptr<obs::TraceContext> trace = request.trace;
   std::vector<api::AnyRequest> one;
   one.push_back(std::move(request));
   // The handle is deliberately discarded: the slot's task keeps the batch
@@ -275,8 +451,13 @@ void Service::submit_pipelined(api::AnyRequest request, std::uint64_t frame_id, 
   // drains the inflight count before its stack (writer, inflight) unwinds.
   // The tenant's in-flight token (acquired by the caller) releases here too.
   (void)session.submit(
-      std::move(one), [&writer, &inflight, frame_id, tenant = std::move(tenant)](
+      std::move(one), [this, &writer, &inflight, frame_id, kind, trace = std::move(trace),
+                       tenant = std::move(tenant)](
                           std::size_t, const api::Result<api::AnyResponse>& result) {
+        // Trace completion before the reply streams: by the time the client
+        // reads the frame (or serve_stream returns), the record is in the
+        // ring and every counter reflects this request.
+        observe_done(trace, kind, tenant.get(), result.ok());
         writer.write(api::wire::encode(result, frame_id));
         if (tenant && tenant->quota.max_inflight > 0) {
           tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
@@ -313,7 +494,7 @@ void Service::record_frame(const std::string& frame) {
 }
 
 void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer,
-                           api::Session& session) {
+                           api::Session& session, Tenant* tenant) {
   // Sanity-cap the client-supplied count before allocating anything for
   // it — a corrupt header must not be able to abort the shared server.
   constexpr std::size_t kMaxBatchSlots = 65'536;
@@ -322,6 +503,7 @@ void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer,
                             std::to_string(kMaxBatchSlots));
     return;
   }
+  batches_->add();
   std::vector<api::Result<api::AnyRequest>> decoded;
   decoded.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i) {
@@ -338,17 +520,28 @@ void Service::handle_batch(std::size_t slots, std::istream& in, Writer& writer,
   }
 
   // Evaluate the well-formed slots as one submit; merge decode failures
-  // back into their original positions.
+  // back into their original positions. Every slot gets its own trace —
+  // batch traffic counts toward the same request/latency instruments as
+  // single-frame traffic.
+  const std::string& tenant_name = tenant != nullptr ? tenant->context.name : kDefaultTenantName;
   std::vector<api::AnyRequest> requests;
   std::vector<std::size_t> positions;
+  std::vector<std::pair<std::shared_ptr<obs::TraceContext>, api::RequestKind>> traces;
   for (std::size_t i = 0; i < decoded.size(); ++i) {
     if (decoded[i].ok()) {
-      requests.push_back(std::move(decoded[i]).value());
+      api::AnyRequest req = std::move(decoded[i]).value();
+      const api::RequestKind kind = api::kind_of(req);
+      req.trace = tracer_.begin(tenant_name, api::to_string(kind), req.target);
+      traces.emplace_back(req.trace, kind);
+      requests.push_back(std::move(req));
       positions.push_back(i);
     }
   }
   auto handle = session.submit(std::move(requests));
   const std::vector<api::Result<api::AnyResponse>> landed = handle.wait();
+  for (std::size_t j = 0; j < traces.size(); ++j) {
+    observe_done(traces[j].first, traces[j].second, tenant, landed[j].ok());
+  }
 
   std::vector<api::Result<api::AnyResponse>> results;
   results.reserve(slots);
@@ -520,6 +713,40 @@ void Service::handle_control(const api::wire::ControlCommand& control, Writer& w
     }
     reply_info(writer, "#" + std::to_string(resolved.value().id.value()) + " " +
                            describe_model(resolved.value()));
+    return;
+  }
+  if (control.command == "metrics") {
+    // The same text the --metrics-port endpoint serves, over the wire —
+    // scrapeable through an existing connection, no extra port needed.
+    reply_info(writer, metrics_text());
+    return;
+  }
+  if (control.command == "trace") {
+    const std::string sel = control.args.empty() ? std::string{"last"} : control.args.front();
+    std::optional<obs::TraceRecord> record;
+    if (sel == "last") {
+      record = tracer_.last();
+    } else if (sel == "slowest") {
+      record = tracer_.slowest();
+    } else {
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(sel.c_str(), &end, 10);
+      if (end == sel.c_str() || *end != '\0') {
+        reply_error(writer,
+                    "unknown trace selector '" + sel + "' (expected last|slowest|<id>)");
+        return;
+      }
+      record = tracer_.find(id);
+      if (!record) {
+        reply_error(writer, "no trace " + sel + " in the ring (it keeps recent completions)");
+        return;
+      }
+    }
+    if (!record) {
+      reply_error(writer, "no completed traces yet");
+      return;
+    }
+    reply_info(writer, obs::render(*record));
     return;
   }
   if (control.command == "unload") {

@@ -18,7 +18,8 @@
 //                                  header + n response frames in slot order
 //   control v1 <command> ...       ping | models | load | unload |
 //                                  cache-stats | cache [stats|persist|flush] |
-//                                  executor-stats | shutdown
+//                                  executor-stats | metrics |
+//                                  trace [last|slowest|<id>] | shutdown
 //                                  -> info frame (or an error response)
 //   hello v1 <tenant> [token]      binds the connection to a tenant: later
 //                                  frames evaluate through that tenant's
@@ -40,6 +41,7 @@
 // protocol v1.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -54,6 +56,8 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spivar::service {
 
@@ -84,6 +88,14 @@ struct ServiceOptions {
   double overload_miss_rate = 1.0;
   /// The retry-after hint attached to shed replies.
   std::chrono::milliseconds overload_retry_after{100};
+
+  /// Completed traces kept for the `trace last|slowest|<id>` control.
+  std::size_t trace_ring = 256;
+  /// A request whose total latency reaches this lands in the slow-request
+  /// JSONL sink (0 = log every request; meaningless without trace_log).
+  std::uint64_t trace_slow_us = 0;
+  /// Slow-request JSONL log path ("" = off) — `spivar_serve --trace-log`.
+  std::string trace_log;
 };
 
 /// Per-stream telemetry serve_stream reports when the stream ends — what
@@ -148,6 +160,14 @@ class Service {
   [[nodiscard]] api::Session& session() noexcept { return session_; }
   [[nodiscard]] const std::shared_ptr<api::ModelStore>& store() const noexcept { return store_; }
 
+  /// The Prometheus text exposition — what the `metrics` control and the
+  /// --metrics-port endpoint both serve. Runs the collectors, so every
+  /// stats-struct counter is republished from the same snapshot the
+  /// `executor-stats`/`cache-stats` controls would render.
+  [[nodiscard]] std::string metrics_text() { return registry_.render(); }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+
  private:
   /// One connection's write side: whole reply frames under one mutex, so a
   /// slot completing on an executor thread never interleaves bytes with the
@@ -169,6 +189,11 @@ class Service {
   /// connection bound to this tenant shares, plus in-flight accounting for
   /// the per-tenant cap. Created at startup (configured tenants) or on
   /// first hello (ad hoc tenants) and kept for the service's lifetime.
+  /// One instrument handle per request kind, indexed by RequestKind — the
+  /// pre-resolved handles the request paths bump without registry lookups.
+  static constexpr std::size_t kKinds = 5;
+  using KindCounters = std::array<obs::Counter*, kKinds>;
+
   struct Tenant {
     api::TenantContext context;
     api::TenantQuota quota;
@@ -176,10 +201,17 @@ class Service {
     std::shared_ptr<api::Session> session;
     std::atomic<std::size_t> inflight{0};    ///< v2 slots evaluating now
     std::atomic<std::uint64_t> shed{0};      ///< frames rejected at the cap
+    /// Resolved once at tenant creation: spivar_requests_total /
+    /// spivar_request_errors_total{tenant=...,kind=...}.
+    KindCounters requests{};
+    KindCounters errors{};
   };
 
+  struct Tenant;
+
   void record_frame(const std::string& frame);
-  void handle_batch(std::size_t slots, std::istream& in, Writer& writer, api::Session& session);
+  void handle_batch(std::size_t slots, std::istream& in, Writer& writer, api::Session& session,
+                    Tenant* tenant);
   void handle_control(const api::wire::ControlCommand& control, Writer& writer,
                       api::Session& session);
   void handle_cache_control(const api::wire::ControlCommand& control, Writer& writer);
@@ -204,6 +236,19 @@ class Service {
   [[nodiscard]] std::string render_tenant_cache_stats();
   static std::string describe_model(const api::ModelInfo& info);
 
+  /// Resolves the per-kind counter handles for one tenant label value.
+  KindCounters resolve_kind_counters(const char* name, const char* help,
+                                     const std::string& tenant);
+  /// Registers the collector that republishes every stats struct (executor,
+  /// cache + per-tenant ledger, admission, stream, in-flight) through the
+  /// registry on each render.
+  void register_collector();
+  /// Completes a request's trace and bumps the request/error/latency
+  /// instruments. Idempotent per trace (Tracer::finish latches), so the
+  /// pipelined callback and inline paths can't double-count a request.
+  void observe_done(const std::shared_ptr<obs::TraceContext>& trace, api::RequestKind kind,
+                    Tenant* tenant, bool ok);
+
   std::shared_ptr<api::ModelStore> store_;
   std::shared_ptr<api::Executor> executor_;
   api::Session session_;
@@ -218,6 +263,23 @@ class Service {
   std::mutex tenants_mutex_;  ///< guards tenants_ and next_tag_
   std::map<std::string, std::shared_ptr<Tenant>> tenants_;
   std::uint32_t next_tag_ = 1;  ///< 0 is the default tenant, never assigned
+
+  // --- observability ---------------------------------------------------------
+  // Lock order: tenants_mutex_ (outer) before the registry mutex (inner) —
+  // both create_tenant_locked and the collector follow it.
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
+  KindCounters default_requests_{};  ///< the default tenant's counters
+  KindCounters default_errors_{};
+  std::array<obs::Histogram*, kKinds> latency_{};  ///< per-kind, all tenants
+  obs::Counter* batches_ = nullptr;
+  /// Stream totals accumulated as each serve_stream returns (per-stream
+  /// StreamStats stay the test surface; these are the service-lifetime sums
+  /// the registry publishes).
+  std::atomic<std::uint64_t> stream_frames_{0};
+  std::atomic<std::uint64_t> stream_pipelined_{0};
+  std::atomic<std::uint64_t> stream_backpressure_{0};
+  std::atomic<std::uint64_t> stream_shed_{0};
 };
 
 }  // namespace spivar::service

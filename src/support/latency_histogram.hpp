@@ -54,6 +54,30 @@ class LatencyHistogram {
     return sum / static_cast<double>(total_);
   }
 
+  /// Bulk-loads `n` observations into slot `i` — how an external
+  /// atomic-bucket histogram (obs::Histogram) rehydrates a quantile-capable
+  /// snapshot from raw bucket counts.
+  void add_bucket(std::size_t i, std::uint64_t n) noexcept {
+    counts_[i] += n;
+    total_ += n;
+  }
+
+  /// Merges an externally tracked exact [lo, hi] observation range, so
+  /// quantile clamping stays exact for bucket-loaded histograms.
+  void note_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    min_ = std::min(min_, lo);
+    max_ = std::max(max_, hi);
+  }
+
+  /// Magnitude row: values < 64 land in row 0 with exact (1-unit) slots;
+  /// above, each doubling gets its own 64-slot row. Public so atomic-bucket
+  /// twins (obs::Histogram) share the exact bucket shape.
+  static constexpr std::size_t index_of(std::uint64_t value) noexcept {
+    const int row = value < 64 ? 0 : std::bit_width(value) - kMantissaBits;
+    return (static_cast<std::size_t>(row) << kMantissaBits) +
+           static_cast<std::size_t>(value >> row);
+  }
+
   /// Value at quantile q in [0, 1]: the smallest bucket upper bound whose
   /// cumulative count reaches ceil(q * total). Clamped to the exact observed
   /// min/max so p0/p100 are never widened by bucket rounding.
@@ -72,14 +96,6 @@ class LatencyHistogram {
   }
 
  private:
-  /// Magnitude row: values < 64 land in row 0 with exact (1-unit) slots;
-  /// above, each doubling gets its own 64-slot row.
-  static constexpr std::size_t index_of(std::uint64_t value) noexcept {
-    const int row = value < 64 ? 0 : std::bit_width(value) - kMantissaBits;
-    return (static_cast<std::size_t>(row) << kMantissaBits) +
-           static_cast<std::size_t>(value >> row);
-  }
-
   /// Largest value mapping to slot i (inclusive).
   static constexpr std::uint64_t upper_bound_of(std::size_t i) noexcept {
     const auto row = static_cast<int>(i >> kMantissaBits);

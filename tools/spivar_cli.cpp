@@ -39,9 +39,11 @@
 //       pareto/compare with their usual flags, plus --priority/--deadline-ms)
 //       against a spivar_serve instance over the wire protocol, rendering
 //       replies exactly like the local commands; models/load/unload/
-//       cache-stats/executor-stats/ping/shutdown map to control frames, and
-//       `cache [stats|persist|flush]` administers the server's result cache
-//       (persist/flush need a spivar_serve started with --cache-dir).
+//       cache-stats/executor-stats/metrics/ping/shutdown map to control
+//       frames, `cache [stats|persist|flush]` administers the server's
+//       result cache (persist/flush need a spivar_serve started with
+//       --cache-dir), `metrics` fetches the Prometheus text exposition, and
+//       `trace [last|slowest|<id>]` renders a completed request's spans.
 //       --tenant sends a `hello v1` frame before the first command, binding
 //       the connection to that tenant's namespace (scoped models, quotas,
 //       per-tenant cache identity); TOKEN authenticates against a
@@ -913,15 +915,25 @@ int remote_control(std::istream& in, std::ostream& out, const std::string& comma
 bool is_remote_control(const std::string& command) {
   return command == "ping" || command == "models" || command == "cache-stats" ||
          command == "executor-stats" || command == "shutdown" || command == "cache" ||
-         command == "load" || command == "unload";
+         command == "load" || command == "unload" || command == "metrics" ||
+         command == "trace";
 }
 
 int run_remote_control(std::istream& in, std::ostream& out, const std::string& command,
                        const std::vector<std::string>& rest) {
   if (command == "ping" || command == "models" || command == "cache-stats" ||
-      command == "executor-stats" || command == "shutdown") {
+      command == "executor-stats" || command == "shutdown" || command == "metrics") {
     check_flags(rest, {}, {});
     return remote_control(in, out, command, {});
+  }
+  if (command == "trace") {
+    // `trace [last|slowest|<id>]` — bare `trace` means last. Pass-through:
+    // the server owns selector semantics.
+    std::vector<std::string> args;
+    if (!rest.empty() && rest[0].rfind("--", 0) != 0) args.push_back(rest[0]);
+    const std::vector<std::string> flags(rest.begin() + args.size(), rest.end());
+    check_flags(flags, {}, {});
+    return remote_control(in, out, command, args);
   }
   if (command == "cache") {
     // Persistent-cache admin: `cache [stats|persist|flush]` (bare `cache`
@@ -993,7 +1005,7 @@ api::AnyRequest build_remote_envelope(const std::string& command,
   } else {
     throw UsageError("unknown remote command '" + command +
                      "' (simulate|analyze|explore|pareto|compare|models|load|unload|"
-                     "cache|cache-stats|executor-stats|ping|shutdown)");
+                     "cache|cache-stats|executor-stats|metrics|trace|ping|shutdown)");
   }
   envelope.target = spec;
   envelope.target_options = flag_values(flags, "--opt");

@@ -40,6 +40,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -94,6 +96,30 @@ struct Options {
   std::uint64_t tenants = 0;  ///< > 0: hello-bind connection w to tenant t(w % N)
   std::string json;
 };
+
+/// The repository's short commit sha, when the tool happens to run inside a
+/// git checkout with git on PATH; "" otherwise. Best-effort provenance for
+/// the --json summary, so a CI artifact says which tree produced it.
+std::string git_sha() {
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return {};
+  char buffer[64] = {};
+  std::string sha;
+  if (std::fgets(buffer, sizeof buffer, pipe) != nullptr) sha = buffer;
+  ::pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha;
+}
+
+/// UTC wall-clock timestamp (ISO 8601) for the --json summary.
+std::string utc_timestamp() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  ::gmtime_r(&now, &tm);
+  char text[32];
+  std::strftime(text, sizeof text, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return text;
+}
 
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;
@@ -485,6 +511,18 @@ int main(int argc, char** argv) {
     support::JsonWriter json;
     json.begin_object();
     json.key("tool").value("spivar_loadgen");
+    // Run provenance: enough to tell which tree and shape produced this
+    // artifact without consulting CI logs (ci/rebaseline_bench.py copies it
+    // into the regenerated baseline's comment).
+    json.key("meta").begin_object();
+    json.key("git_sha").value(git_sha());
+    json.key("timestamp_utc").value(utc_timestamp());
+    json.key("endpoint").value(options.endpoint);
+    json.key("mode").value(paced ? "paced" : "closed-loop");
+    json.key("connections").value(options.connections);
+    json.key("tenants").value(options.tenants);
+    json.key("seed_space").value(options.seed_space);
+    json.end_object();
     json.key("mode").value(paced ? "paced" : "closed-loop");
     json.key("connections").value(options.connections);
     if (paced) {

@@ -34,6 +34,13 @@
 // while the executor's projected deadline-miss rate sits at or above X;
 // --overload-retry-after-ms sets the hint on those replies.
 //
+// Observability: --metrics-port N serves the Prometheus text exposition on
+// 127.0.0.1:N (0 = ephemeral, printed as "metrics on 127.0.0.1:P"); the
+// same text answers the `metrics` wire control. --trace-log FILE appends a
+// JSONL record for every request at least --trace-slow-us microseconds
+// end-to-end; --trace-ring N sizes the ring the `trace last|slowest|<id>`
+// control browses.
+//
 // Graceful drain: SIGTERM stops the accept loop, lets live connections run
 // to their natural end for up to --drain-timeout-ms, then shuts the
 // stragglers' read sides (their in-flight replies still stream out),
@@ -60,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/exposition.hpp"
 #include "service/service.hpp"
 #include "service/tcp.hpp"
 
@@ -73,6 +81,8 @@ int usage() {
                "                    [--fsync] [--record FILE] [--replay FILE] [--warm FILE]\n"
                "                    [--tenants FILE|SPEC] [--overload-miss-rate X]\n"
                "                    [--overload-retry-after-ms N] [--drain-timeout-ms N]\n"
+               "                    [--metrics-port N] [--trace-log FILE] [--trace-slow-us N]\n"
+               "                    [--trace-ring N]\n"
                "       default: wire frames on stdin/stdout; --port serves TCP on\n"
                "       127.0.0.1:N (0 picks an ephemeral port); --replay processes a\n"
                "       recorded request log and writes the responses to stdout;\n"
@@ -84,7 +94,12 @@ int usage() {
                "       [:max-inflight=N]', comma-separated, or a file with one per\n"
                "       line); --overload-miss-rate sheds load above the projected\n"
                "       deadline-miss-rate bound; SIGTERM drains gracefully within\n"
-               "       --drain-timeout-ms\n";
+               "       --drain-timeout-ms; --metrics-port serves the Prometheus text\n"
+               "       exposition on 127.0.0.1:N (0 picks an ephemeral port, printed\n"
+               "       as 'metrics on 127.0.0.1:P'); --trace-log appends a JSONL\n"
+               "       record for every request at least --trace-slow-us micros\n"
+               "       end-to-end; --trace-ring sets how many completed traces the\n"
+               "       'trace' control can browse\n";
   return 2;
 }
 
@@ -95,6 +110,7 @@ struct ServeOptions {
   std::string replay;
   std::string warm;  ///< request log replayed before serving
   std::chrono::milliseconds drain_timeout{5'000};  ///< SIGTERM natural-EOF grace
+  std::optional<std::uint16_t> metrics_port;       ///< scrape endpoint (0 = ephemeral)
 };
 
 /// Parses one `name[:key=value...]` tenant entry. Returns false (with
@@ -364,6 +380,14 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds{number_of(i, 3'600'000)};
     } else if (args[i] == "--drain-timeout-ms") {
       options.drain_timeout = std::chrono::milliseconds{number_of(i, 3'600'000)};
+    } else if (args[i] == "--metrics-port") {
+      options.metrics_port = static_cast<std::uint16_t>(number_of(i, 65'535));
+    } else if (args[i] == "--trace-log") {
+      options.service.trace_log = value_of(i);
+    } else if (args[i] == "--trace-slow-us") {
+      options.service.trace_slow_us = number_of(i, std::numeric_limits<std::uint64_t>::max());
+    } else if (args[i] == "--trace-ring") {
+      options.service.trace_ring = static_cast<std::size_t>(number_of(i, 1'048'576));
     } else if (args[i] == "--stdio") {
       options.port.reset();
     } else {
@@ -392,6 +416,19 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   service::Service svc{options.service};
+  // The scrape endpoint is its own loopback listener on its own thread, so
+  // it works identically for stdio, TCP and even --replay runs, and a stuck
+  // scraper can never touch the serve path.
+  std::unique_ptr<obs::MetricsServer> metrics;
+  if (options.metrics_port) {
+    metrics = std::make_unique<obs::MetricsServer>(*options.metrics_port,
+                                                   [&svc] { return svc.metrics_text(); });
+    if (!metrics->ok()) {
+      std::cerr << "error: cannot bind metrics port 127.0.0.1:" << *options.metrics_port << "\n";
+      return 1;
+    }
+    std::cout << "metrics on 127.0.0.1:" << metrics->port() << "\n" << std::flush;
+  }
   if (!options.warm.empty()) {
     std::ifstream log{options.warm};
     if (!log) {
